@@ -1,0 +1,56 @@
+// Ablation: commutativity-aware operand matching (paper §4.2: the matching
+// constraints "allow commutativity of the operands where applicable").
+// Compares the overall hit rate of every Table-1 kernel with and without
+// swapped-operand matching in the LUT comparators.
+#include <benchmark/benchmark.h>
+
+#include "util.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+void reproduce() {
+  const double scale = tmemo::bench::workload_scale();
+  ResultTable table("Ablation: commutativity-aware matching",
+                    {"Kernel", "hit rate (commutative)",
+                     "hit rate (strict order)", "delta"});
+
+  const auto workloads = make_all_workloads(scale);
+  for (const auto& w : workloads) {
+    double rates[2] = {0.0, 0.0};
+    for (int c = 0; c <= 1; ++c) {
+      ExperimentConfig cfg;
+      cfg.commutativity = c == 0;
+      Simulation sim(cfg);
+      rates[c] = sim.run_at_error_rate(*w, 0.0).weighted_hit_rate;
+    }
+    table.begin_row()
+        .add(std::string(w->name()))
+        .add(tmemo::bench::percent(rates[0]))
+        .add(tmemo::bench::percent(rates[1]))
+        .add(tmemo::bench::percent(rates[0] - rates[1]));
+  }
+  tmemo::bench::emit(table);
+}
+
+void BM_MatchCommutative(benchmark::State& state) {
+  MatchConstraint c = MatchConstraint::approximate(0.5f);
+  c.set_allow_commutativity(state.range(0) != 0);
+  const float stored[3] = {2.0f, 7.0f, 0.0f};
+  const float incoming[3] = {7.2f, 1.8f, 0.0f};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        c.operands_match(FpOpcode::kAdd, stored, incoming));
+  }
+}
+BENCHMARK(BM_MatchCommutative)->Arg(0)->Arg(1);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: sensitivity of the headline conclusion (average energy saving
+// at 0% and 4% error rates) to the two least-certain energy-model
+// constants — the recovery energy factor and the clock-gate residual.
+// The paper's qualitative claim (memoization wins, and wins MORE at higher
+// error rates) should survive every plausible setting.
+#include <benchmark/benchmark.h>
+
+#include "util.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+struct AvgSaving {
+  double at0 = 0.0;
+  double at4 = 0.0;
+};
+
+AvgSaving average_saving(const ExperimentConfig& cfg, double scale) {
+  Simulation sim(cfg);
+  const auto workloads = make_all_workloads(scale);
+  AvgSaving avg;
+  for (const auto& w : workloads) {
+    avg.at0 += sim.run_at_error_rate(*w, 0.0).energy.saving();
+    avg.at4 += sim.run_at_error_rate(*w, 0.04).energy.saving();
+  }
+  avg.at0 /= static_cast<double>(workloads.size());
+  avg.at4 /= static_cast<double>(workloads.size());
+  return avg;
+}
+
+void reproduce() {
+  const double scale = tmemo::bench::workload_scale();
+  {
+    ResultTable table("Ablation: recovery energy factor (x E_op per error)",
+                      {"factor", "avg saving @0%", "avg saving @4%",
+                       "wins more at 4%?"});
+    for (double k : {12.0, 24.0, 48.0, 96.0}) {
+      ExperimentConfig cfg;
+      cfg.energy.recovery_energy_factor = k;
+      const AvgSaving s = average_saving(cfg, scale);
+      table.begin_row()
+          .add(k, 0)
+          .add(tmemo::bench::percent(s.at0))
+          .add(tmemo::bench::percent(s.at4))
+          .add(s.at4 > s.at0 ? "yes" : "NO");
+    }
+    tmemo::bench::emit(table);
+  }
+  {
+    ResultTable table("Ablation: clock-gate residual energy fraction",
+                      {"residual", "avg saving @0%", "avg saving @4%",
+                       "memoization still wins @4%?"});
+    for (double r : {0.05, 0.30, 0.60}) {
+      ExperimentConfig cfg;
+      cfg.energy.clock_gate_residual = r;
+      const AvgSaving s = average_saving(cfg, scale);
+      table.begin_row()
+          .add(r, 2)
+          .add(tmemo::bench::percent(s.at0))
+          .add(tmemo::bench::percent(s.at4))
+          .add(s.at4 > 0.0 ? "yes" : "NO");
+    }
+    tmemo::bench::emit(table);
+  }
+}
+
+void BM_AverageSavingSweep(benchmark::State& state) {
+  ExperimentConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(average_saving(cfg, 0.01));
+  }
+}
+BENCHMARK(BM_AverageSavingSweep)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

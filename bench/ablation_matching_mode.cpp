@@ -1,0 +1,72 @@
+// Ablation: the two realizations of the approximate matching constraint.
+//
+//  * absolute — Eq. 1 verbatim: |incoming - stored| <= threshold per
+//    operand (what the numeric kernels use);
+//  * fraction-mask — the §4.2 masking-vector hardware: ignore fraction
+//    LSBs, a *relative* tolerance that scales with the operand exponent
+//    (what the error-tolerant image kernels program).
+//
+// The mask realization matches far more often on large-magnitude operands
+// (pixel values) and is what produces the paper's strong PSNR-vs-threshold
+// sensitivity; the absolute realization is conservative and keeps quality
+// near-exact at image scale.
+#include <benchmark/benchmark.h>
+
+#include "img/synthetic.hpp"
+#include "util.hpp"
+#include "workloads/sobel.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+void reproduce() {
+  const int side = std::min(320, tmemo::bench::image_side());
+  const Image face = make_face_image(side, side);
+  const Image golden = sobel_reference(face);
+
+  ResultTable table("Ablation: absolute (Eq. 1) vs fraction-mask (§4.2) "
+                    "matching, Sobel on 'face'",
+                    {"threshold", "mode", "hit rate", "PSNR"});
+  for (float t : {0.2f, 0.4f, 1.0f}) {
+    for (int mode = 0; mode < 2; ++mode) {
+      ExperimentConfig cfg;
+      GpuDevice device(cfg.device,
+                       EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+      if (mode == 0) {
+        device.program_threshold(t);
+      } else {
+        device.program_threshold_as_mask(t);
+      }
+      const Image out = sobel_on_device(device, face);
+      table.begin_row()
+          .add(static_cast<double>(t), 1)
+          .add(mode == 0 ? "absolute" : "fraction-mask")
+          .add(tmemo::bench::percent(device.weighted_hit_rate()))
+          .add(tmemo::bench::decibel(psnr(golden, out)));
+    }
+  }
+  tmemo::bench::emit(table);
+}
+
+void BM_MaskedVsAbsoluteMatch(benchmark::State& state) {
+  const MatchConstraint c = state.range(0) == 0
+                                ? MatchConstraint::approximate(0.5f)
+                                : MatchConstraint::masked(0xffff0000u);
+  const float stored[3] = {100.25f, 7.0f, 0.0f};
+  const float incoming[3] = {100.5f, 7.1f, 0.0f};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        c.operands_match(FpOpcode::kAdd, stored, incoming));
+  }
+}
+BENCHMARK(BM_MaskedVsAbsoluteMatch)->Arg(0)->Arg(1);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: the three recovery mechanisms of §2/§5 as the baseline under
+// the memoized architecture — multiple-issue replay (the paper's choice,
+// 12 cycles/error), half-frequency replay (up to 28 cycles in [9]), and
+// decoupling queues ([11], cheap locally but needs per-lane queues).
+//
+// Energy uses the recovery CYCLE cost as the activity proxy: the energy
+// factor scales with the policy's cycles relative to multiple-issue replay.
+#include <benchmark/benchmark.h>
+
+#include "util.hpp"
+#include "workloads/haar.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+void reproduce() {
+  const double scale = tmemo::bench::workload_scale();
+  ResultTable table("Ablation: recovery policy under the memoized "
+                    "architecture (avg energy saving across kernels)",
+                    {"policy", "cycles/error (4-stage)", "@1% error",
+                     "@4% error"});
+
+  for (RecoveryPolicy policy :
+       {RecoveryPolicy::kMultipleIssueReplay,
+        RecoveryPolicy::kHalfFrequencyReplay,
+        RecoveryPolicy::kDecouplingQueues}) {
+    ExperimentConfig cfg;
+    cfg.device.fpu.recovery = policy;
+    // Scale the recovery energy with the policy's cycle cost.
+    const double ratio =
+        static_cast<double>(recovery_cycles(policy, FpuType::kAdd)) /
+        static_cast<double>(recovery_cycles(
+            RecoveryPolicy::kMultipleIssueReplay, FpuType::kAdd));
+    cfg.energy.recovery_energy_factor *= ratio;
+    Simulation sim(cfg);
+    const auto workloads = make_all_workloads(scale);
+    double s1 = 0.0, s4 = 0.0;
+    for (const auto& w : workloads) {
+      s1 += sim.run_at_error_rate(*w, 0.01).energy.saving();
+      s4 += sim.run_at_error_rate(*w, 0.04).energy.saving();
+    }
+    table.begin_row()
+        .add(recovery_policy_name(policy))
+        .add(static_cast<long long>(recovery_cycles(policy, FpuType::kAdd)))
+        .add(tmemo::bench::percent(s1 / double(workloads.size())))
+        .add(tmemo::bench::percent(s4 / double(workloads.size())));
+  }
+  tmemo::bench::emit(table);
+}
+
+void BM_RecoveryPolicyRun(benchmark::State& state) {
+  ExperimentConfig cfg;
+  cfg.device.fpu.recovery =
+      static_cast<RecoveryPolicy>(state.range(0));
+  Simulation sim(cfg);
+  HaarWorkload haar(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_at_error_rate(haar, 0.04));
+  }
+}
+BENCHMARK(BM_RecoveryPolicyRun)->Arg(0)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: where does the "congested temporal value locality" come from?
+//
+// (a) EigenValue work-item mapping: SC-adjacent assignment (the four lanes
+//     that time-share one stream core get adjacent eigenvalue indices) vs.
+//     the plain linear assignment.
+// (b) Wavefront width: narrower wavefronts reduce the number of lanes that
+//     time-multiplex onto one stream core, thinning the per-FPU operand
+//     stream the FIFO can exploit.
+#include <benchmark/benchmark.h>
+
+#include "util.hpp"
+#include "workloads/eigenvalue.hpp"
+#include "workloads/sobel.hpp"
+
+#include "img/synthetic.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+double eigen_hit_rate(bool sc_adjacent) {
+  ExperimentConfig cfg;
+  GpuDevice device(cfg.device,
+                   EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+  device.program_exact();
+  const Tridiagonal m = make_tridiagonal(192);
+  (void)eigenvalues_on_device(device, m, 24, sc_adjacent);
+  return device.weighted_hit_rate();
+}
+
+double sobel_hit_rate(int wavefront_size) {
+  ExperimentConfig cfg;
+  cfg.device.wavefront_size = wavefront_size;
+  GpuDevice device(cfg.device,
+                   EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+  device.program_threshold_as_mask(1.0f);
+  const Image face = make_face_image(192, 192);
+  (void)sobel_on_device(device, face);
+  return device.weighted_hit_rate();
+}
+
+void reproduce() {
+  {
+    ResultTable table("Ablation (a): EigenValue work-item -> eigenvalue "
+                      "index mapping",
+                      {"mapping", "hit rate"});
+    table.begin_row()
+        .add("SC-adjacent (lanes j, j+16, j+32, j+48 -> adjacent indices)")
+        .add(tmemo::bench::percent(eigen_hit_rate(true)));
+    table.begin_row()
+        .add("linear (lane i -> index i)")
+        .add(tmemo::bench::percent(eigen_hit_rate(false)));
+    tmemo::bench::emit(table);
+  }
+  {
+    ResultTable table("Ablation (b): wavefront width vs Sobel hit rate "
+                      "(16 stream cores; width/16 sub-wavefronts "
+                      "time-multiplex per SC)",
+                      {"wavefront size", "sub-wavefronts per SC",
+                       "hit rate"});
+    for (int wf : {16, 32, 48, 64}) {
+      table.begin_row()
+          .add(static_cast<long long>(wf))
+          .add(static_cast<long long>(wf / 16))
+          .add(tmemo::bench::percent(sobel_hit_rate(wf)));
+    }
+    tmemo::bench::emit(table);
+  }
+}
+
+void BM_EigenMapped(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eigen_hit_rate(state.range(0) != 0));
+  }
+}
+BENCHMARK(BM_EigenMapped)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Extension study: temporal vs spatial vs combined memoization.
+//
+// The paper's §2 positions spatial memoization (reference [20]) as the
+// concurrent-reuse alternative whose cross-lane broadcast "tightens its
+// scalability"; temporal memoization is the paper's contribution. This
+// bench quantifies all four architectures on the Table-1 kernels:
+//
+//   baseline  — detect-then-correct only
+//   temporal  — the paper's per-FPU 2-entry LUTs
+//   spatial   — master-lane comparison + result broadcast, no LUTs
+//   combined  — spatial first, temporal LUT on spatial misses
+#include <benchmark/benchmark.h>
+
+#include "util.hpp"
+#include "workloads/haar.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+struct ModeResult {
+  double saving0;
+  double saving4;
+  double temporal_hits;
+  double spatial_reuse;
+  bool passed;
+};
+
+ModeResult run_mode(const Workload& w, bool temporal, bool spatial) {
+  ExperimentConfig cfg;
+  cfg.memoization = temporal;
+  cfg.spatial = spatial;
+  Simulation sim(cfg);
+  const KernelRunReport r0 = sim.run_at_error_rate(w, 0.0);
+  const KernelRunReport r4 = sim.run_at_error_rate(w, 0.04);
+  ModeResult res;
+  res.saving0 = r0.energy.saving();
+  res.saving4 = r4.energy.saving();
+  res.temporal_hits = r0.weighted_hit_rate;
+  res.spatial_reuse = 0.0;
+  res.passed = r0.result.passed && r4.result.passed;
+  return res;
+}
+
+void reproduce() {
+  const double scale = tmemo::bench::workload_scale();
+  const auto workloads = make_all_workloads(scale);
+
+  ResultTable table(
+      "Extension: temporal vs spatial vs combined memoization "
+      "(energy saving @0% / @4% error rate)",
+      {"Kernel", "temporal", "spatial", "combined", "verify"});
+
+  double avg[3][2] = {};
+  for (const auto& w : workloads) {
+    const ModeResult t = run_mode(*w, true, false);
+    const ModeResult s = run_mode(*w, false, true);
+    const ModeResult c = run_mode(*w, true, true);
+    table.begin_row()
+        .add(std::string(w->name()))
+        .add(tmemo::bench::percent(t.saving0) + " / " +
+             tmemo::bench::percent(t.saving4))
+        .add(tmemo::bench::percent(s.saving0) + " / " +
+             tmemo::bench::percent(s.saving4))
+        .add(tmemo::bench::percent(c.saving0) + " / " +
+             tmemo::bench::percent(c.saving4))
+        .add(t.passed && s.passed && c.passed ? "passed" : "FAILED");
+    avg[0][0] += t.saving0;
+    avg[0][1] += t.saving4;
+    avg[1][0] += s.saving0;
+    avg[1][1] += s.saving4;
+    avg[2][0] += c.saving0;
+    avg[2][1] += c.saving4;
+  }
+  table.begin_row().add("AVERAGE");
+  for (int m = 0; m < 3; ++m) {
+    table.add(
+        tmemo::bench::percent(avg[m][0] / double(workloads.size())) + " / " +
+        tmemo::bench::percent(avg[m][1] / double(workloads.size())));
+  }
+  table.add("");
+  tmemo::bench::emit(table);
+
+  // Spatial reuse-rate detail: how often does the master actually serve
+  // its wavefront, per kernel?
+  ResultTable detail("Extension: spatial reuse rate (lane comparisons "
+                     "served by the master's broadcast)",
+                     {"Kernel", "reuse rate"});
+  for (const auto& w : workloads) {
+    ExperimentConfig cfg;
+    cfg.memoization = false;
+    cfg.spatial = true;
+    const VoltageScaling vs(cfg.voltage);
+    GpuDevice device(cfg.device, EnergyModel(cfg.energy, vs));
+    device.set_spatial_memoization(true);
+    const float t = w->table1_threshold();
+    if (t <= 0.0f) {
+      device.program_exact();
+    } else if (w->error_tolerant()) {
+      device.program_threshold_as_mask(t);
+    } else {
+      device.program_threshold(t);
+    }
+    device.set_power_gated(true); // pure spatial
+    (void)w->run(device);
+    SpatialStats total;
+    for (const SpatialStats& s : device.spatial_stats()) total += s;
+    detail.begin_row()
+        .add(std::string(w->name()))
+        .add(tmemo::bench::percent(total.reuse_rate()));
+  }
+  tmemo::bench::emit(detail);
+}
+
+void BM_SpatialModeRun(benchmark::State& state) {
+  ExperimentConfig cfg;
+  cfg.spatial = state.range(0) != 0;
+  Simulation sim(cfg);
+  HaarWorkload haar(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_at_error_rate(haar, 0.02));
+  }
+}
+BENCHMARK(BM_SpatialModeRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces the §4.1 FIFO-depth sensitivity study: "Increasing the FIFO
+// size with 2 entries by a factor of 2x, 4x, 8x, 16x, and 32x led to 2%,
+// 4%, 8%, 12%, and 17% higher hit rates. The hit rate increases less than
+// 20% when the size of FIFOs is increased from 2 to 64. Therefore, we have
+// used the FIFOs with 2 entries."
+//
+// This is also the design-choice ablation for the 2-entry FIFO of DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "util.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+void reproduce() {
+  const double scale = tmemo::bench::workload_scale();
+  ResultTable table(
+      "FIFO-depth sweep: overall hit rate across the Table-1 kernels",
+      {"FIFO entries", "hit rate", "delta vs 2 entries",
+       "per-op lookup cost scale"});
+
+  double base = -1.0;
+  for (int depth : {2, 4, 8, 16, 32, 64}) {
+    ExperimentConfig cfg;
+    cfg.device.fpu.lut_depth = depth;
+    Simulation sim(cfg);
+    const auto workloads = make_all_workloads(scale);
+
+    std::uint64_t instructions = 0;
+    std::uint64_t hits = 0;
+    for (const auto& w : workloads) {
+      const KernelRunReport r = sim.run_at_error_rate(*w, 0.0);
+      const FpuStats total = [&] {
+        FpuStats t;
+        for (const FpuStats& s : r.unit_stats) t += s;
+        return t;
+      }();
+      instructions += total.instructions;
+      hits += total.hits;
+    }
+    const double rate =
+        static_cast<double>(hits) / static_cast<double>(instructions);
+    if (base < 0.0) base = rate;
+    table.begin_row()
+        .add(static_cast<long long>(depth))
+        .add(tmemo::bench::percent(rate))
+        .add(std::string("+") + tmemo::bench::percent(rate - base))
+        // An N-entry CAM burns ~N/2 the lookup energy of the 2-entry one.
+        .add(static_cast<double>(depth) / 2.0, 1);
+  }
+  tmemo::bench::emit(table);
+}
+
+void BM_LutLookupDepth(benchmark::State& state) {
+  MemoLut lut(static_cast<int>(state.range(0)));
+  const MatchConstraint exact = MatchConstraint::exact();
+  FpInstruction ins;
+  ins.opcode = FpOpcode::kAdd;
+  float x = 1.0f;
+  for (auto _ : state) {
+    ins.operands[0] = x;
+    ins.operands[1] = x * 0.5f;
+    benchmark::DoNotOptimize(lut.lookup(ins, exact));
+    lut.update(ins, x);
+    x += 0.25f;
+  }
+}
+BENCHMARK(BM_LutLookupDepth)->Arg(2)->Arg(8)->Arg(64);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

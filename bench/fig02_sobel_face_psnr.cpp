@@ -1,0 +1,38 @@
+// Reproduces Fig. 2: Sobel filter on the 'face' input — PSNR and the
+// acceptable approximation threshold (paper: thresholds up to 1.0 keep
+// PSNR >= 30 dB on this smooth portrait-class input).
+#include <benchmark/benchmark.h>
+
+#include "img/synthetic.hpp"
+#include "psnr_fig_common.hpp"
+#include "util.hpp"
+#include "workloads/sobel.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+void BM_SobelFaceApproximate(benchmark::State& state) {
+  const Image face = make_face_image(256, 256);
+  ExperimentConfig cfg;
+  GpuDevice device(cfg.device,
+                   EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+  device.program_threshold_as_mask(
+      static_cast<float>(state.range(0)) / 10.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sobel_on_device(device, face));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(face.size()));
+}
+BENCHMARK(BM_SobelFaceApproximate)->Arg(0)->Arg(4)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  tmemo::bench::run_psnr_figure("Fig. 2", "sobel", "face");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Fig. 3: Gaussian filter on the 'face' input — PSNR per
+// threshold (paper: threshold 0.8 gives ~30 dB, the acceptability edge;
+// larger thresholds produce unacceptable quality).
+#include <benchmark/benchmark.h>
+
+#include "img/synthetic.hpp"
+#include "psnr_fig_common.hpp"
+#include "util.hpp"
+#include "workloads/gaussian.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+void BM_GaussianFaceApproximate(benchmark::State& state) {
+  const Image face = make_face_image(256, 256);
+  ExperimentConfig cfg;
+  GpuDevice device(cfg.device,
+                   EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+  device.program_threshold_as_mask(
+      static_cast<float>(state.range(0)) / 10.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gaussian_on_device(device, face));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(face.size()));
+}
+BENCHMARK(BM_GaussianFaceApproximate)->Arg(0)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  tmemo::bench::run_psnr_figure("Fig. 3", "gaussian", "face");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces Fig. 4: Sobel filter on the 'book' input — the busy text-page
+// image cuts the acceptable threshold down to ~0.2-0.4 (paper: 0.2).
+#include <benchmark/benchmark.h>
+
+#include "img/synthetic.hpp"
+#include "psnr_fig_common.hpp"
+#include "util.hpp"
+#include "workloads/sobel.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+void BM_SobelBookExact(benchmark::State& state) {
+  const Image book = make_book_image(256, 256);
+  ExperimentConfig cfg;
+  GpuDevice device(cfg.device,
+                   EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+  device.program_exact();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sobel_on_device(device, book));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(book.size()));
+}
+BENCHMARK(BM_SobelBookExact)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  tmemo::bench::run_psnr_figure("Fig. 4", "sobel", "book");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

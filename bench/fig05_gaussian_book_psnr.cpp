@@ -1,0 +1,35 @@
+// Reproduces Fig. 5: Gaussian filter on the 'book' input — cutoff threshold
+// 0.2 (threshold 0.4 already drops below 30 dB), matching the paper.
+#include <benchmark/benchmark.h>
+
+#include "img/synthetic.hpp"
+#include "psnr_fig_common.hpp"
+#include "util.hpp"
+#include "workloads/gaussian.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+void BM_GaussianBookExact(benchmark::State& state) {
+  const Image book = make_book_image(256, 256);
+  ExperimentConfig cfg;
+  GpuDevice device(cfg.device,
+                   EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+  device.program_exact();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gaussian_on_device(device, book));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(book.size()));
+}
+BENCHMARK(BM_GaussianBookExact)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  tmemo::bench::run_psnr_figure("Fig. 5", "gaussian", "book");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

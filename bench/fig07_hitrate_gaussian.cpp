@@ -1,0 +1,54 @@
+// Reproduces Fig. 7: hit rate of the per-FPU FIFOs for the various FPU
+// types as a function of the approximation threshold when executing the
+// Gaussian filter, for both input images.
+#include <benchmark/benchmark.h>
+
+#include "img/synthetic.hpp"
+#include "util.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+void reproduce() {
+  const int side = tmemo::bench::image_side();
+  for (const char* image_name : {"face", "book"}) {
+    Image img = std::string(image_name) == "face"
+                    ? make_face_image(side, side)
+                    : make_book_image(side, side);
+    ResultTable table(
+        std::string("Fig. 7: per-FPU hit rate vs threshold, Gaussian on '") +
+            image_name + "'",
+        {"threshold", "ADD", "MUL", "MULADD", "RECIP", "FP2INT",
+         "weighted avg"});
+    const auto reports =
+        tmemo::bench::hitrate_sweep("gaussian", std::move(img), image_name);
+    for (const KernelRunReport& r : reports) {
+      table.begin_row().add(static_cast<double>(r.threshold), 1);
+      for (FpuType u : {FpuType::kAdd, FpuType::kMul, FpuType::kMulAdd,
+                        FpuType::kRecip, FpuType::kFp2Int}) {
+        table.add(tmemo::bench::percent(r.unit_hit_rate(u)));
+      }
+      table.add(tmemo::bench::percent(r.weighted_hit_rate));
+    }
+    tmemo::bench::emit(table);
+  }
+}
+
+void BM_HitRateSweepGaussian(benchmark::State& state) {
+  Image face = make_face_image(128, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tmemo::bench::hitrate_sweep("gaussian", face, "face"));
+  }
+}
+BENCHMARK(BM_HitRateSweepGaussian)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 8: hit rate of the 2-entry FIFOs for the *activated*
+// FPUs during execution of all seven Table-1 kernels at their selected
+// thresholds, plus the weighted average hit rate — and, as a preamble,
+// Table 1 itself (kernel / input parameter / threshold).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "util.hpp"
+#include "workloads/haar.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+void reproduce() {
+  const double scale = bench::workload_scale();
+  const auto workloads = make_all_workloads(scale);
+  Simulation sim;
+
+  ResultTable table1("Table 1: kernels, input parameters, thresholds",
+                     {"Kernel", "Input parameter", "threshold"});
+  ResultTable fig8(
+      "Fig. 8: hit rate of the FIFOs for activated FPUs (Table-1 thresholds)",
+      {"Kernel", "ADD", "MUL", "MULADD", "SQRT", "RECIP", "FP2INT", "INT2FP",
+       "TRIG", "EXPLOG", "weighted avg", "verify"});
+
+  for (const auto& w : workloads) {
+    table1.begin_row()
+        .add(std::string(w->name()))
+        .add(w->input_parameter())
+        .add(static_cast<double>(w->table1_threshold()), 6);
+
+    const KernelRunReport rep = sim.run_at_error_rate(*w, 0.0);
+    fig8.begin_row().add(std::string(w->name()));
+    for (FpuType u : kAllFpuTypes) {
+      fig8.add(rep.unit_activated(u) ? bench::percent(rep.unit_hit_rate(u))
+                                     : std::string("-"));
+    }
+    fig8.add(bench::percent(rep.weighted_hit_rate));
+    fig8.add(rep.result.passed ? "passed" : "FAILED");
+  }
+  bench::emit(table1);
+  bench::emit(fig8);
+}
+
+void BM_HaarHitRateRun(benchmark::State& state) {
+  Simulation sim;
+  HaarWorkload haar(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_at_error_rate(haar, 0.0));
+  }
+}
+BENCHMARK(BM_HaarHitRateRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Fig. 10: energy saving of the temporal-memoization
+// architecture vs. the baseline detect-then-correct architecture over a
+// range of timing-error rates [0%, 4%], considering the energy of the six
+// frequently exercised units (ADD, MUL, SQRT, RECIP, MULADD, FP2INT).
+//
+// Paper headline: average savings of 13%, 17%, 20%, 23%, 25% at error
+// rates of 0%, 1%, 2%, 3%, 4%.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "util.hpp"
+#include "workloads/haar.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+constexpr std::array<double, 5> kErrorRates = {0.0, 0.01, 0.02, 0.03, 0.04};
+
+void reproduce() {
+  const double scale = tmemo::bench::workload_scale();
+  const auto workloads = make_all_workloads(scale);
+  Simulation sim;
+
+  ResultTable table(
+      "Fig. 10: energy saving vs baseline at timing-error rates 0%-4% "
+      "(ADD, MUL, SQRT, RECIP, MULADD, FP2INT)",
+      {"Kernel", "0%", "1%", "2%", "3%", "4%", "verify @4%"});
+
+  std::array<double, kErrorRates.size()> averages{};
+  for (const auto& w : workloads) {
+    table.begin_row().add(std::string(w->name()));
+    bool passed = true;
+    for (std::size_t i = 0; i < kErrorRates.size(); ++i) {
+      const KernelRunReport r = sim.run_at_error_rate(*w, kErrorRates[i]);
+      table.add(tmemo::bench::percent(r.energy.saving()));
+      averages[i] += r.energy.saving();
+      passed = r.result.passed;
+    }
+    table.add(passed ? "passed" : "FAILED");
+  }
+  table.begin_row().add("AVERAGE");
+  for (double& a : averages) {
+    a /= static_cast<double>(workloads.size());
+  }
+  for (double a : averages) table.add(tmemo::bench::percent(a));
+  table.add("(paper: 13/17/20/23/25%)");
+  tmemo::bench::emit(table);
+}
+
+void BM_HaarEnergySweepPoint(benchmark::State& state) {
+  Simulation sim;
+  HaarWorkload haar(256);
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_at_error_rate(haar, rate));
+  }
+}
+BENCHMARK(BM_HaarEnergySweepPoint)->Arg(0)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

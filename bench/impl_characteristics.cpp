@@ -1,0 +1,89 @@
+// Reproduces the §5.1 implementation characteristics: pipeline latencies
+// (4 cycles; RECIP balanced to 16), one-instruction-per-cycle throughput,
+// the 12-cycle baseline recovery, the module's positive timing slack at
+// signoff, and the calibrated 45nm-class energy table.
+#include <benchmark/benchmark.h>
+
+#include "fpu/pipeline.hpp"
+#include "timing/ecu.hpp"
+#include "util.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+void reproduce() {
+  {
+    ResultTable table("FPU pipeline and recovery characteristics (§5.1)",
+                      {"FPU", "latency (cycles)", "throughput (ops/cycle)",
+                       "recovery: multi-issue replay", "half-frequency",
+                       "decoupling queues"});
+    for (FpuType u : kAllFpuTypes) {
+      table.begin_row()
+          .add(std::string(fpu_type_name(u)))
+          .add(static_cast<long long>(fpu_latency_cycles(u)))
+          .add("1")
+          .add(static_cast<long long>(
+              recovery_cycles(RecoveryPolicy::kMultipleIssueReplay, u)))
+          .add(static_cast<long long>(
+              recovery_cycles(RecoveryPolicy::kHalfFrequencyReplay, u)))
+          .add(static_cast<long long>(
+              recovery_cycles(RecoveryPolicy::kDecouplingQueues, u)));
+    }
+    tmemo::bench::emit(table);
+  }
+  {
+    const EnergyParams p;
+    const VoltageScalingParams v;
+    ResultTable table("Calibrated 45nm-class energy/timing constants",
+                      {"parameter", "value"});
+    for (FpuType u : kAllFpuTypes) {
+      table.begin_row()
+          .add("E_op " + std::string(fpu_type_name(u)))
+          .add(std::to_string(
+                   p.fpu_op_energy_pj[static_cast<std::size_t>(u)]) +
+               " pJ");
+    }
+    table.begin_row().add("LUT lookup").add(std::to_string(p.lut_lookup_pj) +
+                                            " pJ");
+    table.begin_row().add("LUT update").add(std::to_string(p.lut_update_pj) +
+                                            " pJ");
+    table.begin_row().add("module static / cycle").add(
+        std::to_string(p.memo_static_pj_per_cycle) + " pJ");
+    table.begin_row().add("clock-gate residual").add(
+        std::to_string(p.clock_gate_residual));
+    table.begin_row().add("recovery energy factor").add(
+        std::to_string(p.recovery_energy_factor) + " x E_op");
+    table.begin_row().add("nominal voltage").add(
+        std::to_string(p.nominal_voltage) + " V");
+    table.begin_row().add("clock period").add(
+        std::to_string(v.clock_period) + " ns (1 GHz signoff)");
+    table.begin_row().add("stage delay at signoff").add(
+        std::to_string(v.stage_delay_mean) + " ns (" +
+        std::to_string((1.0 - v.stage_delay_mean / v.clock_period) * 100.0) +
+        "% guardband; the LUT closes with 14% positive slack in the paper)");
+    tmemo::bench::emit(table);
+  }
+}
+
+void BM_PipelineThroughput(benchmark::State& state) {
+  FpuPipeline pipe(FpuType::kMulAdd);
+  FpInstruction ins;
+  ins.opcode = FpOpcode::kMulAdd;
+  ins.operands = {1.5f, 2.5f, 0.5f};
+  for (auto _ : state) {
+    pipe.step();
+    if (pipe.can_issue()) pipe.issue(ins);
+    benchmark::DoNotOptimize(pipe.retire());
+  }
+}
+BENCHMARK(BM_PipelineThroughput);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

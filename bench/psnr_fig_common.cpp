@@ -1,0 +1,59 @@
+#include "psnr_fig_common.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "img/synthetic.hpp"
+#include "util.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/sobel.hpp"
+
+namespace tmemo::bench {
+
+void run_psnr_figure(const std::string& figure, const std::string& filter,
+                     const std::string& image_name) {
+  const int side = image_side();
+  const Image image = image_name == "face" ? make_face_image(side, side)
+                                           : make_book_image(side, side);
+
+  ResultTable table(
+      figure + ": PSNR of the " + filter + " filter on '" + image_name +
+          "' (" + std::to_string(side) + "x" + std::to_string(side) +
+          ") vs approximation threshold",
+      {"threshold", "PSNR", "hit rate", ">= 30 dB (acceptable)"});
+
+  const auto points = psnr_sweep(filter, image);
+  float cutoff = 0.0f;
+  for (const PsnrPoint& p : points) {
+    table.begin_row()
+        .add(static_cast<double>(p.threshold), 1)
+        .add(decibel(p.psnr_db))
+        .add(percent(p.hit_rate))
+        .add(p.acceptable ? "yes" : "NO");
+    if (p.acceptable) cutoff = p.threshold;
+  }
+  emit(table);
+  std::cout << "largest acceptable threshold (PSNR >= 30 dB): " << cutoff
+            << "\n";
+
+  if (std::getenv("TM_DUMP_PGM") != nullptr) {
+    write_pgm(image, "input_" + image_name + ".pgm");
+    for (float t : kThresholdGrid) {
+      ExperimentConfig cfg;
+      GpuDevice device(cfg.device,
+                       EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+      if (t > 0.0f) {
+        device.program_threshold_as_mask(t);
+      } else {
+        device.program_exact();
+      }
+      const Image out = filter == "sobel" ? sobel_on_device(device, image)
+                                          : gaussian_on_device(device, image);
+      write_pgm(out, filter + "_" + image_name + "_t" + std::to_string(t) +
+                         ".pgm");
+    }
+    std::cout << "PGM outputs written to the current directory\n";
+  }
+}
+
+} // namespace tmemo::bench

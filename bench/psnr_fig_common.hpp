@@ -1,0 +1,19 @@
+// Shared driver of the Figs. 2-5 PSNR-vs-threshold reproductions.
+//
+// Each figure in the paper shows a filter output image for every threshold
+// in {0, 0.2, 0.4, 0.6, 0.8/1.0} with its PSNR. We reproduce the numeric
+// series (PSNR per threshold plus the implied acceptability cutoff) and,
+// when TM_DUMP_PGM is set, also write the filtered images as PGM files so
+// they can be inspected exactly like the paper's image grids.
+#pragma once
+
+#include <string>
+
+namespace tmemo::bench {
+
+/// Prints the PSNR table for `filter` ("sobel" | "gaussian") applied to the
+/// synthetic `image_name` ("face" | "book"), labeled as `figure`.
+void run_psnr_figure(const std::string& figure, const std::string& filter,
+                     const std::string& image_name);
+
+} // namespace tmemo::bench

@@ -1,0 +1,115 @@
+// Reproduces Table 2: the {Hit, Error} -> action decision of the temporal
+// memoization module, plus a dynamic demonstration — counts of each of the
+// four architectural states observed while running a kernel under a 5%
+// timing-error rate.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "memo/module.hpp"
+#include "util.hpp"
+#include "workloads/haar.hpp"
+#include "workloads/sobel.hpp"
+
+#include "img/synthetic.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+void print_static_table() {
+  ResultTable table("Table 2: timing error handling with the temporal "
+                    "memoization module",
+                    {"Hit", "Error", "Action", "Q_pipe"});
+  for (int hit = 0; hit <= 1; ++hit) {
+    for (int err = 0; err <= 1; ++err) {
+      const MemoAction a = memo_action(hit != 0, err != 0);
+      table.begin_row()
+          .add(static_cast<long long>(hit))
+          .add(static_cast<long long>(err))
+          .add(std::string(memo_action_name(a)))
+          .add(memo_output(a) == PipeOutput::kQl ? "Q_L" : "Q_S");
+    }
+  }
+  tmemo::bench::emit(table);
+}
+
+void print_dynamic_counts() {
+  // Count the four states over a Sobel run at a 5% error rate. A sink
+  // between the kernel and the accumulator tallies actions.
+  class Counter final : public ExecutionSink {
+   public:
+    void consume(const ExecutionRecord& rec) override {
+      ++counts_[static_cast<std::size_t>(rec.action)];
+    }
+    [[nodiscard]] std::uint64_t count(MemoAction a) const {
+      return counts_[static_cast<std::size_t>(a)];
+    }
+
+   private:
+    std::array<std::uint64_t, 4> counts_{};
+  };
+
+  ExperimentConfig cfg;
+  GpuDevice device(cfg.device,
+                   EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+  device.program_threshold_as_mask(1.0f);
+  auto errors = std::make_shared<FixedRateErrorModel>(0.05);
+  device.set_error_model(errors);
+
+  const Image face = make_face_image(192, 192);
+  // Drive the kernel manually so we can interpose the counting sink.
+  Counter counter;
+  Image out(face.width(), face.height());
+  const int wf_size = device.config().wavefront_size;
+  const std::size_t wavefronts = face.size() / static_cast<std::size_t>(wf_size);
+  for (std::size_t w = 0; w < wavefronts; ++w) {
+    ComputeUnit& cu = device.compute_unit(
+        static_cast<int>(w % static_cast<std::size_t>(
+                                 device.compute_unit_count())));
+    WavefrontCtx ctx(cu, device.error_model(), &counter, wf_size,
+                     static_cast<WorkItemId>(w) * wf_size, ~0ull);
+    const LaneVec p = ctx.gather(face.pixels(), [](int, WorkItemId gid) {
+      return static_cast<std::size_t>(gid);
+    });
+    const LaneVec r = ctx.sqrt(ctx.mul(p, p));
+    ctx.scatter(out.pixels(), r, [](int, WorkItemId gid) {
+      return static_cast<std::size_t>(gid);
+    });
+  }
+
+  ResultTable table("Table 2 (dynamic): state occupancy at 5% error rate",
+                    {"state {Hit,Error}", "action", "count"});
+  const std::array<std::pair<MemoAction, const char*>, 4> rows = {{
+      {MemoAction::kNormalExecution, "{0,0}"},
+      {MemoAction::kTriggerRecovery, "{0,1}"},
+      {MemoAction::kReuse, "{1,0}"},
+      {MemoAction::kReuseMaskError, "{1,1}"},
+  }};
+  for (const auto& [action, label] : rows) {
+    table.begin_row()
+        .add(std::string(label))
+        .add(std::string(memo_action_name(action)))
+        .add(static_cast<unsigned long long>(counter.count(action)));
+  }
+  tmemo::bench::emit(table);
+}
+
+void BM_MemoActionDecision(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memo_action((i & 1) != 0, (i & 2) != 0));
+    ++i;
+  }
+}
+BENCHMARK(BM_MemoActionDecision);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  print_static_table();
+  print_dynamic_counts();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

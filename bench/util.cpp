@@ -1,0 +1,120 @@
+#include "util.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/sobel.hpp"
+
+namespace tmemo::bench {
+
+double workload_scale() {
+  if (const char* env = std::getenv("TM_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) return s;
+    std::cerr << "TM_SCALE out of (0,1], using default\n";
+  }
+  return 0.04;
+}
+
+bool csv_output() {
+  const char* env = std::getenv("TM_CSV");
+  return env != nullptr && env[0] != '\0';
+}
+
+void emit(const ResultTable& table) {
+  table.print(std::cout);
+  if (csv_output()) {
+    std::cout << "\n[csv] " << table.title() << "\n";
+    table.print_csv(std::cout);
+  }
+  std::cout.flush();
+}
+
+std::string percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+std::string decibel(double db) {
+  if (std::isinf(db)) return "inf dB";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << db << " dB";
+  return os.str();
+}
+
+int image_side() {
+  const double side = 1536.0 * std::sqrt(workload_scale());
+  const int s = static_cast<int>(side / 64.0 + 0.5) * 64;
+  return s < 64 ? 64 : s;
+}
+
+namespace {
+
+Image run_filter(GpuDevice& device, const std::string& filter,
+                 const Image& image) {
+  if (filter == "sobel") return sobel_on_device(device, image);
+  if (filter == "gaussian") return gaussian_on_device(device, image);
+  TM_REQUIRE(false, "unknown filter: " + filter);
+  return Image{};
+}
+
+Image reference_filter(const std::string& filter, const Image& image) {
+  return filter == "sobel" ? sobel_reference(image)
+                           : gaussian_reference(image);
+}
+
+GpuDevice fresh_device(float threshold) {
+  ExperimentConfig cfg;
+  GpuDevice device(cfg.device, EnergyModel(cfg.energy,
+                                           VoltageScaling(cfg.voltage)));
+  if (threshold > 0.0f) {
+    device.program_threshold_as_mask(threshold);
+  } else {
+    device.program_exact();
+  }
+  return device;
+}
+
+} // namespace
+
+std::vector<PsnrPoint> psnr_sweep(const std::string& filter,
+                                  const Image& image) {
+  const Image golden = reference_filter(filter, image);
+  std::vector<PsnrPoint> points;
+  for (float t : kThresholdGrid) {
+    GpuDevice device = fresh_device(t);
+    const Image out = run_filter(device, filter, image);
+    PsnrPoint p;
+    p.threshold = t;
+    p.psnr_db = psnr(golden, out);
+    p.hit_rate = device.weighted_hit_rate();
+    p.acceptable = p.psnr_db >= 30.0;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<KernelRunReport> hitrate_sweep(const std::string& filter,
+                                           Image image,
+                                           const std::string& image_label) {
+  std::vector<KernelRunReport> reports;
+  Simulation sim;
+  for (float t : kThresholdGrid) {
+    if (filter == "sobel") {
+      SobelWorkload w(image, image_label);
+      reports.push_back(sim.run_at_error_rate(w, 0.0, t));
+    } else {
+      GaussianWorkload w(image, image_label);
+      reports.push_back(sim.run_at_error_rate(w, 0.0, t));
+    }
+  }
+  return reports;
+}
+
+} // namespace tmemo::bench

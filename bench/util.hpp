@@ -1,0 +1,59 @@
+// Shared plumbing of the benchmark binaries: scale/override flags taken
+// from environment variables, and table printing helpers.
+//
+// Environment knobs (all optional):
+//   TM_SCALE   — workload problem scale in (0, 1]; 1.0 = paper sizes.
+//                Default 0.04 keeps the whole suite laptop-fast.
+//   TM_CSV     — when set (non-empty), also emit CSV after each table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "img/image.hpp"
+#include "sim/simulation.hpp"
+
+namespace tmemo::bench {
+
+/// Problem scale from TM_SCALE (default 0.04).
+[[nodiscard]] double workload_scale();
+
+/// True when TM_CSV is set.
+[[nodiscard]] bool csv_output();
+
+/// Prints a table to stdout (and CSV when TM_CSV is set).
+void emit(const ResultTable& table);
+
+/// "12.3%" formatting.
+[[nodiscard]] std::string percent(double fraction, int precision = 1);
+
+/// "40.3 dB" / "inf dB" formatting.
+[[nodiscard]] std::string decibel(double db);
+
+/// Image side length for the PSNR/hit-rate image experiments at the
+/// current TM_SCALE (1536 at scale 1.0).
+[[nodiscard]] int image_side();
+
+/// The threshold grid of the paper's Figs. 2-7.
+inline constexpr float kThresholdGrid[] = {0.0f, 0.2f, 0.4f, 0.6f, 0.8f, 1.0f};
+
+/// Runs `filter` ("sobel" or "gaussian") over `image` on a fresh device
+/// programmed with the §4.2 masking vector for `threshold`; returns the
+/// PSNR against the exact reference and (out-params) the filtered image.
+struct PsnrPoint {
+  float threshold = 0.0f;
+  double psnr_db = 0.0;
+  double hit_rate = 0.0;
+  bool acceptable = false; ///< >= 30 dB
+};
+
+/// One row of Figs. 2-5: PSNR sweep of a filter over an image.
+[[nodiscard]] std::vector<PsnrPoint> psnr_sweep(const std::string& filter,
+                                                const Image& image);
+
+/// Per-unit hit-rate sweep of Figs. 6-7. Returns one report per threshold.
+[[nodiscard]] std::vector<KernelRunReport> hitrate_sweep(
+    const std::string& filter, Image image, const std::string& image_label);
+
+} // namespace tmemo::bench

@@ -1,0 +1,109 @@
+// Example: writing a new kernel against the wavefront DSL.
+//
+// Implements a 2D vector-normalization kernel (the inner loop of lighting
+// and physics engines): n = v / |v| per work-item, built from MUL, MULADD,
+// RSQRT. Demonstrates:
+//   * the wavefront programming model (LaneVec ops + gather/scatter);
+//   * programming the memoization registers directly (threshold, the
+//     commutativity bit, power gating);
+//   * compiler-directed LUT preloading (paper §4.2): seeding the RSQRT
+//     LUT with the most probable value before launch;
+//   * reading back per-unit statistics.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernel/launch.hpp"
+#include "sim/simulation.hpp"
+
+using namespace tmemo;
+
+namespace {
+
+struct Stats {
+  double hit_rate;
+  double saving;
+  double max_err;
+};
+
+Stats run(bool memoize, bool preload, float threshold,
+          const std::vector<float>& xs, const std::vector<float>& ys) {
+  ExperimentConfig cfg;
+  GpuDevice device(cfg.device,
+                   EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+  if (!memoize) {
+    device.set_power_gated(true);
+  } else if (threshold > 0.0f) {
+    device.program_threshold(threshold);
+  } else {
+    device.program_exact();
+  }
+  if (preload) {
+    // Most vectors in this workload are near unit length: seed every RSQRT
+    // LUT with rsqrt(1.0) so the very first wavefront can already hit.
+    LutEntry e;
+    e.opcode = FpOpcode::kRsqrt;
+    e.operands = {1.0f, 0.0f, 0.0f};
+    e.result = 1.0f;
+    device.preload_lut(e);
+  }
+  device.set_error_model(std::make_shared<FixedRateErrorModel>(0.02));
+
+  const std::size_t n = xs.size();
+  std::vector<float> nx(n), ny(n);
+  launch(device, n, [&](WavefrontCtx& wf) {
+    auto by_gid = [](int, WorkItemId gid) {
+      return static_cast<std::size_t>(gid);
+    };
+    const LaneVec x = wf.gather(xs, by_gid);
+    const LaneVec y = wf.gather(ys, by_gid);
+    const LaneVec len2 = wf.muladd(x, x, wf.mul(y, y));
+    const LaneVec inv = wf.rsqrt(len2);
+    wf.scatter(nx, wf.mul(x, inv), by_gid);
+    wf.scatter(ny, wf.mul(y, inv), by_gid);
+  });
+
+  // Host check: every output should have (close to) unit length.
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double len = std::sqrt(static_cast<double>(nx[i]) * nx[i] +
+                                 static_cast<double>(ny[i]) * ny[i]);
+    max_err = std::max(max_err, std::abs(len - 1.0));
+  }
+  return {device.weighted_hit_rate(), device.energy().saving(), max_err};
+}
+
+} // namespace
+
+int main() {
+  // Input: unit-ish direction vectors with clustered angles (a light field
+  // pointing mostly one way) — realistic and locality-rich.
+  const std::size_t n = 1 << 16;
+  std::vector<float> xs(n), ys(n);
+  Xorshift128 rng(42);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mesh normals are typically quantized (compressed vertex formats):
+    // 32 distinct directions, unit length. The small value alphabet is
+    // what exact-matching memoization exploits.
+    const float angle =
+        0.6f + 0.2f * static_cast<float>(rng.next_below(32)) / 32.0f;
+    xs[i] = std::cos(angle);
+    ys[i] = std::sin(angle);
+  }
+
+  std::printf("%-28s %-10s %-10s %s\n", "configuration", "hit rate",
+              "saving", "max |len-1|");
+  const Stats off = run(false, false, 0.0f, xs, ys);
+  std::printf("%-28s %-9.1f%% %-9.1f%% %.6f\n", "module power-gated",
+              off.hit_rate * 100, off.saving * 100, off.max_err);
+  const Stats exact = run(true, false, 0.0f, xs, ys);
+  std::printf("%-28s %-9.1f%% %-9.1f%% %.6f\n", "exact matching",
+              exact.hit_rate * 100, exact.saving * 100, exact.max_err);
+  const Stats approx = run(true, false, 0.01f, xs, ys);
+  std::printf("%-28s %-9.1f%% %-9.1f%% %.6f\n", "approximate (t=0.01)",
+              approx.hit_rate * 100, approx.saving * 100, approx.max_err);
+  const Stats pre = run(true, true, 0.01f, xs, ys);
+  std::printf("%-28s %-9.1f%% %-9.1f%% %.6f\n", "approximate + RSQRT preload",
+              pre.hit_rate * 100, pre.saving * 100, pre.max_err);
+  return 0;
+}

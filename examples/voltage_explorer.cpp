@@ -1,0 +1,50 @@
+// Example: exploring the voltage-overscaling design space.
+//
+// For a chosen workload, sweeps the FPU supply from the nominal 0.9 V down
+// to 0.78 V at a constant 1 GHz and reports, for every operating point:
+// the per-op timing-error rate, the energy of the memoized architecture vs
+// the detect-then-correct baseline, and which architecture wins — the
+// analysis behind Fig. 11 of the paper.
+//
+// Usage: voltage_explorer [kernel-index 0..6]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/simulation.hpp"
+#include "workloads/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tmemo;
+
+  const int index = argc > 1 ? std::atoi(argv[1]) : 2; // default: Haar
+  auto workloads = make_all_workloads(0.02);
+  if (index < 0 || index >= static_cast<int>(workloads.size())) {
+    std::fprintf(stderr, "kernel index must be 0..6\n");
+    return 1;
+  }
+  const Workload& w = *workloads[static_cast<std::size_t>(index)];
+
+  Simulation sim;
+  const VoltageScaling scaling(sim.config().voltage);
+
+  std::printf("kernel: %s (param %s, threshold %g)\n",
+              std::string(w.name()).c_str(), w.input_parameter().c_str(),
+              static_cast<double>(w.table1_threshold()));
+  std::printf("%-8s %-12s %-14s %-14s %-10s %s\n", "V", "err/op(4st)",
+              "E_memo (nJ)", "E_base (nJ)", "saving", "winner");
+
+  for (double v = 0.90; v >= 0.779; v -= 0.02) {
+    const KernelRunReport r = sim.run_at_voltage(w, v);
+    const double err = scaling.op_error_probability(v, 4);
+    const double saving = r.energy.saving();
+    std::printf("%-8.2f %-12.4f%% %-14.1f %-14.1f %-9.1f%% %s\n", v,
+                err * 100.0, r.energy.memoized_pj / 1000.0,
+                r.energy.baseline_pj / 1000.0, saving * 100.0,
+                saving > 0.0 ? "memoized" : "baseline");
+  }
+  std::printf(
+      "\nThe memoization module stays at the nominal 0.9 V; its fixed cost\n"
+      "narrows the gain around 0.84-0.86 V and pays off massively once the\n"
+      "error rate ramps up below 0.82 V (paper Fig. 11).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// IEEE-754 single-precision bit manipulation helpers.
+//
+// The temporal-memoization LUT compares operands either bit-for-bit (exact
+// matching) or under a 32-bit masking vector programmed through a
+// memory-mapped register (approximate matching). These helpers implement the
+// float <-> bit-pattern conversions and mask construction used by the
+// comparators (paper §4.2).
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace tmemo {
+
+/// Reinterprets a float as its IEEE-754 bit pattern.
+[[nodiscard]] constexpr std::uint32_t float_to_bits(float v) noexcept {
+  return std::bit_cast<std::uint32_t>(v);
+}
+
+/// Reinterprets a 32-bit pattern as a float.
+[[nodiscard]] constexpr float bits_to_float(std::uint32_t b) noexcept {
+  return std::bit_cast<float>(b);
+}
+
+/// Number of fraction (mantissa) bits in an IEEE-754 single.
+inline constexpr int kFractionBits = 23;
+
+/// Builds the comparator masking vector that ignores the `ignored_lsbs`
+/// least-significant fraction bits. ignored_lsbs is clamped to [0, 23].
+///
+/// A masking vector of all ones (ignored_lsbs == 0) selects full bit-by-bit
+/// comparison — the exact matching constraint. Masking k fraction LSBs
+/// relaxes the comparison to "equal up to 2^(k-23) relative fraction error"
+/// — the hardware realization of the approximate matching constraint.
+[[nodiscard]] constexpr std::uint32_t mask_ignoring_fraction_lsbs(
+    int ignored_lsbs) noexcept {
+  if (ignored_lsbs <= 0) return 0xffffffffu;
+  if (ignored_lsbs >= kFractionBits) {
+    return 0xffffffffu << kFractionBits;
+  }
+  return 0xffffffffu << ignored_lsbs;
+}
+
+/// True when `a` and `b` are bit-identical under the masking vector.
+/// This is what the combinational comparators in the LUT compute in a single
+/// cycle: (bits(a) ^ bits(b)) & mask == 0.
+[[nodiscard]] constexpr bool masked_equal(float a, float b,
+                                          std::uint32_t mask) noexcept {
+  return ((float_to_bits(a) ^ float_to_bits(b)) & mask) == 0;
+}
+
+/// Absolute numerical difference |a - b|, the quantity bounded by the
+/// matching threshold in Equation (1) of the paper. NaNs never match.
+[[nodiscard]] inline bool within_threshold(float a, float b,
+                                           float threshold) noexcept {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (threshold <= 0.0f) {
+    // Exact matching: bit-for-bit. (Distinguishes +0/-0 and NaN payloads,
+    // exactly like the hardware comparator with an all-ones mask.)
+    return float_to_bits(a) == float_to_bits(b);
+  }
+  return std::fabs(a - b) <= threshold;
+}
+
+/// Given a numerical threshold t in (0, 1], derives the number of fraction
+/// LSBs a masking vector must ignore so that operands within |dif| <= t of
+/// each other (for operands of magnitude around 1) compare equal. This is
+/// the software view of how an application programs the 32-bit masking
+/// register from its fidelity threshold (paper §4.2).
+[[nodiscard]] inline int fraction_lsbs_for_threshold(float threshold) noexcept {
+  if (threshold <= 0.0f) return 0;
+  // 2^(k - 23) <= t  =>  k <= 23 + log2(t)
+  const double k = static_cast<double>(kFractionBits) +
+                   std::log2(static_cast<double>(threshold));
+  if (k <= 0.0) return 0;
+  if (k >= kFractionBits) return kFractionBits;
+  return static_cast<int>(k);
+}
+
+} // namespace tmemo

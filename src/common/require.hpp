@@ -1,0 +1,36 @@
+// Lightweight precondition / invariant checking.
+//
+// TM_REQUIRE is used for API preconditions (always on — the library models
+// hardware, and silently accepting an impossible configuration would produce
+// meaningless results). TM_ASSERT is an internal invariant check compiled out
+// in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tmemo::detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+} // namespace tmemo::detail
+
+#define TM_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::tmemo::detail::require_failed(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                      \
+  } while (0)
+
+#ifndef NDEBUG
+#define TM_ASSERT(expr) TM_REQUIRE(expr, "internal invariant")
+#else
+#define TM_ASSERT(expr) ((void)0)
+#endif

@@ -1,0 +1,36 @@
+// Fundamental value types shared across the temporal-memoization library.
+//
+// Units used throughout the library:
+//   * energy      — picojoules (pJ)
+//   * power       — milliwatts (mW) where it appears
+//   * time/delay  — nanoseconds (ns)
+//   * voltage     — volts (V)
+//   * cycles      — unsigned 64-bit counts of core clock cycles
+#pragma once
+
+#include <cstdint>
+
+namespace tmemo {
+
+/// Core clock cycle count.
+using Cycle = std::uint64_t;
+
+/// Energy in picojoules.
+using EnergyPj = double;
+
+/// Supply voltage in volts.
+using Volt = double;
+
+/// Delay / period in nanoseconds.
+using Ns = double;
+
+/// Identifier of a physical FPU instance inside the modeled device.
+using FpuId = std::uint32_t;
+
+/// Identifier of a work-item within an NDRange launch.
+using WorkItemId = std::uint64_t;
+
+/// Index of a static instruction within a kernel body.
+using StaticInstrId = std::uint32_t;
+
+} // namespace tmemo

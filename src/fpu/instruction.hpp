@@ -1,0 +1,31 @@
+// A dynamic floating-point instruction instance, as seen by one physical
+// FPU: opcode plus concrete single-precision operand values. This is the
+// unit of work that flows through the memoization LUT and the FPU pipeline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "fpu/opcode.hpp"
+
+namespace tmemo {
+
+/// Maximum number of source operands of any modeled opcode.
+inline constexpr int kMaxOperands = 3;
+
+/// A dynamic FP instruction: what one FPU receives in one issue slot.
+struct FpInstruction {
+  FpOpcode opcode = FpOpcode::kAdd;
+  std::array<float, kMaxOperands> operands{0.0f, 0.0f, 0.0f};
+  /// Which work-item issued this instance (for statistics only).
+  WorkItemId work_item = 0;
+  /// Index of the static instruction in the kernel body (for statistics and
+  /// for the static VLIW slot assignment).
+  StaticInstrId static_id = 0;
+
+  [[nodiscard]] int arity() const noexcept { return opcode_arity(opcode); }
+  [[nodiscard]] FpuType unit() const noexcept { return opcode_unit(opcode); }
+};
+
+} // namespace tmemo

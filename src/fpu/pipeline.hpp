@@ -1,0 +1,130 @@
+// Structural model of one pipelined FPU.
+//
+// Evergreen FPUs are fully pipelined: four stages (sixteen for RECIP) with a
+// throughput of one instruction per cycle (paper §5.1, [27]). This class
+// models occupancy and timing only; functional results come from
+// evaluate_fp_op(), and error/memoization behavior is layered on top by
+// ResilientFpu (src/memo/resilient_fpu.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+#include "fpu/instruction.hpp"
+#include "fpu/semantics.hpp"
+
+namespace tmemo {
+
+/// An instruction that has left the last pipeline stage.
+struct RetiredOp {
+  FpInstruction instruction;
+  float result = 0.0f;
+  Cycle issue_cycle = 0;
+  Cycle retire_cycle = 0;
+};
+
+/// In-order, fully pipelined FPU: `depth` stages, one issue per cycle.
+///
+/// Usage per simulated cycle:
+///   pipe.step();                 // advance all stages by one cycle
+///   auto done = pipe.retire();   // instruction completing this cycle, if any
+///   if (pipe.can_issue()) pipe.issue(ins);  // optional new issue
+class FpuPipeline {
+ public:
+  explicit FpuPipeline(FpuType type)
+      : type_(type), stages_(static_cast<std::size_t>(fpu_latency_cycles(type))) {}
+
+  [[nodiscard]] FpuType type() const noexcept { return type_; }
+  [[nodiscard]] int depth() const noexcept {
+    return static_cast<int>(stages_.size());
+  }
+
+  /// Cycles elapsed since construction (or the last reset()).
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+  /// Number of in-flight instructions.
+  [[nodiscard]] int occupancy() const noexcept {
+    int n = 0;
+    for (const auto& s : stages_) n += s.has_value() ? 1 : 0;
+    return n;
+  }
+
+  /// Fully pipelined: a new instruction can enter stage 0 every cycle as
+  /// long as stage 0 is free (it is, right after step()).
+  [[nodiscard]] bool can_issue() const noexcept {
+    return !stages_.front().has_value();
+  }
+
+  /// Places an instruction into stage 0. The functional result is computed
+  /// eagerly (it only becomes architecturally visible at retirement).
+  void issue(const FpInstruction& ins) {
+    TM_REQUIRE(can_issue(), "structural hazard: stage 0 is occupied");
+    InFlight f;
+    f.op.instruction = ins;
+    f.op.result = evaluate_fp_op(ins);
+    f.op.issue_cycle = now_;
+    stages_.front() = f;
+  }
+
+  /// Advances the pipeline by one cycle. The instruction leaving the last
+  /// stage (if any) becomes available from retire() until the next step().
+  void step() {
+    retired_.reset();
+    if (stages_.back().has_value()) {
+      retired_ = stages_.back()->op;
+      retired_->retire_cycle = now_ + 1;
+    }
+    for (std::size_t i = stages_.size(); i-- > 1;) {
+      stages_[i] = stages_[i - 1];
+    }
+    stages_.front().reset();
+    ++now_;
+  }
+
+  /// The instruction that completed during the most recent step(), if any.
+  [[nodiscard]] const std::optional<RetiredOp>& retire() const noexcept {
+    return retired_;
+  }
+
+  /// Squashes (annuls) the instruction currently in stage `stage_index`
+  /// without removing its occupancy timing — used by the memoization module
+  /// to clock-gate the remaining stages after a LUT hit, and by the ECU to
+  /// flush on recovery. Returns true if a valid instruction was squashed.
+  bool squash_stage(int stage_index) noexcept {
+    if (stage_index < 0 || stage_index >= depth()) return false;
+    if (!stages_[static_cast<std::size_t>(stage_index)].has_value())
+      return false;
+    stages_[static_cast<std::size_t>(stage_index)].reset();
+    return true;
+  }
+
+  /// Flushes the entire pipeline (ECU recovery, paper §4.2 baseline path).
+  /// Returns the number of squashed in-flight instructions.
+  int flush() noexcept {
+    int n = occupancy();
+    for (auto& s : stages_) s.reset();
+    return n;
+  }
+
+  /// Drops all state and restarts the local clock.
+  void reset() noexcept {
+    flush();
+    retired_.reset();
+    now_ = 0;
+  }
+
+ private:
+  struct InFlight {
+    RetiredOp op;
+  };
+
+  FpuType type_;
+  std::vector<std::optional<InFlight>> stages_;
+  std::optional<RetiredOp> retired_;
+  Cycle now_ = 0;
+};
+
+} // namespace tmemo

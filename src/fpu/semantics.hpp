@@ -1,0 +1,24 @@
+// Functional (bit-accurate at single precision) semantics of the 27 modeled
+// FP opcodes. This is the "golden" datapath: what an error-free FPU
+// computes. Timing errors and approximate memoization perturb results at
+// higher layers; the functional core itself is exact.
+#pragma once
+
+#include <array>
+
+#include "fpu/instruction.hpp"
+#include "fpu/opcode.hpp"
+
+namespace tmemo {
+
+/// Evaluates `op` on up to three single-precision operands, rounding to
+/// single precision exactly as the hardware datapath would.
+[[nodiscard]] float evaluate_fp_op(
+    FpOpcode op, const std::array<float, kMaxOperands>& operands) noexcept;
+
+/// Convenience overload for a dynamic instruction.
+[[nodiscard]] inline float evaluate_fp_op(const FpInstruction& ins) noexcept {
+  return evaluate_fp_op(ins.opcode, ins.operands);
+}
+
+} // namespace tmemo

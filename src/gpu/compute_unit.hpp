@@ -1,0 +1,89 @@
+// One compute unit: 16 stream cores executing a wavefront in SIMD
+// lock-step, time-multiplexed over four sub-wavefronts (paper §3).
+//
+// The unit of issue at this modeling level is one *static vector
+// instruction*: the same opcode applied across all active lanes of a
+// wavefront. Execution order is exactly the hardware's: sub-wavefront 0
+// (lanes 0..15 on stream cores 0..15), then sub-wavefront 1 (lanes 16..31),
+// and so on — so stream core j's FPUs see lanes j, j+16, j+32, j+48
+// back-to-back. This ordering is what creates the congested temporal value
+// locality that the 2-entry LUTs capture.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fpu/instruction.hpp"
+#include "gpu/device_config.hpp"
+#include "gpu/stream_core.hpp"
+#include "memo/spatial.hpp"
+#include "timing/error_model.hpp"
+
+namespace tmemo {
+
+/// Receives every ExecutionRecord produced by the device (energy
+/// accounting, tracing, tests).
+class ExecutionSink {
+ public:
+  virtual ~ExecutionSink() = default;
+  virtual void consume(const ExecutionRecord& record) = 0;
+};
+
+class ComputeUnit {
+ public:
+  ComputeUnit(const DeviceConfig& config, std::uint64_t seed);
+
+  /// Executes one static vector instruction across the wavefront.
+  ///
+  /// `a`, `b`, `c` point to per-lane operand arrays (length >= wavefront
+  /// size; unused operand slots may be null). Bit i of `active_mask`
+  /// selects lane i. Results are written to `results` for active lanes;
+  /// inactive lanes are left untouched.
+  void execute_wavefront_op(FpOpcode op, StaticInstrId static_id,
+                            const float* a, const float* b, const float* c,
+                            std::uint64_t active_mask,
+                            WorkItemId base_work_item,
+                            const TimingErrorModel& errors,
+                            ExecutionSink* sink, float* results);
+
+  [[nodiscard]] int stream_core_count() const noexcept {
+    return static_cast<int>(cores_.size());
+  }
+  [[nodiscard]] StreamCore& stream_core(int i);
+
+  void for_each_fpu(const std::function<void(ResilientFpu&)>& fn);
+  void for_each_fpu(const std::function<void(const ResilientFpu&)>& fn) const;
+
+  // -- Spatial memoization (reference [20]; see memo/spatial.hpp) ----------
+
+  /// Enables the cross-lane master/broadcast path for every instruction.
+  void set_spatial_memoization(bool on) noexcept { spatial_ = on; }
+  [[nodiscard]] bool spatial_memoization() const noexcept { return spatial_; }
+
+  /// The matching constraint the spatial comparators apply (the device
+  /// keeps this in sync with the memory-mapped register programming).
+  void set_spatial_constraint(const MatchConstraint& c) noexcept {
+    spatial_constraint_ = c;
+  }
+
+  /// Per-unit-type spatial reuse statistics.
+  [[nodiscard]] const std::array<SpatialStats, kNumFpuTypes>&
+  spatial_stats() const noexcept {
+    return spatial_stats_;
+  }
+  void reset_spatial_stats() noexcept { spatial_stats_ = {}; }
+
+ private:
+  int wavefront_size_;
+  int subwavefronts_;
+  std::vector<StreamCore> cores_;
+
+  bool spatial_ = false;
+  MatchConstraint spatial_constraint_ = MatchConstraint::exact();
+  std::array<SpatialStats, kNumFpuTypes> spatial_stats_{};
+  Xorshift128 spatial_rng_{0xb0adca57ull};
+};
+
+} // namespace tmemo

@@ -1,0 +1,68 @@
+#include "gpu/stream_core.hpp"
+
+#include "common/require.hpp"
+
+namespace tmemo {
+
+namespace {
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+  // SplitMix64-style finalizer over (seed, salt).
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+} // namespace
+
+StreamCore::StreamCore(const ResilientFpuConfig& fpu_config,
+                       std::uint64_t seed) {
+  for (int pe = 0; pe < kPeCount; ++pe) {
+    for (FpuType unit : kAllFpuTypes) {
+      const bool trans = fpu_type_is_transcendental(unit);
+      if (trans != (pe == kPeT)) continue;
+      ResilientFpuConfig cfg = fpu_config;
+      cfg.eds_seed = mix_seed(
+          seed, static_cast<std::uint64_t>(pe) * 64u +
+                    static_cast<std::uint64_t>(unit));
+      fpus_[static_cast<std::size_t>(pe)][static_cast<std::size_t>(unit)] =
+          std::make_unique<ResilientFpu>(unit, cfg);
+    }
+  }
+}
+
+ExecutionRecord StreamCore::execute(const FpInstruction& ins,
+                                    const TimingErrorModel& errors) {
+  const FpuType unit = ins.unit();
+  const int pe = vliw_slot(unit, ins.static_id);
+  auto& fpu = fpus_[static_cast<std::size_t>(pe)]
+                   [static_cast<std::size_t>(unit)];
+  TM_ASSERT(fpu != nullptr);
+  return fpu->execute(ins, errors);
+}
+
+void StreamCore::for_each_fpu(const std::function<void(ResilientFpu&)>& fn) {
+  for (auto& pe : fpus_) {
+    for (auto& fpu : pe) {
+      if (fpu) fn(*fpu);
+    }
+  }
+}
+
+void StreamCore::for_each_fpu(
+    const std::function<void(const ResilientFpu&)>& fn) const {
+  for (const auto& pe : fpus_) {
+    for (const auto& fpu : pe) {
+      if (fpu) fn(*fpu);
+    }
+  }
+}
+
+ResilientFpu& StreamCore::fpu(int pe, FpuType unit) {
+  TM_REQUIRE(pe >= 0 && pe < kPeCount, "PE index out of range");
+  auto& ptr = fpus_[static_cast<std::size_t>(pe)]
+                   [static_cast<std::size_t>(unit)];
+  TM_REQUIRE(ptr != nullptr, "unit does not exist on this PE");
+  return *ptr;
+}
+
+} // namespace tmemo

@@ -1,0 +1,84 @@
+#include "img/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+namespace tmemo {
+
+void Image::clamp_to_byte_range() {
+  for (float& p : pixels_) p = std::clamp(p, 0.0f, 255.0f);
+}
+
+double mse(const Image& reference, const Image& test) {
+  TM_REQUIRE(reference.width() == test.width() &&
+                 reference.height() == test.height(),
+             "images must have identical dimensions");
+  double acc = 0.0;
+  const auto ref = reference.pixels();
+  const auto tst = test.pixels();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double d = static_cast<double>(ref[i]) - static_cast<double>(tst[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(ref.size());
+}
+
+double psnr(const Image& reference, const Image& test) {
+  const double m = mse(reference, test);
+  if (m <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+void write_pgm(const Image& img, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  TM_REQUIRE(os.good(), "cannot open PGM output file: " + path);
+  os << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const float p = std::clamp(img.at(x, y), 0.0f, 255.0f);
+      os.put(static_cast<char>(static_cast<unsigned char>(p + 0.5f)));
+    }
+  }
+  TM_REQUIRE(os.good(), "failed writing PGM file: " + path);
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  TM_REQUIRE(is.good(), "cannot open PGM input file: " + path);
+  std::string magic;
+  is >> magic;
+  TM_REQUIRE(magic == "P5", "only binary (P5) PGM files are supported");
+  // Skip whitespace and comments between header tokens.
+  auto next_int = [&is]() {
+    int c = is.peek();
+    while (c == '#' || std::isspace(c)) {
+      if (c == '#') is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      else is.get();
+      c = is.peek();
+    }
+    int value = 0;
+    is >> value;
+    return value;
+  };
+  const int width = next_int();
+  const int height = next_int();
+  const int maxval = next_int();
+  TM_REQUIRE(width > 0 && height > 0, "invalid PGM dimensions");
+  TM_REQUIRE(maxval > 0 && maxval <= 255, "only 8-bit PGM files supported");
+  is.get(); // single whitespace after maxval
+
+  Image img(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const int c = is.get();
+      TM_REQUIRE(c != EOF, "truncated PGM file");
+      img.at(x, y) = static_cast<float>(c) * 255.0f /
+                     static_cast<float>(maxval);
+    }
+  }
+  return img;
+}
+
+} // namespace tmemo

@@ -1,0 +1,83 @@
+// Grayscale image container + fidelity metrics.
+//
+// The paper's error-tolerant applications are the Sobel and Gaussian image
+// filters, judged by PSNR against the exact output (>30 dB is "generally
+// considered acceptable from users perspective", §4.1). Pixels are stored
+// as floats in [0, 255].
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace tmemo {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, float fill = 0.0f)
+      : width_(width), height_(height),
+        pixels_(checked_size(width, height), fill) {}
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t size() const noexcept { return pixels_.size(); }
+
+  [[nodiscard]] float& at(int x, int y) {
+    TM_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<std::size_t>(y) *
+                       static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] float at(int x, int y) const {
+    TM_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<std::size_t>(y) *
+                       static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+
+  /// Clamped-border access (filters read beyond the edge).
+  [[nodiscard]] float at_clamped(int x, int y) const {
+    x = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+    y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+    return at(x, y);
+  }
+
+  [[nodiscard]] std::span<float> pixels() noexcept { return pixels_; }
+  [[nodiscard]] std::span<const float> pixels() const noexcept {
+    return pixels_;
+  }
+
+  /// Clamps every pixel into [0, 255].
+  void clamp_to_byte_range();
+
+ private:
+  static std::size_t checked_size(int width, int height) {
+    TM_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> pixels_;
+};
+
+/// Peak signal-to-noise ratio (dB) of `test` against `reference`, with a
+/// 255 peak. Returns +infinity for identical images (PSNR = inf in the
+/// paper's threshold = 0 columns).
+[[nodiscard]] double psnr(const Image& reference, const Image& test);
+
+/// Mean squared error between two equal-sized images.
+[[nodiscard]] double mse(const Image& reference, const Image& test);
+
+/// Binary PGM (P5) writer — lets users view filter outputs like Figs. 2-5.
+void write_pgm(const Image& img, const std::string& path);
+
+/// Binary PGM (P5) reader — lets users reproduce the experiments with real
+/// photographs instead of the synthetic inputs.
+[[nodiscard]] Image read_pgm(const std::string& path);
+
+} // namespace tmemo

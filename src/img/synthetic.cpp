@@ -1,0 +1,157 @@
+#include "img/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace tmemo {
+
+namespace {
+
+/// Smooth falloff exp(-d2 / (2 sigma^2)).
+float gauss_blob(float dx, float dy, float sigma) {
+  const float d2 = dx * dx + dy * dy;
+  return std::exp(-d2 / (2.0f * sigma * sigma));
+}
+
+} // namespace
+
+Image make_face_image(int width, int height, std::uint64_t seed) {
+  Image img(width, height);
+  Xorshift128 rng(seed);
+  const float w = static_cast<float>(width);
+  const float h = static_cast<float>(height);
+  // Contrast scales with size so that *per-pixel gradients* are invariant:
+  // a 1536x1536 render shows the full-contrast portrait; smaller renders
+  // keep the same local smoothness statistics (what the memoization hit
+  // rate and the PSNR-vs-threshold experiments actually depend on) at
+  // proportionally reduced contrast.
+  const float g =
+      std::min(1.0f, static_cast<float>(std::min(width, height)) / 1536.0f);
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const float fx = static_cast<float>(x);
+      const float fy = static_cast<float>(y);
+      // Smooth vertical background gradient (studio backdrop).
+      float v = 70.0f + g * 50.0f * fy / h;
+      // Head: large bright ellipse.
+      v += g * 130.0f * gauss_blob((fx - 0.5f * w) / 0.9f, (fy - 0.42f * h),
+                                   0.26f * h);
+      // Shoulders: broad soft blob near the bottom.
+      v += g * 60.0f * gauss_blob(fx - 0.5f * w, (fy - 1.05f * h) / 2.2f,
+                                  0.35f * h);
+      // Eyes: two small dark blobs.
+      v -= g * 55.0f * gauss_blob(fx - 0.40f * w, fy - 0.38f * h, 0.022f * h);
+      v -= g * 55.0f * gauss_blob(fx - 0.60f * w, fy - 0.38f * h, 0.022f * h);
+      // Mouth: a soft dark horizontal blob.
+      v -= g * 35.0f * gauss_blob((fx - 0.5f * w) / 2.5f, fy - 0.52f * h,
+                                  0.022f * h);
+      // Hair: darker cap above the head.
+      v -= g * 45.0f * gauss_blob(fx - 0.5f * w, (fy - 0.22f * h) / 1.4f,
+                                  0.16f * h);
+      // Gentle large-scale illumination ripple.
+      v += g * 3.0f * std::sin(6.2832f * fx / w) * std::cos(6.2832f * fy / h);
+      // Fine skin/film texture (fixed per-pixel scale, two octaves): real
+      // portraits are not analytically smooth; this is what exposes the
+      // Sobel filter to approximation error at larger thresholds.
+      v += 1.2f * std::sin(0.78f * fx + 0.31f * fy) *
+           std::sin(0.23f * fx - 0.52f * fy);
+      v += 0.6f * std::sin(1.9f * fx + 1.3f * fy);
+      img.at(x, y) = v;
+    }
+  }
+
+  // Sharp features: hair strands falling over the hair region and a jawline
+  // arc — the few-percent of high-contrast edge pixels every real portrait
+  // has. They drive the Sobel response (and its sensitivity to coarse
+  // masking vectors) without disturbing the smooth shading statistics.
+  const int strands = std::max(20, width / 8);
+  for (int s = 0; s < strands; ++s) {
+    float sx = 0.30f * w + 0.40f * w * rng.next_float();
+    float sy = 0.10f * h + 0.08f * h * rng.next_float();
+    const float len = 0.10f * h + 0.08f * h * rng.next_float();
+    const float drift_x = 0.6f * (rng.next_float() - 0.5f);
+    const float dark = 40.0f + 45.0f * rng.next_float();
+    for (float t = 0.0f; t < len; t += 1.0f) {
+      const int px = static_cast<int>(sx);
+      const int py = static_cast<int>(sy);
+      if (px >= 0 && px < width && py >= 0 && py < height) {
+        img.at(px, py) -= dark;
+      }
+      sx += drift_x + 0.3f * (rng.next_float() - 0.5f);
+      sy += 1.0f;
+    }
+  }
+  // Jawline: lower half-ellipse outline around the head.
+  for (float a = 0.25f; a < 0.75f; a += 0.3f / static_cast<float>(height)) {
+    const float ang = 6.2832f * a;
+    const int px = static_cast<int>(0.5f * w + 0.205f * w * std::sin(ang));
+    const int py = static_cast<int>(0.42f * h + 0.27f * h * std::cos(ang));
+    if (px >= 0 && px < width && py >= 0 && py < height) {
+      img.at(px, py) -= 28.0f;
+    }
+  }
+
+  // Exposure: a low-key indoor portrait occupying the lower half of the
+  // tonal range, plus about +/-2 levels of ISO sensor noise.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const float v = 0.48f * img.at(x, y) + 4.5f * (rng.next_float() - 0.5f);
+      img.at(x, y) = std::clamp(v, 0.0f, 255.0f);
+    }
+  }
+  return img;
+}
+
+Image make_book_image(int width, int height, std::uint64_t seed) {
+  Image img(width, height);
+  Xorshift128 rng(seed);
+
+  // Paper background with visible grain.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      img.at(x, y) = 225.0f + 16.0f * (rng.next_float() - 0.5f);
+    }
+  }
+
+  // Lines of pseudo-text: dark glyph boxes of random width separated by
+  // random gaps, with one pixel of anti-aliased gray at each edge.
+  const int line_height = std::max(8, height / 48);
+  const int line_gap = line_height / 2;
+  int y = line_gap;
+  while (y + line_height < height) {
+    int x = 4 + static_cast<int>(rng.next_below(8));
+    while (x < width - 6) {
+      const int glyph_w =
+          2 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+                  std::max(2, line_height / 2))));
+      const int gap = 1 + static_cast<int>(rng.next_below(4));
+      const float ink = 25.0f + 20.0f * rng.next_float();
+      const int x_end = std::min(x + glyph_w, width - 1);
+      const int y_end = std::min(y + line_height, height - 1);
+      for (int gy = y; gy < y_end; ++gy) {
+        for (int gx = x; gx < x_end; ++gx) {
+          // Anti-aliased borders: scanner optics blend ink with paper on
+          // glyph edges with a coverage factor that varies pixel to pixel.
+          const bool edge = gx == x || gx == x_end - 1 || gy == y ||
+                            gy == y_end - 1;
+          const float coverage = 0.15f + 0.7f * rng.next_float();
+          const float target =
+              edge ? ink + coverage * (img.at(gx, gy) - ink) : ink;
+          img.at(gx, gy) = target + 4.0f * (rng.next_float() - 0.5f);
+        }
+      }
+      x = x_end + gap;
+      // Word gaps: occasionally skip a wider space.
+      if (rng.next_below(5) == 0) x += 3 + static_cast<int>(rng.next_below(6));
+    }
+    y += line_height + line_gap;
+  }
+
+  img.clamp_to_byte_range();
+  return img;
+}
+
+} // namespace tmemo

@@ -1,0 +1,36 @@
+// Deterministic synthetic stand-ins for the paper's input photographs.
+//
+// The paper's Figs. 2-5 use two 1536x1536 photographs, "face" and "book",
+// that we do not have. What matters for the experiments is their statistics:
+//
+//  * face — a portrait: smooth, low-spatial-frequency content. Neighboring
+//    pixels drift slowly, so approximate matches hit on operands that are
+//    much closer together than the threshold bound — quality degrades
+//    gently, and thresholds up to 1.0 (Sobel) / 0.8 (Gaussian) keep
+//    PSNR >= 30 dB.
+//  * book — a page of printed text: large near-uniform paper regions with
+//    fine paper-grain noise plus dense, high-contrast glyph edges. The
+//    grain makes approximate matches fire on operands that genuinely differ
+//    by ~the threshold, and glyph edges amplify those substitutions — the
+//    acceptable threshold collapses to ~0.2.
+//
+// Both generators are pure functions of (size, seed): every run of every
+// bench reproduces bit-identical inputs. Real photographs can be substituted
+// through read_pgm().
+#pragma once
+
+#include <cstdint>
+
+#include "img/image.hpp"
+
+namespace tmemo {
+
+/// Portrait-like smooth test image ("face" stand-in), pixels in [0, 255].
+[[nodiscard]] Image make_face_image(int width, int height,
+                                    std::uint64_t seed = 7);
+
+/// Printed-page-like test image ("book" stand-in), pixels in [0, 255].
+[[nodiscard]] Image make_book_image(int width, int height,
+                                    std::uint64_t seed = 11);
+
+} // namespace tmemo

@@ -1,0 +1,172 @@
+#include "isa/executor.hpp"
+
+#include <array>
+
+#include "common/require.hpp"
+#include "kernel/vec.hpp"
+
+namespace tmemo::isa {
+
+namespace {
+
+/// Static-id layout: every ALU instruction gets a fixed id from its
+/// position in the program, so re-executions inside REPEAT blocks steer to
+/// the same PE slot — exactly like statically scheduled VLIW code.
+std::vector<StaticInstrId> layout_static_ids(const KernelProgram& program) {
+  std::vector<StaticInstrId> first_id_of_clause(program.clauses.size(), 0);
+  StaticInstrId next = 0;
+  for (std::size_t i = 0; i < program.clauses.size(); ++i) {
+    first_id_of_clause[i] = next;
+    if (const auto* alu = std::get_if<AluClause>(&program.clauses[i])) {
+      next += static_cast<StaticInstrId>(alu->instrs.size());
+    }
+  }
+  return first_id_of_clause;
+}
+
+std::size_t clamp_index(std::int64_t index, std::size_t size) {
+  if (index < 0) return 0;
+  if (static_cast<std::size_t>(index) >= size) return size - 1;
+  return static_cast<std::size_t>(index);
+}
+
+std::size_t resolve_address(AddrMode mode, Reg addr_reg, std::int64_t offset,
+                            const std::array<LaneVec, kNumRegisters>& regs,
+                            int lane, WorkItemId base,
+                            std::size_t buffer_size) {
+  std::int64_t index = 0;
+  if (mode == AddrMode::kGlobalId) {
+    index = static_cast<std::int64_t>(base) + lane + offset;
+  } else {
+    index = static_cast<std::int64_t>(
+                regs[addr_reg][lane]) + offset;
+  }
+  return clamp_index(index, buffer_size);
+}
+
+} // namespace
+
+void execute_program(GpuDevice& device, const KernelProgram& program,
+                     const Bindings& bindings, std::size_t global_size) {
+  const int needed_buffers = validate(program);
+  TM_REQUIRE(static_cast<int>(bindings.buffers.size()) >= needed_buffers,
+             "program references more buffer slots than bound");
+  for (const auto& buf : bindings.buffers) {
+    TM_REQUIRE(!buf.empty(), "bound buffers must be non-empty");
+  }
+  TM_REQUIRE(global_size > 0, "empty NDRange");
+
+  const auto clause_ids = layout_static_ids(program);
+  const int wf_size = device.config().wavefront_size;
+  const std::size_t wavefronts =
+      (global_size + static_cast<std::size_t>(wf_size) - 1) /
+      static_cast<std::size_t>(wf_size);
+
+  for (std::size_t w = 0; w < wavefronts; ++w) {
+    const WorkItemId base =
+        static_cast<WorkItemId>(w) * static_cast<WorkItemId>(wf_size);
+    const std::size_t remaining = global_size - base;
+    const int lanes = remaining >= static_cast<std::size_t>(wf_size)
+                          ? wf_size
+                          : static_cast<int>(remaining);
+    const std::uint64_t mask =
+        lanes >= 64 ? ~0ull : ((1ull << lanes) - 1ull);
+    ComputeUnit& cu = device.compute_unit(static_cast<int>(
+        w % static_cast<std::size_t>(device.compute_unit_count())));
+
+    // Per-work-item register file; R0 preloaded with the global id.
+    std::array<LaneVec, kNumRegisters> regs{};
+    for (int lane = 0; lane < lanes; ++lane) {
+      regs[0][lane] = static_cast<float>(base + static_cast<WorkItemId>(lane));
+    }
+
+    // Clause interpreter with a REPEAT stack and a predication (IF) stack.
+    struct RepeatFrame {
+      std::size_t begin; ///< clause index of the RepeatBegin
+      int remaining;     ///< iterations left after the current one
+    };
+    std::vector<RepeatFrame> repeat_stack;
+
+    struct BranchFrame {
+      std::uint64_t parent;  ///< mask outside the IF
+      std::uint64_t taken;   ///< lanes that took the THEN side
+    };
+    std::vector<BranchFrame> branch_stack;
+    std::uint64_t exec_mask = mask;
+
+    std::size_t pc = 0;
+    while (pc < program.clauses.size()) {
+      const Clause& clause = program.clauses[pc];
+      if (const auto* alu = std::get_if<AluClause>(&clause)) {
+        StaticInstrId sid = clause_ids[pc];
+        for (const AluInstr& ins : alu->instrs) {
+          const int arity = opcode_arity(ins.op);
+          std::array<LaneVec, 3> srcs;
+          for (int i = 0; i < arity; ++i) {
+            if (ins.src[i].kind == Src::Kind::kRegister) {
+              srcs[static_cast<std::size_t>(i)] = regs[ins.src[i].reg];
+            } else {
+              srcs[static_cast<std::size_t>(i)] =
+                  LaneVec(ins.src[i].literal);
+            }
+          }
+          LaneVec out = regs[ins.dst];
+          cu.execute_wavefront_op(ins.op, sid++, srcs[0].data(),
+                                  arity >= 2 ? srcs[1].data() : nullptr,
+                                  arity >= 3 ? srcs[2].data() : nullptr,
+                                  exec_mask, base, device.error_model(),
+                                  &device.sink(), out.data());
+          // Predicated write-back: masked-off lanes keep their old value.
+          regs[ins.dst] = out;
+        }
+      } else if (const auto* tex = std::get_if<TexClause>(&clause)) {
+        for (const TexLoad& ld : tex->loads) {
+          const auto buf = bindings.buffers[ld.buffer];
+          for (int lane = 0; lane < lanes; ++lane) {
+            if ((exec_mask & (1ull << lane)) == 0) continue;
+            regs[ld.dst][lane] = buf[resolve_address(
+                ld.mode, ld.addr_reg, ld.offset, regs, lane, base,
+                buf.size())];
+          }
+        }
+      } else if (const auto* ex = std::get_if<Export>(&clause)) {
+        const auto buf = bindings.buffers[ex->buffer];
+        for (int lane = 0; lane < lanes; ++lane) {
+          if ((exec_mask & (1ull << lane)) == 0) continue;
+          buf[resolve_address(ex->mode, ex->addr_reg, ex->offset, regs, lane,
+                              base, buf.size())] = regs[ex->src][lane];
+        }
+      } else if (const auto* ib = std::get_if<IfBegin>(&clause)) {
+        std::uint64_t taken = 0;
+        for (int lane = 0; lane < lanes; ++lane) {
+          if ((exec_mask & (1ull << lane)) != 0 &&
+              regs[ib->pred][lane] != 0.0f) {
+            taken |= 1ull << lane;
+          }
+        }
+        branch_stack.push_back({exec_mask, taken});
+        exec_mask = taken;
+      } else if (std::holds_alternative<Else>(clause)) {
+        TM_ASSERT(!branch_stack.empty());
+        exec_mask = branch_stack.back().parent & ~branch_stack.back().taken;
+      } else if (std::holds_alternative<EndIf>(clause)) {
+        TM_ASSERT(!branch_stack.empty());
+        exec_mask = branch_stack.back().parent;
+        branch_stack.pop_back();
+      } else if (const auto* rb = std::get_if<RepeatBegin>(&clause)) {
+        repeat_stack.push_back({pc, rb->count - 1});
+      } else if (std::holds_alternative<RepeatEnd>(clause)) {
+        TM_ASSERT(!repeat_stack.empty());
+        if (repeat_stack.back().remaining > 0) {
+          --repeat_stack.back().remaining;
+          pc = repeat_stack.back().begin; // jump back to the RepeatBegin
+        } else {
+          repeat_stack.pop_back();
+        }
+      }
+      ++pc;
+    }
+  }
+}
+
+} // namespace tmemo::isa

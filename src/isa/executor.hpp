@@ -1,0 +1,31 @@
+// Executes clause-based kernel programs on the GPGPU device model.
+//
+// The executor plays the role of the compute unit's front end (paper §3):
+// it fetches clauses in order, reads source operands ahead of the execute
+// stage, issues ALU instructions into the stream cores (where memoization,
+// EDS and recovery apply), and writes exports back to the bound buffers.
+// One wavefront runs the whole program before the next starts, matching
+// "there is only one wavefront associated with the ALU engine".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "isa/program.hpp"
+
+namespace tmemo::isa {
+
+/// Buffer bindings: slot i -> a host float array. Buffers written by
+/// EXPORT must be non-const; the executor takes mutable spans for all.
+struct Bindings {
+  std::vector<std::span<float>> buffers;
+};
+
+/// Runs `program` for `global_size` work-items on `device`. R0 of every
+/// work-item is preloaded with its global id (as a float). Execution
+/// records flow into the device's energy accumulator.
+void execute_program(GpuDevice& device, const KernelProgram& program,
+                     const Bindings& bindings, std::size_t global_size);
+
+} // namespace tmemo::isa

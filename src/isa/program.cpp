@@ -1,0 +1,245 @@
+#include "isa/program.hpp"
+
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace tmemo::isa {
+
+namespace {
+
+void check_reg(Reg r, const char* what) {
+  TM_REQUIRE(r < kNumRegisters, std::string(what) + " register out of range");
+}
+
+int max_buffer(int current, std::uint8_t buffer) {
+  return std::max(current, static_cast<int>(buffer) + 1);
+}
+
+std::string src_str(const Src& s) {
+  if (s.kind == Src::Kind::kRegister) {
+    std::string out = "R";
+    out += std::to_string(s.reg);
+    return out;
+  }
+  std::ostringstream os;
+  os << s.literal;
+  return os.str();
+}
+
+std::string addr_str(AddrMode mode, Reg addr_reg, std::int64_t offset) {
+  std::string base;
+  if (mode == AddrMode::kGlobalId) {
+    base = "gid";
+  } else {
+    base = "trunc(R";
+    base += std::to_string(addr_reg);
+    base += ')';
+  }
+  if (offset != 0) {
+    if (offset > 0) base += '+';
+    base += std::to_string(offset);
+  }
+  return base;
+}
+
+} // namespace
+
+int validate(const KernelProgram& program) {
+  int buffers = 0;
+  int repeat_depth = 0;
+  int if_depth = 0;
+  for (const Clause& clause : program.clauses) {
+    if (const auto* alu = std::get_if<AluClause>(&clause)) {
+      TM_REQUIRE(!alu->instrs.empty(), "empty ALU clause");
+      for (const AluInstr& ins : alu->instrs) {
+        check_reg(ins.dst, "destination");
+        const int arity = opcode_arity(ins.op);
+        for (int i = 0; i < arity; ++i) {
+          if (ins.src[i].kind == Src::Kind::kRegister) {
+            check_reg(ins.src[i].reg, "source");
+          }
+        }
+      }
+    } else if (const auto* tex = std::get_if<TexClause>(&clause)) {
+      TM_REQUIRE(!tex->loads.empty(), "empty TEX clause");
+      for (const TexLoad& ld : tex->loads) {
+        check_reg(ld.dst, "load destination");
+        if (ld.mode == AddrMode::kRegister) check_reg(ld.addr_reg, "address");
+        buffers = max_buffer(buffers, ld.buffer);
+      }
+    } else if (const auto* ex = std::get_if<Export>(&clause)) {
+      check_reg(ex->src, "export source");
+      if (ex->mode == AddrMode::kRegister) check_reg(ex->addr_reg, "address");
+      buffers = max_buffer(buffers, ex->buffer);
+    } else if (const auto* rb = std::get_if<RepeatBegin>(&clause)) {
+      TM_REQUIRE(rb->count >= 1, "REPEAT trip count must be >= 1");
+      ++repeat_depth;
+    } else if (std::holds_alternative<RepeatEnd>(clause)) {
+      TM_REQUIRE(repeat_depth > 0, "REPEAT_END without matching REPEAT");
+      --repeat_depth;
+    } else if (const auto* ib = std::get_if<IfBegin>(&clause)) {
+      check_reg(ib->pred, "branch predicate");
+      ++if_depth;
+    } else if (std::holds_alternative<Else>(clause)) {
+      TM_REQUIRE(if_depth > 0, "ELSE without matching IF");
+    } else if (std::holds_alternative<EndIf>(clause)) {
+      TM_REQUIRE(if_depth > 0, "ENDIF without matching IF");
+      --if_depth;
+    }
+  }
+  TM_REQUIRE(repeat_depth == 0, "unterminated REPEAT block");
+  TM_REQUIRE(if_depth == 0, "unterminated IF block");
+  return buffers;
+}
+
+std::string disassemble(const KernelProgram& program) {
+  std::ostringstream os;
+  os << "; kernel " << program.name << '\n';
+  int indent = 0;
+  auto pad = [&os, &indent] {
+    for (int i = 0; i < indent; ++i) os << "  ";
+  };
+  for (const Clause& clause : program.clauses) {
+    if (const auto* alu = std::get_if<AluClause>(&clause)) {
+      pad();
+      os << "ALU {\n";
+      for (const AluInstr& ins : alu->instrs) {
+        pad();
+        os << "  R" << static_cast<int>(ins.dst) << " <- "
+           << opcode_name(ins.op);
+        const int arity = opcode_arity(ins.op);
+        for (int i = 0; i < arity; ++i) {
+          os << (i == 0 ? " " : ", ") << src_str(ins.src[i]);
+        }
+        os << '\n';
+      }
+      pad();
+      os << "}\n";
+    } else if (const auto* tex = std::get_if<TexClause>(&clause)) {
+      pad();
+      os << "TEX {\n";
+      for (const TexLoad& ld : tex->loads) {
+        pad();
+        os << "  R" << static_cast<int>(ld.dst) << " <- buf"
+           << static_cast<int>(ld.buffer) << '['
+           << addr_str(ld.mode, ld.addr_reg, ld.offset) << "]\n";
+      }
+      pad();
+      os << "}\n";
+    } else if (const auto* ex = std::get_if<Export>(&clause)) {
+      pad();
+      os << "EXPORT buf" << static_cast<int>(ex->buffer) << '['
+         << addr_str(ex->mode, ex->addr_reg, ex->offset) << "] <- R"
+         << static_cast<int>(ex->src) << '\n';
+    } else if (const auto* rb = std::get_if<RepeatBegin>(&clause)) {
+      pad();
+      os << "REPEAT x" << rb->count << '\n';
+      ++indent;
+    } else if (std::holds_alternative<RepeatEnd>(clause)) {
+      --indent;
+      pad();
+      os << "END\n";
+    } else if (const auto* ib = std::get_if<IfBegin>(&clause)) {
+      pad();
+      os << "IF R" << static_cast<int>(ib->pred) << " != 0\n";
+      ++indent;
+    } else if (std::holds_alternative<Else>(clause)) {
+      --indent;
+      pad();
+      os << "ELSE\n";
+      ++indent;
+    } else if (std::holds_alternative<EndIf>(clause)) {
+      --indent;
+      pad();
+      os << "ENDIF\n";
+    }
+  }
+  return os.str();
+}
+
+ProgramBuilder& ProgramBuilder::alu(FpOpcode op, Reg dst, Src a, Src b,
+                                    Src c) {
+  if (!alu_open_) {
+    close_clauses();
+    program_.clauses.emplace_back(AluClause{});
+    alu_open_ = true;
+  }
+  AluInstr ins;
+  ins.op = op;
+  ins.dst = dst;
+  ins.src[0] = a;
+  ins.src[1] = b;
+  ins.src[2] = c;
+  std::get<AluClause>(program_.clauses.back()).instrs.push_back(ins);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::load(Reg dst, std::uint8_t buffer,
+                                     AddrMode mode, Reg addr_reg,
+                                     std::int64_t offset) {
+  if (!tex_open_) {
+    close_clauses();
+    program_.clauses.emplace_back(TexClause{});
+    tex_open_ = true;
+  }
+  TexLoad ld;
+  ld.dst = dst;
+  ld.buffer = buffer;
+  ld.mode = mode;
+  ld.addr_reg = addr_reg;
+  ld.offset = offset;
+  std::get<TexClause>(program_.clauses.back()).loads.push_back(ld);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::store(Reg src, std::uint8_t buffer,
+                                      AddrMode mode, Reg addr_reg,
+                                      std::int64_t offset) {
+  close_clauses();
+  Export ex;
+  ex.src = src;
+  ex.buffer = buffer;
+  ex.mode = mode;
+  ex.addr_reg = addr_reg;
+  ex.offset = offset;
+  program_.clauses.emplace_back(ex);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::repeat(int count) {
+  close_clauses();
+  program_.clauses.emplace_back(RepeatBegin{count});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::end_repeat() {
+  close_clauses();
+  program_.clauses.emplace_back(RepeatEnd{});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::branch_if(Reg pred) {
+  close_clauses();
+  program_.clauses.emplace_back(IfBegin{pred});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::branch_else() {
+  close_clauses();
+  program_.clauses.emplace_back(Else{});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::end_if() {
+  close_clauses();
+  program_.clauses.emplace_back(EndIf{});
+  return *this;
+}
+
+KernelProgram ProgramBuilder::build() {
+  (void)validate(program_);
+  return std::move(program_);
+}
+
+} // namespace tmemo::isa

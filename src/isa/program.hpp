@@ -1,0 +1,160 @@
+// Evergreen-style clause-based kernel programs.
+//
+// The paper's §3 describes the Evergreen assembly format: "a clause-based
+// format classified in three categories: ALU clause, TEX clause, and
+// control-flow instructions". This module models that structure as data —
+// a KernelProgram is a sequence of clauses:
+//
+//   * a TEX clause loads values from bound buffers into registers
+//     (memory is resilient, paper §5.1, so loads carry no FP-error cost);
+//   * an ALU clause is a list of FP instructions over the per-work-item
+//     register file, executed on the stream cores with all the memoization
+//     / EDS / recovery machinery;
+//   * an EXPORT writes a register back to a buffer;
+//   * a REPEAT block re-executes its body a fixed number of times
+//     (uniform control flow, the shape GPU kernels compile to).
+//
+// Programs are plain data validated before execution — the executor
+// (isa/executor.hpp) runs them on a GpuDevice wavefront by wavefront.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fpu/opcode.hpp"
+
+namespace tmemo::isa {
+
+/// Number of general-purpose float registers per work-item.
+inline constexpr int kNumRegisters = 16;
+
+/// Register index; R0 is preloaded with the work-item's global id.
+using Reg = std::uint8_t;
+
+/// A source operand of an ALU instruction: a register or a literal.
+struct Src {
+  enum class Kind : std::uint8_t { kRegister, kLiteral };
+  Kind kind = Kind::kLiteral;
+  Reg reg = 0;
+  float literal = 0.0f;
+
+  [[nodiscard]] static Src r(Reg index) noexcept {
+    return Src{Kind::kRegister, index, 0.0f};
+  }
+  [[nodiscard]] static Src lit(float value) noexcept {
+    return Src{Kind::kLiteral, 0, value};
+  }
+};
+
+/// One FP instruction of an ALU clause: dst <- op(src...).
+struct AluInstr {
+  FpOpcode op = FpOpcode::kAdd;
+  Reg dst = 0;
+  Src src[3]{};
+};
+
+/// Buffer addressing of TEX loads / exports.
+enum class AddrMode : std::uint8_t {
+  kGlobalId,      ///< element [global_id + offset]
+  kRegister,      ///< element [trunc(R[addr_reg]) + offset], clamped
+};
+
+/// One load of a TEX clause: dst <- buffer[address].
+struct TexLoad {
+  Reg dst = 0;
+  std::uint8_t buffer = 0;  ///< binding slot
+  AddrMode mode = AddrMode::kGlobalId;
+  Reg addr_reg = 0;         ///< for AddrMode::kRegister
+  std::int64_t offset = 0;
+};
+
+/// An export: buffer[address] <- R[src].
+struct Export {
+  Reg src = 0;
+  std::uint8_t buffer = 0;
+  AddrMode mode = AddrMode::kGlobalId;
+  Reg addr_reg = 0;
+  std::int64_t offset = 0;
+};
+
+struct AluClause {
+  std::vector<AluInstr> instrs;
+};
+
+struct TexClause {
+  std::vector<TexLoad> loads;
+};
+
+struct RepeatBegin {
+  int count = 1; ///< uniform trip count
+};
+struct RepeatEnd {};
+
+/// Divergent control flow (the Evergreen control-flow category): IF masks
+/// off lanes whose predicate register is zero; ELSE inverts the branch
+/// mask within the enclosing scope; ENDIF pops it. Both sides of a branch
+/// execute (standard SIMD predication) with complementary lane masks.
+struct IfBegin {
+  Reg pred = 0; ///< lanes with R[pred] != 0 take the THEN side
+};
+struct Else {};
+struct EndIf {};
+
+/// A clause: one of the variants above, in program order.
+using Clause = std::variant<AluClause, TexClause, Export, RepeatBegin,
+                            RepeatEnd, IfBegin, Else, EndIf>;
+
+/// A validated-on-demand kernel program.
+struct KernelProgram {
+  std::string name = "kernel";
+  std::vector<Clause> clauses;
+};
+
+/// Validation: register indices in range, REPEAT blocks balanced with
+/// positive trip counts, ALU arities consistent. Throws on violation;
+/// returns the number of buffer binding slots the program references.
+int validate(const KernelProgram& program);
+
+/// Human-readable disassembly (for debugging and docs).
+[[nodiscard]] std::string disassemble(const KernelProgram& program);
+
+/// Fluent builder for programs.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) { program_.name = std::move(name); }
+
+  /// Starts (or extends) the current ALU clause.
+  ProgramBuilder& alu(FpOpcode op, Reg dst, Src a,
+                      Src b = Src::lit(0.0f), Src c = Src::lit(0.0f));
+
+  /// Appends a TEX load (opens a TEX clause if needed).
+  ProgramBuilder& load(Reg dst, std::uint8_t buffer,
+                       AddrMode mode = AddrMode::kGlobalId, Reg addr_reg = 0,
+                       std::int64_t offset = 0);
+
+  ProgramBuilder& store(Reg src, std::uint8_t buffer,
+                        AddrMode mode = AddrMode::kGlobalId, Reg addr_reg = 0,
+                        std::int64_t offset = 0);
+
+  ProgramBuilder& repeat(int count);
+  ProgramBuilder& end_repeat();
+
+  /// Divergent branch on R[pred] != 0.
+  ProgramBuilder& branch_if(Reg pred);
+  ProgramBuilder& branch_else();
+  ProgramBuilder& end_if();
+
+  /// Finalizes (validates) and returns the program.
+  [[nodiscard]] KernelProgram build();
+
+ private:
+  void close_clauses() { alu_open_ = tex_open_ = false; }
+
+  KernelProgram program_;
+  bool alu_open_ = false;
+  bool tex_open_ = false;
+};
+
+} // namespace tmemo::isa

@@ -1,0 +1,189 @@
+// The wavefront execution context: the kernel-side API of the simulator.
+//
+// A kernel is a C++ callable invoked once per wavefront with a WavefrontCtx.
+// Every FP operation requested through the context is issued to the owning
+// compute unit as one static vector instruction: the sub-wavefront
+// time-multiplexing, VLIW slot steering, memoization lookup, timing-error
+// sampling and energy accounting all happen underneath, and the returned
+// LaneVec contains the architecturally committed per-lane results — which,
+// under approximate matching, may be memoized approximations. Approximation
+// therefore propagates through the rest of the kernel exactly as it would
+// in hardware.
+//
+// Memory is not modeled (the paper assumes resilient memory blocks, §5.1):
+// kernels read and write host buffers directly using global work-item ids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+#include "gpu/compute_unit.hpp"
+#include "kernel/vec.hpp"
+
+namespace tmemo {
+
+class WavefrontCtx {
+ public:
+  /// Binds a wavefront to the compute unit that executes it.
+  /// `base` is the global id of lane 0; bit i of `active` enables lane i.
+  WavefrontCtx(ComputeUnit& cu, const TimingErrorModel& errors,
+               ExecutionSink* sink, int wavefront_size, WorkItemId base,
+               std::uint64_t active)
+      : cu_(cu),
+        errors_(errors),
+        sink_(sink),
+        size_(wavefront_size),
+        base_(base),
+        active_(active) {
+    TM_REQUIRE(wavefront_size >= 1 && wavefront_size <= kMaxWavefront,
+               "wavefront size out of range");
+  }
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] std::uint64_t active_mask() const noexcept { return active_; }
+  [[nodiscard]] bool lane_active(int lane) const noexcept {
+    return (active_ & (1ull << lane)) != 0;
+  }
+  [[nodiscard]] WorkItemId global_id(int lane) const noexcept {
+    return base_ + static_cast<WorkItemId>(lane);
+  }
+
+  /// Applies `fn(lane, global_id)` to every active lane (gather/scatter).
+  template <typename Fn>
+  void for_active(Fn&& fn) const {
+    for (int lane = 0; lane < size_; ++lane) {
+      if (lane_active(lane)) fn(lane, global_id(lane));
+    }
+  }
+
+  /// Gathers buf[index(lane)] into a LaneVec (resilient-memory load).
+  template <typename Fn>
+  [[nodiscard]] LaneVec gather(std::span<const float> buf, Fn&& index) const {
+    LaneVec out;
+    for_active([&](int lane, WorkItemId gid) {
+      const std::size_t i = index(lane, gid);
+      TM_ASSERT(i < buf.size());
+      out[lane] = buf[i];
+    });
+    return out;
+  }
+
+  /// Scatters values[lane] to buf[index(lane)] (resilient-memory store).
+  template <typename Fn>
+  void scatter(std::span<float> buf, const LaneVec& values, Fn&& index) const {
+    for_active([&](int lane, WorkItemId gid) {
+      const std::size_t i = index(lane, gid);
+      TM_ASSERT(i < buf.size());
+      buf[i] = values[lane];
+    });
+  }
+
+  /// Broadcast.
+  [[nodiscard]] LaneVec splat(float x) const { return LaneVec{x}; }
+
+  // -- The 27 modeled FP instructions ---------------------------------------
+  // Each call is ONE static instruction, issued across all active lanes.
+
+  LaneVec add(const LaneVec& a, const LaneVec& b) {
+    return issue2(FpOpcode::kAdd, a, b);
+  }
+  LaneVec sub(const LaneVec& a, const LaneVec& b) {
+    return issue2(FpOpcode::kSub, a, b);
+  }
+  LaneVec mul(const LaneVec& a, const LaneVec& b) {
+    return issue2(FpOpcode::kMul, a, b);
+  }
+  LaneVec muladd(const LaneVec& a, const LaneVec& b, const LaneVec& c) {
+    return issue3(FpOpcode::kMulAdd, a, b, c);
+  }
+  LaneVec min(const LaneVec& a, const LaneVec& b) {
+    return issue2(FpOpcode::kMin, a, b);
+  }
+  LaneVec max(const LaneVec& a, const LaneVec& b) {
+    return issue2(FpOpcode::kMax, a, b);
+  }
+  LaneVec floor(const LaneVec& a) { return issue1(FpOpcode::kFloor, a); }
+  LaneVec ceil(const LaneVec& a) { return issue1(FpOpcode::kCeil, a); }
+  LaneVec trunc(const LaneVec& a) { return issue1(FpOpcode::kTrunc, a); }
+  LaneVec rndne(const LaneVec& a) { return issue1(FpOpcode::kRndNe, a); }
+  LaneVec fract(const LaneVec& a) { return issue1(FpOpcode::kFract, a); }
+  LaneVec abs(const LaneVec& a) { return issue1(FpOpcode::kAbs, a); }
+  LaneVec neg(const LaneVec& a) { return issue1(FpOpcode::kNeg, a); }
+  LaneVec sqrt(const LaneVec& a) { return issue1(FpOpcode::kSqrt, a); }
+  LaneVec rsqrt(const LaneVec& a) { return issue1(FpOpcode::kRsqrt, a); }
+  LaneVec recip(const LaneVec& a) { return issue1(FpOpcode::kRecip, a); }
+  LaneVec sin(const LaneVec& a) { return issue1(FpOpcode::kSin, a); }
+  LaneVec cos(const LaneVec& a) { return issue1(FpOpcode::kCos, a); }
+  LaneVec exp2(const LaneVec& a) { return issue1(FpOpcode::kExp2, a); }
+  LaneVec log2(const LaneVec& a) { return issue1(FpOpcode::kLog2, a); }
+  LaneVec fp2int(const LaneVec& a) { return issue1(FpOpcode::kFp2Int, a); }
+  LaneVec int2fp(const LaneVec& a) { return issue1(FpOpcode::kInt2Fp, a); }
+  LaneVec sete(const LaneVec& a, const LaneVec& b) {
+    return issue2(FpOpcode::kSetE, a, b);
+  }
+  LaneVec setgt(const LaneVec& a, const LaneVec& b) {
+    return issue2(FpOpcode::kSetGt, a, b);
+  }
+  LaneVec setge(const LaneVec& a, const LaneVec& b) {
+    return issue2(FpOpcode::kSetGe, a, b);
+  }
+  LaneVec setne(const LaneVec& a, const LaneVec& b) {
+    return issue2(FpOpcode::kSetNe, a, b);
+  }
+  /// cndge(p, a, b): lane-wise p >= 0 ? a : b.
+  LaneVec cndge(const LaneVec& p, const LaneVec& a, const LaneVec& b) {
+    return issue3(FpOpcode::kCndGe, p, a, b);
+  }
+
+  // -- Derived helpers (each expands to multiple static instructions, the
+  //    way the Evergreen compiler lowers them) -------------------------------
+
+  /// a / b  ==  a * recip(b).
+  LaneVec div(const LaneVec& a, const LaneVec& b) {
+    return mul(a, recip(b));
+  }
+  /// Natural exponential via EXP2: e^a = 2^(a * log2 e).
+  LaneVec exp(const LaneVec& a) {
+    return exp2(mul(a, splat(1.4426950408889634f)));
+  }
+  /// Natural logarithm via LOG2: ln a = log2(a) * ln 2.
+  LaneVec log(const LaneVec& a) {
+    return mul(log2(a), splat(0.6931471805599453f));
+  }
+
+  /// Number of static instructions issued so far by this wavefront.
+  [[nodiscard]] StaticInstrId issued_static_instructions() const noexcept {
+    return next_static_;
+  }
+
+ private:
+  LaneVec issue1(FpOpcode op, const LaneVec& a) {
+    return issue(op, a.data(), nullptr, nullptr);
+  }
+  LaneVec issue2(FpOpcode op, const LaneVec& a, const LaneVec& b) {
+    return issue(op, a.data(), b.data(), nullptr);
+  }
+  LaneVec issue3(FpOpcode op, const LaneVec& a, const LaneVec& b,
+                 const LaneVec& c) {
+    return issue(op, a.data(), b.data(), c.data());
+  }
+
+  LaneVec issue(FpOpcode op, const float* a, const float* b, const float* c) {
+    LaneVec out;
+    cu_.execute_wavefront_op(op, next_static_++, a, b, c, active_, base_,
+                             errors_, sink_, out.data());
+    return out;
+  }
+
+  ComputeUnit& cu_;
+  const TimingErrorModel& errors_;
+  ExecutionSink* sink_;
+  int size_;
+  WorkItemId base_;
+  std::uint64_t active_;
+  StaticInstrId next_static_ = 0;
+};
+
+} // namespace tmemo

@@ -1,0 +1,36 @@
+#include "kernel/launch.hpp"
+
+#include "common/require.hpp"
+
+namespace tmemo {
+
+void launch(GpuDevice& device, std::size_t global_size,
+            const WavefrontKernel& kernel) {
+  TM_REQUIRE(global_size > 0, "empty NDRange");
+  TM_REQUIRE(kernel != nullptr, "kernel body must be callable");
+
+  const int wf_size = device.config().wavefront_size;
+  const std::size_t wavefronts =
+      (global_size + static_cast<std::size_t>(wf_size) - 1) /
+      static_cast<std::size_t>(wf_size);
+
+  for (std::size_t w = 0; w < wavefronts; ++w) {
+    const WorkItemId base = static_cast<WorkItemId>(w) *
+                            static_cast<WorkItemId>(wf_size);
+    const std::size_t remaining = global_size - base;
+    const int lanes = remaining >= static_cast<std::size_t>(wf_size)
+                          ? wf_size
+                          : static_cast<int>(remaining);
+    const std::uint64_t mask =
+        lanes >= 64 ? ~0ull : ((1ull << lanes) - 1ull);
+
+    ComputeUnit& cu = device.compute_unit(
+        static_cast<int>(w % static_cast<std::size_t>(
+                                 device.compute_unit_count())));
+    WavefrontCtx ctx(cu, device.error_model(), &device.sink(), wf_size, base,
+                     mask);
+    kernel(ctx);
+  }
+}
+
+} // namespace tmemo

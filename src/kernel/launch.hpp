@@ -1,0 +1,26 @@
+// NDRange kernel launch: the host-side API of the simulator.
+//
+// launch() plays the role of the global front-end ultra-thread dispatcher
+// (paper Fig. 1): the NDRange is cut into 64-work-item wavefronts, and
+// wavefronts are assigned to compute units round-robin. Each wavefront's
+// body runs to completion on its compute unit (there is one wavefront
+// associated with the ALU engine at a time, §3).
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "gpu/device.hpp"
+#include "kernel/ctx.hpp"
+
+namespace tmemo {
+
+/// A kernel body: invoked once per wavefront.
+using WavefrontKernel = std::function<void(WavefrontCtx&)>;
+
+/// Launches `global_size` work-items of `kernel` on `device`, routing all
+/// execution records into the device's energy accumulator.
+void launch(GpuDevice& device, std::size_t global_size,
+            const WavefrontKernel& kernel);
+
+} // namespace tmemo

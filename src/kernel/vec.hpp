@@ -1,0 +1,37 @@
+// Per-wavefront lane vector: the value type of the kernel DSL.
+//
+// A LaneVec holds one single-precision value per lane of a wavefront
+// (up to 64). Kernels are written as straight-line vector programs over
+// LaneVecs — the same shape as Evergreen ALU clauses, where one static
+// instruction executes across all work-items of the wavefront.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace tmemo {
+
+/// Maximum wavefront width supported by the model (Radeon HD 5870: 64).
+inline constexpr int kMaxWavefront = 64;
+
+/// One value per lane.
+struct LaneVec {
+  std::array<float, kMaxWavefront> v{};
+
+  LaneVec() = default;
+
+  /// Broadcast constructor.
+  explicit LaneVec(float splat) { v.fill(splat); }
+
+  [[nodiscard]] float& operator[](int lane) noexcept {
+    return v[static_cast<std::size_t>(lane)];
+  }
+  [[nodiscard]] float operator[](int lane) const noexcept {
+    return v[static_cast<std::size_t>(lane)];
+  }
+
+  [[nodiscard]] float* data() noexcept { return v.data(); }
+  [[nodiscard]] const float* data() const noexcept { return v.data(); }
+};
+
+} // namespace tmemo

@@ -1,0 +1,34 @@
+#include "memo/lut.hpp"
+
+namespace tmemo {
+
+std::optional<float> MemoLut::lookup(const FpInstruction& ins,
+                                     const MatchConstraint& constraint) {
+  ++stats_.lookups;
+  for (const LutEntry& entry : fifo_) {
+    if (entry.opcode != ins.opcode) continue;
+    if (constraint.operands_match(ins.opcode, entry.operands, ins.operands)) {
+      ++stats_.hits;
+      return entry.result;
+    }
+  }
+  return std::nullopt;
+}
+
+void MemoLut::update(const FpInstruction& ins, float result) {
+  LutEntry entry;
+  entry.opcode = ins.opcode;
+  entry.operands = ins.operands;
+  entry.result = result;
+  push(entry);
+  ++stats_.updates;
+}
+
+void MemoLut::preload(const LutEntry& entry) { push(entry); }
+
+void MemoLut::push(const LutEntry& entry) {
+  fifo_.push_front(entry);
+  while (static_cast<int>(fifo_.size()) > depth_) fifo_.pop_back();
+}
+
+} // namespace tmemo

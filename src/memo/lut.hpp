@@ -1,0 +1,103 @@
+// The single-cycle memoization lookup table (paper §4.2, Fig. 9 bottom).
+//
+// Structure: a small FIFO (two entries in the paper's final design) in
+// which every entry holds a set of input operands together with the result
+// computed by the FPU's last stage (Q_S), plus a bank of parallel
+// combinational comparators that evaluate the matching constraint against
+// all entries concurrently in one cycle.
+//
+// Replacement is strict FIFO (paper: "the FIFO will be updated by cleaning
+// its last entry and inserting the new incoming operands accordingly") —
+// not LRU: a hit does not reorder entries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/require.hpp"
+#include "fpu/instruction.hpp"
+#include "memo/match.hpp"
+
+namespace tmemo {
+
+/// One FIFO entry: memorized operands and the memorized result (Q_S of an
+/// error-free execution).
+struct LutEntry {
+  FpOpcode opcode = FpOpcode::kAdd;
+  std::array<float, kMaxOperands> operands{0.0f, 0.0f, 0.0f};
+  float result = 0.0f;
+};
+
+/// Cumulative LUT statistics.
+struct LutStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t updates = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+
+  LutStats& operator+=(const LutStats& o) noexcept {
+    lookups += o.lookups;
+    hits += o.hits;
+    updates += o.updates;
+    return *this;
+  }
+};
+
+/// The per-FPU memoization LUT.
+class MemoLut {
+ public:
+  /// `depth` is the number of FIFO entries; the paper settles on 2 after
+  /// the sensitivity study in §4.1 (reproduced by bench/fifo_size_sweep).
+  explicit MemoLut(int depth = 2) : depth_(depth) {
+    TM_REQUIRE(depth >= 1 && depth <= 4096, "LUT depth out of range");
+  }
+
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(fifo_.size());
+  }
+
+  /// Single-cycle associative lookup: returns the memorized result of the
+  /// first (oldest-first) entry whose opcode matches exactly and whose
+  /// operands satisfy `constraint`, or nullopt on a miss. Counts stats.
+  [[nodiscard]] std::optional<float> lookup(const FpInstruction& ins,
+                                            const MatchConstraint& constraint);
+
+  /// Inserts an error-free execution context (operands -> result) at the
+  /// head of the FIFO, evicting the oldest entry when full. This models the
+  /// W_en-gated write driven by the error-free completion of the FPU's last
+  /// stage.
+  void update(const FpInstruction& ins, float result);
+
+  /// Preloads an entry (paper §4.2: compilers / domain experts "can also
+  /// store pre-computed values in the LUT to use the most probable or
+  /// critical results"). Identical to update() but not counted as one.
+  void preload(const LutEntry& entry);
+
+  /// Drops all entries (power-gating the module clears its state).
+  void clear() noexcept { fifo_.clear(); }
+
+  [[nodiscard]] const LutStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Entries in FIFO order, newest first (exposed for tests/inspection).
+  [[nodiscard]] const std::deque<LutEntry>& entries() const noexcept {
+    return fifo_;
+  }
+
+ private:
+  void push(const LutEntry& entry);
+
+  int depth_;
+  std::deque<LutEntry> fifo_; // front = newest
+  LutStats stats_;
+};
+
+} // namespace tmemo

@@ -1,0 +1,49 @@
+#include "memo/match.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace tmemo {
+
+bool MatchConstraint::value_match(float a, float b) const noexcept {
+  switch (kind_) {
+    case Kind::kExact:
+      return float_to_bits(a) == float_to_bits(b);
+    case Kind::kThreshold:
+      return within_threshold(a, b, threshold_);
+    case Kind::kMask:
+      if (std::isnan(a) || std::isnan(b)) return false;
+      return masked_equal(a, b, mask_);
+  }
+  return false;
+}
+
+bool MatchConstraint::operands_match(FpOpcode op,
+                                     std::span<const float> stored,
+                                     std::span<const float> incoming) const {
+  const int arity = opcode_arity(op);
+  TM_REQUIRE(static_cast<int>(stored.size()) >= arity &&
+                 static_cast<int>(incoming.size()) >= arity,
+             "operand spans shorter than opcode arity");
+
+  auto all_match = [&](bool swapped) {
+    for (int i = 0; i < arity; ++i) {
+      int j = i;
+      if (swapped && i < 2) j = 1 - i; // swap the first operand pair only
+      if (!value_match(incoming[static_cast<std::size_t>(i)],
+                       stored[static_cast<std::size_t>(j)])) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (all_match(/*swapped=*/false)) return true;
+  if (commutative_ && arity >= 2 && opcode_commutative(op)) {
+    return all_match(/*swapped=*/true);
+  }
+  return false;
+}
+
+} // namespace tmemo

@@ -1,0 +1,15 @@
+#include "memo/module.hpp"
+
+namespace tmemo {
+
+std::string_view memo_action_name(MemoAction a) noexcept {
+  switch (a) {
+    case MemoAction::kNormalExecution: return "normal-execution+lut-update";
+    case MemoAction::kTriggerRecovery: return "trigger-baseline-recovery";
+    case MemoAction::kReuse:           return "lut-reuse+clock-gating";
+    case MemoAction::kReuseMaskError:  return "lut-reuse+clock-gating+mask-error";
+  }
+  return "?";
+}
+
+} // namespace tmemo

@@ -1,0 +1,70 @@
+// The Table-2 decision logic of the temporal-memoization module.
+//
+//   Hit Error | Action                                              Q_pipe
+//   ----------+-----------------------------------------------------------
+//    0   0    | Normal execution + LUT update                       Q_S
+//    0   1    | Trigger baseline recovery (ECU)                     Q_S
+//    1   0    | LUT output reuse + FPU clock-gating                 Q_L
+//    1   1    | LUT output reuse + FPU clock-gating + masking error Q_L
+//
+// Kept as a pure function over the two signals so the state machine can be
+// exhaustively property-tested independent of the surrounding machinery.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tmemo {
+
+/// The four architectural actions of Table 2.
+enum class MemoAction : std::uint8_t {
+  kNormalExecution,   ///< {0,0}: commit Q_S, write LUT (W_en)
+  kTriggerRecovery,   ///< {0,1}: ECU flush + replay, commit replayed Q_S
+  kReuse,             ///< {1,0}: commit Q_L, clock-gate remaining stages
+  kReuseMaskError,    ///< {1,1}: commit Q_L, clock-gate, suppress ECU signal
+};
+
+/// Which value drives the pipeline output multiplexer.
+enum class PipeOutput : std::uint8_t {
+  kQs,  ///< the FPU datapath result
+  kQl,  ///< the memorized LUT result
+};
+
+/// Combinational decision of the memoization module.
+[[nodiscard]] constexpr MemoAction memo_action(bool hit, bool error) noexcept {
+  if (hit) return error ? MemoAction::kReuseMaskError : MemoAction::kReuse;
+  return error ? MemoAction::kTriggerRecovery : MemoAction::kNormalExecution;
+}
+
+/// Output-mux select for an action.
+[[nodiscard]] constexpr PipeOutput memo_output(MemoAction a) noexcept {
+  return (a == MemoAction::kReuse || a == MemoAction::kReuseMaskError)
+             ? PipeOutput::kQl
+             : PipeOutput::kQs;
+}
+
+/// True when the action asserts the write-enable of the LUT FIFO. W_en is
+/// gated on fully error-free execution of all FPU stages (paper §4.2), so
+/// only the {0,0} state updates the FIFO.
+[[nodiscard]] constexpr bool memo_updates_lut(MemoAction a) noexcept {
+  return a == MemoAction::kNormalExecution;
+}
+
+/// True when the action clock-gates the remaining FPU stages.
+[[nodiscard]] constexpr bool memo_clock_gates(MemoAction a) noexcept {
+  return a == MemoAction::kReuse || a == MemoAction::kReuseMaskError;
+}
+
+/// True when the action suppresses the EDS error signal to the ECU.
+[[nodiscard]] constexpr bool memo_masks_error(MemoAction a) noexcept {
+  return a == MemoAction::kReuseMaskError;
+}
+
+/// True when the action escalates to the baseline ECU recovery.
+[[nodiscard]] constexpr bool memo_triggers_recovery(MemoAction a) noexcept {
+  return a == MemoAction::kTriggerRecovery;
+}
+
+[[nodiscard]] std::string_view memo_action_name(MemoAction a) noexcept;
+
+} // namespace tmemo

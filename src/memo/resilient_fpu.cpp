@@ -1,0 +1,111 @@
+#include "memo/resilient_fpu.hpp"
+
+namespace tmemo {
+
+ResilientFpu::ResilientFpu(FpuType unit, const ResilientFpuConfig& config)
+    : unit_(unit),
+      depth_(fpu_latency_cycles(unit)),
+      lut_(config.lut_depth),
+      eds_(unit, config.eds_seed),
+      ecu_(config.recovery) {}
+
+ExecutionRecord ResilientFpu::execute(const FpInstruction& ins,
+                                      const TimingErrorModel& errors) {
+  ExecutionRecord rec;
+  rec.unit = unit_;
+  rec.opcode = ins.opcode;
+  rec.work_item = ins.work_item;
+  rec.static_id = ins.static_id;
+  rec.operands = ins.operands;
+  rec.exact_result = evaluate_fp_op(ins);
+  rec.memo_enabled = !power_gated_ && regs_.enabled();
+
+  // 1. LUT lookup, performed in parallel with the first FPU stage.
+  std::optional<float> memorized;
+  if (rec.memo_enabled) {
+    memorized = lut_.lookup(ins, regs_.constraint());
+    rec.lut_lookups = 1;
+  }
+  rec.lut_hit = memorized.has_value();
+
+  // 2. EDS sensors sample the datapath. On a hit the remaining stages are
+  //    clock-gated, so only the first stage (which ran in parallel with the
+  //    lookup) can raise a violation; the per-op draw covers whichever
+  //    stages actually toggled. The flag is suppressed before reaching the
+  //    ECU in the {1,1} state.
+  const EdsObservation eds = eds_.observe(errors);
+  rec.timing_error = eds.error;
+
+  // 3. Table-2 decision.
+  rec.action = memo_action(rec.lut_hit, rec.timing_error);
+
+  switch (rec.action) {
+    case MemoAction::kNormalExecution: {
+      rec.result = rec.exact_result;
+      rec.active_stage_cycles = depth_;
+      rec.latency_cycles = depth_;
+      if (rec.memo_enabled) {
+        lut_.update(ins, rec.result);
+        rec.lut_updated = true;
+        rec.lut_writes = 1;
+      }
+      break;
+    }
+    case MemoAction::kTriggerRecovery: {
+      // The errant instruction is prevented from committing; the ECU
+      // flushes and replays it. The replayed execution is error-free [9],
+      // so the committed value is the exact result. The LUT is NOT updated:
+      // W_en requires an error-free first-pass execution.
+      rec.result = rec.exact_result;
+      rec.active_stage_cycles = depth_; // errant pass toggled all stages
+      rec.recovery_cycles = ecu_.recover(unit_, /*flushed_in_flight_ops=*/0);
+      rec.latency_cycles = depth_ + rec.recovery_cycles;
+      rec.recovered = true;
+      break;
+    }
+    case MemoAction::kReuse:
+    case MemoAction::kReuseMaskError: {
+      // Q_L drives the output mux; stages 2..depth are squashed by the
+      // forwarded clock-gating signal. Stage 1 already toggled in parallel
+      // with the lookup. The memorized result propagates to the pipeline
+      // end, so observed latency equals the pipeline depth.
+      rec.result = *memorized;
+      rec.active_stage_cycles = 1;
+      rec.gated_stage_cycles = depth_ - 1;
+      rec.latency_cycles = depth_;
+      if (rec.action == MemoAction::kReuseMaskError) {
+        rec.error_masked = true;
+        ecu_.note_masked_error();
+      }
+      break;
+    }
+  }
+
+  // 4. Statistics.
+  ++stats_.instructions;
+  stats_.hits += rec.lut_hit ? 1 : 0;
+  stats_.timing_errors += rec.timing_error ? 1 : 0;
+  stats_.masked_errors += rec.error_masked ? 1 : 0;
+  stats_.recoveries += rec.recovered ? 1 : 0;
+  stats_.recovery_cycles += static_cast<std::uint64_t>(rec.recovery_cycles);
+  stats_.active_stage_cycles +=
+      static_cast<std::uint64_t>(rec.active_stage_cycles);
+  stats_.gated_stage_cycles +=
+      static_cast<std::uint64_t>(rec.gated_stage_cycles);
+  stats_.lut_updates += rec.lut_updated ? 1 : 0;
+  regs_.latch_status_hits(stats_.hits);
+  return rec;
+}
+
+void ResilientFpu::reset_stats() {
+  stats_ = {};
+  lut_.reset_stats();
+  ecu_.reset_stats();
+}
+
+void ResilientFpu::set_power_gated(bool gated) {
+  if (gated && !power_gated_) lut_.clear();
+  power_gated_ = gated;
+}
+
+} // namespace tmemo

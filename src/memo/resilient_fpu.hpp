@@ -1,0 +1,147 @@
+// A resilient FPU: one pipelined FP unit instrumented with EDS sensors, an
+// ECU recovery path, and the tightly coupled temporal-memoization module
+// (Fig. 9 of the paper).
+//
+// The class offers a transactional per-instruction interface — execute()
+// consumes one dynamic instruction and returns a complete ExecutionRecord —
+// which is what the GPGPU simulation layer drives. Cycle-level pipeline
+// structure (occupancy, flush) is modeled by FpuPipeline and exercised by
+// the unit tests; the transaction interface accounts latency and stage
+// activity consistently with that structure without stepping every cycle,
+// which keeps multi-million-instruction workloads tractable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "fpu/instruction.hpp"
+#include "fpu/opcode.hpp"
+#include "fpu/semantics.hpp"
+#include "memo/lut.hpp"
+#include "memo/module.hpp"
+#include "memo/registers.hpp"
+#include "timing/ecu.hpp"
+#include "timing/eds.hpp"
+#include "timing/error_model.hpp"
+
+namespace tmemo {
+
+/// Everything that happened while executing one instruction on one FPU.
+/// The energy model converts these records into picojoules; the statistics
+/// layer aggregates them into the paper's hit-rate and recovery figures.
+struct ExecutionRecord {
+  FpuType unit = FpuType::kAdd;
+  FpOpcode opcode = FpOpcode::kAdd;
+  WorkItemId work_item = 0;       ///< issuing work-item (tracing)
+  StaticInstrId static_id = 0;    ///< static instruction index (tracing)
+  MemoAction action = MemoAction::kNormalExecution;
+
+  bool lut_hit = false;        ///< matching constraint satisfied
+  bool timing_error = false;   ///< EDS flagged this instruction
+  bool error_masked = false;   ///< hit suppressed the error signal
+  bool recovered = false;      ///< baseline ECU recovery ran
+  bool lut_updated = false;    ///< W_en fired (error-free miss)
+  bool memo_enabled = false;   ///< module was powered for this op
+
+  int active_stage_cycles = 0; ///< FPU stage-cycles that actually toggled
+  int gated_stage_cycles = 0;  ///< stage-cycles squashed by clock gating
+  int recovery_cycles = 0;     ///< extra cycles spent in ECU recovery
+  int latency_cycles = 0;      ///< observed issue-to-commit latency
+  int lut_lookups = 0;         ///< LUT read accesses (0 when power-gated)
+  int lut_writes = 0;          ///< LUT FIFO writes
+  bool spatial_reuse = false;  ///< lane served by the spatial broadcast
+  int spatial_compares = 0;    ///< lane-vs-master comparator activations
+
+  float result = 0.0f;         ///< architecturally committed value (Q_pipe)
+  float exact_result = 0.0f;   ///< golden datapath value (for fidelity)
+  std::array<float, kMaxOperands> operands{};  ///< source operand values
+};
+
+/// Aggregate per-FPU execution statistics.
+struct FpuStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t timing_errors = 0;
+  std::uint64_t masked_errors = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t recovery_cycles = 0;
+  std::uint64_t active_stage_cycles = 0;
+  std::uint64_t gated_stage_cycles = 0;
+  std::uint64_t lut_updates = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(instructions);
+  }
+
+  FpuStats& operator+=(const FpuStats& o) noexcept {
+    instructions += o.instructions;
+    hits += o.hits;
+    timing_errors += o.timing_errors;
+    masked_errors += o.masked_errors;
+    recoveries += o.recoveries;
+    recovery_cycles += o.recovery_cycles;
+    active_stage_cycles += o.active_stage_cycles;
+    gated_stage_cycles += o.gated_stage_cycles;
+    lut_updates += o.lut_updates;
+    return *this;
+  }
+};
+
+/// Configuration of one resilient FPU instance.
+struct ResilientFpuConfig {
+  int lut_depth = 2;  ///< FIFO entries (paper final design: 2)
+  RecoveryPolicy recovery = RecoveryPolicy::kMultipleIssueReplay;
+  std::uint64_t eds_seed = 1;  ///< deterministic EDS sampling stream
+};
+
+/// One FPU + EDS + ECU + temporal-memoization module.
+class ResilientFpu {
+ public:
+  ResilientFpu(FpuType unit, const ResilientFpuConfig& config);
+
+  [[nodiscard]] FpuType unit() const noexcept { return unit_; }
+  [[nodiscard]] int pipeline_depth() const noexcept { return depth_; }
+
+  /// The module's memory-mapped register file (application-visible).
+  [[nodiscard]] MemoRegisterFile& registers() noexcept { return regs_; }
+  [[nodiscard]] const MemoRegisterFile& registers() const noexcept {
+    return regs_;
+  }
+
+  /// Direct LUT access (preloading, inspection, tests).
+  [[nodiscard]] MemoLut& lut() noexcept { return lut_; }
+  [[nodiscard]] const MemoLut& lut() const noexcept { return lut_; }
+
+  [[nodiscard]] const Ecu& ecu() const noexcept { return ecu_; }
+  [[nodiscard]] const FpuStats& stats() const noexcept { return stats_; }
+
+  /// Executes one dynamic instruction under the given timing-error model
+  /// and returns the full record. Deterministic for a fixed seed sequence.
+  ExecutionRecord execute(const FpInstruction& ins,
+                          const TimingErrorModel& errors);
+
+  /// Clears statistics and the ECU counters but keeps LUT contents and
+  /// register programming (a new measurement window).
+  void reset_stats();
+
+  /// Power-gates / un-gates the module (clears LUT state when gating, as
+  /// the storage loses its contents).
+  void set_power_gated(bool gated);
+  [[nodiscard]] bool power_gated() const noexcept { return power_gated_; }
+
+ private:
+  FpuType unit_;
+  int depth_;
+  MemoLut lut_;
+  MemoRegisterFile regs_;
+  EdsSensorBank eds_;
+  Ecu ecu_;
+  FpuStats stats_;
+  bool power_gated_ = false;
+};
+
+} // namespace tmemo

@@ -1,0 +1,81 @@
+// Spatial memoization — concurrent instruction reuse across SIMD lanes
+// (Rahimi et al., "Spatial Memoization: Concurrent Instruction Reuse to
+// Correct Timing Errors in SIMD Architectures", IEEE TCAS-II 2013 — the
+// paper's reference [20], discussed in §2).
+//
+// Where TEMPORAL memoization recalls results of earlier instructions on the
+// same FPU, SPATIAL memoization exploits the lock-step execution of one
+// instruction across the wavefront: the first active lane (the "master")
+// executes on its FPU; every subsequent lane whose operands match the
+// master's under the matching constraint skips execution entirely and the
+// master's (error-free or recovered, hence exact-committed) result is
+// broadcast to it. The paper notes the broadcast across all lanes "tightens
+// its scalability" — the per-lane comparator and the result-broadcast
+// network are charged explicitly by the energy model so that cost is
+// visible.
+//
+// The two techniques compose: a lane that fails the spatial comparison
+// falls through to its own FPU, where the temporal LUT still applies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "fpu/instruction.hpp"
+#include "memo/match.hpp"
+
+namespace tmemo {
+
+/// Cumulative spatial-reuse statistics (per compute unit; the device sums
+/// them per unit type).
+struct SpatialStats {
+  std::uint64_t comparisons = 0;  ///< lane-vs-master operand comparisons
+  std::uint64_t reuses = 0;       ///< lanes served by the broadcast result
+
+  [[nodiscard]] double reuse_rate() const noexcept {
+    return comparisons == 0 ? 0.0
+                            : static_cast<double>(reuses) /
+                                  static_cast<double>(comparisons);
+  }
+
+  SpatialStats& operator+=(const SpatialStats& o) noexcept {
+    comparisons += o.comparisons;
+    reuses += o.reuses;
+    return *this;
+  }
+};
+
+/// The per-instruction master-lane context: operands and committed result
+/// of the first active lane, against which the remaining lanes compare.
+class SpatialMaster {
+ public:
+  void arm(const FpInstruction& master, float committed_result) noexcept {
+    master_ = master;
+    result_ = committed_result;
+    armed_ = true;
+  }
+
+  void reset() noexcept { armed_ = false; }
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+  /// The master's committed value (exact: the master either executed
+  /// error-free or went through the ECU recovery).
+  [[nodiscard]] float result() const noexcept { return result_; }
+
+  /// True when `lane_ins` can reuse the master's result under `constraint`.
+  [[nodiscard]] bool matches(const FpInstruction& lane_ins,
+                             const MatchConstraint& constraint) const {
+    if (!armed_ || lane_ins.opcode != master_.opcode) return false;
+    return constraint.operands_match(lane_ins.opcode, master_.operands,
+                                     lane_ins.operands);
+  }
+
+ private:
+  FpInstruction master_{};
+  float result_ = 0.0f;
+  bool armed_ = false;
+};
+
+} // namespace tmemo

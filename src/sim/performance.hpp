@@ -1,0 +1,123 @@
+// Execution-time (cycle) estimation for the three recovery architectures.
+//
+// The paper's energy results assume recovery cycles are pure overhead; the
+// performance side of that argument comes from its §1/§2 discussion:
+//
+//  * in LOCK-STEP SIMD execution, "any error within any of the lanes will
+//    cause a global stall and force recovery of the entire SIMD pipeline"
+//    — the whole 16-core cluster loses the recovery cycles;
+//  * DECOUPLING QUEUES (Pawlowski et al. [11]) let each lane recover
+//    independently at a small local cost, at the price of extra
+//    synchronization hardware;
+//  * the TEMPORAL MEMOIZATION architecture masks errors on LUT hits, so
+//    only unmasked errors pay the (local) multiple-issue replay.
+//
+// PerformanceModel is an ExecutionSink: attach it to a kernel launch and it
+// streams the per-lane records into cycle estimates for all three schemes
+// simultaneously. Issue bandwidth is one sub-wavefront (16 lanes) per
+// cycle; stalls accumulate globally (lock-step) or per stream core
+// (decoupled / memoized), with per-run synchronization at the end (the
+// slowest stream core bounds completion).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "gpu/compute_unit.hpp"
+#include "timing/ecu.hpp"
+
+namespace tmemo {
+
+/// Cycle totals of one monitored run.
+struct PerformanceReport {
+  std::uint64_t lane_ops = 0;       ///< records consumed
+  std::uint64_t issue_cycles = 0;   ///< error-free issue time (16 lanes/cyc)
+  std::uint64_t lockstep_cycles = 0;   ///< baseline, global stalls
+  std::uint64_t decoupled_cycles = 0;  ///< baseline + decoupling queues
+  std::uint64_t memoized_cycles = 0;   ///< temporal memoization architecture
+
+  [[nodiscard]] double slowdown_lockstep() const noexcept {
+    return ratio(lockstep_cycles);
+  }
+  [[nodiscard]] double slowdown_decoupled() const noexcept {
+    return ratio(decoupled_cycles);
+  }
+  [[nodiscard]] double slowdown_memoized() const noexcept {
+    return ratio(memoized_cycles);
+  }
+
+ private:
+  [[nodiscard]] double ratio(std::uint64_t cycles) const noexcept {
+    return issue_cycles == 0
+               ? 1.0
+               : static_cast<double>(cycles) /
+                     static_cast<double>(issue_cycles);
+  }
+};
+
+/// Streaming cycle estimator (see file comment). Optionally chains to a
+/// downstream sink (e.g. the device's energy accumulator) so one run feeds
+/// both models.
+class PerformanceModel final : public ExecutionSink {
+ public:
+  explicit PerformanceModel(int stream_cores = 16,
+                            ExecutionSink* downstream = nullptr)
+      : stream_cores_(stream_cores), downstream_(downstream) {}
+
+  void consume(const ExecutionRecord& rec) override {
+    ++lane_ops_;
+    const int sc = static_cast<int>(rec.work_item %
+                                    static_cast<WorkItemId>(stream_cores_));
+
+    // Baseline architectures execute every op fully and pay for every EDS
+    // flag — including the ones the memoized architecture masked.
+    if (rec.timing_error) {
+      global_stall_ += static_cast<std::uint64_t>(
+          recovery_cycles(RecoveryPolicy::kMultipleIssueReplay, rec.unit));
+      decoupled_stall_[static_cast<std::size_t>(sc)] +=
+          static_cast<std::uint64_t>(
+              recovery_cycles(RecoveryPolicy::kDecouplingQueues, rec.unit));
+    }
+    // The memoized architecture only pays for unmasked errors.
+    memo_stall_[static_cast<std::size_t>(sc)] +=
+        static_cast<std::uint64_t>(rec.recovery_cycles);
+
+    if (downstream_ != nullptr) downstream_->consume(rec);
+  }
+
+  /// Finalizes the cycle totals.
+  [[nodiscard]] PerformanceReport report() const {
+    PerformanceReport r;
+    r.lane_ops = lane_ops_;
+    r.issue_cycles =
+        (lane_ops_ + static_cast<std::uint64_t>(stream_cores_) - 1) /
+        static_cast<std::uint64_t>(stream_cores_);
+    r.lockstep_cycles = r.issue_cycles + global_stall_;
+    r.decoupled_cycles = r.issue_cycles + max_of(decoupled_stall_);
+    r.memoized_cycles = r.issue_cycles + max_of(memo_stall_);
+    return r;
+  }
+
+  void reset() {
+    lane_ops_ = 0;
+    global_stall_ = 0;
+    decoupled_stall_ = {};
+    memo_stall_ = {};
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t max_of(
+      const std::array<std::uint64_t, 64>& per_sc) {
+    return *std::max_element(per_sc.begin(), per_sc.end());
+  }
+
+  int stream_cores_;
+  ExecutionSink* downstream_;
+  std::uint64_t lane_ops_ = 0;
+  std::uint64_t global_stall_ = 0;
+  std::array<std::uint64_t, 64> decoupled_stall_{};
+  std::array<std::uint64_t, 64> memo_stall_{};
+};
+
+} // namespace tmemo

@@ -1,0 +1,70 @@
+#include "sim/simulation.hpp"
+
+namespace tmemo {
+
+Simulation::Simulation(ExperimentConfig config) : config_(std::move(config)) {
+  config_.device.validate();
+}
+
+KernelRunReport Simulation::run_at_error_rate(const Workload& workload,
+                                              double error_rate,
+                                              std::optional<float> threshold) {
+  auto report =
+      run(workload,
+          error_rate > 0.0
+              ? std::shared_ptr<const TimingErrorModel>(
+                    std::make_shared<FixedRateErrorModel>(error_rate))
+              : std::shared_ptr<const TimingErrorModel>(
+                    std::make_shared<NoErrorModel>()),
+          config_.energy.nominal_voltage, threshold);
+  report.error_rate_configured = error_rate;
+  return report;
+}
+
+KernelRunReport Simulation::run_at_voltage(const Workload& workload,
+                                           Volt supply,
+                                           std::optional<float> threshold) {
+  const VoltageScaling scaling(config_.voltage);
+  auto report = run(workload,
+                    std::make_shared<VoltageErrorModel>(scaling, supply),
+                    supply, threshold);
+  return report;
+}
+
+KernelRunReport Simulation::run(const Workload& workload,
+                                std::shared_ptr<const TimingErrorModel> errors,
+                                Volt supply, std::optional<float> threshold) {
+  const VoltageScaling scaling(config_.voltage);
+  const EnergyModel energy(config_.energy, scaling);
+  GpuDevice device(config_.device, energy);
+
+  // Error-tolerant (image) kernels program the fraction-LSB masking vector
+  // from their threshold (paper §4.2); the numeric kernels use the absolute
+  // Eq.-1 threshold constraint. threshold <= 0 means exact matching.
+  const float t = threshold.value_or(workload.table1_threshold());
+  if (t <= 0.0f) {
+    device.program_exact();
+  } else if (workload.error_tolerant()) {
+    device.program_threshold_as_mask(t);
+  } else {
+    device.program_threshold(t);
+  }
+  device.set_commutativity(config_.commutativity);
+  if (!config_.memoization) device.set_power_gated(true);
+  if (config_.spatial) device.set_spatial_memoization(true);
+  device.set_error_model(std::move(errors));
+  device.set_fpu_supply(supply);
+
+  KernelRunReport report;
+  report.kernel = std::string(workload.name());
+  report.input_parameter = workload.input_parameter();
+  report.threshold = t;
+  report.supply = supply;
+  report.result = workload.run(device);
+  report.unit_stats = device.unit_stats();
+  report.weighted_hit_rate = device.weighted_hit_rate();
+  report.energy = device.energy();
+  return report;
+}
+
+} // namespace tmemo

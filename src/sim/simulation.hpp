@@ -1,0 +1,91 @@
+// Experiment harness: runs a workload on a freshly configured device and
+// collects everything the paper's tables and figures report.
+//
+// One Simulation owns the model parameters (device shape, energy constants,
+// voltage-scaling constants). Each run() builds a fresh GpuDevice (so runs
+// are independent and deterministic), programs the matching constraint,
+// installs the timing-error model and supply voltage, executes the
+// workload, and returns a KernelRunReport.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "energy/energy_model.hpp"
+#include "gpu/device.hpp"
+#include "timing/error_model.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmemo {
+
+/// Model-wide configuration of an experiment campaign.
+struct ExperimentConfig {
+  DeviceConfig device = DeviceConfig::radeon_hd5870();
+  EnergyParams energy;
+  VoltageScalingParams voltage;
+  /// Memoization module on/off (off = the paper's baseline architecture).
+  bool memoization = true;
+  /// Spatial memoization (cross-lane reuse, reference [20]); composes with
+  /// the temporal modules.
+  bool spatial = false;
+  /// Commutativity-aware operand matching (paper §4.2; ablated).
+  bool commutativity = true;
+};
+
+/// Everything measured in one workload run.
+struct KernelRunReport {
+  std::string kernel;
+  std::string input_parameter;
+  float threshold = 0.0f;
+  Volt supply = 0.9;
+  double error_rate_configured = 0.0; ///< for fixed-rate experiments
+
+  std::array<FpuStats, kNumFpuTypes> unit_stats{};
+  double weighted_hit_rate = 0.0;   ///< over all activated FPUs
+  EnergyTotals energy;              ///< six reported unit types
+  WorkloadResult result;            ///< host verification
+
+  /// Hit rate of one unit type, NaN-free (0 when the unit is inactive).
+  [[nodiscard]] double unit_hit_rate(FpuType u) const noexcept {
+    return unit_stats[static_cast<std::size_t>(u)].hit_rate();
+  }
+  [[nodiscard]] bool unit_activated(FpuType u) const noexcept {
+    return unit_stats[static_cast<std::size_t>(u)].instructions > 0;
+  }
+};
+
+class Simulation {
+ public:
+  explicit Simulation(ExperimentConfig config = {});
+
+  [[nodiscard]] const ExperimentConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] ExperimentConfig& config() noexcept { return config_; }
+
+  /// Runs `workload` at the given per-instruction timing-error rate
+  /// (Fig. 10 style). `threshold` overrides the workload's Table-1 value.
+  [[nodiscard]] KernelRunReport run_at_error_rate(
+      const Workload& workload, double error_rate,
+      std::optional<float> threshold = std::nullopt);
+
+  /// Runs `workload` in the voltage-overscaling regime (Fig. 11 style):
+  /// the FPU supply is `supply`, errors follow the alpha-power model, the
+  /// memoization module stays at nominal voltage.
+  [[nodiscard]] KernelRunReport run_at_voltage(
+      const Workload& workload, Volt supply,
+      std::optional<float> threshold = std::nullopt);
+
+  /// Runs `workload` with an explicit error model and supply.
+  [[nodiscard]] KernelRunReport run(
+      const Workload& workload,
+      std::shared_ptr<const TimingErrorModel> errors, Volt supply,
+      std::optional<float> threshold = std::nullopt);
+
+ private:
+  ExperimentConfig config_;
+};
+
+} // namespace tmemo

@@ -1,0 +1,113 @@
+// Transistor-aging model (NBTI/HCI-class wear-out) and its interaction
+// with temporal memoization.
+//
+// The paper's §2 surveys aging-aware techniques ([18] hierarchically
+// focused guardbanding, [19] aging-aware VLIW assignment that "reduces the
+// aging-induced performance degradation of the GPGPUs"). This module adds
+// the standard compact model:
+//
+//   delta_Vth(t) = A * (stress_time)^n        (NBTI power law, n ~ 0.2)
+//
+// where stress_time is the accumulated ACTIVE time of the unit. Threshold
+// shift slows the device down — modeled as an increase of the stage
+// critical-path delay — which erodes the timing guardband and eventually
+// produces errors at the nominal voltage.
+//
+// The memoization connection (bench/ext_aging.cpp): clock-gated stages do
+// not stress their transistors, so a unit that serves hits from its LUT
+// ages at (1 - hit_rate * gated_fraction) of the baseline rate — the
+// memoized architecture both recovers from aging-induced errors AND delays
+// their onset.
+#pragma once
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+#include "timing/voltage.hpp"
+
+namespace tmemo {
+
+struct AgingParams {
+  /// Fractional stage-delay increase after one year of 100% activity.
+  /// Design-for-resiliency removes the static NBTI guardband (that is the
+  /// point of EDS-based designs), so the full wear-out shift lands on the
+  /// signoff margin: ~10% in year one, following the sub-linear power law
+  /// to ~20% over a decade.
+  double delay_shift_year1 = 0.10;
+  /// Power-law exponent (NBTI: ~0.16-0.3).
+  double exponent = 0.3;
+};
+
+/// Aging-aware wrapper over the voltage/delay model: computes the aged
+/// per-op error probability given accumulated active years.
+class AgingModel {
+ public:
+  explicit AgingModel(const AgingParams& params = {},
+                      const VoltageScaling& scaling = VoltageScaling{})
+      : params_(params), scaling_(scaling) {
+    TM_REQUIRE(params_.delay_shift_year1 >= 0.0,
+               "delay shift must be non-negative");
+    TM_REQUIRE(params_.exponent > 0.0 && params_.exponent <= 1.0,
+               "aging exponent must lie in (0, 1]");
+  }
+
+  /// Multiplicative stage-delay factor after `active_years` of stress.
+  /// Sub-linear in time: factor(1yr) = 1 + delay_shift_year1.
+  [[nodiscard]] double delay_factor(double active_years) const {
+    TM_REQUIRE(active_years >= 0.0, "time must be non-negative");
+    return 1.0 + params_.delay_shift_year1 *
+                     std::pow(active_years, params_.exponent);
+  }
+
+  /// Per-op timing-error probability of a `depth`-stage unit at supply `v`
+  /// after `active_years` of accumulated stress: the aged path delay is
+  /// the fresh path delay times the aging factor.
+  [[nodiscard]] double op_error_probability(Volt v, int depth,
+                                            double active_years) const {
+    const double aged = delay_factor(active_years);
+    // Recompute the Gaussian exceedance with the aged mean/sigma.
+    VoltageScalingParams p = scaling_.params();
+    p.stage_delay_mean *= aged;
+    if (p.stage_delay_mean >= p.clock_period) {
+      return 1.0; // past the wall: every cycle misses
+    }
+    p.stage_delay_sigma *= aged;
+    return VoltageScaling(p).op_error_probability(v, depth);
+  }
+
+  /// Years of calendar time until the unit's guardband is consumed at the
+  /// nominal voltage (error probability crosses `target`), given the
+  /// unit's duty-cycle `activity` in [0, 1]. Clock-gated cycles do not
+  /// stress the device, so lower activity directly extends lifetime.
+  [[nodiscard]] double lifetime_years(double activity, int depth,
+                                      double target = 1e-4,
+                                      double horizon_years = 30.0) const {
+    TM_REQUIRE(activity >= 0.0 && activity <= 1.0,
+               "activity is a duty-cycle fraction");
+    const Volt v = scaling_.params().nominal_voltage;
+    if (activity == 0.0) return horizon_years;
+    // Bisection over calendar time.
+    double lo = 0.0, hi = horizon_years;
+    if (op_error_probability(v, depth, hi * activity) < target) {
+      return horizon_years;
+    }
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (op_error_probability(v, depth, mid * activity) < target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return 0.5 * (lo + hi);
+  }
+
+  [[nodiscard]] const AgingParams& params() const noexcept { return params_; }
+
+ private:
+  AgingParams params_;
+  VoltageScaling scaling_;
+};
+
+} // namespace tmemo

@@ -1,0 +1,36 @@
+#include "timing/ecu.hpp"
+
+namespace tmemo {
+
+const char* recovery_policy_name(RecoveryPolicy p) noexcept {
+  switch (p) {
+    case RecoveryPolicy::kMultipleIssueReplay: return "multiple-issue-replay";
+    case RecoveryPolicy::kHalfFrequencyReplay: return "half-frequency-replay";
+    case RecoveryPolicy::kDecouplingQueues:    return "decoupling-queues";
+  }
+  return "?";
+}
+
+int recovery_cycles(RecoveryPolicy policy, FpuType unit) {
+  const int depth = fpu_latency_cycles(unit);
+  switch (policy) {
+    case RecoveryPolicy::kMultipleIssueReplay:
+      // Paper §5.1: "This baseline recovery mechanism costs 12 cycles per
+      // error" for the 4-stage FPUs; deeper pipelines pay proportionally
+      // (flush + multiple issues of the refill).
+      return 3 * depth;
+    case RecoveryPolicy::kHalfFrequencyReplay:
+      // Flush (depth) + refill at half frequency (2 * depth), cf. the up to
+      // 28 recovery cycles of the 7-stage core in [9].
+      return 3 * depth + depth;
+    case RecoveryPolicy::kDecouplingQueues:
+      // One stall cycle per error over a 2-stage unit in [11]; the stall
+      // scales with the pipeline section that must be replayed locally, and
+      // the global stall signal costs one extra propagation cycle in a deep
+      // GPGPU pipeline (paper §2).
+      return depth / 2 + 1;
+  }
+  return 3 * depth;
+}
+
+} // namespace tmemo

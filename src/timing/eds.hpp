@@ -1,0 +1,61 @@
+// Error-detection sequential (EDS) sensor model.
+//
+// Every FPU pipeline stage carries EDS circuits (Bowman et al. [6][9]) that
+// sample critical signals near the clock edge and raise an error flag when a
+// late transition is observed. The flag is propagated stage by stage toward
+// the end of the pipeline, where it reaches the error control unit (ECU).
+//
+// For the statistics this library reports, what matters is (a) whether an
+// instruction is flagged at all (drawn from a TimingErrorModel) and (b) in
+// which stage the violation occurred, which determines how far the error
+// signal travels before recovery can start.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fpu/opcode.hpp"
+#include "timing/error_model.hpp"
+
+namespace tmemo {
+
+/// Outcome of the EDS sensors for one instruction traversing one FPU.
+struct EdsObservation {
+  bool error = false;  ///< at least one stage flagged a timing violation
+  int errant_stage = -1;  ///< 0-based stage of the first violation (-1: none)
+  int propagation_cycles = 0;  ///< cycles for the flag to reach pipeline end
+};
+
+/// Per-FPU EDS sensor bank.
+class EdsSensorBank {
+ public:
+  EdsSensorBank(FpuType unit, std::uint64_t seed)
+      : unit_(unit), depth_(fpu_latency_cycles(unit)), rng_(seed) {}
+
+  [[nodiscard]] FpuType unit() const noexcept { return unit_; }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+
+  /// Samples the sensors for one instruction under `model`. When an error
+  /// occurs, the errant stage is drawn uniformly (each stage has the same
+  /// per-cycle violation probability) and the propagation latency is the
+  /// number of remaining stages the flag must ripple through.
+  [[nodiscard]] EdsObservation observe(const TimingErrorModel& model) {
+    EdsObservation obs;
+    obs.error = model.sample_error(unit_, rng_);
+    if (obs.error) {
+      obs.errant_stage = static_cast<int>(
+          rng_.next_below(static_cast<std::uint64_t>(depth_)));
+      obs.propagation_cycles = depth_ - 1 - obs.errant_stage;
+    }
+    return obs;
+  }
+
+  /// Reseeds the sensor RNG (deterministic experiment replays).
+  void reseed(std::uint64_t seed) { rng_.reseed(seed); }
+
+ private:
+  FpuType unit_;
+  int depth_;
+  Xorshift128 rng_;
+};
+
+} // namespace tmemo

@@ -1,0 +1,92 @@
+// Adaptive guardbanding — the 'predict-and-prevent' technique class the
+// paper's §2 surveys ([16]-[19], [22]) and argues cannot work efficiently
+// "at the edge of failure": a controller that watches the EDS error
+// counters and adjusts the supply voltage epoch by epoch, keeping the
+// observed error rate inside a target band instead of recovering from (or
+// memoizing away) the errors.
+//
+// The controller implements the classic hysteresis loop:
+//   error rate above the target        -> raise the supply one step
+//   error rate below target*hysteresis -> lower the supply one step
+//   otherwise                          -> hold
+// bounded to [v_min, v_max]. bench/ext_adaptive_guardband.cpp races this
+// baseline against the temporal-memoization architecture operating at a
+// fixed overscaled voltage.
+#pragma once
+
+#include <cstdint>
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+
+namespace tmemo {
+
+struct GuardbandConfig {
+  Volt v_min = 0.78;
+  Volt v_max = 0.90;
+  Volt step = 0.01;
+  /// Per-op error-rate ceiling the controller defends.
+  double target_error_rate = 1e-3;
+  /// Lower threshold factor: below target*hysteresis the controller dares
+  /// to overscale one more step.
+  double hysteresis = 0.25;
+};
+
+/// Per-epoch supply-voltage controller (see file comment).
+class AdaptiveGuardbandController {
+ public:
+  explicit AdaptiveGuardbandController(const GuardbandConfig& config = {},
+                                       Volt initial = 0.90)
+      : config_(config), supply_(initial) {
+    TM_REQUIRE(config_.v_min < config_.v_max, "voltage band must be ordered");
+    TM_REQUIRE(config_.step > 0.0, "voltage step must be positive");
+    TM_REQUIRE(config_.target_error_rate > 0.0 &&
+                   config_.target_error_rate < 1.0,
+               "target error rate must lie in (0, 1)");
+    TM_REQUIRE(config_.hysteresis > 0.0 && config_.hysteresis < 1.0,
+               "hysteresis factor must lie in (0, 1)");
+    TM_REQUIRE(initial >= config_.v_min && initial <= config_.v_max,
+               "initial supply outside the control band");
+  }
+
+  [[nodiscard]] Volt supply() const noexcept { return supply_; }
+
+  /// Feeds one epoch's observation and updates the supply for the next.
+  /// Returns the new supply.
+  Volt observe(std::uint64_t ops, std::uint64_t errors) {
+    TM_REQUIRE(ops > 0, "an epoch must contain at least one operation");
+    const double rate =
+        static_cast<double>(errors) / static_cast<double>(ops);
+    ++epochs_;
+    if (rate > config_.target_error_rate) {
+      supply_ = clamp(supply_ + config_.step);
+      ++raises_;
+    } else if (rate < config_.target_error_rate * config_.hysteresis) {
+      supply_ = clamp(supply_ - config_.step);
+      ++lowers_;
+    }
+    return supply_;
+  }
+
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+  [[nodiscard]] std::uint64_t raises() const noexcept { return raises_; }
+  [[nodiscard]] std::uint64_t lowers() const noexcept { return lowers_; }
+  [[nodiscard]] const GuardbandConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] Volt clamp(Volt v) const noexcept {
+    if (v < config_.v_min) return config_.v_min;
+    if (v > config_.v_max) return config_.v_max;
+    return v;
+  }
+
+  GuardbandConfig config_;
+  Volt supply_;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t raises_ = 0;
+  std::uint64_t lowers_ = 0;
+};
+
+} // namespace tmemo

@@ -1,0 +1,54 @@
+#include "timing/voltage.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace tmemo {
+
+double standard_normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+VoltageScaling::VoltageScaling(const VoltageScalingParams& params)
+    : params_(params) {
+  TM_REQUIRE(params_.nominal_voltage > params_.threshold_voltage,
+             "nominal voltage must exceed the device threshold voltage");
+  TM_REQUIRE(params_.alpha > 0.0, "alpha-power exponent must be positive");
+  TM_REQUIRE(params_.clock_period > 0.0, "clock period must be positive");
+  TM_REQUIRE(params_.stage_delay_sigma > 0.0,
+             "path-delay sigma must be positive");
+  TM_REQUIRE(params_.stage_delay_mean > 0.0 &&
+                 params_.stage_delay_mean <= params_.clock_period,
+             "stage delay must fit in the clock period at signoff");
+}
+
+double VoltageScaling::delay_factor(Volt v) const {
+  TM_REQUIRE(v > params_.threshold_voltage,
+             "supply voltage must stay above the threshold voltage");
+  const double vn = params_.nominal_voltage;
+  const double vt = params_.threshold_voltage;
+  // Alpha-power law: drive current I ~ (V - Vth)^alpha, delay ~ C*V / I.
+  return (v / vn) * std::pow((vn - vt) / (v - vt), params_.alpha);
+}
+
+double VoltageScaling::stage_error_probability(Volt v) const {
+  const double scaled_mean = params_.stage_delay_mean * delay_factor(v);
+  const double scaled_sigma = params_.stage_delay_sigma * delay_factor(v);
+  // P(delay > Tclk) for delay ~ N(scaled_mean, scaled_sigma^2).
+  const double z = (params_.clock_period - scaled_mean) / scaled_sigma;
+  return 1.0 - standard_normal_cdf(z);
+}
+
+double VoltageScaling::op_error_probability(Volt v, int depth) const {
+  TM_REQUIRE(depth >= 1, "pipeline depth must be at least 1");
+  const double p_stage = stage_error_probability(v);
+  return 1.0 - std::pow(1.0 - p_stage, static_cast<double>(depth));
+}
+
+double VoltageScaling::energy_factor(Volt v) const {
+  const double r = v / params_.nominal_voltage;
+  return r * r;
+}
+
+} // namespace tmemo

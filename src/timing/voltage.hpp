@@ -1,0 +1,79 @@
+// Voltage-overscaling delay / error-rate model.
+//
+// The paper analyzes a constant-frequency (1 GHz) voltage-overscaling regime
+// in 0.9 V..0.8 V using Synopsys PrimeTime voltage scaling, then back-
+// annotates the scaled delays into simulation to quantify the timing-error
+// rate (§5.3). We replace that flow with a standard analytic substitute:
+//
+//  * gate delay follows the alpha-power law:
+//        delay(V) = delay(Vnom) * (V/Vnom)^-1 ... specifically
+//        d(V)/d(Vnom) = (V / Vnom) * ((Vnom - Vth) / (V - Vth))^alpha
+//    which captures the super-linear slowdown as V approaches Vth;
+//  * each pipeline stage's critical-path delay is Gaussian around a
+//    per-stage mean (process variation across instances/paths);
+//  * a stage produces a timing error when its scaled path delay exceeds the
+//    clock period; per-operation error probability aggregates the
+//    independent per-stage probabilities over the pipeline depth —
+//    reproducing the paper's observation that deep pipelines multiply the
+//    effective error rate.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace tmemo {
+
+/// Parameters of the analytic voltage/delay/error model. Defaults are
+/// calibrated for a TSMC-45nm-class flow signed off at 1 GHz / 0.9 V with
+/// the error-rate-vs-voltage shape reported in the paper: negligible errors
+/// down to ~0.84 V, then an abrupt increase towards 0.8 V.
+struct VoltageScalingParams {
+  Volt nominal_voltage = 0.9;  ///< signoff voltage (paper: 0.9 V)
+  Volt threshold_voltage = 0.35;
+  double alpha = 1.4;          ///< velocity-saturation exponent
+  Ns clock_period = 1.0;       ///< 1 GHz signoff frequency
+  /// Mean critical-path delay of one FPU pipeline stage at nominal voltage.
+  /// ~0.84 ns leaves a 16% timing guardband at signoff, consistent with the
+  /// paper's observation that the memoization LUT closes timing with 14%
+  /// positive slack.
+  Ns stage_delay_mean = 0.835;
+  /// Path-delay sigma across instances/input vectors (PVT variation).
+  /// Calibrated so that errors are negligible down to ~0.84 V and increase
+  /// abruptly towards 0.8 V (the paper's Fig. 11 regime).
+  Ns stage_delay_sigma = 0.016;
+};
+
+/// Analytic voltage-overscaling model (see file comment).
+class VoltageScaling {
+ public:
+  explicit VoltageScaling(const VoltageScalingParams& params = {});
+
+  [[nodiscard]] const VoltageScalingParams& params() const noexcept {
+    return params_;
+  }
+
+  /// Multiplicative delay slowdown at supply `v` relative to nominal.
+  /// delay_factor(nominal) == 1; the factor grows super-linearly as v
+  /// approaches the threshold voltage.
+  [[nodiscard]] double delay_factor(Volt v) const;
+
+  /// Probability that ONE pipeline stage misses the clock edge at supply
+  /// `v` (i.e. its scaled Gaussian path delay exceeds the clock period).
+  [[nodiscard]] double stage_error_probability(Volt v) const;
+
+  /// Probability that an instruction flowing through a `depth`-stage
+  /// pipeline experiences at least one timing error at supply `v`:
+  /// 1 - (1 - p_stage)^depth.
+  [[nodiscard]] double op_error_probability(Volt v, int depth) const;
+
+  /// Dynamic-energy scaling factor (V/Vnom)^2 — CV^2 switching energy.
+  [[nodiscard]] double energy_factor(Volt v) const;
+
+ private:
+  VoltageScalingParams params_;
+};
+
+/// Standard normal CDF (used by the error-probability computation; exposed
+/// for tests).
+[[nodiscard]] double standard_normal_cdf(double z);
+
+} // namespace tmemo

@@ -1,0 +1,114 @@
+#include "trace/trace.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "common/require.hpp"
+#include "fpu/semantics.hpp"
+
+namespace tmemo {
+
+namespace {
+constexpr char kMagic[4] = {'T', 'M', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+} // namespace
+
+void TraceWriter::consume(const ExecutionRecord& rec) {
+  TraceEvent ev;
+  ev.opcode = static_cast<std::uint8_t>(rec.opcode);
+  ev.unit = static_cast<std::uint8_t>(rec.unit);
+  ev.static_id = rec.static_id;
+  ev.work_item = rec.work_item;
+  ev.operands = rec.operands;
+  events_.push_back(ev);
+  if (downstream_ != nullptr) downstream_->consume(rec);
+}
+
+void TraceWriter::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  TM_REQUIRE(os.good(), "cannot open trace output file: " + path);
+  os.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  os.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t count = events_.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const TraceEvent& ev : events_) {
+    os.write(reinterpret_cast<const char*>(&ev.opcode), sizeof(ev.opcode));
+    os.write(reinterpret_cast<const char*>(&ev.unit), sizeof(ev.unit));
+    os.write(reinterpret_cast<const char*>(&ev.reserved),
+             sizeof(ev.reserved));
+    os.write(reinterpret_cast<const char*>(&ev.static_id),
+             sizeof(ev.static_id));
+    os.write(reinterpret_cast<const char*>(&ev.work_item),
+             sizeof(ev.work_item));
+    os.write(reinterpret_cast<const char*>(ev.operands.data()),
+             sizeof(float) * ev.operands.size());
+  }
+  TM_REQUIRE(os.good(), "failed writing trace file: " + path);
+}
+
+std::vector<TraceEvent> load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  TM_REQUIRE(is.good(), "cannot open trace input file: " + path);
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  TM_REQUIRE(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+             "not a TMTR trace file: " + path);
+  std::uint32_t version = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  TM_REQUIRE(version == kVersion, "unsupported trace version");
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+
+  std::vector<TraceEvent> events;
+  events.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceEvent ev;
+    is.read(reinterpret_cast<char*>(&ev.opcode), sizeof(ev.opcode));
+    is.read(reinterpret_cast<char*>(&ev.unit), sizeof(ev.unit));
+    is.read(reinterpret_cast<char*>(&ev.reserved), sizeof(ev.reserved));
+    is.read(reinterpret_cast<char*>(&ev.static_id), sizeof(ev.static_id));
+    is.read(reinterpret_cast<char*>(&ev.work_item), sizeof(ev.work_item));
+    is.read(reinterpret_cast<char*>(ev.operands.data()),
+            sizeof(float) * ev.operands.size());
+    TM_REQUIRE(is.good(), "truncated trace file: " + path);
+    events.push_back(ev);
+  }
+  return events;
+}
+
+ReplayStats replay_trace(const std::vector<TraceEvent>& events,
+                         int lut_depth, const MatchConstraint& constraint,
+                         int stream_cores) {
+  TM_REQUIRE(stream_cores >= 1, "need at least one stream core");
+  ReplayStats stats;
+  // (sc, pe, unit) -> LUT, materialized lazily.
+  std::map<std::tuple<int, int, int>, MemoLut> luts;
+
+  for (const TraceEvent& ev : events) {
+    const FpInstruction ins = ev.instruction();
+    const FpuType unit = ev.fpu();
+    const int sc = static_cast<int>(
+        ev.work_item % static_cast<std::uint64_t>(stream_cores));
+    const int pe = StreamCore::vliw_slot(unit, ev.static_id);
+    auto [it, inserted] = luts.try_emplace(
+        std::make_tuple(sc, pe, static_cast<int>(unit)), lut_depth);
+    MemoLut& lut = it->second;
+
+    ++stats.instructions;
+    if (lut.lookup(ins, constraint).has_value()) {
+      ++stats.hits;
+    } else {
+      lut.update(ins, evaluate_fp_op(ins));
+    }
+  }
+
+  // Fold per-LUT stats into per-unit totals.
+  for (const auto& [key, lut] : luts) {
+    stats.per_unit[static_cast<std::size_t>(std::get<2>(key))] += lut.stats();
+  }
+  return stats;
+}
+
+} // namespace tmemo

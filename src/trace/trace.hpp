@@ -1,0 +1,102 @@
+// FP-instruction trace capture and offline replay.
+//
+// The paper's methodology modified Multi2Sim "to collect the statistics for
+// computing the temporal value locality out of 27 single precision
+// floating-point instructions". This module is that facility: a sink that
+// records every dynamic FP instruction (unit, opcode, operands, ids) to a
+// compact binary trace, plus an offline replayer that pushes a recorded
+// trace through freshly configured memoization LUTs — so FIFO depths,
+// matching constraints and commutativity can be swept in seconds without
+// re-running the kernels.
+//
+// Trace file layout (little-endian host order):
+//   header:  magic "TMTR" (4B) | version u32 | event count u64
+//   events:  n x TraceEvent (packed, 28 bytes each)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/compute_unit.hpp"
+#include "gpu/stream_core.hpp"
+#include "memo/lut.hpp"
+#include "memo/match.hpp"
+
+namespace tmemo {
+
+/// One dynamic FP instruction, as written to a trace file.
+struct TraceEvent {
+  std::uint8_t opcode = 0;       ///< FpOpcode
+  std::uint8_t unit = 0;         ///< FpuType (redundant but convenient)
+  std::uint16_t reserved = 0;
+  std::uint32_t static_id = 0;
+  std::uint64_t work_item = 0;
+  std::array<float, 3> operands{};
+
+  [[nodiscard]] FpOpcode op() const noexcept {
+    return static_cast<FpOpcode>(opcode);
+  }
+  [[nodiscard]] FpuType fpu() const noexcept {
+    return static_cast<FpuType>(unit);
+  }
+  [[nodiscard]] FpInstruction instruction() const noexcept {
+    FpInstruction ins;
+    ins.opcode = op();
+    ins.operands = operands;
+    ins.work_item = work_item;
+    ins.static_id = static_id;
+    return ins;
+  }
+};
+
+/// An ExecutionSink that records every instruction it sees. Optionally
+/// chains to a downstream sink so tracing composes with energy accounting.
+class TraceWriter final : public ExecutionSink {
+ public:
+  explicit TraceWriter(ExecutionSink* downstream = nullptr)
+      : downstream_(downstream) {}
+
+  void consume(const ExecutionRecord& rec) override;
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  void clear() noexcept { events_.clear(); }
+
+  /// Writes the trace to a binary file.
+  void save(const std::string& path) const;
+
+ private:
+  ExecutionSink* downstream_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Loads a binary trace written by TraceWriter::save().
+[[nodiscard]] std::vector<TraceEvent> load_trace(const std::string& path);
+
+/// Result of one offline replay.
+struct ReplayStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t hits = 0;
+  std::array<LutStats, kNumFpuTypes> per_unit{};
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(hits) /
+                                   static_cast<double>(instructions);
+  }
+};
+
+/// Replays a trace through per-physical-FPU LUTs (the same SC/PE steering
+/// the device uses: SC = work_item mod stream_cores, PE = VLIW slot),
+/// measuring the hit rate under `constraint` with `lut_depth`-entry FIFOs.
+/// Error-free replay: every miss updates its FIFO.
+[[nodiscard]] ReplayStats replay_trace(const std::vector<TraceEvent>& events,
+                                       int lut_depth,
+                                       const MatchConstraint& constraint,
+                                       int stream_cores = 16);
+
+} // namespace tmemo

@@ -1,0 +1,111 @@
+#include "workloads/workload.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "img/synthetic.hpp"
+#include "workloads/binomial.hpp"
+#include "workloads/blackscholes.hpp"
+#include "workloads/eigenvalue.hpp"
+#include "workloads/fwt.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/haar.hpp"
+#include "workloads/sobel.hpp"
+
+namespace tmemo {
+
+namespace {
+
+WorkloadResult measure_errors(const std::vector<float>& got,
+                              const std::vector<float>& golden) {
+  TM_REQUIRE(got.size() == golden.size(),
+             "output and reference sizes differ");
+  WorkloadResult res;
+  res.output_values = got.size();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double ref_sq = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double d =
+        std::fabs(static_cast<double>(got[i]) - static_cast<double>(golden[i]));
+    sum += d;
+    sum_sq += d * d;
+    ref_sq += static_cast<double>(golden[i]) * static_cast<double>(golden[i]);
+    if (d > res.max_abs_error) res.max_abs_error = d;
+  }
+  res.mean_abs_error =
+      got.empty() ? 0.0 : sum / static_cast<double>(got.size());
+  res.rel_rms_error = ref_sq > 0.0 ? std::sqrt(sum_sq / ref_sq)
+                                   : (sum_sq > 0.0 ? 1.0 : 0.0);
+  return res;
+}
+
+} // namespace
+
+WorkloadResult compare_outputs(const std::vector<float>& got,
+                               const std::vector<float>& golden,
+                               double tolerance) {
+  WorkloadResult res = measure_errors(got, golden);
+  res.passed = res.max_abs_error <= tolerance;
+  return res;
+}
+
+WorkloadResult compare_outputs_rel_rms(const std::vector<float>& got,
+                                       const std::vector<float>& golden,
+                                       double rel_tolerance) {
+  WorkloadResult res = measure_errors(got, golden);
+  res.passed = res.rel_rms_error <= rel_tolerance;
+  return res;
+}
+
+namespace {
+
+int scaled_image_side(double scale) {
+  const double side = 1536.0 * std::sqrt(scale);
+  // Round to a multiple of 64 so rows align with wavefronts, min 64.
+  const int s = static_cast<int>(side / 64.0 + 0.5) * 64;
+  return s < 64 ? 64 : s;
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+} // namespace
+
+std::vector<std::unique_ptr<Workload>> make_all_workloads(double scale) {
+  TM_REQUIRE(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1]");
+  const int side = scaled_image_side(scale);
+
+  std::vector<std::unique_ptr<Workload>> out;
+  out.push_back(std::make_unique<SobelWorkload>(
+      make_face_image(side, side), "face"));
+  out.push_back(std::make_unique<GaussianWorkload>(
+      make_face_image(side, side), "face"));
+  out.push_back(std::make_unique<HaarWorkload>(1024));
+  {
+    const int steps =
+        std::max(32, static_cast<int>(254.0 * std::sqrt(scale) + 0.5));
+    out.push_back(std::make_unique<BinomialOptionWorkload>(20, steps));
+  }
+  {
+    const auto samples = static_cast<std::size_t>(
+        std::max(1.0, 20.0 * scale + 0.5));
+    out.push_back(std::make_unique<BlackScholesWorkload>(samples));
+  }
+  {
+    const std::size_t len = std::max<std::size_t>(
+        4096, next_pow2(static_cast<std::size_t>(1000000.0 * scale)));
+    out.push_back(std::make_unique<FwtWorkload>(len));
+  }
+  {
+    const auto n = static_cast<std::size_t>(
+        std::max(48.0, 1000.0 * std::sqrt(scale) + 0.5));
+    out.push_back(std::make_unique<EigenValueWorkload>(n));
+  }
+  return out;
+}
+
+} // namespace tmemo

@@ -1,0 +1,139 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace tmemo {
+namespace {
+
+TEST(Bits, RoundTrip) {
+  for (float v : {0.0f, -0.0f, 1.0f, -1.0f, 3.14159f, 1e-30f, 1e30f,
+                  std::numeric_limits<float>::infinity()}) {
+    EXPECT_EQ(bits_to_float(float_to_bits(v)), v);
+  }
+}
+
+TEST(Bits, NanRoundTripPreservesPayload) {
+  const std::uint32_t pattern = 0x7fc12345u;
+  EXPECT_EQ(float_to_bits(bits_to_float(pattern)), pattern);
+}
+
+TEST(Bits, SignedZerosDifferInBits) {
+  EXPECT_NE(float_to_bits(0.0f), float_to_bits(-0.0f));
+}
+
+TEST(Mask, ZeroIgnoredBitsIsAllOnes) {
+  EXPECT_EQ(mask_ignoring_fraction_lsbs(0), 0xffffffffu);
+  EXPECT_EQ(mask_ignoring_fraction_lsbs(-3), 0xffffffffu);
+}
+
+TEST(Mask, FullFractionIgnoredKeepsSignExponent) {
+  EXPECT_EQ(mask_ignoring_fraction_lsbs(23), 0xff800000u);
+  EXPECT_EQ(mask_ignoring_fraction_lsbs(99), 0xff800000u);
+}
+
+TEST(Mask, PartialMaskShape) {
+  EXPECT_EQ(mask_ignoring_fraction_lsbs(4), 0xfffffff0u);
+  EXPECT_EQ(mask_ignoring_fraction_lsbs(8), 0xffffff00u);
+  EXPECT_EQ(mask_ignoring_fraction_lsbs(16), 0xffff0000u);
+}
+
+TEST(MaskedEqual, ExactMaskDistinguishesAdjacentFloats) {
+  const float a = 1.0f;
+  const float b = std::nextafterf(a, 2.0f);
+  EXPECT_FALSE(masked_equal(a, b, 0xffffffffu));
+  EXPECT_TRUE(masked_equal(a, a, 0xffffffffu));
+}
+
+TEST(MaskedEqual, LooseMaskMergesNearbyValues) {
+  // Ignoring 16 fraction LSBs: 1.0 and 1.005 share the kept bits.
+  EXPECT_TRUE(masked_equal(1.0f, 1.005f, mask_ignoring_fraction_lsbs(16)));
+  // But 1.0 and 1.5 differ in the top fraction bit.
+  EXPECT_FALSE(masked_equal(1.0f, 1.5f, mask_ignoring_fraction_lsbs(16)));
+}
+
+TEST(MaskedEqual, SignAlwaysCompared) {
+  EXPECT_FALSE(masked_equal(1.0f, -1.0f, mask_ignoring_fraction_lsbs(23)));
+}
+
+TEST(MaskedEqual, ExponentAlwaysCompared) {
+  // 1.9 vs 2.1: adjacent values across the octave boundary never match
+  // even with the whole fraction ignored.
+  EXPECT_FALSE(masked_equal(1.9f, 2.1f, mask_ignoring_fraction_lsbs(23)));
+}
+
+TEST(WithinThreshold, ExactModeIsBitwise) {
+  EXPECT_TRUE(within_threshold(1.0f, 1.0f, 0.0f));
+  EXPECT_FALSE(within_threshold(0.0f, -0.0f, 0.0f)); // bit-for-bit
+  EXPECT_FALSE(within_threshold(1.0f, std::nextafterf(1.0f, 2.0f), 0.0f));
+}
+
+TEST(WithinThreshold, AbsoluteDifferenceBound) {
+  EXPECT_TRUE(within_threshold(10.0f, 10.4f, 0.4f));
+  EXPECT_TRUE(within_threshold(10.4f, 10.0f, 0.4f));
+  EXPECT_FALSE(within_threshold(10.0f, 10.41f, 0.4f));
+  EXPECT_TRUE(within_threshold(-5.0f, -4.75f, 0.3f));
+}
+
+TEST(WithinThreshold, NanNeverMatches) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(within_threshold(nan, nan, 1.0f));
+  EXPECT_FALSE(within_threshold(nan, 1.0f, 1.0f));
+  EXPECT_FALSE(within_threshold(1.0f, nan, 1.0f));
+  EXPECT_FALSE(within_threshold(nan, nan, 0.0f));
+}
+
+TEST(WithinThreshold, InfinityMatchesItselfApproximately) {
+  const float inf = std::numeric_limits<float>::infinity();
+  // |inf - inf| = NaN <= t is false in IEEE; document that behaviour:
+  EXPECT_FALSE(within_threshold(inf, inf, 1.0f));
+  // ...but exact matching compares bits, so inf == inf.
+  EXPECT_TRUE(within_threshold(inf, inf, 0.0f));
+}
+
+TEST(FractionLsbs, ThresholdToBitsMapping) {
+  EXPECT_EQ(fraction_lsbs_for_threshold(0.0f), 0);
+  EXPECT_EQ(fraction_lsbs_for_threshold(-1.0f), 0);
+  EXPECT_EQ(fraction_lsbs_for_threshold(1.0f), 23);
+  EXPECT_EQ(fraction_lsbs_for_threshold(2.0f), 23);
+  // 2^(k-23) <= t: t=0.5 -> k=22, t=0.25 -> k=21.
+  EXPECT_EQ(fraction_lsbs_for_threshold(0.5f), 22);
+  EXPECT_EQ(fraction_lsbs_for_threshold(0.25f), 21);
+}
+
+TEST(FractionLsbs, MonotoneInThreshold) {
+  int prev = 0;
+  for (float t = 0.01f; t <= 1.0f; t += 0.01f) {
+    const int k = fraction_lsbs_for_threshold(t);
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+}
+
+class MaskPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskPropertyTest, MaskedEqualityIsCoarserThanExact) {
+  const int bits = GetParam();
+  const std::uint32_t mask = mask_ignoring_fraction_lsbs(bits);
+  // Exactly equal values always match under any mask.
+  for (float v : {0.5f, 1.0f, 100.0f, -3.25f, 1e-10f}) {
+    EXPECT_TRUE(masked_equal(v, v, mask));
+  }
+  // A coarser mask never rejects what a finer mask accepts.
+  const std::uint32_t finer = mask_ignoring_fraction_lsbs(bits - 1);
+  for (std::uint32_t base = 0x3f800000u; base < 0x3f800400u; base += 37) {
+    const float a = bits_to_float(base);
+    const float b = bits_to_float(base + 3);
+    if (masked_equal(a, b, finer)) {
+      EXPECT_TRUE(masked_equal(a, b, mask));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, MaskPropertyTest,
+                         ::testing::Values(1, 2, 4, 8, 12, 16, 20, 23));
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,84 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tmemo {
+namespace {
+
+TEST(ResultTable, RequiresHeaders) {
+  EXPECT_THROW(ResultTable("t", {}), std::invalid_argument);
+}
+
+TEST(ResultTable, AddBeforeBeginRowThrows) {
+  ResultTable t("t", {"a"});
+  EXPECT_THROW(t.add("x"), std::invalid_argument);
+}
+
+TEST(ResultTable, TooManyCellsThrows) {
+  ResultTable t("t", {"a", "b"});
+  t.begin_row().add("1").add("2");
+  EXPECT_THROW(t.add("3"), std::invalid_argument);
+}
+
+TEST(ResultTable, PrintContainsTitleHeadersAndCells) {
+  ResultTable t("My Title", {"col1", "col2"});
+  t.begin_row().add("hello").add(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("My Title"), std::string::npos);
+  EXPECT_NE(s.find("col1"), std::string::npos);
+  EXPECT_NE(s.find("hello"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+TEST(ResultTable, NumericFormatting) {
+  ResultTable t("t", {"v"});
+  t.begin_row().add(1.23456, 3);
+  t.begin_row().add(static_cast<long long>(-42));
+  t.begin_row().add(static_cast<unsigned long long>(7));
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.235"), std::string::npos);
+  EXPECT_NE(os.str().find("-42"), std::string::npos);
+}
+
+TEST(ResultTable, CsvBasic) {
+  ResultTable t("t", {"a", "b"});
+  t.begin_row().add("x").add("y");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(ResultTable, CsvEscapesSpecialCharacters) {
+  ResultTable t("t", {"a"});
+  t.begin_row().add("va,l");
+  t.begin_row().add("q\"uote");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"va,l\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"q\"\"uote\""), std::string::npos);
+}
+
+TEST(ResultTable, ShortRowsPadInCsv) {
+  ResultTable t("t", {"a", "b", "c"});
+  t.begin_row().add("only");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly,,\n");
+}
+
+TEST(ResultTable, RowsCounts) {
+  ResultTable t("t", {"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.begin_row().add("1");
+  t.begin_row().add("2");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+} // namespace
+} // namespace tmemo

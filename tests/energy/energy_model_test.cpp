@@ -1,0 +1,184 @@
+#include "energy/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmemo {
+namespace {
+
+ExecutionRecord clean_miss(FpuType u = FpuType::kAdd) {
+  ExecutionRecord r;
+  r.unit = u;
+  r.action = MemoAction::kNormalExecution;
+  r.memo_enabled = true;
+  r.active_stage_cycles = fpu_latency_cycles(u);
+  r.latency_cycles = fpu_latency_cycles(u);
+  r.lut_lookups = 1;
+  r.lut_writes = 1;
+  r.lut_updated = true;
+  return r;
+}
+
+ExecutionRecord hit(FpuType u = FpuType::kAdd) {
+  ExecutionRecord r;
+  r.unit = u;
+  r.action = MemoAction::kReuse;
+  r.memo_enabled = true;
+  r.lut_hit = true;
+  r.active_stage_cycles = 1;
+  r.gated_stage_cycles = fpu_latency_cycles(u) - 1;
+  r.latency_cycles = fpu_latency_cycles(u);
+  r.lut_lookups = 1;
+  return r;
+}
+
+ExecutionRecord errant_miss(FpuType u = FpuType::kAdd) {
+  ExecutionRecord r = clean_miss(u);
+  r.action = MemoAction::kTriggerRecovery;
+  r.timing_error = true;
+  r.recovered = true;
+  r.lut_writes = 0;
+  r.lut_updated = false;
+  r.recovery_cycles = 12;
+  r.latency_cycles += 12;
+  return r;
+}
+
+TEST(EnergyModel, ValidatesParameters) {
+  EnergyParams p;
+  p.fpu_op_energy_pj[0] = 0.0;
+  EXPECT_THROW(EnergyModel{p}, std::invalid_argument);
+  p = {};
+  p.clock_gate_residual = 1.5;
+  EXPECT_THROW(EnergyModel{p}, std::invalid_argument);
+  p = {};
+  p.recovery_energy_factor = -1.0;
+  EXPECT_THROW(EnergyModel{p}, std::invalid_argument);
+  p = {};
+  p.lut_lookup_pj = -0.1;
+  EXPECT_THROW(EnergyModel{p}, std::invalid_argument);
+}
+
+TEST(EnergyModel, OpEnergyScalesWithVoltageSquared) {
+  const EnergyModel m;
+  const double nominal = m.op_energy(FpuType::kMul, 0.9);
+  EXPECT_NEAR(m.op_energy(FpuType::kMul, 0.45), nominal * 0.25, 1e-9);
+}
+
+TEST(EnergyModel, StageEnergyIsOpOverDepth) {
+  const EnergyModel m;
+  for (FpuType u : kAllFpuTypes) {
+    EXPECT_NEAR(m.stage_energy(u, 0.9) * fpu_latency_cycles(u),
+                m.op_energy(u, 0.9), 1e-9);
+  }
+}
+
+TEST(EnergyModel, RecoveryEnergyUsesFactor) {
+  EnergyParams p;
+  p.recovery_energy_factor = 10.0;
+  const EnergyModel m(p);
+  EXPECT_NEAR(m.recovery_energy(FpuType::kAdd, 0.9),
+              10.0 * m.op_energy(FpuType::kAdd, 0.9), 1e-9);
+}
+
+TEST(EnergyModel, CleanMissCostsOpPlusModule) {
+  const EnergyModel m;
+  const EnergyParams& p = m.params();
+  const double e = m.charge(clean_miss());
+  const double expected = m.op_energy(FpuType::kAdd, 0.9) + p.lut_lookup_pj +
+                          p.lut_update_pj + 4 * p.memo_static_pj_per_cycle;
+  EXPECT_NEAR(e, expected, 1e-9);
+}
+
+TEST(EnergyModel, HitCostsFarLessThanMiss) {
+  const EnergyModel m;
+  EXPECT_LT(m.charge(hit()), 0.6 * m.charge(clean_miss()));
+  // Hit energy: one active stage + residual on the rest + module.
+  const EnergyParams& p = m.params();
+  const double stage = m.stage_energy(FpuType::kAdd, 0.9);
+  const double expected = stage + 3 * stage * p.clock_gate_residual +
+                          p.lut_lookup_pj + 4 * p.memo_static_pj_per_cycle;
+  EXPECT_NEAR(m.charge(hit()), expected, 1e-9);
+}
+
+TEST(EnergyModel, ErrantMissAddsRecoveryEnergy) {
+  const EnergyModel m;
+  const double delta = m.charge(errant_miss()) - m.charge(clean_miss());
+  EXPECT_NEAR(delta,
+              m.recovery_energy(FpuType::kAdd, 0.9) -
+                  m.params().lut_update_pj +
+                  12 * m.params().memo_static_pj_per_cycle,
+              1e-9);
+}
+
+TEST(EnergyModel, BaselineChargesRecoveryForMaskedErrors) {
+  const EnergyModel m;
+  ExecutionRecord masked = hit();
+  masked.timing_error = true;
+  masked.error_masked = true;
+  masked.action = MemoAction::kReuseMaskError;
+  // Memoized architecture: no recovery energy.
+  EXPECT_LT(m.charge(masked), m.op_energy(FpuType::kAdd, 0.9));
+  // Baseline: full op + recovery.
+  EXPECT_NEAR(m.charge_baseline(masked),
+              m.op_energy(FpuType::kAdd, 0.9) +
+                  m.recovery_energy(FpuType::kAdd, 0.9),
+              1e-9);
+}
+
+TEST(EnergyModel, ModuleChargesStayAtNominalUnderVos) {
+  // At 0.8 V FPU supply the LUT contributions must not scale.
+  const EnergyModel m;
+  const EnergyParams& p = m.params();
+  const double e80 = m.charge(hit(), 0.8);
+  const double stage80 = m.stage_energy(FpuType::kAdd, 0.8);
+  const double expected = stage80 + 3 * stage80 * p.clock_gate_residual +
+                          p.lut_lookup_pj + 4 * p.memo_static_pj_per_cycle;
+  EXPECT_NEAR(e80, expected, 1e-9);
+}
+
+TEST(EnergyModel, DisabledModuleChargesNoLutEnergy) {
+  const EnergyModel m;
+  ExecutionRecord r = clean_miss();
+  r.memo_enabled = false;
+  r.lut_lookups = 0;
+  r.lut_writes = 0;
+  EXPECT_NEAR(m.charge(r), m.op_energy(FpuType::kAdd, 0.9), 1e-9);
+  // A full miss without module equals the baseline charge exactly.
+  EXPECT_NEAR(m.charge(r), m.charge_baseline(r), 1e-9);
+}
+
+TEST(EnergyTotals, SavingComputation) {
+  EnergyTotals t;
+  t.baseline_pj = 200.0;
+  t.memoized_pj = 150.0;
+  EXPECT_NEAR(t.saving(), 0.25, 1e-12);
+  EnergyTotals zero;
+  EXPECT_EQ(zero.saving(), 0.0);
+}
+
+TEST(EnergyTotals, Accumulation) {
+  EnergyTotals a{10.0, 20.0};
+  EnergyTotals b{1.0, 2.0};
+  a += b;
+  EXPECT_NEAR(a.memoized_pj, 11.0, 1e-12);
+  EXPECT_NEAR(a.baseline_pj, 22.0, 1e-12);
+}
+
+class UnitEnergyOrdering : public ::testing::TestWithParam<Volt> {};
+
+TEST_P(UnitEnergyOrdering, ExpensiveUnitsStayExpensive) {
+  // The relative cost ordering is voltage-invariant.
+  const EnergyModel m;
+  const Volt v = GetParam();
+  EXPECT_GT(m.op_energy(FpuType::kRecip, v), m.op_energy(FpuType::kSqrt, v));
+  EXPECT_GT(m.op_energy(FpuType::kSqrt, v), m.op_energy(FpuType::kMulAdd, v));
+  EXPECT_GT(m.op_energy(FpuType::kMulAdd, v), m.op_energy(FpuType::kMul, v));
+  EXPECT_GT(m.op_energy(FpuType::kMul, v), m.op_energy(FpuType::kAdd, v));
+  EXPECT_GT(m.op_energy(FpuType::kAdd, v), m.op_energy(FpuType::kFp2Int, v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, UnitEnergyOrdering,
+                         ::testing::Values(0.9, 0.84, 0.8));
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,137 @@
+#include "fpu/opcode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tmemo {
+namespace {
+
+std::vector<FpOpcode> all_opcodes() {
+  std::vector<FpOpcode> ops;
+  for (int i = 0; i < kNumFpOpcodes; ++i) {
+    ops.push_back(static_cast<FpOpcode>(i));
+  }
+  return ops;
+}
+
+TEST(Opcode, TwentySevenOpcodesModeled) {
+  EXPECT_EQ(kNumFpOpcodes, 27);
+  // Names must be unique and defined for all 27.
+  std::set<std::string_view> names;
+  for (FpOpcode op : all_opcodes()) {
+    const auto name = opcode_name(op);
+    EXPECT_NE(name, "?");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), 27u);
+}
+
+TEST(Opcode, ArityBounds) {
+  for (FpOpcode op : all_opcodes()) {
+    const int a = opcode_arity(op);
+    EXPECT_GE(a, 1) << opcode_name(op);
+    EXPECT_LE(a, 3) << opcode_name(op);
+  }
+}
+
+TEST(Opcode, SpecificArities) {
+  EXPECT_EQ(opcode_arity(FpOpcode::kAdd), 2);
+  EXPECT_EQ(opcode_arity(FpOpcode::kMulAdd), 3);
+  EXPECT_EQ(opcode_arity(FpOpcode::kCndGe), 3);
+  EXPECT_EQ(opcode_arity(FpOpcode::kSqrt), 1);
+  EXPECT_EQ(opcode_arity(FpOpcode::kFp2Int), 1);
+  EXPECT_EQ(opcode_arity(FpOpcode::kSetGe), 2);
+}
+
+TEST(Opcode, UnitSteering) {
+  EXPECT_EQ(opcode_unit(FpOpcode::kAdd), FpuType::kAdd);
+  EXPECT_EQ(opcode_unit(FpOpcode::kSub), FpuType::kAdd);
+  EXPECT_EQ(opcode_unit(FpOpcode::kMin), FpuType::kAdd);
+  EXPECT_EQ(opcode_unit(FpOpcode::kSetGt), FpuType::kAdd);
+  EXPECT_EQ(opcode_unit(FpOpcode::kCndGe), FpuType::kAdd);
+  EXPECT_EQ(opcode_unit(FpOpcode::kMul), FpuType::kMul);
+  EXPECT_EQ(opcode_unit(FpOpcode::kMulAdd), FpuType::kMulAdd);
+  EXPECT_EQ(opcode_unit(FpOpcode::kSqrt), FpuType::kSqrt);
+  EXPECT_EQ(opcode_unit(FpOpcode::kRsqrt), FpuType::kSqrt);
+  EXPECT_EQ(opcode_unit(FpOpcode::kRecip), FpuType::kRecip);
+  EXPECT_EQ(opcode_unit(FpOpcode::kFp2Int), FpuType::kFp2Int);
+  EXPECT_EQ(opcode_unit(FpOpcode::kInt2Fp), FpuType::kInt2Fp);
+  EXPECT_EQ(opcode_unit(FpOpcode::kSin), FpuType::kTrig);
+  EXPECT_EQ(opcode_unit(FpOpcode::kCos), FpuType::kTrig);
+  EXPECT_EQ(opcode_unit(FpOpcode::kExp2), FpuType::kExpLog);
+  EXPECT_EQ(opcode_unit(FpOpcode::kLog2), FpuType::kExpLog);
+}
+
+TEST(Opcode, CommutativityFlags) {
+  EXPECT_TRUE(opcode_commutative(FpOpcode::kAdd));
+  EXPECT_TRUE(opcode_commutative(FpOpcode::kMul));
+  EXPECT_TRUE(opcode_commutative(FpOpcode::kMulAdd));
+  EXPECT_TRUE(opcode_commutative(FpOpcode::kMin));
+  EXPECT_TRUE(opcode_commutative(FpOpcode::kMax));
+  EXPECT_TRUE(opcode_commutative(FpOpcode::kSetE));
+  EXPECT_TRUE(opcode_commutative(FpOpcode::kSetNe));
+  EXPECT_FALSE(opcode_commutative(FpOpcode::kSub));
+  EXPECT_FALSE(opcode_commutative(FpOpcode::kSetGt));
+  EXPECT_FALSE(opcode_commutative(FpOpcode::kSetGe));
+  EXPECT_FALSE(opcode_commutative(FpOpcode::kCndGe));
+  EXPECT_FALSE(opcode_commutative(FpOpcode::kSqrt));
+}
+
+TEST(FpuType, LatencyMatchesPaper) {
+  // Paper §5.1: all units 4 cycles, RECIP balanced to 16.
+  for (FpuType t : kAllFpuTypes) {
+    if (t == FpuType::kRecip) {
+      EXPECT_EQ(fpu_latency_cycles(t), 16);
+    } else {
+      EXPECT_EQ(fpu_latency_cycles(t), 4);
+    }
+  }
+}
+
+TEST(FpuType, TranscendentalUnitsLiveOnT) {
+  EXPECT_TRUE(fpu_type_is_transcendental(FpuType::kSqrt));
+  EXPECT_TRUE(fpu_type_is_transcendental(FpuType::kRecip));
+  EXPECT_TRUE(fpu_type_is_transcendental(FpuType::kTrig));
+  EXPECT_TRUE(fpu_type_is_transcendental(FpuType::kExpLog));
+  EXPECT_FALSE(fpu_type_is_transcendental(FpuType::kAdd));
+  EXPECT_FALSE(fpu_type_is_transcendental(FpuType::kMul));
+  EXPECT_FALSE(fpu_type_is_transcendental(FpuType::kMulAdd));
+  EXPECT_FALSE(fpu_type_is_transcendental(FpuType::kFp2Int));
+  EXPECT_FALSE(fpu_type_is_transcendental(FpuType::kInt2Fp));
+}
+
+TEST(FpuType, ReportedTypesAreTheSixOfThePaper) {
+  EXPECT_EQ(kReportedFpuTypes.size(), 6u);
+  const std::set<FpuType> reported(kReportedFpuTypes.begin(),
+                                   kReportedFpuTypes.end());
+  EXPECT_TRUE(reported.count(FpuType::kAdd));
+  EXPECT_TRUE(reported.count(FpuType::kMul));
+  EXPECT_TRUE(reported.count(FpuType::kSqrt));
+  EXPECT_TRUE(reported.count(FpuType::kRecip));
+  EXPECT_TRUE(reported.count(FpuType::kMulAdd));
+  EXPECT_TRUE(reported.count(FpuType::kFp2Int));
+}
+
+TEST(FpuType, NamesUnique) {
+  std::set<std::string_view> names;
+  for (FpuType t : kAllFpuTypes) names.insert(fpu_type_name(t));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumFpuTypes));
+}
+
+class OpcodeUnitConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeUnitConsistency, UnitIsTranscendentalIffOnTSlot) {
+  const auto op = static_cast<FpOpcode>(GetParam());
+  const FpuType unit = opcode_unit(op);
+  // Every opcode maps to a valid unit with a positive latency.
+  EXPECT_GE(static_cast<int>(unit), 0);
+  EXPECT_LT(static_cast<int>(unit), kNumFpuTypes);
+  EXPECT_GE(fpu_latency_cycles(unit), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeUnitConsistency,
+                         ::testing::Range(0, kNumFpOpcodes));
+
+} // namespace
+} // namespace tmemo

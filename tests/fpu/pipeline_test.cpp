@@ -1,0 +1,175 @@
+#include "fpu/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmemo {
+namespace {
+
+FpInstruction make_add(float a, float b) {
+  FpInstruction ins;
+  ins.opcode = FpOpcode::kAdd;
+  ins.operands = {a, b, 0.0f};
+  return ins;
+}
+
+TEST(FpuPipeline, DepthMatchesUnitLatency) {
+  EXPECT_EQ(FpuPipeline(FpuType::kAdd).depth(), 4);
+  EXPECT_EQ(FpuPipeline(FpuType::kMulAdd).depth(), 4);
+  EXPECT_EQ(FpuPipeline(FpuType::kRecip).depth(), 16);
+}
+
+TEST(FpuPipeline, SingleInstructionLatency) {
+  FpuPipeline pipe(FpuType::kAdd);
+  pipe.issue(make_add(1.0f, 2.0f));
+  for (int c = 0; c < 3; ++c) {
+    pipe.step();
+    EXPECT_FALSE(pipe.retire().has_value()) << "cycle " << c;
+  }
+  pipe.step();
+  ASSERT_TRUE(pipe.retire().has_value());
+  EXPECT_EQ(pipe.retire()->result, 3.0f);
+  EXPECT_EQ(pipe.retire()->retire_cycle - pipe.retire()->issue_cycle, 4u);
+}
+
+TEST(FpuPipeline, RecipLatencyIsSixteen) {
+  FpuPipeline pipe(FpuType::kRecip);
+  FpInstruction ins;
+  ins.opcode = FpOpcode::kRecip;
+  ins.operands = {4.0f, 0.0f, 0.0f};
+  pipe.issue(ins);
+  int cycles = 0;
+  while (!pipe.retire().has_value()) {
+    pipe.step();
+    ++cycles;
+    ASSERT_LE(cycles, 16);
+  }
+  EXPECT_EQ(cycles, 16);
+  EXPECT_EQ(pipe.retire()->result, 0.25f);
+}
+
+TEST(FpuPipeline, FullyPipelinedThroughput) {
+  // One instruction per cycle in, one per cycle out after the fill.
+  FpuPipeline pipe(FpuType::kMul);
+  int retired = 0;
+  for (int c = 0; c < 100; ++c) {
+    FpInstruction ins;
+    ins.opcode = FpOpcode::kMul;
+    ins.operands = {static_cast<float>(c), 2.0f, 0.0f};
+    ASSERT_TRUE(pipe.can_issue());
+    pipe.issue(ins);
+    pipe.step();
+    if (pipe.retire().has_value()) {
+      EXPECT_EQ(pipe.retire()->result,
+                static_cast<float>(retired) * 2.0f);
+      ++retired;
+    }
+  }
+  EXPECT_EQ(retired, 100 - pipe.depth() + 1);
+  EXPECT_EQ(pipe.occupancy(), pipe.depth() - 1);
+}
+
+TEST(FpuPipeline, StructuralHazardRejected) {
+  FpuPipeline pipe(FpuType::kAdd);
+  pipe.issue(make_add(1, 1));
+  EXPECT_FALSE(pipe.can_issue());
+  EXPECT_THROW(pipe.issue(make_add(2, 2)), std::invalid_argument);
+}
+
+TEST(FpuPipeline, InOrderRetirement) {
+  FpuPipeline pipe(FpuType::kAdd);
+  std::vector<float> results;
+  for (int c = 0; c < 20; ++c) {
+    if (pipe.can_issue() && c < 10) {
+      pipe.issue(make_add(static_cast<float>(c), 0.0f));
+    }
+    pipe.step();
+    if (pipe.retire().has_value()) results.push_back(pipe.retire()->result);
+  }
+  ASSERT_EQ(results.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], static_cast<float>(i));
+  }
+}
+
+TEST(FpuPipeline, SquashStageRemovesInstruction) {
+  FpuPipeline pipe(FpuType::kAdd);
+  pipe.issue(make_add(1, 1));
+  pipe.step(); // instruction now in stage 1
+  EXPECT_TRUE(pipe.squash_stage(1));
+  EXPECT_EQ(pipe.occupancy(), 0);
+  // The squashed instruction never retires.
+  for (int c = 0; c < 8; ++c) {
+    pipe.step();
+    EXPECT_FALSE(pipe.retire().has_value());
+  }
+}
+
+TEST(FpuPipeline, SquashInvalidStageReturnsFalse) {
+  FpuPipeline pipe(FpuType::kAdd);
+  EXPECT_FALSE(pipe.squash_stage(-1));
+  EXPECT_FALSE(pipe.squash_stage(4));
+  EXPECT_FALSE(pipe.squash_stage(0)); // empty stage
+}
+
+TEST(FpuPipeline, FlushReportsSquashedCount) {
+  FpuPipeline pipe(FpuType::kAdd);
+  pipe.issue(make_add(1, 1));
+  pipe.step();
+  pipe.issue(make_add(2, 2));
+  pipe.step();
+  pipe.issue(make_add(3, 3));
+  EXPECT_EQ(pipe.occupancy(), 3);
+  EXPECT_EQ(pipe.flush(), 3);
+  EXPECT_EQ(pipe.occupancy(), 0);
+}
+
+TEST(FpuPipeline, ResetRestartsClock) {
+  FpuPipeline pipe(FpuType::kAdd);
+  pipe.issue(make_add(1, 1));
+  pipe.step();
+  pipe.step();
+  EXPECT_EQ(pipe.now(), 2u);
+  pipe.reset();
+  EXPECT_EQ(pipe.now(), 0u);
+  EXPECT_EQ(pipe.occupancy(), 0);
+  EXPECT_FALSE(pipe.retire().has_value());
+}
+
+TEST(FpuPipeline, RetireClearedOnNextStep) {
+  FpuPipeline pipe(FpuType::kAdd);
+  pipe.issue(make_add(2.0f, 3.0f));
+  for (int c = 0; c < 4; ++c) pipe.step();
+  ASSERT_TRUE(pipe.retire().has_value());
+  pipe.step();
+  EXPECT_FALSE(pipe.retire().has_value());
+}
+
+class PipelineDepthTest : public ::testing::TestWithParam<FpuType> {};
+
+TEST_P(PipelineDepthTest, BubblesPreserveProgramOrder) {
+  FpuPipeline pipe(GetParam());
+  // Issue with a 3-cycle gap between instructions.
+  std::vector<float> results;
+  int issued = 0;
+  for (int c = 0; c < 120; ++c) {
+    if (c % 3 == 0 && issued < 10 && pipe.can_issue()) {
+      FpInstruction ins;
+      ins.opcode = FpOpcode::kAbs;
+      ins.operands = {-static_cast<float>(issued), 0, 0};
+      pipe.issue(ins);
+      ++issued;
+    }
+    pipe.step();
+    if (pipe.retire().has_value()) results.push_back(pipe.retire()->result);
+  }
+  ASSERT_EQ(results.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], static_cast<float>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUnits, PipelineDepthTest,
+                         ::testing::ValuesIn(kAllFpuTypes));
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,153 @@
+#include "fpu/semantics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace tmemo {
+namespace {
+
+float eval1(FpOpcode op, float a) { return evaluate_fp_op(op, {a, 0, 0}); }
+float eval2(FpOpcode op, float a, float b) {
+  return evaluate_fp_op(op, {a, b, 0});
+}
+float eval3(FpOpcode op, float a, float b, float c) {
+  return evaluate_fp_op(op, {a, b, c});
+}
+
+TEST(Semantics, Arithmetic) {
+  EXPECT_EQ(eval2(FpOpcode::kAdd, 1.5f, 2.25f), 3.75f);
+  EXPECT_EQ(eval2(FpOpcode::kSub, 1.5f, 2.25f), -0.75f);
+  EXPECT_EQ(eval2(FpOpcode::kMul, 1.5f, 2.0f), 3.0f);
+  EXPECT_EQ(eval3(FpOpcode::kMulAdd, 2.0f, 3.0f, 1.0f), 7.0f);
+}
+
+TEST(Semantics, MulAddIsFused) {
+  // fma(a, b, c) differs from a*b+c when the product needs extra precision.
+  const float a = 1.0f + 0x1.0p-12f;
+  const float b = 1.0f - 0x1.0p-12f;
+  const float c = -1.0f;
+  EXPECT_EQ(eval3(FpOpcode::kMulAdd, a, b, c), std::fmaf(a, b, c));
+}
+
+TEST(Semantics, MinMax) {
+  EXPECT_EQ(eval2(FpOpcode::kMin, -1.0f, 2.0f), -1.0f);
+  EXPECT_EQ(eval2(FpOpcode::kMax, -1.0f, 2.0f), 2.0f);
+  // IEEE minNum semantics: NaN operand yields the non-NaN value.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(eval2(FpOpcode::kMin, nan, 3.0f), 3.0f);
+  EXPECT_EQ(eval2(FpOpcode::kMax, 3.0f, nan), 3.0f);
+}
+
+TEST(Semantics, Rounding) {
+  EXPECT_EQ(eval1(FpOpcode::kFloor, 2.7f), 2.0f);
+  EXPECT_EQ(eval1(FpOpcode::kFloor, -2.1f), -3.0f);
+  EXPECT_EQ(eval1(FpOpcode::kCeil, 2.1f), 3.0f);
+  EXPECT_EQ(eval1(FpOpcode::kCeil, -2.7f), -2.0f);
+  EXPECT_EQ(eval1(FpOpcode::kTrunc, 2.9f), 2.0f);
+  EXPECT_EQ(eval1(FpOpcode::kTrunc, -2.9f), -2.0f);
+  // Round-to-nearest-even on ties.
+  EXPECT_EQ(eval1(FpOpcode::kRndNe, 2.5f), 2.0f);
+  EXPECT_EQ(eval1(FpOpcode::kRndNe, 3.5f), 4.0f);
+}
+
+TEST(Semantics, FractAbsNeg) {
+  EXPECT_FLOAT_EQ(eval1(FpOpcode::kFract, 2.75f), 0.75f);
+  EXPECT_FLOAT_EQ(eval1(FpOpcode::kFract, -0.25f), 0.75f);
+  EXPECT_EQ(eval1(FpOpcode::kAbs, -3.5f), 3.5f);
+  EXPECT_EQ(eval1(FpOpcode::kNeg, 3.5f), -3.5f);
+  EXPECT_EQ(eval1(FpOpcode::kNeg, -0.0f), 0.0f);
+}
+
+TEST(Semantics, Transcendental) {
+  EXPECT_EQ(eval1(FpOpcode::kSqrt, 9.0f), 3.0f);
+  EXPECT_FLOAT_EQ(eval1(FpOpcode::kRsqrt, 4.0f), 0.5f);
+  EXPECT_FLOAT_EQ(eval1(FpOpcode::kRecip, 8.0f), 0.125f);
+  EXPECT_FLOAT_EQ(eval1(FpOpcode::kSin, 0.0f), 0.0f);
+  EXPECT_FLOAT_EQ(eval1(FpOpcode::kCos, 0.0f), 1.0f);
+  EXPECT_EQ(eval1(FpOpcode::kExp2, 3.0f), 8.0f);
+  EXPECT_EQ(eval1(FpOpcode::kLog2, 8.0f), 3.0f);
+}
+
+TEST(Semantics, Fp2IntTruncatesAndSaturates) {
+  EXPECT_EQ(eval1(FpOpcode::kFp2Int, 3.99f), 3.0f);
+  EXPECT_EQ(eval1(FpOpcode::kFp2Int, -3.99f), -3.0f);
+  EXPECT_EQ(eval1(FpOpcode::kFp2Int, 0.0f), 0.0f);
+  // Saturation at the int32 boundaries (no UB).
+  EXPECT_EQ(eval1(FpOpcode::kFp2Int, 1e20f), 2147483520.0f);
+  EXPECT_EQ(eval1(FpOpcode::kFp2Int, -1e20f), -2147483648.0f);
+  // NaN converts to 0 (a common GPU convention).
+  EXPECT_EQ(eval1(FpOpcode::kFp2Int, std::numeric_limits<float>::quiet_NaN()),
+            0.0f);
+}
+
+TEST(Semantics, Int2Fp) {
+  EXPECT_EQ(eval1(FpOpcode::kInt2Fp, 7.0f), 7.0f);
+  EXPECT_EQ(eval1(FpOpcode::kInt2Fp, -7.9f), -7.0f);
+}
+
+TEST(Semantics, Comparisons) {
+  EXPECT_EQ(eval2(FpOpcode::kSetE, 2.0f, 2.0f), 1.0f);
+  EXPECT_EQ(eval2(FpOpcode::kSetE, 2.0f, 3.0f), 0.0f);
+  EXPECT_EQ(eval2(FpOpcode::kSetGt, 3.0f, 2.0f), 1.0f);
+  EXPECT_EQ(eval2(FpOpcode::kSetGt, 2.0f, 2.0f), 0.0f);
+  EXPECT_EQ(eval2(FpOpcode::kSetGe, 2.0f, 2.0f), 1.0f);
+  EXPECT_EQ(eval2(FpOpcode::kSetGe, 1.0f, 2.0f), 0.0f);
+  EXPECT_EQ(eval2(FpOpcode::kSetNe, 1.0f, 2.0f), 1.0f);
+  EXPECT_EQ(eval2(FpOpcode::kSetNe, 2.0f, 2.0f), 0.0f);
+}
+
+TEST(Semantics, ComparisonsWithNan) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(eval2(FpOpcode::kSetE, nan, nan), 0.0f);
+  EXPECT_EQ(eval2(FpOpcode::kSetNe, nan, nan), 1.0f);
+  EXPECT_EQ(eval2(FpOpcode::kSetGt, nan, 0.0f), 0.0f);
+  EXPECT_EQ(eval2(FpOpcode::kSetGe, nan, 0.0f), 0.0f);
+}
+
+TEST(Semantics, ConditionalMove) {
+  EXPECT_EQ(eval3(FpOpcode::kCndGe, 1.0f, 5.0f, 7.0f), 5.0f);
+  EXPECT_EQ(eval3(FpOpcode::kCndGe, 0.0f, 5.0f, 7.0f), 5.0f); // >= 0
+  EXPECT_EQ(eval3(FpOpcode::kCndGe, -0.5f, 5.0f, 7.0f), 7.0f);
+}
+
+TEST(Semantics, SpecialValuesPropagate) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(eval2(FpOpcode::kAdd, inf, 1.0f), inf);
+  EXPECT_TRUE(std::isnan(eval2(FpOpcode::kSub, inf, inf)));
+  EXPECT_EQ(eval1(FpOpcode::kRecip, 0.0f), inf);
+  EXPECT_TRUE(std::isnan(eval1(FpOpcode::kSqrt, -1.0f)));
+  EXPECT_EQ(eval1(FpOpcode::kLog2, 0.0f), -inf);
+}
+
+// Property: the functional core agrees with an independent double-precision
+// computation to within 1 ULP-ish for random operands (it IS the golden
+// model, so this is a sanity cross-check against libm).
+class SemanticsRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemanticsRandomTest, AgreesWithDoublePrecisionReference) {
+  Xorshift128 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 2000; ++i) {
+    const float a = 200.0f * rng.next_float() - 100.0f;
+    const float b = 200.0f * rng.next_float() - 100.0f;
+    const double ref_add = static_cast<double>(a) + static_cast<double>(b);
+    EXPECT_NEAR(eval2(FpOpcode::kAdd, a, b), ref_add,
+                std::abs(ref_add) * 1e-6 + 1e-6);
+    const double ref_mul = static_cast<double>(a) * static_cast<double>(b);
+    EXPECT_NEAR(eval2(FpOpcode::kMul, a, b), ref_mul,
+                std::abs(ref_mul) * 1e-6 + 1e-6);
+    if (a > 0.0f) {
+      EXPECT_NEAR(eval1(FpOpcode::kSqrt, a),
+                  std::sqrt(static_cast<double>(a)), 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemanticsRandomTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,170 @@
+#include "gpu/cycle_fpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tmemo {
+namespace {
+
+std::vector<FpInstruction> make_stream(int n, int distinct,
+                                       FpOpcode op = FpOpcode::kAdd,
+                                       std::uint64_t seed = 5) {
+  Xorshift128 rng(seed);
+  std::vector<FpInstruction> stream;
+  stream.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    FpInstruction ins;
+    ins.opcode = op;
+    ins.operands[0] =
+        static_cast<float>(rng.next_below(static_cast<std::uint64_t>(distinct)));
+    ins.operands[1] = 1.0f;
+    stream.push_back(ins);
+  }
+  return stream;
+}
+
+TEST(CycleFpu, ErrorFreeThroughputIsOnePerCycle) {
+  CycleAccurateFpu fpu(FpuType::kAdd, ResilientFpuConfig{});
+  const NoErrorModel none;
+  const auto stream = make_stream(100, 1000);
+  const CycleRunResult r = fpu.run(stream, none);
+  // Fill (depth) + one commit per cycle afterwards.
+  EXPECT_EQ(r.total_cycles, 100u + 4u - 1u + 1u);
+  EXPECT_EQ(r.stats.instructions, 100u);
+  EXPECT_EQ(r.flushed_issues, 0u);
+}
+
+TEST(CycleFpu, ResultsMatchSemantics) {
+  CycleAccurateFpu fpu(FpuType::kMul, ResilientFpuConfig{});
+  const NoErrorModel none;
+  std::vector<FpInstruction> stream;
+  for (int i = 0; i < 20; ++i) {
+    FpInstruction ins;
+    ins.opcode = FpOpcode::kMul;
+    ins.operands = {static_cast<float>(i), 3.0f, 0.0f};
+    stream.push_back(ins);
+  }
+  const CycleRunResult r = fpu.run(stream, none);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(r.results[static_cast<std::size_t>(i)],
+              static_cast<float>(i) * 3.0f);
+  }
+}
+
+TEST(CycleFpu, BackToBackReuseThroughForwarding) {
+  // Identical consecutive instructions: the second hits the entry the
+  // first allocated AT ISSUE, even though the first has not retired yet —
+  // the result-forwarding design that makes sub-wavefront locality work.
+  CycleAccurateFpu fpu(FpuType::kAdd, ResilientFpuConfig{});
+  const NoErrorModel none;
+  std::vector<FpInstruction> stream(4);
+  for (auto& ins : stream) {
+    ins.opcode = FpOpcode::kAdd;
+    ins.operands = {2.0f, 3.0f, 0.0f};
+  }
+  const CycleRunResult r = fpu.run(stream, none);
+  EXPECT_EQ(r.stats.hits, 3u); // all but the first
+  for (float v : r.results) EXPECT_EQ(v, 5.0f);
+}
+
+TEST(CycleFpu, AgreesWithTransactionalModelWhenErrorFree) {
+  // The validation test for the transactional accounting: identical
+  // hit/update/result streams on the same input.
+  const auto stream = make_stream(2000, 3, FpOpcode::kAdd, 11);
+  const NoErrorModel none;
+
+  CycleAccurateFpu cycle(FpuType::kAdd, ResilientFpuConfig{});
+  const CycleRunResult cr = cycle.run(stream, none);
+
+  ResilientFpu trans(FpuType::kAdd, ResilientFpuConfig{});
+  FpuStats expected;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const ExecutionRecord rec = trans.execute(stream[i], none);
+    ASSERT_EQ(rec.result, cr.results[i]) << "instruction " << i;
+  }
+  expected = trans.stats();
+  EXPECT_EQ(cr.stats.instructions, expected.instructions);
+  EXPECT_EQ(cr.stats.hits, expected.hits);
+  EXPECT_EQ(cr.stats.lut_updates, expected.lut_updates);
+  EXPECT_EQ(cr.stats.active_stage_cycles, expected.active_stage_cycles);
+  EXPECT_EQ(cr.stats.gated_stage_cycles, expected.gated_stage_cycles);
+}
+
+TEST(CycleFpu, RecoveryStallsAndRefills) {
+  // A single guaranteed-errant instruction: total time = fill + commit +
+  // 12 recovery cycles.
+  CycleAccurateFpu fpu(FpuType::kAdd, ResilientFpuConfig{});
+  const FixedRateErrorModel always(1.0);
+  const auto stream = make_stream(1, 10);
+  const CycleRunResult r = fpu.run(stream, always);
+  EXPECT_EQ(r.stats.recoveries, 1u);
+  EXPECT_EQ(r.stats.recovery_cycles, 12u);
+  EXPECT_EQ(r.total_cycles, 4u + 1u + 12u);
+  EXPECT_EQ(r.results[0], r.results[0]); // committed
+}
+
+TEST(CycleFpu, FlushReissuesYoungerInstructions) {
+  // Errors on every miss: each recovery flushes the in-flight younger
+  // instructions, which are re-issued and still commit correct values.
+  CycleAccurateFpu fpu(FpuType::kAdd, ResilientFpuConfig{});
+  const FixedRateErrorModel always(1.0);
+  const auto stream = make_stream(10, 1000, FpOpcode::kAdd, 17);
+  const CycleRunResult r = fpu.run(stream, always);
+  EXPECT_EQ(r.stats.instructions, 10u);
+  EXPECT_GT(r.flushed_issues, 0u);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(r.results[i], evaluate_fp_op(stream[i])) << i;
+  }
+}
+
+TEST(CycleFpu, ExactnessUnderRandomErrors) {
+  // Property: whatever the error pattern, committed results are exact
+  // under exact matching.
+  CycleAccurateFpu fpu(FpuType::kMulAdd, ResilientFpuConfig{});
+  const FixedRateErrorModel half(0.5);
+  std::vector<FpInstruction> stream;
+  Xorshift128 rng(23);
+  for (int i = 0; i < 500; ++i) {
+    FpInstruction ins;
+    ins.opcode = FpOpcode::kMulAdd;
+    ins.operands = {static_cast<float>(rng.next_below(5)),
+                    static_cast<float>(rng.next_below(5)), 1.0f};
+    stream.push_back(ins);
+  }
+  const CycleRunResult r = fpu.run(stream, half);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_EQ(r.results[i], evaluate_fp_op(stream[i])) << i;
+  }
+  EXPECT_EQ(r.stats.timing_errors,
+            r.stats.masked_errors + r.stats.recoveries);
+}
+
+TEST(CycleFpu, RecipPipelineDepthSixteen) {
+  CycleAccurateFpu fpu(FpuType::kRecip, ResilientFpuConfig{});
+  const NoErrorModel none;
+  std::vector<FpInstruction> stream(1);
+  stream[0].opcode = FpOpcode::kRecip;
+  stream[0].operands = {4.0f, 0.0f, 0.0f};
+  const CycleRunResult r = fpu.run(stream, none);
+  EXPECT_EQ(r.total_cycles, 17u); // 16 stages + commit cycle
+  EXPECT_EQ(r.results[0], 0.25f);
+}
+
+TEST(CycleFpu, HitsDoNotStallThePipeline) {
+  // 50% hit stream: cycle count identical to the all-miss stream — the
+  // paper's zero-cycle-penalty reuse.
+  const NoErrorModel none;
+  CycleAccurateFpu hot(FpuType::kAdd, ResilientFpuConfig{});
+  const auto repetitive = make_stream(200, 2, FpOpcode::kAdd, 3);
+  const CycleRunResult hot_r = hot.run(repetitive, none);
+  EXPECT_GT(hot_r.stats.hits, 100u);
+
+  CycleAccurateFpu cold(FpuType::kAdd, ResilientFpuConfig{});
+  const auto unique = make_stream(200, 100000, FpOpcode::kAdd, 29);
+  const CycleRunResult cold_r = cold.run(unique, none);
+  EXPECT_EQ(hot_r.total_cycles, cold_r.total_cycles);
+}
+
+} // namespace
+} // namespace tmemo

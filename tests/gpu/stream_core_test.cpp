@@ -1,0 +1,104 @@
+#include "gpu/stream_core.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmemo {
+namespace {
+
+FpInstruction ins(FpOpcode op, StaticInstrId sid, float a, float b = 0.0f) {
+  FpInstruction i;
+  i.opcode = op;
+  i.static_id = sid;
+  i.operands = {a, b, 0.0f};
+  return i;
+}
+
+TEST(StreamCore, VliwSlotSteering) {
+  // Non-transcendental opcodes rotate over X/Y/Z/W by static id.
+  EXPECT_EQ(StreamCore::vliw_slot(FpuType::kAdd, 0), 0);
+  EXPECT_EQ(StreamCore::vliw_slot(FpuType::kAdd, 1), 1);
+  EXPECT_EQ(StreamCore::vliw_slot(FpuType::kAdd, 2), 2);
+  EXPECT_EQ(StreamCore::vliw_slot(FpuType::kAdd, 3), 3);
+  EXPECT_EQ(StreamCore::vliw_slot(FpuType::kAdd, 4), 0);
+  EXPECT_EQ(StreamCore::vliw_slot(FpuType::kMul, 7), 3);
+  // Transcendentals always go to T.
+  for (StaticInstrId sid : {0u, 1u, 5u, 100u}) {
+    EXPECT_EQ(StreamCore::vliw_slot(FpuType::kSqrt, sid), kPeT);
+    EXPECT_EQ(StreamCore::vliw_slot(FpuType::kRecip, sid), kPeT);
+    EXPECT_EQ(StreamCore::vliw_slot(FpuType::kTrig, sid), kPeT);
+    EXPECT_EQ(StreamCore::vliw_slot(FpuType::kExpLog, sid), kPeT);
+  }
+}
+
+TEST(StreamCore, FpuPopulationMatchesPeRoles) {
+  StreamCore core(ResilientFpuConfig{}, 1);
+  // Non-transcendental units exist on X/Y/Z/W, transcendental only on T.
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_NO_THROW((void)core.fpu(pe, FpuType::kAdd));
+    EXPECT_NO_THROW((void)core.fpu(pe, FpuType::kMulAdd));
+    EXPECT_THROW((void)core.fpu(pe, FpuType::kSqrt), std::invalid_argument);
+  }
+  EXPECT_NO_THROW((void)core.fpu(kPeT, FpuType::kSqrt));
+  EXPECT_NO_THROW((void)core.fpu(kPeT, FpuType::kRecip));
+  EXPECT_THROW((void)core.fpu(kPeT, FpuType::kAdd), std::invalid_argument);
+  EXPECT_THROW((void)core.fpu(9, FpuType::kAdd), std::invalid_argument);
+}
+
+TEST(StreamCore, TotalFpuCount) {
+  StreamCore core(ResilientFpuConfig{}, 1);
+  int count = 0;
+  core.for_each_fpu([&count](const ResilientFpu&) { ++count; });
+  // 4 PEs x 5 non-transcendental units + 1 T x 4 transcendental units.
+  EXPECT_EQ(count, 4 * 5 + 4);
+}
+
+TEST(StreamCore, ExecuteRoutesToStaticSlot) {
+  StreamCore core(ResilientFpuConfig{}, 1);
+  const NoErrorModel none;
+  // Same opcode, same operands, different static ids -> different PEs,
+  // so the second instruction must MISS (cold LUT on its own PE).
+  (void)core.execute(ins(FpOpcode::kAdd, 0, 1.0f, 2.0f), none);
+  const auto rec1 = core.execute(ins(FpOpcode::kAdd, 1, 1.0f, 2.0f), none);
+  EXPECT_FALSE(rec1.lut_hit);
+  // Same static id modulo 4 -> same PE -> hit.
+  const auto rec2 = core.execute(ins(FpOpcode::kAdd, 4, 1.0f, 2.0f), none);
+  EXPECT_TRUE(rec2.lut_hit);
+}
+
+TEST(StreamCore, TranscendentalShareTUnitAcrossStaticIds) {
+  StreamCore core(ResilientFpuConfig{}, 1);
+  const NoErrorModel none;
+  (void)core.execute(ins(FpOpcode::kSqrt, 0, 16.0f), none);
+  // Different static id, still the T PE -> hit.
+  const auto rec = core.execute(ins(FpOpcode::kSqrt, 13, 16.0f), none);
+  EXPECT_TRUE(rec.lut_hit);
+}
+
+TEST(StreamCore, PerFpuStatsIsolated) {
+  StreamCore core(ResilientFpuConfig{}, 1);
+  const NoErrorModel none;
+  (void)core.execute(ins(FpOpcode::kAdd, 0, 1.0f, 2.0f), none);
+  (void)core.execute(ins(FpOpcode::kMul, 0, 1.0f, 2.0f), none);
+  EXPECT_EQ(core.fpu(0, FpuType::kAdd).stats().instructions, 1u);
+  EXPECT_EQ(core.fpu(0, FpuType::kMul).stats().instructions, 1u);
+  EXPECT_EQ(core.fpu(1, FpuType::kAdd).stats().instructions, 0u);
+}
+
+TEST(StreamCore, DistinctSeedsAcrossFpus) {
+  // Two FPUs of the same core must have independent EDS streams: with a
+  // 50% error model, their first-100 error patterns should differ.
+  StreamCore core(ResilientFpuConfig{}, 123);
+  const FixedRateErrorModel half(0.5);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto ra = core.execute(
+        ins(FpOpcode::kAdd, 0, static_cast<float>(i), 1.0f), half);
+    const auto rb = core.execute(
+        ins(FpOpcode::kMul, 0, static_cast<float>(i), 1.0f), half);
+    differences += ra.timing_error != rb.timing_error ? 1 : 0;
+  }
+  EXPECT_GT(differences, 20);
+}
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,115 @@
+#include "img/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <cmath>
+#include <limits>
+
+namespace tmemo {
+namespace {
+
+TEST(Image, ConstructionAndFill) {
+  Image img(4, 3, 7.0f);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.size(), 12u);
+  EXPECT_EQ(img.at(3, 2), 7.0f);
+}
+
+TEST(Image, InvalidDimensionsRejected) {
+  EXPECT_THROW(Image(0, 4), std::invalid_argument);
+  EXPECT_THROW(Image(4, -1), std::invalid_argument);
+}
+
+TEST(Image, RowMajorLayout) {
+  Image img(3, 2);
+  img.at(1, 0) = 1.0f;
+  img.at(0, 1) = 2.0f;
+  EXPECT_EQ(img.pixels()[1], 1.0f);
+  EXPECT_EQ(img.pixels()[3], 2.0f);
+}
+
+TEST(Image, ClampedBorderAccess) {
+  Image img(2, 2);
+  img.at(0, 0) = 1.0f;
+  img.at(1, 1) = 4.0f;
+  EXPECT_EQ(img.at_clamped(-5, -5), 1.0f);
+  EXPECT_EQ(img.at_clamped(10, 10), 4.0f);
+  EXPECT_EQ(img.at_clamped(0, 0), 1.0f);
+}
+
+TEST(Image, ClampToByteRange) {
+  Image img(2, 1);
+  img.at(0, 0) = -3.0f;
+  img.at(1, 0) = 300.0f;
+  img.clamp_to_byte_range();
+  EXPECT_EQ(img.at(0, 0), 0.0f);
+  EXPECT_EQ(img.at(1, 0), 255.0f);
+}
+
+TEST(Fidelity, MseAndPsnr) {
+  Image a(2, 2, 100.0f);
+  Image b(2, 2, 100.0f);
+  EXPECT_EQ(mse(a, b), 0.0);
+  EXPECT_TRUE(std::isinf(psnr(a, b)));
+  b.at(0, 0) = 110.0f; // one pixel off by 10 -> MSE 25
+  EXPECT_NEAR(mse(a, b), 25.0, 1e-9);
+  EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 25.0), 1e-9);
+}
+
+TEST(Fidelity, PsnrThirtyDbReference) {
+  // PSNR 30 dB corresponds to RMSE ~8.06 at a 255 peak.
+  Image a(10, 10, 128.0f);
+  Image b(10, 10, 128.0f + 8.0624f);
+  EXPECT_NEAR(psnr(a, b), 30.0, 0.01);
+}
+
+TEST(Fidelity, MismatchedSizesRejected) {
+  Image a(2, 2);
+  Image b(3, 2);
+  EXPECT_THROW((void)mse(a, b), std::invalid_argument);
+}
+
+TEST(Pgm, WriteReadRoundTrip) {
+  Image img(17, 9);
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 17; ++x) {
+      img.at(x, y) = static_cast<float>((x * 13 + y * 7) % 256);
+    }
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tm_roundtrip.pgm").string();
+  write_pgm(img, path);
+  const Image back = read_pgm(path);
+  ASSERT_EQ(back.width(), 17);
+  ASSERT_EQ(back.height(), 9);
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 17; ++x) {
+      EXPECT_NEAR(back.at(x, y), img.at(x, y), 0.51f);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, ReadRejectsMissingFile) {
+  EXPECT_THROW((void)read_pgm("/nonexistent/definitely_missing.pgm"),
+               std::invalid_argument);
+}
+
+TEST(Pgm, WriteClampsOutOfRangePixels) {
+  Image img(2, 1);
+  img.at(0, 0) = -50.0f;
+  img.at(1, 0) = 900.0f;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tm_clamp.pgm").string();
+  write_pgm(img, path);
+  const Image back = read_pgm(path);
+  EXPECT_EQ(back.at(0, 0), 0.0f);
+  EXPECT_EQ(back.at(1, 0), 255.0f);
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tmemo

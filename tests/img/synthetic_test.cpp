@@ -1,0 +1,97 @@
+#include "img/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tmemo {
+namespace {
+
+/// Mean absolute horizontal gradient — the local "busyness" measure that
+/// drives both the memoization hit rate and the PSNR sensitivity.
+double mean_abs_gradient(const Image& img) {
+  double acc = 0.0;
+  long count = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 1; x < img.width(); ++x) {
+      acc += std::fabs(img.at(x, y) - img.at(x - 1, y));
+      ++count;
+    }
+  }
+  return acc / static_cast<double>(count);
+}
+
+TEST(Synthetic, RequestedDimensions) {
+  const Image f = make_face_image(96, 128);
+  EXPECT_EQ(f.width(), 96);
+  EXPECT_EQ(f.height(), 128);
+  const Image b = make_book_image(128, 96);
+  EXPECT_EQ(b.width(), 128);
+  EXPECT_EQ(b.height(), 96);
+}
+
+TEST(Synthetic, PixelsInByteRange) {
+  for (const Image& img :
+       {make_face_image(128, 128), make_book_image(128, 128)}) {
+    for (float p : img.pixels()) {
+      EXPECT_GE(p, 0.0f);
+      EXPECT_LE(p, 255.0f);
+    }
+  }
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  const Image a = make_face_image(64, 64, 5);
+  const Image b = make_face_image(64, 64, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.pixels()[i], b.pixels()[i]);
+  }
+  const Image c = make_face_image(64, 64, 6);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differing += a.pixels()[i] != c.pixels()[i] ? 1 : 0;
+  }
+  EXPECT_GT(differing, 1000);
+}
+
+TEST(Synthetic, BookIsBusierThanFace) {
+  // The central property behind the Figs. 2-5 contrast: the text page has
+  // far higher local gradients than the portrait.
+  const Image face = make_face_image(256, 256);
+  const Image book = make_book_image(256, 256);
+  EXPECT_GT(mean_abs_gradient(book), 3.0 * mean_abs_gradient(face));
+}
+
+TEST(Synthetic, FaceGradientsAreSizeInvariant) {
+  // The generator scales contrast with size so per-pixel gradient
+  // statistics stay comparable between a small render and the 1536^2
+  // paper-scale render.
+  const double g_small = mean_abs_gradient(make_face_image(192, 192));
+  const double g_large = mean_abs_gradient(make_face_image(768, 768));
+  EXPECT_LT(std::fabs(g_small - g_large) / g_large, 0.5);
+}
+
+TEST(Synthetic, BookHasInkAndPaperModes) {
+  const Image book = make_book_image(256, 256);
+  int dark = 0, bright = 0;
+  for (float p : book.pixels()) {
+    dark += p < 80.0f ? 1 : 0;
+    bright += p > 180.0f ? 1 : 0;
+  }
+  // Text pages are mostly paper with a substantial ink fraction.
+  EXPECT_GT(bright, dark);
+  EXPECT_GT(dark, static_cast<int>(book.size() / 20));
+  EXPECT_GT(bright, static_cast<int>(book.size() / 2));
+}
+
+TEST(Synthetic, FaceIsMidToned) {
+  const Image face = make_face_image(256, 256);
+  double acc = 0.0;
+  for (float p : face.pixels()) acc += p;
+  const double mean = acc / static_cast<double>(face.size());
+  EXPECT_GT(mean, 20.0);
+  EXPECT_LT(mean, 160.0);
+}
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,153 @@
+// Cross-module integration properties: the paper's headline claims, each
+// checked end-to-end through the full stack (kernel DSL -> scheduler ->
+// memoization -> error injection -> energy model).
+#include <gtest/gtest.h>
+
+#include "img/synthetic.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/sobel.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmemo {
+namespace {
+
+TEST(Integration, AverageSavingTracksPaperHeadline) {
+  // Paper: average savings 13%..25% over error rates 0%..4%. Allow a
+  // generous band — the shape must hold, not the exact decimals.
+  Simulation sim;
+  const auto workloads = make_all_workloads(0.01);
+  double avg0 = 0.0, avg4 = 0.0;
+  for (const auto& w : workloads) {
+    avg0 += sim.run_at_error_rate(*w, 0.0).energy.saving();
+    avg4 += sim.run_at_error_rate(*w, 0.04).energy.saving();
+  }
+  avg0 /= static_cast<double>(workloads.size());
+  avg4 /= static_cast<double>(workloads.size());
+  EXPECT_GT(avg0, 0.05);
+  EXPECT_LT(avg0, 0.25);
+  EXPECT_GT(avg4, avg0 + 0.05); // clearly larger at 4% errors
+  EXPECT_LT(avg4, 0.45);
+}
+
+TEST(Integration, MaskedErrorsAvoidRecoveries) {
+  // At the same error rate, the memoized architecture recovers strictly
+  // less often than errors occur whenever any hit masks one.
+  Simulation sim;
+  const auto workloads = make_all_workloads(0.01);
+  const KernelRunReport r = sim.run_at_error_rate(*workloads[0], 0.04);
+  FpuStats total;
+  for (const FpuStats& s : r.unit_stats) total += s;
+  EXPECT_GT(total.masked_errors, 0u);
+  EXPECT_LT(total.recoveries, total.timing_errors);
+}
+
+TEST(Integration, FaceToleratesLargerThresholdThanBook) {
+  // The Figs. 2-5 contrast: the smooth portrait keeps PSNR >= 30 dB at a
+  // strictly larger threshold than the busy text page.
+  auto largest_ok = [](const Image& img) {
+    const Image golden = sobel_reference(img);
+    float best = 0.0f;
+    for (float t : {0.2f, 0.4f, 0.6f, 1.0f}) {
+      ExperimentConfig cfg;
+      GpuDevice device(cfg.device,
+                       EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+      device.program_threshold_as_mask(t);
+      const Image out = sobel_on_device(device, img);
+      if (psnr(golden, out) >= 30.0) best = t;
+    }
+    return best;
+  };
+  const float face_ok = largest_ok(make_face_image(256, 256));
+  const float book_ok = largest_ok(make_book_image(256, 256));
+  EXPECT_GT(face_ok, book_ok);
+}
+
+TEST(Integration, DeeperFifoImprovesHitRateWithDiminishingReturns) {
+  // §4.1: 2 -> 64 entries gains less than ~20% absolute hit rate.
+  double rates[3];
+  int idx = 0;
+  for (int depth : {2, 8, 64}) {
+    ExperimentConfig cfg;
+    cfg.device.fpu.lut_depth = depth;
+    Simulation sim(cfg);
+    const auto workloads = make_all_workloads(0.01);
+    std::uint64_t hits = 0, instrs = 0;
+    for (const auto& w : workloads) {
+      const KernelRunReport r = sim.run_at_error_rate(*w, 0.0);
+      for (const FpuStats& s : r.unit_stats) {
+        hits += s.hits;
+        instrs += s.instructions;
+      }
+    }
+    rates[idx++] = static_cast<double>(hits) / static_cast<double>(instrs);
+  }
+  EXPECT_GE(rates[1], rates[0]);
+  EXPECT_GE(rates[2], rates[1]);
+  EXPECT_LT(rates[2] - rates[0], 0.25);
+}
+
+TEST(Integration, PowerGatedModuleBehavesLikeBaseline) {
+  // §4.2: an application lacking locality can power-gate the module and
+  // avoid any penalty.
+  ExperimentConfig cfg;
+  cfg.memoization = false;
+  Simulation gated(cfg);
+  Simulation memoized;
+  const auto a = make_all_workloads(0.01);
+  const auto b = make_all_workloads(0.01);
+  const KernelRunReport rg = gated.run_at_error_rate(*a[5], 0.0);   // FWT
+  const KernelRunReport rm = memoized.run_at_error_rate(*b[5], 0.0);
+  // FWT has modest locality; when gated its energy equals the baseline,
+  // while the always-on module pays its overhead.
+  EXPECT_NEAR(rg.energy.memoized_pj, rg.energy.baseline_pj, 1e-6);
+  EXPECT_GT(rm.energy.memoized_pj, 0.0);
+}
+
+TEST(Integration, ApproximateImageRunStillIdentifiesEdges) {
+  // End-to-end sanity of approximate mode: the Sobel output at the Table-1
+  // threshold still looks like an edge map (correlates with the exact one).
+  const Image face = make_face_image(192, 192);
+  ExperimentConfig cfg;
+  GpuDevice device(cfg.device,
+                   EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+  device.program_threshold_as_mask(1.0f);
+  const Image approx = sobel_on_device(device, face);
+  const Image exact = sobel_reference(face);
+  EXPECT_GE(psnr(exact, approx), 30.0);
+}
+
+TEST(Integration, RecipUnitSuffersMostUnderVos) {
+  // The 16-stage RECIP accumulates more per-op errors than 4-stage units;
+  // verify through the device statistics at 0.81 V.
+  Simulation sim;
+  const auto workloads = make_all_workloads(0.01);
+  // Gaussian activates RECIP and MULADD.
+  const KernelRunReport r = sim.run_at_voltage(*workloads[1], 0.81);
+  const auto& recip =
+      r.unit_stats[static_cast<std::size_t>(FpuType::kRecip)];
+  const auto& muladd =
+      r.unit_stats[static_cast<std::size_t>(FpuType::kMulAdd)];
+  ASSERT_GT(recip.instructions, 0u);
+  ASSERT_GT(muladd.instructions, 0u);
+  const double recip_rate = static_cast<double>(recip.timing_errors) /
+                            static_cast<double>(recip.instructions);
+  const double muladd_rate = static_cast<double>(muladd.timing_errors) /
+                             static_cast<double>(muladd.instructions);
+  EXPECT_GT(recip_rate, muladd_rate);
+}
+
+TEST(Integration, EnergyNeverNegative) {
+  Simulation sim;
+  const auto workloads = make_all_workloads(0.01);
+  for (const auto& w : workloads) {
+    for (double rate : {0.0, 0.04}) {
+      const KernelRunReport r = sim.run_at_error_rate(*w, rate);
+      EXPECT_GT(r.energy.memoized_pj, 0.0) << w->name();
+      EXPECT_GT(r.energy.baseline_pj, 0.0) << w->name();
+    }
+  }
+}
+
+} // namespace
+} // namespace tmemo

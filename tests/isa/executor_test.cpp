@@ -1,0 +1,276 @@
+#include "isa/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tmemo::isa {
+namespace {
+
+GpuDevice small_device() { return GpuDevice(DeviceConfig::single_cu()); }
+
+TEST(Executor, SaxpyEndToEnd) {
+  // y[i] = 2.5 * x[i] + y[i]
+  const std::size_t n = 300;
+  std::vector<float> x(n), y(n), y0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(i) * 0.25f;
+    y[i] = y0[i] = 1.0f + static_cast<float>(i % 7);
+  }
+  KernelProgram p = ProgramBuilder("saxpy")
+                        .load(1, 0)
+                        .load(2, 1)
+                        .alu(FpOpcode::kMulAdd, 3, Src::lit(2.5f), Src::r(1),
+                             Src::r(2))
+                        .store(3, 1)
+                        .build();
+  GpuDevice device = small_device();
+  Bindings b;
+  b.buffers = {std::span<float>(x), std::span<float>(y)};
+  execute_program(device, p, b, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(y[i], std::fmaf(2.5f, x[i], y0[i])) << i;
+  }
+}
+
+TEST(Executor, GlobalIdPreloadedInR0) {
+  const std::size_t n = 130;
+  std::vector<float> out(n, -1.0f);
+  KernelProgram p = ProgramBuilder("gid")
+                        .alu(FpOpcode::kMul, 1, Src::r(0), Src::lit(1.0f))
+                        .store(1, 0)
+                        .build();
+  GpuDevice device = small_device();
+  Bindings b;
+  b.buffers = {std::span<float>(out)};
+  execute_program(device, p, b, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], static_cast<float>(i));
+  }
+}
+
+TEST(Executor, RegisterAddressingGathers) {
+  // out[i] = table[trunc(i/2)]
+  const std::size_t n = 64;
+  std::vector<float> table(32), out(n, 0.0f);
+  for (std::size_t i = 0; i < 32; ++i) table[i] = 100.0f + float(i);
+  KernelProgram p =
+      ProgramBuilder("gather")
+          .alu(FpOpcode::kMul, 1, Src::r(0), Src::lit(0.5f))
+          .alu(FpOpcode::kTrunc, 2, Src::r(1))
+          .load(3, 0, AddrMode::kRegister, 2)
+          .store(3, 1)
+          .build();
+  GpuDevice device = small_device();
+  Bindings b;
+  b.buffers = {std::span<float>(table), std::span<float>(out)};
+  execute_program(device, p, b, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], table[i / 2]) << i;
+  }
+}
+
+TEST(Executor, AddressesClampToBufferBounds) {
+  std::vector<float> buf = {1.0f, 2.0f, 3.0f};
+  std::vector<float> out(70, 0.0f);
+  // Loads buf[gid] for gid up to 69: indices clamp to buf.back().
+  KernelProgram p = ProgramBuilder("clamp")
+                        .load(1, 0)
+                        .store(1, 1)
+                        .build();
+  GpuDevice device = small_device();
+  Bindings b;
+  b.buffers = {std::span<float>(buf), std::span<float>(out)};
+  execute_program(device, p, b, 70);
+  EXPECT_EQ(out[0], 1.0f);
+  EXPECT_EQ(out[2], 3.0f);
+  EXPECT_EQ(out[69], 3.0f); // clamped
+}
+
+TEST(Executor, RepeatBlockIteratesUniformly) {
+  // r = gid; repeat 5: r = r * 2  ->  out = gid * 32
+  const std::size_t n = 64;
+  std::vector<float> out(n, 0.0f);
+  KernelProgram p = ProgramBuilder("pow2")
+                        .alu(FpOpcode::kMul, 1, Src::r(0), Src::lit(1.0f))
+                        .repeat(5)
+                        .alu(FpOpcode::kMul, 1, Src::r(1), Src::lit(2.0f))
+                        .end_repeat()
+                        .store(1, 0)
+                        .build();
+  GpuDevice device = small_device();
+  Bindings b;
+  b.buffers = {std::span<float>(out)};
+  execute_program(device, p, b, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], static_cast<float>(i) * 32.0f);
+  }
+}
+
+TEST(Executor, NestedRepeats) {
+  // acc = 0; repeat 3 { repeat 4 { acc += 1 } } -> 12
+  std::vector<float> out(64, 0.0f);
+  KernelProgram p = ProgramBuilder("nest")
+                        .alu(FpOpcode::kMul, 1, Src::r(0), Src::lit(0.0f))
+                        .repeat(3)
+                        .repeat(4)
+                        .alu(FpOpcode::kAdd, 1, Src::r(1), Src::lit(1.0f))
+                        .end_repeat()
+                        .end_repeat()
+                        .store(1, 0)
+                        .build();
+  GpuDevice device = small_device();
+  Bindings b;
+  b.buffers = {std::span<float>(out)};
+  execute_program(device, p, b, 64);
+  for (float v : out) ASSERT_EQ(v, 12.0f);
+}
+
+TEST(Executor, StaticIdsStableAcrossRepeats) {
+  // The MULADD inside the loop must steer to ONE PE slot across all
+  // iterations: with constant operands it hits the temporal LUT from the
+  // second iteration on.
+  std::vector<float> out(64, 0.0f);
+  KernelProgram p = ProgramBuilder("steer")
+                        .repeat(10)
+                        .alu(FpOpcode::kMulAdd, 1, Src::lit(1.0f),
+                             Src::lit(2.0f), Src::lit(3.0f))
+                        .end_repeat()
+                        .store(1, 0)
+                        .build();
+  GpuDevice device = small_device();
+  Bindings b;
+  b.buffers = {std::span<float>(out)};
+  execute_program(device, p, b, 64);
+  const auto stats = device.unit_stats();
+  const auto& ma = stats[static_cast<std::size_t>(FpuType::kMulAdd)];
+  EXPECT_EQ(ma.instructions, 640u);
+  // First visit per FPU misses; everything after hits.
+  EXPECT_GT(ma.hit_rate(), 0.9);
+  for (float v : out) EXPECT_EQ(v, 5.0f);
+}
+
+TEST(Executor, MemoizationAndErrorsApplyToIsaPrograms) {
+  std::vector<float> out(256, 0.0f);
+  KernelProgram p = ProgramBuilder("err")
+                        .alu(FpOpcode::kSqrt, 1, Src::lit(16.0f))
+                        .store(1, 0)
+                        .build();
+  GpuDevice device = small_device();
+  device.set_error_model(std::make_shared<FixedRateErrorModel>(0.5));
+  Bindings b;
+  b.buffers = {std::span<float>(out)};
+  execute_program(device, p, b, 256);
+  // Exact matching + recovery: outputs must be exact despite 50% errors.
+  for (float v : out) ASSERT_EQ(v, 4.0f);
+  const FpuStats total = device.total_stats(kAllFpuTypes);
+  EXPECT_GT(total.timing_errors, 0u);
+  EXPECT_EQ(total.timing_errors, total.recoveries + total.masked_errors);
+}
+
+TEST(Executor, DivergentBranchPredication) {
+  // out[i] = (i < 32) ? i * 2 : i + 100
+  const std::size_t n = 64;
+  std::vector<float> out(n, -1.0f);
+  KernelProgram p = ProgramBuilder("branch")
+                        // pred = (32 > gid) ? 1 : 0
+                        .alu(FpOpcode::kSetGt, 1, Src::lit(32.0f), Src::r(0))
+                        .branch_if(1)
+                        .alu(FpOpcode::kMul, 2, Src::r(0), Src::lit(2.0f))
+                        .branch_else()
+                        .alu(FpOpcode::kAdd, 2, Src::r(0), Src::lit(100.0f))
+                        .end_if()
+                        .store(2, 0)
+                        .build();
+  GpuDevice device = small_device();
+  Bindings b;
+  b.buffers = {std::span<float>(out)};
+  execute_program(device, p, b, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float expect = i < 32 ? static_cast<float>(i) * 2.0f
+                                : static_cast<float>(i) + 100.0f;
+    ASSERT_EQ(out[i], expect) << i;
+  }
+}
+
+TEST(Executor, NestedBranches) {
+  // Classify gid into 4 buckets via nested IFs.
+  const std::size_t n = 64;
+  std::vector<float> out(n, -1.0f);
+  KernelProgram p =
+      ProgramBuilder("nested")
+          .alu(FpOpcode::kSetGt, 1, Src::lit(32.0f), Src::r(0)) // gid < 32
+          .alu(FpOpcode::kSetGt, 2, Src::lit(16.0f), Src::r(0)) // gid < 16
+          .alu(FpOpcode::kSetGt, 3, Src::lit(48.0f), Src::r(0)) // gid < 48
+          .branch_if(1)
+          .branch_if(2)
+          .alu(FpOpcode::kMul, 4, Src::lit(1.0f), Src::lit(1.0f)) // bucket 1
+          .branch_else()
+          .alu(FpOpcode::kMul, 4, Src::lit(2.0f), Src::lit(1.0f)) // bucket 2
+          .end_if()
+          .branch_else()
+          .branch_if(3)
+          .alu(FpOpcode::kMul, 4, Src::lit(3.0f), Src::lit(1.0f)) // bucket 3
+          .branch_else()
+          .alu(FpOpcode::kMul, 4, Src::lit(4.0f), Src::lit(1.0f)) // bucket 4
+          .end_if()
+          .end_if()
+          .store(4, 0)
+          .build();
+  GpuDevice device = small_device();
+  Bindings b;
+  b.buffers = {std::span<float>(out)};
+  execute_program(device, p, b, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float expect = i < 16 ? 1.0f : (i < 32 ? 2.0f : (i < 48 ? 3.0f : 4.0f));
+    ASSERT_EQ(out[i], expect) << i;
+  }
+}
+
+TEST(Executor, BothBranchSidesExecuteWithComplementaryMasks) {
+  // SIMD predication: a divergent branch issues BOTH sides; instruction
+  // counts reflect the split lanes (32 + 32 = 64 per ALU op).
+  const std::size_t n = 64;
+  std::vector<float> out(n, 0.0f);
+  KernelProgram p = ProgramBuilder("split")
+                        .alu(FpOpcode::kSetGt, 1, Src::lit(32.0f), Src::r(0))
+                        .branch_if(1)
+                        .alu(FpOpcode::kSqrt, 2, Src::r(0))
+                        .branch_else()
+                        .alu(FpOpcode::kSqrt, 2, Src::r(0))
+                        .end_if()
+                        .store(2, 0)
+                        .build();
+  GpuDevice device = small_device();
+  Bindings b;
+  b.buffers = {std::span<float>(out)};
+  execute_program(device, p, b, n);
+  const auto stats = device.unit_stats();
+  EXPECT_EQ(stats[static_cast<std::size_t>(FpuType::kSqrt)].instructions,
+            64u);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], ::sqrtf(static_cast<float>(i))) << i;
+  }
+}
+
+TEST(Executor, RejectsMissingBindings) {
+  KernelProgram p = ProgramBuilder("b").load(1, 2).store(1, 0).build();
+  GpuDevice device = small_device();
+  std::vector<float> buf(4);
+  Bindings b;
+  b.buffers = {std::span<float>(buf)};
+  EXPECT_THROW(execute_program(device, p, b, 4), std::invalid_argument);
+}
+
+TEST(Executor, RejectsEmptyBuffers) {
+  KernelProgram p = ProgramBuilder("b").load(1, 0).store(1, 0).build();
+  GpuDevice device = small_device();
+  std::vector<float> empty;
+  Bindings b;
+  b.buffers = {std::span<float>(empty)};
+  EXPECT_THROW(execute_program(device, p, b, 4), std::invalid_argument);
+}
+
+} // namespace
+} // namespace tmemo::isa

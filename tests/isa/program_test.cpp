@@ -1,0 +1,131 @@
+#include "isa/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmemo::isa {
+namespace {
+
+TEST(ProgramBuilder, BuildsAndValidates) {
+  KernelProgram p = ProgramBuilder("saxpy")
+                        .load(1, 0)
+                        .load(2, 1)
+                        .alu(FpOpcode::kMulAdd, 3, Src::lit(2.0f), Src::r(1),
+                             Src::r(2))
+                        .store(3, 2)
+                        .build();
+  EXPECT_EQ(p.name, "saxpy");
+  ASSERT_EQ(p.clauses.size(), 3u); // TEX{2 loads}, ALU{1}, EXPORT
+  EXPECT_EQ(validate(p), 3);       // buffers 0, 1, 2
+}
+
+TEST(ProgramBuilder, ConsecutiveAluOpsShareOneClause) {
+  KernelProgram p = ProgramBuilder("chain")
+                        .alu(FpOpcode::kAdd, 1, Src::r(0), Src::lit(1.0f))
+                        .alu(FpOpcode::kMul, 2, Src::r(1), Src::r(1))
+                        .store(2, 0)
+                        .build();
+  ASSERT_EQ(p.clauses.size(), 2u);
+  EXPECT_EQ(std::get<AluClause>(p.clauses[0]).instrs.size(), 2u);
+}
+
+TEST(ProgramBuilder, ClauseBoundaryOnKindSwitch) {
+  KernelProgram p = ProgramBuilder("mix")
+                        .alu(FpOpcode::kAdd, 1, Src::r(0), Src::lit(1.0f))
+                        .load(2, 0)
+                        .alu(FpOpcode::kMul, 3, Src::r(1), Src::r(2))
+                        .store(3, 1)
+                        .build();
+  EXPECT_EQ(p.clauses.size(), 4u); // ALU, TEX, ALU, EXPORT
+}
+
+TEST(Validate, RejectsOutOfRangeRegisters) {
+  KernelProgram p;
+  AluClause alu;
+  AluInstr ins;
+  ins.dst = kNumRegisters; // out of range
+  alu.instrs.push_back(ins);
+  p.clauses.emplace_back(alu);
+  EXPECT_THROW(validate(p), std::invalid_argument);
+}
+
+TEST(Validate, RejectsUnbalancedRepeat) {
+  KernelProgram p;
+  p.clauses.emplace_back(RepeatBegin{3});
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p.clauses.clear();
+  p.clauses.emplace_back(RepeatEnd{});
+  EXPECT_THROW(validate(p), std::invalid_argument);
+}
+
+TEST(Validate, RejectsZeroTripRepeat) {
+  KernelProgram p;
+  p.clauses.emplace_back(RepeatBegin{0});
+  p.clauses.emplace_back(RepeatEnd{});
+  EXPECT_THROW(validate(p), std::invalid_argument);
+}
+
+TEST(Validate, RejectsEmptyClauses) {
+  KernelProgram p;
+  p.clauses.emplace_back(AluClause{});
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p.clauses.clear();
+  p.clauses.emplace_back(TexClause{});
+  EXPECT_THROW(validate(p), std::invalid_argument);
+}
+
+TEST(Validate, CountsBufferSlots) {
+  KernelProgram p = ProgramBuilder("b")
+                        .load(1, 5)
+                        .store(1, 2)
+                        .build();
+  EXPECT_EQ(validate(p), 6); // slot indices up to 5
+}
+
+TEST(Validate, RejectsUnbalancedBranches) {
+  KernelProgram p;
+  p.clauses.emplace_back(IfBegin{1});
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p.clauses.clear();
+  p.clauses.emplace_back(Else{});
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p.clauses.clear();
+  p.clauses.emplace_back(EndIf{});
+  EXPECT_THROW(validate(p), std::invalid_argument);
+}
+
+TEST(Disassemble, BranchStructure) {
+  KernelProgram p = ProgramBuilder("br")
+                        .alu(FpOpcode::kSetGe, 1, Src::r(0), Src::lit(8.0f))
+                        .branch_if(1)
+                        .alu(FpOpcode::kNeg, 2, Src::r(0))
+                        .branch_else()
+                        .alu(FpOpcode::kAbs, 2, Src::r(0))
+                        .end_if()
+                        .store(2, 0)
+                        .build();
+  const std::string text = disassemble(p);
+  EXPECT_NE(text.find("IF R1 != 0"), std::string::npos);
+  EXPECT_NE(text.find("ELSE"), std::string::npos);
+  EXPECT_NE(text.find("ENDIF"), std::string::npos);
+}
+
+TEST(Disassemble, ContainsStructure) {
+  KernelProgram p = ProgramBuilder("demo")
+                        .load(1, 0)
+                        .repeat(3)
+                        .alu(FpOpcode::kMulAdd, 2, Src::r(1), Src::r(1),
+                             Src::r(2))
+                        .end_repeat()
+                        .store(2, 1)
+                        .build();
+  const std::string text = disassemble(p);
+  EXPECT_NE(text.find("kernel demo"), std::string::npos);
+  EXPECT_NE(text.find("TEX"), std::string::npos);
+  EXPECT_NE(text.find("REPEAT x3"), std::string::npos);
+  EXPECT_NE(text.find("MULADD"), std::string::npos);
+  EXPECT_NE(text.find("EXPORT buf1"), std::string::npos);
+  EXPECT_NE(text.find("END"), std::string::npos);
+}
+
+} // namespace
+} // namespace tmemo::isa

@@ -1,0 +1,185 @@
+#include "kernel/ctx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/energy_model.hpp"
+#include "fpu/semantics.hpp"
+
+namespace tmemo {
+namespace {
+
+class CtxTest : public ::testing::Test {
+ protected:
+  CtxTest()
+      : cu_(DeviceConfig::single_cu(), 1),
+        ctx_(cu_, none_, nullptr, 64, 0, ~0ull) {}
+
+  LaneVec iota(float scale = 1.0f) {
+    LaneVec v;
+    for (int i = 0; i < 64; ++i) v[i] = scale * static_cast<float>(i);
+    return v;
+  }
+
+  ComputeUnit cu_;
+  NoErrorModel none_;
+  WavefrontCtx ctx_;
+};
+
+TEST_F(CtxTest, SplatBroadcasts) {
+  const LaneVec v = ctx_.splat(3.5f);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(v[i], 3.5f);
+}
+
+TEST_F(CtxTest, GlobalIds) {
+  WavefrontCtx ctx(cu_, none_, nullptr, 64, 640, ~0ull);
+  EXPECT_EQ(ctx.global_id(0), 640u);
+  EXPECT_EQ(ctx.global_id(63), 703u);
+  EXPECT_EQ(ctx.size(), 64);
+}
+
+TEST_F(CtxTest, BinaryOpsMatchSemantics) {
+  const LaneVec a = iota(0.5f);
+  const LaneVec b = iota(0.25f);
+  const LaneVec sum = ctx_.add(a, b);
+  const LaneVec dif = ctx_.sub(a, b);
+  const LaneVec prd = ctx_.mul(a, b);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(sum[i], a[i] + b[i]);
+    EXPECT_EQ(dif[i], a[i] - b[i]);
+    EXPECT_EQ(prd[i], a[i] * b[i]);
+  }
+}
+
+TEST_F(CtxTest, TernaryAndUnaryOps) {
+  const LaneVec a = iota(0.1f);
+  const LaneVec fma = ctx_.muladd(a, ctx_.splat(2.0f), ctx_.splat(1.0f));
+  const LaneVec rt = ctx_.sqrt(a);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(fma[i], std::fmaf(a[i], 2.0f, 1.0f));
+    EXPECT_EQ(rt[i], ::sqrtf(a[i]));
+  }
+}
+
+TEST_F(CtxTest, AllTwentySevenOpsExecute) {
+  // Every DSL entry point issues exactly one static instruction for its
+  // opcode; afterwards the issued count equals the number of calls.
+  const LaneVec a = iota(0.01f);
+  const LaneVec pos = ctx_.add(a, ctx_.splat(1.0f)); // strictly positive
+  StaticInstrId before = ctx_.issued_static_instructions();
+  (void)ctx_.add(a, a);
+  (void)ctx_.sub(a, a);
+  (void)ctx_.mul(a, a);
+  (void)ctx_.muladd(a, a, a);
+  (void)ctx_.min(a, a);
+  (void)ctx_.max(a, a);
+  (void)ctx_.floor(a);
+  (void)ctx_.ceil(a);
+  (void)ctx_.trunc(a);
+  (void)ctx_.rndne(a);
+  (void)ctx_.fract(a);
+  (void)ctx_.abs(a);
+  (void)ctx_.neg(a);
+  (void)ctx_.sqrt(pos);
+  (void)ctx_.rsqrt(pos);
+  (void)ctx_.recip(pos);
+  (void)ctx_.sin(a);
+  (void)ctx_.cos(a);
+  (void)ctx_.exp2(a);
+  (void)ctx_.log2(pos);
+  (void)ctx_.fp2int(a);
+  (void)ctx_.int2fp(a);
+  (void)ctx_.sete(a, a);
+  (void)ctx_.setgt(a, a);
+  (void)ctx_.setge(a, a);
+  (void)ctx_.setne(a, a);
+  (void)ctx_.cndge(a, a, a);
+  EXPECT_EQ(ctx_.issued_static_instructions() - before, 27u);
+}
+
+TEST_F(CtxTest, StaticIdsIncrementPerIssue) {
+  EXPECT_EQ(ctx_.issued_static_instructions(), 0u);
+  (void)ctx_.add(ctx_.splat(1), ctx_.splat(2));
+  EXPECT_EQ(ctx_.issued_static_instructions(), 1u);
+  (void)ctx_.div(ctx_.splat(1), ctx_.splat(2)); // recip + mul = 2 ops
+  EXPECT_EQ(ctx_.issued_static_instructions(), 3u);
+  (void)ctx_.exp(ctx_.splat(1)); // mul + exp2 = 2 ops
+  EXPECT_EQ(ctx_.issued_static_instructions(), 5u);
+  (void)ctx_.log(ctx_.splat(2)); // log2 + mul = 2 ops
+  EXPECT_EQ(ctx_.issued_static_instructions(), 7u);
+}
+
+TEST_F(CtxTest, DerivedHelpersComputeCorrectValues) {
+  const LaneVec x = ctx_.splat(3.0f);
+  EXPECT_NEAR(ctx_.div(ctx_.splat(1.0f), x)[0], 1.0f / 3.0f, 1e-6f);
+  EXPECT_NEAR(ctx_.exp(ctx_.splat(1.0f))[0], 2.71828f, 1e-4f);
+  EXPECT_NEAR(ctx_.log(ctx_.splat(std::exp(2.0f)))[0], 2.0f, 1e-5f);
+}
+
+TEST_F(CtxTest, MaskedLanesUntouched) {
+  WavefrontCtx ctx(cu_, none_, nullptr, 64, 0, 0x3ull); // lanes 0, 1
+  const LaneVec r = ctx.add(ctx.splat(1.0f), ctx.splat(2.0f));
+  EXPECT_EQ(r[0], 3.0f);
+  EXPECT_EQ(r[1], 3.0f);
+  EXPECT_EQ(r[2], 0.0f); // inactive lane: default value
+  EXPECT_FALSE(ctx.lane_active(2));
+  EXPECT_TRUE(ctx.lane_active(1));
+}
+
+TEST_F(CtxTest, GatherScatterRoundTrip) {
+  std::vector<float> buffer(64);
+  for (int i = 0; i < 64; ++i) {
+    buffer[static_cast<std::size_t>(i)] = static_cast<float>(i) * 2.0f;
+  }
+  const LaneVec loaded = ctx_.gather(buffer, [](int, WorkItemId gid) {
+    return static_cast<std::size_t>(gid);
+  });
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(loaded[i], 2.0f * i);
+
+  std::vector<float> out(64, -1.0f);
+  ctx_.scatter(out, loaded, [](int, WorkItemId gid) {
+    return static_cast<std::size_t>(63 - gid); // reversed
+  });
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], 2.0f * (63 - i));
+  }
+}
+
+TEST_F(CtxTest, ForActiveVisitsOnlyActiveLanes) {
+  WavefrontCtx ctx(cu_, none_, nullptr, 64, 128, 0x8001ull); // lanes 0, 15
+  std::vector<std::pair<int, WorkItemId>> visited;
+  ctx.for_active([&](int lane, WorkItemId gid) {
+    visited.emplace_back(lane, gid);
+  });
+  ASSERT_EQ(visited.size(), 2u);
+  EXPECT_EQ(visited[0], (std::pair<int, WorkItemId>{0, 128}));
+  EXPECT_EQ(visited[1], (std::pair<int, WorkItemId>{15, 143}));
+}
+
+TEST_F(CtxTest, InvalidWavefrontSizeRejected) {
+  EXPECT_THROW(WavefrontCtx(cu_, none_, nullptr, 0, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(WavefrontCtx(cu_, none_, nullptr, 65, 0, 0),
+               std::invalid_argument);
+}
+
+TEST_F(CtxTest, ApproximationPropagatesThroughKernel) {
+  // With an approximate constraint, a memoized intermediate feeds the next
+  // op — the committed final values reflect the substitution.
+  ComputeUnit cu(DeviceConfig::single_cu(), 1);
+  cu.for_each_fpu(
+      [](ResilientFpu& f) { f.registers().program_threshold(0.5f); });
+  WavefrontCtx ctx(cu, none_, nullptr, 64, 0, ~0ull);
+  LaneVec x;
+  for (int i = 0; i < 64; ++i) x[i] = 16.0f + 0.005f * static_cast<float>(i);
+  const LaneVec root = ctx.sqrt(x);   // lanes approximate to the first value
+  const LaneVec scaled = ctx.mul(root, ctx.splat(10.0f));
+  // Lanes 0 and 16 run on SC0; lane 16's sqrt hits lane 0's entry, so its
+  // downstream product equals lane 0's exactly.
+  EXPECT_EQ(scaled[16], scaled[0]);
+  EXPECT_NE(x[16], x[0]);
+}
+
+} // namespace
+} // namespace tmemo

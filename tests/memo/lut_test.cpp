@@ -1,0 +1,184 @@
+#include "memo/lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tmemo {
+namespace {
+
+FpInstruction ins(FpOpcode op, float a, float b = 0.0f, float c = 0.0f) {
+  FpInstruction i;
+  i.opcode = op;
+  i.operands = {a, b, c};
+  return i;
+}
+
+TEST(MemoLut, StartsEmpty) {
+  MemoLut lut(2);
+  EXPECT_EQ(lut.size(), 0);
+  EXPECT_EQ(lut.depth(), 2);
+  EXPECT_FALSE(
+      lut.lookup(ins(FpOpcode::kAdd, 1, 2), MatchConstraint::exact()));
+}
+
+TEST(MemoLut, DepthValidation) {
+  EXPECT_THROW(MemoLut(0), std::invalid_argument);
+  EXPECT_THROW(MemoLut(-1), std::invalid_argument);
+  EXPECT_NO_THROW(MemoLut(1));
+  EXPECT_NO_THROW(MemoLut(64));
+}
+
+TEST(MemoLut, HitReturnsMemorizedResult) {
+  MemoLut lut(2);
+  lut.update(ins(FpOpcode::kAdd, 1.0f, 2.0f), 3.0f);
+  const auto hit =
+      lut.lookup(ins(FpOpcode::kAdd, 1.0f, 2.0f), MatchConstraint::exact());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 3.0f);
+}
+
+TEST(MemoLut, OpcodeMustMatchExactly) {
+  MemoLut lut(2);
+  lut.update(ins(FpOpcode::kAdd, 1.0f, 2.0f), 3.0f);
+  // Same operands, different opcode on the same (hypothetical) unit.
+  EXPECT_FALSE(
+      lut.lookup(ins(FpOpcode::kSub, 1.0f, 2.0f), MatchConstraint::exact()));
+}
+
+TEST(MemoLut, FifoEvictionOrder) {
+  MemoLut lut(2);
+  lut.update(ins(FpOpcode::kMul, 1.0f, 1.0f), 1.0f);
+  lut.update(ins(FpOpcode::kMul, 2.0f, 2.0f), 4.0f);
+  lut.update(ins(FpOpcode::kMul, 3.0f, 3.0f), 9.0f); // evicts (1,1)
+  EXPECT_FALSE(
+      lut.lookup(ins(FpOpcode::kMul, 1.0f, 1.0f), MatchConstraint::exact()));
+  EXPECT_TRUE(
+      lut.lookup(ins(FpOpcode::kMul, 2.0f, 2.0f), MatchConstraint::exact()));
+  EXPECT_TRUE(
+      lut.lookup(ins(FpOpcode::kMul, 3.0f, 3.0f), MatchConstraint::exact()));
+}
+
+TEST(MemoLut, HitDoesNotReorderFifo) {
+  // Strict FIFO (paper): a hit on the oldest entry must not protect it.
+  MemoLut lut(2);
+  lut.update(ins(FpOpcode::kMul, 1.0f, 1.0f), 1.0f);
+  lut.update(ins(FpOpcode::kMul, 2.0f, 2.0f), 4.0f);
+  EXPECT_TRUE(
+      lut.lookup(ins(FpOpcode::kMul, 1.0f, 1.0f), MatchConstraint::exact()));
+  lut.update(ins(FpOpcode::kMul, 3.0f, 3.0f), 9.0f);
+  // (1,1) was oldest despite the hit; it is evicted.
+  EXPECT_FALSE(
+      lut.lookup(ins(FpOpcode::kMul, 1.0f, 1.0f), MatchConstraint::exact()));
+}
+
+TEST(MemoLut, ApproximateLookup) {
+  MemoLut lut(2);
+  lut.update(ins(FpOpcode::kSqrt, 16.0f), 4.0f);
+  const auto hit = lut.lookup(ins(FpOpcode::kSqrt, 16.3f),
+                              MatchConstraint::approximate(0.5f));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 4.0f); // the MEMORIZED result, not the true sqrt(16.3)
+  EXPECT_FALSE(lut.lookup(ins(FpOpcode::kSqrt, 17.0f),
+                          MatchConstraint::approximate(0.5f)));
+}
+
+TEST(MemoLut, NewestEntryCheckedFirst) {
+  // Two entries both match approximately: the newest wins (deque front).
+  MemoLut lut(2);
+  lut.update(ins(FpOpcode::kSqrt, 16.0f), 4.0f);
+  lut.update(ins(FpOpcode::kSqrt, 16.2f), 4.02f);
+  const auto hit = lut.lookup(ins(FpOpcode::kSqrt, 16.1f),
+                              MatchConstraint::approximate(0.5f));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 4.02f);
+}
+
+TEST(MemoLut, StatsCountLookupsHitsUpdates) {
+  MemoLut lut(2);
+  (void)lut.lookup(ins(FpOpcode::kAdd, 1, 2), MatchConstraint::exact());
+  lut.update(ins(FpOpcode::kAdd, 1, 2), 3.0f);
+  (void)lut.lookup(ins(FpOpcode::kAdd, 1, 2), MatchConstraint::exact());
+  (void)lut.lookup(ins(FpOpcode::kAdd, 9, 9), MatchConstraint::exact());
+  EXPECT_EQ(lut.stats().lookups, 3u);
+  EXPECT_EQ(lut.stats().hits, 1u);
+  EXPECT_EQ(lut.stats().updates, 1u);
+  EXPECT_DOUBLE_EQ(lut.stats().hit_rate(), 1.0 / 3.0);
+  lut.reset_stats();
+  EXPECT_EQ(lut.stats().lookups, 0u);
+  EXPECT_DOUBLE_EQ(lut.stats().hit_rate(), 0.0);
+}
+
+TEST(MemoLut, PreloadIsNotCountedAsUpdate) {
+  MemoLut lut(2);
+  LutEntry e;
+  e.opcode = FpOpcode::kRecip;
+  e.operands = {16.0f, 0.0f, 0.0f};
+  e.result = 0.0625f;
+  lut.preload(e);
+  EXPECT_EQ(lut.stats().updates, 0u);
+  const auto hit =
+      lut.lookup(ins(FpOpcode::kRecip, 16.0f), MatchConstraint::exact());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0.0625f);
+}
+
+TEST(MemoLut, ClearDropsEntriesKeepsStats) {
+  MemoLut lut(2);
+  lut.update(ins(FpOpcode::kAdd, 1, 2), 3.0f);
+  (void)lut.lookup(ins(FpOpcode::kAdd, 1, 2), MatchConstraint::exact());
+  lut.clear();
+  EXPECT_EQ(lut.size(), 0);
+  EXPECT_EQ(lut.stats().hits, 1u); // history survives power-gating stats
+  EXPECT_FALSE(
+      lut.lookup(ins(FpOpcode::kAdd, 1, 2), MatchConstraint::exact()));
+}
+
+class LutDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LutDepthTest, CapacityIsExactlyDepth) {
+  const int depth = GetParam();
+  MemoLut lut(depth);
+  for (int i = 0; i < depth + 3; ++i) {
+    lut.update(ins(FpOpcode::kMul, static_cast<float>(i), 1.0f),
+               static_cast<float>(i));
+  }
+  EXPECT_EQ(lut.size(), depth);
+  // The newest `depth` entries survive; anything older is gone.
+  for (int i = 0; i < depth + 3; ++i) {
+    const bool present =
+        lut.lookup(ins(FpOpcode::kMul, static_cast<float>(i), 1.0f),
+                   MatchConstraint::exact())
+            .has_value();
+    EXPECT_EQ(present, i >= 3) << "entry " << i;
+  }
+}
+
+TEST_P(LutDepthTest, DeeperFifoNeverHitsLess) {
+  // Property behind the §4.1 FIFO sweep: for the same reference stream, a
+  // deeper FIFO's hit count is >= a shallower one's.
+  const int depth = GetParam();
+  MemoLut shallow(depth);
+  MemoLut deep(depth * 2);
+  Xorshift128 rng(77);
+  std::uint64_t shallow_hits = 0, deep_hits = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const float a = static_cast<float>(rng.next_below(12));
+    const float b = static_cast<float>(rng.next_below(12));
+    const FpInstruction in = ins(FpOpcode::kAdd, a, b);
+    const bool s =
+        shallow.lookup(in, MatchConstraint::exact()).has_value();
+    const bool d = deep.lookup(in, MatchConstraint::exact()).has_value();
+    shallow_hits += s ? 1 : 0;
+    deep_hits += d ? 1 : 0;
+    if (!s) shallow.update(in, a + b);
+    if (!d) deep.update(in, a + b);
+  }
+  EXPECT_GE(deep_hits, shallow_hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, LutDepthTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,159 @@
+#include "memo/match.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/bits.hpp"
+
+namespace tmemo {
+namespace {
+
+std::array<float, 3> ops3(float a, float b = 0.0f, float c = 0.0f) {
+  return {a, b, c};
+}
+
+TEST(MatchConstraint, ExactMatchesBitForBit) {
+  const MatchConstraint c = MatchConstraint::exact();
+  EXPECT_TRUE(c.is_exact());
+  EXPECT_TRUE(c.operands_match(FpOpcode::kAdd, ops3(1.0f, 2.0f),
+                               ops3(1.0f, 2.0f)));
+  EXPECT_FALSE(c.operands_match(
+      FpOpcode::kAdd, ops3(1.0f, 2.0f),
+      ops3(std::nextafterf(1.0f, 2.0f), 2.0f)));
+}
+
+TEST(MatchConstraint, ZeroThresholdDecaysToExact) {
+  EXPECT_TRUE(MatchConstraint::approximate(0.0f).is_exact());
+  EXPECT_TRUE(MatchConstraint::approximate(-1.0f).is_exact());
+}
+
+TEST(MatchConstraint, AllOnesMaskDecaysToExact) {
+  EXPECT_TRUE(MatchConstraint::masked(0xffffffffu).is_exact());
+}
+
+TEST(MatchConstraint, ThresholdBoundsEachOperand) {
+  const MatchConstraint c = MatchConstraint::approximate(0.5f);
+  EXPECT_TRUE(c.operands_match(FpOpcode::kSub, ops3(1.0f, 2.0f),
+                               ops3(1.4f, 2.4f)));
+  // One operand out of bounds fails the whole match.
+  EXPECT_FALSE(c.operands_match(FpOpcode::kSub, ops3(1.0f, 2.0f),
+                                ops3(1.4f, 2.6f)));
+  EXPECT_FALSE(c.operands_match(FpOpcode::kSub, ops3(1.0f, 2.0f),
+                                ops3(1.6f, 2.4f)));
+}
+
+TEST(MatchConstraint, ThresholdChecksOnlyArityOperands) {
+  const MatchConstraint c = MatchConstraint::approximate(0.1f);
+  // kSqrt is unary: the second/third stored values are irrelevant.
+  EXPECT_TRUE(c.operands_match(FpOpcode::kSqrt, ops3(4.0f, 999.0f, -999.0f),
+                               ops3(4.05f, 0.0f, 0.0f)));
+}
+
+TEST(MatchConstraint, TernaryThreshold) {
+  const MatchConstraint c = MatchConstraint::approximate(0.2f);
+  EXPECT_TRUE(c.operands_match(FpOpcode::kMulAdd,
+                               ops3(1.0f, 2.0f, 3.0f),
+                               ops3(1.1f, 1.9f, 3.15f)));
+  EXPECT_FALSE(c.operands_match(FpOpcode::kMulAdd,
+                                ops3(1.0f, 2.0f, 3.0f),
+                                ops3(1.1f, 1.9f, 3.25f)));
+}
+
+TEST(MatchConstraint, CommutativeSwapAccepted) {
+  MatchConstraint c = MatchConstraint::approximate(0.1f);
+  EXPECT_TRUE(c.operands_match(FpOpcode::kAdd, ops3(1.0f, 2.0f),
+                               ops3(2.0f, 1.0f)));
+  EXPECT_TRUE(c.operands_match(FpOpcode::kMul, ops3(3.0f, 4.0f),
+                               ops3(4.05f, 2.95f)));
+}
+
+TEST(MatchConstraint, SwapRejectedForNonCommutativeOps) {
+  const MatchConstraint c = MatchConstraint::approximate(0.1f);
+  EXPECT_FALSE(c.operands_match(FpOpcode::kSub, ops3(1.0f, 2.0f),
+                                ops3(2.0f, 1.0f)));
+  EXPECT_FALSE(c.operands_match(FpOpcode::kSetGt, ops3(1.0f, 2.0f),
+                                ops3(2.0f, 1.0f)));
+}
+
+TEST(MatchConstraint, SwapDisabledByFlag) {
+  MatchConstraint c = MatchConstraint::approximate(0.1f);
+  c.set_allow_commutativity(false);
+  EXPECT_FALSE(c.allow_commutativity());
+  EXPECT_FALSE(c.operands_match(FpOpcode::kAdd, ops3(1.0f, 2.0f),
+                                ops3(2.0f, 1.0f)));
+  // Direct order still matches.
+  EXPECT_TRUE(c.operands_match(FpOpcode::kAdd, ops3(1.0f, 2.0f),
+                               ops3(1.0f, 2.0f)));
+}
+
+TEST(MatchConstraint, MulAddSwapsOnlyMultiplicands) {
+  const MatchConstraint c = MatchConstraint::exact();
+  // (a, b, c) matches (b, a, c)...
+  EXPECT_TRUE(c.operands_match(FpOpcode::kMulAdd, ops3(2.0f, 3.0f, 5.0f),
+                               ops3(3.0f, 2.0f, 5.0f)));
+  // ...but not (c, b, a).
+  EXPECT_FALSE(c.operands_match(FpOpcode::kMulAdd, ops3(2.0f, 3.0f, 5.0f),
+                                ops3(5.0f, 3.0f, 2.0f)));
+}
+
+TEST(MatchConstraint, MaskedMatchIgnoresMaskedBits) {
+  const MatchConstraint c =
+      MatchConstraint::masked(mask_ignoring_fraction_lsbs(16));
+  EXPECT_TRUE(c.operands_match(FpOpcode::kSqrt, ops3(1.0f), ops3(1.004f)));
+  EXPECT_FALSE(c.operands_match(FpOpcode::kSqrt, ops3(1.0f), ops3(1.6f)));
+}
+
+TEST(MatchConstraint, MaskedIsRelativeToExponent) {
+  const MatchConstraint c =
+      MatchConstraint::masked(mask_ignoring_fraction_lsbs(20));
+  // Tolerance ~0.125 relative: 128 vs 140 match (same kept bits)...
+  EXPECT_TRUE(c.operands_match(FpOpcode::kSqrt, ops3(128.0f), ops3(140.0f)));
+  // ...while 1.0 vs 1.2 do not (0.2 relative difference).
+  EXPECT_FALSE(c.operands_match(FpOpcode::kSqrt, ops3(1.0f), ops3(1.2f)));
+}
+
+TEST(MatchConstraint, NanNeverMatchesUnderAnyConstraint) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (const MatchConstraint& c :
+       {MatchConstraint::approximate(1.0f),
+        MatchConstraint::masked(mask_ignoring_fraction_lsbs(23))}) {
+    EXPECT_FALSE(c.operands_match(FpOpcode::kSqrt, ops3(nan), ops3(nan)));
+    EXPECT_FALSE(c.operands_match(FpOpcode::kSqrt, ops3(nan), ops3(1.0f)));
+  }
+}
+
+TEST(MatchConstraint, ShortSpanThrows) {
+  const MatchConstraint c = MatchConstraint::exact();
+  const std::array<float, 1> one = {1.0f};
+  EXPECT_THROW(
+      (void)c.operands_match(FpOpcode::kAdd, one, one),
+      std::invalid_argument);
+}
+
+// Property: exact implies threshold implies wider threshold.
+class ThresholdNesting : public ::testing::TestWithParam<float> {};
+
+TEST_P(ThresholdNesting, WiderThresholdAcceptsMore) {
+  const float t = GetParam();
+  const MatchConstraint tight = MatchConstraint::approximate(t);
+  const MatchConstraint loose = MatchConstraint::approximate(2.0f * t);
+  for (float base : {0.1f, 1.0f, 10.0f, -3.0f}) {
+    for (float delta : {0.0f, 0.3f * t, 0.9f * t, 1.5f * t}) {
+      const auto stored = ops3(base, base);
+      const auto incoming = ops3(base + delta, base);
+      if (tight.operands_match(FpOpcode::kAdd, stored, incoming)) {
+        EXPECT_TRUE(loose.operands_match(FpOpcode::kAdd, stored, incoming))
+            << "t=" << t << " base=" << base << " delta=" << delta;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdNesting,
+                         ::testing::Values(0.01f, 0.1f, 0.5f, 1.0f));
+
+} // namespace
+} // namespace tmemo

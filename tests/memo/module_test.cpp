@@ -1,0 +1,104 @@
+#include "memo/module.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmemo {
+namespace {
+
+// Exhaustive check of Table 2.
+TEST(MemoAction, Table2NormalExecution) {
+  const MemoAction a = memo_action(/*hit=*/false, /*error=*/false);
+  EXPECT_EQ(a, MemoAction::kNormalExecution);
+  EXPECT_EQ(memo_output(a), PipeOutput::kQs);
+  EXPECT_TRUE(memo_updates_lut(a));
+  EXPECT_FALSE(memo_clock_gates(a));
+  EXPECT_FALSE(memo_masks_error(a));
+  EXPECT_FALSE(memo_triggers_recovery(a));
+}
+
+TEST(MemoAction, Table2TriggerRecovery) {
+  const MemoAction a = memo_action(false, true);
+  EXPECT_EQ(a, MemoAction::kTriggerRecovery);
+  EXPECT_EQ(memo_output(a), PipeOutput::kQs);
+  EXPECT_FALSE(memo_updates_lut(a));
+  EXPECT_FALSE(memo_clock_gates(a));
+  EXPECT_FALSE(memo_masks_error(a));
+  EXPECT_TRUE(memo_triggers_recovery(a));
+}
+
+TEST(MemoAction, Table2Reuse) {
+  const MemoAction a = memo_action(true, false);
+  EXPECT_EQ(a, MemoAction::kReuse);
+  EXPECT_EQ(memo_output(a), PipeOutput::kQl);
+  EXPECT_FALSE(memo_updates_lut(a));
+  EXPECT_TRUE(memo_clock_gates(a));
+  EXPECT_FALSE(memo_masks_error(a));
+  EXPECT_FALSE(memo_triggers_recovery(a));
+}
+
+TEST(MemoAction, Table2ReuseMaskError) {
+  const MemoAction a = memo_action(true, true);
+  EXPECT_EQ(a, MemoAction::kReuseMaskError);
+  EXPECT_EQ(memo_output(a), PipeOutput::kQl);
+  EXPECT_FALSE(memo_updates_lut(a));
+  EXPECT_TRUE(memo_clock_gates(a));
+  EXPECT_TRUE(memo_masks_error(a));
+  EXPECT_FALSE(memo_triggers_recovery(a));
+}
+
+// Invariant properties of the decision logic.
+TEST(MemoAction, HitAlwaysSelectsQl) {
+  for (bool error : {false, true}) {
+    EXPECT_EQ(memo_output(memo_action(true, error)), PipeOutput::kQl);
+    EXPECT_EQ(memo_output(memo_action(false, error)), PipeOutput::kQs);
+  }
+}
+
+TEST(MemoAction, RecoveryOnlyOnMissWithError) {
+  for (bool hit : {false, true}) {
+    for (bool error : {false, true}) {
+      EXPECT_EQ(memo_triggers_recovery(memo_action(hit, error)),
+                !hit && error);
+    }
+  }
+}
+
+TEST(MemoAction, LutWriteOnlyOnCleanMiss) {
+  for (bool hit : {false, true}) {
+    for (bool error : {false, true}) {
+      EXPECT_EQ(memo_updates_lut(memo_action(hit, error)), !hit && !error);
+    }
+  }
+}
+
+TEST(MemoAction, ClockGateIffHit) {
+  for (bool hit : {false, true}) {
+    for (bool error : {false, true}) {
+      EXPECT_EQ(memo_clock_gates(memo_action(hit, error)), hit);
+    }
+  }
+}
+
+TEST(MemoAction, MaskIffHitAndError) {
+  for (bool hit : {false, true}) {
+    for (bool error : {false, true}) {
+      EXPECT_EQ(memo_masks_error(memo_action(hit, error)), hit && error);
+    }
+  }
+}
+
+TEST(MemoAction, NamesAreDistinctAndDefined) {
+  EXPECT_NE(memo_action_name(MemoAction::kNormalExecution),
+            memo_action_name(MemoAction::kTriggerRecovery));
+  EXPECT_NE(memo_action_name(MemoAction::kReuse),
+            memo_action_name(MemoAction::kReuseMaskError));
+  for (MemoAction a :
+       {MemoAction::kNormalExecution, MemoAction::kTriggerRecovery,
+        MemoAction::kReuse, MemoAction::kReuseMaskError}) {
+    EXPECT_FALSE(memo_action_name(a).empty());
+    EXPECT_NE(memo_action_name(a), "?");
+  }
+}
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,91 @@
+#include "memo/registers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+
+namespace tmemo {
+namespace {
+
+TEST(MemoRegisters, ResetState) {
+  const MemoRegisterFile regs;
+  EXPECT_TRUE(regs.enabled());
+  EXPECT_TRUE(regs.commutativity());
+  EXPECT_EQ(regs.masking_vector(), 0xffffffffu);
+  EXPECT_EQ(regs.threshold(), 0.0f);
+  EXPECT_TRUE(regs.constraint().is_exact());
+}
+
+TEST(MemoRegisters, MmioWriteRead) {
+  MemoRegisterFile regs;
+  regs.write(MemoRegister::kMaskingVector, 0xffff0000u);
+  EXPECT_EQ(regs.read(MemoRegister::kMaskingVector), 0xffff0000u);
+  regs.write(MemoRegister::kThreshold, float_to_bits(0.25f));
+  EXPECT_EQ(regs.threshold(), 0.25f);
+  regs.write(MemoRegister::kControl, 0u);
+  EXPECT_FALSE(regs.enabled());
+  EXPECT_FALSE(regs.commutativity());
+}
+
+TEST(MemoRegisters, StatusRegisterIsReadOnly) {
+  MemoRegisterFile regs;
+  EXPECT_THROW(regs.write(MemoRegister::kStatusHits, 1u),
+               std::invalid_argument);
+  regs.latch_status_hits(0x1234567890ull);
+  EXPECT_EQ(regs.read(MemoRegister::kStatusHits), 0x34567890u); // low 32
+}
+
+TEST(MemoRegisters, ProgramExact) {
+  MemoRegisterFile regs;
+  regs.program_threshold(0.5f);
+  regs.program_exact();
+  EXPECT_TRUE(regs.constraint().is_exact());
+  EXPECT_EQ(regs.masking_vector(), 0xffffffffu);
+}
+
+TEST(MemoRegisters, ProgramThresholdSetsBothViews) {
+  MemoRegisterFile regs;
+  regs.program_threshold(0.5f);
+  EXPECT_EQ(regs.threshold(), 0.5f);
+  EXPECT_EQ(regs.masking_vector(), mask_ignoring_fraction_lsbs(22));
+  // Numeric threshold takes precedence in the derived constraint.
+  EXPECT_EQ(regs.constraint().kind(), MatchConstraint::Kind::kThreshold);
+  EXPECT_EQ(regs.constraint().threshold(), 0.5f);
+}
+
+TEST(MemoRegisters, ProgramThresholdAsMaskUsesMaskView) {
+  MemoRegisterFile regs;
+  regs.program_threshold_as_mask(0.5f);
+  EXPECT_EQ(regs.threshold(), 0.0f);
+  EXPECT_EQ(regs.masking_vector(), mask_ignoring_fraction_lsbs(22));
+  EXPECT_EQ(regs.constraint().kind(), MatchConstraint::Kind::kMask);
+}
+
+TEST(MemoRegisters, NegativeThresholdRejected) {
+  MemoRegisterFile regs;
+  EXPECT_THROW(regs.program_threshold(-0.1f), std::invalid_argument);
+  EXPECT_THROW(regs.program_threshold_as_mask(-0.1f), std::invalid_argument);
+}
+
+TEST(MemoRegisters, ControlBitsIndependent) {
+  MemoRegisterFile regs;
+  regs.set_enabled(false);
+  EXPECT_FALSE(regs.enabled());
+  EXPECT_TRUE(regs.commutativity());
+  regs.set_commutativity(false);
+  EXPECT_FALSE(regs.commutativity());
+  regs.set_enabled(true);
+  EXPECT_TRUE(regs.enabled());
+  EXPECT_FALSE(regs.commutativity());
+}
+
+TEST(MemoRegisters, ConstraintInheritsCommutativityBit) {
+  MemoRegisterFile regs;
+  regs.program_threshold(0.1f);
+  EXPECT_TRUE(regs.constraint().allow_commutativity());
+  regs.set_commutativity(false);
+  EXPECT_FALSE(regs.constraint().allow_commutativity());
+}
+
+} // namespace
+} // namespace tmemo

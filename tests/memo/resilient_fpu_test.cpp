@@ -1,0 +1,225 @@
+#include "memo/resilient_fpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmemo {
+namespace {
+
+FpInstruction ins(FpOpcode op, float a, float b = 0.0f, float c = 0.0f) {
+  FpInstruction i;
+  i.opcode = op;
+  i.operands = {a, b, c};
+  return i;
+}
+
+ResilientFpu make_fpu(FpuType unit = FpuType::kAdd) {
+  return ResilientFpu(unit, ResilientFpuConfig{});
+}
+
+TEST(ResilientFpu, CleanMissExecutesAndUpdatesLut) {
+  ResilientFpu fpu = make_fpu();
+  const NoErrorModel errors;
+  const auto rec = fpu.execute(ins(FpOpcode::kAdd, 1.0f, 2.0f), errors);
+  EXPECT_EQ(rec.action, MemoAction::kNormalExecution);
+  EXPECT_FALSE(rec.lut_hit);
+  EXPECT_FALSE(rec.timing_error);
+  EXPECT_TRUE(rec.lut_updated);
+  EXPECT_EQ(rec.result, 3.0f);
+  EXPECT_EQ(rec.exact_result, 3.0f);
+  EXPECT_EQ(rec.active_stage_cycles, 4);
+  EXPECT_EQ(rec.gated_stage_cycles, 0);
+  EXPECT_EQ(rec.latency_cycles, 4);
+  EXPECT_EQ(fpu.lut().size(), 1);
+}
+
+TEST(ResilientFpu, SecondIdenticalInstructionHitsAndClockGates) {
+  ResilientFpu fpu = make_fpu();
+  const NoErrorModel errors;
+  (void)fpu.execute(ins(FpOpcode::kAdd, 1.0f, 2.0f), errors);
+  const auto rec = fpu.execute(ins(FpOpcode::kAdd, 1.0f, 2.0f), errors);
+  EXPECT_EQ(rec.action, MemoAction::kReuse);
+  EXPECT_TRUE(rec.lut_hit);
+  EXPECT_EQ(rec.result, 3.0f);
+  EXPECT_EQ(rec.active_stage_cycles, 1); // stage 1 parallel with lookup
+  EXPECT_EQ(rec.gated_stage_cycles, 3);
+  EXPECT_FALSE(rec.lut_updated); // hit does not write the FIFO
+  EXPECT_EQ(fpu.lut().size(), 1);
+}
+
+TEST(ResilientFpu, ErrorOnMissTriggersTwelveCycleRecovery) {
+  ResilientFpu fpu = make_fpu();
+  const FixedRateErrorModel always(1.0);
+  const auto rec = fpu.execute(ins(FpOpcode::kAdd, 1.0f, 2.0f), always);
+  EXPECT_EQ(rec.action, MemoAction::kTriggerRecovery);
+  EXPECT_TRUE(rec.timing_error);
+  EXPECT_TRUE(rec.recovered);
+  EXPECT_EQ(rec.recovery_cycles, 12); // paper §5.1
+  EXPECT_EQ(rec.latency_cycles, 4 + 12);
+  // The replay commits the exact result.
+  EXPECT_EQ(rec.result, 3.0f);
+  // W_en is gated on error-free execution: no FIFO write.
+  EXPECT_FALSE(rec.lut_updated);
+  EXPECT_EQ(fpu.lut().size(), 0);
+  EXPECT_EQ(fpu.ecu().stats().recoveries, 1u);
+  EXPECT_EQ(fpu.ecu().stats().recovery_cycles, 12u);
+}
+
+TEST(ResilientFpu, RecipRecoveryScalesWithDepth) {
+  ResilientFpu fpu = make_fpu(FpuType::kRecip);
+  const FixedRateErrorModel always(1.0);
+  const auto rec = fpu.execute(ins(FpOpcode::kRecip, 2.0f), always);
+  EXPECT_EQ(rec.recovery_cycles, 48); // 3 x 16-stage pipeline
+  EXPECT_EQ(rec.latency_cycles, 16 + 48);
+}
+
+TEST(ResilientFpu, HitMasksError) {
+  ResilientFpu fpu = make_fpu();
+  const NoErrorModel none;
+  const FixedRateErrorModel always(1.0);
+  // Warm the LUT error-free, then hit with a guaranteed error.
+  (void)fpu.execute(ins(FpOpcode::kAdd, 1.0f, 2.0f), none);
+  const auto rec = fpu.execute(ins(FpOpcode::kAdd, 1.0f, 2.0f), always);
+  EXPECT_EQ(rec.action, MemoAction::kReuseMaskError);
+  EXPECT_TRUE(rec.lut_hit);
+  EXPECT_TRUE(rec.timing_error);
+  EXPECT_TRUE(rec.error_masked);
+  EXPECT_FALSE(rec.recovered);
+  EXPECT_EQ(rec.recovery_cycles, 0);
+  EXPECT_EQ(rec.result, 3.0f);
+  // The masked error reached the stats but not a recovery.
+  EXPECT_EQ(fpu.ecu().stats().errors_signaled, 1u);
+  EXPECT_EQ(fpu.ecu().stats().recoveries, 0u);
+}
+
+TEST(ResilientFpu, ApproximateHitReturnsMemorizedValue) {
+  ResilientFpu fpu = make_fpu(FpuType::kSqrt);
+  fpu.registers().program_threshold(0.5f);
+  const NoErrorModel none;
+  (void)fpu.execute(ins(FpOpcode::kSqrt, 16.0f), none);
+  const auto rec = fpu.execute(ins(FpOpcode::kSqrt, 16.25f), none);
+  EXPECT_TRUE(rec.lut_hit);
+  EXPECT_EQ(rec.result, 4.0f);            // memorized Q_L
+  EXPECT_NE(rec.result, rec.exact_result); // committed != exact
+}
+
+TEST(ResilientFpu, DisabledModuleNeverLooksUp) {
+  ResilientFpu fpu = make_fpu();
+  fpu.registers().set_enabled(false);
+  const NoErrorModel none;
+  for (int i = 0; i < 3; ++i) {
+    const auto rec = fpu.execute(ins(FpOpcode::kAdd, 1.0f, 2.0f), none);
+    EXPECT_FALSE(rec.memo_enabled);
+    EXPECT_FALSE(rec.lut_hit);
+    EXPECT_EQ(rec.lut_lookups, 0);
+    EXPECT_EQ(rec.active_stage_cycles, 4);
+  }
+  EXPECT_EQ(fpu.lut().stats().lookups, 0u);
+}
+
+TEST(ResilientFpu, PowerGatingClearsLutState) {
+  ResilientFpu fpu = make_fpu();
+  const NoErrorModel none;
+  (void)fpu.execute(ins(FpOpcode::kAdd, 1.0f, 2.0f), none);
+  EXPECT_EQ(fpu.lut().size(), 1);
+  fpu.set_power_gated(true);
+  EXPECT_TRUE(fpu.power_gated());
+  EXPECT_EQ(fpu.lut().size(), 0);
+  const auto rec = fpu.execute(ins(FpOpcode::kAdd, 1.0f, 2.0f), none);
+  EXPECT_FALSE(rec.memo_enabled);
+  // Un-gating restores operation (cold).
+  fpu.set_power_gated(false);
+  const auto rec2 = fpu.execute(ins(FpOpcode::kAdd, 1.0f, 2.0f), none);
+  EXPECT_TRUE(rec2.memo_enabled);
+  EXPECT_FALSE(rec2.lut_hit);
+}
+
+TEST(ResilientFpu, ErrantResultNeverCommitsWrongValue) {
+  // Property: regardless of the error stream, with exact matching the
+  // committed value equals the exact value (recovery or exact reuse).
+  ResilientFpu fpu = make_fpu(FpuType::kMul);
+  const FixedRateErrorModel half(0.5);
+  for (int i = 0; i < 2000; ++i) {
+    const float a = static_cast<float>(i % 17);
+    const float b = static_cast<float>(i % 5);
+    const auto rec = fpu.execute(ins(FpOpcode::kMul, a, b), half);
+    ASSERT_EQ(rec.result, rec.exact_result) << "i=" << i;
+  }
+}
+
+TEST(ResilientFpu, StatsAccumulateConsistently) {
+  ResilientFpu fpu = make_fpu();
+  const FixedRateErrorModel some(0.3);
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    // Half-repetitive, half-unique operand stream: produces both hits
+    // (masked errors) and misses (recoveries).
+    const float a = (i % 4 < 2) ? 0.0f : static_cast<float>(i);
+    (void)fpu.execute(ins(FpOpcode::kAdd, a, 1.0f), some);
+  }
+  const FpuStats& s = fpu.stats();
+  EXPECT_EQ(s.instructions, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(s.timing_errors, s.masked_errors + s.recoveries);
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.recoveries, 0u);
+  EXPECT_EQ(s.recovery_cycles, s.recoveries * 12u);
+  EXPECT_GT(s.hit_rate(), 0.0);
+  EXPECT_LT(s.hit_rate(), 1.0);
+  // Every hit gates depth-1 stages.
+  EXPECT_EQ(s.gated_stage_cycles, s.hits * 3u);
+}
+
+TEST(ResilientFpu, ResetStatsKeepsLutContents) {
+  ResilientFpu fpu = make_fpu();
+  const NoErrorModel none;
+  (void)fpu.execute(ins(FpOpcode::kAdd, 1.0f, 2.0f), none);
+  fpu.reset_stats();
+  EXPECT_EQ(fpu.stats().instructions, 0u);
+  // LUT contents survive; the next identical instruction hits.
+  const auto rec = fpu.execute(ins(FpOpcode::kAdd, 1.0f, 2.0f), none);
+  EXPECT_TRUE(rec.lut_hit);
+}
+
+TEST(ResilientFpu, DeterministicForSameSeed) {
+  ResilientFpuConfig cfg;
+  cfg.eds_seed = 99;
+  ResilientFpu a(FpuType::kAdd, cfg), b(FpuType::kAdd, cfg);
+  const FixedRateErrorModel errors(0.2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto ra = a.execute(ins(FpOpcode::kAdd, float(i % 7), 1.0f), errors);
+    const auto rb = b.execute(ins(FpOpcode::kAdd, float(i % 7), 1.0f), errors);
+    ASSERT_EQ(ra.timing_error, rb.timing_error);
+    ASSERT_EQ(ra.lut_hit, rb.lut_hit);
+    ASSERT_EQ(ra.result, rb.result);
+  }
+}
+
+class ResilientFpuAllUnits : public ::testing::TestWithParam<FpuType> {};
+
+TEST_P(ResilientFpuAllUnits, LatencyAndGatingMatchDepth) {
+  const FpuType unit = GetParam();
+  ResilientFpu fpu(unit, ResilientFpuConfig{});
+  const NoErrorModel none;
+  const int depth = fpu_latency_cycles(unit);
+  // Pick an opcode belonging to this unit.
+  FpOpcode op = FpOpcode::kAdd;
+  for (int i = 0; i < kNumFpOpcodes; ++i) {
+    if (opcode_unit(static_cast<FpOpcode>(i)) == unit) {
+      op = static_cast<FpOpcode>(i);
+      break;
+    }
+  }
+  const auto miss = fpu.execute(ins(op, 2.0f, 3.0f, 1.0f), none);
+  EXPECT_EQ(miss.latency_cycles, depth);
+  EXPECT_EQ(miss.active_stage_cycles, depth);
+  const auto hit = fpu.execute(ins(op, 2.0f, 3.0f, 1.0f), none);
+  ASSERT_TRUE(hit.lut_hit);
+  EXPECT_EQ(hit.active_stage_cycles, 1);
+  EXPECT_EQ(hit.gated_stage_cycles, depth - 1);
+  EXPECT_EQ(hit.latency_cycles, depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUnits, ResilientFpuAllUnits,
+                         ::testing::ValuesIn(kAllFpuTypes));
+
+} // namespace
+} // namespace tmemo

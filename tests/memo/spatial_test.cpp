@@ -1,0 +1,173 @@
+#include "memo/spatial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpu/compute_unit.hpp"
+
+namespace tmemo {
+namespace {
+
+FpInstruction ins(FpOpcode op, float a, float b = 0.0f) {
+  FpInstruction i;
+  i.opcode = op;
+  i.operands = {a, b, 0.0f};
+  return i;
+}
+
+TEST(SpatialMaster, StartsDisarmed) {
+  SpatialMaster m;
+  EXPECT_FALSE(m.armed());
+  EXPECT_FALSE(m.matches(ins(FpOpcode::kAdd, 1, 2), MatchConstraint::exact()));
+}
+
+TEST(SpatialMaster, ArmAndMatch) {
+  SpatialMaster m;
+  m.arm(ins(FpOpcode::kAdd, 1.0f, 2.0f), 3.0f);
+  EXPECT_TRUE(m.armed());
+  EXPECT_EQ(m.result(), 3.0f);
+  EXPECT_TRUE(
+      m.matches(ins(FpOpcode::kAdd, 1.0f, 2.0f), MatchConstraint::exact()));
+  EXPECT_FALSE(
+      m.matches(ins(FpOpcode::kAdd, 1.0f, 2.5f), MatchConstraint::exact()));
+  EXPECT_FALSE(
+      m.matches(ins(FpOpcode::kSub, 1.0f, 2.0f), MatchConstraint::exact()));
+}
+
+TEST(SpatialMaster, ApproximateMatching) {
+  SpatialMaster m;
+  m.arm(ins(FpOpcode::kMul, 4.0f, 4.0f), 16.0f);
+  EXPECT_TRUE(m.matches(ins(FpOpcode::kMul, 4.2f, 3.9f),
+                        MatchConstraint::approximate(0.3f)));
+  EXPECT_FALSE(m.matches(ins(FpOpcode::kMul, 4.5f, 3.9f),
+                         MatchConstraint::approximate(0.3f)));
+}
+
+TEST(SpatialMaster, ResetDisarms) {
+  SpatialMaster m;
+  m.arm(ins(FpOpcode::kAdd, 1, 2), 3.0f);
+  m.reset();
+  EXPECT_FALSE(m.armed());
+}
+
+TEST(SpatialStats, ReuseRateAndAccumulation) {
+  SpatialStats s;
+  EXPECT_EQ(s.reuse_rate(), 0.0);
+  s.comparisons = 10;
+  s.reuses = 4;
+  EXPECT_DOUBLE_EQ(s.reuse_rate(), 0.4);
+  SpatialStats t = s;
+  t += s;
+  EXPECT_EQ(t.comparisons, 20u);
+  EXPECT_EQ(t.reuses, 8u);
+}
+
+class SpatialCuTest : public ::testing::Test {
+ protected:
+  SpatialCuTest() : cu_(DeviceConfig::single_cu(), 1) {
+    cu_.set_spatial_memoization(true);
+  }
+
+  class RecordingSink final : public ExecutionSink {
+   public:
+    void consume(const ExecutionRecord& rec) override {
+      records.push_back(rec);
+    }
+    std::vector<ExecutionRecord> records;
+  };
+
+  ComputeUnit cu_;
+  NoErrorModel none_;
+};
+
+TEST_F(SpatialCuTest, UniformWavefrontReusesAllButMaster) {
+  RecordingSink sink;
+  std::array<float, 64> a{}, b{}, out{};
+  a.fill(3.0f);
+  b.fill(4.0f);
+  cu_.execute_wavefront_op(FpOpcode::kMul, 0, a.data(), b.data(), nullptr,
+                           ~0ull, 0, none_, &sink, out.data());
+  ASSERT_EQ(sink.records.size(), 64u);
+  EXPECT_FALSE(sink.records[0].spatial_reuse); // master executes
+  int reused = 0;
+  for (std::size_t i = 1; i < 64; ++i) {
+    EXPECT_TRUE(sink.records[i].spatial_reuse);
+    EXPECT_EQ(sink.records[i].active_stage_cycles, 0);
+    EXPECT_EQ(sink.records[i].result, 12.0f);
+    ++reused;
+  }
+  EXPECT_EQ(reused, 63);
+  const auto& stats =
+      cu_.spatial_stats()[static_cast<std::size_t>(FpuType::kMul)];
+  EXPECT_EQ(stats.comparisons, 63u);
+  EXPECT_EQ(stats.reuses, 63u);
+  for (float v : out) EXPECT_EQ(v, 12.0f);
+}
+
+TEST_F(SpatialCuTest, DivergentLanesFallThroughToFpus) {
+  RecordingSink sink;
+  std::array<float, 64> a{}, out{};
+  for (int i = 0; i < 64; ++i) a[static_cast<std::size_t>(i)] = float(i);
+  cu_.execute_wavefront_op(FpOpcode::kAbs, 0, a.data(), nullptr, nullptr,
+                           ~0ull, 0, none_, &sink, out.data());
+  for (const auto& rec : sink.records) {
+    EXPECT_FALSE(rec.spatial_reuse);
+  }
+  // Non-master lanes carry the (failed) comparison cost.
+  EXPECT_EQ(sink.records[0].spatial_compares, 0);
+  EXPECT_EQ(sink.records[1].spatial_compares, 1);
+  // Results still correct.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], float(i));
+  }
+}
+
+TEST_F(SpatialCuTest, MasterResetBetweenInstructions) {
+  RecordingSink sink;
+  std::array<float, 64> a{}, out{};
+  a.fill(5.0f);
+  cu_.execute_wavefront_op(FpOpcode::kAbs, 0, a.data(), nullptr, nullptr,
+                           ~0ull, 0, none_, &sink, out.data());
+  // Second instruction with different values: its own master, no stale
+  // reuse of 5.0.
+  a.fill(7.0f);
+  sink.records.clear();
+  cu_.execute_wavefront_op(FpOpcode::kAbs, 1, a.data(), nullptr, nullptr,
+                           ~0ull, 0, none_, &sink, out.data());
+  EXPECT_FALSE(sink.records[0].spatial_reuse);
+  EXPECT_EQ(sink.records[1].result, 7.0f);
+}
+
+TEST_F(SpatialCuTest, SpatialMasksErrorsExactly) {
+  // With a guaranteed error rate, reused lanes mask their would-be errors
+  // and commit the master's exact value (the master itself recovers).
+  const FixedRateErrorModel always(1.0);
+  RecordingSink sink;
+  std::array<float, 64> a{}, b{}, out{};
+  a.fill(2.0f);
+  b.fill(3.0f);
+  cu_.execute_wavefront_op(FpOpcode::kAdd, 0, a.data(), b.data(), nullptr,
+                           ~0ull, 0, always, &sink, out.data());
+  EXPECT_TRUE(sink.records[0].recovered); // master pays one recovery
+  for (std::size_t i = 1; i < 64; ++i) {
+    EXPECT_TRUE(sink.records[i].spatial_reuse);
+    EXPECT_TRUE(sink.records[i].error_masked);
+    EXPECT_FALSE(sink.records[i].recovered);
+    EXPECT_EQ(sink.records[i].result, 5.0f);
+  }
+}
+
+TEST_F(SpatialCuTest, DisabledByDefault) {
+  ComputeUnit plain(DeviceConfig::single_cu(), 1);
+  RecordingSink sink;
+  std::array<float, 64> a{}, out{};
+  a.fill(1.0f);
+  plain.execute_wavefront_op(FpOpcode::kAbs, 0, a.data(), nullptr, nullptr,
+                             ~0ull, 0, none_, &sink, out.data());
+  for (const auto& rec : sink.records) {
+    EXPECT_FALSE(rec.spatial_reuse);
+    EXPECT_EQ(rec.spatial_compares, 0);
+  }
+}
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,144 @@
+// Failure-injection / hostile-input robustness: special FP values (NaN,
+// infinities, denormals), extreme configurations, and abuse of the public
+// API must never crash, corrupt the LUT, or silently reuse garbage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "kernel/launch.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/sobel.hpp"
+
+#include "img/synthetic.hpp"
+
+namespace tmemo {
+namespace {
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+FpInstruction ins(FpOpcode op, float a, float b = 0.0f) {
+  FpInstruction i;
+  i.opcode = op;
+  i.operands = {a, b, 0.0f};
+  return i;
+}
+
+TEST(Robustness, NanOperandsNeverPolluteApproximateMatching) {
+  ResilientFpu fpu(FpuType::kAdd, ResilientFpuConfig{});
+  fpu.registers().program_threshold(10.0f); // very loose
+  const NoErrorModel none;
+  (void)fpu.execute(ins(FpOpcode::kAdd, kNan, 1.0f), none);
+  // A NaN entry sits in the FIFO but must never match anything...
+  const auto r1 = fpu.execute(ins(FpOpcode::kAdd, 5.0f, 1.0f), none);
+  EXPECT_FALSE(r1.lut_hit);
+  // ...and an incoming NaN must not match numeric entries either.
+  const auto r2 = fpu.execute(ins(FpOpcode::kAdd, kNan, 1.0f), none);
+  EXPECT_FALSE(r2.lut_hit);
+  EXPECT_TRUE(std::isnan(r2.result));
+}
+
+TEST(Robustness, NanMatchesBitwiseUnderExactConstraint) {
+  // Exact matching is a bit comparison: the same NaN payload DOES match —
+  // and the memorized result is the same NaN, which is value-correct.
+  ResilientFpu fpu(FpuType::kAdd, ResilientFpuConfig{});
+  fpu.registers().program_exact();
+  const NoErrorModel none;
+  (void)fpu.execute(ins(FpOpcode::kAdd, kNan, 1.0f), none);
+  const auto r = fpu.execute(ins(FpOpcode::kAdd, kNan, 1.0f), none);
+  EXPECT_TRUE(r.lut_hit);
+  EXPECT_TRUE(std::isnan(r.result));
+}
+
+TEST(Robustness, InfinitiesFlowThrough) {
+  ResilientFpu fpu(FpuType::kMul, ResilientFpuConfig{});
+  const FixedRateErrorModel errors(0.5);
+  const auto r1 = fpu.execute(ins(FpOpcode::kMul, kInf, 2.0f), errors);
+  EXPECT_EQ(r1.result, kInf);
+  const auto r2 = fpu.execute(ins(FpOpcode::kMul, kInf, 0.0f), errors);
+  EXPECT_TRUE(std::isnan(r2.result));
+  const auto r3 = fpu.execute(ins(FpOpcode::kMul, -kInf, 3.0f), errors);
+  EXPECT_EQ(r3.result, -kInf);
+}
+
+TEST(Robustness, DenormalOperandsMatchExactly) {
+  ResilientFpu fpu(FpuType::kAdd, ResilientFpuConfig{});
+  const NoErrorModel none;
+  const float denorm = std::numeric_limits<float>::denorm_min();
+  (void)fpu.execute(ins(FpOpcode::kAdd, denorm, denorm), none);
+  const auto r = fpu.execute(ins(FpOpcode::kAdd, denorm, denorm), none);
+  EXPECT_TRUE(r.lut_hit);
+}
+
+TEST(Robustness, KernelWithNanPixelsDoesNotCrash) {
+  Image img = make_face_image(64, 64);
+  img.at(10, 10) = kNan;
+  img.at(20, 20) = kInf;
+  GpuDevice device(DeviceConfig::single_cu());
+  device.program_threshold_as_mask(1.0f);
+  device.set_error_model(std::make_shared<FixedRateErrorModel>(0.1));
+  const Image out = sobel_on_device(device, img);
+  EXPECT_EQ(out.width(), 64);
+  // Pixels far from the poison are unaffected.
+  EXPECT_FALSE(std::isnan(out.at(40, 40)));
+}
+
+TEST(Robustness, HundredPercentErrorRateStillCorrect) {
+  Simulation sim;
+  const auto workloads = make_all_workloads(0.01);
+  // Exact matching + guaranteed errors on every instruction: everything
+  // recovers or reuses exactly; results identical to error-free.
+  const KernelRunReport r =
+      sim.run_at_error_rate(*workloads[2], 1.0, 0.0f); // Haar, exact
+  EXPECT_EQ(r.result.max_abs_error, 0.0);
+  FpuStats total;
+  for (const FpuStats& s : r.unit_stats) total += s;
+  EXPECT_EQ(total.timing_errors, total.instructions);
+}
+
+TEST(Robustness, SingleLaneDeviceWorks) {
+  DeviceConfig cfg = DeviceConfig::single_cu();
+  cfg.stream_cores_per_cu = 1;
+  cfg.wavefront_size = 1;
+  GpuDevice device(cfg);
+  launch(device, 10, [](WavefrontCtx& wf) {
+    (void)wf.add(wf.splat(1.0f), wf.splat(2.0f));
+  });
+  EXPECT_EQ(device.total_stats(kAllFpuTypes).instructions, 10u);
+}
+
+TEST(Robustness, HugeLutDepthWorks) {
+  ExperimentConfig cfg;
+  cfg.device = DeviceConfig::single_cu();
+  cfg.device.fpu.lut_depth = 4096;
+  Simulation sim(cfg);
+  const auto workloads = make_all_workloads(0.01);
+  const KernelRunReport r = sim.run_at_error_rate(*workloads[2], 0.0);
+  EXPECT_TRUE(r.result.passed);
+}
+
+TEST(Robustness, ZeroThresholdOverrideOnTolerantKernels) {
+  // Forcing exact matching on the image kernels must give perfect quality.
+  Simulation sim;
+  SobelWorkload w(make_face_image(96, 96), "face");
+  const KernelRunReport r = sim.run_at_error_rate(w, 0.05, 0.0f);
+  EXPECT_EQ(r.result.max_abs_error, 0.0);
+}
+
+TEST(Robustness, ThresholdLargerThanAllValuesMatchesEverything) {
+  // A huge threshold collapses every unary stream onto its first value;
+  // the system must remain stable (no crash, outputs finite).
+  ResilientFpu fpu(FpuType::kSqrt, ResilientFpuConfig{});
+  fpu.registers().program_threshold(1e30f);
+  const NoErrorModel none;
+  (void)fpu.execute(ins(FpOpcode::kSqrt, 4.0f), none);
+  for (float v : {9.0f, 100.0f, 1e20f}) {
+    const auto r = fpu.execute(ins(FpOpcode::kSqrt, v), none);
+    EXPECT_TRUE(r.lut_hit);
+    EXPECT_EQ(r.result, 2.0f); // the memorized sqrt(4)
+  }
+}
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,123 @@
+#include "sim/performance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmemo {
+namespace {
+
+ExecutionRecord make_record(WorkItemId wi, bool error, bool masked,
+                            int recovery = 0) {
+  ExecutionRecord r;
+  r.unit = FpuType::kAdd;
+  r.work_item = wi;
+  r.timing_error = error;
+  r.error_masked = masked;
+  r.recovered = recovery > 0;
+  r.recovery_cycles = recovery;
+  return r;
+}
+
+TEST(PerformanceModel, ErrorFreeRunHasNoStall) {
+  PerformanceModel perf(16);
+  for (int i = 0; i < 160; ++i) {
+    perf.consume(make_record(static_cast<WorkItemId>(i), false, false));
+  }
+  const PerformanceReport r = perf.report();
+  EXPECT_EQ(r.lane_ops, 160u);
+  EXPECT_EQ(r.issue_cycles, 10u); // 16 lanes per cycle
+  EXPECT_EQ(r.lockstep_cycles, 10u);
+  EXPECT_EQ(r.decoupled_cycles, 10u);
+  EXPECT_EQ(r.memoized_cycles, 10u);
+  EXPECT_DOUBLE_EQ(r.slowdown_lockstep(), 1.0);
+}
+
+TEST(PerformanceModel, IssueCyclesRoundUp) {
+  PerformanceModel perf(16);
+  for (int i = 0; i < 17; ++i) {
+    perf.consume(make_record(static_cast<WorkItemId>(i), false, false));
+  }
+  EXPECT_EQ(perf.report().issue_cycles, 2u);
+}
+
+TEST(PerformanceModel, LockstepPaysGloballyPerError) {
+  PerformanceModel perf(16);
+  // Two errors on different stream cores.
+  perf.consume(make_record(0, true, false, 12));
+  perf.consume(make_record(1, true, false, 12));
+  const PerformanceReport r = perf.report();
+  // Lock-step: 12 + 12 global cycles on top of 1 issue cycle.
+  EXPECT_EQ(r.lockstep_cycles, 1u + 24u);
+  // Decoupled: each SC pays 3 locally; the max across SCs bounds the run.
+  EXPECT_EQ(r.decoupled_cycles, 1u + 3u);
+}
+
+TEST(PerformanceModel, MaskedErrorsCostBaselineButNotMemoized) {
+  PerformanceModel perf(16);
+  // A masked error: memoized architecture spent 0 recovery cycles.
+  perf.consume(make_record(0, true, true, 0));
+  const PerformanceReport r = perf.report();
+  EXPECT_GT(r.lockstep_cycles, r.issue_cycles);
+  EXPECT_GT(r.decoupled_cycles, r.issue_cycles);
+  EXPECT_EQ(r.memoized_cycles, r.issue_cycles);
+}
+
+TEST(PerformanceModel, MemoizedStallIsPerCoreMax) {
+  PerformanceModel perf(16);
+  // Three unmasked errors on SC 5, one on SC 7.
+  for (int i = 0; i < 3; ++i) perf.consume(make_record(5, true, false, 12));
+  perf.consume(make_record(7, true, false, 12));
+  const PerformanceReport r = perf.report();
+  EXPECT_EQ(r.memoized_cycles, r.issue_cycles + 36u);
+}
+
+TEST(PerformanceModel, DeepUnitStallsLonger) {
+  PerformanceModel perf(16);
+  ExecutionRecord rec = make_record(0, true, false, 48);
+  rec.unit = FpuType::kRecip;
+  perf.consume(rec);
+  const PerformanceReport r = perf.report();
+  EXPECT_EQ(r.lockstep_cycles, r.issue_cycles + 48u);
+  EXPECT_EQ(r.memoized_cycles, r.issue_cycles + 48u);
+  EXPECT_EQ(r.decoupled_cycles, r.issue_cycles + 9u); // 16/2 + 1
+}
+
+TEST(PerformanceModel, DownstreamChaining) {
+  struct Counter final : ExecutionSink {
+    int n = 0;
+    void consume(const ExecutionRecord&) override { ++n; }
+  } counter;
+  PerformanceModel perf(16, &counter);
+  for (int i = 0; i < 5; ++i) {
+    perf.consume(make_record(static_cast<WorkItemId>(i), false, false));
+  }
+  EXPECT_EQ(counter.n, 5);
+}
+
+TEST(PerformanceModel, ResetClearsState) {
+  PerformanceModel perf(16);
+  perf.consume(make_record(0, true, false, 12));
+  perf.reset();
+  const PerformanceReport r = perf.report();
+  EXPECT_EQ(r.lane_ops, 0u);
+  EXPECT_EQ(r.lockstep_cycles, 0u);
+}
+
+TEST(PerformanceModel, OrderingInvariant) {
+  // Lock-step >= memoized >= issue, and decoupled >= issue, always.
+  PerformanceModel perf(16);
+  Xorshift128 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const bool err = rng.bernoulli(0.1);
+    const bool masked = err && rng.bernoulli(0.5);
+    perf.consume(make_record(static_cast<WorkItemId>(rng.next_below(64)),
+                             err, masked, err && !masked ? 12 : 0));
+  }
+  const PerformanceReport r = perf.report();
+  EXPECT_GE(r.lockstep_cycles, r.memoized_cycles);
+  EXPECT_GE(r.memoized_cycles, r.issue_cycles);
+  EXPECT_GE(r.decoupled_cycles, r.issue_cycles);
+  EXPECT_GE(r.lockstep_cycles, r.decoupled_cycles);
+}
+
+} // namespace
+} // namespace tmemo

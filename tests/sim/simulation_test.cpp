@@ -1,0 +1,114 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/haar.hpp"
+#include "workloads/sobel.hpp"
+
+#include "img/synthetic.hpp"
+
+namespace tmemo {
+namespace {
+
+TEST(Simulation, ReportCarriesConfiguration) {
+  Simulation sim;
+  HaarWorkload haar(256);
+  const KernelRunReport r = sim.run_at_error_rate(haar, 0.02);
+  EXPECT_EQ(r.kernel, "Haar");
+  EXPECT_EQ(r.input_parameter, "256");
+  EXPECT_FLOAT_EQ(r.threshold, 0.046f);
+  EXPECT_EQ(r.error_rate_configured, 0.02);
+  EXPECT_EQ(r.supply, 0.9);
+}
+
+TEST(Simulation, ThresholdOverride) {
+  Simulation sim;
+  HaarWorkload haar(256);
+  const KernelRunReport r = sim.run_at_error_rate(haar, 0.0, 0.5f);
+  EXPECT_FLOAT_EQ(r.threshold, 0.5f);
+}
+
+TEST(Simulation, UnitStatsReflectActivatedUnits) {
+  Simulation sim;
+  HaarWorkload haar(256);
+  const KernelRunReport r = sim.run_at_error_rate(haar, 0.0);
+  EXPECT_TRUE(r.unit_activated(FpuType::kAdd));
+  EXPECT_TRUE(r.unit_activated(FpuType::kMul));
+  EXPECT_FALSE(r.unit_activated(FpuType::kRecip));
+  EXPECT_FALSE(r.unit_activated(FpuType::kTrig));
+  EXPECT_EQ(r.unit_hit_rate(FpuType::kRecip), 0.0);
+}
+
+TEST(Simulation, SavingGrowsWithErrorRate) {
+  // The core Fig. 10 property: each additional percent of timing errors
+  // increases the memoization architecture's relative saving.
+  Simulation sim;
+  HaarWorkload haar(1024);
+  double prev = -1.0;
+  for (double rate : {0.0, 0.01, 0.02, 0.03, 0.04}) {
+    const KernelRunReport r = sim.run_at_error_rate(haar, rate);
+    EXPECT_GT(r.energy.saving(), prev) << "rate " << rate;
+    prev = r.energy.saving();
+  }
+}
+
+TEST(Simulation, BaselineArchitectureHasZeroSavingByConstruction) {
+  ExperimentConfig cfg;
+  cfg.memoization = false;
+  Simulation sim(cfg);
+  HaarWorkload haar(256);
+  const KernelRunReport r = sim.run_at_error_rate(haar, 0.02);
+  // Without the module, memoized == baseline energy (same records).
+  EXPECT_NEAR(r.energy.saving(), 0.0, 1e-9);
+  EXPECT_EQ(r.weighted_hit_rate, 0.0);
+}
+
+TEST(Simulation, VoltageRunsScaleEnergyDown) {
+  Simulation sim;
+  HaarWorkload haar(256);
+  const KernelRunReport at90 = sim.run_at_voltage(haar, 0.90);
+  const KernelRunReport at86 = sim.run_at_voltage(haar, 0.86);
+  // No errors at either point; baseline energy scales ~ (V/Vnom)^2.
+  EXPECT_NEAR(at86.energy.baseline_pj / at90.energy.baseline_pj,
+              (0.86 / 0.90) * (0.86 / 0.90), 0.01);
+}
+
+TEST(Simulation, VosDipAndCrossover) {
+  // Fig. 11 shape on a single kernel with decent locality: the relative
+  // saving dips between 0.9 V and ~0.84 V (module stays at nominal), then
+  // rises sharply at 0.80 V.
+  Simulation sim;
+  SobelWorkload sobel(make_face_image(128, 128), "face");
+  const double s90 = sim.run_at_voltage(sobel, 0.90).energy.saving();
+  const double s84 = sim.run_at_voltage(sobel, 0.84).energy.saving();
+  const double s80 = sim.run_at_voltage(sobel, 0.80).energy.saving();
+  EXPECT_LT(s84, s90);
+  EXPECT_GT(s80, s90);
+}
+
+TEST(Simulation, RunsAreIndependent) {
+  // Two identical runs in sequence return identical reports (fresh device
+  // per run; no state leaks).
+  Simulation sim;
+  HaarWorkload haar(256);
+  const KernelRunReport a = sim.run_at_error_rate(haar, 0.03);
+  const KernelRunReport b = sim.run_at_error_rate(haar, 0.03);
+  EXPECT_EQ(a.weighted_hit_rate, b.weighted_hit_rate);
+  EXPECT_EQ(a.energy.memoized_pj, b.energy.memoized_pj);
+  EXPECT_EQ(a.result.max_abs_error, b.result.max_abs_error);
+}
+
+TEST(Simulation, CommutativityConfigRespected) {
+  ExperimentConfig cfg;
+  cfg.commutativity = false;
+  Simulation sim(cfg);
+  HaarWorkload haar(1024);
+  const double without = sim.run_at_error_rate(haar, 0.0).weighted_hit_rate;
+  cfg.commutativity = true;
+  Simulation sim2(cfg);
+  const double with = sim2.run_at_error_rate(haar, 0.0).weighted_hit_rate;
+  EXPECT_GE(with, without);
+}
+
+} // namespace
+} // namespace tmemo

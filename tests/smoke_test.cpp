@@ -1,0 +1,21 @@
+// Build smoke test: one end-to-end workload run through the whole stack.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "workloads/haar.hpp"
+
+namespace tmemo {
+namespace {
+
+TEST(Smoke, HaarRunsEndToEnd) {
+  Simulation sim;
+  HaarWorkload haar(256);
+  const KernelRunReport report = sim.run_at_error_rate(haar, 0.0);
+  EXPECT_TRUE(report.result.passed);
+  EXPECT_GT(report.unit_stats[static_cast<std::size_t>(FpuType::kAdd)]
+                .instructions,
+            0u);
+}
+
+} // namespace
+} // namespace tmemo

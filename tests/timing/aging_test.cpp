@@ -1,0 +1,99 @@
+#include "timing/aging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmemo {
+namespace {
+
+TEST(Aging, ValidatesParameters) {
+  AgingParams bad;
+  bad.delay_shift_year1 = -0.1;
+  EXPECT_THROW(AgingModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.exponent = 0.0;
+  EXPECT_THROW(AgingModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.exponent = 1.5;
+  EXPECT_THROW(AgingModel{bad}, std::invalid_argument);
+}
+
+TEST(Aging, FreshDeviceUnaged) {
+  const AgingModel aging;
+  EXPECT_DOUBLE_EQ(aging.delay_factor(0.0), 1.0);
+  // Fresh error rate equals the base model's.
+  const VoltageScaling vs;
+  EXPECT_NEAR(aging.op_error_probability(0.9, 4, 0.0),
+              vs.op_error_probability(0.9, 4), 1e-12);
+}
+
+TEST(Aging, DelayFactorAtOneYearMatchesParameter) {
+  const AgingModel aging;
+  EXPECT_NEAR(aging.delay_factor(1.0),
+              1.0 + aging.params().delay_shift_year1, 1e-12);
+}
+
+TEST(Aging, SubLinearPowerLaw) {
+  const AgingModel aging;
+  const double y1 = aging.delay_factor(1.0) - 1.0;
+  const double y4 = aging.delay_factor(4.0) - 1.0;
+  // With n = 0.2: 4x time -> 4^0.2 ~ 1.32x shift, far below 4x.
+  EXPECT_GT(y4, y1);
+  EXPECT_LT(y4, 2.0 * y1);
+}
+
+TEST(Aging, ErrorsGrowMonotonicallyWithAge) {
+  const AgingModel aging;
+  double prev = -1.0;
+  for (double years : {0.0, 1.0, 3.0, 6.0, 10.0, 20.0}) {
+    const double p = aging.op_error_probability(0.9, 4, years);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(Aging, PastTheWallSaturatesAtOne) {
+  AgingParams extreme;
+  extreme.delay_shift_year1 = 0.5; // 50% per year^0.2
+  const AgingModel aging(extreme);
+  EXPECT_EQ(aging.op_error_probability(0.9, 4, 20.0), 1.0);
+}
+
+TEST(Aging, DeeperPipelinesAgeIntoErrorsFirst) {
+  const AgingModel aging;
+  for (double years : {6.0, 10.0}) {
+    EXPECT_GE(aging.op_error_probability(0.9, 16, years),
+              aging.op_error_probability(0.9, 4, years));
+  }
+}
+
+TEST(Aging, LowerActivityExtendsLifetime) {
+  const AgingModel aging;
+  const double full = aging.lifetime_years(1.0, 4);
+  const double half = aging.lifetime_years(0.5, 4);
+  const double idle = aging.lifetime_years(0.0, 4);
+  EXPECT_GT(half, full);
+  EXPECT_EQ(idle, 30.0); // horizon
+  // Halving the activity must at least double calendar lifetime.
+  EXPECT_GE(half, 2.0 * full - 0.2);
+}
+
+TEST(Aging, LifetimeIsConsistentWithErrorCurve) {
+  const AgingModel aging;
+  const double life = aging.lifetime_years(1.0, 4, 1e-4);
+  ASSERT_GT(life, 0.0);
+  ASSERT_LT(life, 30.0);
+  EXPECT_LT(aging.op_error_probability(0.9, 4, life * 0.9), 1e-4);
+  EXPECT_GT(aging.op_error_probability(0.9, 4, life * 1.1), 1e-4);
+}
+
+TEST(Aging, ActivityValidation) {
+  const AgingModel aging;
+  EXPECT_THROW((void)aging.lifetime_years(-0.1, 4), std::invalid_argument);
+  EXPECT_THROW((void)aging.lifetime_years(1.1, 4), std::invalid_argument);
+  EXPECT_THROW((void)aging.delay_factor(-1.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,94 @@
+#include "timing/ecu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmemo {
+namespace {
+
+TEST(RecoveryCycles, MultipleIssueReplayMatchesPaper) {
+  // Paper §5.1: 12 cycles per error for the 4-stage FPUs.
+  EXPECT_EQ(recovery_cycles(RecoveryPolicy::kMultipleIssueReplay,
+                            FpuType::kAdd),
+            12);
+  EXPECT_EQ(recovery_cycles(RecoveryPolicy::kMultipleIssueReplay,
+                            FpuType::kMulAdd),
+            12);
+  // Deep RECIP pays proportionally more.
+  EXPECT_EQ(recovery_cycles(RecoveryPolicy::kMultipleIssueReplay,
+                            FpuType::kRecip),
+            48);
+}
+
+TEST(RecoveryCycles, HalfFrequencyIsMoreExpensive) {
+  for (FpuType u : kAllFpuTypes) {
+    EXPECT_GT(recovery_cycles(RecoveryPolicy::kHalfFrequencyReplay, u),
+              recovery_cycles(RecoveryPolicy::kMultipleIssueReplay, u));
+  }
+}
+
+TEST(RecoveryCycles, DecouplingQueuesIsCheapestLocally) {
+  for (FpuType u : kAllFpuTypes) {
+    EXPECT_LT(recovery_cycles(RecoveryPolicy::kDecouplingQueues, u),
+              recovery_cycles(RecoveryPolicy::kMultipleIssueReplay, u));
+    EXPECT_GE(recovery_cycles(RecoveryPolicy::kDecouplingQueues, u), 1);
+  }
+}
+
+TEST(RecoveryPolicyName, Defined) {
+  EXPECT_STREQ(recovery_policy_name(RecoveryPolicy::kMultipleIssueReplay),
+               "multiple-issue-replay");
+  EXPECT_STREQ(recovery_policy_name(RecoveryPolicy::kHalfFrequencyReplay),
+               "half-frequency-replay");
+  EXPECT_STREQ(recovery_policy_name(RecoveryPolicy::kDecouplingQueues),
+               "decoupling-queues");
+}
+
+TEST(Ecu, RecoverAccumulatesStats) {
+  Ecu ecu(RecoveryPolicy::kMultipleIssueReplay);
+  EXPECT_EQ(ecu.recover(FpuType::kAdd, 2), 12);
+  EXPECT_EQ(ecu.recover(FpuType::kRecip, 0), 48);
+  const EcuStats& s = ecu.stats();
+  EXPECT_EQ(s.errors_signaled, 2u);
+  EXPECT_EQ(s.recoveries, 2u);
+  EXPECT_EQ(s.recovery_cycles, 60u);
+  EXPECT_EQ(s.flushed_ops, 2u);
+}
+
+TEST(Ecu, MaskedErrorsCountAsSignalsOnly) {
+  Ecu ecu;
+  ecu.note_masked_error();
+  ecu.note_masked_error();
+  EXPECT_EQ(ecu.stats().errors_signaled, 2u);
+  EXPECT_EQ(ecu.stats().recoveries, 0u);
+  EXPECT_EQ(ecu.stats().recovery_cycles, 0u);
+}
+
+TEST(Ecu, NegativeFlushCountRejected) {
+  Ecu ecu;
+  EXPECT_THROW(ecu.recover(FpuType::kAdd, -1), std::invalid_argument);
+}
+
+TEST(Ecu, ResetStats) {
+  Ecu ecu;
+  (void)ecu.recover(FpuType::kAdd, 0);
+  ecu.reset_stats();
+  EXPECT_EQ(ecu.stats().errors_signaled, 0u);
+  EXPECT_EQ(ecu.stats().recoveries, 0u);
+}
+
+TEST(EcuStats, Accumulation) {
+  EcuStats a;
+  a.errors_signaled = 1;
+  a.recoveries = 2;
+  a.recovery_cycles = 3;
+  a.flushed_ops = 4;
+  EcuStats b = a;
+  b += a;
+  EXPECT_EQ(b.errors_signaled, 2u);
+  EXPECT_EQ(b.recoveries, 4u);
+  EXPECT_EQ(b.recovery_cycles, 6u);
+  EXPECT_EQ(b.flushed_ops, 8u);
+}
+
+} // namespace
+} // namespace tmemo

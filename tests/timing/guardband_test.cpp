@@ -1,0 +1,100 @@
+#include "timing/guardband.hpp"
+
+#include <gtest/gtest.h>
+
+#include "timing/voltage.hpp"
+
+namespace tmemo {
+namespace {
+
+TEST(Guardband, ConfigValidation) {
+  GuardbandConfig bad;
+  bad.v_min = 0.95;
+  EXPECT_THROW(AdaptiveGuardbandController{bad}, std::invalid_argument);
+  bad = {};
+  bad.step = 0.0;
+  EXPECT_THROW(AdaptiveGuardbandController{bad}, std::invalid_argument);
+  bad = {};
+  bad.target_error_rate = 0.0;
+  EXPECT_THROW(AdaptiveGuardbandController{bad}, std::invalid_argument);
+  bad = {};
+  bad.hysteresis = 1.0;
+  EXPECT_THROW(AdaptiveGuardbandController{bad}, std::invalid_argument);
+  EXPECT_THROW(AdaptiveGuardbandController(GuardbandConfig{}, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Guardband, LowersWhenErrorFree) {
+  AdaptiveGuardbandController ctrl;
+  EXPECT_EQ(ctrl.supply(), 0.90);
+  ctrl.observe(10000, 0);
+  EXPECT_NEAR(ctrl.supply(), 0.89, 1e-9);
+  ctrl.observe(10000, 0);
+  EXPECT_NEAR(ctrl.supply(), 0.88, 1e-9);
+  EXPECT_EQ(ctrl.lowers(), 2u);
+}
+
+TEST(Guardband, RaisesWhenErrorsExceedTarget) {
+  AdaptiveGuardbandController ctrl(GuardbandConfig{}, 0.82);
+  ctrl.observe(1000, 50); // 5% >> 0.1% target
+  EXPECT_NEAR(ctrl.supply(), 0.83, 1e-9);
+  EXPECT_EQ(ctrl.raises(), 1u);
+}
+
+TEST(Guardband, HoldsInsideTheBand) {
+  GuardbandConfig cfg;
+  cfg.target_error_rate = 0.01;
+  cfg.hysteresis = 0.25;
+  AdaptiveGuardbandController ctrl(cfg, 0.85);
+  ctrl.observe(10000, 50); // 0.5% in (0.25%, 1%) -> hold
+  EXPECT_NEAR(ctrl.supply(), 0.85, 1e-9);
+  EXPECT_EQ(ctrl.raises(), 0u);
+  EXPECT_EQ(ctrl.lowers(), 0u);
+}
+
+TEST(Guardband, ClampsAtBandEdges) {
+  GuardbandConfig cfg;
+  AdaptiveGuardbandController ctrl(cfg, cfg.v_min);
+  ctrl.observe(1000, 0); // wants to lower, already at min
+  EXPECT_NEAR(ctrl.supply(), cfg.v_min, 1e-9);
+  AdaptiveGuardbandController top(cfg, cfg.v_max);
+  top.observe(1000, 1000); // wants to raise, already at max
+  EXPECT_NEAR(top.supply(), cfg.v_max, 1e-9);
+}
+
+TEST(Guardband, RejectsEmptyEpoch) {
+  AdaptiveGuardbandController ctrl;
+  EXPECT_THROW(ctrl.observe(0, 0), std::invalid_argument);
+}
+
+TEST(Guardband, ConvergesAgainstTheAnalyticErrorModel) {
+  // Closed loop with the alpha-power error model: the controller must
+  // settle just above the error cliff (between 0.80 and 0.86 V) and stay
+  // there, oscillating at most one step.
+  const VoltageScaling vs;
+  AdaptiveGuardbandController ctrl;
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    const double p = vs.op_error_probability(ctrl.supply(), 4);
+    const auto errors =
+        static_cast<std::uint64_t>(p * 100000.0);
+    ctrl.observe(100000, errors);
+  }
+  EXPECT_GE(ctrl.supply(), 0.80);
+  EXPECT_LE(ctrl.supply(), 0.86);
+  const Volt settled = ctrl.supply();
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    const double p = vs.op_error_probability(ctrl.supply(), 4);
+    ctrl.observe(100000, static_cast<std::uint64_t>(p * 100000.0));
+    EXPECT_NEAR(ctrl.supply(), settled, ctrl.config().step + 1e-9);
+  }
+}
+
+TEST(Guardband, EpochCounting) {
+  AdaptiveGuardbandController ctrl;
+  ctrl.observe(100, 0);
+  ctrl.observe(100, 100);
+  EXPECT_EQ(ctrl.epochs(), 2u);
+}
+
+} // namespace
+} // namespace tmemo

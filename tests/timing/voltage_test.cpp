@@ -1,0 +1,117 @@
+#include "timing/voltage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tmemo {
+namespace {
+
+TEST(StandardNormalCdf, KnownValues) {
+  EXPECT_NEAR(standard_normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(standard_normal_cdf(1.0), 0.8413447, 1e-6);
+  EXPECT_NEAR(standard_normal_cdf(-1.0), 0.1586553, 1e-6);
+  EXPECT_NEAR(standard_normal_cdf(3.0), 0.9986501, 1e-6);
+  EXPECT_NEAR(standard_normal_cdf(6.0), 1.0, 1e-8);
+}
+
+TEST(VoltageScaling, ValidatesParameters) {
+  VoltageScalingParams p;
+  p.nominal_voltage = 0.3; // below Vth
+  EXPECT_THROW(VoltageScaling{p}, std::invalid_argument);
+  p = {};
+  p.alpha = -1.0;
+  EXPECT_THROW(VoltageScaling{p}, std::invalid_argument);
+  p = {};
+  p.stage_delay_mean = 1.5; // exceeds clock period
+  EXPECT_THROW(VoltageScaling{p}, std::invalid_argument);
+  p = {};
+  p.stage_delay_sigma = 0.0;
+  EXPECT_THROW(VoltageScaling{p}, std::invalid_argument);
+}
+
+TEST(VoltageScaling, DelayFactorIsOneAtNominal) {
+  const VoltageScaling vs;
+  EXPECT_NEAR(vs.delay_factor(vs.params().nominal_voltage), 1.0, 1e-12);
+}
+
+TEST(VoltageScaling, DelayGrowsMonotonicallyAsVoltageDrops) {
+  const VoltageScaling vs;
+  double prev = 0.0;
+  for (double v = 0.90; v >= 0.60; v -= 0.01) {
+    const double f = vs.delay_factor(v);
+    EXPECT_GT(f, prev) << "v=" << v;
+    prev = f;
+  }
+}
+
+TEST(VoltageScaling, DelayFactorRejectsSubThresholdSupply) {
+  const VoltageScaling vs;
+  EXPECT_THROW((void)vs.delay_factor(0.30), std::invalid_argument);
+}
+
+TEST(VoltageScaling, ErrorNegligibleAtNominalAbruptBelow) {
+  // The paper's Fig. 11 regime: essentially no errors down to ~0.84 V,
+  // then an abrupt increase towards 0.8 V.
+  const VoltageScaling vs;
+  EXPECT_LT(vs.op_error_probability(0.90, 4), 1e-6);
+  EXPECT_LT(vs.op_error_probability(0.86, 4), 1e-4);
+  EXPECT_LT(vs.op_error_probability(0.84, 4), 0.01);
+  EXPECT_GT(vs.op_error_probability(0.80, 4), 0.25);
+  // Abruptness: 0.80 is at least 20x worse than 0.84.
+  EXPECT_GT(vs.op_error_probability(0.80, 4),
+            20.0 * vs.op_error_probability(0.84, 4));
+}
+
+TEST(VoltageScaling, ErrorProbabilityMonotoneInDepth) {
+  const VoltageScaling vs;
+  for (double v : {0.84, 0.82, 0.80}) {
+    double prev = 0.0;
+    for (int depth : {1, 2, 4, 8, 16}) {
+      const double p = vs.op_error_probability(v, depth);
+      EXPECT_GE(p, prev);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      prev = p;
+    }
+  }
+}
+
+TEST(VoltageScaling, DeepPipelineMultipliesErrorRate) {
+  // Paper §1: "the error rate is multiplied by the... pipeline length".
+  const VoltageScaling vs;
+  const double p1 = vs.stage_error_probability(0.81);
+  const double p4 = vs.op_error_probability(0.81, 4);
+  EXPECT_NEAR(p4, 1.0 - std::pow(1.0 - p1, 4.0), 1e-12);
+}
+
+TEST(VoltageScaling, InvalidDepthRejected) {
+  const VoltageScaling vs;
+  EXPECT_THROW((void)vs.op_error_probability(0.9, 0), std::invalid_argument);
+}
+
+TEST(VoltageScaling, EnergyScalesQuadratically) {
+  const VoltageScaling vs;
+  EXPECT_NEAR(vs.energy_factor(0.9), 1.0, 1e-12);
+  EXPECT_NEAR(vs.energy_factor(0.45), 0.25, 1e-12);
+  EXPECT_NEAR(vs.energy_factor(0.8), (0.8 / 0.9) * (0.8 / 0.9), 1e-12);
+}
+
+class VoltageSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(VoltageSweepTest, ErrorProbabilityWellFormed) {
+  const VoltageScaling vs;
+  const double v = GetParam();
+  for (int depth : {1, 4, 16}) {
+    const double p = vs.op_error_probability(v, depth);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, VoltageSweepTest,
+                         ::testing::Values(0.90, 0.88, 0.86, 0.84, 0.82, 0.80,
+                                           0.75, 0.60));
+
+} // namespace
+} // namespace tmemo

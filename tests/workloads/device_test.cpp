@@ -1,0 +1,115 @@
+// Device-vs-reference properties for all seven Table-1 kernels:
+//  * with exact matching and no errors, device outputs are bit-identical
+//    to the host references (the kernels' DSL lowering is mirrored);
+//  * with exact matching, timing errors never corrupt outputs (recovery /
+//    exact reuse);
+//  * at the Table-1 thresholds the SDK-style verification passes.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmemo {
+namespace {
+
+std::vector<std::unique_ptr<Workload>> small_workloads() {
+  return make_all_workloads(0.01);
+}
+
+TEST(WorkloadRegistry, SevenTable1Kernels) {
+  const auto ws = small_workloads();
+  ASSERT_EQ(ws.size(), 7u);
+  EXPECT_EQ(ws[0]->name(), "Sobel");
+  EXPECT_EQ(ws[1]->name(), "Gaussian");
+  EXPECT_EQ(ws[2]->name(), "Haar");
+  EXPECT_EQ(ws[3]->name(), "BinomialOption");
+  EXPECT_EQ(ws[4]->name(), "BlackScholes");
+  EXPECT_EQ(ws[5]->name(), "FWT");
+  EXPECT_EQ(ws[6]->name(), "EigenValue");
+}
+
+TEST(WorkloadRegistry, Table1Thresholds) {
+  const auto ws = small_workloads();
+  EXPECT_FLOAT_EQ(ws[0]->table1_threshold(), 1.0f);
+  EXPECT_FLOAT_EQ(ws[1]->table1_threshold(), 0.8f);
+  EXPECT_FLOAT_EQ(ws[2]->table1_threshold(), 0.046f);
+  EXPECT_FLOAT_EQ(ws[3]->table1_threshold(), 0.000025f);
+  EXPECT_FLOAT_EQ(ws[4]->table1_threshold(), 0.000025f);
+  EXPECT_FLOAT_EQ(ws[5]->table1_threshold(), 0.0f);
+  EXPECT_FLOAT_EQ(ws[6]->table1_threshold(), 0.0f);
+}
+
+TEST(WorkloadRegistry, ErrorToleranceClasses) {
+  const auto ws = small_workloads();
+  EXPECT_TRUE(ws[0]->error_tolerant());
+  EXPECT_TRUE(ws[1]->error_tolerant());
+  for (std::size_t i = 2; i < ws.size(); ++i) {
+    EXPECT_FALSE(ws[i]->error_tolerant()) << ws[i]->name();
+  }
+}
+
+TEST(WorkloadRegistry, ScaleValidation) {
+  EXPECT_THROW(make_all_workloads(0.0), std::invalid_argument);
+  EXPECT_THROW(make_all_workloads(1.5), std::invalid_argument);
+}
+
+class WorkloadDeviceTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<Workload> workload() {
+    auto ws = small_workloads();
+    return std::move(ws[static_cast<std::size_t>(GetParam())]);
+  }
+};
+
+TEST_P(WorkloadDeviceTest, ExactMatchingIsBitIdentical) {
+  const auto w = workload();
+  Simulation sim;
+  const KernelRunReport r =
+      sim.run_at_error_rate(*w, 0.0, /*threshold=*/0.0f);
+  EXPECT_EQ(r.result.max_abs_error, 0.0) << w->name();
+  EXPECT_GT(r.result.output_values, 0u);
+}
+
+TEST_P(WorkloadDeviceTest, ErrorsNeverCorruptExactMatchedOutputs) {
+  const auto w = workload();
+  Simulation sim;
+  const KernelRunReport r =
+      sim.run_at_error_rate(*w, 0.10, /*threshold=*/0.0f);
+  EXPECT_EQ(r.result.max_abs_error, 0.0) << w->name();
+  // Errors actually occurred and were handled.
+  FpuStats total;
+  for (const FpuStats& s : r.unit_stats) total += s;
+  EXPECT_GT(total.timing_errors, 0u);
+  EXPECT_EQ(total.timing_errors, total.recoveries + total.masked_errors);
+}
+
+TEST_P(WorkloadDeviceTest, Table1ThresholdPassesHostVerification) {
+  const auto w = workload();
+  Simulation sim;
+  const KernelRunReport r = sim.run_at_error_rate(*w, 0.0);
+  EXPECT_TRUE(r.result.passed)
+      << w->name() << " max_err=" << r.result.max_abs_error
+      << " rel_rms=" << r.result.rel_rms_error;
+}
+
+TEST_P(WorkloadDeviceTest, Table1ThresholdPassesUnderErrors) {
+  const auto w = workload();
+  Simulation sim;
+  const KernelRunReport r = sim.run_at_error_rate(*w, 0.04);
+  EXPECT_TRUE(r.result.passed) << w->name();
+}
+
+TEST_P(WorkloadDeviceTest, MemoizationSavesStageCycles) {
+  const auto w = workload();
+  Simulation sim;
+  const KernelRunReport r = sim.run_at_error_rate(*w, 0.0);
+  FpuStats total;
+  for (const FpuStats& s : r.unit_stats) total += s;
+  EXPECT_EQ(total.gated_stage_cycles > 0, total.hits > 0) << w->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, WorkloadDeviceTest,
+                         ::testing::Range(0, 7));
+
+} // namespace
+} // namespace tmemo

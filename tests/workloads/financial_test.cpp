@@ -1,0 +1,155 @@
+// BlackScholes + BinomialOption domain properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulation.hpp"
+#include "workloads/binomial.hpp"
+#include "workloads/blackscholes.hpp"
+
+namespace tmemo {
+namespace {
+
+TEST(BlackScholes, DeviceMatchesReferenceBitExact) {
+  const OptionInputs in = make_option_inputs(256, 3);
+  GpuDevice device(DeviceConfig::single_cu());
+  device.program_exact();
+  const auto got = blackscholes_on_device(device, in);
+  const auto want = blackscholes_reference(in);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << i;
+  }
+}
+
+TEST(BlackScholes, CallDecreasesWithStrike) {
+  OptionInputs in;
+  for (float k : {60.0f, 80.0f, 100.0f, 120.0f}) {
+    in.stock_price.push_back(100.0f);
+    in.strike_price.push_back(k);
+    in.years.push_back(2.0f);
+  }
+  const auto out = blackscholes_reference(in);
+  for (std::size_t i = 1; i < in.size(); ++i) {
+    EXPECT_LT(out[i], out[i - 1]);
+  }
+}
+
+TEST(BlackScholes, PutIncreasesWithStrike) {
+  OptionInputs in;
+  for (float k : {60.0f, 80.0f, 100.0f, 120.0f}) {
+    in.stock_price.push_back(100.0f);
+    in.strike_price.push_back(k);
+    in.years.push_back(2.0f);
+  }
+  const auto out = blackscholes_reference(in);
+  const std::size_t n = in.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_GT(out[n + i], out[n + i - 1]);
+  }
+}
+
+TEST(BlackScholes, LongerMaturityRaisesCallValue) {
+  OptionInputs in;
+  for (float t : {1.0f, 3.0f, 7.0f, 10.0f}) {
+    in.stock_price.push_back(100.0f);
+    in.strike_price.push_back(100.0f);
+    in.years.push_back(t);
+  }
+  const auto out = blackscholes_reference(in);
+  for (std::size_t i = 1; i < in.size(); ++i) {
+    EXPECT_GT(out[i], out[i - 1]);
+  }
+}
+
+TEST(BlackScholes, InputsFollowTheOptionChainStructure) {
+  const OptionInputs in = make_option_inputs(1024, 5);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(in.stock_price[i], 100.0f); // single underlying
+    // Strikes on the 5-dollar grid.
+    EXPECT_EQ(std::fmod(in.strike_price[i], 5.0f), 0.0f);
+    // Whole-year tenors 1..10.
+    EXPECT_EQ(in.years[i], std::floor(in.years[i]));
+    EXPECT_GE(in.years[i], 1.0f);
+    EXPECT_LE(in.years[i], 10.0f);
+  }
+}
+
+TEST(BlackScholes, WorkloadExpandsSamplesBy4096) {
+  BlackScholesWorkload w(2);
+  EXPECT_EQ(w.input_parameter(), "2");
+  Simulation sim;
+  const KernelRunReport r = sim.run_at_error_rate(w, 0.0);
+  EXPECT_EQ(r.result.output_values, 2u * 4096u * 2u); // calls + puts
+  EXPECT_TRUE(r.result.passed);
+}
+
+TEST(Binomial, DeviceMatchesReferenceBitExact) {
+  const OptionInputs in = make_option_inputs(20, 9);
+  GpuDevice device(DeviceConfig::single_cu());
+  device.program_exact();
+  const auto got = binomial_on_device(device, in, 64);
+  const auto want = binomial_reference(in, 64);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << i;
+  }
+}
+
+TEST(Binomial, MoreStepsConvergeMonotonicallyTowardClosedForm) {
+  OptionInputs in;
+  in.stock_price = {100.0f};
+  in.strike_price = {95.0f};
+  in.years = {2.0f};
+  const float bs = blackscholes_reference(in)[0];
+  double prev_gap = 1e9;
+  for (int steps : {16, 64, 256}) {
+    const float crr = binomial_reference(in, steps)[0];
+    const double gap = std::fabs(static_cast<double>(crr) - bs);
+    EXPECT_LT(gap, prev_gap + 0.05);
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 0.25);
+}
+
+TEST(Binomial, LowVolatilityTracksClosedForm) {
+  // At modest volatility (the CRR lattice is valid when vol*sqrt(dt) >
+  // r*dt) a deep-in-the-money call approaches the discounted forward and
+  // matches the Black-Scholes closed form.
+  OptionInputs in;
+  in.stock_price = {120.0f};
+  in.strike_price = {100.0f};
+  in.years = {1.0f};
+  in.volatility = 0.10f;
+  const float crr = binomial_reference(in, 256)[0];
+  const float bs = blackscholes_reference(in)[0];
+  EXPECT_NEAR(crr, bs, 0.3f);
+  const float forward = 120.0f - 100.0f * std::exp(-in.riskfree_rate);
+  EXPECT_GT(crr, forward - 0.1f);
+  EXPECT_LT(crr, forward + 3.0f);
+}
+
+TEST(Binomial, DeepOutOfTheMoneyIsWorthless) {
+  OptionInputs in;
+  in.stock_price = {10.0f};
+  in.strike_price = {1000.0f};
+  in.years = {1.0f};
+  EXPECT_NEAR(binomial_reference(in, 64)[0], 0.0f, 1e-3f);
+}
+
+TEST(Binomial, RejectsInvalidSteps) {
+  const OptionInputs in = make_option_inputs(1, 1);
+  EXPECT_THROW((void)binomial_reference(in, 0), std::invalid_argument);
+  GpuDevice device(DeviceConfig::single_cu());
+  EXPECT_THROW((void)binomial_on_device(device, in, -1),
+               std::invalid_argument);
+}
+
+TEST(Binomial, WorkloadPassesAtTinyThresholdEvenWithErrors) {
+  Simulation sim;
+  BinomialOptionWorkload w(20, 64);
+  const KernelRunReport r = sim.run_at_error_rate(w, 0.04);
+  EXPECT_TRUE(r.result.passed);
+  EXPECT_LT(r.result.rel_rms_error, 1e-4);
+}
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,173 @@
+// FWT + EigenValue domain properties (the exact-matching kernels).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/eigenvalue.hpp"
+#include "workloads/fwt.hpp"
+
+namespace tmemo {
+namespace {
+
+TEST(Fwt, DeviceMatchesReferenceBitExact) {
+  std::vector<float> signal(1024);
+  Xorshift128 rng(3);
+  for (float& v : signal) v = rng.next_float() - 0.5f;
+  GpuDevice device(DeviceConfig::single_cu());
+  device.program_exact();
+  const auto got = fwt_on_device(device, signal);
+  const auto want = fwt_reference(signal);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << i;
+  }
+}
+
+TEST(Fwt, ParsevalEnergyScaling) {
+  // sum(y^2) = n * sum(x^2) for the unnormalized WHT.
+  std::vector<float> x(256);
+  Xorshift128 rng(7);
+  for (float& v : x) v = rng.next_float() - 0.5f;
+  const auto y = fwt_reference(x);
+  const double ex = std::inner_product(x.begin(), x.end(), x.begin(), 0.0);
+  const double ey = std::inner_product(y.begin(), y.end(), y.begin(), 0.0);
+  EXPECT_NEAR(ey, 256.0 * ex, 1e-2 * ey);
+}
+
+TEST(Fwt, ConstantSignalConcentratesInDc) {
+  std::vector<float> x(64, 2.0f);
+  const auto y = fwt_reference(x);
+  EXPECT_EQ(y[0], 128.0f);
+  for (std::size_t i = 1; i < 64; ++i) EXPECT_EQ(y[i], 0.0f);
+}
+
+TEST(Fwt, WalshFunctionMapsToSingleBin) {
+  // The transform of a Walsh basis function is an impulse: build one by
+  // inverse-transforming a delta (involution property).
+  std::vector<float> delta(64, 0.0f);
+  delta[9] = 1.0f;
+  const auto walsh = fwt_reference(delta);
+  auto spectrum = fwt_reference(walsh);
+  EXPECT_EQ(spectrum[9], 64.0f);
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (i != 9) {
+      EXPECT_EQ(spectrum[i], 0.0f);
+    }
+  }
+}
+
+TEST(Fwt, WorkloadRoundsUpToPowerOfTwo) {
+  FwtWorkload w(1000);
+  EXPECT_EQ(w.input_parameter(), "1000");
+  Simulation sim;
+  const KernelRunReport r = sim.run_at_error_rate(w, 0.0);
+  EXPECT_EQ(r.result.output_values, 1024u);
+  EXPECT_TRUE(r.result.passed);
+}
+
+TEST(Fwt, SparseTernaryInput) {
+  FwtWorkload w(4096);
+  Simulation sim;
+  const KernelRunReport r = sim.run_at_error_rate(w, 0.0);
+  // Sparse inputs give the exact-matching FIFO real hits.
+  EXPECT_GT(r.weighted_hit_rate, 0.05);
+}
+
+TEST(Eigen, DeviceMatchesReferenceBitExact) {
+  const Tridiagonal m = make_tridiagonal(96, 5);
+  GpuDevice device(DeviceConfig::single_cu());
+  device.program_exact();
+  const auto got = eigenvalues_on_device(device, m, 24);
+  const auto want = eigenvalues_reference(m, 24);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << i;
+  }
+}
+
+TEST(Eigen, MappingDoesNotChangeResults) {
+  const Tridiagonal m = make_tridiagonal(96, 5);
+  GpuDevice a(DeviceConfig::single_cu()), b(DeviceConfig::single_cu());
+  a.program_exact();
+  b.program_exact();
+  const auto mapped = eigenvalues_on_device(a, m, 24, true);
+  const auto linear = eigenvalues_on_device(b, m, 24, false);
+  for (std::size_t i = 0; i < mapped.size(); ++i) {
+    ASSERT_EQ(mapped[i], linear[i]) << i;
+  }
+}
+
+TEST(Eigen, EigenvaluesWithinGershgorinBounds) {
+  const Tridiagonal m = make_tridiagonal(64, 11);
+  float lo = m.diag[0], hi = m.diag[0];
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    float r = 0.0f;
+    if (i > 0) r += std::fabs(m.offdiag[i - 1]);
+    if (i + 1 < m.size()) r += std::fabs(m.offdiag[i]);
+    lo = std::min(lo, m.diag[i] - r);
+    hi = std::max(hi, m.diag[i] + r);
+  }
+  for (float lam : eigenvalues_reference(m, 30)) {
+    EXPECT_GE(lam, lo - 1e-4f);
+    EXPECT_LE(lam, hi + 1e-4f);
+  }
+}
+
+TEST(Eigen, KnownTridiagonalSpectrum) {
+  // A block-diagonal tridiagonal of decoupled 2x2 blocks
+  //   [a_i  b_i; b_i  a_i]  ->  eigenvalues a_i -/+ b_i,
+  // with distinct, well-separated entries (no degenerate Sturm pivots).
+  const int blocks = 8;
+  Tridiagonal m;
+  std::vector<double> expected;
+  for (int i = 0; i < blocks; ++i) {
+    const float a = 0.5f * static_cast<float>(i) - 2.0f;
+    const float b = 0.11f + 0.02f * static_cast<float>(i);
+    m.diag.push_back(a);
+    m.diag.push_back(a);
+    m.offdiag.push_back(b);
+    if (i + 1 < blocks) m.offdiag.push_back(0.0f);
+    expected.push_back(a - b);
+    expected.push_back(a + b);
+  }
+  std::sort(expected.begin(), expected.end());
+  const auto lam = eigenvalues_reference(m, 40);
+  ASSERT_EQ(lam.size(), expected.size());
+  for (std::size_t k = 0; k < lam.size(); ++k) {
+    EXPECT_NEAR(lam[k], expected[k], 5e-3) << k;
+  }
+}
+
+TEST(Eigen, MoreIterationsRefineTheBrackets) {
+  const Tridiagonal m = make_tridiagonal(32, 3);
+  const auto coarse = eigenvalues_reference(m, 8);
+  const auto fine = eigenvalues_reference(m, 30);
+  // Both sorted; fine brackets are consistent refinements.
+  double max_move = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    max_move = std::max(
+        max_move, std::fabs(static_cast<double>(coarse[i]) - fine[i]));
+  }
+  // Bisection converges geometrically: 8 extra bits shrink the interval.
+  EXPECT_LT(max_move, 0.1);
+}
+
+TEST(Eigen, RejectsTinyMatrices) {
+  EXPECT_THROW(make_tridiagonal(1), std::invalid_argument);
+  EXPECT_THROW(EigenValueWorkload(0), std::invalid_argument);
+}
+
+TEST(Eigen, ScAdjacentMappingRaisesHitRate) {
+  const Tridiagonal m = make_tridiagonal(128, 7);
+  GpuDevice a(DeviceConfig::single_cu()), b(DeviceConfig::single_cu());
+  a.program_exact();
+  b.program_exact();
+  (void)eigenvalues_on_device(a, m, 24, true);
+  (void)eigenvalues_on_device(b, m, 24, false);
+  EXPECT_GT(a.weighted_hit_rate(), b.weighted_hit_rate());
+}
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,88 @@
+#include "workloads/gaussian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "img/synthetic.hpp"
+#include "sim/simulation.hpp"
+
+namespace tmemo {
+namespace {
+
+TEST(Gaussian, DeviceMatchesReferenceBitExact) {
+  const Image book = make_book_image(96, 96);
+  GpuDevice device(DeviceConfig::single_cu());
+  device.program_exact();
+  const Image got = gaussian_on_device(device, book);
+  const Image want = gaussian_reference(book);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got.pixels()[i], want.pixels()[i]) << "pixel " << i;
+  }
+}
+
+TEST(Gaussian, UnitDcGain) {
+  // A constant image passes through unchanged (weights sum to 1).
+  for (float level : {0.0f, 17.0f, 128.0f, 255.0f}) {
+    const Image flat(16, 16, level);
+    const Image out = gaussian_reference(flat);
+    for (float p : out.pixels()) {
+      EXPECT_NEAR(p, std::floor(level), 1.0f);
+    }
+  }
+}
+
+TEST(Gaussian, ImpulseResponseIsTheKernel) {
+  Image img(9, 9, 0.0f);
+  img.at(4, 4) = 160.0f;
+  const Image out = gaussian_reference(img);
+  // Center: 4/16 of the impulse; direct neighbours 2/16; corners 1/16.
+  EXPECT_EQ(out.at(4, 4), 40.0f);
+  EXPECT_EQ(out.at(3, 4), 20.0f);
+  EXPECT_EQ(out.at(4, 3), 20.0f);
+  EXPECT_EQ(out.at(3, 3), 10.0f);
+  EXPECT_EQ(out.at(6, 6), 0.0f);
+}
+
+TEST(Gaussian, SmoothingIsIdempotentOnFlats) {
+  const Image face = make_face_image(64, 64);
+  const Image once = gaussian_reference(face);
+  const Image twice = gaussian_reference(once);
+  // Second pass changes much less than the first.
+  EXPECT_LT(mse(once, twice), mse(face, once));
+}
+
+TEST(Gaussian, ApproximateModeDegradesGracefullyWithThreshold) {
+  const Image face = make_face_image(128, 128);
+  const Image golden = gaussian_reference(face);
+  double prev = 1e9;
+  for (float t : {0.2f, 0.6f, 1.0f}) {
+    GpuDevice device(DeviceConfig::single_cu());
+    device.program_threshold_as_mask(t);
+    const Image out = gaussian_on_device(device, face);
+    const double q = psnr(golden, out);
+    EXPECT_LE(q, prev + 1.0) << "t=" << t; // monotone-ish decline
+    prev = q;
+  }
+}
+
+TEST(Gaussian, RecipUnitServesTheNormalizer) {
+  GpuDevice device(DeviceConfig::single_cu());
+  device.program_exact();
+  (void)gaussian_on_device(device, make_face_image(64, 64));
+  const auto stats = device.unit_stats();
+  const auto& recip = stats[static_cast<std::size_t>(FpuType::kRecip)];
+  // One RECIP per pixel, and after the first, every one is a LUT hit
+  // (constant operand 16.0).
+  EXPECT_EQ(recip.instructions, 64u * 64u);
+  EXPECT_GT(recip.hit_rate(), 0.99);
+}
+
+TEST(Gaussian, WorkloadVerificationAtTable1Threshold) {
+  Simulation sim;
+  GaussianWorkload w(make_face_image(192, 192), "face");
+  const KernelRunReport r = sim.run_at_error_rate(w, 0.0);
+  EXPECT_FLOAT_EQ(r.threshold, 0.8f);
+  EXPECT_TRUE(r.result.passed);
+}
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,104 @@
+#include "workloads/haar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace tmemo {
+namespace {
+
+TEST(Haar, DeviceMatchesReferenceBitExact) {
+  std::vector<float> signal(512);
+  Xorshift128 rng(5);
+  for (float& v : signal) v = rng.next_float();
+  GpuDevice device(DeviceConfig::single_cu());
+  device.program_exact();
+  const auto got = haar_on_device(device, signal);
+  const auto want = haar_reference(signal);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "coefficient " << i;
+  }
+}
+
+TEST(Haar, TwoPointTransform) {
+  const std::vector<float> signal = {3.0f, 1.0f};
+  const auto c = haar_reference(signal);
+  const float s = 0.70710678f;
+  EXPECT_NEAR(c[0], 4.0f * s, 1e-5f);
+  EXPECT_NEAR(c[1], 2.0f * s, 1e-5f);
+}
+
+TEST(Haar, LinearityOfTheTransform) {
+  std::vector<float> a(128), b(128), sum(128);
+  Xorshift128 rng(7);
+  for (std::size_t i = 0; i < 128; ++i) {
+    a[i] = rng.next_float();
+    b[i] = rng.next_float();
+    sum[i] = a[i] + b[i];
+  }
+  const auto ca = haar_reference(a);
+  const auto cb = haar_reference(b);
+  const auto cs = haar_reference(sum);
+  for (std::size_t i = 0; i < 128; ++i) {
+    EXPECT_NEAR(cs[i], ca[i] + cb[i], 2e-4f);
+  }
+}
+
+TEST(Haar, StepSignalProducesOneDetailScale) {
+  // A step at the half point: all fine-scale details vanish except at the
+  // discontinuity; the level-1 coefficient carries the step.
+  std::vector<float> step(64, 0.0f);
+  for (std::size_t i = 32; i < 64; ++i) step[i] = 1.0f;
+  const auto c = haar_reference(step);
+  // Finest-scale details (last 32 coeffs): the step falls between pairs,
+  // so every pair is constant -> zero details.
+  for (std::size_t i = 32; i < 64; ++i) {
+    EXPECT_NEAR(c[i], 0.0f, 1e-5f);
+  }
+  // The coarsest detail (index 1) carries the step energy.
+  EXPECT_GT(std::fabs(c[1]), 1.0f);
+}
+
+TEST(Haar, SmoothSignalCompactsEnergyIntoCoarseScales) {
+  HaarWorkload w(1024);
+  GpuDevice device(DeviceConfig::single_cu());
+  device.program_exact();
+  const WorkloadResult res = w.run(device);
+  EXPECT_TRUE(res.passed);
+  EXPECT_EQ(res.max_abs_error, 0.0);
+}
+
+TEST(Haar, RejectsBadLengths) {
+  EXPECT_THROW(HaarWorkload(0), std::invalid_argument);
+  EXPECT_THROW(HaarWorkload(1), std::invalid_argument);
+  EXPECT_THROW(HaarWorkload(100), std::invalid_argument);
+  EXPECT_NO_THROW(HaarWorkload(2));
+}
+
+TEST(Haar, ApproximateThresholdPassesButLooseThresholdDegrades) {
+  Simulation sim;
+  HaarWorkload w(1024);
+  const KernelRunReport fine = sim.run_at_error_rate(w, 0.0); // 0.046
+  EXPECT_TRUE(fine.result.passed);
+  const KernelRunReport coarse = sim.run_at_error_rate(w, 0.0, 0.4f);
+  EXPECT_GT(coarse.result.rel_rms_error, fine.result.rel_rms_error);
+}
+
+TEST(Haar, AddAndMulUnitsOnly) {
+  GpuDevice device(DeviceConfig::single_cu());
+  device.program_exact();
+  std::vector<float> signal(256, 0.5f);
+  (void)haar_on_device(device, signal);
+  const auto stats = device.unit_stats();
+  EXPECT_GT(stats[static_cast<std::size_t>(FpuType::kAdd)].instructions, 0u);
+  EXPECT_GT(stats[static_cast<std::size_t>(FpuType::kMul)].instructions, 0u);
+  EXPECT_EQ(stats[static_cast<std::size_t>(FpuType::kSqrt)].instructions, 0u);
+}
+
+} // namespace
+} // namespace tmemo

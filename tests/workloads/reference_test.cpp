@@ -1,0 +1,198 @@
+// Host-side golden-reference properties: each workload's reference
+// implementation is validated against independent mathematical facts
+// before it is trusted as the comparison baseline for the device runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "img/synthetic.hpp"
+#include "workloads/binomial.hpp"
+#include "workloads/blackscholes.hpp"
+#include "workloads/eigenvalue.hpp"
+#include "workloads/fwt.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/haar.hpp"
+#include "workloads/sobel.hpp"
+
+namespace tmemo {
+namespace {
+
+TEST(SobelReference, FlatImageHasZeroEdges) {
+  const Image flat(32, 32, 100.0f);
+  const Image out = sobel_reference(flat);
+  for (float p : out.pixels()) EXPECT_EQ(p, 0.0f);
+}
+
+TEST(SobelReference, VerticalEdgeDetected) {
+  Image img(32, 32, 0.0f);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 16; x < 32; ++x) img.at(x, y) = 200.0f;
+  }
+  const Image out = sobel_reference(img);
+  // Maximum response on the edge column, zero far away.
+  EXPECT_GT(out.at(16, 16), 100.0f);
+  EXPECT_EQ(out.at(4, 16), 0.0f);
+  EXPECT_EQ(out.at(28, 16), 0.0f);
+}
+
+TEST(SobelReference, OutputsAreQuantizedGrayLevels) {
+  const Image out = sobel_reference(make_face_image(64, 64));
+  for (float p : out.pixels()) {
+    EXPECT_EQ(p, std::floor(p));
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 255.0f);
+  }
+}
+
+TEST(GaussianReference, PreservesConstantImage) {
+  const Image flat(16, 16, 77.0f);
+  const Image out = gaussian_reference(flat);
+  for (float p : out.pixels()) EXPECT_EQ(p, 77.0f);
+}
+
+TEST(GaussianReference, SmoothsNoise) {
+  const Image book = make_book_image(64, 64);
+  const Image out = gaussian_reference(book);
+  // Blurring reduces the total variation.
+  auto tv = [](const Image& img) {
+    double acc = 0.0;
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 1; x < img.width(); ++x) {
+        acc += std::fabs(img.at(x, y) - img.at(x - 1, y));
+      }
+    }
+    return acc;
+  };
+  EXPECT_LT(tv(out), 0.8 * tv(book));
+}
+
+TEST(HaarReference, PreservesEnergy) {
+  // The orthonormal Haar transform preserves the L2 norm.
+  HaarWorkload w(256);
+  std::vector<float> signal(256);
+  Xorshift128 rng(3);
+  for (float& v : signal) v = rng.next_float();
+  const std::vector<float> coeffs = haar_reference(signal);
+  const double e_in = std::inner_product(signal.begin(), signal.end(),
+                                         signal.begin(), 0.0);
+  const double e_out = std::inner_product(coeffs.begin(), coeffs.end(),
+                                          coeffs.begin(), 0.0);
+  EXPECT_NEAR(e_out, e_in, 1e-2 * e_in);
+}
+
+TEST(HaarReference, ConstantSignalConcentratesInDc) {
+  std::vector<float> signal(64, 1.0f);
+  const std::vector<float> coeffs = haar_reference(signal);
+  // DC coefficient = sqrt(64) = 8; all details zero.
+  EXPECT_NEAR(coeffs[0], 8.0f, 1e-4f);
+  for (std::size_t i = 1; i < coeffs.size(); ++i) {
+    EXPECT_NEAR(coeffs[i], 0.0f, 1e-4f);
+  }
+}
+
+TEST(HaarReference, RejectsNonPowerOfTwo) {
+  EXPECT_THROW((void)haar_reference(std::vector<float>(100, 0.0f)),
+               std::invalid_argument);
+}
+
+TEST(FwtReference, InvolutionUpToScale) {
+  // WHT is an involution up to n: FWT(FWT(x)) = n * x.
+  std::vector<float> x(64);
+  Xorshift128 rng(5);
+  for (float& v : x) v = rng.next_float() - 0.5f;
+  const std::vector<float> twice = fwt_reference(fwt_reference(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(twice[i], 64.0f * x[i], 1e-3f);
+  }
+}
+
+TEST(FwtReference, DeltaTransformsToConstant) {
+  std::vector<float> x(16, 0.0f);
+  x[0] = 1.0f;
+  const std::vector<float> y = fwt_reference(x);
+  for (float v : y) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(BlackScholesReference, PutCallParity) {
+  // C - P = S - K e^{-rT} for European options.
+  const OptionInputs in = make_option_inputs(512, 3);
+  const std::vector<float> out = blackscholes_reference(in);
+  const std::size_t n = in.size();
+  for (std::size_t i = 0; i < n; i += 37) {
+    const double lhs = static_cast<double>(out[i]) - out[n + i];
+    const double rhs =
+        in.stock_price[i] -
+        in.strike_price[i] *
+            std::exp(-static_cast<double>(in.riskfree_rate) * in.years[i]);
+    EXPECT_NEAR(lhs, rhs, 0.05 + 0.001 * std::fabs(rhs)) << "option " << i;
+  }
+}
+
+TEST(BlackScholesReference, CallPriceBounds) {
+  const OptionInputs in = make_option_inputs(512, 9);
+  const std::vector<float> out = blackscholes_reference(in);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    // 0 <= C <= S, and C >= S - K e^{-rT}.
+    EXPECT_GE(out[i], -1e-3f);
+    EXPECT_LE(out[i], in.stock_price[i] + 1e-3f);
+    const double intrinsic =
+        in.stock_price[i] -
+        in.strike_price[i] * std::exp(-0.02 * in.years[i]);
+    EXPECT_GE(out[i] + 5e-2, intrinsic);
+  }
+}
+
+TEST(BinomialReference, ConvergesToBlackScholes) {
+  // With many steps the CRR lattice approaches the closed form.
+  OptionInputs in = make_option_inputs(16, 21);
+  const std::vector<float> bs = blackscholes_reference(in);
+  const std::vector<float> crr = binomial_reference(in, 512);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(crr[i], bs[i], 0.05 * std::max(1.0f, bs[i]))
+        << "option " << i;
+  }
+}
+
+TEST(BinomialReference, DeepInTheMoneyApproachesForward) {
+  OptionInputs in;
+  in.stock_price = {500.0f};
+  in.strike_price = {10.0f};
+  in.years = {1.0f};
+  const std::vector<float> crr = binomial_reference(in, 128);
+  const float forward = 500.0f - 10.0f * std::exp(-0.02f);
+  EXPECT_NEAR(crr[0], forward, 0.5f);
+}
+
+TEST(EigenValueReference, MatchesSturmCounts) {
+  // Each computed eigenvalue lambda_i must have exactly i eigenvalues
+  // below it (within the bisection resolution).
+  const Tridiagonal m = make_tridiagonal(48, 11);
+  const std::vector<float> lam = eigenvalues_reference(m, 30);
+  // Eigenvalues ascend.
+  for (std::size_t i = 1; i < lam.size(); ++i) {
+    EXPECT_LE(lam[i - 1], lam[i] + 1e-4f);
+  }
+}
+
+TEST(EigenValueReference, DiagonalMatrixEigenvaluesAreDiagonal) {
+  Tridiagonal m;
+  m.diag = {-0.5f, 0.25f, 0.75f};
+  m.offdiag = {0.0f, 0.0f};
+  const std::vector<float> lam = eigenvalues_reference(m, 40);
+  EXPECT_NEAR(lam[0], -0.5f, 1e-3f);
+  EXPECT_NEAR(lam[1], 0.25f, 1e-3f);
+  EXPECT_NEAR(lam[2], 0.75f, 1e-3f);
+}
+
+TEST(EigenValueReference, TraceMatchesSum) {
+  const Tridiagonal m = make_tridiagonal(64, 13);
+  const std::vector<float> lam = eigenvalues_reference(m, 30);
+  const double trace =
+      std::accumulate(m.diag.begin(), m.diag.end(), 0.0);
+  const double sum = std::accumulate(lam.begin(), lam.end(), 0.0);
+  EXPECT_NEAR(sum, trace, 0.05 * std::max(1.0, std::fabs(trace)) + 0.05);
+}
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,124 @@
+#include "workloads/sobel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "img/synthetic.hpp"
+#include "sim/simulation.hpp"
+
+namespace tmemo {
+namespace {
+
+GpuDevice exact_device() {
+  GpuDevice d(DeviceConfig::single_cu());
+  d.program_exact();
+  return d;
+}
+
+TEST(Sobel, DeviceMatchesReferenceBitExact) {
+  const Image face = make_face_image(96, 96);
+  GpuDevice device = exact_device();
+  const Image got = sobel_on_device(device, face);
+  const Image want = sobel_reference(face);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got.pixels()[i], want.pixels()[i]) << "pixel " << i;
+  }
+}
+
+TEST(Sobel, HorizontalAndVerticalEdgesSymmetric) {
+  Image v(64, 64, 0.0f), h(64, 64, 0.0f);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 32; x < 64; ++x) v.at(x, y) = 180.0f;
+  }
+  for (int y = 32; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) h.at(x, y) = 180.0f;
+  }
+  const Image ev = sobel_reference(v);
+  const Image eh = sobel_reference(h);
+  // The operator responds identically to the transposed edge.
+  EXPECT_EQ(ev.at(32, 20), eh.at(20, 32));
+}
+
+TEST(Sobel, ResponseScalesWithContrast) {
+  auto edge_response = [](float contrast) {
+    Image img(32, 32, 0.0f);
+    for (int y = 0; y < 32; ++y) {
+      for (int x = 16; x < 32; ++x) img.at(x, y) = contrast;
+    }
+    return sobel_reference(img).at(16, 16);
+  };
+  EXPECT_GT(edge_response(100.0f), edge_response(50.0f));
+  // Linear up to the output clamp.
+  EXPECT_NEAR(edge_response(100.0f), 2.0f * edge_response(50.0f), 2.0f);
+}
+
+TEST(Sobel, DiagonalEdgeDetected) {
+  Image img(48, 48, 0.0f);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 48; ++x) {
+      if (x > y) img.at(x, y) = 150.0f;
+    }
+  }
+  const Image out = sobel_reference(img);
+  EXPECT_GT(out.at(24, 24), 50.0f);  // on the diagonal
+  EXPECT_EQ(out.at(40, 8), 0.0f);    // deep inside the flat region
+}
+
+TEST(Sobel, OutputSaturatesAt255) {
+  Image img(16, 16, 0.0f);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) img.at(x, y) = 255.0f;
+  }
+  const Image out = sobel_reference(img);
+  for (float p : out.pixels()) {
+    EXPECT_LE(p, 255.0f);
+    EXPECT_GE(p, 0.0f);
+  }
+}
+
+TEST(Sobel, ApproximateRunKeepsEdgeStructure) {
+  const Image face = make_face_image(128, 128);
+  GpuDevice device(DeviceConfig::single_cu());
+  device.program_threshold_as_mask(1.0f);
+  const Image approx = sobel_on_device(device, face);
+  const Image exact = sobel_reference(face);
+  // Strong edges must remain strong: find the exact-run's max pixel and
+  // check the approximate output still responds there.
+  int mx = 0, my = 0;
+  float best = -1.0f;
+  for (int y = 1; y < 127; ++y) {
+    for (int x = 1; x < 127; ++x) {
+      if (exact.at(x, y) > best) {
+        best = exact.at(x, y);
+        mx = x;
+        my = y;
+      }
+    }
+  }
+  EXPECT_GT(approx.at(mx, my), 0.25f * best);
+}
+
+TEST(Sobel, WorkloadReportsPsnrBasedVerification) {
+  SobelWorkload w(make_face_image(96, 96), "face");
+  EXPECT_TRUE(w.error_tolerant());
+  GpuDevice device = exact_device();
+  const WorkloadResult r = w.run(device);
+  EXPECT_TRUE(r.passed);
+  EXPECT_EQ(r.max_abs_error, 0.0);
+  EXPECT_EQ(r.output_values, 96u * 96u);
+}
+
+TEST(Sobel, ActivatesTheFigure6UnitMix) {
+  GpuDevice device = exact_device();
+  (void)sobel_on_device(device, make_face_image(64, 64));
+  const auto stats = device.unit_stats();
+  for (FpuType u : {FpuType::kAdd, FpuType::kMul, FpuType::kMulAdd,
+                    FpuType::kSqrt, FpuType::kFp2Int}) {
+    EXPECT_GT(stats[static_cast<std::size_t>(u)].instructions, 0u)
+        << fpu_type_name(u);
+  }
+  EXPECT_EQ(stats[static_cast<std::size_t>(FpuType::kRecip)].instructions,
+            0u);
+}
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,188 @@
+// tmemo_sim — command-line front end of the simulator.
+//
+// Runs any of the seven Table-1 kernels under a chosen timing-error
+// environment and prints hit rates, energy, verification and (optionally)
+// per-unit detail — the one-stop entry point for exploring the model
+// without writing C++.
+//
+// Usage:
+//   tmemo_sim [--kernel NAME|all] [--error-rate R | --voltage V]
+//             [--threshold T] [--scale S] [--lut-depth N]
+//             [--no-memo] [--spatial] [--per-unit] [--csv]
+//
+// Examples:
+//   tmemo_sim --kernel sobel --error-rate 0.02
+//   tmemo_sim --kernel all --voltage 0.82 --per-unit
+//   tmemo_sim --kernel haar --threshold 0.1 --lut-depth 8
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/table.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+struct CliOptions {
+  std::string kernel = "all";
+  double error_rate = 0.0;
+  std::optional<double> voltage;
+  std::optional<float> threshold;
+  double scale = 0.04;
+  int lut_depth = 2;
+  bool memoization = true;
+  bool spatial = false;
+  bool per_unit = false;
+  bool csv = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--kernel NAME|all] [--error-rate R | --voltage V]\n"
+      "          [--threshold T] [--scale S] [--lut-depth N]\n"
+      "          [--no-memo] [--spatial] [--per-unit] [--csv]\n"
+      "kernels: sobel gaussian haar binomialoption blackscholes fwt "
+      "eigenvalue all\n",
+      argv0);
+  std::exit(2);
+}
+
+double parse_double(const char* v, const char* argv0) {
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  if (end == v || *end != '\0') usage(argv0);
+  return d;
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--kernel") {
+      opt.kernel = value();
+      for (char& c : opt.kernel) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    } else if (arg == "--error-rate") {
+      opt.error_rate = parse_double(value(), argv[0]);
+    } else if (arg == "--voltage") {
+      opt.voltage = parse_double(value(), argv[0]);
+    } else if (arg == "--threshold") {
+      opt.threshold = static_cast<float>(parse_double(value(), argv[0]));
+    } else if (arg == "--scale") {
+      opt.scale = parse_double(value(), argv[0]);
+    } else if (arg == "--lut-depth") {
+      opt.lut_depth = static_cast<int>(parse_double(value(), argv[0]));
+    } else if (arg == "--no-memo") {
+      opt.memoization = false;
+    } else if (arg == "--spatial") {
+      opt.spatial = true;
+    } else if (arg == "--per-unit") {
+      opt.per_unit = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+
+  ExperimentConfig cfg;
+  cfg.device.fpu.lut_depth = opt.lut_depth;
+  cfg.memoization = opt.memoization;
+  cfg.spatial = opt.spatial;
+  Simulation sim(cfg);
+
+  const auto workloads = make_all_workloads(opt.scale);
+
+  ResultTable table("tmemo_sim results",
+                    {"kernel", "param", "threshold", "env", "hit rate",
+                     "E_memo (nJ)", "E_base (nJ)", "saving", "verify"});
+  ResultTable units("per-unit detail",
+                    {"kernel", "unit", "instructions", "hit rate",
+                     "errors", "recoveries"});
+
+  bool matched = false;
+  bool all_passed = true;
+  for (const auto& w : workloads) {
+    if (opt.kernel != "all" && lower(w->name()) != opt.kernel) continue;
+    matched = true;
+
+    const KernelRunReport r =
+        opt.voltage.has_value()
+            ? sim.run_at_voltage(*w, *opt.voltage, opt.threshold)
+            : sim.run_at_error_rate(*w, opt.error_rate, opt.threshold);
+
+    const std::string env =
+        opt.voltage.has_value()
+            ? std::to_string(*opt.voltage).substr(0, 4) + " V"
+            : std::to_string(opt.error_rate * 100.0).substr(0, 4) + "% err";
+    table.begin_row()
+        .add(r.kernel)
+        .add(r.input_parameter)
+        .add(static_cast<double>(r.threshold), 6)
+        .add(env)
+        .add(std::to_string(r.weighted_hit_rate * 100.0).substr(0, 5) + "%")
+        .add(r.energy.memoized_pj / 1000.0, 1)
+        .add(r.energy.baseline_pj / 1000.0, 1)
+        .add(std::to_string(r.energy.saving() * 100.0).substr(0, 5) + "%")
+        .add(r.result.passed ? "passed" : "FAILED");
+    all_passed = all_passed && r.result.passed;
+
+    if (opt.per_unit) {
+      for (FpuType u : kAllFpuTypes) {
+        const FpuStats& s = r.unit_stats[static_cast<std::size_t>(u)];
+        if (s.instructions == 0) continue;
+        units.begin_row()
+            .add(r.kernel)
+            .add(std::string(fpu_type_name(u)))
+            .add(static_cast<unsigned long long>(s.instructions))
+            .add(std::to_string(s.hit_rate() * 100.0).substr(0, 5) + "%")
+            .add(static_cast<unsigned long long>(s.timing_errors))
+            .add(static_cast<unsigned long long>(s.recoveries));
+      }
+    }
+  }
+
+  if (!matched) {
+    std::fprintf(stderr, "no kernel matches '%s'\n", opt.kernel.c_str());
+    usage(argv[0]);
+  }
+
+  if (opt.csv) {
+    table.print_csv(std::cout);
+    if (opt.per_unit) units.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    if (opt.per_unit) units.print(std::cout);
+  }
+  return all_passed ? 0 : 1;
+}
