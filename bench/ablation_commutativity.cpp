@@ -23,7 +23,7 @@ void reproduce() {
       ExperimentConfig cfg;
       cfg.commutativity = c == 0;
       Simulation sim(cfg);
-      rates[c] = sim.run_at_error_rate(*w, 0.0).weighted_hit_rate;
+      rates[c] = sim.run(*w, RunSpec::at_error_rate(0.0)).weighted_hit_rate;
     }
     table.begin_row()
         .add(std::string(w->name()))

@@ -21,8 +21,8 @@ AvgSaving average_saving(const ExperimentConfig& cfg, double scale) {
   const auto workloads = make_all_workloads(scale);
   AvgSaving avg;
   for (const auto& w : workloads) {
-    avg.at0 += sim.run_at_error_rate(*w, 0.0).energy.saving();
-    avg.at4 += sim.run_at_error_rate(*w, 0.04).energy.saving();
+    avg.at0 += sim.run(*w, RunSpec::at_error_rate(0.0)).energy.saving();
+    avg.at4 += sim.run(*w, RunSpec::at_error_rate(0.04)).energy.saving();
   }
   avg.at0 /= static_cast<double>(workloads.size());
   avg.at4 /= static_cast<double>(workloads.size());

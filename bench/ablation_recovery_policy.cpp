@@ -37,8 +37,8 @@ void reproduce() {
     const auto workloads = make_all_workloads(scale);
     double s1 = 0.0, s4 = 0.0;
     for (const auto& w : workloads) {
-      s1 += sim.run_at_error_rate(*w, 0.01).energy.saving();
-      s4 += sim.run_at_error_rate(*w, 0.04).energy.saving();
+      s1 += sim.run(*w, RunSpec::at_error_rate(0.01)).energy.saving();
+      s4 += sim.run(*w, RunSpec::at_error_rate(0.04)).energy.saving();
     }
     table.begin_row()
         .add(recovery_policy_name(policy))
@@ -56,7 +56,7 @@ void BM_RecoveryPolicyRun(benchmark::State& state) {
   Simulation sim(cfg);
   HaarWorkload haar(256);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.run_at_error_rate(haar, 0.04));
+    benchmark::DoNotOptimize(sim.run(haar, RunSpec::at_error_rate(0.04)));
   }
 }
 BENCHMARK(BM_RecoveryPolicyRun)->Arg(0)->Arg(2)

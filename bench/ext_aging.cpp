@@ -40,7 +40,7 @@ void reproduce() {
       cfg.device = DeviceConfig::single_cu();
       Simulation sim(cfg);
       SobelWorkload sobel(face, "face");
-      const KernelRunReport r = sim.run_at_error_rate(sobel, err);
+      const KernelRunReport r = sim.run(sobel, RunSpec::at_error_rate(err));
       table.begin_row()
           .add(years, 1)
           .add(tmemo::bench::percent(aging.delay_factor(years) - 1.0))

@@ -31,8 +31,8 @@ ModeResult run_mode(const Workload& w, bool temporal, bool spatial) {
   cfg.memoization = temporal;
   cfg.spatial = spatial;
   Simulation sim(cfg);
-  const KernelRunReport r0 = sim.run_at_error_rate(w, 0.0);
-  const KernelRunReport r4 = sim.run_at_error_rate(w, 0.04);
+  const KernelRunReport r0 = sim.run(w, RunSpec::at_error_rate(0.0));
+  const KernelRunReport r4 = sim.run(w, RunSpec::at_error_rate(0.04));
   ModeResult res;
   res.saving0 = r0.energy.saving();
   res.saving4 = r4.energy.saving();
@@ -118,7 +118,7 @@ void BM_SpatialModeRun(benchmark::State& state) {
   Simulation sim(cfg);
   HaarWorkload haar(256);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.run_at_error_rate(haar, 0.02));
+    benchmark::DoNotOptimize(sim.run(haar, RunSpec::at_error_rate(0.02)));
   }
 }
 BENCHMARK(BM_SpatialModeRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);

@@ -30,7 +30,7 @@ void reproduce() {
     std::uint64_t instructions = 0;
     std::uint64_t hits = 0;
     for (const auto& w : workloads) {
-      const KernelRunReport r = sim.run_at_error_rate(*w, 0.0);
+      const KernelRunReport r = sim.run(*w, RunSpec::at_error_rate(0.0));
       const FpuStats total = [&] {
         FpuStats t;
         for (const FpuStats& s : r.unit_stats) t += s;

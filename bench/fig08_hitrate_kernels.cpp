@@ -31,7 +31,7 @@ void reproduce() {
         .add(w->input_parameter())
         .add(static_cast<double>(w->table1_threshold()), 6);
 
-    const KernelRunReport rep = sim.run_at_error_rate(*w, 0.0);
+    const KernelRunReport rep = sim.run(*w, RunSpec::at_error_rate(0.0));
     fig8.begin_row().add(std::string(w->name()));
     for (FpuType u : kAllFpuTypes) {
       fig8.add(rep.unit_activated(u) ? bench::percent(rep.unit_hit_rate(u))
@@ -48,7 +48,7 @@ void BM_HaarHitRateRun(benchmark::State& state) {
   Simulation sim;
   HaarWorkload haar(256);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.run_at_error_rate(haar, 0.0));
+    benchmark::DoNotOptimize(sim.run(haar, RunSpec::at_error_rate(0.0)));
   }
 }
 BENCHMARK(BM_HaarHitRateRun)->Unit(benchmark::kMillisecond);

@@ -3,12 +3,16 @@
 // range of timing-error rates [0%, 4%], considering the energy of the six
 // frequently exercised units (ADD, MUL, SQRT, RECIP, MULADD, FP2INT).
 //
+// The 7-kernel x 5-rate grid is executed by the campaign engine (TM_JOBS
+// worker threads; results are thread-count independent).
+//
 // Paper headline: average savings of 13%, 17%, 20%, 23%, 25% at error
 // rates of 0%, 1%, 2%, 3%, 4%.
 #include <benchmark/benchmark.h>
 
-#include <array>
+#include <vector>
 
+#include "sim/campaign.hpp"
 #include "util.hpp"
 #include "workloads/haar.hpp"
 
@@ -16,37 +20,42 @@ namespace {
 
 using namespace tmemo;
 
-constexpr std::array<double, 5> kErrorRates = {0.0, 0.01, 0.02, 0.03, 0.04};
+constexpr int kRateCount = 5; // 0%..4% in 1% steps
 
 void reproduce() {
-  const double scale = tmemo::bench::workload_scale();
-  const auto workloads = make_all_workloads(scale);
-  Simulation sim;
+  SweepSpec spec;
+  spec.scale = tmemo::bench::workload_scale();
+  spec.axis = SweepAxis::error_rate(0.0, 0.04, kRateCount);
+  const CampaignResult res =
+      CampaignEngine(tmemo::bench::campaign_jobs()).run(spec);
 
   ResultTable table(
       "Fig. 10: energy saving vs baseline at timing-error rates 0%-4% "
       "(ADD, MUL, SQRT, RECIP, MULADD, FP2INT)",
       {"Kernel", "0%", "1%", "2%", "3%", "4%", "verify @4%"});
 
-  std::array<double, kErrorRates.size()> averages{};
-  for (const auto& w : workloads) {
-    table.begin_row().add(std::string(w->name()));
+  // Jobs are kernel-major: jobs[k * kRateCount + i] is kernel k at rate i.
+  const std::size_t kernels = res.jobs.size() / kRateCount;
+  std::vector<double> averages(kRateCount, 0.0);
+  for (std::size_t k = 0; k < kernels; ++k) {
+    table.begin_row().add(res.jobs[k * kRateCount].job.kernel);
     bool passed = true;
-    for (std::size_t i = 0; i < kErrorRates.size(); ++i) {
-      const KernelRunReport r = sim.run_at_error_rate(*w, kErrorRates[i]);
+    for (int i = 0; i < kRateCount; ++i) {
+      const KernelRunReport& r =
+          res.jobs[k * kRateCount + static_cast<std::size_t>(i)].report;
       table.add(tmemo::bench::percent(r.energy.saving()));
-      averages[i] += r.energy.saving();
+      averages[static_cast<std::size_t>(i)] += r.energy.saving();
       passed = r.result.passed;
     }
     table.add(passed ? "passed" : "FAILED");
   }
   table.begin_row().add("AVERAGE");
-  for (double& a : averages) {
-    a /= static_cast<double>(workloads.size());
+  for (double a : averages) {
+    table.add(tmemo::bench::percent(a / static_cast<double>(kernels)));
   }
-  for (double a : averages) table.add(tmemo::bench::percent(a));
   table.add("(paper: 13/17/20/23/25%)");
   tmemo::bench::emit(table);
+  tmemo::bench::emit_campaign(res, "fig10 campaign");
 }
 
 void BM_HaarEnergySweepPoint(benchmark::State& state) {
@@ -54,7 +63,7 @@ void BM_HaarEnergySweepPoint(benchmark::State& state) {
   HaarWorkload haar(256);
   const double rate = static_cast<double>(state.range(0)) / 100.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.run_at_error_rate(haar, rate));
+    benchmark::DoNotOptimize(sim.run(haar, RunSpec::at_error_rate(rate)));
   }
 }
 BENCHMARK(BM_HaarEnergySweepPoint)->Arg(0)->Arg(4)

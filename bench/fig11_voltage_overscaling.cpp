@@ -3,6 +3,9 @@
 // overscaling 0.9 V -> 0.8 V at a constant 1 GHz. The memoization module
 // itself stays at the nominal 0.9 V.
 //
+// The 6-kernel x 6-supply grid is executed by the campaign engine (TM_JOBS
+// worker threads; results are thread-count independent).
+//
 // Paper headline: +13% saving at 0.9 V (no errors), a dip to ~11% around
 // 0.84 V (FPU dynamic energy scales down while the fixed-voltage module
 // does not), then a crossover and a large win (44% avg) at 0.8 V as the
@@ -10,7 +13,9 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <vector>
 
+#include "sim/campaign.hpp"
 #include "util.hpp"
 #include "workloads/haar.hpp"
 
@@ -18,22 +23,21 @@ namespace {
 
 using namespace tmemo;
 
-constexpr std::array<double, 6> kSupplies = {0.90, 0.88, 0.86,
-                                             0.84, 0.82, 0.80};
+constexpr int kSupplyCount = 6; // 0.90 V .. 0.80 V in 0.02 V steps
 
 void reproduce() {
-  const double scale = tmemo::bench::workload_scale();
-  Simulation sim;
+  const Simulation sim;
 
   // Error-rate preamble: the voltage-overscaling-induced per-op error rate
   // (back-annotated delay model) that drives the energy crossover.
+  const SweepAxis axis = SweepAxis::voltage(0.90, 0.80, kSupplyCount);
   {
     const VoltageScaling vs(sim.config().voltage);
     ResultTable err("Voltage-overscaling-induced timing-error rate "
                     "(alpha-power delay model, 1 GHz)",
                     {"supply (V)", "delay factor", "per-op error (4-stage)",
                      "per-op error (16-stage RECIP)"});
-    for (double v : kSupplies) {
+    for (double v : axis.points()) {
       err.begin_row()
           .add(v, 2)
           .add(vs.delay_factor(v), 3)
@@ -46,36 +50,45 @@ void reproduce() {
   // Fig. 11 plots six applications; we exclude FWT (the exact-matching,
   // lowest-locality kernel) to form the six-app set and note this in
   // EXPERIMENTS.md.
-  const auto workloads = make_all_workloads(scale);
+  SweepSpec spec;
+  spec.scale = tmemo::bench::workload_scale();
+  spec.kernels = {"sobel", "gaussian", "haar", "binomialoption",
+                  "blackscholes", "eigenvalue"};
+  spec.axis = axis;
+  const CampaignResult res =
+      CampaignEngine(tmemo::bench::campaign_jobs()).run(spec);
 
   ResultTable table(
       "Fig. 11: energy vs supply voltage, memoized / baseline "
       "(normalized to baseline at 0.9 V)",
       {"Kernel", "arch", "0.90V", "0.88V", "0.86V", "0.84V", "0.82V",
        "0.80V"});
-  std::array<double, kSupplies.size()> avg_saving{};
-  int apps = 0;
+  std::array<double, kSupplyCount> avg_saving{};
 
-  for (const auto& w : workloads) {
-    if (w->name() == "FWT") continue;
-    ++apps;
-    std::array<EnergyTotals, kSupplies.size()> totals;
-    for (std::size_t i = 0; i < kSupplies.size(); ++i) {
-      const KernelRunReport r = sim.run_at_voltage(*w, kSupplies[i]);
-      totals[i] = r.energy;
-      avg_saving[i] += r.energy.saving();
+  // Jobs are kernel-major: jobs[k * kSupplyCount + i] at supply point i.
+  const std::size_t apps = res.jobs.size() / kSupplyCount;
+  for (std::size_t k = 0; k < apps; ++k) {
+    std::array<EnergyTotals, kSupplyCount> totals;
+    for (int i = 0; i < kSupplyCount; ++i) {
+      const std::size_t idx = k * kSupplyCount + static_cast<std::size_t>(i);
+      totals[static_cast<std::size_t>(i)] = res.jobs[idx].report.energy;
+      avg_saving[static_cast<std::size_t>(i)] +=
+          res.jobs[idx].report.energy.saving();
     }
+    const std::string& kernel = res.jobs[k * kSupplyCount].job.kernel;
     const double norm = totals[0].baseline_pj;
-    table.begin_row().add(std::string(w->name())).add("memoized");
+    table.begin_row().add(kernel).add("memoized");
     for (const EnergyTotals& t : totals) table.add(t.memoized_pj / norm, 3);
-    table.begin_row().add(std::string(w->name())).add("baseline");
+    table.begin_row().add(kernel).add("baseline");
     for (const EnergyTotals& t : totals) table.add(t.baseline_pj / norm, 3);
   }
 
   table.begin_row().add("AVERAGE saving").add("");
-  for (double& s : avg_saving) s /= apps;
-  for (double s : avg_saving) table.add(tmemo::bench::percent(s));
+  for (double s : avg_saving) {
+    table.add(tmemo::bench::percent(s / static_cast<double>(apps)));
+  }
   tmemo::bench::emit(table);
+  tmemo::bench::emit_campaign(res, "fig11 campaign");
 }
 
 void BM_HaarVoltagePoint(benchmark::State& state) {
@@ -83,7 +96,7 @@ void BM_HaarVoltagePoint(benchmark::State& state) {
   HaarWorkload haar(256);
   const double v = static_cast<double>(state.range(0)) / 100.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.run_at_voltage(haar, v));
+    benchmark::DoNotOptimize(sim.run(haar, RunSpec::at_voltage(v)));
   }
 }
 BENCHMARK(BM_HaarVoltagePoint)->Arg(90)->Arg(80)

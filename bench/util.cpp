@@ -26,6 +26,22 @@ bool csv_output() {
   return env != nullptr && env[0] != '\0';
 }
 
+int campaign_jobs() {
+  if (const char* env = std::getenv("TM_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+    std::cerr << "TM_JOBS must be a positive integer, using default\n";
+  }
+  return 0; // CampaignEngine: hardware concurrency
+}
+
+void emit_campaign(const CampaignResult& result, const std::string& title) {
+  if (!csv_output()) return;
+  std::cout << "\n[csv] " << title << "\n";
+  write_campaign_csv(result, std::cout);
+  std::cout.flush();
+}
+
 void emit(const ResultTable& table) {
   table.print(std::cout);
   if (csv_output()) {
@@ -108,10 +124,10 @@ std::vector<KernelRunReport> hitrate_sweep(const std::string& filter,
   for (float t : kThresholdGrid) {
     if (filter == "sobel") {
       SobelWorkload w(image, image_label);
-      reports.push_back(sim.run_at_error_rate(w, 0.0, t));
+      reports.push_back(sim.run(w, RunSpec::at_error_rate(0.0).threshold(t)));
     } else {
       GaussianWorkload w(image, image_label);
-      reports.push_back(sim.run_at_error_rate(w, 0.0, t));
+      reports.push_back(sim.run(w, RunSpec::at_error_rate(0.0).threshold(t)));
     }
   }
   return reports;

@@ -5,6 +5,8 @@
 //   TM_SCALE   — workload problem scale in (0, 1]; 1.0 = paper sizes.
 //                Default 0.04 keeps the whole suite laptop-fast.
 //   TM_CSV     — when set (non-empty), also emit CSV after each table.
+//   TM_JOBS    — campaign worker threads for the grid benches;
+//                default = hardware concurrency.
 #pragma once
 
 #include <string>
@@ -12,6 +14,7 @@
 
 #include "common/table.hpp"
 #include "img/image.hpp"
+#include "sim/campaign.hpp"
 #include "sim/simulation.hpp"
 
 namespace tmemo::bench {
@@ -22,8 +25,15 @@ namespace tmemo::bench {
 /// True when TM_CSV is set.
 [[nodiscard]] bool csv_output();
 
+/// Campaign worker-thread count from TM_JOBS (default 0 = hardware).
+[[nodiscard]] int campaign_jobs();
+
 /// Prints a table to stdout (and CSV when TM_CSV is set).
 void emit(const ResultTable& table);
+
+/// When TM_CSV is set, dumps the raw campaign grid as CSV after the
+/// human-readable figure table.
+void emit_campaign(const CampaignResult& result, const std::string& title);
 
 /// "12.3%" formatting.
 [[nodiscard]] std::string percent(double fraction, int precision = 1);

@@ -22,7 +22,7 @@ int main() {
   // 3. Run it at a 2% per-instruction timing-error rate. The device is
   //    programmed with the workload's Table-1 approximation threshold
   //    (0.046) automatically.
-  const KernelRunReport report = sim.run_at_error_rate(haar, 0.02);
+  const KernelRunReport report = sim.run(haar, RunSpec::at_error_rate(0.02));
 
   std::printf("kernel            : %s (n=%s, threshold=%g)\n",
               report.kernel.c_str(), report.input_parameter.c_str(),

@@ -19,13 +19,36 @@ GpuDevice::GpuDevice(const DeviceConfig& config, const EnergyModel& energy)
       energy_(energy),
       supply_(energy.params().nominal_voltage),
       errors_(std::make_shared<NoErrorModel>()),
-      accumulator_(energy_, supply_) {
+      accumulator_(this) {
   config_.validate();
   cus_.reserve(static_cast<std::size_t>(config_.compute_units));
   for (int cu = 0; cu < config_.compute_units; ++cu) {
     cus_.emplace_back(config_,
                       mix_seed(config_.seed, static_cast<std::uint64_t>(cu)));
   }
+}
+
+GpuDevice::GpuDevice(GpuDevice&& other) noexcept
+    : config_(std::move(other.config_)),
+      energy_(std::move(other.energy_)),
+      supply_(other.supply_),
+      errors_(std::move(other.errors_)),
+      cus_(std::move(other.cus_)),
+      accumulator_(std::move(other.accumulator_)) {
+  accumulator_.rebind(this);
+}
+
+GpuDevice& GpuDevice::operator=(GpuDevice&& other) noexcept {
+  if (this != &other) {
+    config_ = std::move(other.config_);
+    energy_ = std::move(other.energy_);
+    supply_ = other.supply_;
+    errors_ = std::move(other.errors_);
+    cus_ = std::move(other.cus_);
+    accumulator_ = std::move(other.accumulator_);
+    accumulator_.rebind(this);
+  }
+  return *this;
 }
 
 void GpuDevice::set_error_model(

@@ -21,19 +21,22 @@
 
 namespace tmemo {
 
+class GpuDevice;
+
 /// Per-unit-type and overall energy accumulation. Every record is charged
 /// twice — once for the memoized architecture, once for the baseline — so a
 /// single simulation yields a paired comparison with identical error draws.
+///
+/// Holds a pointer to its owning device and reads the energy model and the
+/// live FPU supply through it per record; the device's copy/move operations
+/// rebind the pointer, so a moved or copied device never leaves the
+/// accumulator referencing a dead object.
 class EnergyAccumulator final : public ExecutionSink {
  public:
-  EnergyAccumulator(const EnergyModel& model, const Volt& supply)
-      : model_(model), supply_(supply) {}
+  explicit EnergyAccumulator(const GpuDevice* device) noexcept
+      : device_(device) {}
 
-  void consume(const ExecutionRecord& rec) override {
-    const std::size_t u = static_cast<std::size_t>(rec.unit);
-    per_unit_[u].memoized_pj += model_.charge(rec, supply_);
-    per_unit_[u].baseline_pj += model_.charge_baseline(rec, supply_);
-  }
+  void consume(const ExecutionRecord& rec) override; // inline, below GpuDevice
 
   [[nodiscard]] EnergyTotals total(std::span<const FpuType> units) const {
     EnergyTotals t;
@@ -47,9 +50,11 @@ class EnergyAccumulator final : public ExecutionSink {
 
   void reset() noexcept { per_unit_ = {}; }
 
+  /// Re-points the accumulator at its owning device.
+  void rebind(const GpuDevice* device) noexcept { device_ = device; }
+
  private:
-  const EnergyModel& model_;
-  const Volt& supply_;  ///< bound to the device's live supply setting
+  const GpuDevice* device_;
   std::array<EnergyTotals, kNumFpuTypes> per_unit_{};
 };
 
@@ -57,6 +62,13 @@ class GpuDevice {
  public:
   explicit GpuDevice(const DeviceConfig& config = DeviceConfig::radeon_hd5870(),
                      const EnergyModel& energy = EnergyModel{});
+
+  // Moves rebind the energy accumulator at the new object; copying is not
+  // possible (stream cores own their FPU instances exclusively).
+  GpuDevice(const GpuDevice&) = delete;
+  GpuDevice& operator=(const GpuDevice&) = delete;
+  GpuDevice(GpuDevice&& other) noexcept;
+  GpuDevice& operator=(GpuDevice&& other) noexcept;
 
   [[nodiscard]] const DeviceConfig& config() const noexcept { return config_; }
   [[nodiscard]] const EnergyModel& energy_model() const noexcept {
@@ -145,5 +157,13 @@ class GpuDevice {
   std::vector<ComputeUnit> cus_;
   EnergyAccumulator accumulator_;
 };
+
+inline void EnergyAccumulator::consume(const ExecutionRecord& rec) {
+  const std::size_t u = static_cast<std::size_t>(rec.unit);
+  const EnergyModel& model = device_->energy_model();
+  const Volt supply = device_->fpu_supply();
+  per_unit_[u].memoized_pj += model.charge(rec, supply);
+  per_unit_[u].baseline_pj += model.charge_baseline(rec, supply);
+}
 
 } // namespace tmemo

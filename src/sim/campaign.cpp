@@ -1,0 +1,396 @@
+#include "sim/campaign.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <charconv>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/require.hpp"
+
+namespace tmemo {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Shortest round-trippable decimal form of a double.
+std::string fmt_double(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  TM_REQUIRE(ec == std::errc{}, "double formatting");
+  return std::string(buf, ptr);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string csv_escape(std::string_view s) {
+  if (s.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string(s);
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+} // namespace
+
+SweepAxis SweepAxis::error_rate(double start, double stop, int count) {
+  TM_REQUIRE(count >= 1, "sweep axis needs at least one point");
+  TM_REQUIRE(start >= 0.0 && stop >= 0.0, "error rates must be >= 0");
+  return SweepAxis{Kind::kErrorRate, start, stop, count};
+}
+
+SweepAxis SweepAxis::voltage(double start, double stop, int count) {
+  TM_REQUIRE(count >= 1, "sweep axis needs at least one point");
+  TM_REQUIRE(start > 0.0 && stop > 0.0, "supply voltages must be positive");
+  return SweepAxis{Kind::kVoltage, start, stop, count};
+}
+
+std::vector<double> SweepAxis::points() const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  if (count == 1) {
+    out.push_back(start);
+    return out;
+  }
+  for (int i = 0; i < count; ++i) {
+    out.push_back(start +
+                  (stop - start) * static_cast<double>(i) /
+                      static_cast<double>(count - 1));
+  }
+  return out;
+}
+
+std::optional<SweepAxis> SweepAxis::parse(std::string_view text) {
+  const auto field = [&text]() -> std::optional<std::string_view> {
+    if (text.empty()) return std::nullopt;
+    const std::size_t colon = text.find(':');
+    std::string_view f = text.substr(0, colon);
+    text = colon == std::string_view::npos ? std::string_view{}
+                                           : text.substr(colon + 1);
+    return f;
+  };
+  const auto number = [&field]() -> std::optional<double> {
+    const auto f = field();
+    if (!f || f->empty()) return std::nullopt;
+    // Null-terminate for strtod; axis fields are short.
+    const std::string s(*f);
+    char* end = nullptr;
+    const double d = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size()) return std::nullopt;
+    return d;
+  };
+
+  const auto kind = field();
+  if (!kind) return std::nullopt;
+  Kind k;
+  if (*kind == "error-rate") {
+    k = Kind::kErrorRate;
+  } else if (*kind == "voltage") {
+    k = Kind::kVoltage;
+  } else {
+    return std::nullopt;
+  }
+  const auto start = number();
+  const auto stop = number();
+  const auto count = number();
+  if (!start || !stop || !count || !text.empty()) return std::nullopt;
+  const int n = static_cast<int>(*count);
+  if (n < 1 || static_cast<double>(n) != *count) return std::nullopt;
+  if (k == Kind::kErrorRate && (*start < 0.0 || *stop < 0.0)) {
+    return std::nullopt;
+  }
+  if (k == Kind::kVoltage && (*start <= 0.0 || *stop <= 0.0)) {
+    return std::nullopt;
+  }
+  return SweepAxis{k, *start, *stop, n};
+}
+
+std::uint64_t derive_job_seed(std::uint64_t campaign_seed, std::size_t index) {
+  std::uint64_t z =
+      campaign_seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::size_t CampaignResult::failed() const noexcept {
+  std::size_t n = 0;
+  for (const JobResult& j : jobs) n += j.ok ? 0 : 1;
+  return n;
+}
+
+bool CampaignResult::all_passed() const noexcept {
+  for (const JobResult& j : jobs) {
+    if (!j.ok || !j.report.result.passed) return false;
+  }
+  return true;
+}
+
+CampaignEngine::CampaignEngine(int jobs) : jobs_(jobs) {
+  if (jobs_ <= 0) {
+    jobs_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs_ <= 0) jobs_ = 1;
+  }
+}
+
+std::vector<CampaignJob> CampaignEngine::expand(const SweepSpec& spec) {
+  const auto workloads =
+      spec.factory ? spec.factory() : make_all_workloads(spec.scale);
+
+  // Resolve the kernel filter against the factory's workload names.
+  std::vector<std::string> filter;
+  for (const std::string& k : spec.kernels) {
+    const std::string l = lower(k);
+    if (l == "all") {
+      filter.clear();
+      break;
+    }
+    filter.push_back(l);
+  }
+  std::vector<std::size_t> selected;
+  if (filter.empty()) {
+    for (std::size_t i = 0; i < workloads.size(); ++i) selected.push_back(i);
+  } else {
+    std::vector<bool> matched(filter.size(), false);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      const std::string name = lower(workloads[i]->name());
+      for (std::size_t f = 0; f < filter.size(); ++f) {
+        if (filter[f] == name) {
+          matched[f] = true;
+          selected.push_back(i);
+          break;
+        }
+      }
+    }
+    for (std::size_t f = 0; f < filter.size(); ++f) {
+      if (!matched[f]) {
+        throw std::invalid_argument("no kernel matches '" + filter[f] + "'");
+      }
+    }
+  }
+
+  const std::vector<double> points = spec.axis.points();
+  const std::size_t variant_count =
+      spec.variants.empty() ? 1 : spec.variants.size();
+  const std::size_t threshold_count =
+      spec.thresholds.empty() ? 1 : spec.thresholds.size();
+
+  std::vector<CampaignJob> jobs;
+  jobs.reserve(variant_count * selected.size() * threshold_count *
+               points.size());
+  for (std::size_t v = 0; v < variant_count; ++v) {
+    for (std::size_t w : selected) {
+      for (std::size_t t = 0; t < threshold_count; ++t) {
+        for (double point : points) {
+          CampaignJob job;
+          job.index = jobs.size();
+          job.workload_index = w;
+          job.kernel = std::string(workloads[w]->name());
+          job.variant_index = v;
+          job.variant_label =
+              spec.variants.empty() ? "base" : spec.variants[v].label;
+          job.axis_value = point;
+          job.spec = spec.axis.kind == SweepAxis::Kind::kErrorRate
+                         ? RunSpec::at_error_rate(point)
+                         : RunSpec::at_voltage(point);
+          if (!spec.thresholds.empty()) job.spec.threshold(spec.thresholds[t]);
+          job.spec.seed(derive_job_seed(spec.campaign_seed, job.index));
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+CampaignResult CampaignEngine::run(const SweepSpec& spec) const {
+  const std::vector<CampaignJob> jobs = expand(spec);
+
+  CampaignResult result;
+  result.jobs.resize(jobs.size());
+  const int workers = static_cast<int>(
+      std::min(static_cast<std::size_t>(std::max(1, jobs_)),
+               std::max<std::size_t>(jobs.size(), 1)));
+  result.workers = workers;
+
+  const auto campaign_start = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+
+  // Each worker owns a private workload set, so jobs never share mutable
+  // state; results land in distinct slots, so no lock is needed.
+  const auto worker = [&]() {
+    std::vector<std::unique_ptr<Workload>> workloads;
+    std::string setup_error;
+    try {
+      workloads =
+          spec.factory ? spec.factory() : make_all_workloads(spec.scale);
+    } catch (const std::exception& e) {
+      setup_error = std::string("workload setup failed: ") + e.what();
+    } catch (...) {
+      setup_error = "workload setup failed: unknown exception";
+    }
+
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      JobResult& out = result.jobs[i];
+      out.job = jobs[i];
+      const auto job_start = std::chrono::steady_clock::now();
+      if (!setup_error.empty()) {
+        out.error = setup_error;
+      } else if (jobs[i].workload_index >= workloads.size()) {
+        out.error = "workload factory returned fewer workloads than expected";
+      } else {
+        try {
+          const ExperimentConfig& config =
+              spec.variants.empty()
+                  ? ExperimentConfig{}
+                  : spec.variants[jobs[i].variant_index].config;
+          const Simulation sim(config);
+          out.report =
+              sim.run(*workloads[jobs[i].workload_index], jobs[i].spec);
+          out.ok = true;
+        } catch (const std::exception& e) {
+          out.error = e.what();
+        } catch (...) {
+          out.error = "unknown exception";
+        }
+      }
+      out.wall_ms = elapsed_ms(job_start);
+    }
+  };
+
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  result.wall_ms = elapsed_ms(campaign_start);
+  return result;
+}
+
+void write_campaign_csv(const CampaignResult& result, std::ostream& out) {
+  out << "index,variant,kernel,param,axis,axis_value,threshold,supply_v,"
+         "error_rate,seed,hit_rate,e_memo_pj,e_base_pj,saving,verify,"
+         "max_abs_error,wall_ms,status,error\n";
+  for (const JobResult& j : result.jobs) {
+    const RunSpec& spec = j.job.spec;
+    const bool voltage = spec.axis() == RunSpec::Axis::kVoltage;
+    out << j.job.index << ',' << csv_escape(j.job.variant_label) << ','
+        << csv_escape(j.job.kernel) << ','
+        << csv_escape(j.ok ? j.report.input_parameter : "") << ','
+        << (voltage ? "voltage" : "error-rate") << ','
+        << fmt_double(j.job.axis_value) << ','
+        << (j.ok ? fmt_double(static_cast<double>(j.report.threshold)) : "")
+        << ',' << (j.ok ? fmt_double(j.report.supply) : "") << ','
+        << (j.ok ? fmt_double(j.report.error_rate_configured) : "") << ','
+        << (spec.seed() ? std::to_string(*spec.seed()) : "") << ',';
+    if (j.ok) {
+      out << fmt_double(j.report.weighted_hit_rate) << ','
+          << fmt_double(j.report.energy.memoized_pj) << ','
+          << fmt_double(j.report.energy.baseline_pj) << ','
+          << fmt_double(j.report.energy.saving()) << ','
+          << (j.report.result.passed ? "passed" : "FAILED") << ','
+          << fmt_double(j.report.result.max_abs_error);
+    } else {
+      out << ",,,,,";
+    }
+    out << ',' << fmt_double(j.wall_ms) << ',' << (j.ok ? "ok" : "error")
+        << ',' << csv_escape(j.error) << '\n';
+  }
+}
+
+void write_campaign_json(const CampaignResult& result, std::ostream& out) {
+  out << "{\n"
+      << "  \"schema\": \"tmemo-campaign-v1\",\n"
+      << "  \"workers\": " << result.workers << ",\n"
+      << "  \"wall_ms\": " << fmt_double(result.wall_ms) << ",\n"
+      << "  \"jobs\": [";
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    const JobResult& j = result.jobs[i];
+    const RunSpec& spec = j.job.spec;
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"index\": " << j.job.index << ", \"variant\": \""
+        << json_escape(j.job.variant_label) << "\", \"kernel\": \""
+        << json_escape(j.job.kernel) << "\", \"axis\": \""
+        << (spec.axis() == RunSpec::Axis::kVoltage ? "voltage" : "error-rate")
+        << "\", \"axis_value\": " << fmt_double(j.job.axis_value)
+        << ", \"seed\": "
+        << (spec.seed() ? std::to_string(*spec.seed()) : "null")
+        << ", \"ok\": " << (j.ok ? "true" : "false") << ", \"wall_ms\": "
+        << fmt_double(j.wall_ms);
+    if (j.ok) {
+      const KernelRunReport& r = j.report;
+      out << ", \"report\": {\"param\": \"" << json_escape(r.input_parameter)
+          << "\", \"threshold\": "
+          << fmt_double(static_cast<double>(r.threshold))
+          << ", \"supply\": " << fmt_double(r.supply)
+          << ", \"error_rate\": " << fmt_double(r.error_rate_configured)
+          << ", \"weighted_hit_rate\": " << fmt_double(r.weighted_hit_rate)
+          << ", \"e_memo_pj\": " << fmt_double(r.energy.memoized_pj)
+          << ", \"e_base_pj\": " << fmt_double(r.energy.baseline_pj)
+          << ", \"saving\": " << fmt_double(r.energy.saving())
+          << ", \"passed\": " << (r.result.passed ? "true" : "false")
+          << ", \"output_values\": " << r.result.output_values
+          << ", \"max_abs_error\": " << fmt_double(r.result.max_abs_error)
+          << ", \"mean_abs_error\": " << fmt_double(r.result.mean_abs_error)
+          << ", \"rel_rms_error\": " << fmt_double(r.result.rel_rms_error)
+          << "}";
+    } else {
+      out << ", \"error\": \"" << json_escape(j.error) << "\"";
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+} // namespace tmemo

@@ -1,0 +1,163 @@
+// Campaign engine: bulk execution of the paper's result grids.
+//
+// The paper's figures are grids of independent runs — 7 kernels x error
+// rates 0..4% (Fig. 10), 6 kernels x supplies 0.9..0.8 V (Fig. 11), each
+// optionally crossed with thresholds and configuration ablations. A
+// SweepSpec describes such a grid declaratively; the CampaignEngine expands
+// it into a stable-ordered job list and runs the jobs on a thread pool.
+//
+// Determinism: every job's device seed is derived from the campaign seed
+// and the job index (derive_job_seed), and each worker thread builds its
+// own private workload set, so a campaign produces bit-identical
+// CampaignResults for any worker count. A throwing job records an error
+// entry instead of killing the campaign.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace tmemo {
+
+/// One swept independent-variable axis, expanded into `count` evenly spaced
+/// points from `start` to `stop` inclusive (count == 1 pins `start`).
+struct SweepAxis {
+  enum class Kind { kErrorRate, kVoltage };
+
+  Kind kind = Kind::kErrorRate;
+  double start = 0.0;
+  double stop = 0.0;
+  int count = 1;
+
+  [[nodiscard]] static SweepAxis error_rate(double start, double stop,
+                                            int count);
+  [[nodiscard]] static SweepAxis voltage(double start, double stop, int count);
+  /// Single fixed operating point.
+  [[nodiscard]] static SweepAxis error_rate_point(double rate) {
+    return error_rate(rate, rate, 1);
+  }
+  [[nodiscard]] static SweepAxis voltage_point(Volt supply) {
+    return voltage(supply, supply, 1);
+  }
+
+  /// The axis values in sweep order.
+  [[nodiscard]] std::vector<double> points() const;
+
+  /// Parses the CLI axis syntax "error-rate:START:STOP:COUNT" or
+  /// "voltage:START:STOP:COUNT" (e.g. "error-rate:0:0.04:9"). Returns
+  /// nullopt on malformed input.
+  [[nodiscard]] static std::optional<SweepAxis> parse(std::string_view text);
+
+  [[nodiscard]] std::string_view kind_name() const noexcept {
+    return kind == Kind::kErrorRate ? "error-rate" : "voltage";
+  }
+};
+
+/// A named ExperimentConfig ablation of the campaign grid.
+struct ConfigVariant {
+  std::string label = "base";
+  ExperimentConfig config;
+};
+
+/// Produces a private workload set for one worker thread. Each worker calls
+/// the factory once, so Workload implementations need no thread safety. The
+/// factory must be deterministic: every invocation must return the same
+/// workloads in the same order.
+using WorkloadFactory =
+    std::function<std::vector<std::unique_ptr<Workload>>()>;
+
+/// Declarative description of a results grid:
+/// variants x workloads x thresholds x axis points.
+struct SweepSpec {
+  /// Problem scale for make_all_workloads() when `factory` is unset.
+  double scale = 0.04;
+  /// Case-insensitive kernel-name filter; empty (or containing "all")
+  /// selects every workload the factory provides.
+  std::vector<std::string> kernels;
+  /// Overrides the default make_all_workloads(scale) workload set.
+  WorkloadFactory factory;
+  SweepAxis axis;
+  /// Threshold overrides; empty = each workload's Table-1 default.
+  std::vector<float> thresholds;
+  /// Config ablations; empty = a single base-config variant.
+  std::vector<ConfigVariant> variants;
+  /// Per-job device seeds derive from this and the job index, so results do
+  /// not depend on the worker count or scheduling.
+  std::uint64_t campaign_seed = 0x5eed;
+};
+
+/// Deterministic per-job seed (splitmix-style mix of campaign seed and job
+/// index) — the seed RunSpec::seed() is set to for job `index`.
+[[nodiscard]] std::uint64_t derive_job_seed(std::uint64_t campaign_seed,
+                                            std::size_t index);
+
+/// One expanded grid cell. `index` is the job's position in the stable
+/// expansion order: variants outermost, then workloads, then thresholds,
+/// then axis points innermost.
+struct CampaignJob {
+  std::size_t index = 0;
+  std::size_t workload_index = 0;
+  std::string kernel;
+  std::size_t variant_index = 0;
+  std::string variant_label;
+  double axis_value = 0.0;
+  RunSpec spec = RunSpec::at_error_rate(0.0);
+};
+
+/// Outcome of one job. ok == false means the run threw: `error` holds the
+/// exception text and `report` is default-constructed.
+struct JobResult {
+  CampaignJob job;
+  KernelRunReport report;
+  bool ok = false;
+  std::string error;
+  double wall_ms = 0.0;
+};
+
+/// All job results, ordered by CampaignJob::index regardless of which
+/// worker finished when.
+struct CampaignResult {
+  std::vector<JobResult> jobs;
+  double wall_ms = 0.0; ///< whole-campaign wall time
+  int workers = 1;      ///< worker threads actually used
+
+  [[nodiscard]] std::size_t failed() const noexcept;
+  [[nodiscard]] bool all_ok() const noexcept { return failed() == 0; }
+  /// Every job ran and its host verification passed.
+  [[nodiscard]] bool all_passed() const noexcept;
+};
+
+class CampaignEngine {
+ public:
+  /// `jobs` = worker-thread count; <= 0 selects hardware concurrency.
+  explicit CampaignEngine(int jobs = 0);
+
+  [[nodiscard]] int jobs() const noexcept { return jobs_; }
+
+  /// Expands the grid without running it. Throws std::invalid_argument when
+  /// a kernel filter entry matches no workload.
+  [[nodiscard]] static std::vector<CampaignJob> expand(const SweepSpec& spec);
+
+  /// Runs the whole campaign.
+  [[nodiscard]] CampaignResult run(const SweepSpec& spec) const;
+
+ private:
+  int jobs_;
+};
+
+/// Writes one row per job: identity, operating point, seed, measurements,
+/// verification, wall time, status.
+void write_campaign_csv(const CampaignResult& result, std::ostream& out);
+
+/// Writes the whole campaign as a single JSON object
+/// (schema "tmemo-campaign-v1"), round-trippable doubles.
+void write_campaign_json(const CampaignResult& result, std::ostream& out);
+
+} // namespace tmemo

@@ -1,0 +1,102 @@
+// RunSpec — the single vocabulary for describing one simulation run.
+//
+// A RunSpec names the timing-error environment (a fixed per-instruction
+// error rate, a voltage-overscaling operating point, or an explicit
+// TimingErrorModel), plus the optional per-run overrides: the matching
+// threshold and the device seed. The campaign engine, the CLI and the tests
+// all build RunSpecs instead of picking between Simulation::run_* overloads:
+//
+//   sim.run(haar, RunSpec::at_error_rate(0.02));             // Fig. 10 point
+//   sim.run(sobel, RunSpec::at_voltage(0.82).threshold(0.8f));// Fig. 11 point
+//   sim.run(fwt, RunSpec::at_error_rate(0.0).seed(42));       // pinned seed
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/types.hpp"
+#include "timing/error_model.hpp"
+
+namespace tmemo {
+
+class RunSpec {
+ public:
+  /// Which independent variable the run fixes.
+  enum class Axis {
+    kErrorRate,     ///< fixed per-instruction error rate (Fig. 10)
+    kVoltage,       ///< voltage-overscaled supply, alpha-power errors (Fig. 11)
+    kExplicitModel, ///< caller-supplied TimingErrorModel + supply
+  };
+
+  /// Run at a fixed per-instruction timing-error rate, FPUs at the nominal
+  /// supply (rate 0 means error-free execution).
+  [[nodiscard]] static RunSpec at_error_rate(double rate) {
+    RunSpec s;
+    s.axis_ = Axis::kErrorRate;
+    s.error_rate_ = rate;
+    return s;
+  }
+
+  /// Run in the voltage-overscaling regime: FPU supply at `supply`, errors
+  /// from the alpha-power delay model, memoization module at nominal.
+  [[nodiscard]] static RunSpec at_voltage(Volt supply) {
+    RunSpec s;
+    s.axis_ = Axis::kVoltage;
+    s.supply_ = supply;
+    return s;
+  }
+
+  /// Run with an explicit error model and FPU supply.
+  [[nodiscard]] static RunSpec with_model(
+      std::shared_ptr<const TimingErrorModel> model, Volt supply) {
+    RunSpec s;
+    s.axis_ = Axis::kExplicitModel;
+    s.model_ = std::move(model);
+    s.supply_ = supply;
+    return s;
+  }
+
+  /// Overrides the workload's Table-1 matching threshold (<= 0 programs
+  /// exact matching).
+  RunSpec& threshold(float t) {
+    threshold_ = t;
+    return *this;
+  }
+
+  /// Overrides the device seed for this run only; every FPU's EDS stream is
+  /// derived from it, so two runs with equal specs are bit-identical.
+  RunSpec& seed(std::uint64_t s) {
+    seed_ = s;
+    return *this;
+  }
+
+  [[nodiscard]] Axis axis() const noexcept { return axis_; }
+  /// Configured rate; meaningful on the kErrorRate axis only.
+  [[nodiscard]] double error_rate() const noexcept { return error_rate_; }
+  /// FPU supply; empty means the config's nominal voltage.
+  [[nodiscard]] std::optional<Volt> supply() const noexcept { return supply_; }
+  [[nodiscard]] const std::shared_ptr<const TimingErrorModel>& model()
+      const noexcept {
+    return model_;
+  }
+  [[nodiscard]] std::optional<float> threshold() const noexcept {
+    return threshold_;
+  }
+  [[nodiscard]] std::optional<std::uint64_t> seed() const noexcept {
+    return seed_;
+  }
+
+ private:
+  RunSpec() = default;
+
+  Axis axis_ = Axis::kErrorRate;
+  double error_rate_ = 0.0;
+  std::optional<Volt> supply_;
+  std::shared_ptr<const TimingErrorModel> model_;
+  std::optional<float> threshold_;
+  std::optional<std::uint64_t> seed_;
+};
+
+} // namespace tmemo

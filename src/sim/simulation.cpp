@@ -1,47 +1,50 @@
 #include "sim/simulation.hpp"
 
+#include "common/require.hpp"
+
 namespace tmemo {
 
 Simulation::Simulation(ExperimentConfig config) : config_(std::move(config)) {
   config_.device.validate();
 }
 
-KernelRunReport Simulation::run_at_error_rate(const Workload& workload,
-                                              double error_rate,
-                                              std::optional<float> threshold) {
-  auto report =
-      run(workload,
-          error_rate > 0.0
-              ? std::shared_ptr<const TimingErrorModel>(
-                    std::make_shared<FixedRateErrorModel>(error_rate))
-              : std::shared_ptr<const TimingErrorModel>(
-                    std::make_shared<NoErrorModel>()),
-          config_.energy.nominal_voltage, threshold);
-  report.error_rate_configured = error_rate;
-  return report;
-}
-
-KernelRunReport Simulation::run_at_voltage(const Workload& workload,
-                                           Volt supply,
-                                           std::optional<float> threshold) {
-  const VoltageScaling scaling(config_.voltage);
-  auto report = run(workload,
-                    std::make_shared<VoltageErrorModel>(scaling, supply),
-                    supply, threshold);
-  return report;
-}
-
 KernelRunReport Simulation::run(const Workload& workload,
-                                std::shared_ptr<const TimingErrorModel> errors,
-                                Volt supply, std::optional<float> threshold) {
+                                const RunSpec& spec) const {
   const VoltageScaling scaling(config_.voltage);
   const EnergyModel energy(config_.energy, scaling);
-  GpuDevice device(config_.device, energy);
+
+  // Resolve the timing-error environment from the spec's axis.
+  std::shared_ptr<const TimingErrorModel> errors;
+  Volt supply = config_.energy.nominal_voltage;
+  switch (spec.axis()) {
+    case RunSpec::Axis::kErrorRate:
+      errors = spec.error_rate() > 0.0
+                   ? std::shared_ptr<const TimingErrorModel>(
+                         std::make_shared<FixedRateErrorModel>(
+                             spec.error_rate()))
+                   : std::shared_ptr<const TimingErrorModel>(
+                         std::make_shared<NoErrorModel>());
+      break;
+    case RunSpec::Axis::kVoltage:
+      supply = spec.supply().value_or(supply);
+      errors = std::make_shared<VoltageErrorModel>(scaling, supply);
+      break;
+    case RunSpec::Axis::kExplicitModel:
+      TM_REQUIRE(spec.model() != nullptr,
+                 "RunSpec::with_model requires a non-null error model");
+      supply = spec.supply().value_or(supply);
+      errors = spec.model();
+      break;
+  }
+
+  DeviceConfig device_config = config_.device;
+  if (spec.seed()) device_config.seed = *spec.seed();
+  GpuDevice device(device_config, energy);
 
   // Error-tolerant (image) kernels program the fraction-LSB masking vector
   // from their threshold (paper §4.2); the numeric kernels use the absolute
   // Eq.-1 threshold constraint. threshold <= 0 means exact matching.
-  const float t = threshold.value_or(workload.table1_threshold());
+  const float t = spec.threshold().value_or(workload.table1_threshold());
   if (t <= 0.0f) {
     device.program_exact();
   } else if (workload.error_tolerant()) {
@@ -60,6 +63,9 @@ KernelRunReport Simulation::run(const Workload& workload,
   report.input_parameter = workload.input_parameter();
   report.threshold = t;
   report.supply = supply;
+  if (spec.axis() == RunSpec::Axis::kErrorRate) {
+    report.error_rate_configured = spec.error_rate();
+  }
   report.result = workload.run(device);
   report.unit_stats = device.unit_stats();
   report.weighted_hit_rate = device.weighted_hit_rate();

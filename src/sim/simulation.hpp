@@ -2,19 +2,23 @@
 // collects everything the paper's tables and figures report.
 //
 // One Simulation owns the model parameters (device shape, energy constants,
-// voltage-scaling constants). Each run() builds a fresh GpuDevice (so runs
-// are independent and deterministic), programs the matching constraint,
-// installs the timing-error model and supply voltage, executes the
-// workload, and returns a KernelRunReport.
+// voltage-scaling constants), fixed at construction. Each run() builds a
+// fresh GpuDevice (so runs are independent and deterministic), programs the
+// matching constraint, installs the timing-error model and supply voltage
+// described by a RunSpec, executes the workload, and returns a
+// KernelRunReport. Variants are derived with with_config(); bulk grids are
+// executed by the campaign engine (sim/campaign.hpp).
 #pragma once
 
 #include <array>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "energy/energy_model.hpp"
 #include "gpu/device.hpp"
+#include "sim/run_spec.hpp"
 #include "timing/error_model.hpp"
 #include "workloads/workload.hpp"
 
@@ -63,26 +67,56 @@ class Simulation {
   [[nodiscard]] const ExperimentConfig& config() const noexcept {
     return config_;
   }
-  [[nodiscard]] ExperimentConfig& config() noexcept { return config_; }
 
-  /// Runs `workload` at the given per-instruction timing-error rate
-  /// (Fig. 10 style). `threshold` overrides the workload's Table-1 value.
+  /// Copy-builder: a new Simulation whose config is this one's with
+  /// `mutate` applied. The config is immutable after construction (so a
+  /// campaign cannot change the device shape mid-flight); variants are
+  /// derived instead:
+  ///
+  ///   Simulation gated = sim.with_config(
+  ///       [](ExperimentConfig& c) { c.memoization = false; });
+  template <typename Mutator>
+  [[nodiscard]] Simulation with_config(Mutator&& mutate) const {
+    ExperimentConfig c = config_;
+    std::forward<Mutator>(mutate)(c);
+    return Simulation(std::move(c));
+  }
+
+  /// Runs `workload` in the environment described by `spec`. Thread-safe:
+  /// concurrent calls on one Simulation are independent (each builds its
+  /// own device).
+  [[nodiscard]] KernelRunReport run(const Workload& workload,
+                                    const RunSpec& spec) const;
+
+  // -- Deprecated pre-RunSpec overloads (forwarders; one release) ----------
+
+  [[deprecated("use run(workload, RunSpec::at_error_rate(rate))")]]
   [[nodiscard]] KernelRunReport run_at_error_rate(
       const Workload& workload, double error_rate,
-      std::optional<float> threshold = std::nullopt);
+      std::optional<float> threshold = std::nullopt) const {
+    RunSpec spec = RunSpec::at_error_rate(error_rate);
+    if (threshold) spec.threshold(*threshold);
+    return run(workload, spec);
+  }
 
-  /// Runs `workload` in the voltage-overscaling regime (Fig. 11 style):
-  /// the FPU supply is `supply`, errors follow the alpha-power model, the
-  /// memoization module stays at nominal voltage.
+  [[deprecated("use run(workload, RunSpec::at_voltage(supply))")]]
   [[nodiscard]] KernelRunReport run_at_voltage(
       const Workload& workload, Volt supply,
-      std::optional<float> threshold = std::nullopt);
+      std::optional<float> threshold = std::nullopt) const {
+    RunSpec spec = RunSpec::at_voltage(supply);
+    if (threshold) spec.threshold(*threshold);
+    return run(workload, spec);
+  }
 
-  /// Runs `workload` with an explicit error model and supply.
+  [[deprecated("use run(workload, RunSpec::with_model(errors, supply))")]]
   [[nodiscard]] KernelRunReport run(
       const Workload& workload,
       std::shared_ptr<const TimingErrorModel> errors, Volt supply,
-      std::optional<float> threshold = std::nullopt);
+      std::optional<float> threshold = std::nullopt) const {
+    RunSpec spec = RunSpec::with_model(std::move(errors), supply);
+    if (threshold) spec.threshold(*threshold);
+    return run(workload, spec);
+  }
 
  private:
   ExperimentConfig config_;

@@ -147,6 +147,41 @@ TEST(GpuDevice, ResetStatsClearsEverythingButConfig) {
   });
 }
 
+TEST(GpuDevice, EnergyAccumulatorSurvivesMove) {
+  // Regression: the accumulator used to hold references into the device it
+  // was constructed in, so a moved device charged energy through dangling
+  // references to the moved-from object's supply. It must follow the move
+  // and read the live supply of its new owner.
+  GpuDevice original = small_device();
+  GpuDevice moved = std::move(original);
+  moved.set_fpu_supply(0.8);
+  launch(moved, 64, [](WavefrontCtx& wf) {
+    (void)wf.mul(wf.splat(1.0f), wf.splat(2.0f));
+  });
+
+  GpuDevice fresh(DeviceConfig::single_cu());
+  fresh.set_fpu_supply(0.8);
+  launch(fresh, 64, [](WavefrontCtx& wf) {
+    (void)wf.mul(wf.splat(1.0f), wf.splat(2.0f));
+  });
+
+  EXPECT_GT(moved.unit_energy(FpuType::kMul).baseline_pj, 0.0);
+  EXPECT_EQ(moved.unit_energy(FpuType::kMul).baseline_pj,
+            fresh.unit_energy(FpuType::kMul).baseline_pj);
+  EXPECT_EQ(moved.unit_energy(FpuType::kMul).memoized_pj,
+            fresh.unit_energy(FpuType::kMul).memoized_pj);
+}
+
+TEST(GpuDevice, MoveAssignmentRebindsAccumulator) {
+  GpuDevice device = small_device();
+  device = GpuDevice(DeviceConfig::single_cu());
+  device.set_fpu_supply(0.85);
+  launch(device, 64, [](WavefrontCtx& wf) {
+    (void)wf.add(wf.splat(1.0f), wf.splat(2.0f));
+  });
+  EXPECT_GT(device.unit_energy(FpuType::kAdd).baseline_pj, 0.0);
+}
+
 TEST(GpuDevice, DisabledMemoMatchesBaselineEnergy) {
   // With the module disabled, memoized == baseline for every record (no
   // hits, no LUT charges) in an error-free run.

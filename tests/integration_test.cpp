@@ -19,8 +19,8 @@ TEST(Integration, AverageSavingTracksPaperHeadline) {
   const auto workloads = make_all_workloads(0.01);
   double avg0 = 0.0, avg4 = 0.0;
   for (const auto& w : workloads) {
-    avg0 += sim.run_at_error_rate(*w, 0.0).energy.saving();
-    avg4 += sim.run_at_error_rate(*w, 0.04).energy.saving();
+    avg0 += sim.run(*w, RunSpec::at_error_rate(0.0)).energy.saving();
+    avg4 += sim.run(*w, RunSpec::at_error_rate(0.04)).energy.saving();
   }
   avg0 /= static_cast<double>(workloads.size());
   avg4 /= static_cast<double>(workloads.size());
@@ -35,7 +35,7 @@ TEST(Integration, MaskedErrorsAvoidRecoveries) {
   // less often than errors occur whenever any hit masks one.
   Simulation sim;
   const auto workloads = make_all_workloads(0.01);
-  const KernelRunReport r = sim.run_at_error_rate(*workloads[0], 0.04);
+  const KernelRunReport r = sim.run(*workloads[0], RunSpec::at_error_rate(0.04));
   FpuStats total;
   for (const FpuStats& s : r.unit_stats) total += s;
   EXPECT_GT(total.masked_errors, 0u);
@@ -74,7 +74,7 @@ TEST(Integration, DeeperFifoImprovesHitRateWithDiminishingReturns) {
     const auto workloads = make_all_workloads(0.01);
     std::uint64_t hits = 0, instrs = 0;
     for (const auto& w : workloads) {
-      const KernelRunReport r = sim.run_at_error_rate(*w, 0.0);
+      const KernelRunReport r = sim.run(*w, RunSpec::at_error_rate(0.0));
       for (const FpuStats& s : r.unit_stats) {
         hits += s.hits;
         instrs += s.instructions;
@@ -96,8 +96,8 @@ TEST(Integration, PowerGatedModuleBehavesLikeBaseline) {
   Simulation memoized;
   const auto a = make_all_workloads(0.01);
   const auto b = make_all_workloads(0.01);
-  const KernelRunReport rg = gated.run_at_error_rate(*a[5], 0.0);   // FWT
-  const KernelRunReport rm = memoized.run_at_error_rate(*b[5], 0.0);
+  const KernelRunReport rg = gated.run(*a[5], RunSpec::at_error_rate(0.0));   // FWT
+  const KernelRunReport rm = memoized.run(*b[5], RunSpec::at_error_rate(0.0));
   // FWT has modest locality; when gated its energy equals the baseline,
   // while the always-on module pays its overhead.
   EXPECT_NEAR(rg.energy.memoized_pj, rg.energy.baseline_pj, 1e-6);
@@ -123,7 +123,7 @@ TEST(Integration, RecipUnitSuffersMostUnderVos) {
   Simulation sim;
   const auto workloads = make_all_workloads(0.01);
   // Gaussian activates RECIP and MULADD.
-  const KernelRunReport r = sim.run_at_voltage(*workloads[1], 0.81);
+  const KernelRunReport r = sim.run(*workloads[1], RunSpec::at_voltage(0.81));
   const auto& recip =
       r.unit_stats[static_cast<std::size_t>(FpuType::kRecip)];
   const auto& muladd =
@@ -142,7 +142,7 @@ TEST(Integration, EnergyNeverNegative) {
   const auto workloads = make_all_workloads(0.01);
   for (const auto& w : workloads) {
     for (double rate : {0.0, 0.04}) {
-      const KernelRunReport r = sim.run_at_error_rate(*w, rate);
+      const KernelRunReport r = sim.run(*w, RunSpec::at_error_rate(rate));
       EXPECT_GT(r.energy.memoized_pj, 0.0) << w->name();
       EXPECT_GT(r.energy.baseline_pj, 0.0) << w->name();
     }

@@ -90,7 +90,7 @@ TEST(Robustness, HundredPercentErrorRateStillCorrect) {
   // Exact matching + guaranteed errors on every instruction: everything
   // recovers or reuses exactly; results identical to error-free.
   const KernelRunReport r =
-      sim.run_at_error_rate(*workloads[2], 1.0, 0.0f); // Haar, exact
+      sim.run(*workloads[2], RunSpec::at_error_rate(1.0).threshold(0.0f)); // Haar, exact
   EXPECT_EQ(r.result.max_abs_error, 0.0);
   FpuStats total;
   for (const FpuStats& s : r.unit_stats) total += s;
@@ -114,7 +114,7 @@ TEST(Robustness, HugeLutDepthWorks) {
   cfg.device.fpu.lut_depth = 4096;
   Simulation sim(cfg);
   const auto workloads = make_all_workloads(0.01);
-  const KernelRunReport r = sim.run_at_error_rate(*workloads[2], 0.0);
+  const KernelRunReport r = sim.run(*workloads[2], RunSpec::at_error_rate(0.0));
   EXPECT_TRUE(r.result.passed);
 }
 
@@ -122,7 +122,7 @@ TEST(Robustness, ZeroThresholdOverrideOnTolerantKernels) {
   // Forcing exact matching on the image kernels must give perfect quality.
   Simulation sim;
   SobelWorkload w(make_face_image(96, 96), "face");
-  const KernelRunReport r = sim.run_at_error_rate(w, 0.05, 0.0f);
+  const KernelRunReport r = sim.run(w, RunSpec::at_error_rate(0.05).threshold(0.0f));
   EXPECT_EQ(r.result.max_abs_error, 0.0);
 }
 

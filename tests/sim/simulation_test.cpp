@@ -13,7 +13,7 @@ namespace {
 TEST(Simulation, ReportCarriesConfiguration) {
   Simulation sim;
   HaarWorkload haar(256);
-  const KernelRunReport r = sim.run_at_error_rate(haar, 0.02);
+  const KernelRunReport r = sim.run(haar, RunSpec::at_error_rate(0.02));
   EXPECT_EQ(r.kernel, "Haar");
   EXPECT_EQ(r.input_parameter, "256");
   EXPECT_FLOAT_EQ(r.threshold, 0.046f);
@@ -24,14 +24,14 @@ TEST(Simulation, ReportCarriesConfiguration) {
 TEST(Simulation, ThresholdOverride) {
   Simulation sim;
   HaarWorkload haar(256);
-  const KernelRunReport r = sim.run_at_error_rate(haar, 0.0, 0.5f);
+  const KernelRunReport r = sim.run(haar, RunSpec::at_error_rate(0.0).threshold(0.5f));
   EXPECT_FLOAT_EQ(r.threshold, 0.5f);
 }
 
 TEST(Simulation, UnitStatsReflectActivatedUnits) {
   Simulation sim;
   HaarWorkload haar(256);
-  const KernelRunReport r = sim.run_at_error_rate(haar, 0.0);
+  const KernelRunReport r = sim.run(haar, RunSpec::at_error_rate(0.0));
   EXPECT_TRUE(r.unit_activated(FpuType::kAdd));
   EXPECT_TRUE(r.unit_activated(FpuType::kMul));
   EXPECT_FALSE(r.unit_activated(FpuType::kRecip));
@@ -46,7 +46,7 @@ TEST(Simulation, SavingGrowsWithErrorRate) {
   HaarWorkload haar(1024);
   double prev = -1.0;
   for (double rate : {0.0, 0.01, 0.02, 0.03, 0.04}) {
-    const KernelRunReport r = sim.run_at_error_rate(haar, rate);
+    const KernelRunReport r = sim.run(haar, RunSpec::at_error_rate(rate));
     EXPECT_GT(r.energy.saving(), prev) << "rate " << rate;
     prev = r.energy.saving();
   }
@@ -57,7 +57,7 @@ TEST(Simulation, BaselineArchitectureHasZeroSavingByConstruction) {
   cfg.memoization = false;
   Simulation sim(cfg);
   HaarWorkload haar(256);
-  const KernelRunReport r = sim.run_at_error_rate(haar, 0.02);
+  const KernelRunReport r = sim.run(haar, RunSpec::at_error_rate(0.02));
   // Without the module, memoized == baseline energy (same records).
   EXPECT_NEAR(r.energy.saving(), 0.0, 1e-9);
   EXPECT_EQ(r.weighted_hit_rate, 0.0);
@@ -66,8 +66,8 @@ TEST(Simulation, BaselineArchitectureHasZeroSavingByConstruction) {
 TEST(Simulation, VoltageRunsScaleEnergyDown) {
   Simulation sim;
   HaarWorkload haar(256);
-  const KernelRunReport at90 = sim.run_at_voltage(haar, 0.90);
-  const KernelRunReport at86 = sim.run_at_voltage(haar, 0.86);
+  const KernelRunReport at90 = sim.run(haar, RunSpec::at_voltage(0.90));
+  const KernelRunReport at86 = sim.run(haar, RunSpec::at_voltage(0.86));
   // No errors at either point; baseline energy scales ~ (V/Vnom)^2.
   EXPECT_NEAR(at86.energy.baseline_pj / at90.energy.baseline_pj,
               (0.86 / 0.90) * (0.86 / 0.90), 0.01);
@@ -79,9 +79,9 @@ TEST(Simulation, VosDipAndCrossover) {
   // rises sharply at 0.80 V.
   Simulation sim;
   SobelWorkload sobel(make_face_image(128, 128), "face");
-  const double s90 = sim.run_at_voltage(sobel, 0.90).energy.saving();
-  const double s84 = sim.run_at_voltage(sobel, 0.84).energy.saving();
-  const double s80 = sim.run_at_voltage(sobel, 0.80).energy.saving();
+  const double s90 = sim.run(sobel, RunSpec::at_voltage(0.90)).energy.saving();
+  const double s84 = sim.run(sobel, RunSpec::at_voltage(0.84)).energy.saving();
+  const double s80 = sim.run(sobel, RunSpec::at_voltage(0.80)).energy.saving();
   EXPECT_LT(s84, s90);
   EXPECT_GT(s80, s90);
 }
@@ -91,11 +91,49 @@ TEST(Simulation, RunsAreIndependent) {
   // per run; no state leaks).
   Simulation sim;
   HaarWorkload haar(256);
-  const KernelRunReport a = sim.run_at_error_rate(haar, 0.03);
-  const KernelRunReport b = sim.run_at_error_rate(haar, 0.03);
+  const KernelRunReport a = sim.run(haar, RunSpec::at_error_rate(0.03));
+  const KernelRunReport b = sim.run(haar, RunSpec::at_error_rate(0.03));
   EXPECT_EQ(a.weighted_hit_rate, b.weighted_hit_rate);
   EXPECT_EQ(a.energy.memoized_pj, b.energy.memoized_pj);
   EXPECT_EQ(a.result.max_abs_error, b.result.max_abs_error);
+}
+
+TEST(Simulation, WithConfigDerivesVariantWithoutMutatingOriginal) {
+  const Simulation base;
+  const Simulation gated =
+      base.with_config([](ExperimentConfig& c) { c.memoization = false; });
+  EXPECT_TRUE(base.config().memoization);
+  EXPECT_FALSE(gated.config().memoization);
+  HaarWorkload haar(256);
+  EXPECT_GT(base.run(haar, RunSpec::at_error_rate(0.0)).weighted_hit_rate,
+            0.0);
+  EXPECT_EQ(gated.run(haar, RunSpec::at_error_rate(0.0)).weighted_hit_rate,
+            0.0);
+}
+
+TEST(Simulation, RunSpecSeedOverridesDeviceSeed) {
+  const Simulation sim;
+  HaarWorkload haar(256);
+  // Same seed -> bit-identical; different seed -> different error draws.
+  const KernelRunReport a =
+      sim.run(haar, RunSpec::at_error_rate(0.03).seed(7));
+  const KernelRunReport b =
+      sim.run(haar, RunSpec::at_error_rate(0.03).seed(7));
+  const KernelRunReport c =
+      sim.run(haar, RunSpec::at_error_rate(0.03).seed(8));
+  EXPECT_EQ(a.energy.memoized_pj, b.energy.memoized_pj);
+  EXPECT_NE(a.energy.memoized_pj, c.energy.memoized_pj);
+}
+
+TEST(Simulation, ExplicitModelRunSpec) {
+  const Simulation sim;
+  HaarWorkload haar(256);
+  const auto model = std::make_shared<FixedRateErrorModel>(0.02);
+  const KernelRunReport r = sim.run(haar, RunSpec::with_model(model, 0.85));
+  EXPECT_EQ(r.supply, 0.85);
+  EXPECT_GT(r.unit_stats[static_cast<std::size_t>(FpuType::kAdd)]
+                .timing_errors,
+            0u);
 }
 
 TEST(Simulation, CommutativityConfigRespected) {
@@ -103,10 +141,10 @@ TEST(Simulation, CommutativityConfigRespected) {
   cfg.commutativity = false;
   Simulation sim(cfg);
   HaarWorkload haar(1024);
-  const double without = sim.run_at_error_rate(haar, 0.0).weighted_hit_rate;
+  const double without = sim.run(haar, RunSpec::at_error_rate(0.0)).weighted_hit_rate;
   cfg.commutativity = true;
   Simulation sim2(cfg);
-  const double with = sim2.run_at_error_rate(haar, 0.0).weighted_hit_rate;
+  const double with = sim2.run(haar, RunSpec::at_error_rate(0.0)).weighted_hit_rate;
   EXPECT_GE(with, without);
 }
 

@@ -14,7 +14,7 @@ TEST(SpatialSim, SpatialModeMasksErrorsWithoutTemporalLuts) {
   cfg.spatial = true;
   Simulation sim(cfg);
   SobelWorkload w(make_face_image(96, 96), "face");
-  const KernelRunReport r = sim.run_at_error_rate(w, 0.04);
+  const KernelRunReport r = sim.run(w, RunSpec::at_error_rate(0.04));
   // Temporal hit rate is zero (module gated)...
   EXPECT_EQ(r.weighted_hit_rate, 0.0);
   // ...yet the run verifies and saves energy at 4% errors via spatial
@@ -30,7 +30,7 @@ TEST(SpatialSim, CombinedModeBeatsEitherAloneUnderErrors) {
     cfg.memoization = temporal;
     cfg.spatial = spatial;
     Simulation sim(cfg);
-    return sim.run_at_error_rate(w, 0.04).energy.saving();
+    return sim.run(w, RunSpec::at_error_rate(0.04)).energy.saving();
   };
   const double t = saving(true, false);
   const double s = saving(false, true);
@@ -73,7 +73,7 @@ TEST(SpatialSim, SpatialOutputsStayWithinFidelity) {
   cfg.spatial = true;
   Simulation sim(cfg);
   SobelWorkload w(make_face_image(128, 128), "face");
-  const KernelRunReport r = sim.run_at_error_rate(w, 0.0);
+  const KernelRunReport r = sim.run(w, RunSpec::at_error_rate(0.0));
   EXPECT_TRUE(r.result.passed);
 }
 

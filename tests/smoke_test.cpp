@@ -10,7 +10,7 @@ namespace {
 TEST(Smoke, HaarRunsEndToEnd) {
   Simulation sim;
   HaarWorkload haar(256);
-  const KernelRunReport report = sim.run_at_error_rate(haar, 0.0);
+  const KernelRunReport report = sim.run(haar, RunSpec::at_error_rate(0.0));
   EXPECT_TRUE(report.result.passed);
   EXPECT_GT(report.unit_stats[static_cast<std::size_t>(FpuType::kAdd)]
                 .instructions,

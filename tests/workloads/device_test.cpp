@@ -65,7 +65,7 @@ TEST_P(WorkloadDeviceTest, ExactMatchingIsBitIdentical) {
   const auto w = workload();
   Simulation sim;
   const KernelRunReport r =
-      sim.run_at_error_rate(*w, 0.0, /*threshold=*/0.0f);
+      sim.run(*w, RunSpec::at_error_rate(0.0).threshold(0.0f));
   EXPECT_EQ(r.result.max_abs_error, 0.0) << w->name();
   EXPECT_GT(r.result.output_values, 0u);
 }
@@ -74,7 +74,7 @@ TEST_P(WorkloadDeviceTest, ErrorsNeverCorruptExactMatchedOutputs) {
   const auto w = workload();
   Simulation sim;
   const KernelRunReport r =
-      sim.run_at_error_rate(*w, 0.10, /*threshold=*/0.0f);
+      sim.run(*w, RunSpec::at_error_rate(0.10).threshold(0.0f));
   EXPECT_EQ(r.result.max_abs_error, 0.0) << w->name();
   // Errors actually occurred and were handled.
   FpuStats total;
@@ -86,7 +86,7 @@ TEST_P(WorkloadDeviceTest, ErrorsNeverCorruptExactMatchedOutputs) {
 TEST_P(WorkloadDeviceTest, Table1ThresholdPassesHostVerification) {
   const auto w = workload();
   Simulation sim;
-  const KernelRunReport r = sim.run_at_error_rate(*w, 0.0);
+  const KernelRunReport r = sim.run(*w, RunSpec::at_error_rate(0.0));
   EXPECT_TRUE(r.result.passed)
       << w->name() << " max_err=" << r.result.max_abs_error
       << " rel_rms=" << r.result.rel_rms_error;
@@ -95,14 +95,14 @@ TEST_P(WorkloadDeviceTest, Table1ThresholdPassesHostVerification) {
 TEST_P(WorkloadDeviceTest, Table1ThresholdPassesUnderErrors) {
   const auto w = workload();
   Simulation sim;
-  const KernelRunReport r = sim.run_at_error_rate(*w, 0.04);
+  const KernelRunReport r = sim.run(*w, RunSpec::at_error_rate(0.04));
   EXPECT_TRUE(r.result.passed) << w->name();
 }
 
 TEST_P(WorkloadDeviceTest, MemoizationSavesStageCycles) {
   const auto w = workload();
   Simulation sim;
-  const KernelRunReport r = sim.run_at_error_rate(*w, 0.0);
+  const KernelRunReport r = sim.run(*w, RunSpec::at_error_rate(0.0));
   FpuStats total;
   for (const FpuStats& s : r.unit_stats) total += s;
   EXPECT_EQ(total.gated_stage_cycles > 0, total.hits > 0) << w->name();

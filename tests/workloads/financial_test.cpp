@@ -78,7 +78,7 @@ TEST(BlackScholes, WorkloadExpandsSamplesBy4096) {
   BlackScholesWorkload w(2);
   EXPECT_EQ(w.input_parameter(), "2");
   Simulation sim;
-  const KernelRunReport r = sim.run_at_error_rate(w, 0.0);
+  const KernelRunReport r = sim.run(w, RunSpec::at_error_rate(0.0));
   EXPECT_EQ(r.result.output_values, 2u * 4096u * 2u); // calls + puts
   EXPECT_TRUE(r.result.passed);
 }
@@ -146,7 +146,7 @@ TEST(Binomial, RejectsInvalidSteps) {
 TEST(Binomial, WorkloadPassesAtTinyThresholdEvenWithErrors) {
   Simulation sim;
   BinomialOptionWorkload w(20, 64);
-  const KernelRunReport r = sim.run_at_error_rate(w, 0.04);
+  const KernelRunReport r = sim.run(w, RunSpec::at_error_rate(0.04));
   EXPECT_TRUE(r.result.passed);
   EXPECT_LT(r.result.rel_rms_error, 1e-4);
 }

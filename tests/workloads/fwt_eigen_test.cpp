@@ -63,7 +63,7 @@ TEST(Fwt, WorkloadRoundsUpToPowerOfTwo) {
   FwtWorkload w(1000);
   EXPECT_EQ(w.input_parameter(), "1000");
   Simulation sim;
-  const KernelRunReport r = sim.run_at_error_rate(w, 0.0);
+  const KernelRunReport r = sim.run(w, RunSpec::at_error_rate(0.0));
   EXPECT_EQ(r.result.output_values, 1024u);
   EXPECT_TRUE(r.result.passed);
 }
@@ -71,7 +71,7 @@ TEST(Fwt, WorkloadRoundsUpToPowerOfTwo) {
 TEST(Fwt, SparseTernaryInput) {
   FwtWorkload w(4096);
   Simulation sim;
-  const KernelRunReport r = sim.run_at_error_rate(w, 0.0);
+  const KernelRunReport r = sim.run(w, RunSpec::at_error_rate(0.0));
   // Sparse inputs give the exact-matching FIFO real hits.
   EXPECT_GT(r.weighted_hit_rate, 0.05);
 }

@@ -79,7 +79,7 @@ TEST(Gaussian, RecipUnitServesTheNormalizer) {
 TEST(Gaussian, WorkloadVerificationAtTable1Threshold) {
   Simulation sim;
   GaussianWorkload w(make_face_image(192, 192), "face");
-  const KernelRunReport r = sim.run_at_error_rate(w, 0.0);
+  const KernelRunReport r = sim.run(w, RunSpec::at_error_rate(0.0));
   EXPECT_FLOAT_EQ(r.threshold, 0.8f);
   EXPECT_TRUE(r.result.passed);
 }

@@ -83,9 +83,9 @@ TEST(Haar, RejectsBadLengths) {
 TEST(Haar, ApproximateThresholdPassesButLooseThresholdDegrades) {
   Simulation sim;
   HaarWorkload w(1024);
-  const KernelRunReport fine = sim.run_at_error_rate(w, 0.0); // 0.046
+  const KernelRunReport fine = sim.run(w, RunSpec::at_error_rate(0.0)); // 0.046
   EXPECT_TRUE(fine.result.passed);
-  const KernelRunReport coarse = sim.run_at_error_rate(w, 0.0, 0.4f);
+  const KernelRunReport coarse = sim.run(w, RunSpec::at_error_rate(0.0).threshold(0.4f));
   EXPECT_GT(coarse.result.rel_rms_error, fine.result.rel_rms_error);
 }
 

@@ -1,28 +1,36 @@
 // tmemo_sim — command-line front end of the simulator.
 //
 // Runs any of the seven Table-1 kernels under a chosen timing-error
-// environment and prints hit rates, energy, verification and (optionally)
-// per-unit detail — the one-stop entry point for exploring the model
-// without writing C++.
+// environment — a single operating point or a whole sweep — and prints hit
+// rates, energy, verification and (optionally) per-unit detail. Sweeps are
+// executed by the campaign engine on a thread pool; per-job seeds derive
+// from the campaign seed + job index, so results are identical for any
+// --jobs value.
 //
 // Usage:
-//   tmemo_sim [--kernel NAME|all] [--error-rate R | --voltage V]
+//   tmemo_sim [--kernel NAME|all]
+//             [--error-rate R | --voltage V | --sweep AXIS:START:STOP:COUNT]
 //             [--threshold T] [--scale S] [--lut-depth N]
-//             [--no-memo] [--spatial] [--per-unit] [--csv]
+//             [--no-memo] [--spatial] [--jobs N] [--seed S]
+//             [--per-unit] [--csv] [--json FILE|-]
 //
 // Examples:
 //   tmemo_sim --kernel sobel --error-rate 0.02
-//   tmemo_sim --kernel all --voltage 0.82 --per-unit
-//   tmemo_sim --kernel haar --threshold 0.1 --lut-depth 8
+//   tmemo_sim --kernel all --sweep error-rate:0:0.04:9 --jobs 8
+//   tmemo_sim --kernel all --sweep voltage:0.9:0.8:6 --json fig11.json
+//   tmemo_sim --kernel haar --threshold 0.1 --lut-depth 8 --csv
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "common/table.hpp"
-#include "sim/simulation.hpp"
+#include "sim/campaign.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -33,21 +41,29 @@ struct CliOptions {
   std::string kernel = "all";
   double error_rate = 0.0;
   std::optional<double> voltage;
+  std::optional<SweepAxis> sweep;
   std::optional<float> threshold;
   double scale = 0.04;
   int lut_depth = 2;
+  std::uint64_t seed = 0x5eed;
+  int jobs = 0; // 0 = hardware concurrency
   bool memoization = true;
   bool spatial = false;
   bool per_unit = false;
   bool csv = false;
+  std::optional<std::string> json_path;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--kernel NAME|all] [--error-rate R | --voltage V]\n"
+      "usage: %s [--kernel NAME|all]\n"
+      "          [--error-rate R | --voltage V | --sweep "
+      "AXIS:START:STOP:COUNT]\n"
       "          [--threshold T] [--scale S] [--lut-depth N]\n"
-      "          [--no-memo] [--spatial] [--per-unit] [--csv]\n"
+      "          [--no-memo] [--spatial] [--jobs N] [--seed S]\n"
+      "          [--per-unit] [--csv] [--json FILE|-]\n"
+      "sweep axes: error-rate, voltage (e.g. --sweep error-rate:0:0.04:9)\n"
       "kernels: sobel gaussian haar binomialoption blackscholes fwt "
       "eigenvalue all\n",
       argv0);
@@ -78,12 +94,23 @@ CliOptions parse(int argc, char** argv) {
       opt.error_rate = parse_double(value(), argv[0]);
     } else if (arg == "--voltage") {
       opt.voltage = parse_double(value(), argv[0]);
+    } else if (arg == "--sweep") {
+      opt.sweep = SweepAxis::parse(value());
+      if (!opt.sweep) {
+        std::fprintf(stderr, "malformed --sweep (want AXIS:START:STOP:COUNT, "
+                             "e.g. error-rate:0:0.04:9)\n");
+        usage(argv[0]);
+      }
     } else if (arg == "--threshold") {
       opt.threshold = static_cast<float>(parse_double(value(), argv[0]));
     } else if (arg == "--scale") {
       opt.scale = parse_double(value(), argv[0]);
     } else if (arg == "--lut-depth") {
       opt.lut_depth = static_cast<int>(parse_double(value(), argv[0]));
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(parse_double(value(), argv[0]));
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<int>(parse_double(value(), argv[0]));
     } else if (arg == "--no-memo") {
       opt.memoization = false;
     } else if (arg == "--spatial") {
@@ -92,6 +119,8 @@ CliOptions parse(int argc, char** argv) {
       opt.per_unit = true;
     } else if (arg == "--csv") {
       opt.csv = true;
+    } else if (arg == "--json") {
+      opt.json_path = value();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -99,15 +128,21 @@ CliOptions parse(int argc, char** argv) {
       usage(argv[0]);
     }
   }
+  if (opt.sweep && opt.voltage) {
+    std::fprintf(stderr, "--sweep and --voltage are mutually exclusive\n");
+    usage(argv[0]);
+  }
   return opt;
 }
 
-std::string lower(std::string_view s) {
-  std::string out(s);
-  for (char& c : out) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+std::string env_label(const JobResult& j) {
+  char buf[32];
+  if (j.job.spec.axis() == RunSpec::Axis::kVoltage) {
+    std::snprintf(buf, sizeof(buf), "%.2f V", j.job.axis_value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%% err", j.job.axis_value * 100.0);
   }
-  return out;
+  return buf;
 }
 
 } // namespace
@@ -115,13 +150,33 @@ std::string lower(std::string_view s) {
 int main(int argc, char** argv) {
   const CliOptions opt = parse(argc, argv);
 
-  ExperimentConfig cfg;
-  cfg.device.fpu.lut_depth = opt.lut_depth;
-  cfg.memoization = opt.memoization;
-  cfg.spatial = opt.spatial;
-  Simulation sim(cfg);
+  SweepSpec spec;
+  spec.scale = opt.scale;
+  spec.campaign_seed = opt.seed;
+  if (opt.kernel != "all") spec.kernels = {opt.kernel};
+  if (opt.sweep) {
+    spec.axis = *opt.sweep;
+  } else if (opt.voltage) {
+    spec.axis = SweepAxis::voltage_point(*opt.voltage);
+  } else {
+    spec.axis = SweepAxis::error_rate_point(opt.error_rate);
+  }
+  if (opt.threshold) spec.thresholds = {*opt.threshold};
 
-  const auto workloads = make_all_workloads(opt.scale);
+  ConfigVariant variant;
+  variant.config.device.fpu.lut_depth = opt.lut_depth;
+  variant.config.memoization = opt.memoization;
+  variant.config.spatial = opt.spatial;
+  spec.variants = {variant};
+
+  const CampaignEngine engine(opt.jobs);
+  CampaignResult result;
+  try {
+    result = engine.run(spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
+  }
 
   ResultTable table("tmemo_sim results",
                     {"kernel", "param", "threshold", "env", "hit rate",
@@ -130,32 +185,31 @@ int main(int argc, char** argv) {
                     {"kernel", "unit", "instructions", "hit rate",
                      "errors", "recoveries"});
 
-  bool matched = false;
-  bool all_passed = true;
-  for (const auto& w : workloads) {
-    if (opt.kernel != "all" && lower(w->name()) != opt.kernel) continue;
-    matched = true;
-
-    const KernelRunReport r =
-        opt.voltage.has_value()
-            ? sim.run_at_voltage(*w, *opt.voltage, opt.threshold)
-            : sim.run_at_error_rate(*w, opt.error_rate, opt.threshold);
-
-    const std::string env =
-        opt.voltage.has_value()
-            ? std::to_string(*opt.voltage).substr(0, 4) + " V"
-            : std::to_string(opt.error_rate * 100.0).substr(0, 4) + "% err";
+  for (const JobResult& j : result.jobs) {
+    if (!j.ok) {
+      table.begin_row()
+          .add(j.job.kernel)
+          .add("-")
+          .add("-")
+          .add(env_label(j))
+          .add("-")
+          .add("-")
+          .add("-")
+          .add("-")
+          .add("ERROR: " + j.error);
+      continue;
+    }
+    const KernelRunReport& r = j.report;
     table.begin_row()
         .add(r.kernel)
         .add(r.input_parameter)
         .add(static_cast<double>(r.threshold), 6)
-        .add(env)
+        .add(env_label(j))
         .add(std::to_string(r.weighted_hit_rate * 100.0).substr(0, 5) + "%")
         .add(r.energy.memoized_pj / 1000.0, 1)
         .add(r.energy.baseline_pj / 1000.0, 1)
         .add(std::to_string(r.energy.saving() * 100.0).substr(0, 5) + "%")
         .add(r.result.passed ? "passed" : "FAILED");
-    all_passed = all_passed && r.result.passed;
 
     if (opt.per_unit) {
       for (FpuType u : kAllFpuTypes) {
@@ -172,17 +226,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!matched) {
-    std::fprintf(stderr, "no kernel matches '%s'\n", opt.kernel.c_str());
-    usage(argv[0]);
-  }
-
   if (opt.csv) {
-    table.print_csv(std::cout);
+    write_campaign_csv(result, std::cout);
     if (opt.per_unit) units.print_csv(std::cout);
   } else {
     table.print(std::cout);
     if (opt.per_unit) units.print(std::cout);
+    if (result.jobs.size() > 1) {
+      std::printf("%zu jobs, %d worker thread%s, %.0f ms total\n",
+                  result.jobs.size(), result.workers,
+                  result.workers == 1 ? "" : "s", result.wall_ms);
+    }
   }
-  return all_passed ? 0 : 1;
+
+  if (opt.json_path) {
+    if (*opt.json_path == "-") {
+      write_campaign_json(result, std::cout);
+    } else {
+      std::ofstream out(*opt.json_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", opt.json_path->c_str());
+        return 1;
+      }
+      write_campaign_json(result, out);
+    }
+  }
+
+  return result.all_passed() ? 0 : 1;
 }
