@@ -42,10 +42,14 @@ void reproduce() {
     const double rate =
         static_cast<double>(hits) / static_cast<double>(instructions);
     if (base < 0.0) base = rate;
+    // Built via insert() rather than operator+ to dodge a GCC 12 -Wrestrict
+    // false positive on concatenating two temporary strings.
+    std::string delta = tmemo::bench::percent(rate - base);
+    delta.insert(0, 1, '+');
     table.begin_row()
         .add(static_cast<long long>(depth))
         .add(tmemo::bench::percent(rate))
-        .add(std::string("+") + tmemo::bench::percent(rate - base))
+        .add(delta)
         // An N-entry CAM burns ~N/2 the lookup energy of the 2-entry one.
         .add(static_cast<double>(depth) / 2.0, 1);
   }

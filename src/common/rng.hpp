@@ -15,11 +15,12 @@ namespace tmemo {
 /// Xorshift128+ PRNG (Vigna, 2014). Deterministic across platforms.
 class Xorshift128 {
  public:
-  /// Seeds the generator. A zero seed is remapped to a fixed non-zero
-  /// constant since the all-zero state is a fixed point of xorshift.
-  explicit Xorshift128(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
-    reseed(seed);
-  }
+  /// Seeds the generator. The seed is mandatory (there is deliberately no
+  /// default argument): every stream's seed must be visible at the
+  /// construction site so runs are reproducible from configuration alone
+  /// (lint rule R6). A zero seed is remapped to a fixed non-zero constant
+  /// since the all-zero state is a fixed point of xorshift.
+  explicit Xorshift128(std::uint64_t seed) noexcept { reseed(seed); }
 
   void reseed(std::uint64_t seed) noexcept {
     if (seed == 0) seed = 0x9e3779b97f4a7c15ull;

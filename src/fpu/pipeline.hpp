@@ -60,7 +60,9 @@ class FpuPipeline {
 
   /// Places an instruction into stage 0. The functional result is computed
   /// eagerly (it only becomes architecturally visible at retirement).
-  void issue(const FpInstruction& ins) {
+  /// Occupancy/timing model only: the energy for real executions is charged
+  /// when ResilientFpu emits the op's ExecutionRecord to the device sink.
+  void issue(const FpInstruction& ins) { // tmemo-lint: allow(energy-pairing)
     TM_REQUIRE(can_issue(), "structural hazard: stage 0 is occupied");
     InFlight f;
     f.op.instruction = ins;

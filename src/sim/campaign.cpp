@@ -25,9 +25,15 @@ std::string lower(std::string_view s) {
   return out;
 }
 
+// Wall-clock reads are confined to wall_now() (lint rule R1): its values
+// feed only the wall_ms reporting fields, never simulation results, which
+// is why wall_ms is the one column the CI determinism check ignores.
+std::chrono::steady_clock::time_point wall_now() {
+  return std::chrono::steady_clock::now();
+}
+
 double elapsed_ms(std::chrono::steady_clock::time_point since) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - since)
+  return std::chrono::duration<double, std::milli>(wall_now() - since)
       .count();
 }
 
@@ -258,7 +264,7 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec) const {
                std::max<std::size_t>(jobs.size(), 1)));
   result.workers = workers;
 
-  const auto campaign_start = std::chrono::steady_clock::now();
+  const auto campaign_start = wall_now();
   std::atomic<std::size_t> next{0};
 
   // Each worker owns a private workload set, so jobs never share mutable
@@ -280,7 +286,7 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec) const {
       if (i >= jobs.size()) return;
       JobResult& out = result.jobs[i];
       out.job = jobs[i];
-      const auto job_start = std::chrono::steady_clock::now();
+      const auto job_start = wall_now();
       if (!setup_error.empty()) {
         out.error = setup_error;
       } else if (jobs[i].workload_index >= workloads.size()) {

@@ -91,7 +91,8 @@ class Simulation {
   // -- Deprecated pre-RunSpec overloads (forwarders; one release) ----------
 
   [[deprecated("use run(workload, RunSpec::at_error_rate(rate))")]]
-  [[nodiscard]] KernelRunReport run_at_error_rate(
+  [[nodiscard]] KernelRunReport
+  run_at_error_rate( // tmemo-lint: allow(deprecated-run-api) — its own decl
       const Workload& workload, double error_rate,
       std::optional<float> threshold = std::nullopt) const {
     RunSpec spec = RunSpec::at_error_rate(error_rate);
@@ -100,7 +101,8 @@ class Simulation {
   }
 
   [[deprecated("use run(workload, RunSpec::at_voltage(supply))")]]
-  [[nodiscard]] KernelRunReport run_at_voltage(
+  [[nodiscard]] KernelRunReport
+  run_at_voltage( // tmemo-lint: allow(deprecated-run-api) — its own decl
       const Workload& workload, Volt supply,
       std::optional<float> threshold = std::nullopt) const {
     RunSpec spec = RunSpec::at_voltage(supply);

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <type_traits>
 
 #include "common/require.hpp"
 #include "fpu/semantics.hpp"
@@ -12,6 +13,32 @@ namespace tmemo {
 namespace {
 constexpr char kMagic[4] = {'T', 'M', 'T', 'R'};
 constexpr std::uint32_t kVersion = 1;
+
+/// On-disk bytes per event: the fields below are written one by one, so
+/// the layout is packed regardless of the in-memory struct padding.
+constexpr std::uint64_t kEventBytes =
+    sizeof(TraceEvent::opcode) + sizeof(TraceEvent::unit) +
+    sizeof(TraceEvent::reserved) + sizeof(TraceEvent::static_id) +
+    sizeof(TraceEvent::work_item) + sizeof(TraceEvent::operands);
+constexpr std::uint64_t kHeaderBytes =
+    sizeof(kMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+// The only sanctioned reinterpret_cast type punning in the tree (lint rule
+// R3): byte-serialization of trivially copyable values. Everything else
+// must go through tmemo::float_to_bits / std::bit_cast.
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "write_pod requires a trivially copyable type");
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& v) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "read_pod requires a trivially copyable type");
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+}
 } // namespace
 
 void TraceWriter::consume(const ExecutionRecord& rec) {
@@ -28,50 +55,64 @@ void TraceWriter::consume(const ExecutionRecord& rec) {
 void TraceWriter::save(const std::string& path) const {
   std::ofstream os(path, std::ios::binary);
   TM_REQUIRE(os.good(), "cannot open trace output file: " + path);
-  os.write(kMagic, sizeof(kMagic));
-  const std::uint32_t version = kVersion;
-  os.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
   const std::uint64_t count = events_.size();
-  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  write_pod(os, count);
   for (const TraceEvent& ev : events_) {
-    os.write(reinterpret_cast<const char*>(&ev.opcode), sizeof(ev.opcode));
-    os.write(reinterpret_cast<const char*>(&ev.unit), sizeof(ev.unit));
-    os.write(reinterpret_cast<const char*>(&ev.reserved),
-             sizeof(ev.reserved));
-    os.write(reinterpret_cast<const char*>(&ev.static_id),
-             sizeof(ev.static_id));
-    os.write(reinterpret_cast<const char*>(&ev.work_item),
-             sizeof(ev.work_item));
-    os.write(reinterpret_cast<const char*>(ev.operands.data()),
-             sizeof(float) * ev.operands.size());
+    write_pod(os, ev.opcode);
+    write_pod(os, ev.unit);
+    write_pod(os, ev.reserved);
+    write_pod(os, ev.static_id);
+    write_pod(os, ev.work_item);
+    write_pod(os, ev.operands);
   }
   TM_REQUIRE(os.good(), "failed writing trace file: " + path);
 }
 
 std::vector<TraceEvent> load_trace(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
   TM_REQUIRE(is.good(), "cannot open trace input file: " + path);
+  const std::streamoff file_size = is.tellg();
+  is.seekg(0, std::ios::beg);
+  TM_REQUIRE(file_size >= static_cast<std::streamoff>(kHeaderBytes),
+             "trace file shorter than the TMTR header: " + path);
+
   char magic[4] = {};
-  is.read(magic, sizeof(magic));
-  TM_REQUIRE(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+  read_pod(is, magic);
+  TM_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
              "not a TMTR trace file: " + path);
   std::uint32_t version = 0;
-  is.read(reinterpret_cast<char*>(&version), sizeof(version));
-  TM_REQUIRE(version == kVersion, "unsupported trace version");
+  read_pod(is, version);
+  TM_REQUIRE(is.good() && version == kVersion,
+             "unsupported trace version " + std::to_string(version) +
+                 " (expected " + std::to_string(kVersion) + "): " + path);
   std::uint64_t count = 0;
-  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  read_pod(is, count);
+  TM_REQUIRE(is.good(), "truncated trace header: " + path);
+
+  // Validate the declared event count against the actual payload size
+  // BEFORE allocating: a corrupt or hostile header must not trigger a
+  // multi-gigabyte reserve() or silently yield a truncated trace.
+  const std::uint64_t payload =
+      static_cast<std::uint64_t>(file_size) - kHeaderBytes;
+  // Divide instead of multiplying so a hostile count cannot overflow.
+  TM_REQUIRE(payload % kEventBytes == 0 && count == payload / kEventBytes,
+             "trace payload is " + std::to_string(payload) +
+                 " bytes but the header declares " + std::to_string(count) +
+                 " events of " + std::to_string(kEventBytes) +
+                 " bytes each: " + path);
 
   std::vector<TraceEvent> events;
   events.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     TraceEvent ev;
-    is.read(reinterpret_cast<char*>(&ev.opcode), sizeof(ev.opcode));
-    is.read(reinterpret_cast<char*>(&ev.unit), sizeof(ev.unit));
-    is.read(reinterpret_cast<char*>(&ev.reserved), sizeof(ev.reserved));
-    is.read(reinterpret_cast<char*>(&ev.static_id), sizeof(ev.static_id));
-    is.read(reinterpret_cast<char*>(&ev.work_item), sizeof(ev.work_item));
-    is.read(reinterpret_cast<char*>(ev.operands.data()),
-            sizeof(float) * ev.operands.size());
+    read_pod(is, ev.opcode);
+    read_pod(is, ev.unit);
+    read_pod(is, ev.reserved);
+    read_pod(is, ev.static_id);
+    read_pod(is, ev.work_item);
+    read_pod(is, ev.operands);
     TM_REQUIRE(is.good(), "truncated trace file: " + path);
     events.push_back(ev);
   }

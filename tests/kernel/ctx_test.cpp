@@ -135,14 +135,16 @@ TEST_F(CtxTest, GatherScatterRoundTrip) {
   const LaneVec loaded = ctx_.gather(buffer, [](int, WorkItemId gid) {
     return static_cast<std::size_t>(gid);
   });
-  for (int i = 0; i < 64; ++i) EXPECT_EQ(loaded[i], 2.0f * i);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(loaded[i], 2.0f * static_cast<float>(i));
+  }
 
   std::vector<float> out(64, -1.0f);
   ctx_.scatter(out, loaded, [](int, WorkItemId gid) {
     return static_cast<std::size_t>(63 - gid); // reversed
   });
   for (int i = 0; i < 64; ++i) {
-    EXPECT_EQ(out[static_cast<std::size_t>(i)], 2.0f * (63 - i));
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], 2.0f * static_cast<float>(63 - i));
   }
 }
 

@@ -1,0 +1,13 @@
+// Bad fixture for the meta rule: suppressions that silence nothing are
+// themselves findings — 2 findings total.
+namespace fixture {
+
+int clean_line() { // tmemo-lint: allow(nondeterminism)
+  return 42;       // known rule, but no finding on that line
+}
+
+int unknown_rule() { // tmemo-lint: allow(no-such-rule)
+  return 7;
+}
+
+} // namespace fixture

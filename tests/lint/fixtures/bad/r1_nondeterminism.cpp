@@ -1,0 +1,35 @@
+// Bad fixture for R1 (nondeterminism): every construct below must be
+// flagged exactly once — 5 findings total.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int noisy_draw() {
+  std::srand(42);      // finding 1
+  return std::rand();  // finding 2
+}
+
+long stamp() {
+  return time(nullptr);  // finding 3
+}
+
+unsigned os_entropy() {
+  std::random_device rd;  // finding 4
+  return rd();
+}
+
+double sim_time_ms() {
+  const auto t = std::chrono::steady_clock::now();  // finding 5
+  return std::chrono::duration<double, std::milli>(t.time_since_epoch())
+      .count();
+}
+
+// NOT flagged: ::now() confined to a wall-clock helper.
+std::chrono::steady_clock::time_point wall_now() {
+  return std::chrono::steady_clock::now();
+}
+
+} // namespace fixture

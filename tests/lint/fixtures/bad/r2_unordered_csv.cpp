@@ -1,0 +1,30 @@
+// Bad fixture for R2: a CSV-writing file iterating unordered containers —
+// 3 findings total.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+std::string write_csv_row(
+    const std::unordered_map<std::string, double>& cells) {
+  std::string csv;
+  for (const auto& [k, v] : cells) {  // finding 1: range-for over tracked var
+    csv += k;
+    (void)v;
+  }
+  for (auto it = cells.begin(); it != cells.end(); ++it) {  // finding 2
+    csv += it->first;
+  }
+  return csv;
+}
+
+int sum_json_keys() {
+  int n = 0;
+  for (int v : std::unordered_set<int>{1, 2, 3}) {  // finding 3: direct type
+    n += v;
+  }
+  return n;
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Bad fixture for R3: reinterpret_cast punning outside the sanctioned
+// write_pod/read_pod serialization helpers — 2 findings total.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint32_t bits_of(const float& f) {
+  return *reinterpret_cast<const std::uint32_t*>(&f);  // finding 1
+}
+
+void poke(char* dst, double v) {
+  *reinterpret_cast<double*>(dst) = v;  // finding 2
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Bad fixture for R5: every mention of a deprecated run_at_* wrapper is
+// flagged (declarations and call sites alike) — 4 findings total.
+namespace fixture {
+
+struct Report {};
+struct Simulation {
+  Report run_at_error_rate(double rate);  // finding 1
+  Report run_at_voltage(double vdd);      // finding 2
+};
+
+Report sweep(Simulation& sim) {
+  (void)sim.run_at_error_rate(0.01);  // finding 3
+  return sim.run_at_voltage(0.85);    // finding 4
+}
+
+} // namespace fixture

@@ -1,0 +1,33 @@
+// Bad fixture for R6: RNG constructions without an explicit seed —
+// 4 findings total.
+#include <random>
+
+namespace fixture {
+
+struct Xorshift128 {
+  explicit Xorshift128(unsigned long long seed);
+};
+
+int draw() {
+  Xorshift128 local;       // finding 1: bare default-constructed local
+  std::mt19937 gen;        // finding 2
+  std::mt19937_64 wide{};  // finding 3: empty brace init
+  (void)local;
+  (void)gen;
+  (void)wide;
+  return 0;
+}
+
+unsigned token() {
+  return std::mt19937()();  // finding 4: unseeded temporary
+}
+
+// NOT flagged: explicit seed expressions.
+unsigned seeded(unsigned long long seed) {
+  std::mt19937 gen(1234u);
+  Xorshift128 rng{seed};
+  (void)rng;
+  return gen();
+}
+
+} // namespace fixture

@@ -1,0 +1,23 @@
+// Bad fixture for R4 (placed under a src/fpu/ path on purpose): an
+// execute path that computes a result via evaluate_fp_op but never
+// reaches the energy accounting sink — 1 finding total.
+namespace fixture {
+
+struct FpInstruction {};
+float evaluate_fp_op(const FpInstruction& ins);
+
+float execute_unaccounted(const FpInstruction& ins) {
+  return evaluate_fp_op(ins);  // the finding anchors at the function name
+}
+
+// NOT flagged: the result reaches a sink via consume().
+struct Sink {
+  void consume(float v);
+};
+float execute_accounted(const FpInstruction& ins, Sink& sink) {
+  const float r = evaluate_fp_op(ins);
+  sink.consume(r);
+  return r;
+}
+
+} // namespace fixture

@@ -1,0 +1,54 @@
+// Good fixture: the sanctioned forms of every pattern R1-R6 police, plus
+// one justified suppression. Expected: 0 findings, 1 suppressed.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+// R1: wall-clock reads confined to a helper whose name says so.
+std::chrono::steady_clock::time_point wall_now() {
+  return std::chrono::steady_clock::now();
+}
+
+// R1 with a justified, working suppression on the offending line.
+inline long ticks() {
+  return std::chrono::steady_clock::now() // tmemo-lint: allow(nondeterminism)
+      .time_since_epoch()
+      .count();
+}
+
+// R3: the sanctioned serialization helper names.
+template <typename T>
+void write_pod(std::string& out, const T& v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(const char* in, T& v) {
+  std::memcpy(&v, reinterpret_cast<const void*>(in), sizeof v);
+}
+
+// R2: ordered iteration in a CSV writer; unordered lookup (no iteration)
+// is fine.
+std::string csv_cells(const std::map<std::string, double>& cells,
+                      const std::unordered_map<std::string, int>& index) {
+  std::string csv;
+  for (const auto& [k, v] : cells) {
+    csv += k;
+    (void)v;
+  }
+  return csv + std::to_string(index.at("rows"));
+}
+
+// R6: explicitly seeded RNG streams.
+inline std::uint64_t seeded_draw(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  return gen();
+}
+
+} // namespace fixture

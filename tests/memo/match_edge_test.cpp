@@ -1,0 +1,155 @@
+// Edge-case behaviour of MatchConstraint at the bit level: signed zeros,
+// NaN operands, denormals at the threshold boundary, and the
+// first-pair-only commutative swap for three-operand MULADD. These pin the
+// exact semantics the headline figures depend on (paper Eq. 1 / §4.2).
+#include "memo/match.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/bits.hpp"
+
+namespace tmemo {
+namespace {
+
+std::array<float, 3> ops3(float a, float b = 0.0f, float c = 0.0f) {
+  return {a, b, c};
+}
+
+// -- Signed zero ------------------------------------------------------------
+
+TEST(MatchEdge, ExactDistinguishesSignedZeros) {
+  const MatchConstraint c = MatchConstraint::exact();
+  // +0.0f and -0.0f compare numerically equal but differ in the sign bit;
+  // the hardware comparator with an all-ones mask sees distinct patterns.
+  ASSERT_NE(float_to_bits(0.0f), float_to_bits(-0.0f));
+  EXPECT_FALSE(c.operands_match(FpOpcode::kAdd, ops3(-0.0f, 1.0f),
+                                ops3(0.0f, 1.0f)));
+  EXPECT_TRUE(c.operands_match(FpOpcode::kAdd, ops3(-0.0f, 1.0f),
+                               ops3(-0.0f, 1.0f)));
+}
+
+TEST(MatchEdge, ThresholdTreatsSignedZerosAsEqual) {
+  // |+0 - (-0)| == 0 <= t: the numeric Eq.-1 view must NOT distinguish
+  // the two zeros, for any positive threshold.
+  EXPECT_TRUE(MatchConstraint::approximate(1e-6f)
+                  .operands_match(FpOpcode::kAdd, ops3(-0.0f, 1.0f),
+                                  ops3(0.0f, 1.0f)));
+  EXPECT_TRUE(MatchConstraint::approximate(0.5f)
+                  .operands_match(FpOpcode::kMul, ops3(0.0f, 2.0f),
+                                  ops3(-0.0f, 2.0f)));
+}
+
+TEST(MatchEdge, MaskKeepsSignBitSoSignedZerosDiffer) {
+  // The masking vector only ever clears fraction LSBs; the sign bit always
+  // participates, so the bit-mask realization of approximate matching
+  // still separates +0 from -0 (a hardware/numeric-view divergence the
+  // energy model inherits).
+  const MatchConstraint c =
+      MatchConstraint::masked(mask_ignoring_fraction_lsbs(12));
+  EXPECT_FALSE(c.operands_match(FpOpcode::kAdd, ops3(-0.0f, 1.0f),
+                                ops3(0.0f, 1.0f)));
+}
+
+// -- NaN operands -----------------------------------------------------------
+
+TEST(MatchEdge, ExactMatchesBitIdenticalNans) {
+  const MatchConstraint c = MatchConstraint::exact();
+  const float qnan = bits_to_float(0x7fc00000u);
+  const float qnan_payload = bits_to_float(0x7fc00001u);
+  // The all-ones-mask comparator is a pure bit comparator: an identical
+  // NaN pattern matches (and reusing the memoized result is sound — the
+  // FPU would produce a NaN again)...
+  EXPECT_TRUE(c.operands_match(FpOpcode::kAdd, ops3(qnan, 1.0f),
+                               ops3(qnan, 1.0f)));
+  // ...but a different payload does not.
+  EXPECT_FALSE(c.operands_match(FpOpcode::kAdd, ops3(qnan, 1.0f),
+                                ops3(qnan_payload, 1.0f)));
+}
+
+TEST(MatchEdge, ThresholdNeverMatchesNans) {
+  const MatchConstraint c = MatchConstraint::approximate(0.5f);
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  // |NaN - x| is NaN: Eq. 1 cannot hold, even for identical NaN inputs.
+  EXPECT_FALSE(c.operands_match(FpOpcode::kAdd, ops3(qnan, 1.0f),
+                                ops3(qnan, 1.0f)));
+  EXPECT_FALSE(c.operands_match(FpOpcode::kAdd, ops3(qnan, 1.0f),
+                                ops3(2.0f, 1.0f)));
+  EXPECT_FALSE(c.operands_match(FpOpcode::kAdd, ops3(2.0f, 1.0f),
+                                ops3(qnan, 1.0f)));
+}
+
+TEST(MatchEdge, MaskNeverMatchesNans) {
+  const MatchConstraint c =
+      MatchConstraint::masked(mask_ignoring_fraction_lsbs(8));
+  const float qnan = bits_to_float(0x7fc00000u);
+  // value_match() screens NaNs before the masked comparison, so even a
+  // bit-identical NaN is rejected under the mask kind.
+  EXPECT_FALSE(c.operands_match(FpOpcode::kAdd, ops3(qnan, 1.0f),
+                                ops3(qnan, 1.0f)));
+}
+
+// -- Denormals at the threshold boundary ------------------------------------
+
+TEST(MatchEdge, DenormalsAtThresholdBoundary) {
+  // Work entirely in the subnormal range: differences there are exact in
+  // float arithmetic, so <= is sharp. Threshold = 16 ulps of denormal.
+  const float t = bits_to_float(0x00000010u);
+  const float a = bits_to_float(0x00000100u);
+  const float on_boundary = bits_to_float(0x00000110u);   // a + t exactly
+  const float past_boundary = bits_to_float(0x00000111u); // one ulp further
+  const MatchConstraint c = MatchConstraint::approximate(t);
+  EXPECT_TRUE(c.operands_match(FpOpcode::kSqrt, ops3(a), ops3(on_boundary)));
+  EXPECT_FALSE(
+      c.operands_match(FpOpcode::kSqrt, ops3(a), ops3(past_boundary)));
+  // Denormal vs zero: magnitude below the threshold still matches.
+  EXPECT_TRUE(c.operands_match(FpOpcode::kSqrt, ops3(0.0f),
+                               ops3(bits_to_float(0x00000010u))));
+  EXPECT_FALSE(c.operands_match(FpOpcode::kSqrt, ops3(0.0f),
+                                ops3(bits_to_float(0x00000011u))));
+}
+
+// -- Commutative swap on three-operand MULADD -------------------------------
+
+TEST(MatchEdge, FmaSwapsOnlyTheMultiplicandPair) {
+  const MatchConstraint c = MatchConstraint::exact();
+  ASSERT_TRUE(c.allow_commutativity());
+  ASSERT_TRUE(opcode_commutative(FpOpcode::kMulAdd));
+  const auto stored = ops3(2.0f, 3.0f, 5.0f); // 2*3 + 5
+  // a*b + c == b*a + c: the first pair may arrive swapped.
+  EXPECT_TRUE(
+      c.operands_match(FpOpcode::kMulAdd, stored, ops3(3.0f, 2.0f, 5.0f)));
+  // The addend never participates in the swap: these are different FMAs.
+  EXPECT_FALSE(
+      c.operands_match(FpOpcode::kMulAdd, stored, ops3(2.0f, 5.0f, 3.0f)));
+  EXPECT_FALSE(
+      c.operands_match(FpOpcode::kMulAdd, stored, ops3(5.0f, 3.0f, 2.0f)));
+  EXPECT_FALSE(
+      c.operands_match(FpOpcode::kMulAdd, stored, ops3(3.0f, 2.0f, 2.0f)));
+}
+
+TEST(MatchEdge, FmaSwapRespectsCommutativityToggle) {
+  MatchConstraint c = MatchConstraint::exact();
+  c.set_allow_commutativity(false);
+  EXPECT_FALSE(c.operands_match(FpOpcode::kMulAdd, ops3(2.0f, 3.0f, 5.0f),
+                                ops3(3.0f, 2.0f, 5.0f)));
+  // Identical order still matches with the toggle off.
+  EXPECT_TRUE(c.operands_match(FpOpcode::kMulAdd, ops3(2.0f, 3.0f, 5.0f),
+                               ops3(2.0f, 3.0f, 5.0f)));
+}
+
+TEST(MatchEdge, SwapAppliesPerKindValueMatch) {
+  // The swapped comparison uses the same per-operand value_match: a
+  // threshold constraint accepts a swapped pair that is only nearly equal.
+  const MatchConstraint c = MatchConstraint::approximate(0.1f);
+  EXPECT_TRUE(c.operands_match(FpOpcode::kMulAdd, ops3(2.0f, 3.0f, 5.0f),
+                               ops3(3.05f, 1.95f, 5.05f)));
+  EXPECT_FALSE(c.operands_match(FpOpcode::kMulAdd, ops3(2.0f, 3.0f, 5.0f),
+                                ops3(3.05f, 1.95f, 5.2f)));
+}
+
+} // namespace
+} // namespace tmemo

@@ -100,6 +100,65 @@ TEST(TraceIo, RejectsCorruptFiles) {
                std::invalid_argument);
 }
 
+// The binary reader validates the header against the actual file size
+// before allocating anything (hardened in the static-analysis PR).
+TEST(TraceIo, RejectsTruncatedAndOversizedHeaders) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tm_hdr.trace").string();
+
+  // A valid one-event trace to mutate.
+  TraceWriter writer;
+  ExecutionRecord rec;
+  rec.opcode = FpOpcode::kMul;
+  rec.unit = FpuType::kMul;
+  rec.operands = {1.0f, 2.0f, 0.0f};
+  writer.consume(rec);
+  writer.save(path);
+  const auto baseline = load_trace(path);
+  ASSERT_EQ(baseline.size(), 1u);
+
+  const auto write_bytes = [&](const std::string& bytes) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  std::string valid;
+  {
+    std::ifstream is(path, std::ios::binary);
+    valid.assign(std::istreambuf_iterator<char>(is),
+                 std::istreambuf_iterator<char>());
+  }
+
+  // Header cut off mid-count.
+  write_bytes(valid.substr(0, 10));
+  EXPECT_THROW((void)load_trace(path), std::invalid_argument);
+
+  // Payload truncated mid-event.
+  write_bytes(valid.substr(0, valid.size() - 5));
+  EXPECT_THROW((void)load_trace(path), std::invalid_argument);
+
+  // Count inflated to an attacker-sized value without matching payload.
+  {
+    std::string bad = valid;
+    bad[8] = '\xff';  // low byte of the little-endian u64 count
+    bad[15] = '\x7f'; // high byte: ~2^63 events declared
+    write_bytes(bad);
+    EXPECT_THROW((void)load_trace(path), std::invalid_argument);
+  }
+
+  // Unsupported version.
+  {
+    std::string bad = valid;
+    bad[4] = '\x09';
+    write_bytes(bad);
+    EXPECT_THROW((void)load_trace(path), std::invalid_argument);
+  }
+
+  // The unmutated bytes still load.
+  write_bytes(valid);
+  EXPECT_EQ(load_trace(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
 TEST(TraceReplay, MatchesLiveHitRate) {
   // Replaying the captured trace with the same constraint and depth must
   // reproduce the hit rate the live device measured.

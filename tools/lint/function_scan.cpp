@@ -1,0 +1,152 @@
+#include "function_scan.hpp"
+
+#include <set>
+
+namespace tmemo::lint {
+
+namespace {
+
+[[nodiscard]] bool is_punct(const Token& t, const char* text) noexcept {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Keywords that look like `name (` but never open a function definition.
+[[nodiscard]] bool is_control_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",   "switch",        "catch",
+      "return",   "sizeof",   "alignof", "alignas",       "decltype",
+      "noexcept", "operator", "throw",   "static_assert", "assert",
+      "co_await", "co_yield", "co_return", "new", "delete"};
+  return kKeywords.count(s) != 0;
+}
+
+/// Index of the punct matching `open` at `i` (same nesting level), or
+/// tokens.size() when unbalanced.
+[[nodiscard]] std::size_t match_forward(const std::vector<Token>& tokens,
+                                        std::size_t i, const char* open,
+                                        const char* close) {
+  int depth = 0;
+  for (std::size_t j = i; j < tokens.size(); ++j) {
+    if (is_punct(tokens[j], open)) ++depth;
+    if (is_punct(tokens[j], close)) {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return tokens.size();
+}
+
+/// Starting right after a parameter list's `)` at `after_params`, decides
+/// whether a function body follows and returns the index of its `{`.
+/// Returns tokens.size() when the construct is a declaration/expression.
+[[nodiscard]] std::size_t find_body_brace(const std::vector<Token>& tokens,
+                                          std::size_t after_params) {
+  std::size_t j = after_params;
+  // Qualifier zone: const, noexcept(...), override, final, &, &&,
+  // trailing return type `-> T<...>`, attributes `[[...]]`.
+  while (j < tokens.size()) {
+    const Token& t = tokens[j];
+    if (is_punct(t, "{")) return j;
+    if (is_punct(t, ";") || is_punct(t, ",") || is_punct(t, ")")) {
+      return tokens.size();
+    }
+    if (is_punct(t, "=")) {
+      // `= default;` / `= delete;` / `= 0;` — a declaration, not a body.
+      return tokens.size();
+    }
+    if (is_punct(t, ":")) {
+      // Constructor initializer list: a sequence of
+      //   member ( args )   or   member { args }
+      // separated by commas, then the body `{`.
+      ++j;
+      while (j < tokens.size()) {
+        // Skip the member name (possibly qualified / templated).
+        while (j < tokens.size() &&
+               (tokens[j].kind == TokenKind::kIdentifier ||
+                is_punct(tokens[j], "::"))) {
+          ++j;
+        }
+        if (j < tokens.size() && is_punct(tokens[j], "<")) {
+          j = match_forward(tokens, j, "<", ">") + 1;
+        }
+        if (j >= tokens.size()) return tokens.size();
+        if (is_punct(tokens[j], "(")) {
+          j = match_forward(tokens, j, "(", ")") + 1;
+        } else if (is_punct(tokens[j], "{")) {
+          j = match_forward(tokens, j, "{", "}") + 1;
+        } else {
+          return tokens.size();  // not an initializer we understand
+        }
+        if (j < tokens.size() && is_punct(tokens[j], ",")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (j < tokens.size() && is_punct(tokens[j], "{")) return j;
+      return tokens.size();
+    }
+    if (is_punct(t, "(")) {
+      j = match_forward(tokens, j, "(", ")") + 1;  // noexcept(...)
+      continue;
+    }
+    if (is_punct(t, "[")) {
+      j = match_forward(tokens, j, "[", "]") + 1;  // [[attribute]]
+      continue;
+    }
+    if (is_punct(t, "<")) {
+      j = match_forward(tokens, j, "<", ">") + 1;  // -> T<...>
+      continue;
+    }
+    // Identifiers (const/noexcept/override/final/try/return-type tokens),
+    // `->`, `*`, `&` — keep scanning.
+    ++j;
+  }
+  return tokens.size();
+}
+
+} // namespace
+
+std::vector<FunctionSpan> scan_functions(const std::vector<Token>& tokens) {
+  std::vector<FunctionSpan> spans;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const Token& name = tokens[i];
+    if (name.kind != TokenKind::kIdentifier) continue;
+    if (!is_punct(tokens[i + 1], "(")) continue;
+    if (is_control_keyword(name.text)) continue;
+    // `operator+(...)` — the identifier is `operator`, already excluded;
+    // a macro invocation `TM_REQUIRE(...)` ends in `;` and is rejected by
+    // find_body_brace.
+    const std::size_t close = match_forward(tokens, i + 1, "(", ")");
+    if (close >= tokens.size()) continue;
+    const std::size_t body = find_body_brace(tokens, close + 1);
+    if (body >= tokens.size()) continue;
+    FunctionSpan span;
+    span.name = name.text;
+    span.name_line = name.line;
+    span.name_col = name.col;
+    span.body_begin = body;
+    span.body_end = match_forward(tokens, body, "{", "}");
+    spans.push_back(span);
+    // Continue scanning from inside the body so nested local classes and
+    // their methods are still discovered; enclosing_function() prefers the
+    // innermost span.
+  }
+  return spans;
+}
+
+const FunctionSpan* enclosing_function(const std::vector<FunctionSpan>& spans,
+                                       std::size_t i) {
+  const FunctionSpan* best = nullptr;
+  for (const FunctionSpan& s : spans) {
+    if (s.body_begin <= i && i <= s.body_end) {
+      if (best == nullptr ||
+          (s.body_begin >= best->body_begin && s.body_end <= best->body_end)) {
+        best = &s;
+      }
+    }
+  }
+  return best;
+}
+
+} // namespace tmemo::lint

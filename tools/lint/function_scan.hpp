@@ -1,0 +1,37 @@
+// Light structural pass over the token stream: function-body discovery.
+//
+// Several rules are scoped to "inside the body of a function named X"
+// (R1's wall-clock whitelist, R3's serialization whitelist, R4's
+// energy-pairing check, R6's local-vs-member distinction). This scanner
+// finds function definitions by token shape — `name ( ... ) [qualifiers]
+// [: ctor-init-list] {` — and records the body's token span. It is a
+// heuristic, not a parser: lambdas fold into their enclosing function,
+// `operator` overloads are skipped, and control-flow keywords are excluded
+// by a keyword list. That is sufficient for the invariants checked here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace tmemo::lint {
+
+struct FunctionSpan {
+  std::string name;        ///< unqualified name (last identifier before `(`)
+  int name_line = 0;       ///< line of the name token (finding anchor)
+  int name_col = 0;        ///< column of the name token
+  std::size_t body_begin;  ///< token index of the opening `{`
+  std::size_t body_end;    ///< token index of the matching `}` (or end)
+};
+
+/// All function bodies in `tokens`, in source order. Spans may nest only
+/// via local classes; enclosing_function() resolves to the innermost.
+[[nodiscard]] std::vector<FunctionSpan> scan_functions(
+    const std::vector<Token>& tokens);
+
+/// Innermost function span containing token index `i`, or nullptr.
+[[nodiscard]] const FunctionSpan* enclosing_function(
+    const std::vector<FunctionSpan>& spans, std::size_t i);
+
+} // namespace tmemo::lint

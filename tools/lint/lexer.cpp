@@ -1,0 +1,258 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace tmemo::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Extracts every `allow(<rule>)` annotation from one tmemo-lint comment.
+void harvest_suppressions(const std::string& comment, int line,
+                          std::vector<Suppression>& out) {
+  static const std::string kTag = "tmemo-lint:";
+  std::size_t pos = comment.find(kTag);
+  if (pos == std::string::npos) return;
+  pos += kTag.size();
+  static const std::string kAllow = "allow(";
+  while ((pos = comment.find(kAllow, pos)) != std::string::npos) {
+    pos += kAllow.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos) break;
+    std::string rule = comment.substr(pos, close - pos);
+    // Trim surrounding whitespace inside the parentheses.
+    const std::size_t b = rule.find_first_not_of(" \t");
+    const std::size_t e = rule.find_last_not_of(" \t");
+    if (b != std::string::npos) {
+      out.push_back(Suppression{rule.substr(b, e - b + 1), line});
+    }
+    pos = close + 1;
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        col_ = 1;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        advance(1);
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        skip_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == 'R' && peek(1) == '"') {
+        raw_string();
+        continue;
+      }
+      if (c == '"') {
+        quoted(TokenKind::kString, '"');
+        continue;
+      }
+      if (c == '\'') {
+        quoted(TokenKind::kChar, '\'');
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+        number();
+        continue;
+      }
+      punct();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void advance(std::size_t n) noexcept {
+    pos_ += n;
+    col_ += static_cast<int>(n);
+  }
+
+  void emit(TokenKind kind, std::string text, int line, int col) {
+    result_.tokens.push_back(Token{kind, std::move(text), line, col});
+  }
+
+  /// Skips a preprocessor directive line, honoring backslash continuations.
+  /// Directives carry no tokens the rules care about, and skipping them
+  /// keeps `#define`s from confusing the function scanner.
+  void skip_directive() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        col_ = 1;
+        continue;
+      }
+      if (c == '\n') return;  // main loop handles the newline
+      advance(1);
+    }
+  }
+
+  void line_comment() {
+    const int line = line_;
+    std::size_t end = src_.find('\n', pos_);
+    if (end == std::string::npos) end = src_.size();
+    harvest_suppressions(src_.substr(pos_, end - pos_), line,
+                         result_.suppressions);
+    advance(end - pos_);
+  }
+
+  void block_comment() {
+    const int line = line_;
+    const std::size_t end = src_.find("*/", pos_ + 2);
+    const std::size_t stop = end == std::string::npos ? src_.size() : end + 2;
+    harvest_suppressions(src_.substr(pos_, stop - pos_), line,
+                         result_.suppressions);
+    while (pos_ < stop) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+        ++pos_;
+      } else {
+        advance(1);
+      }
+    }
+  }
+
+  void raw_string() {
+    const int line = line_;
+    const int col = col_;
+    advance(2);  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim += src_[pos_];
+      advance(1);
+    }
+    advance(1);  // (
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t body = pos_;
+    std::size_t end = src_.find(closer, pos_);
+    if (end == std::string::npos) end = src_.size();
+    std::string text = src_.substr(body, end - body);
+    for (std::size_t i = pos_; i < end && i < src_.size(); ++i) {
+      if (src_[i] == '\n') {
+        ++line_;
+        col_ = 0;
+      }
+    }
+    pos_ = std::min(end + closer.size(), src_.size());
+    emit(TokenKind::kString, std::move(text), line, col);
+  }
+
+  void quoted(TokenKind kind, char quote) {
+    const int line = line_;
+    const int col = col_;
+    advance(1);
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text += c;
+        text += src_[pos_ + 1];
+        advance(2);
+        continue;
+      }
+      if (c == quote || c == '\n') {
+        advance(1);
+        break;
+      }
+      text += c;
+      advance(1);
+    }
+    emit(kind, std::move(text), line, col);
+  }
+
+  void identifier() {
+    const int line = line_;
+    const int col = col_;
+    std::size_t end = pos_;
+    while (end < src_.size() && ident_char(src_[end])) ++end;
+    std::string text = src_.substr(pos_, end - pos_);
+    advance(end - pos_);
+    emit(TokenKind::kIdentifier, std::move(text), line, col);
+  }
+
+  void number() {
+    const int line = line_;
+    const int col = col_;
+    std::size_t end = pos_;
+    // pp-number, loosely: digits, idents, dots, and sign after exponent.
+    while (end < src_.size()) {
+      const char c = src_[end];
+      if (ident_char(c) || c == '.' ||
+          ((c == '+' || c == '-') && end > pos_ &&
+           (src_[end - 1] == 'e' || src_[end - 1] == 'E' ||
+            src_[end - 1] == 'p' || src_[end - 1] == 'P'))) {
+        ++end;
+      } else {
+        break;
+      }
+    }
+    std::string text = src_.substr(pos_, end - pos_);
+    advance(end - pos_);
+    emit(TokenKind::kNumber, std::move(text), line, col);
+  }
+
+  void punct() {
+    const int line = line_;
+    const int col = col_;
+    if (src_[pos_] == ':' && peek(1) == ':') {
+      advance(2);
+      emit(TokenKind::kPunct, "::", line, col);
+      return;
+    }
+    std::string text(1, src_[pos_]);
+    advance(1);
+    emit(TokenKind::kPunct, std::move(text), line, col);
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+  LexResult result_;
+};
+
+} // namespace
+
+LexResult lex(const std::string& source) { return Lexer(source).run(); }
+
+} // namespace tmemo::lint

@@ -1,0 +1,47 @@
+// Tokenizer for tmemo_lint.
+//
+// A deliberately small C++ lexer: it understands comments (and harvests
+// `tmemo-lint allow(<rule>)` suppressions from them), string/char
+// literals (including raw strings), preprocessor directives, numbers,
+// identifiers and punctuation. That is exactly enough for the token-level
+// invariant rules in rules.cpp — no preprocessing, no name lookup.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tmemo::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      ///< numeric literal (pp-number, loosely)
+  kString,      ///< "...", R"(...)" — text excludes quotes/delimiters
+  kChar,        ///< '...'
+  kPunct,       ///< one punctuation unit; "::" is folded into one token
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based
+  int col = 0;   ///< 1-based
+};
+
+/// One `tmemo-lint allow(<rule>)` annotation found while lexing.
+struct Suppression {
+  std::string rule;
+  int line = 0;  ///< line the annotation (and the code it guards) is on
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become single-char
+/// punctuation tokens, an unterminated literal consumes to end of input.
+[[nodiscard]] LexResult lex(const std::string& source);
+
+} // namespace tmemo::lint

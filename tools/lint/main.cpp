@@ -1,0 +1,16 @@
+// tmemo_lint — repo-invariant static analysis for the tmemo tree.
+//
+//   tmemo_lint src tools bench          # lint the default scope
+//   tmemo_lint --json src               # machine-readable findings
+//   tmemo_lint --list-rules             # rule catalog
+//
+// Rules and suppression policy: docs/STATIC_ANALYSIS.md.
+#include <iostream>
+#include <vector>
+
+#include "runner.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tmemo::lint::run_cli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,51 @@
+// Rule interface for tmemo_lint.
+//
+// A Rule inspects one lexed source file and emits Findings. Rules are
+// registered in make_default_rules() (rules.cpp); adding a new invariant
+// means subclassing Rule, implementing check(), and appending it there —
+// see docs/STATIC_ANALYSIS.md for the catalog and a worked example.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "function_scan.hpp"
+#include "lexer.hpp"
+
+namespace tmemo::lint {
+
+/// One source file, lexed once and shared by all rules.
+struct SourceFile {
+  std::string path;           ///< as given on the command line
+  std::string display_path;   ///< normalized with forward slashes
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  std::vector<FunctionSpan> functions;
+};
+
+/// One rule violation (or an orphan suppression).
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  int col = 0;
+  std::string message;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  /// Stable kebab-case identifier, used in output and in
+  /// `tmemo-lint allow(<id>)` suppressions.
+  [[nodiscard]] virtual std::string id() const = 0;
+  /// One-line description for `--list-rules`.
+  [[nodiscard]] virtual std::string description() const = 0;
+  /// Appends this rule's findings for `file` to `out`.
+  virtual void check(const SourceFile& file, std::vector<Finding>& out) const = 0;
+};
+
+/// The repo-invariant rule set R1..R6.
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> make_default_rules();
+
+} // namespace tmemo::lint

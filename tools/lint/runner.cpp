@@ -1,0 +1,229 @@
+#include "runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+namespace tmemo::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool is_cpp_source(const fs::path& p) {
+  static const std::set<std::string> kExts = {".cpp", ".cc", ".cxx",
+                                              ".hpp", ".h",  ".hh"};
+  return kExts.count(p.extension().string()) != 0;
+}
+
+/// Files under `paths`, sorted for deterministic output.
+[[nodiscard]] std::vector<std::string> collect_files(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    const fs::path path(p);
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && is_cpp_source(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else if (fs::is_regular_file(path)) {
+      files.push_back(path.string());
+    } else {
+      throw std::runtime_error("no such file or directory: " + p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot read: " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return std::move(os).str();
+}
+
+[[nodiscard]] std::string normalize_path(const std::string& path) {
+  std::string out = fs::path(path).lexically_normal().generic_string();
+  return out;
+}
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void lint_one_file(const std::string& path,
+                   const std::vector<std::unique_ptr<Rule>>& rules,
+                   const std::set<std::string>& rule_ids, LintReport& report) {
+  SourceFile file;
+  file.path = path;
+  file.display_path = normalize_path(path);
+  LexResult lexed = lex(read_file(path));
+  file.tokens = std::move(lexed.tokens);
+  file.suppressions = std::move(lexed.suppressions);
+  file.functions = scan_functions(file.tokens);
+
+  std::vector<Finding> raw;
+  for (const auto& rule : rules) rule->check(file, raw);
+
+  // Apply per-line suppressions; count how many each annotation absorbed
+  // so unused ones can be flagged as orphans.
+  std::map<std::pair<int, std::string>, std::size_t> used;
+  for (const Finding& f : raw) {
+    const auto key = std::make_pair(f.line, f.rule);
+    bool suppressed = false;
+    for (const Suppression& s : file.suppressions) {
+      if (s.line == f.line && s.rule == f.rule) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (suppressed) {
+      ++used[key];
+      ++report.suppressed;
+    } else {
+      report.findings.push_back(f);
+    }
+  }
+  for (const Suppression& s : file.suppressions) {
+    if (rule_ids.count(s.rule) == 0) {
+      report.findings.push_back(Finding{
+          "orphan-suppression", file.display_path, s.line, 1,
+          "suppression names unknown rule '" + s.rule + "'"});
+    } else if (used.count(std::make_pair(s.line, s.rule)) == 0) {
+      report.findings.push_back(Finding{
+          "orphan-suppression", file.display_path, s.line, 1,
+          "suppression for rule '" + s.rule +
+              "' matches no finding on this line; remove it"});
+    }
+  }
+  ++report.files_scanned;
+}
+
+} // namespace
+
+LintReport run_lint(const std::vector<std::string>& paths) {
+  const std::vector<std::unique_ptr<Rule>> rules = make_default_rules();
+  std::set<std::string> rule_ids;
+  for (const auto& r : rules) rule_ids.insert(r->id());
+
+  LintReport report;
+  for (const std::string& f : collect_files(paths)) {
+    lint_one_file(f, rules, rule_ids, report);
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.col, a.rule) <
+                     std::tie(b.path, b.line, b.col, b.rule);
+            });
+  return report;
+}
+
+int exit_code(const LintReport& report) noexcept {
+  return report.findings.empty() ? 0 : 1;
+}
+
+void write_text(const LintReport& report, std::ostream& out) {
+  for (const Finding& f : report.findings) {
+    out << f.path << ':' << f.line << ':' << f.col << ": [" << f.rule << "] "
+        << f.message << '\n';
+  }
+  out << "tmemo-lint: " << report.findings.size() << " finding(s), "
+      << report.suppressed << " suppressed, " << report.files_scanned
+      << " file(s) scanned\n";
+}
+
+void write_json(const LintReport& report, std::ostream& out) {
+  out << "{\n"
+      << "  \"tool\": \"tmemo-lint\",\n"
+      << "  \"files_scanned\": " << report.files_scanned << ",\n"
+      << "  \"suppressed\": " << report.suppressed << ",\n"
+      << "  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"path\": \""
+        << json_escape(f.path) << "\", \"line\": " << f.line
+        << ", \"col\": " << f.col << ", \"message\": \""
+        << json_escape(f.message) << "\"}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (const std::string& a : args) {
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--list-rules") {
+      for (const auto& r : make_default_rules()) {
+        out << r->id() << ": " << r->description() << '\n';
+      }
+      out << "orphan-suppression: an allow() annotation that silences no "
+             "finding is itself a finding\n";
+      return 0;
+    } else if (a == "--help" || a == "-h") {
+      out << "usage: tmemo_lint [--json] [--list-rules] <path>...\n"
+             "Lints C++ sources for tmemo repo invariants R1-R6\n"
+             "(see docs/STATIC_ANALYSIS.md). Directories are walked\n"
+             "recursively. Exit: 0 clean, 1 findings, 2 error.\n";
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      err << "tmemo_lint: unknown option '" << a << "'\n";
+      return 2;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty()) {
+    err << "tmemo_lint: no input paths (try --help)\n";
+    return 2;
+  }
+  try {
+    const LintReport report = run_lint(paths);
+    if (json) {
+      write_json(report, out);
+    } else {
+      write_text(report, out);
+    }
+    return exit_code(report);
+  } catch (const std::exception& e) {
+    err << "tmemo_lint: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+} // namespace tmemo::lint

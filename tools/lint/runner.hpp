@@ -1,0 +1,36 @@
+// Orchestration for tmemo_lint: walk the requested paths, lex each C++
+// source, run every rule, apply `tmemo-lint allow(...)` suppressions,
+// flag orphan suppressions, and render text or JSON reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rule.hpp"
+
+namespace tmemo::lint {
+
+struct LintReport {
+  std::vector<Finding> findings;   ///< non-suppressed, sorted, stable order
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;      ///< findings silenced by allow()
+};
+
+/// Lints every .cpp/.cc/.cxx/.hpp/.h/.hh file in `paths` (directories are
+/// walked recursively; files are taken as-is). Throws std::runtime_error
+/// for a path that does not exist.
+[[nodiscard]] LintReport run_lint(const std::vector<std::string>& paths);
+
+/// Process exit code for a report: 0 clean, 1 findings.
+[[nodiscard]] int exit_code(const LintReport& report) noexcept;
+
+void write_text(const LintReport& report, std::ostream& out);
+void write_json(const LintReport& report, std::ostream& out);
+
+/// Full command-line driver (used by main() and by the self-tests).
+/// Returns the process exit code: 0 clean, 1 findings, 2 usage/IO error.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+} // namespace tmemo::lint
