@@ -33,6 +33,7 @@ void reproduce() {
       table.add(tmemo::bench::percent(r.weighted_hit_rate));
     }
     tmemo::bench::emit(table);
+    tmemo::bench::emit_metrics(reports, table.title());
   }
 }
 

@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 
 #include "common/require.hpp"
+#include "telemetry/exporters.hpp"
 #include "workloads/gaussian.hpp"
 #include "workloads/sobel.hpp"
 
@@ -33,6 +35,34 @@ int campaign_jobs() {
     std::cerr << "TM_JOBS must be a positive integer, using default\n";
   }
   return 0; // CampaignEngine: hardware concurrency
+}
+
+std::string metrics_out() {
+  const char* env = std::getenv("TM_METRICS");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+void emit_metrics(const std::vector<KernelRunReport>& reports,
+                  const std::string& title) {
+  const std::string path = metrics_out();
+  if (path.empty()) return;
+  telemetry::MetricsSnapshot merged;
+  for (const KernelRunReport& r : reports) merged.merge(r.metrics);
+  const auto write = [&](std::ostream& os) {
+    os << "[metrics] " << title << "\n";
+    telemetry::write_metrics_json(merged, os);
+    os.flush();
+  };
+  if (path == "-") {
+    write(std::cout);
+  } else {
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+      std::cerr << "TM_METRICS: cannot open " << path << "\n";
+      return;
+    }
+    write(out);
+  }
 }
 
 void emit_campaign(const CampaignResult& result, const std::string& title) {
@@ -121,13 +151,18 @@ std::vector<KernelRunReport> hitrate_sweep(const std::string& filter,
                                            const std::string& image_label) {
   std::vector<KernelRunReport> reports;
   Simulation sim;
+  // Telemetry rides along only when TM_METRICS asks for it; the default
+  // bench path keeps every probe site on the null-sink branch.
+  const bool with_metrics = !metrics_out().empty();
   for (float t : kThresholdGrid) {
+    const RunSpec spec =
+        RunSpec::at_error_rate(0.0).threshold(t).metrics(with_metrics);
     if (filter == "sobel") {
       SobelWorkload w(image, image_label);
-      reports.push_back(sim.run(w, RunSpec::at_error_rate(0.0).threshold(t)));
+      reports.push_back(sim.run(w, spec));
     } else {
       GaussianWorkload w(image, image_label);
-      reports.push_back(sim.run(w, RunSpec::at_error_rate(0.0).threshold(t)));
+      reports.push_back(sim.run(w, spec));
     }
   }
   return reports;

@@ -7,6 +7,11 @@
 //   TM_CSV     — when set (non-empty), also emit CSV after each table.
 //   TM_JOBS    — campaign worker threads for the grid benches;
 //                default = hardware concurrency.
+//   TM_METRICS — when set to a path ("-" = stdout), the sweep helpers run
+//                with telemetry enabled and append each figure's merged
+//                MetricsSnapshot (JSON) to that file. Unset = telemetry
+//                off, probe sites on the null-sink path (the CI overhead
+//                job measures exactly this mode).
 #pragma once
 
 #include <string>
@@ -27,6 +32,15 @@ namespace tmemo::bench {
 
 /// Campaign worker-thread count from TM_JOBS (default 0 = hardware).
 [[nodiscard]] int campaign_jobs();
+
+/// Telemetry output path from TM_METRICS; empty = telemetry disabled.
+[[nodiscard]] std::string metrics_out();
+
+/// No-op unless TM_METRICS is set: merges the reports' telemetry snapshots
+/// and appends the JSON export, preceded by a "[metrics] <title>" marker
+/// line, to the TM_METRICS file ("-" = stdout).
+void emit_metrics(const std::vector<KernelRunReport>& reports,
+                  const std::string& title);
 
 /// Prints a table to stdout (and CSV when TM_CSV is set).
 void emit(const ResultTable& table);

@@ -1,5 +1,7 @@
 #include "gpu/compute_unit.hpp"
 
+#include <bit>
+
 #include "common/require.hpp"
 
 namespace tmemo {
@@ -39,6 +41,15 @@ void ComputeUnit::execute_wavefront_op(
   SpatialMaster master;
   const FpuType unit = opcode_unit(op);
   SpatialStats& sstats = spatial_stats_[static_cast<std::size_t>(unit)];
+
+  const std::uint64_t lane_mask =
+      wavefront_size_ >= 64 ? ~0ull : (1ull << wavefront_size_) - 1;
+  TMEMO_TELEM(probe_,
+              telemetry::ProbeEvent{
+                  telemetry::ProbeEvent::Kind::kWavefrontIssue,
+                  static_cast<std::uint8_t>(unit), 0, 0, probe_cu_,
+                  static_cast<std::uint64_t>(
+                      std::popcount(active_mask & lane_mask))});
 
   const int lanes_per_sub = static_cast<int>(cores_.size());
   for (int sub = 0; sub < subwavefronts_; ++sub) {
@@ -80,6 +91,12 @@ void ComputeUnit::execute_wavefront_op(
           rec.exact_result = evaluate_fp_op(ins);
           rec.operands = ins.operands;
           results[lane] = rec.result;
+          TMEMO_TELEM(probe_,
+                      telemetry::ProbeEvent{
+                          telemetry::ProbeEvent::Kind::kSpatialReuse,
+                          static_cast<std::uint8_t>(unit), 0,
+                          static_cast<std::uint16_t>(sc), probe_cu_,
+                          static_cast<std::uint64_t>(rec.latency_cycles)});
           if (sink != nullptr) sink->consume(rec);
           continue;
         }
@@ -103,6 +120,14 @@ void ComputeUnit::execute_wavefront_op(
 StreamCore& ComputeUnit::stream_core(int i) {
   TM_REQUIRE(i >= 0 && i < stream_core_count(), "stream-core index range");
   return cores_[static_cast<std::size_t>(i)];
+}
+
+void ComputeUnit::set_probe(telemetry::ProbeSink* sink, std::uint32_t cu) {
+  probe_ = sink;
+  probe_cu_ = cu;
+  for (std::size_t sc = 0; sc < cores_.size(); ++sc) {
+    cores_[sc].set_probe(sink, cu, static_cast<std::uint16_t>(sc));
+  }
 }
 
 void ComputeUnit::for_each_fpu(const std::function<void(ResilientFpu&)>& fn) {

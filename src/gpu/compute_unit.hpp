@@ -56,6 +56,10 @@ class ComputeUnit {
   void for_each_fpu(const std::function<void(ResilientFpu&)>& fn);
   void for_each_fpu(const std::function<void(const ResilientFpu&)>& fn) const;
 
+  /// Attaches (nullptr detaches) a telemetry sink to this unit and every
+  /// stream core / FPU beneath it; `cu` is this unit's device index.
+  void set_probe(telemetry::ProbeSink* sink, std::uint32_t cu);
+
   // -- Spatial memoization (reference [20]; see memo/spatial.hpp) ----------
 
   /// Enables the cross-lane master/broadcast path for every instruction.
@@ -79,6 +83,8 @@ class ComputeUnit {
   int wavefront_size_;
   int subwavefronts_;
   std::vector<StreamCore> cores_;
+  telemetry::ProbeSink* probe_ = nullptr;
+  std::uint32_t probe_cu_ = 0;
 
   bool spatial_ = false;
   MatchConstraint spatial_constraint_ = MatchConstraint::exact();

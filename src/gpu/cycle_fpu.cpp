@@ -43,6 +43,9 @@ CycleRunResult CycleAccurateFpu::run(std::span<const FpInstruction> stream,
         out.results[recovering->index] = recovering->q_s;
         ++committed;
         ++out.stats.instructions;
+        probe(telemetry::ProbeEvent::Kind::kOpRetired,
+              static_cast<std::uint64_t>(cycle),
+              static_cast<std::uint8_t>(MemoAction::kTriggerRecovery));
         recovering.reset();
       }
       continue;
@@ -66,7 +69,13 @@ CycleRunResult CycleAccurateFpu::run(std::span<const FpInstruction> stream,
           ++out.stats.timing_errors;
           ++out.stats.masked_errors;
           ecu_.note_masked_error();
+          probe(telemetry::ProbeEvent::Kind::kErrorMasked);
         }
+        probe(telemetry::ProbeEvent::Kind::kOpRetired,
+              static_cast<std::uint64_t>(depth_),
+              static_cast<std::uint8_t>(slot.error
+                                            ? MemoAction::kReuseMaskError
+                                            : MemoAction::kReuse));
       } else if (slot.error) {
         // Errant miss: flush the younger in-flight instructions and start
         // the ECU replay. The flushed instructions re-issue afterwards.
@@ -93,6 +102,9 @@ CycleRunResult CycleAccurateFpu::run(std::span<const FpInstruction> stream,
         ++committed;
         ++out.stats.instructions;
         out.stats.active_stage_cycles += static_cast<std::uint64_t>(depth_);
+        probe(telemetry::ProbeEvent::Kind::kOpRetired,
+              static_cast<std::uint64_t>(depth_),
+              static_cast<std::uint8_t>(MemoAction::kNormalExecution));
       }
     }
 
@@ -113,13 +125,17 @@ CycleRunResult CycleAccurateFpu::run(std::span<const FpInstruction> stream,
       const auto memorized = lut_.lookup(ins, regs_.constraint());
       slot.hit = memorized.has_value();
       if (slot.hit) slot.q_l = *memorized;
+      probe(slot.hit ? telemetry::ProbeEvent::Kind::kLutHit
+                     : telemetry::ProbeEvent::Kind::kLutMiss);
       slot.error = eds_.observe(errors).error;
+      if (slot.error) probe(telemetry::ProbeEvent::Kind::kEdsError);
       // Result forwarding: allocate the FIFO entry now so the instructions
       // right behind can already match it; W_en suppresses the allocation
       // for errant executions.
       if (!slot.hit && !slot.error) {
         lut_.update(ins, slot.q_s);
         ++out.stats.lut_updates;
+        probe(telemetry::ProbeEvent::Kind::kLutWrite);
       }
       stages.front() = slot;
     }

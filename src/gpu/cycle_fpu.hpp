@@ -53,7 +53,25 @@ class CycleAccurateFpu {
   CycleRunResult run(std::span<const FpInstruction> stream,
                      const TimingErrorModel& errors);
 
+  /// Attaches (nullptr detaches) a telemetry sink; same contract as
+  /// ResilientFpu::set_probe.
+  void set_probe(telemetry::ProbeSink* sink, std::uint32_t cu,
+                 std::uint16_t core) noexcept {
+    probe_ = sink;
+    probe_cu_ = cu;
+    probe_core_ = core;
+    ecu_.set_probe(sink, cu, core);
+  }
+
  private:
+  /// Emission helper: stamps this FPU's identity onto a probe event.
+  void probe(telemetry::ProbeEvent::Kind kind, std::uint64_t value = 0,
+             std::uint8_t aux = 0) const {
+    TMEMO_TELEM(probe_, telemetry::ProbeEvent{
+                            kind, static_cast<std::uint8_t>(unit_), aux,
+                            probe_core_, probe_cu_, value});
+  }
+
   struct Slot {
     std::size_t index = 0;   ///< position in the stream
     float q_s = 0.0f;        ///< datapath result
@@ -68,6 +86,9 @@ class CycleAccurateFpu {
   MemoRegisterFile regs_;
   EdsSensorBank eds_;
   Ecu ecu_;
+  telemetry::ProbeSink* probe_ = nullptr;
+  std::uint32_t probe_cu_ = 0;
+  std::uint16_t probe_core_ = 0;
 };
 
 } // namespace tmemo

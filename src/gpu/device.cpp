@@ -34,7 +34,8 @@ GpuDevice::GpuDevice(GpuDevice&& other) noexcept
       supply_(other.supply_),
       errors_(std::move(other.errors_)),
       cus_(std::move(other.cus_)),
-      accumulator_(std::move(other.accumulator_)) {
+      accumulator_(std::move(other.accumulator_)),
+      telemetry_(other.telemetry_) {
   accumulator_.rebind(this);
 }
 
@@ -46,6 +47,7 @@ GpuDevice& GpuDevice::operator=(GpuDevice&& other) noexcept {
     errors_ = std::move(other.errors_);
     cus_ = std::move(other.cus_);
     accumulator_ = std::move(other.accumulator_);
+    telemetry_ = other.telemetry_;
     accumulator_.rebind(this);
   }
   return *this;
@@ -122,6 +124,14 @@ void GpuDevice::set_lut_depth(int depth) {
                       mix_seed(config_.seed, static_cast<std::uint64_t>(cu)));
   }
   accumulator_.reset();
+  set_telemetry(telemetry_); // the rebuilt FPUs need their probes back
+}
+
+void GpuDevice::set_telemetry(telemetry::ProbeSink* sink) {
+  telemetry_ = sink;
+  for (std::size_t cu = 0; cu < cus_.size(); ++cu) {
+    cus_[cu].set_probe(sink, static_cast<std::uint32_t>(cu));
+  }
 }
 
 ComputeUnit& GpuDevice::compute_unit(int i) {

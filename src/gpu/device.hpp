@@ -124,6 +124,14 @@ class GpuDevice {
   /// The sink kernel launches must feed (the device's energy accumulator).
   [[nodiscard]] ExecutionSink& sink() noexcept { return accumulator_; }
 
+  /// Attaches (nullptr detaches) a telemetry probe sink to every compute
+  /// unit, stream core, FPU and ECU of the device. The sink must outlive
+  /// the device or be detached first; it survives set_lut_depth rebuilds.
+  void set_telemetry(telemetry::ProbeSink* sink);
+  [[nodiscard]] telemetry::ProbeSink* telemetry_sink() const noexcept {
+    return telemetry_;
+  }
+
   // -- Statistics ------------------------------------------------------------
 
   /// Aggregated execution statistics per FPU type, summed over the device.
@@ -156,6 +164,7 @@ class GpuDevice {
   std::shared_ptr<const TimingErrorModel> errors_;
   std::vector<ComputeUnit> cus_;
   EnergyAccumulator accumulator_;
+  telemetry::ProbeSink* telemetry_ = nullptr;
 };
 
 inline void EnergyAccumulator::consume(const ExecutionRecord& rec) {

@@ -57,6 +57,11 @@ void StreamCore::for_each_fpu(
   }
 }
 
+void StreamCore::set_probe(telemetry::ProbeSink* sink, std::uint32_t cu,
+                           std::uint16_t core) {
+  for_each_fpu([=](ResilientFpu& f) { f.set_probe(sink, cu, core); });
+}
+
 ResilientFpu& StreamCore::fpu(int pe, FpuType unit) {
   TM_REQUIRE(pe >= 0 && pe < kPeCount, "PE index out of range");
   auto& ptr = fpus_[static_cast<std::size_t>(pe)]

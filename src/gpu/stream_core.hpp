@@ -46,6 +46,11 @@ class StreamCore {
   /// Direct access for tests: the FPU of `unit` on PE `pe`.
   [[nodiscard]] ResilientFpu& fpu(int pe, FpuType unit);
 
+  /// Attaches (nullptr detaches) a telemetry sink to every FPU of this
+  /// core; `cu`/`core` give the core's device coordinates.
+  void set_probe(telemetry::ProbeSink* sink, std::uint32_t cu,
+                 std::uint16_t core);
+
  private:
   // pe -> unit -> FPU instance. Transcendental units only exist on T;
   // non-transcendental units are replicated on X/Y/Z/W.

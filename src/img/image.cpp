@@ -18,6 +18,7 @@ double mse(const Image& reference, const Image& test) {
   double acc = 0.0;
   const auto ref = reference.pixels();
   const auto tst = test.pixels();
+  if (ref.empty()) return 0.0; // zero-pixel images: no error, not NaN
   for (std::size_t i = 0; i < ref.size(); ++i) {
     const double d = static_cast<double>(ref[i]) - static_cast<double>(tst[i]);
     acc += d * d;

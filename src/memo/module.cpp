@@ -12,4 +12,14 @@ std::string_view memo_action_name(MemoAction a) noexcept {
   return "?";
 }
 
+std::string_view memo_action_metric_name(MemoAction a) noexcept {
+  switch (a) {
+    case MemoAction::kNormalExecution: return "memo.action.normal_execution";
+    case MemoAction::kTriggerRecovery: return "memo.action.trigger_recovery";
+    case MemoAction::kReuse:           return "memo.action.reuse";
+    case MemoAction::kReuseMaskError:  return "memo.action.reuse_mask_error";
+  }
+  return "memo.action.unknown";
+}
+
 } // namespace tmemo

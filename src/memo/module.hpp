@@ -67,4 +67,9 @@ enum class PipeOutput : std::uint8_t {
 
 [[nodiscard]] std::string_view memo_action_name(MemoAction a) noexcept;
 
+/// Stable telemetry counter name for an action ("memo.action.reuse", …).
+/// The telemetry collector keys its per-action counters on this, so the
+/// Table-2 vocabulary appears verbatim in every metrics export.
+[[nodiscard]] std::string_view memo_action_metric_name(MemoAction a) noexcept;
+
 } // namespace tmemo

@@ -27,6 +27,10 @@ ExecutionRecord ResilientFpu::execute(const FpInstruction& ins,
     rec.lut_lookups = 1;
   }
   rec.lut_hit = memorized.has_value();
+  if (rec.lut_lookups > 0) {
+    probe(rec.lut_hit ? telemetry::ProbeEvent::Kind::kLutHit
+                      : telemetry::ProbeEvent::Kind::kLutMiss);
+  }
 
   // 2. EDS sensors sample the datapath. On a hit the remaining stages are
   //    clock-gated, so only the first stage (which ran in parallel with the
@@ -35,6 +39,7 @@ ExecutionRecord ResilientFpu::execute(const FpInstruction& ins,
   //    ECU in the {1,1} state.
   const EdsObservation eds = eds_.observe(errors);
   rec.timing_error = eds.error;
+  if (rec.timing_error) probe(telemetry::ProbeEvent::Kind::kEdsError);
 
   // 3. Table-2 decision.
   rec.action = memo_action(rec.lut_hit, rec.timing_error);
@@ -48,6 +53,7 @@ ExecutionRecord ResilientFpu::execute(const FpInstruction& ins,
         lut_.update(ins, rec.result);
         rec.lut_updated = true;
         rec.lut_writes = 1;
+        probe(telemetry::ProbeEvent::Kind::kLutWrite);
       }
       break;
     }
@@ -76,6 +82,7 @@ ExecutionRecord ResilientFpu::execute(const FpInstruction& ins,
       if (rec.action == MemoAction::kReuseMaskError) {
         rec.error_masked = true;
         ecu_.note_masked_error();
+        probe(telemetry::ProbeEvent::Kind::kErrorMasked);
       }
       break;
     }
@@ -94,6 +101,9 @@ ExecutionRecord ResilientFpu::execute(const FpInstruction& ins,
       static_cast<std::uint64_t>(rec.gated_stage_cycles);
   stats_.lut_updates += rec.lut_updated ? 1 : 0;
   regs_.latch_status_hits(stats_.hits);
+  probe(telemetry::ProbeEvent::Kind::kOpRetired,
+        static_cast<std::uint64_t>(rec.latency_cycles),
+        static_cast<std::uint8_t>(rec.action));
   return rec;
 }
 

@@ -22,6 +22,7 @@
 #include "memo/lut.hpp"
 #include "memo/module.hpp"
 #include "memo/registers.hpp"
+#include "telemetry/probe.hpp"
 #include "timing/ecu.hpp"
 #include "timing/eds.hpp"
 #include "timing/error_model.hpp"
@@ -133,7 +134,27 @@ class ResilientFpu {
   void set_power_gated(bool gated);
   [[nodiscard]] bool power_gated() const noexcept { return power_gated_; }
 
+  /// Attaches (nullptr detaches) a telemetry sink; `cu`/`core` identify
+  /// this FPU's position for event attribution. With no sink attached the
+  /// execute() hot path pays one null-check per probe site (see
+  /// telemetry/probe.hpp for the zero-overhead contract).
+  void set_probe(telemetry::ProbeSink* sink, std::uint32_t cu,
+                 std::uint16_t core) noexcept {
+    probe_ = sink;
+    probe_cu_ = cu;
+    probe_core_ = core;
+    ecu_.set_probe(sink, cu, core);
+  }
+
  private:
+  /// Emission helper: stamps this FPU's identity onto a probe event.
+  void probe(telemetry::ProbeEvent::Kind kind, std::uint64_t value = 0,
+             std::uint8_t aux = 0) const {
+    TMEMO_TELEM(probe_, telemetry::ProbeEvent{
+                            kind, static_cast<std::uint8_t>(unit_), aux,
+                            probe_core_, probe_cu_, value});
+  }
+
   FpuType unit_;
   int depth_;
   MemoLut lut_;
@@ -142,6 +163,9 @@ class ResilientFpu {
   Ecu ecu_;
   FpuStats stats_;
   bool power_gated_ = false;
+  telemetry::ProbeSink* probe_ = nullptr;
+  std::uint32_t probe_cu_ = 0;
+  std::uint16_t probe_core_ = 0;
 };
 
 } // namespace tmemo

@@ -246,6 +246,8 @@ std::vector<CampaignJob> CampaignEngine::expand(const SweepSpec& spec) {
                          : RunSpec::at_voltage(point);
           if (!spec.thresholds.empty()) job.spec.threshold(spec.thresholds[t]);
           job.spec.seed(derive_job_seed(spec.campaign_seed, job.index));
+          if (spec.metrics) job.spec.metrics(true);
+          if (spec.timeline && job.index == 0) job.spec.timeline(true);
           jobs.push_back(std::move(job));
         }
       }
@@ -318,6 +320,20 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec) const {
     pool.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
+  }
+
+  // Fold the per-job snapshots into the campaign aggregate. The fold runs
+  // in job-index order after the pool joins, and the merge itself is
+  // order-independent, so the aggregate never depends on the worker count.
+  if (spec.metrics || spec.timeline) {
+    telemetry::MetricRegistry campaign_reg;
+    campaign_reg.counter("campaign.jobs").add(result.jobs.size());
+    campaign_reg.counter("campaign.jobs_failed").add(result.failed());
+    result.metrics = campaign_reg.snapshot();
+    for (const JobResult& j : result.jobs) {
+      if (j.ok) result.metrics.merge(j.report.metrics);
+      if (j.ok && j.job.index == 0) result.timeline = j.report.timeline;
+    }
   }
 
   result.wall_ms = elapsed_ms(campaign_start);

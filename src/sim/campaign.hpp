@@ -91,6 +91,14 @@ struct SweepSpec {
   /// Per-job device seeds derive from this and the job index, so results do
   /// not depend on the worker count or scheduling.
   std::uint64_t campaign_seed = 0x5eed;
+  /// Collect telemetry metrics for every job; the per-run snapshots are
+  /// merged (in job-index order, but the merge is order-independent) into
+  /// CampaignResult::metrics.
+  bool metrics = false;
+  /// Record the event timeline of job 0 (the representative run; recording
+  /// every job would multiply memory for little insight). Implies metrics
+  /// for that job.
+  bool timeline = false;
 };
 
 /// Deterministic per-job seed (splitmix-style mix of campaign seed and job
@@ -127,6 +135,13 @@ struct CampaignResult {
   std::vector<JobResult> jobs;
   double wall_ms = 0.0; ///< whole-campaign wall time
   int workers = 1;      ///< worker threads actually used
+
+  /// Merged telemetry over every ok job (empty unless SweepSpec::metrics).
+  /// Bit-identical for any worker count: all instruments are uint64 and
+  /// merge commutatively (see telemetry/metrics.hpp).
+  telemetry::MetricsSnapshot metrics;
+  /// Job 0's event timeline (null unless SweepSpec::timeline and job 0 ran).
+  std::shared_ptr<const telemetry::Timeline> timeline;
 
   [[nodiscard]] std::size_t failed() const noexcept;
   [[nodiscard]] bool all_ok() const noexcept { return failed() == 0; }

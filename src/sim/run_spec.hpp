@@ -72,6 +72,20 @@ class RunSpec {
     return *this;
   }
 
+  /// Collects a telemetry MetricsSnapshot for this run (attaches a
+  /// TelemetryCollector to the device; see docs/OBSERVABILITY.md). Off by
+  /// default: with no sink attached the hot paths pay no probe cost.
+  RunSpec& metrics(bool on) {
+    metrics_ = on;
+    return *this;
+  }
+
+  /// Additionally records the per-run event timeline (implies metrics).
+  RunSpec& timeline(bool on) {
+    timeline_ = on;
+    return *this;
+  }
+
   [[nodiscard]] Axis axis() const noexcept { return axis_; }
   /// Configured rate; meaningful on the kErrorRate axis only.
   [[nodiscard]] double error_rate() const noexcept { return error_rate_; }
@@ -87,6 +101,8 @@ class RunSpec {
   [[nodiscard]] std::optional<std::uint64_t> seed() const noexcept {
     return seed_;
   }
+  [[nodiscard]] bool metrics() const noexcept { return metrics_; }
+  [[nodiscard]] bool timeline() const noexcept { return timeline_; }
 
  private:
   RunSpec() = default;
@@ -97,6 +113,8 @@ class RunSpec {
   std::shared_ptr<const TimingErrorModel> model_;
   std::optional<float> threshold_;
   std::optional<std::uint64_t> seed_;
+  bool metrics_ = false;
+  bool timeline_ = false;
 };
 
 } // namespace tmemo

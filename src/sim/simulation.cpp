@@ -1,6 +1,7 @@
 #include "sim/simulation.hpp"
 
 #include "common/require.hpp"
+#include "telemetry/collector.hpp"
 
 namespace tmemo {
 
@@ -58,6 +59,22 @@ KernelRunReport Simulation::run(const Workload& workload,
   device.set_error_model(std::move(errors));
   device.set_fpu_supply(supply);
 
+  // Telemetry is opt-in per run: without it no sink is attached and the
+  // device's probe sites stay on their no-cost null path.
+  std::unique_ptr<telemetry::TelemetryCollector> collector;
+  if (spec.metrics() || spec.timeline()) {
+    telemetry::CollectorConfig tcfg;
+    tcfg.timeline = spec.timeline();
+    collector = std::make_unique<telemetry::TelemetryCollector>(tcfg);
+    collector->registry().gauge("run.compute_units")
+        .set(static_cast<std::uint64_t>(device_config.compute_units));
+    collector->registry().gauge("run.stream_cores_per_cu")
+        .set(static_cast<std::uint64_t>(device_config.stream_cores_per_cu));
+    collector->registry().gauge("run.lut_depth")
+        .set(static_cast<std::uint64_t>(device_config.fpu.lut_depth));
+    device.set_telemetry(collector.get());
+  }
+
   KernelRunReport report;
   report.kernel = std::string(workload.name());
   report.input_parameter = workload.input_parameter();
@@ -70,6 +87,11 @@ KernelRunReport Simulation::run(const Workload& workload,
   report.unit_stats = device.unit_stats();
   report.weighted_hit_rate = device.weighted_hit_rate();
   report.energy = device.energy();
+  if (collector) {
+    device.set_telemetry(nullptr);
+    report.metrics = collector->finish();
+    report.timeline = collector->take_timeline();
+  }
   return report;
 }
 

@@ -19,6 +19,8 @@
 #include "energy/energy_model.hpp"
 #include "gpu/device.hpp"
 #include "sim/run_spec.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeline.hpp"
 #include "timing/error_model.hpp"
 #include "workloads/workload.hpp"
 
@@ -50,6 +52,12 @@ struct KernelRunReport {
   double weighted_hit_rate = 0.0;   ///< over all activated FPUs
   EnergyTotals energy;              ///< six reported unit types
   WorkloadResult result;            ///< host verification
+
+  /// Telemetry snapshot of the run; empty unless RunSpec::metrics(true)
+  /// (or timeline) was set. Campaign shards merge these bit-identically.
+  telemetry::MetricsSnapshot metrics;
+  /// Event timeline; null unless RunSpec::timeline(true) was set.
+  std::shared_ptr<const telemetry::Timeline> timeline;
 
   /// Hit rate of one unit type, NaN-free (0 when the unit is inactive).
   [[nodiscard]] double unit_hit_rate(FpuType u) const noexcept {
@@ -88,37 +96,10 @@ class Simulation {
   [[nodiscard]] KernelRunReport run(const Workload& workload,
                                     const RunSpec& spec) const;
 
-  // -- Deprecated pre-RunSpec overloads (forwarders; one release) ----------
-
-  [[deprecated("use run(workload, RunSpec::at_error_rate(rate))")]]
-  [[nodiscard]] KernelRunReport
-  run_at_error_rate( // tmemo-lint: allow(deprecated-run-api) — its own decl
-      const Workload& workload, double error_rate,
-      std::optional<float> threshold = std::nullopt) const {
-    RunSpec spec = RunSpec::at_error_rate(error_rate);
-    if (threshold) spec.threshold(*threshold);
-    return run(workload, spec);
-  }
-
-  [[deprecated("use run(workload, RunSpec::at_voltage(supply))")]]
-  [[nodiscard]] KernelRunReport
-  run_at_voltage( // tmemo-lint: allow(deprecated-run-api) — its own decl
-      const Workload& workload, Volt supply,
-      std::optional<float> threshold = std::nullopt) const {
-    RunSpec spec = RunSpec::at_voltage(supply);
-    if (threshold) spec.threshold(*threshold);
-    return run(workload, spec);
-  }
-
-  [[deprecated("use run(workload, RunSpec::with_model(errors, supply))")]]
-  [[nodiscard]] KernelRunReport run(
-      const Workload& workload,
-      std::shared_ptr<const TimingErrorModel> errors, Volt supply,
-      std::optional<float> threshold = std::nullopt) const {
-    RunSpec spec = RunSpec::with_model(std::move(errors), supply);
-    if (threshold) spec.threshold(*threshold);
-    return run(workload, spec);
-  }
+  // The pre-RunSpec entry points (run_at_error_rate / run_at_voltage and
+  // the model+supply run() overload) lived here as deprecated forwarders
+  // for one release cycle and have been removed; lint rule R5
+  // (deprecated-run-api) keeps them from coming back.
 
  private:
   ExperimentConfig config_;

@@ -1,0 +1,200 @@
+#include "telemetry/collector.hpp"
+
+#include <string>
+
+#include "fpu/opcode.hpp"
+#include "memo/module.hpp"
+
+namespace tmemo::telemetry {
+
+namespace {
+
+std::string unit_metric(std::string_view unit_name, const char* suffix) {
+  std::string s = "fpu.";
+  s += unit_name;
+  s += suffix;
+  return s;
+}
+
+std::string_view unit_name(std::uint8_t unit) {
+  return fpu_type_name(static_cast<FpuType>(unit));
+}
+
+} // namespace
+
+TelemetryCollector::TelemetryCollector(CollectorConfig config) {
+  if (config.timeline) {
+    timeline_ = std::make_shared<Timeline>(config.timeline_max_events);
+  }
+}
+
+void TelemetryCollector::on_event(const ProbeEvent& e) {
+  MetricRegistry& reg = registry_;
+  switch (e.kind) {
+    case ProbeEvent::Kind::kWavefrontIssue: {
+      reg.counter("sim.wavefront_issues").add();
+      // 65 buckets so a full 64-lane wavefront (the common case) gets its
+      // own bucket [64,65) instead of landing in overflow.
+      reg.histogram("sim.wavefront_active_lanes",
+                    HistogramSpec::linear(0, 65, 65))
+          .record(e.value);
+      if (timeline_) {
+        PendingOp& op = pending_[e.cu];
+        flush_op(e.cu, op);
+        op.active = true;
+        op.start_tick = tick_;
+        op.unit = e.unit;
+        op.lanes = e.value;
+      }
+      break;
+    }
+    case ProbeEvent::Kind::kLutHit:
+    case ProbeEvent::Kind::kLutMiss: {
+      const bool hit = e.kind == ProbeEvent::Kind::kLutHit;
+      reg.counter(hit ? "memo.lut.hits" : "memo.lut.misses").add();
+      reg.counter(unit_metric(unit_name(e.unit), hit ? ".hits" : ".misses"))
+          .add();
+      CoreState& core = core_state(e);
+      ++core.lut_lookups;
+      core.lut_hits += hit ? 1 : 0;
+      if (timeline_) {
+        PendingOp& op = pending_[e.cu];
+        ++(hit ? op.hits : op.misses);
+        ++(hit ? op.cum_hits : op.cum_misses);
+      }
+      break;
+    }
+    case ProbeEvent::Kind::kLutWrite:
+      reg.counter("memo.lut.writes").add();
+      break;
+    case ProbeEvent::Kind::kEdsError: {
+      reg.counter("timing.eds_errors").add();
+      if (timeline_) {
+        ++pending_[e.cu].errors;
+        TimelineEvent ev;
+        ev.phase = TimelineEvent::Phase::kInstant;
+        ev.name = "eds_error";
+        ev.category = "timing";
+        ev.pid = e.cu;
+        ev.tid = e.core;
+        ev.ts = tick_;
+        timeline_->instant(std::move(ev));
+      }
+      break;
+    }
+    case ProbeEvent::Kind::kErrorMasked:
+      reg.counter("timing.masked_errors").add();
+      break;
+    case ProbeEvent::Kind::kEcuReplay: {
+      reg.counter("timing.ecu.replays").add();
+      reg.counter("timing.ecu.replay_cycles").add(e.value);
+      core_state(e).replay_in_op = true;
+      if (timeline_) {
+        ++pending_[e.cu].replays;
+        TimelineEvent ev;
+        ev.phase = TimelineEvent::Phase::kInstant;
+        ev.name = "ecu_replay";
+        ev.category = "timing";
+        ev.pid = e.cu;
+        ev.tid = e.core;
+        ev.ts = tick_;
+        ev.args.emplace_back("cycles", e.value);
+        timeline_->instant(std::move(ev));
+      }
+      break;
+    }
+    case ProbeEvent::Kind::kSpatialReuse:
+      reg.counter("memo.spatial.reuses").add();
+      reg.counter("sim.lanes_executed").add();
+      ++tick_;
+      break;
+    case ProbeEvent::Kind::kOpRetired: {
+      reg.counter("sim.lanes_executed").add();
+      reg.counter(unit_metric(unit_name(e.unit), ".ops")).add();
+      reg.counter(memo_action_metric_name(static_cast<MemoAction>(e.aux)))
+          .add();
+      reg.histogram("fpu.op_latency_cycles", HistogramSpec::log2())
+          .record(e.value);
+      CoreState& core = core_state(e);
+      if (core.replay_in_op) {
+        core.replay_in_op = false;
+        ++core.replay_burst;
+      } else if (core.replay_burst > 0) {
+        reg.histogram("memo.replay_burst_len", HistogramSpec::log2())
+            .record(core.replay_burst);
+        core.replay_burst = 0;
+      }
+      ++tick_;
+      break;
+    }
+  }
+}
+
+void TelemetryCollector::flush_op(std::uint32_t cu, PendingOp& op) {
+  if (!op.active || !timeline_) return;
+  TimelineEvent ev;
+  ev.phase = TimelineEvent::Phase::kComplete;
+  ev.name = std::string(unit_name(op.unit));
+  ev.category = "issue";
+  ev.pid = cu;
+  ev.tid = 0;
+  ev.ts = op.start_tick;
+  ev.dur = tick_ > op.start_tick ? tick_ - op.start_tick : 1;
+  ev.args.emplace_back("lanes", op.lanes);
+  ev.args.emplace_back("lut_hits", op.hits);
+  ev.args.emplace_back("lut_misses", op.misses);
+  ev.args.emplace_back("eds_errors", op.errors);
+  ev.args.emplace_back("ecu_replays", op.replays);
+  timeline_->complete(std::move(ev));
+
+  TimelineEvent ctr;
+  ctr.phase = TimelineEvent::Phase::kCounter;
+  ctr.name = "lut";
+  ctr.category = "memo";
+  ctr.pid = cu;
+  ctr.tid = 0;
+  ctr.ts = tick_;
+  ctr.args.emplace_back("hits", op.cum_hits);
+  ctr.args.emplace_back("misses", op.cum_misses);
+  timeline_->counter(std::move(ctr));
+
+  op.active = false;
+  op.lanes = op.hits = op.misses = op.errors = op.replays = 0;
+}
+
+MetricsSnapshot TelemetryCollector::finish() {
+  if (!finished_) {
+    finished_ = true;
+    // Flush per-core derived state in key order (deterministic).
+    for (auto& kv : cores_) {
+      CoreState& core = kv.second;
+      if (core.replay_in_op) {
+        core.replay_in_op = false;
+        ++core.replay_burst;
+      }
+      if (core.replay_burst > 0) {
+        registry_.histogram("memo.replay_burst_len", HistogramSpec::log2())
+            .record(core.replay_burst);
+        core.replay_burst = 0;
+      }
+      if (core.lut_lookups > 0) {
+        registry_
+            .histogram("core.hit_rate_permille",
+                       HistogramSpec::linear(0, 1000, 50))
+            .record(core.lut_hits * 1000 / core.lut_lookups);
+      }
+    }
+    if (timeline_) {
+      for (auto& kv : pending_) {
+        flush_op(kv.first, kv.second);
+        timeline_->set_process_name(
+            kv.first, "compute_unit " + std::to_string(kv.first));
+      }
+      registry_.gauge("sim.timeline_dropped_events")
+          .set(timeline_->dropped());
+    }
+  }
+  return registry_.snapshot();
+}
+
+} // namespace tmemo::telemetry

@@ -1,0 +1,88 @@
+// TelemetryCollector: the standard ProbeSink of the simulator.
+//
+// One collector is attached to one GpuDevice for one run (Simulation::run
+// creates it when the RunSpec asks for metrics or a timeline). It folds the
+// probe-event stream into a MetricRegistry — counters for every hot-path
+// event class, per-FPU-type breakdowns, and distribution histograms for
+// the quantities the paper reports as averages only (per-stream-core
+// hit-rate spread, replay-burst lengths, per-op latency, wavefront
+// occupancy) — and, optionally, into a per-run event Timeline.
+//
+// Not thread-safe: the simulator executes one run on one thread, and the
+// campaign engine gives every job its own collector, merging the
+// resulting snapshots deterministically afterwards.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/probe.hpp"
+#include "telemetry/timeline.hpp"
+
+namespace tmemo::telemetry {
+
+struct CollectorConfig {
+  /// Record a per-run event timeline (memory-capped; see Timeline).
+  bool timeline = false;
+  std::size_t timeline_max_events = Timeline::kDefaultMaxEvents;
+};
+
+class TelemetryCollector final : public ProbeSink {
+ public:
+  explicit TelemetryCollector(CollectorConfig config = {});
+
+  void on_event(const ProbeEvent& event) override;
+
+  /// The registry backing this collector; callers may add their own
+  /// instruments (Simulation::run sets the run.* configuration gauges).
+  [[nodiscard]] MetricRegistry& registry() noexcept { return registry_; }
+
+  /// Flushes derived per-core state (open replay bursts, hit-rate spread,
+  /// pending timeline spans) and returns the final snapshot. Call exactly
+  /// once, after the run completes.
+  [[nodiscard]] MetricsSnapshot finish();
+
+  /// The recorded timeline (null unless configured). Valid after finish().
+  [[nodiscard]] std::shared_ptr<const Timeline> take_timeline() noexcept {
+    return std::move(timeline_);
+  }
+
+ private:
+  struct CoreState {
+    std::uint64_t lut_lookups = 0;
+    std::uint64_t lut_hits = 0;
+    std::uint64_t replay_burst = 0;  ///< consecutive ops that replayed
+    bool replay_in_op = false;       ///< current op triggered the ECU
+  };
+
+  /// One in-flight static vector instruction on one compute unit
+  /// (timeline aggregation only).
+  struct PendingOp {
+    bool active = false;
+    std::uint64_t start_tick = 0;
+    std::uint8_t unit = 0;
+    std::uint64_t lanes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t replays = 0;
+    std::uint64_t cum_hits = 0;   ///< per-CU cumulative, for "C" series
+    std::uint64_t cum_misses = 0;
+  };
+
+  CoreState& core_state(const ProbeEvent& e) {
+    return cores_[(static_cast<std::uint64_t>(e.cu) << 16) | e.core];
+  }
+  void flush_op(std::uint32_t cu, PendingOp& op);
+
+  MetricRegistry registry_;
+  std::shared_ptr<Timeline> timeline_;
+  std::map<std::uint64_t, CoreState> cores_;
+  std::map<std::uint32_t, PendingOp> pending_;
+  std::uint64_t tick_ = 0; ///< committed dynamic instructions (sim clock)
+  bool finished_ = false;
+};
+
+} // namespace tmemo::telemetry

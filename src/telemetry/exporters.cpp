@@ -1,0 +1,89 @@
+#include "telemetry/exporters.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace tmemo::telemetry {
+
+namespace {
+
+// Metric names are generated identifiers (no quotes/control characters),
+// but escape defensively so a malformed name cannot corrupt the document.
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+const char* scale_name(HistogramSpec::Scale scale) {
+  return scale == HistogramSpec::Scale::kLog2 ? "log2" : "linear";
+}
+
+} // namespace
+
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& os) {
+  os << "{\n  \"schema\": \"tmemo-metrics-v1\",\n  \"counters\": [";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": ";
+    first = false;
+    write_json_string(os, c.name);
+    os << ", \"value\": " << c.value << "}";
+  }
+  os << (first ? "" : "\n  ") << "],\n  \"gauges\": [";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": ";
+    first = false;
+    write_json_string(os, g.name);
+    os << ", \"value\": " << g.value << "}";
+  }
+  os << (first ? "" : "\n  ") << "],\n  \"histograms\": [";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": ";
+    first = false;
+    write_json_string(os, h.name);
+    os << ", \"scale\": \"" << scale_name(h.spec.scale) << "\""
+       << ", \"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"min\": " << h.min << ", \"max\": " << h.max
+       << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!first_bucket) os << ", ";
+      first_bucket = false;
+      os << "{\"lo\": " << h.spec.bucket_lo(i)
+         << ", \"hi\": " << h.spec.bucket_hi(i)
+         << ", \"count\": " << h.buckets[i] << "}";
+    }
+    os << "]}";
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+void write_metrics_csv(const MetricsSnapshot& snapshot, std::ostream& os) {
+  os << "kind,name,field,value\n";
+  for (const auto& c : snapshot.counters) {
+    os << "counter," << c.name << ",value," << c.value << "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    os << "gauge," << g.name << ",value," << g.value << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    os << "histogram," << h.name << ",count," << h.count << "\n";
+    os << "histogram," << h.name << ",sum," << h.sum << "\n";
+    os << "histogram," << h.name << ",min," << h.min << "\n";
+    os << "histogram," << h.name << ",max," << h.max << "\n";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      os << "histogram," << h.name << ",bucket[" << h.spec.bucket_lo(i) << ","
+         << h.spec.bucket_hi(i) << ")," << h.buckets[i] << "\n";
+    }
+  }
+}
+
+} // namespace tmemo::telemetry

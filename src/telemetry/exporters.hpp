@@ -1,0 +1,31 @@
+// Serialization of MetricsSnapshot: JSON (schema "tmemo-metrics-v1") and
+// CSV. Both writers are deterministic — instruments come out in name order
+// with integer-only values — so byte-comparing two exports is a valid
+// bit-identity check for campaign merges (the CI release job does exactly
+// that across --jobs values).
+#pragma once
+
+#include <iosfwd>
+
+#include "telemetry/metrics.hpp"
+
+namespace tmemo::telemetry {
+
+/// JSON document:
+/// {
+///   "schema": "tmemo-metrics-v1",
+///   "counters": [{"name": n, "value": v}, ...],
+///   "gauges":   [{"name": n, "value": v}, ...],
+///   "histograms": [{"name": n, "scale": "log2"|"linear",
+///                   "count": c, "sum": s, "min": m, "max": M,
+///                   "buckets": [{"lo": l, "hi": h, "count": c}, ...]}, ...]
+/// }
+/// Zero-count buckets are omitted; "hi" is exclusive.
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& os);
+
+/// Flat CSV: `kind,name,field,value` — one row per counter/gauge, one row
+/// per histogram summary field, one row per non-empty bucket
+/// (`bucket[lo,hi)` as the field).
+void write_metrics_csv(const MetricsSnapshot& snapshot, std::ostream& os);
+
+} // namespace tmemo::telemetry

@@ -1,0 +1,50 @@
+// Scoped wall-clock timers for coarse phase profiling (campaign setup,
+// exporter writes, workload host verification).
+//
+// Wall time is nondeterministic by nature, so scoped-timer samples must
+// never feed instruments that participate in the bit-identical campaign
+// merge. The intended pattern is a dedicated registry (or the collector's
+// `wall` namespace, which exporters can filter) used for operator-facing
+// profiling only. The clock read lives in wall_clock_ns() — lint rule R1
+// confines wall-clock access to functions with "wall" in their name.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "telemetry/metrics.hpp"
+
+namespace tmemo::telemetry {
+
+/// Monotonic wall clock in nanoseconds.
+[[nodiscard]] inline std::uint64_t wall_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Records the lifetime of a scope, in nanoseconds, into a histogram.
+///
+///   Histogram& h = reg.histogram("wall.csv_write_ns", HistogramSpec::log2());
+///   { ScopedWallTimer t(h); write_campaign_csv(res, os); }
+class ScopedWallTimer {
+ public:
+  explicit ScopedWallTimer(Histogram& into) noexcept
+      : into_(into), start_ns_(wall_clock_ns()) {}
+
+  ScopedWallTimer(const ScopedWallTimer&) = delete;
+  ScopedWallTimer& operator=(const ScopedWallTimer&) = delete;
+
+  ~ScopedWallTimer() { into_.record(elapsed_wall_ns()); }
+
+ private:
+  [[nodiscard]] std::uint64_t elapsed_wall_ns() const {
+    return wall_clock_ns() - start_ns_;
+  }
+
+  Histogram& into_;
+  std::uint64_t start_ns_;
+};
+
+} // namespace tmemo::telemetry

@@ -24,6 +24,7 @@
 #include "common/require.hpp"
 #include "common/types.hpp"
 #include "fpu/opcode.hpp"
+#include "telemetry/probe.hpp"
 
 namespace tmemo {
 
@@ -74,7 +75,20 @@ class Ecu {
     ++stats_.recoveries;
     stats_.recovery_cycles += static_cast<std::uint64_t>(cycles);
     stats_.flushed_ops += static_cast<std::uint64_t>(flushed_in_flight_ops);
+    TMEMO_TELEM(probe_, telemetry::ProbeEvent{
+                            telemetry::ProbeEvent::Kind::kEcuReplay,
+                            static_cast<std::uint8_t>(unit), 0, probe_core_,
+                            probe_cu_, static_cast<std::uint64_t>(cycles)});
     return cycles;
+  }
+
+  /// Attaches (or detaches, with nullptr) a telemetry sink; `cu`/`core`
+  /// locate this ECU's FPU on the device for event attribution.
+  void set_probe(telemetry::ProbeSink* sink, std::uint32_t cu,
+                 std::uint16_t core) noexcept {
+    probe_ = sink;
+    probe_cu_ = cu;
+    probe_core_ = core;
   }
 
   /// Records an error flag that was masked before reaching recovery (the
@@ -87,6 +101,9 @@ class Ecu {
  private:
   RecoveryPolicy policy_;
   EcuStats stats_;
+  telemetry::ProbeSink* probe_ = nullptr;
+  std::uint32_t probe_cu_ = 0;
+  std::uint16_t probe_core_ = 0;
 };
 
 } // namespace tmemo

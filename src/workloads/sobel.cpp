@@ -104,7 +104,8 @@ WorkloadResult SobelWorkload::run(GpuDevice& device) const {
       if (d > res.max_abs_error) res.max_abs_error = d;
     }
   }
-  res.mean_abs_error = sum / static_cast<double>(got.size());
+  res.mean_abs_error =
+      got.size() == 0 ? 0.0 : sum / static_cast<double>(got.size());
   // Error-tolerant class: acceptable when PSNR >= 30 dB (paper §4.1).
   res.passed = psnr(golden, got) >= 30.0;
   return res;

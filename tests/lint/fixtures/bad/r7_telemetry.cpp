@@ -1,0 +1,31 @@
+// Bad fixture for R7: telemetry instruments constructed directly instead
+// of being obtained from a MetricRegistry — 3 findings total. The rule
+// engages because the file names the telemetry namespace.
+#include <memory>
+
+namespace tmemo::telemetry {
+class Counter;
+class Gauge;
+class Histogram;
+struct HistogramSpec;
+} // namespace tmemo::telemetry
+
+namespace fixture {
+
+using namespace tmemo::telemetry;
+
+void record_by_hand(const HistogramSpec& spec) {
+  Counter ops;                                   // finding 1: value decl
+  auto lat = std::make_unique<Histogram>(spec);  // finding 2: heap alloc
+  (void)ops;
+  (void)lat;
+  (void)Gauge{};  // finding 3: temporary
+}
+
+// NOT flagged: references and pointers bind to registry-owned instruments.
+void use_registry(Counter& hits, Gauge* depth) {
+  (void)hits;
+  (void)depth;
+}
+
+} // namespace fixture

@@ -1,5 +1,5 @@
 // Self-tests for tmemo_lint: exact finding counts against checked-in
-// fixtures (one bad fixture per rule R1-R6 plus the orphan-suppression
+// fixtures (one bad fixture per rule R1-R7 plus the orphan-suppression
 // meta rule), CLI exit codes, JSON rendering, and a cleanliness gate over
 // the real src/, tools/ and bench/ trees.
 //
@@ -69,6 +69,12 @@ TEST(LintRules, R6FlagsUnseededRngConstruction) {
   EXPECT_EQ(count_rule(r, "rng-seed"), 4u);
 }
 
+TEST(LintRules, R7FlagsDirectInstrumentConstruction) {
+  const LintReport r = run_lint({fixture("bad/r7_telemetry.cpp")});
+  EXPECT_EQ(r.findings.size(), 3u);
+  EXPECT_EQ(count_rule(r, "telemetry-registry"), 3u);
+}
+
 TEST(LintRules, OrphanAndUnknownSuppressionsAreFindings) {
   const LintReport r = run_lint({fixture("bad/orphan.cpp")});
   ASSERT_EQ(r.findings.size(), 2u);
@@ -91,9 +97,10 @@ TEST(LintRules, GoodFixtureIsCleanWithOneJustifiedSuppression) {
 
 TEST(LintRules, WholeBadTreeCountsAreStable) {
   const LintReport r = run_lint({fixture("bad")});
-  // 5 (R1) + 3 (R2) + 2 (R3) + 1 (R4) + 4 (R5) + 4 (R6) + 2 (orphans).
-  EXPECT_EQ(r.findings.size(), 21u);
-  EXPECT_EQ(r.files_scanned, 7u);
+  // 5 (R1) + 3 (R2) + 2 (R3) + 1 (R4) + 4 (R5) + 4 (R6) + 3 (R7)
+  // + 2 (orphans).
+  EXPECT_EQ(r.findings.size(), 24u);
+  EXPECT_EQ(r.files_scanned, 8u);
   // Findings come out sorted by (path, line, col, rule).
   EXPECT_TRUE(std::is_sorted(
       r.findings.begin(), r.findings.end(),
@@ -132,14 +139,14 @@ TEST(LintCli, JsonReportIsWellFormedEnough) {
   EXPECT_NE(json.find("\"rule\": \"type-punning\""), std::string::npos);
 }
 
-TEST(LintCli, ListRulesNamesAllSix) {
+TEST(LintCli, ListRulesNamesAllSeven) {
   std::ostringstream out, err;
   EXPECT_EQ(run_cli({"--list-rules"}, out, err), 0);
   const std::string text = out.str();
   for (const char* rule :
        {"nondeterminism", "unordered-iteration", "type-punning",
         "energy-pairing", "deprecated-run-api", "rng-seed",
-        "orphan-suppression"}) {
+        "telemetry-registry", "orphan-suppression"}) {
     EXPECT_NE(text.find(rule), std::string::npos) << rule;
   }
 }
@@ -153,10 +160,10 @@ TEST(LintRepo, SrcToolsBenchAreCleanUnderAllRules) {
   std::ostringstream why;
   write_text(r, why);
   EXPECT_TRUE(r.findings.empty()) << why.str();
-  // The three justified suppressions documented in docs/STATIC_ANALYSIS.md:
-  // FpuPipeline::issue (energy-pairing) and the two deprecated run_at_*
-  // declarations in src/sim/simulation.hpp (deprecated-run-api).
-  EXPECT_EQ(r.suppressed, 3u);
+  // The one justified suppression documented in docs/STATIC_ANALYSIS.md:
+  // FpuPipeline::issue (energy-pairing). The two deprecated run_at_*
+  // suppressions disappeared with the wrappers themselves.
+  EXPECT_EQ(r.suppressed, 1u);
   EXPECT_GT(r.files_scanned, 100u);
 }
 

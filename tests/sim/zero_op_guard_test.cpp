@@ -1,0 +1,81 @@
+// Regression tests for zero-op runs: every derived ratio (hit rates,
+// slowdowns, error metrics) must come out as a well-defined finite value —
+// 0.0 or 1.0 as appropriate — never NaN or a surprise infinity, so that
+// campaign CSV/JSON exports of degenerate cells stay parseable.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+#include "gpu/device.hpp"
+#include "img/image.hpp"
+#include "memo/lut.hpp"
+#include "memo/resilient_fpu.hpp"
+#include "sim/performance.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmemo {
+namespace {
+
+TEST(ZeroOpGuards, PerformanceReportDefaultSlowdownsAreOne) {
+  const PerformanceReport r{};
+  EXPECT_DOUBLE_EQ(r.slowdown_lockstep(), 1.0);
+  EXPECT_DOUBLE_EQ(r.slowdown_decoupled(), 1.0);
+  EXPECT_DOUBLE_EQ(r.slowdown_memoized(), 1.0);
+}
+
+TEST(ZeroOpGuards, PerformanceModelWithNoRecordsIsFinite) {
+  const PerformanceModel perf(16);
+  const PerformanceReport r = perf.report();
+  EXPECT_EQ(r.lane_ops, 0u);
+  EXPECT_EQ(r.issue_cycles, 0u);
+  EXPECT_TRUE(std::isfinite(r.slowdown_lockstep()));
+  EXPECT_TRUE(std::isfinite(r.slowdown_decoupled()));
+  EXPECT_TRUE(std::isfinite(r.slowdown_memoized()));
+  EXPECT_DOUBLE_EQ(r.slowdown_memoized(), 1.0);
+}
+
+TEST(ZeroOpGuards, StatsWithZeroInstructionsHaveZeroHitRate) {
+  EXPECT_DOUBLE_EQ(FpuStats{}.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(LutStats{}.hit_rate(), 0.0);
+}
+
+TEST(ZeroOpGuards, CompareOutputsOfEmptyVectorsIsFiniteAndPasses) {
+  const std::vector<float> empty;
+  const WorkloadResult abs = compare_outputs(empty, empty, 1e-6);
+  EXPECT_EQ(abs.output_values, 0u);
+  EXPECT_DOUBLE_EQ(abs.mean_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(abs.max_abs_error, 0.0);
+  EXPECT_TRUE(abs.passed);
+
+  const WorkloadResult rel = compare_outputs_rel_rms(empty, empty, 1e-6);
+  EXPECT_DOUBLE_EQ(rel.rel_rms_error, 0.0);
+  EXPECT_TRUE(rel.passed);
+}
+
+TEST(ZeroOpGuards, ZeroPixelImageMetricsAreWellDefined) {
+  const Image a;
+  const Image b;
+  // No pixels: zero error (not NaN), hence infinite PSNR like any pair of
+  // identical images.
+  EXPECT_DOUBLE_EQ(mse(a, b), 0.0);
+  EXPECT_TRUE(std::isinf(psnr(a, b)));
+  EXPECT_GT(psnr(a, b), 0.0);
+}
+
+TEST(ZeroOpGuards, FreshDeviceWeightedHitRateIsZero) {
+  const ExperimentConfig cfg;
+  const GpuDevice device(cfg.device,
+                         EnergyModel(cfg.energy, VoltageScaling(cfg.voltage)));
+  EXPECT_DOUBLE_EQ(device.weighted_hit_rate(), 0.0);
+  for (FpuType u : kAllFpuTypes) {
+    EXPECT_DOUBLE_EQ(device.unit_stats()[static_cast<std::size_t>(u)]
+                         .hit_rate(),
+                     0.0);
+  }
+}
+
+} // namespace
+} // namespace tmemo

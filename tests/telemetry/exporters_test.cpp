@@ -1,0 +1,154 @@
+// Exporter tests: byte-exact JSON/CSV output for a hand-built snapshot
+// (the writers are deterministic, so full-string golden comparison is
+// valid) and a golden-file schema check for the Chrome trace writer.
+#include "telemetry/exporters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/timeline.hpp"
+
+namespace tmemo::telemetry {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  MetricRegistry reg;
+  reg.counter("a.ops").add(3);
+  reg.gauge("g.depth").set(7);
+  Histogram& h = reg.histogram("h.lat", HistogramSpec::linear(0, 4, 2));
+  h.record(1); // bucket [0,2)
+  h.record(5); // overflow bucket [4, max)
+  return reg.snapshot();
+}
+
+TEST(MetricsJson, MatchesGoldenDocument) {
+  std::ostringstream os;
+  write_metrics_json(sample_snapshot(), os);
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"tmemo-metrics-v1\",\n"
+      "  \"counters\": [\n"
+      "    {\"name\": \"a.ops\", \"value\": 3}\n"
+      "  ],\n"
+      "  \"gauges\": [\n"
+      "    {\"name\": \"g.depth\", \"value\": 7}\n"
+      "  ],\n"
+      "  \"histograms\": [\n"
+      "    {\"name\": \"h.lat\", \"scale\": \"linear\", \"count\": 2, "
+      "\"sum\": 6, \"min\": 1, \"max\": 5, \"buckets\": "
+      "[{\"lo\": 0, \"hi\": 2, \"count\": 1}, "
+      "{\"lo\": 4, \"hi\": 18446744073709551615, \"count\": 1}]}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(MetricsJson, EmptySnapshotIsStillAValidDocument) {
+  std::ostringstream os;
+  write_metrics_json(MetricsSnapshot{}, os);
+  EXPECT_EQ(os.str(),
+            "{\n  \"schema\": \"tmemo-metrics-v1\",\n  \"counters\": [],\n"
+            "  \"gauges\": [],\n  \"histograms\": []\n}\n");
+}
+
+TEST(MetricsCsv, MatchesGoldenRows) {
+  std::ostringstream os;
+  write_metrics_csv(sample_snapshot(), os);
+  const std::string expected =
+      "kind,name,field,value\n"
+      "counter,a.ops,value,3\n"
+      "gauge,g.depth,value,7\n"
+      "histogram,h.lat,count,2\n"
+      "histogram,h.lat,sum,6\n"
+      "histogram,h.lat,min,1\n"
+      "histogram,h.lat,max,5\n"
+      "histogram,h.lat,bucket[0,2),1\n"
+      "histogram,h.lat,bucket[4,18446744073709551615),1\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+// -- Chrome trace golden -----------------------------------------------------
+
+Timeline sample_timeline() {
+  Timeline tl;
+  tl.set_process_name(0, "compute_unit 0");
+
+  TimelineEvent span;
+  span.phase = TimelineEvent::Phase::kComplete;
+  span.name = "ADD";
+  span.category = "issue";
+  span.pid = 0;
+  span.tid = 0;
+  span.ts = 0;
+  span.dur = 16;
+  span.args.emplace_back("lanes", 16);
+  span.args.emplace_back("lut_hits", 9);
+  tl.complete(std::move(span));
+
+  TimelineEvent mark;
+  mark.phase = TimelineEvent::Phase::kInstant;
+  mark.name = "eds_error";
+  mark.category = "timing";
+  mark.pid = 0;
+  mark.tid = 3;
+  mark.ts = 7;
+  tl.instant(std::move(mark));
+
+  TimelineEvent ctr;
+  ctr.phase = TimelineEvent::Phase::kCounter;
+  ctr.name = "lut";
+  ctr.category = "memo";
+  ctr.pid = 0;
+  ctr.ts = 16;
+  ctr.args.emplace_back("hits", 9);
+  ctr.args.emplace_back("misses", 7);
+  tl.counter(std::move(ctr));
+  return tl;
+}
+
+TEST(ChromeTrace, MatchesCheckedInGoldenFile) {
+  std::ostringstream os;
+  write_chrome_trace(sample_timeline(), os);
+
+  const std::string golden_path =
+      std::string(TM_TELEMETRY_GOLDEN_DIR) + "/trace_small.json";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file: " << golden_path;
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(os.str(), golden.str())
+      << "trace schema drifted; if intentional, regenerate the golden file";
+}
+
+TEST(ChromeTrace, CarriesSchemaLandmarks) {
+  std::ostringstream os;
+  write_chrome_trace(sample_timeline(), os);
+  const std::string t = os.str();
+  // The landmarks chrome://tracing / Perfetto rely on.
+  EXPECT_NE(t.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(t.find("\"ph\": \"M\""), std::string::npos); // metadata first
+  EXPECT_NE(t.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(t.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(t.find("\"dur\": 16"), std::string::npos);
+  EXPECT_NE(t.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(t.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(t.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(t.find("\"dropped_events\": 0"), std::string::npos);
+  EXPECT_LT(t.find("\"ph\": \"M\""), t.find("\"ph\": \"X\""));
+}
+
+TEST(ChromeTrace, EscapesControlCharactersInNames) {
+  Timeline tl;
+  TimelineEvent ev;
+  ev.name = "a\"b\\c\nd";
+  tl.instant(std::move(ev));
+  std::ostringstream os;
+  write_chrome_trace(tl, os);
+  EXPECT_NE(os.str().find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+} // namespace
+} // namespace tmemo::telemetry

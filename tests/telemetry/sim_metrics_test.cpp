@@ -1,0 +1,157 @@
+// End-to-end telemetry tests: metrics opt-in through Simulation::run, the
+// run.* shape gauges, the timeline opt-in, and the acceptance criterion of
+// the subsystem — campaign-merged snapshots that are bit-identical for any
+// worker count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/campaign.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/exporters.hpp"
+#include "workloads/haar.hpp"
+
+namespace tmemo {
+namespace {
+
+std::string to_json(const telemetry::MetricsSnapshot& s) {
+  std::ostringstream os;
+  telemetry::write_metrics_json(s, os);
+  return os.str();
+}
+
+TEST(SimulationTelemetry, OffByDefaultLeavesReportEmpty) {
+  Simulation sim;
+  HaarWorkload haar(256);
+  const KernelRunReport r = sim.run(haar, RunSpec::at_error_rate(0.0));
+  EXPECT_TRUE(r.metrics.empty());
+  EXPECT_EQ(r.timeline, nullptr);
+}
+
+TEST(SimulationTelemetry, MetricsRunCarriesCountersAndShapeGauges) {
+  Simulation sim;
+  HaarWorkload haar(256);
+  const KernelRunReport r =
+      sim.run(haar, RunSpec::at_error_rate(0.0).metrics(true));
+  ASSERT_FALSE(r.metrics.empty());
+  const auto* issues = r.metrics.find_counter("sim.wavefront_issues");
+  ASSERT_NE(issues, nullptr);
+  EXPECT_GT(issues->value, 0u);
+  const auto* lanes = r.metrics.find_counter("sim.lanes_executed");
+  ASSERT_NE(lanes, nullptr);
+  EXPECT_GT(lanes->value, 0u);
+  // An error-free run must retire every op through normal execution or
+  // memoized reuse — never the recovery path.
+  EXPECT_EQ(r.metrics.find_counter("memo.action.trigger_recovery"), nullptr);
+
+  const auto& dev = sim.config().device;
+  ASSERT_NE(r.metrics.find_gauge("run.compute_units"), nullptr);
+  EXPECT_EQ(r.metrics.find_gauge("run.compute_units")->value,
+            static_cast<std::uint64_t>(dev.compute_units));
+  EXPECT_EQ(r.metrics.find_gauge("run.stream_cores_per_cu")->value,
+            static_cast<std::uint64_t>(dev.stream_cores_per_cu));
+  EXPECT_EQ(r.metrics.find_gauge("run.lut_depth")->value,
+            static_cast<std::uint64_t>(dev.fpu.lut_depth));
+  // Metrics-only mode must not pay for the timeline.
+  EXPECT_EQ(r.timeline, nullptr);
+}
+
+TEST(SimulationTelemetry, LutCountersAgreeWithUnitStats) {
+  Simulation sim;
+  HaarWorkload haar(256);
+  const KernelRunReport r =
+      sim.run(haar, RunSpec::at_error_rate(0.0).metrics(true));
+  std::uint64_t hits = 0;
+  std::uint64_t instructions = 0;
+  for (const FpuStats& s : r.unit_stats) {
+    hits += s.hits;
+    instructions += s.instructions;
+  }
+  ASSERT_NE(r.metrics.find_counter("memo.lut.hits"), nullptr);
+  EXPECT_EQ(r.metrics.find_counter("memo.lut.hits")->value, hits);
+  const auto* misses = r.metrics.find_counter("memo.lut.misses");
+  ASSERT_NE(misses, nullptr);
+  // Every lookup is a hit or a miss, and there is at most one per op.
+  EXPECT_LE(hits + misses->value, instructions);
+  EXPECT_EQ(r.metrics.find_counter("sim.lanes_executed")->value, instructions);
+}
+
+TEST(SimulationTelemetry, TimelineRunRecordsEvents) {
+  Simulation sim;
+  HaarWorkload haar(256);
+  const KernelRunReport r =
+      sim.run(haar, RunSpec::at_error_rate(0.0).timeline(true));
+  ASSERT_NE(r.timeline, nullptr);
+  EXPECT_FALSE(r.timeline->events().empty());
+  EXPECT_FALSE(r.metrics.empty()); // timeline implies metrics
+
+  std::ostringstream os;
+  telemetry::write_chrome_trace(*r.timeline, os);
+  EXPECT_NE(os.str().find("\"traceEvents\": ["), std::string::npos);
+}
+
+TEST(SimulationTelemetry, RunsAreDeterministic) {
+  Simulation sim;
+  HaarWorkload haar(256);
+  const KernelRunReport a =
+      sim.run(haar, RunSpec::at_error_rate(0.01).seed(7).metrics(true));
+  const KernelRunReport b =
+      sim.run(haar, RunSpec::at_error_rate(0.01).seed(7).metrics(true));
+  EXPECT_EQ(to_json(a.metrics), to_json(b.metrics));
+}
+
+// -- Campaign aggregation ----------------------------------------------------
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.scale = 0.01;
+  spec.kernels = {"haar", "fwt", "blackscholes"};
+  spec.axis = SweepAxis::error_rate(0.0, 0.04, 3);
+  spec.metrics = true;
+  return spec;
+}
+
+TEST(CampaignTelemetry, MergedSnapshotIsBitIdenticalForAnyWorkerCount) {
+  const SweepSpec spec = small_spec();
+  const CampaignResult serial = CampaignEngine(1).run(spec);
+  const CampaignResult four = CampaignEngine(4).run(spec);
+  const CampaignResult hw = CampaignEngine(0).run(spec);
+  ASSERT_TRUE(serial.all_ok());
+  ASSERT_FALSE(serial.metrics.empty());
+  // The subsystem's acceptance criterion: byte-identical exports.
+  EXPECT_EQ(to_json(serial.metrics), to_json(four.metrics));
+  EXPECT_EQ(to_json(serial.metrics), to_json(hw.metrics));
+}
+
+TEST(CampaignTelemetry, MergeCarriesJobAccounting) {
+  const CampaignResult r = CampaignEngine(2).run(small_spec());
+  ASSERT_NE(r.metrics.find_counter("campaign.jobs"), nullptr);
+  EXPECT_EQ(r.metrics.find_counter("campaign.jobs")->value, r.jobs.size());
+  EXPECT_EQ(r.metrics.find_counter("campaign.jobs_failed")->value, 0u);
+  EXPECT_EQ(r.timeline, nullptr); // timeline was not requested
+}
+
+TEST(CampaignTelemetry, TimelineComesFromJobZeroOnly) {
+  SweepSpec spec = small_spec();
+  spec.timeline = true;
+  const CampaignResult r = CampaignEngine(2).run(spec);
+  ASSERT_NE(r.timeline, nullptr);
+  EXPECT_FALSE(r.timeline->events().empty());
+  for (std::size_t i = 1; i < r.jobs.size(); ++i) {
+    EXPECT_EQ(r.jobs[i].report.timeline, nullptr) << "job " << i;
+  }
+}
+
+TEST(CampaignTelemetry, MetricsOffKeepsSnapshotsEmpty) {
+  SweepSpec spec = small_spec();
+  spec.metrics = false;
+  const CampaignResult r = CampaignEngine(2).run(spec);
+  EXPECT_TRUE(r.metrics.empty());
+  for (const JobResult& j : r.jobs) {
+    EXPECT_TRUE(j.report.metrics.empty());
+  }
+}
+
+} // namespace
+} // namespace tmemo

@@ -381,6 +381,94 @@ class RngSeedRule final : public Rule {
   }
 };
 
+// -- R7 ---------------------------------------------------------------------
+
+class TelemetryRegistryRule final : public Rule {
+ public:
+  [[nodiscard]] std::string id() const override {
+    return "telemetry-registry";
+  }
+  [[nodiscard]] std::string description() const override {
+    return "R7: telemetry instruments must be obtained from a "
+           "MetricRegistry (counter()/gauge()/histogram()), never "
+           "constructed directly";
+  }
+
+  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+    // The registry implementation is the one legitimate construction site.
+    if (file.display_path.find("src/telemetry/") != std::string::npos) return;
+    const auto& toks = file.tokens;
+    if (!uses_telemetry(toks)) return;
+
+    static const std::set<std::string> kInstruments = {"Counter", "Gauge",
+                                                       "Histogram"};
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier ||
+          kInstruments.count(toks[i].text) == 0) {
+        continue;
+      }
+      // Skip definitions of unrelated local types with the same name and
+      // nested-name mentions of the type itself.
+      if (i > 0 && (is_id(toks[i - 1], "class") ||
+                    is_id(toks[i - 1], "struct") ||
+                    is_id(toks[i - 1], "friend") ||
+                    is_id(toks[i - 1], "explicit"))) {
+        continue;
+      }
+      if (next_is_punct(toks, i, "::")) continue;
+      const std::string& type = toks[i].text;
+      // Heap construction: `new Counter`, `make_unique<Counter>(...)`.
+      if (i > 0 && is_id(toks[i - 1], "new")) {
+        report_direct(out, file, toks[i], type);
+        continue;
+      }
+      if (i > 1 && is_punct(toks[i - 1], "<") &&
+          (is_id(toks[i - 2], "make_unique") ||
+           is_id(toks[i - 2], "make_shared"))) {
+        report_direct(out, file, toks[i], type);
+        continue;
+      }
+      // Temporaries `Counter()` / `Counter{}`.
+      if (next_is_punct(toks, i, "(") || next_is_punct(toks, i, "{")) {
+        report_direct(out, file, toks[i], type);
+        continue;
+      }
+      // Value declarations `Counter c ...` (references and pointers bind to
+      // registry-owned instruments and are fine: the next token is & or *).
+      if (i + 1 < toks.size() &&
+          toks[i + 1].kind == TokenKind::kIdentifier) {
+        report_direct(out, file, toks[i], type);
+      }
+    }
+  }
+
+ private:
+  /// The rule only engages in files that talk to the telemetry subsystem:
+  /// a `telemetry` namespace token or a telemetry/ include path. Unrelated
+  /// local helper types that happen to be called Counter stay untouched.
+  [[nodiscard]] static bool uses_telemetry(const std::vector<Token>& toks) {
+    for (const Token& t : toks) {
+      if (t.kind == TokenKind::kIdentifier && t.text == "telemetry") {
+        return true;
+      }
+      if (t.kind == TokenKind::kString &&
+          t.text.find("telemetry/") != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static void report_direct(std::vector<Finding>& out, const SourceFile& file,
+                            const Token& at, const std::string& type) {
+    report(out, "telemetry-registry", file, at,
+           "'" + type +
+               "' constructed outside MetricRegistry; call "
+               "registry.counter()/gauge()/histogram() so the instrument is "
+               "named, merged and exported with the run's snapshot");
+  }
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<Rule>> make_default_rules() {
@@ -391,6 +479,7 @@ std::vector<std::unique_ptr<Rule>> make_default_rules() {
   rules.push_back(std::make_unique<EnergyPairingRule>());
   rules.push_back(std::make_unique<DeprecatedRunApiRule>());
   rules.push_back(std::make_unique<RngSeedRule>());
+  rules.push_back(std::make_unique<TelemetryRegistryRule>());
   return rules;
 }
 

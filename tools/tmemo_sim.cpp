@@ -13,12 +13,18 @@
 //             [--threshold T] [--scale S] [--lut-depth N]
 //             [--no-memo] [--spatial] [--jobs N] [--seed S]
 //             [--per-unit] [--csv] [--json FILE|-]
+//             [--metrics-out FILE|-] [--metrics-format json|csv]
+//             [--trace-out FILE]
+//
+// Flags taking a value accept both "--flag value" and "--flag=value".
 //
 // Examples:
 //   tmemo_sim --kernel sobel --error-rate 0.02
 //   tmemo_sim --kernel all --sweep error-rate:0:0.04:9 --jobs 8
 //   tmemo_sim --kernel all --sweep voltage:0.9:0.8:6 --json fig11.json
 //   tmemo_sim --kernel haar --threshold 0.1 --lut-depth 8 --csv
+//   tmemo_sim --kernel haar --sweep error-rate:0:0.04:5
+//             --metrics-out=m.json --trace-out=t.json   # see OBSERVABILITY.md
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +37,8 @@
 
 #include "common/table.hpp"
 #include "sim/campaign.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/timeline.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -52,6 +60,9 @@ struct CliOptions {
   bool per_unit = false;
   bool csv = false;
   std::optional<std::string> json_path;
+  std::optional<std::string> metrics_path;
+  std::optional<std::string> trace_path;
+  std::string metrics_format = "json";
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -63,6 +74,8 @@ struct CliOptions {
       "          [--threshold T] [--scale S] [--lut-depth N]\n"
       "          [--no-memo] [--spatial] [--jobs N] [--seed S]\n"
       "          [--per-unit] [--csv] [--json FILE|-]\n"
+      "          [--metrics-out FILE|-] [--metrics-format json|csv]\n"
+      "          [--trace-out FILE]\n"
       "sweep axes: error-rate, voltage (e.g. --sweep error-rate:0:0.04:9)\n"
       "kernels: sobel gaussian haar binomialoption blackscholes fwt "
       "eigenvalue all\n",
@@ -70,18 +83,27 @@ struct CliOptions {
   std::exit(2);
 }
 
-double parse_double(const char* v, const char* argv0) {
+double parse_double(const std::string& v, const char* argv0) {
   char* end = nullptr;
-  const double d = std::strtod(v, &end);
-  if (end == v || *end != '\0') usage(argv0);
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') usage(argv0);
   return d;
 }
 
 CliOptions parse(int argc, char** argv) {
   CliOptions opt;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
+    // Accept both "--flag value" and "--flag=value".
+    std::string arg = argv[i];
+    std::optional<std::string> inline_value;
+    if (arg.rfind("--", 0) == 0) {
+      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+      }
+    }
+    auto value = [&]() -> std::string {
+      if (inline_value) return *inline_value;
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
@@ -121,6 +143,16 @@ CliOptions parse(int argc, char** argv) {
       opt.csv = true;
     } else if (arg == "--json") {
       opt.json_path = value();
+    } else if (arg == "--metrics-out") {
+      opt.metrics_path = value();
+    } else if (arg == "--trace-out") {
+      opt.trace_path = value();
+    } else if (arg == "--metrics-format") {
+      opt.metrics_format = value();
+      if (opt.metrics_format != "json" && opt.metrics_format != "csv") {
+        std::fprintf(stderr, "--metrics-format must be json or csv\n");
+        usage(argv[0]);
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -168,6 +200,8 @@ int main(int argc, char** argv) {
   variant.config.memoization = opt.memoization;
   variant.config.spatial = opt.spatial;
   spec.variants = {variant};
+  spec.metrics = opt.metrics_path.has_value();
+  spec.timeline = opt.trace_path.has_value();
 
   const CampaignEngine engine(opt.jobs);
   CampaignResult result;
@@ -250,6 +284,39 @@ int main(int argc, char** argv) {
       }
       write_campaign_json(result, out);
     }
+  }
+
+  if (opt.metrics_path) {
+    const auto write = [&](std::ostream& out) {
+      if (opt.metrics_format == "csv") {
+        telemetry::write_metrics_csv(result.metrics, out);
+      } else {
+        telemetry::write_metrics_json(result.metrics, out);
+      }
+    };
+    if (*opt.metrics_path == "-") {
+      write(std::cout);
+    } else {
+      std::ofstream out(*opt.metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", opt.metrics_path->c_str());
+        return 1;
+      }
+      write(out);
+    }
+  }
+
+  if (opt.trace_path) {
+    if (!result.timeline) {
+      std::fprintf(stderr, "no timeline recorded (campaign had no jobs?)\n");
+      return 1;
+    }
+    std::ofstream out(*opt.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.trace_path->c_str());
+      return 1;
+    }
+    telemetry::write_chrome_trace(*result.timeline, out);
   }
 
   return result.all_passed() ? 0 : 1;
