@@ -10,8 +10,8 @@ CycleAccurateFpu::CycleAccurateFpu(FpuType unit,
     : unit_(unit),
       depth_(fpu_latency_cycles(unit)),
       lut_(config.lut_depth),
-      eds_(unit, config.eds_seed),
-      ecu_(config.recovery) {}
+      eds_(unit, config.eds_seed, config.inject.eds),
+      ecu_(config.recovery, config.inject.watchdog) {}
 
 CycleRunResult CycleAccurateFpu::run(std::span<const FpInstruction> stream,
                                      const TimingErrorModel& errors) {
@@ -68,8 +68,9 @@ CycleRunResult CycleAccurateFpu::run(std::span<const FpInstruction> stream,
         if (slot.error) {
           ++out.stats.timing_errors;
           ++out.stats.masked_errors;
-          ecu_.note_masked_error();
-          probe(telemetry::ProbeEvent::Kind::kErrorMasked);
+          // The ECU emits the kErrorMasked probe and keeps the
+          // masked-vs-recovered distinction in its own stats.
+          ecu_.note_masked_error(unit_);
         }
         probe(telemetry::ProbeEvent::Kind::kOpRetired,
               static_cast<std::uint64_t>(depth_),

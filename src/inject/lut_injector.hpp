@@ -1,0 +1,113 @@
+// SEU injector for the memo LUT, plus the bit-flip helper used when a
+// missed EDS flag lets an errant datapath value commit.
+//
+// The injector owns its own Xorshift128 stream, seeded via
+// derive_fault_seed() from the owning FPU's eds_seed (lint rule R8), so a
+// fault campaign is exactly reproducible from the campaign seed and
+// independent of how many upsets actually land. Upset arrivals follow a
+// Poisson process in FPU cycles; the transactional execution model advances
+// the process by the pipeline depth once per instruction.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "inject/fault_config.hpp"
+#include "memo/lut.hpp"
+
+namespace tmemo::inject {
+
+/// Flips one uniformly chosen fraction bit of `v`. Models the architectural
+/// outcome of a timing violation whose EDS flag was suppressed: a late-
+/// arriving datapath bit latches wrong and the value commits silently. The
+/// fraction field keeps the corruption magnitude bounded by the value's own
+/// scale (exponent/sign flips would be detected by the sanity checks real
+/// pipelines keep even without EDS).
+[[nodiscard]] inline float flip_random_fraction_bit(float v,
+                                                    Xorshift128& rng) noexcept {
+  const auto bit = static_cast<std::uint32_t>(rng.next_below(23));
+  return bits_to_float(float_to_bits(v) ^ (1u << bit));
+}
+
+/// Cumulative injector statistics.
+struct LutFaultStats {
+  std::uint64_t cycles_advanced = 0;  ///< Poisson-process time elapsed
+  std::uint64_t upsets_drawn = 0;     ///< arrivals, incl. ones on dead lines
+  std::uint64_t bits_flipped = 0;     ///< upsets that hit a live entry
+
+  LutFaultStats& operator+=(const LutFaultStats& o) noexcept {
+    cycles_advanced += o.cycles_advanced;
+    upsets_drawn += o.upsets_drawn;
+    bits_flipped += o.bits_flipped;
+    return *this;
+  }
+};
+
+/// Per-FPU SEU process over one MemoLut.
+class LutFaultInjector {
+ public:
+  LutFaultInjector(const LutFaultConfig& config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  [[nodiscard]] const LutFaultConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const LutFaultStats& stats() const noexcept { return stats_; }
+
+  /// The injector's RNG also backs the false-negative commit corruption, so
+  /// one seed covers every stochastic element of the fault model.
+  [[nodiscard]] Xorshift128& rng() noexcept { return rng_; }
+
+  /// Advances the upset process by `cycles` and applies the arrivals to
+  /// `lut`: each upset flips one uniform bit of one uniform live entry
+  /// (operand words or the result word). Upsets drawn while the FIFO is
+  /// empty land in invalid lines and are architecturally harmless. Returns
+  /// the number of bits flipped in live entries. No RNG is consumed when
+  /// the SEU rate is zero (zero-cost-when-off contract).
+  int advance(MemoLut& lut, int cycles) {
+    if (!config_.enabled() || cycles <= 0) return 0;
+    stats_.cycles_advanced += static_cast<std::uint64_t>(cycles);
+    const int upsets =
+        draw_poisson(config_.seu_per_cycle * static_cast<double>(cycles));
+    stats_.upsets_drawn += static_cast<std::uint64_t>(upsets);
+    int flipped = 0;
+    for (int u = 0; u < upsets; ++u) {
+      const int live = lut.size();
+      if (live == 0) continue;
+      const auto entry = static_cast<int>(
+          rng_.next_below(static_cast<std::uint64_t>(live)));
+      const auto bit = static_cast<int>(
+          rng_.next_below(32ull * (kMaxOperands + 1)));
+      lut.corrupt_bit(entry, bit / 32, bit % 32);
+      ++flipped;
+    }
+    stats_.bits_flipped += static_cast<std::uint64_t>(flipped);
+    return flipped;
+  }
+
+ private:
+  /// Knuth inverse-transform Poisson draw. The per-advance intensity is
+  /// seu_per_cycle * pipeline_depth, far below 1 for any physical rate; the
+  /// iteration cap only guards absurd configurations.
+  int draw_poisson(double lambda) {
+    TM_REQUIRE(lambda >= 0.0, "Poisson intensity must be >= 0");
+    const double limit = std::exp(-lambda);
+    int k = 0;
+    double p = 1.0;
+    do {
+      p *= rng_.next_double();
+      if (p <= limit) break;
+      ++k;
+    } while (k < 64);
+    return k;
+  }
+
+  LutFaultConfig config_;
+  Xorshift128 rng_;
+  LutFaultStats stats_;
+};
+
+} // namespace tmemo::inject

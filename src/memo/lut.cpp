@@ -1,18 +1,46 @@
 #include "memo/lut.hpp"
 
+#include "common/bits.hpp"
+
 namespace tmemo {
 
 std::optional<float> MemoLut::lookup(const FpInstruction& ins,
                                      const MatchConstraint& constraint) {
+  const LookupResult res = lookup_checked(ins, constraint);
+  if (!res.hit) return std::nullopt;
+  return res.value;
+}
+
+MemoLut::LookupResult MemoLut::lookup_checked(
+    const FpInstruction& ins, const MatchConstraint& constraint) {
   ++stats_.lookups;
+  if (parity_protected_) {
+    // The comparator bank reads every line each lookup, so the per-entry
+    // parity bit is checked on all of them; lines whose stored bits no
+    // longer match parity (odd flip count) are invalidated before matching.
+    // An even flip count restores parity and escapes, as in real hardware.
+    for (auto it = fifo_.begin(); it != fifo_.end();) {
+      if (it->seu_flips % 2 != 0) {
+        ++stats_.parity_invalidations;
+        it = fifo_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  LookupResult res;
   for (const LutEntry& entry : fifo_) {
     if (entry.opcode != ins.opcode) continue;
     if (constraint.operands_match(ins.opcode, entry.operands, ins.operands)) {
       ++stats_.hits;
-      return entry.result;
+      res.hit = true;
+      res.value = entry.result;
+      res.corrupted = entry.corrupted();
+      if (res.corrupted) ++stats_.corrupt_hits;
+      return res;
     }
   }
-  return std::nullopt;
+  return res;
 }
 
 void MemoLut::update(const FpInstruction& ins, float result) {
@@ -25,6 +53,23 @@ void MemoLut::update(const FpInstruction& ins, float result) {
 }
 
 void MemoLut::preload(const LutEntry& entry) { push(entry); }
+
+void MemoLut::corrupt_bit(int entry_index, int word, int bit) {
+  TM_REQUIRE(entry_index >= 0 && entry_index < size(),
+             "corrupt_bit entry index out of range");
+  TM_REQUIRE(word >= 0 && word <= kMaxOperands,
+             "corrupt_bit word out of range");
+  TM_REQUIRE(bit >= 0 && bit < 32, "corrupt_bit bit out of range");
+  LutEntry& entry = fifo_[static_cast<std::size_t>(entry_index)];
+  const std::uint32_t mask = 1u << bit;
+  if (word < kMaxOperands) {
+    float& w = entry.operands[static_cast<std::size_t>(word)];
+    w = bits_to_float(float_to_bits(w) ^ mask);
+  } else {
+    entry.result = bits_to_float(float_to_bits(entry.result) ^ mask);
+  }
+  if (entry.seu_flips < 255) ++entry.seu_flips;
+}
 
 void MemoLut::push(const LutEntry& entry) {
   fifo_.push_front(entry);

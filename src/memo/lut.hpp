@@ -28,6 +28,13 @@ struct LutEntry {
   FpOpcode opcode = FpOpcode::kAdd;
   std::array<float, kMaxOperands> operands{0.0f, 0.0f, 0.0f};
   float result = 0.0f;
+  /// SEU bookkeeping (src/inject/): bit flips this entry has absorbed since
+  /// it was written. The modeled parity bit catches odd counts only, like
+  /// real single-parity SRAM. Saturates at 255 (far beyond any plausible
+  /// accumulation before eviction).
+  std::uint8_t seu_flips = 0;
+
+  [[nodiscard]] bool corrupted() const noexcept { return seu_flips != 0; }
 };
 
 /// Cumulative LUT statistics.
@@ -35,6 +42,8 @@ struct LutStats {
   std::uint64_t lookups = 0;
   std::uint64_t hits = 0;
   std::uint64_t updates = 0;
+  std::uint64_t parity_invalidations = 0;  ///< corrupt lines dropped on read
+  std::uint64_t corrupt_hits = 0;          ///< hits served from flipped lines
 
   [[nodiscard]] double hit_rate() const noexcept {
     return lookups == 0 ? 0.0
@@ -46,6 +55,8 @@ struct LutStats {
     lookups += o.lookups;
     hits += o.hits;
     updates += o.updates;
+    parity_invalidations += o.parity_invalidations;
+    corrupt_hits += o.corrupt_hits;
     return *this;
   }
 };
@@ -64,10 +75,27 @@ class MemoLut {
     return static_cast<int>(fifo_.size());
   }
 
+  /// Outcome of one associative lookup, including whether the matched line
+  /// had absorbed SEU flips (the consumer decides whether a corrupt reuse
+  /// counts as silent data corruption).
+  struct LookupResult {
+    bool hit = false;
+    float value = 0.0f;
+    bool corrupted = false;
+  };
+
   /// Single-cycle associative lookup: returns the memorized result of the
   /// first (oldest-first) entry whose opcode matches exactly and whose
   /// operands satisfy `constraint`, or nullopt on a miss. Counts stats.
   [[nodiscard]] std::optional<float> lookup(const FpInstruction& ins,
+                                            const MatchConstraint& constraint);
+
+  /// lookup() plus fault metadata. When parity protection is on, every
+  /// lookup first invalidates lines whose stored bits no longer match their
+  /// parity bit (odd flip counts; the comparator bank reads all lines each
+  /// cycle, so the check is free) and counts them in
+  /// LutStats::parity_invalidations.
+  [[nodiscard]] LookupResult lookup_checked(const FpInstruction& ins,
                                             const MatchConstraint& constraint);
 
   /// Inserts an error-free execution context (operands -> result) at the
@@ -84,6 +112,19 @@ class MemoLut {
   /// Drops all entries (power-gating the module clears its state).
   void clear() noexcept { fifo_.clear(); }
 
+  /// Fault-injection seam (src/inject/lut_injector.hpp): flips one bit of
+  /// one stored word of the entry at `entry_index` (0 = newest). `word`
+  /// selects operand 0..kMaxOperands-1 or, at kMaxOperands, the result;
+  /// `bit` is the IEEE-754 bit position 0..31.
+  void corrupt_bit(int entry_index, int word, int bit);
+
+  /// Hardening knob: per-entry parity checked on every lookup (see
+  /// lookup_checked()). Off by default; zero cost while off.
+  void set_parity_protected(bool on) noexcept { parity_protected_ = on; }
+  [[nodiscard]] bool parity_protected() const noexcept {
+    return parity_protected_;
+  }
+
   [[nodiscard]] const LutStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
@@ -98,6 +139,7 @@ class MemoLut {
   int depth_;
   std::deque<LutEntry> fifo_; // front = newest
   LutStats stats_;
+  bool parity_protected_ = false;
 };
 
 } // namespace tmemo

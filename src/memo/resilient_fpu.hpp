@@ -19,6 +19,8 @@
 #include "fpu/instruction.hpp"
 #include "fpu/opcode.hpp"
 #include "fpu/semantics.hpp"
+#include "inject/fault_config.hpp"
+#include "inject/lut_injector.hpp"
 #include "memo/lut.hpp"
 #include "memo/module.hpp"
 #include "memo/registers.hpp"
@@ -55,6 +57,13 @@ struct ExecutionRecord {
   bool spatial_reuse = false;  ///< lane served by the spatial broadcast
   int spatial_compares = 0;    ///< lane-vs-master comparator activations
 
+  // Fault-injection outcomes (all false/0 with injection off).
+  int lut_seu_flips = 0;           ///< SEU bits flipped during this op
+  bool eds_false_negative = false; ///< real violation, flag suppressed
+  bool eds_false_positive = false; ///< spurious flag, wasted recovery
+  bool corrupt_reuse = false;      ///< hit served from an SEU-flipped line
+  bool sdc = false;                ///< silently corrupted value committed
+
   float result = 0.0f;         ///< architecturally committed value (Q_pipe)
   float exact_result = 0.0f;   ///< golden datapath value (for fidelity)
   std::array<float, kMaxOperands> operands{};  ///< source operand values
@@ -71,6 +80,14 @@ struct FpuStats {
   std::uint64_t active_stage_cycles = 0;
   std::uint64_t gated_stage_cycles = 0;
   std::uint64_t lut_updates = 0;
+  // Fault-injection accounting (all zero with injection off; see
+  // docs/FAULT_INJECTION.md for the SDC definition).
+  std::uint64_t seu_flips = 0;            ///< LUT bits upset while live
+  std::uint64_t parity_invalidations = 0; ///< corrupt lines parity dropped
+  std::uint64_t corrupt_reuses = 0;       ///< hits served from flipped lines
+  std::uint64_t eds_false_negatives = 0;  ///< violations the sensors missed
+  std::uint64_t eds_false_positives = 0;  ///< spurious flags (wasted replays)
+  std::uint64_t sdc_ops = 0;              ///< ops that committed silent corruption
 
   [[nodiscard]] double hit_rate() const noexcept {
     return instructions == 0
@@ -88,6 +105,12 @@ struct FpuStats {
     active_stage_cycles += o.active_stage_cycles;
     gated_stage_cycles += o.gated_stage_cycles;
     lut_updates += o.lut_updates;
+    seu_flips += o.seu_flips;
+    parity_invalidations += o.parity_invalidations;
+    corrupt_reuses += o.corrupt_reuses;
+    eds_false_negatives += o.eds_false_negatives;
+    eds_false_positives += o.eds_false_positives;
+    sdc_ops += o.sdc_ops;
     return *this;
   }
 };
@@ -97,6 +120,11 @@ struct ResilientFpuConfig {
   int lut_depth = 2;  ///< FIFO entries (paper final design: 2)
   RecoveryPolicy recovery = RecoveryPolicy::kMultipleIssueReplay;
   std::uint64_t eds_seed = 1;  ///< deterministic EDS sampling stream
+  /// Fault injection + hardening knobs; default = fault-free hardware. The
+  /// injector's RNG stream derives from eds_seed (so per-FPU streams stay
+  /// unique through the device's mix_seed fan-out) and is never drawn from
+  /// while injection is off.
+  inject::FaultInjectionConfig inject;
 };
 
 /// One FPU + EDS + ECU + temporal-memoization module.
@@ -161,6 +189,8 @@ class ResilientFpu {
   MemoRegisterFile regs_;
   EdsSensorBank eds_;
   Ecu ecu_;
+  inject::FaultInjectionConfig inject_;
+  inject::LutFaultInjector injector_;
   FpuStats stats_;
   bool power_gated_ = false;
   telemetry::ProbeSink* probe_ = nullptr;

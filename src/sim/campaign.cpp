@@ -3,10 +3,15 @@
 #include <atomic>
 #include <cctype>
 #include <charconv>
+#include <iterator>
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
@@ -69,8 +74,11 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+// RFC-4180 quoting: a field containing a comma, quote, LF or CR is wrapped
+// in quotes with embedded quotes doubled. CR matters: an error message
+// carrying "\r\n" written unquoted would split one row into two.
 std::string csv_escape(std::string_view s) {
-  if (s.find_first_of(",\"\n") == std::string_view::npos) {
+  if (s.find_first_of(",\"\n\r") == std::string_view::npos) {
     return std::string(s);
   }
   std::string out = "\"";
@@ -80,6 +88,199 @@ std::string csv_escape(std::string_view s) {
   }
   out += '"';
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign journal (crash-safe resume).
+//
+// The journal is a CSV file: one header record ("tmemo-journal-v1" plus the
+// campaign fingerprint) followed by one record per finished job. Every
+// numeric field uses the shortest round-trippable decimal form (fmt_double),
+// so a journaled JobResult restores bit-identically.
+
+constexpr std::string_view kJournalSchema = "tmemo-journal-v1";
+
+/// FpuStats counters in journal order. One list serves both pack and
+/// unpack, so the journal cannot drift from the struct.
+constexpr std::uint64_t FpuStats::* kFpuStatFields[] = {
+    &FpuStats::instructions,        &FpuStats::hits,
+    &FpuStats::timing_errors,       &FpuStats::masked_errors,
+    &FpuStats::recoveries,          &FpuStats::recovery_cycles,
+    &FpuStats::active_stage_cycles, &FpuStats::gated_stage_cycles,
+    &FpuStats::lut_updates,         &FpuStats::seu_flips,
+    &FpuStats::parity_invalidations, &FpuStats::corrupt_reuses,
+    &FpuStats::eds_false_negatives, &FpuStats::eds_false_positives,
+    &FpuStats::sdc_ops};
+constexpr std::size_t kFpuStatFieldCount = std::size(kFpuStatFields);
+
+/// Journal record layout (field indices). kJournalFieldCount pins the
+/// record width; parse_journal_entry rejects any other width.
+enum JournalField : std::size_t {
+  kJfIndex = 0,
+  kJfAttempts,
+  kJfTimedOut,
+  kJfOk,
+  kJfError,
+  kJfKernel,
+  kJfParam,
+  kJfThreshold,
+  kJfSupply,
+  kJfErrorRate,
+  kJfHitRate,
+  kJfEnergyMemo,
+  kJfEnergyBase,
+  kJfOutputValues,
+  kJfMaxAbsError,
+  kJfMeanAbsError,
+  kJfRelRmsError,
+  kJfSdcValues,
+  kJfPassed,
+  kJfUnitStats,
+  kJfWallMs,
+  kJournalFieldCount
+};
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_bool(const std::string& s, bool& out) {
+  if (s == "0") {
+    out = false;
+  } else if (s == "1") {
+    out = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// 9 unit groups separated by ';', counters within a group by ':'.
+std::string pack_unit_stats(const std::array<FpuStats, kNumFpuTypes>& units) {
+  std::string out;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    if (u != 0) out += ';';
+    for (std::size_t f = 0; f < kFpuStatFieldCount; ++f) {
+      if (f != 0) out += ':';
+      out += std::to_string(units[u].*kFpuStatFields[f]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t p = s.find(sep, start);
+    out.push_back(s.substr(start, p - start));
+    if (p == std::string::npos) return out;
+    start = p + 1;
+  }
+}
+
+bool unpack_unit_stats(const std::string& s,
+                       std::array<FpuStats, kNumFpuTypes>& units) {
+  const std::vector<std::string> groups = split(s, ';');
+  if (groups.size() != units.size()) return false;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const std::vector<std::string> counters = split(groups[u], ':');
+    if (counters.size() != kFpuStatFieldCount) return false;
+    for (std::size_t f = 0; f < kFpuStatFieldCount; ++f) {
+      if (!parse_u64(counters[f], units[u].*kFpuStatFields[f])) return false;
+    }
+  }
+  return true;
+}
+
+std::string serialize_journal_entry(const JobResult& j) {
+  std::string row;
+  const auto add = [&row](std::string_view field) {
+    if (!row.empty()) row += ',';
+    row += csv_escape(field);
+  };
+  add(std::to_string(j.job.index));
+  add(std::to_string(j.attempts));
+  add(j.timed_out ? "1" : "0");
+  add(j.ok ? "1" : "0");
+  add(j.error);
+  add(j.report.kernel);
+  add(j.report.input_parameter);
+  add(fmt_double(static_cast<double>(j.report.threshold)));
+  add(fmt_double(j.report.supply));
+  add(fmt_double(j.report.error_rate_configured));
+  add(fmt_double(j.report.weighted_hit_rate));
+  add(fmt_double(j.report.energy.memoized_pj));
+  add(fmt_double(j.report.energy.baseline_pj));
+  add(std::to_string(j.report.result.output_values));
+  add(fmt_double(j.report.result.max_abs_error));
+  add(fmt_double(j.report.result.mean_abs_error));
+  add(fmt_double(j.report.result.rel_rms_error));
+  add(std::to_string(j.report.result.sdc_values));
+  add(j.report.result.passed ? "1" : "0");
+  add(pack_unit_stats(j.report.unit_stats));
+  add(fmt_double(j.wall_ms));
+  row += '\n';
+  return row;
+}
+
+/// Restores a JobResult from one journal record. Only the measured fields
+/// and job.index are restored; the caller re-derives the rest of the
+/// CampaignJob from the spec. Returns false (entry skipped) on any
+/// malformed field — the truncated-final-record crash case.
+bool parse_journal_entry(const std::vector<std::string>& f, JobResult& out) {
+  if (f.size() != kJournalFieldCount) return false;
+  out = JobResult{};
+  std::uint64_t u64 = 0;
+  double d = 0.0;
+  if (!parse_u64(f[kJfIndex], u64)) return false;
+  out.job.index = static_cast<std::size_t>(u64);
+  if (!parse_u64(f[kJfAttempts], u64) || u64 == 0) return false;
+  out.attempts = static_cast<int>(u64);
+  if (!parse_bool(f[kJfTimedOut], out.timed_out)) return false;
+  if (!parse_bool(f[kJfOk], out.ok)) return false;
+  out.error = f[kJfError];
+  out.report.kernel = f[kJfKernel];
+  out.report.input_parameter = f[kJfParam];
+  if (!parse_double(f[kJfThreshold], d)) return false;
+  out.report.threshold = static_cast<float>(d);
+  if (!parse_double(f[kJfSupply], out.report.supply)) return false;
+  if (!parse_double(f[kJfErrorRate], out.report.error_rate_configured)) {
+    return false;
+  }
+  if (!parse_double(f[kJfHitRate], out.report.weighted_hit_rate)) return false;
+  if (!parse_double(f[kJfEnergyMemo], out.report.energy.memoized_pj)) {
+    return false;
+  }
+  if (!parse_double(f[kJfEnergyBase], out.report.energy.baseline_pj)) {
+    return false;
+  }
+  if (!parse_u64(f[kJfOutputValues], u64)) return false;
+  out.report.result.output_values = static_cast<std::size_t>(u64);
+  if (!parse_double(f[kJfMaxAbsError], out.report.result.max_abs_error)) {
+    return false;
+  }
+  if (!parse_double(f[kJfMeanAbsError], out.report.result.mean_abs_error)) {
+    return false;
+  }
+  if (!parse_double(f[kJfRelRmsError], out.report.result.rel_rms_error)) {
+    return false;
+  }
+  if (!parse_u64(f[kJfSdcValues], u64)) return false;
+  out.report.result.sdc_values = static_cast<std::size_t>(u64);
+  if (!parse_bool(f[kJfPassed], out.report.result.passed)) return false;
+  if (!unpack_unit_stats(f[kJfUnitStats], out.report.unit_stats)) return false;
+  if (!parse_double(f[kJfWallMs], out.wall_ms)) return false;
+  return true;
 }
 
 } // namespace
@@ -256,8 +457,154 @@ std::vector<CampaignJob> CampaignEngine::expand(const SweepSpec& spec) {
   return jobs;
 }
 
-CampaignResult CampaignEngine::run(const SweepSpec& spec) const {
+std::string campaign_fingerprint(const SweepSpec& spec) {
+  // Compose a canonical description of the grid identity, then hash it
+  // (FNV-1a, 64-bit) into a short stable token for the journal header.
+  std::string desc = "axis=";
+  desc += spec.axis.kind_name();
+  desc += ':';
+  desc += fmt_double(spec.axis.start);
+  desc += ':';
+  desc += fmt_double(spec.axis.stop);
+  desc += ':';
+  desc += std::to_string(spec.axis.count);
+  desc += ";scale=";
+  desc += fmt_double(spec.scale);
+  desc += ";seed=";
+  desc += std::to_string(spec.campaign_seed);
+  desc += ";kernels=";
+  for (const std::string& k : spec.kernels) {
+    desc += k;
+    desc += '|';
+  }
+  desc += ";thresholds=";
+  for (const float t : spec.thresholds) {
+    desc += fmt_double(static_cast<double>(t));
+    desc += '|';
+  }
+  desc += ";variants=";
+  for (const ConfigVariant& v : spec.variants) {
+    desc += v.label;
+    desc += '|';
+  }
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : desc) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "v1-%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+bool read_csv_record(std::istream& in, std::vector<std::string>& fields) {
+  fields.clear();
+  using Traits = std::istream::traits_type;
+  if (Traits::eq_int_type(in.peek(), Traits::eof())) return false;
+  std::string field;
+  bool quoted = false;
+  for (;;) {
+    const int c = in.get();
+    if (Traits::eq_int_type(c, Traits::eof())) {
+      // End of input terminates the record — including a quoted field cut
+      // short by a crash; the caller's field-count check rejects it.
+      fields.push_back(std::move(field));
+      return true;
+    }
+    const char ch = Traits::to_char_type(c);
+    if (quoted) {
+      if (ch == '"') {
+        if (in.peek() == Traits::to_int_type('"')) {
+          in.get();
+          field += '"';
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"' && field.empty()) {
+      quoted = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      fields.push_back(std::move(field));
+      return true;
+    } else if (ch == '\r') {
+      if (in.peek() == Traits::to_int_type('\n')) in.get();
+      fields.push_back(std::move(field));
+      return true;
+    } else {
+      field += ch;
+    }
+  }
+}
+
+CampaignJournal read_campaign_journal(std::istream& in) {
+  CampaignJournal journal;
+  std::vector<std::string> fields;
+  if (!read_csv_record(in, fields) || fields.size() != 2 ||
+      fields[0] != kJournalSchema) {
+    throw std::runtime_error("not a " + std::string(kJournalSchema) +
+                             " journal");
+  }
+  journal.fingerprint = fields[1];
+  while (read_csv_record(in, fields)) {
+    JobResult entry;
+    if (parse_journal_entry(fields, entry)) {
+      journal.entries.push_back(std::move(entry));
+    }
+  }
+  return journal;
+}
+
+CampaignResult CampaignEngine::run(const SweepSpec& spec,
+                                   const CampaignRunOptions& options) const {
+  TM_REQUIRE(options.max_attempts >= 1, "max_attempts must be >= 1");
+  const std::string fingerprint =
+      (options.resume.has_value() || !options.journal_path.empty())
+          ? campaign_fingerprint(spec)
+          : std::string();
+  if (options.resume.has_value()) {
+    TM_REQUIRE(!spec.metrics && !spec.timeline,
+               "metrics/timeline campaigns cannot be resumed "
+               "(snapshots are not journaled)");
+    TM_REQUIRE(options.resume->fingerprint == fingerprint,
+               "journal fingerprint does not match this campaign");
+  }
+
   const std::vector<CampaignJob> jobs = expand(spec);
+
+  // Map journal entries onto job slots; a later duplicate (a job journaled
+  // twice across interrupted runs) wins.
+  std::vector<const JobResult*> restored(jobs.size(), nullptr);
+  if (options.resume.has_value()) {
+    for (const JobResult& e : options.resume->entries) {
+      if (e.job.index < restored.size()) restored[e.job.index] = &e;
+    }
+  }
+
+  // Append-only journal: header only when the file is fresh, one flushed
+  // record per finished job (restored jobs are already journaled).
+  std::ofstream journal;
+  std::mutex journal_mutex;
+  if (!options.journal_path.empty()) {
+    bool fresh = true;
+    {
+      std::ifstream probe(options.journal_path);
+      fresh = !probe.good() ||
+              std::ifstream::traits_type::eq_int_type(
+                  probe.peek(), std::ifstream::traits_type::eof());
+    }
+    journal.open(options.journal_path, std::ios::app);
+    TM_REQUIRE(journal.is_open(), "cannot open campaign journal for append");
+    if (fresh) {
+      journal << kJournalSchema << ',' << csv_escape(fingerprint) << '\n';
+      journal.flush();
+    }
+  }
 
   CampaignResult result;
   result.jobs.resize(jobs.size());
@@ -268,9 +615,10 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec) const {
 
   const auto campaign_start = wall_now();
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> resumed{0};
 
   // Each worker owns a private workload set, so jobs never share mutable
-  // state; results land in distinct slots, so no lock is needed.
+  // state; results land in distinct slots, so only the journal needs a lock.
   const auto worker = [&]() {
     std::vector<std::unique_ptr<Workload>> workloads;
     std::string setup_error;
@@ -287,29 +635,59 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec) const {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
       JobResult& out = result.jobs[i];
+      if (restored[i] != nullptr) {
+        out = *restored[i];
+        out.job = jobs[i];
+        resumed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       out.job = jobs[i];
       const auto job_start = wall_now();
       if (!setup_error.empty()) {
+        // Setup failures are environmental, not per-job: never retried.
         out.error = setup_error;
       } else if (jobs[i].workload_index >= workloads.size()) {
         out.error = "workload factory returned fewer workloads than expected";
       } else {
-        try {
-          const ExperimentConfig& config =
-              spec.variants.empty()
-                  ? ExperimentConfig{}
-                  : spec.variants[jobs[i].variant_index].config;
-          const Simulation sim(config);
-          out.report =
-              sim.run(*workloads[jobs[i].workload_index], jobs[i].spec);
-          out.ok = true;
-        } catch (const std::exception& e) {
-          out.error = e.what();
-        } catch (...) {
-          out.error = "unknown exception";
+        for (int attempt = 1;; ++attempt) {
+          out.attempts = attempt;
+          out.ok = false;
+          out.error.clear();
+          try {
+            const ExperimentConfig& config =
+                spec.variants.empty()
+                    ? ExperimentConfig{}
+                    : spec.variants[jobs[i].variant_index].config;
+            const Simulation sim(config);
+            out.report =
+                sim.run(*workloads[jobs[i].workload_index], jobs[i].spec);
+            out.ok = true;
+          } catch (const std::exception& e) {
+            out.error = e.what();
+          } catch (...) {
+            out.error = "unknown exception";
+          }
+          if (out.ok || attempt >= options.max_attempts) break;
         }
       }
       out.wall_ms = elapsed_ms(job_start);
+      if (options.job_timeout_ms > 0.0 &&
+          out.wall_ms > options.job_timeout_ms) {
+        // Cooperative timeout: the run already finished (a worker thread
+        // cannot be preempted safely), but its result is discarded so slow
+        // outliers surface as failures rather than skewing the grid.
+        out.ok = false;
+        out.timed_out = true;
+        out.report = KernelRunReport{};
+        out.error = "job exceeded " + fmt_double(options.job_timeout_ms) +
+                    " ms timeout";
+      }
+      if (journal.is_open()) {
+        const std::string row = serialize_journal_entry(out);
+        const std::lock_guard<std::mutex> lock(journal_mutex);
+        journal << row;
+        journal.flush();
+      }
     }
   };
 
@@ -321,6 +699,7 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec) const {
     for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
+  result.resumed_jobs = resumed.load(std::memory_order_relaxed);
 
   // Fold the per-job snapshots into the campaign aggregate. The fold runs
   // in job-index order after the pool joins, and the merge itself is
@@ -343,7 +722,7 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec) const {
 void write_campaign_csv(const CampaignResult& result, std::ostream& out) {
   out << "index,variant,kernel,param,axis,axis_value,threshold,supply_v,"
          "error_rate,seed,hit_rate,e_memo_pj,e_base_pj,saving,verify,"
-         "max_abs_error,wall_ms,status,error\n";
+         "max_abs_error,sdc_values,sdc_ops,attempts,wall_ms,status,error\n";
   for (const JobResult& j : result.jobs) {
     const RunSpec& spec = j.job.spec;
     const bool voltage = spec.axis() == RunSpec::Axis::kVoltage;
@@ -362,12 +741,14 @@ void write_campaign_csv(const CampaignResult& result, std::ostream& out) {
           << fmt_double(j.report.energy.baseline_pj) << ','
           << fmt_double(j.report.energy.saving()) << ','
           << (j.report.result.passed ? "passed" : "FAILED") << ','
-          << fmt_double(j.report.result.max_abs_error);
+          << fmt_double(j.report.result.max_abs_error) << ','
+          << j.report.result.sdc_values << ',' << j.report.total_sdc_ops();
     } else {
-      out << ",,,,,";
+      out << ",,,,,,,";
     }
-    out << ',' << fmt_double(j.wall_ms) << ',' << (j.ok ? "ok" : "error")
-        << ',' << csv_escape(j.error) << '\n';
+    out << ',' << j.attempts << ',' << fmt_double(j.wall_ms) << ','
+        << (j.ok ? "ok" : (j.timed_out ? "timeout" : "error")) << ','
+        << csv_escape(j.error) << '\n';
   }
 }
 
@@ -388,7 +769,9 @@ void write_campaign_json(const CampaignResult& result, std::ostream& out) {
         << "\", \"axis_value\": " << fmt_double(j.job.axis_value)
         << ", \"seed\": "
         << (spec.seed() ? std::to_string(*spec.seed()) : "null")
-        << ", \"ok\": " << (j.ok ? "true" : "false") << ", \"wall_ms\": "
+        << ", \"ok\": " << (j.ok ? "true" : "false")
+        << ", \"attempts\": " << j.attempts << ", \"timed_out\": "
+        << (j.timed_out ? "true" : "false") << ", \"wall_ms\": "
         << fmt_double(j.wall_ms);
     if (j.ok) {
       const KernelRunReport& r = j.report;
@@ -406,13 +789,29 @@ void write_campaign_json(const CampaignResult& result, std::ostream& out) {
           << ", \"max_abs_error\": " << fmt_double(r.result.max_abs_error)
           << ", \"mean_abs_error\": " << fmt_double(r.result.mean_abs_error)
           << ", \"rel_rms_error\": " << fmt_double(r.result.rel_rms_error)
-          << "}";
+          << ", \"sdc_values\": " << r.result.sdc_values
+          << ", \"sdc_ops\": " << r.total_sdc_ops() << "}";
     } else {
       out << ", \"error\": \"" << json_escape(j.error) << "\"";
     }
     out << "}";
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ],\n"
+      << "  \"resumed_jobs\": " << result.resumed_jobs << ",\n"
+      << "  \"failed_jobs\": [";
+  // Failure manifest: the rows an operator triages (and a resume re-runs
+  // by deleting them from the journal) without scanning the full grid.
+  bool first_failed = true;
+  for (const JobResult& j : result.jobs) {
+    if (j.ok) continue;
+    out << (first_failed ? "\n" : ",\n");
+    first_failed = false;
+    out << "    {\"index\": " << j.job.index << ", \"kernel\": \""
+        << json_escape(j.job.kernel) << "\", \"attempts\": " << j.attempts
+        << ", \"timed_out\": " << (j.timed_out ? "true" : "false")
+        << ", \"error\": \"" << json_escape(j.error) << "\"}";
+  }
+  out << (first_failed ? "]\n}\n" : "\n  ]\n}\n");
 }
 
 } // namespace tmemo

@@ -11,6 +11,11 @@
 // own private workload set, so a campaign produces bit-identical
 // CampaignResults for any worker count. A throwing job records an error
 // entry instead of killing the campaign.
+//
+// Crash safety (CampaignRunOptions): jobs can be bounded-retried and
+// soft-timed-out, and every finished job can be appended to an RFC-4180
+// journal that a later run resumes from (--resume), restoring completed
+// jobs bit-identically instead of re-executing them.
 #pragma once
 
 #include <cstdint>
@@ -119,13 +124,21 @@ struct CampaignJob {
   RunSpec spec = RunSpec::at_error_rate(0.0);
 };
 
-/// Outcome of one job. ok == false means the run threw: `error` holds the
-/// exception text and `report` is default-constructed.
+/// Outcome of one job. ok == false means the run threw (`error` holds the
+/// exception text and `report` is default-constructed) or, with a job
+/// timeout configured, that the job blew its wall-clock budget.
 struct JobResult {
   CampaignJob job;
   KernelRunReport report;
   bool ok = false;
   std::string error;
+  /// Runs attempted before this result was accepted (1 = first try; up to
+  /// CampaignRunOptions::max_attempts for jobs that kept throwing).
+  int attempts = 1;
+  /// The job exceeded CampaignRunOptions::job_timeout_ms. The timeout is
+  /// cooperative (checked when the run returns — a worker thread cannot be
+  /// preempted safely), and timed-out jobs are not retried.
+  bool timed_out = false;
   double wall_ms = 0.0;
 };
 
@@ -135,6 +148,8 @@ struct CampaignResult {
   std::vector<JobResult> jobs;
   double wall_ms = 0.0; ///< whole-campaign wall time
   int workers = 1;      ///< worker threads actually used
+  /// Jobs restored from a resume journal instead of re-executed.
+  std::size_t resumed_jobs = 0;
 
   /// Merged telemetry over every ok job (empty unless SweepSpec::metrics).
   /// Bit-identical for any worker count: all instruments are uint64 and
@@ -149,6 +164,38 @@ struct CampaignResult {
   [[nodiscard]] bool all_passed() const noexcept;
 };
 
+/// A parsed job-result journal: the fingerprint of the campaign it belongs
+/// to plus the completed entries it holds (only JobResult::job.index plus
+/// the measured fields are meaningful; the rest of the CampaignJob is
+/// re-derived from the spec on resume).
+struct CampaignJournal {
+  std::string fingerprint;
+  std::vector<JobResult> entries;
+};
+
+/// Crash-safety and partial-failure options for CampaignEngine::run.
+struct CampaignRunOptions {
+  /// Deterministic bounded retry: a throwing job is re-run (same seed, same
+  /// inputs) up to this many times; JobResult::attempts records the count.
+  int max_attempts = 1;
+  /// Soft per-job wall-clock budget in ms; 0 disables. Cooperative: checked
+  /// when the run returns, so a wedged job still occupies its worker, but
+  /// its result is discarded, marked timed_out and never retried. Because
+  /// the classification depends on wall time, enabling a timeout trades the
+  /// bit-identical-for-any-worker-count guarantee for liveness.
+  double job_timeout_ms = 0.0;
+  /// Append-only journal path; empty disables journaling. Every finished
+  /// job is serialized and flushed as one RFC-4180 CSV record, so a killed
+  /// campaign loses at most the in-flight jobs. A fresh (empty/missing)
+  /// file gets a header line carrying campaign_fingerprint(spec).
+  std::string journal_path;
+  /// Completed jobs from a previous run (read_campaign_journal). Their
+  /// indices are skipped — the journaled result is restored bit-identically
+  /// — and the fingerprint must match the spec being run. Metrics/timeline
+  /// campaigns cannot be resumed (snapshots are not journaled).
+  std::optional<CampaignJournal> resume;
+};
+
 class CampaignEngine {
  public:
   /// `jobs` = worker-thread count; <= 0 selects hardware concurrency.
@@ -161,11 +208,35 @@ class CampaignEngine {
   [[nodiscard]] static std::vector<CampaignJob> expand(const SweepSpec& spec);
 
   /// Runs the whole campaign.
-  [[nodiscard]] CampaignResult run(const SweepSpec& spec) const;
+  [[nodiscard]] CampaignResult run(const SweepSpec& spec) const {
+    return run(spec, CampaignRunOptions{});
+  }
+
+  /// Runs the whole campaign with crash-safety options (retry, timeout,
+  /// journaling, resume).
+  [[nodiscard]] CampaignResult run(const SweepSpec& spec,
+                                   const CampaignRunOptions& options) const;
 
  private:
   int jobs_;
 };
+
+/// Stable identity of a campaign grid (axis, scale, seed, kernels,
+/// thresholds, variant labels): a journal written for one spec refuses to
+/// resume another. Variant labels — not their configs — enter the
+/// fingerprint, so keep ablation labels unique.
+[[nodiscard]] std::string campaign_fingerprint(const SweepSpec& spec);
+
+/// Reads a journal produced by a journaling run. Tolerates a truncated
+/// final record (the crash case); malformed rows are skipped. Throws
+/// std::runtime_error when the header is missing or unrecognized.
+[[nodiscard]] CampaignJournal read_campaign_journal(std::istream& in);
+
+/// Reads one RFC-4180 CSV record (quoted fields may span lines) from `in`
+/// into `fields`. Returns false at end of input. Exposed for tests of the
+/// quoting round-trip.
+[[nodiscard]] bool read_csv_record(std::istream& in,
+                                   std::vector<std::string>& fields);
 
 /// Writes one row per job: identity, operating point, seed, measurements,
 /// verification, wall time, status.

@@ -66,6 +66,27 @@ struct KernelRunReport {
   [[nodiscard]] bool unit_activated(FpuType u) const noexcept {
     return unit_stats[static_cast<std::size_t>(u)].instructions > 0;
   }
+
+  /// Device-level silent-data-corruption totals (docs/FAULT_INJECTION.md):
+  /// ops that committed a silently corrupted value — missed-EDS commits
+  /// plus corrupt LUT reuses. Zero whenever fault injection is off.
+  [[nodiscard]] std::uint64_t total_sdc_ops() const noexcept {
+    std::uint64_t n = 0;
+    for (const FpuStats& s : unit_stats) n += s.sdc_ops;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_instructions() const noexcept {
+    std::uint64_t n = 0;
+    for (const FpuStats& s : unit_stats) n += s.instructions;
+    return n;
+  }
+  /// SDC ops per executed instruction (0 when nothing executed).
+  [[nodiscard]] double sdc_op_rate() const noexcept {
+    const std::uint64_t ops = total_instructions();
+    return ops == 0 ? 0.0
+                    : static_cast<double>(total_sdc_ops()) /
+                          static_cast<double>(ops);
+  }
 };
 
 class Simulation {

@@ -127,6 +127,36 @@ void TelemetryCollector::on_event(const ProbeEvent& e) {
       ++tick_;
       break;
     }
+    case ProbeEvent::Kind::kLutSeuFlip:
+      reg.counter("inject.lut.seu_flips").add(e.value);
+      break;
+    case ProbeEvent::Kind::kLutParityDrop:
+      reg.counter("inject.lut.parity_invalidations").add(e.value);
+      break;
+    case ProbeEvent::Kind::kEdsFalseNegative:
+      reg.counter("inject.eds.false_negatives").add();
+      break;
+    case ProbeEvent::Kind::kEdsFalsePositive:
+      reg.counter("inject.eds.false_positives").add();
+      break;
+    case ProbeEvent::Kind::kWatchdogTrip: {
+      reg.counter("inject.watchdog.trips").add();
+      if (timeline_) {
+        TimelineEvent ev;
+        ev.phase = TimelineEvent::Phase::kInstant;
+        ev.name = "watchdog_trip";
+        ev.category = "inject";
+        ev.pid = e.cu;
+        ev.tid = e.core;
+        ev.ts = tick_;
+        ev.args.emplace_back("recovery_cycles", e.value);
+        timeline_->instant(std::move(ev));
+      }
+      break;
+    }
+    case ProbeEvent::Kind::kSdcCommit:
+      reg.counter("inject.sdc.committed_ops").add();
+      break;
   }
 }
 

@@ -34,6 +34,15 @@ struct ProbeEvent {
     kEcuReplay,      ///< ECU flush-and-replay recovery sequence
     kSpatialReuse,   ///< lane served by the cross-lane broadcast network
     kOpRetired,      ///< one dynamic instruction committed
+    // Fault-injection events (src/inject/, docs/FAULT_INJECTION.md). Only
+    // emitted when injection is configured on; `value` carries the count
+    // for the batched kinds (flips, drops) and is 0 otherwise.
+    kLutSeuFlip,        ///< SEU bit flips landed in live LUT entries
+    kLutParityDrop,     ///< corrupt LUT lines invalidated by parity
+    kEdsFalseNegative,  ///< real violation, sensor flag suppressed
+    kEdsFalsePositive,  ///< spurious sensor flag, wasted recovery
+    kWatchdogTrip,      ///< replay-storm watchdog degraded the FPU
+    kSdcCommit,         ///< silently corrupted value architecturally committed
   };
 
   Kind kind = Kind::kOpRetired;

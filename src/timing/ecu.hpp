@@ -24,6 +24,7 @@
 #include "common/require.hpp"
 #include "common/types.hpp"
 #include "fpu/opcode.hpp"
+#include "inject/fault_config.hpp"
 #include "telemetry/probe.hpp"
 
 namespace tmemo {
@@ -42,16 +43,20 @@ enum class RecoveryPolicy : std::uint8_t {
 
 /// Aggregate ECU statistics for one FPU (or one summed group).
 struct EcuStats {
-  std::uint64_t errors_signaled = 0;   ///< EDS flags that reached the ECU
+  std::uint64_t errors_signaled = 0;   ///< EDS flags raised (incl. masked)
+  std::uint64_t masked_errors = 0;     ///< flags the memo module suppressed
   std::uint64_t recoveries = 0;        ///< recovery sequences triggered
   std::uint64_t recovery_cycles = 0;   ///< total cycles spent recovering
   std::uint64_t flushed_ops = 0;       ///< in-flight ops squashed by flushes
+  std::uint64_t watchdog_trips = 0;    ///< replay-storm watchdog activations
 
   EcuStats& operator+=(const EcuStats& o) noexcept {
     errors_signaled += o.errors_signaled;
+    masked_errors += o.masked_errors;
     recoveries += o.recoveries;
     recovery_cycles += o.recovery_cycles;
     flushed_ops += o.flushed_ops;
+    watchdog_trips += o.watchdog_trips;
     return *this;
   }
 };
@@ -62,10 +67,14 @@ struct EcuStats {
 /// err again, as in [9]).
 class Ecu {
  public:
-  explicit Ecu(RecoveryPolicy policy = RecoveryPolicy::kMultipleIssueReplay)
-      : policy_(policy) {}
+  explicit Ecu(RecoveryPolicy policy = RecoveryPolicy::kMultipleIssueReplay,
+               const inject::WatchdogConfig& watchdog = {})
+      : policy_(policy), watchdog_(watchdog) {}
 
   [[nodiscard]] RecoveryPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] const inject::WatchdogConfig& watchdog() const noexcept {
+    return watchdog_;
+  }
 
   /// Handles one error signal for `unit`; returns the recovery cycle cost.
   int recover(FpuType unit, int flushed_in_flight_ops) {
@@ -79,8 +88,24 @@ class Ecu {
                             telemetry::ProbeEvent::Kind::kEcuReplay,
                             static_cast<std::uint8_t>(unit), 0, probe_core_,
                             probe_cu_, static_cast<std::uint64_t>(cycles)});
+    if (watchdog_.enabled() && !storm_tripped_ &&
+        stats_.recovery_cycles > watchdog_.recovery_cycle_budget) {
+      storm_tripped_ = true;
+      ++stats_.watchdog_trips;
+      TMEMO_TELEM(probe_,
+                  telemetry::ProbeEvent{
+                      telemetry::ProbeEvent::Kind::kWatchdogTrip,
+                      static_cast<std::uint8_t>(unit), 0, probe_core_,
+                      probe_cu_, stats_.recovery_cycles});
+    }
     return cycles;
   }
+
+  /// True once the cumulative recovery-cycle spend has exceeded the
+  /// watchdog budget. Latched: the degradation (watchdog().action) persists
+  /// for the rest of the FPU's life; reset_stats() starts a new measurement
+  /// window but does not un-degrade the hardware.
+  [[nodiscard]] bool storm_tripped() const noexcept { return storm_tripped_; }
 
   /// Attaches (or detaches, with nullptr) a telemetry sink; `cu`/`core`
   /// locate this ECU's FPU on the device for event attribution.
@@ -92,14 +117,26 @@ class Ecu {
   }
 
   /// Records an error flag that was masked before reaching recovery (the
-  /// memoization module's {Hit=1, Error=1} state).
-  void note_masked_error() { ++stats_.errors_signaled; }
+  /// memoization module's {Hit=1, Error=1} state). Counted both as a
+  /// signaled error and, separately, as a masked one, so masked and
+  /// recovered errors are distinguishable in EcuStats; also emits the
+  /// kErrorMasked probe on behalf of the executing unit.
+  void note_masked_error(FpuType unit) {
+    ++stats_.errors_signaled;
+    ++stats_.masked_errors;
+    TMEMO_TELEM(probe_, telemetry::ProbeEvent{
+                            telemetry::ProbeEvent::Kind::kErrorMasked,
+                            static_cast<std::uint8_t>(unit), 0, probe_core_,
+                            probe_cu_, 0});
+  }
 
   [[nodiscard]] const EcuStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
  private:
   RecoveryPolicy policy_;
+  inject::WatchdogConfig watchdog_;
+  bool storm_tripped_ = false;
   EcuStats stats_;
   telemetry::ProbeSink* probe_ = nullptr;
   std::uint32_t probe_cu_ = 0;

@@ -14,33 +14,67 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "fpu/opcode.hpp"
+#include "inject/fault_config.hpp"
 #include "timing/error_model.hpp"
 
 namespace tmemo {
 
 /// Outcome of the EDS sensors for one instruction traversing one FPU.
+/// `error` is what the downstream hardware sees; with imperfect sensors
+/// (inject::EdsFaultConfig) it can disagree with the ground truth.
 struct EdsObservation {
-  bool error = false;  ///< at least one stage flagged a timing violation
+  bool error = false;  ///< flag presented to the ECU/memo module
   int errant_stage = -1;  ///< 0-based stage of the first violation (-1: none)
   int propagation_cycles = 0;  ///< cycles for the flag to reach pipeline end
+  bool true_error = false;      ///< ground truth: the datapath really erred
+  bool false_negative = false;  ///< real violation, flag suppressed (SDC path)
+  bool false_positive = false;  ///< spurious flag, no violation occurred
 };
 
 /// Per-FPU EDS sensor bank.
 class EdsSensorBank {
  public:
-  EdsSensorBank(FpuType unit, std::uint64_t seed)
-      : unit_(unit), depth_(fpu_latency_cycles(unit)), rng_(seed) {}
+  EdsSensorBank(FpuType unit, std::uint64_t seed,
+                const inject::EdsFaultConfig& faults = {})
+      : unit_(unit),
+        depth_(fpu_latency_cycles(unit)),
+        rng_(seed),
+        faults_(faults) {}
 
   [[nodiscard]] FpuType unit() const noexcept { return unit_; }
   [[nodiscard]] int depth() const noexcept { return depth_; }
+  [[nodiscard]] const inject::EdsFaultConfig& faults() const noexcept {
+    return faults_;
+  }
 
   /// Samples the sensors for one instruction under `model`. When an error
   /// occurs, the errant stage is drawn uniformly (each stage has the same
   /// per-cycle violation probability) and the propagation latency is the
   /// number of remaining stages the flag must ripple through.
+  ///
+  /// With a nonzero EdsFaultConfig the observed flag can diverge from the
+  /// ground truth: a real violation is suppressed with probability
+  /// false_negative_rate, a clean pass misfires with probability
+  /// false_positive_rate. The imperfection draws are gated behind
+  /// faults_.enabled() so the RNG stream — and therefore every golden
+  /// result — is bit-identical when injection is off.
   [[nodiscard]] EdsObservation observe(const TimingErrorModel& model) {
     EdsObservation obs;
-    obs.error = model.sample_error(unit_, rng_);
+    obs.true_error = model.sample_error(unit_, rng_);
+    obs.error = obs.true_error;
+    if (faults_.enabled()) {
+      if (obs.true_error) {
+        if (faults_.false_negative_rate > 0.0 &&
+            rng_.bernoulli(faults_.false_negative_rate)) {
+          obs.error = false;
+          obs.false_negative = true;
+        }
+      } else if (faults_.false_positive_rate > 0.0 &&
+                 rng_.bernoulli(faults_.false_positive_rate)) {
+        obs.error = true;
+        obs.false_positive = true;
+      }
+    }
     if (obs.error) {
       obs.errant_stage = static_cast<int>(
           rng_.next_below(static_cast<std::uint64_t>(depth_)));
@@ -56,6 +90,7 @@ class EdsSensorBank {
   FpuType unit_;
   int depth_;
   Xorshift128 rng_;
+  inject::EdsFaultConfig faults_;
 };
 
 } // namespace tmemo

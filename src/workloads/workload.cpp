@@ -40,12 +40,27 @@ WorkloadResult measure_errors(const std::vector<float>& got,
   return res;
 }
 
+/// Counts values whose absolute deviation exceeds `value_tolerance` (the
+/// per-value silent-data-corruption criterion).
+std::size_t count_sdc_values(const std::vector<float>& got,
+                             const std::vector<float>& golden,
+                             double value_tolerance) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double d =
+        std::fabs(static_cast<double>(got[i]) - static_cast<double>(golden[i]));
+    if (d > value_tolerance) ++n;
+  }
+  return n;
+}
+
 } // namespace
 
 WorkloadResult compare_outputs(const std::vector<float>& got,
                                const std::vector<float>& golden,
                                double tolerance) {
   WorkloadResult res = measure_errors(got, golden);
+  res.sdc_values = count_sdc_values(got, golden, tolerance);
   res.passed = res.max_abs_error <= tolerance;
   return res;
 }
@@ -54,6 +69,18 @@ WorkloadResult compare_outputs_rel_rms(const std::vector<float>& got,
                                        const std::vector<float>& golden,
                                        double rel_tolerance) {
   WorkloadResult res = measure_errors(got, golden);
+  // The pass criterion is a whole-vector norm; the per-value SDC criterion
+  // scales the relative tolerance by the reference RMS so an isolated
+  // corrupted value is counted even when the aggregate norm still passes.
+  double ref_rms = 0.0;
+  if (!golden.empty()) {
+    double ref_sq = 0.0;
+    for (const float g : golden) {
+      ref_sq += static_cast<double>(g) * static_cast<double>(g);
+    }
+    ref_rms = std::sqrt(ref_sq / static_cast<double>(golden.size()));
+  }
+  res.sdc_values = count_sdc_values(got, golden, rel_tolerance * ref_rms);
   res.passed = res.rel_rms_error <= rel_tolerance;
   return res;
 }

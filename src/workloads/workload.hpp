@@ -35,7 +35,19 @@ struct WorkloadResult {
   double max_abs_error = 0.0;      ///< vs. host golden reference
   double mean_abs_error = 0.0;
   double rel_rms_error = 0.0;      ///< sqrt(sum(d^2) / sum(ref^2))
+  /// Silent-data-corruption count: committed values whose deviation from
+  /// the golden reference exceeds the verification tolerance (per-value;
+  /// docs/FAULT_INJECTION.md). Approximate-matching noise within tolerance
+  /// is by design and not counted; without fault injection this is 0 for
+  /// every passing run.
+  std::size_t sdc_values = 0;
   bool passed = false;             ///< SDK-style host verification
+
+  [[nodiscard]] double sdc_rate() const noexcept {
+    return output_values == 0 ? 0.0
+                              : static_cast<double>(sdc_values) /
+                                    static_cast<double>(output_values);
+  }
 };
 
 class Workload {

@@ -1,0 +1,20 @@
+// R8 fixture: injector RNG streams seeded from literals / ad-hoc constants
+// instead of a value derived from the device or campaign seed. Both
+// constructions satisfy R6 (an explicit argument is present) but break the
+// injection-seeding invariant.
+#include <cstdint>
+
+struct Xorshift128 {
+  explicit Xorshift128(std::uint64_t s) : state(s) {}
+  std::uint64_t state;
+};
+
+struct NoiseInjector {
+  Xorshift128 rng{12345};  // literal seed: not derived, flagged
+};
+
+inline std::uint64_t injector_checksum() {
+  Xorshift128 scratch(0xdeadbeefull);  // ad-hoc constant, flagged
+  NoiseInjector inj;
+  return scratch.state + inj.rng.state;
+}

@@ -1,5 +1,5 @@
 // Self-tests for tmemo_lint: exact finding counts against checked-in
-// fixtures (one bad fixture per rule R1-R7 plus the orphan-suppression
+// fixtures (one bad fixture per rule R1-R8 plus the orphan-suppression
 // meta rule), CLI exit codes, JSON rendering, and a cleanliness gate over
 // the real src/, tools/ and bench/ trees.
 //
@@ -75,6 +75,14 @@ TEST(LintRules, R7FlagsDirectInstrumentConstruction) {
   EXPECT_EQ(count_rule(r, "telemetry-registry"), 3u);
 }
 
+TEST(LintRules, R8FlagsUnderivedInjectorSeeds) {
+  const LintReport r = run_lint({fixture("bad/r8_injector.cpp")});
+  EXPECT_EQ(r.findings.size(), 2u);
+  EXPECT_EQ(count_rule(r, "injection-seeding"), 2u);
+  EXPECT_NE(r.findings[0].message.find("derive_fault_seed"),
+            std::string::npos);
+}
+
 TEST(LintRules, OrphanAndUnknownSuppressionsAreFindings) {
   const LintReport r = run_lint({fixture("bad/orphan.cpp")});
   ASSERT_EQ(r.findings.size(), 2u);
@@ -98,9 +106,9 @@ TEST(LintRules, GoodFixtureIsCleanWithOneJustifiedSuppression) {
 TEST(LintRules, WholeBadTreeCountsAreStable) {
   const LintReport r = run_lint({fixture("bad")});
   // 5 (R1) + 3 (R2) + 2 (R3) + 1 (R4) + 4 (R5) + 4 (R6) + 3 (R7)
-  // + 2 (orphans).
-  EXPECT_EQ(r.findings.size(), 24u);
-  EXPECT_EQ(r.files_scanned, 8u);
+  // + 2 (R8) + 2 (orphans).
+  EXPECT_EQ(r.findings.size(), 26u);
+  EXPECT_EQ(r.files_scanned, 9u);
   // Findings come out sorted by (path, line, col, rule).
   EXPECT_TRUE(std::is_sorted(
       r.findings.begin(), r.findings.end(),
@@ -139,14 +147,14 @@ TEST(LintCli, JsonReportIsWellFormedEnough) {
   EXPECT_NE(json.find("\"rule\": \"type-punning\""), std::string::npos);
 }
 
-TEST(LintCli, ListRulesNamesAllSeven) {
+TEST(LintCli, ListRulesNamesAllEight) {
   std::ostringstream out, err;
   EXPECT_EQ(run_cli({"--list-rules"}, out, err), 0);
   const std::string text = out.str();
   for (const char* rule :
        {"nondeterminism", "unordered-iteration", "type-punning",
         "energy-pairing", "deprecated-run-api", "rng-seed",
-        "telemetry-registry", "orphan-suppression"}) {
+        "telemetry-registry", "injection-seeding", "orphan-suppression"}) {
     EXPECT_NE(text.find(rule), std::string::npos) << rule;
   }
 }

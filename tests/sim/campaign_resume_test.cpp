@@ -1,0 +1,434 @@
+// Crash-safety tests for the campaign engine: RFC-4180 record parsing (the
+// CSV-injection regression), campaign fingerprints, the append-only job
+// journal, bounded deterministic retry, the cooperative job timeout, and
+// the ISSUE acceptance check that an interrupted-and-resumed campaign is
+// bit-identical to an uninterrupted one.
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "workloads/haar.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmemo {
+namespace {
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.scale = 0.01;
+  spec.kernels = {"haar"};
+  spec.axis = SweepAxis::error_rate(0.0, 0.04, 3);
+  return spec;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "tmemo_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// -- RFC-4180 record parsing --------------------------------------------------
+
+TEST(CsvRecord, ParsesQuotedSeparatorsQuotesAndLineBreaks) {
+  std::istringstream in(
+      "plain,\"comma, inside\",\"escaped \"\"quote\"\"\",\"multi\nline\","
+      "\"carriage\rreturn\"\n"
+      "second,row\n");
+  std::vector<std::string> fields;
+  ASSERT_TRUE(read_csv_record(in, fields));
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "plain");
+  EXPECT_EQ(fields[1], "comma, inside");
+  EXPECT_EQ(fields[2], "escaped \"quote\"");
+  EXPECT_EQ(fields[3], "multi\nline");
+  EXPECT_EQ(fields[4], "carriage\rreturn");
+  ASSERT_TRUE(read_csv_record(in, fields));
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "second");
+  EXPECT_FALSE(read_csv_record(in, fields));
+}
+
+TEST(CsvRecord, HandlesCrlfAndTruncatedFinalRecord) {
+  std::istringstream in("a,b\r\nc,d");  // CRLF row, then EOF mid-record
+  std::vector<std::string> fields;
+  ASSERT_TRUE(read_csv_record(in, fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(read_csv_record(in, fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"c", "d"}));
+  EXPECT_FALSE(read_csv_record(in, fields));
+}
+
+// A workload whose failure text is a CSV-injection attempt: separators, a
+// quote, and both line-break characters.
+class EvilErrorWorkload final : public Workload {
+ public:
+  static constexpr const char* kMessage =
+      "boom, \"quoted\" and\r\nan extra,row,1,2,3";
+  [[nodiscard]] std::string_view name() const override { return "Evil"; }
+  [[nodiscard]] std::string input_parameter() const override { return "-"; }
+  [[nodiscard]] float table1_threshold() const override { return 0.0f; }
+  [[nodiscard]] double verify_tolerance() const override { return 0.0; }
+  [[nodiscard]] WorkloadResult run(GpuDevice&) const override {
+    throw std::runtime_error(kMessage);
+  }
+};
+
+TEST(CsvRecord, WriterQuotesHostileErrorTextsRoundTrip) {
+  // Satellite regression: write_campaign_csv must quote `,`, `"`, `\n` AND
+  // `\r`, so a hostile error message cannot smuggle extra rows or columns
+  // past a conforming CSV reader.
+  SweepSpec spec;
+  spec.factory = [] {
+    std::vector<std::unique_ptr<Workload>> v;
+    v.push_back(std::make_unique<HaarWorkload>(128));
+    v.push_back(std::make_unique<EvilErrorWorkload>());
+    return v;
+  };
+  spec.axis = SweepAxis::error_rate_point(0.0);
+  const CampaignResult res = CampaignEngine(1).run(spec);
+  ASSERT_EQ(res.jobs.size(), 2u);
+  ASSERT_FALSE(res.jobs[1].ok);
+
+  std::ostringstream out;
+  write_campaign_csv(res, out);
+  std::istringstream in(out.str());
+  std::vector<std::string> header;
+  ASSERT_TRUE(read_csv_record(in, header));
+  std::size_t rows = 0;
+  std::vector<std::string> fields;
+  std::string evil_error;
+  while (read_csv_record(in, fields)) {
+    ++rows;
+    ASSERT_EQ(fields.size(), header.size()) << "row " << rows;
+    if (fields[2] == "Evil") evil_error = fields.back();
+  }
+  EXPECT_EQ(rows, res.jobs.size());  // no smuggled extra records
+  EXPECT_EQ(evil_error, EvilErrorWorkload::kMessage);  // lossless round-trip
+}
+
+// -- Campaign fingerprints ----------------------------------------------------
+
+TEST(Fingerprint, StableForEqualSpecsSensitiveToGridIdentity) {
+  const std::string base = campaign_fingerprint(small_spec());
+  EXPECT_EQ(base, campaign_fingerprint(small_spec()));
+  EXPECT_EQ(base.rfind("v1-", 0), 0u);
+
+  SweepSpec seed = small_spec();
+  seed.campaign_seed = 7;
+  EXPECT_NE(campaign_fingerprint(seed), base);
+
+  SweepSpec axis = small_spec();
+  axis.axis = SweepAxis::error_rate(0.0, 0.04, 5);
+  EXPECT_NE(campaign_fingerprint(axis), base);
+
+  SweepSpec kernels = small_spec();
+  kernels.kernels = {"haar", "fwt"};
+  EXPECT_NE(campaign_fingerprint(kernels), base);
+
+  SweepSpec thresholds = small_spec();
+  thresholds.thresholds = {0.1f};
+  EXPECT_NE(campaign_fingerprint(thresholds), base);
+
+  SweepSpec variants = small_spec();
+  variants.variants.push_back({"ablation", {}});
+  EXPECT_NE(campaign_fingerprint(variants), base);
+}
+
+// -- Journal round-trip -------------------------------------------------------
+
+void expect_entry_matches(const JobResult& entry, const JobResult& job) {
+  SCOPED_TRACE("job " + std::to_string(job.job.index));
+  EXPECT_EQ(entry.job.index, job.job.index);
+  EXPECT_EQ(entry.ok, job.ok);
+  EXPECT_EQ(entry.attempts, job.attempts);
+  EXPECT_EQ(entry.timed_out, job.timed_out);
+  EXPECT_EQ(entry.error, job.error);
+  EXPECT_EQ(entry.report.kernel, job.report.kernel);
+  EXPECT_EQ(entry.report.threshold, job.report.threshold);
+  EXPECT_EQ(entry.report.supply, job.report.supply);
+  EXPECT_EQ(entry.report.error_rate_configured,
+            job.report.error_rate_configured);
+  // Bit-exact doubles: the journal uses round-trippable formatting.
+  EXPECT_EQ(entry.report.weighted_hit_rate, job.report.weighted_hit_rate);
+  EXPECT_EQ(entry.report.energy.memoized_pj, job.report.energy.memoized_pj);
+  EXPECT_EQ(entry.report.energy.baseline_pj, job.report.energy.baseline_pj);
+  EXPECT_EQ(entry.report.result.output_values, job.report.result.output_values);
+  EXPECT_EQ(entry.report.result.max_abs_error, job.report.result.max_abs_error);
+  EXPECT_EQ(entry.report.result.sdc_values, job.report.result.sdc_values);
+  EXPECT_EQ(entry.report.result.passed, job.report.result.passed);
+  for (std::size_t u = 0; u < static_cast<std::size_t>(kNumFpuTypes); ++u) {
+    const FpuStats& a = entry.report.unit_stats[u];
+    const FpuStats& b = job.report.unit_stats[u];
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.timing_errors, b.timing_errors);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+    EXPECT_EQ(a.recovery_cycles, b.recovery_cycles);
+    EXPECT_EQ(a.seu_flips, b.seu_flips);
+    EXPECT_EQ(a.sdc_ops, b.sdc_ops);
+  }
+}
+
+TEST(Journal, RoundTripsEveryMeasuredField) {
+  const std::string path = temp_path("journal_roundtrip.csv");
+  std::remove(path.c_str());
+  CampaignRunOptions options;
+  options.journal_path = path;
+  const SweepSpec spec = small_spec();
+  const CampaignResult res = CampaignEngine(2).run(spec, options);
+  ASSERT_EQ(res.jobs.size(), 3u);
+  EXPECT_TRUE(res.all_ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const CampaignJournal journal = read_campaign_journal(in);
+  EXPECT_EQ(journal.fingerprint, campaign_fingerprint(spec));
+  ASSERT_EQ(journal.entries.size(), res.jobs.size());
+  // Workers may have appended out of order; index them.
+  std::vector<const JobResult*> by_index(res.jobs.size(), nullptr);
+  for (const JobResult& e : journal.entries) {
+    ASSERT_LT(e.job.index, by_index.size());
+    by_index[e.job.index] = &e;
+  }
+  for (const JobResult& job : res.jobs) {
+    ASSERT_NE(by_index[job.job.index], nullptr);
+    expect_entry_matches(*by_index[job.job.index], job);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, RejectsUnrecognizedHeader) {
+  std::istringstream bogus("not-a-journal,v0\n");
+  EXPECT_THROW((void)read_campaign_journal(bogus), std::runtime_error);
+  std::istringstream empty("");
+  EXPECT_THROW((void)read_campaign_journal(empty), std::runtime_error);
+}
+
+TEST(Journal, SkipsTruncatedFinalRecord) {
+  const std::string path = temp_path("journal_truncated.csv");
+  std::remove(path.c_str());
+  CampaignRunOptions options;
+  options.journal_path = path;
+  (void)CampaignEngine(1).run(small_spec(), options);
+  std::string text = slurp(path);
+  std::remove(path.c_str());
+  // Chop into the final record — the crash case: a half-written row.
+  ASSERT_GT(text.size(), 20u);
+  std::istringstream in(text.substr(0, text.size() - 15));
+  const CampaignJournal journal = read_campaign_journal(in);
+  EXPECT_EQ(journal.entries.size(), 2u);
+}
+
+// -- Resume -------------------------------------------------------------------
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    expect_entry_matches(a.jobs[i], b.jobs[i]);
+  }
+}
+
+TEST(Resume, InterruptedCampaignResumesBitIdentically) {
+  // ISSUE acceptance: journal a campaign, "crash" it after K jobs (keep only
+  // the first K journal records), resume — and the combined result must be
+  // bit-identical to an uninterrupted run, with the restored jobs counted.
+  const SweepSpec spec = small_spec();
+  const CampaignResult uninterrupted = CampaignEngine(2).run(spec);
+
+  const std::string path = temp_path("journal_resume.csv");
+  std::remove(path.c_str());
+  CampaignRunOptions options;
+  options.journal_path = path;
+  (void)CampaignEngine(1).run(spec, options);
+  std::ifstream in(path);
+  CampaignJournal journal = read_campaign_journal(in);
+  in.close();
+  ASSERT_EQ(journal.entries.size(), 3u);
+  journal.entries.resize(2);  // the crash: job 2 never hit the journal
+
+  const std::string resumed_path = temp_path("journal_resume2.csv");
+  std::remove(resumed_path.c_str());
+  CampaignRunOptions resume_options;
+  resume_options.journal_path = resumed_path;
+  resume_options.resume = journal;
+  const CampaignResult resumed = CampaignEngine(2).run(spec, resume_options);
+  EXPECT_EQ(resumed.resumed_jobs, 2u);
+  expect_identical(uninterrupted, resumed);
+
+  // The resumed run journals only the jobs it actually executed.
+  std::ifstream in2(resumed_path);
+  const CampaignJournal second = read_campaign_journal(in2);
+  EXPECT_EQ(second.entries.size(), 1u);
+  EXPECT_EQ(second.entries[0].job.index, 2u);
+  std::remove(path.c_str());
+  std::remove(resumed_path.c_str());
+}
+
+TEST(Resume, FingerprintMismatchRefusesToResume) {
+  CampaignJournal journal;
+  journal.fingerprint = campaign_fingerprint(small_spec());
+  SweepSpec other = small_spec();
+  other.campaign_seed = 999;
+  CampaignRunOptions options;
+  options.resume = journal;
+  EXPECT_THROW((void)CampaignEngine(1).run(other, options),
+               std::invalid_argument);
+}
+
+TEST(Resume, MetricsCampaignsCannotResume) {
+  CampaignJournal journal;
+  SweepSpec spec = small_spec();
+  journal.fingerprint = campaign_fingerprint(spec);
+  spec.metrics = true;  // snapshots are not journaled
+  CampaignRunOptions options;
+  options.resume = journal;
+  EXPECT_THROW((void)CampaignEngine(1).run(spec, options),
+               std::invalid_argument);
+}
+
+// -- Retry and timeout --------------------------------------------------------
+
+// Fails on the first run() call of each workload instance, succeeds after:
+// models a transient host-side failure a bounded retry should absorb.
+class FlakyOnceWorkload final : public Workload {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Flaky"; }
+  [[nodiscard]] std::string input_parameter() const override {
+    return inner_.input_parameter();
+  }
+  [[nodiscard]] float table1_threshold() const override {
+    return inner_.table1_threshold();
+  }
+  [[nodiscard]] double verify_tolerance() const override {
+    return inner_.verify_tolerance();
+  }
+  [[nodiscard]] WorkloadResult run(GpuDevice& device) const override {
+    if (++calls_ == 1) throw std::runtime_error("transient failure");
+    return inner_.run(device);
+  }
+
+ private:
+  HaarWorkload inner_{64};
+  mutable int calls_ = 0;
+};
+
+class AlwaysThrowsWorkload final : public Workload {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Doom"; }
+  [[nodiscard]] std::string input_parameter() const override { return "-"; }
+  [[nodiscard]] float table1_threshold() const override { return 0.0f; }
+  [[nodiscard]] double verify_tolerance() const override { return 0.0; }
+  [[nodiscard]] WorkloadResult run(GpuDevice&) const override {
+    throw std::runtime_error("hard failure");
+  }
+};
+
+class SlowWorkload final : public Workload {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Slow"; }
+  [[nodiscard]] std::string input_parameter() const override {
+    return inner_.input_parameter();
+  }
+  [[nodiscard]] float table1_threshold() const override {
+    return inner_.table1_threshold();
+  }
+  [[nodiscard]] double verify_tolerance() const override {
+    return inner_.verify_tolerance();
+  }
+  [[nodiscard]] WorkloadResult run(GpuDevice& device) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return inner_.run(device);
+  }
+
+ private:
+  HaarWorkload inner_{64};
+};
+
+template <typename W>
+SweepSpec single_workload_spec() {
+  SweepSpec spec;
+  spec.factory = [] {
+    std::vector<std::unique_ptr<Workload>> v;
+    v.push_back(std::make_unique<W>());
+    return v;
+  };
+  spec.axis = SweepAxis::error_rate_point(0.0);
+  return spec;
+}
+
+TEST(Retry, TransientFailureIsAbsorbedAndCounted) {
+  CampaignRunOptions options;
+  options.max_attempts = 2;
+  const CampaignResult res =
+      CampaignEngine(1).run(single_workload_spec<FlakyOnceWorkload>(), options);
+  ASSERT_EQ(res.jobs.size(), 1u);
+  EXPECT_TRUE(res.jobs[0].ok);
+  EXPECT_EQ(res.jobs[0].attempts, 2);
+  EXPECT_TRUE(res.jobs[0].error.empty());
+  EXPECT_TRUE(res.jobs[0].report.result.passed);
+}
+
+TEST(Retry, DeterministicFailureExhaustsTheBudget) {
+  CampaignRunOptions options;
+  options.max_attempts = 3;
+  const CampaignResult res = CampaignEngine(1).run(
+      single_workload_spec<AlwaysThrowsWorkload>(), options);
+  ASSERT_EQ(res.jobs.size(), 1u);
+  EXPECT_FALSE(res.jobs[0].ok);
+  EXPECT_EQ(res.jobs[0].attempts, 3);
+  EXPECT_NE(res.jobs[0].error.find("hard failure"), std::string::npos);
+}
+
+TEST(Retry, ZeroAttemptsIsRejected) {
+  CampaignRunOptions options;
+  options.max_attempts = 0;
+  EXPECT_THROW((void)CampaignEngine(1).run(small_spec(), options),
+               std::invalid_argument);
+}
+
+TEST(Timeout, BlownBudgetMarksTheJobWithoutRetry) {
+  CampaignRunOptions options;
+  options.job_timeout_ms = 1.0;
+  options.max_attempts = 3;  // timeouts must NOT be retried
+  const CampaignResult res =
+      CampaignEngine(1).run(single_workload_spec<SlowWorkload>(), options);
+  ASSERT_EQ(res.jobs.size(), 1u);
+  EXPECT_FALSE(res.jobs[0].ok);
+  EXPECT_TRUE(res.jobs[0].timed_out);
+  EXPECT_EQ(res.jobs[0].attempts, 1);
+  EXPECT_NE(res.jobs[0].error.find("timeout"), std::string::npos);
+
+  std::ostringstream csv;
+  write_campaign_csv(res, csv);
+  EXPECT_NE(csv.str().find(",timeout,"), std::string::npos);
+  std::ostringstream json;
+  write_campaign_json(res, json);
+  EXPECT_NE(json.str().find("\"timed_out\": true"), std::string::npos);
+}
+
+TEST(Timeout, GenerousBudgetLeavesResultsUntouched) {
+  CampaignRunOptions options;
+  options.job_timeout_ms = 60000.0;
+  const CampaignResult with = CampaignEngine(1).run(small_spec(), options);
+  const CampaignResult without = CampaignEngine(1).run(small_spec());
+  EXPECT_TRUE(with.all_ok());
+  expect_identical(without, with);
+}
+
+} // namespace
+} // namespace tmemo

@@ -56,11 +56,23 @@ TEST(Ecu, RecoverAccumulatesStats) {
 
 TEST(Ecu, MaskedErrorsCountAsSignalsOnly) {
   Ecu ecu;
-  ecu.note_masked_error();
-  ecu.note_masked_error();
+  ecu.note_masked_error(FpuType::kAdd);
+  ecu.note_masked_error(FpuType::kMulAdd);
   EXPECT_EQ(ecu.stats().errors_signaled, 2u);
+  EXPECT_EQ(ecu.stats().masked_errors, 2u);
   EXPECT_EQ(ecu.stats().recoveries, 0u);
   EXPECT_EQ(ecu.stats().recovery_cycles, 0u);
+}
+
+TEST(Ecu, MaskedAndRecoveredErrorsStaySeparate) {
+  // errors_signaled = masked + recovered; the masked share is its own
+  // counter so the telemetry layer can report the mask rate directly.
+  Ecu ecu(RecoveryPolicy::kMultipleIssueReplay);
+  (void)ecu.recover(FpuType::kAdd, 0);
+  ecu.note_masked_error(FpuType::kAdd);
+  EXPECT_EQ(ecu.stats().errors_signaled, 2u);
+  EXPECT_EQ(ecu.stats().masked_errors, 1u);
+  EXPECT_EQ(ecu.stats().recoveries, 1u);
 }
 
 TEST(Ecu, NegativeFlushCountRejected) {
@@ -82,12 +94,16 @@ TEST(EcuStats, Accumulation) {
   a.recoveries = 2;
   a.recovery_cycles = 3;
   a.flushed_ops = 4;
+  a.masked_errors = 5;
+  a.watchdog_trips = 6;
   EcuStats b = a;
   b += a;
   EXPECT_EQ(b.errors_signaled, 2u);
   EXPECT_EQ(b.recoveries, 4u);
   EXPECT_EQ(b.recovery_cycles, 6u);
   EXPECT_EQ(b.flushed_ops, 8u);
+  EXPECT_EQ(b.masked_errors, 10u);
+  EXPECT_EQ(b.watchdog_trips, 12u);
 }
 
 } // namespace

@@ -1,0 +1,94 @@
+// Exhaustive recovery-cost matrix: recovery_cycles(policy, unit) for every
+// RecoveryPolicy x FpuType combination (3 x 9 = 27 cells), pinning the
+// paper's 12-cycle baseline and the closed-form scaling of each policy so a
+// regression in either the latency table or the policy arithmetic is caught
+// at the exact cell that moved.
+#include "timing/ecu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmemo {
+namespace {
+
+// The closed forms the implementation commits to (see timing/ecu.cpp):
+//   multiple-issue replay : 3 * depth   (flush + multiple re-issues)
+//   half-frequency replay : 4 * depth   (flush + refill at half frequency)
+//   decoupling queues     : depth/2 + 1 (local stall + propagation cycle)
+int expected_cycles(RecoveryPolicy policy, int depth) {
+  switch (policy) {
+    case RecoveryPolicy::kMultipleIssueReplay: return 3 * depth;
+    case RecoveryPolicy::kHalfFrequencyReplay: return 4 * depth;
+    case RecoveryPolicy::kDecouplingQueues:    return depth / 2 + 1;
+  }
+  return -1;
+}
+
+TEST(RecoveryCyclesMatrix, EveryPolicyUnitCellMatchesClosedForm) {
+  constexpr RecoveryPolicy kPolicies[] = {
+      RecoveryPolicy::kMultipleIssueReplay,
+      RecoveryPolicy::kHalfFrequencyReplay,
+      RecoveryPolicy::kDecouplingQueues,
+  };
+  int cells = 0;
+  for (RecoveryPolicy policy : kPolicies) {
+    for (FpuType unit : kAllFpuTypes) {
+      SCOPED_TRACE(std::string(recovery_policy_name(policy)) + " / " +
+                   std::string(fpu_type_name(unit)));
+      const int depth = fpu_latency_cycles(unit);
+      EXPECT_EQ(recovery_cycles(policy, unit), expected_cycles(policy, depth));
+      ++cells;
+    }
+  }
+  EXPECT_EQ(cells, 3 * kNumFpuTypes);
+}
+
+TEST(RecoveryCyclesMatrix, LatencyTableMatchesPaperSection51) {
+  // "the RECIP has a latency of 16 cycles, while the rest of the FPU have
+  // four cycles latency."
+  for (FpuType unit : kAllFpuTypes) {
+    SCOPED_TRACE(std::string(fpu_type_name(unit)));
+    EXPECT_EQ(fpu_latency_cycles(unit), unit == FpuType::kRecip ? 16 : 4);
+  }
+}
+
+TEST(RecoveryCyclesMatrix, BaselinePinsTwelveCyclesForFourStageUnits) {
+  // Paper §5.1: the multiple-issue replay baseline "costs 12 cycles per
+  // error" on the 4-stage FPUs. This is the number every energy figure in
+  // the reproduction leans on; it must never drift.
+  for (FpuType unit : kAllFpuTypes) {
+    if (unit == FpuType::kRecip) continue;
+    SCOPED_TRACE(std::string(fpu_type_name(unit)));
+    EXPECT_EQ(recovery_cycles(RecoveryPolicy::kMultipleIssueReplay, unit), 12);
+    EXPECT_EQ(recovery_cycles(RecoveryPolicy::kHalfFrequencyReplay, unit), 16);
+    EXPECT_EQ(recovery_cycles(RecoveryPolicy::kDecouplingQueues, unit), 3);
+  }
+  EXPECT_EQ(recovery_cycles(RecoveryPolicy::kMultipleIssueReplay,
+                            FpuType::kRecip),
+            48);
+  EXPECT_EQ(recovery_cycles(RecoveryPolicy::kHalfFrequencyReplay,
+                            FpuType::kRecip),
+            64);
+  EXPECT_EQ(recovery_cycles(RecoveryPolicy::kDecouplingQueues,
+                            FpuType::kRecip),
+            9);
+}
+
+TEST(RecoveryCyclesMatrix, PolicyOrderingHoldsForEveryUnit) {
+  // Cost ordering is a policy invariant, not a per-unit accident:
+  // decoupling queues < multiple-issue replay < half-frequency replay.
+  for (FpuType unit : kAllFpuTypes) {
+    SCOPED_TRACE(std::string(fpu_type_name(unit)));
+    const int decouple =
+        recovery_cycles(RecoveryPolicy::kDecouplingQueues, unit);
+    const int replay =
+        recovery_cycles(RecoveryPolicy::kMultipleIssueReplay, unit);
+    const int half =
+        recovery_cycles(RecoveryPolicy::kHalfFrequencyReplay, unit);
+    EXPECT_GE(decouple, 1);
+    EXPECT_LT(decouple, replay);
+    EXPECT_LT(replay, half);
+  }
+}
+
+} // namespace
+} // namespace tmemo

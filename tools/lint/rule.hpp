@@ -45,7 +45,7 @@ class Rule {
   virtual void check(const SourceFile& file, std::vector<Finding>& out) const = 0;
 };
 
-/// The repo-invariant rule set R1..R6.
+/// The repo-invariant rule set R1..R8.
 [[nodiscard]] std::vector<std::unique_ptr<Rule>> make_default_rules();
 
 } // namespace tmemo::lint

@@ -1,4 +1,4 @@
-// The repo-invariant rules R1..R6 (see docs/STATIC_ANALYSIS.md).
+// The repo-invariant rules R1..R8 (see docs/STATIC_ANALYSIS.md).
 //
 // Every rule works on the token stream produced by lexer.cpp, scoped where
 // needed by the function spans from function_scan.cpp. Pattern identifiers
@@ -469,6 +469,87 @@ class TelemetryRegistryRule final : public Rule {
   }
 };
 
+// -- R8 ---------------------------------------------------------------------
+
+class InjectionSeedingRule final : public Rule {
+ public:
+  [[nodiscard]] std::string id() const override {
+    return "injection-seeding";
+  }
+  [[nodiscard]] std::string description() const override {
+    return "R8: fault-injector RNG streams must derive from a device or "
+           "campaign seed (an argument mentioning 'seed'), never from "
+           "literals or ad-hoc entropy";
+  }
+
+  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+    if (!engages(file)) return;
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_id(toks[i], "Xorshift128")) continue;
+      // Skip the type's own definition and qualified mentions.
+      if (i > 0 && (is_id(toks[i - 1], "class") ||
+                    is_id(toks[i - 1], "struct") ||
+                    is_id(toks[i - 1], "explicit"))) {
+        continue;
+      }
+      if (next_is_punct(toks, i, "::")) continue;
+      // Locate the construction argument list: `Xorshift128(args)` /
+      // `Xorshift128{args}` temporaries, or `Xorshift128 name(args)` /
+      // `Xorshift128 name{args}` declarations. Bare declarations and empty
+      // argument lists are R6's territory.
+      std::size_t open = toks.size();
+      std::size_t name = i;
+      if (next_is_punct(toks, i, "(") || next_is_punct(toks, i, "{")) {
+        open = i + 1;
+      } else if (i + 2 < toks.size() &&
+                 toks[i + 1].kind == TokenKind::kIdentifier &&
+                 (is_punct(toks[i + 2], "(") || is_punct(toks[i + 2], "{"))) {
+        open = i + 2;
+        name = i + 1;
+      } else {
+        continue;
+      }
+      const bool paren = is_punct(toks[open], "(");
+      const std::size_t close = match_forward(toks, open, paren ? "(" : "{",
+                                              paren ? ")" : "}");
+      if (close >= toks.size() || close == open + 1) continue;
+      bool seeded = false;
+      for (std::size_t j = open + 1; j < close; ++j) {
+        if (toks[j].kind == TokenKind::kIdentifier &&
+            lower(toks[j].text).find("seed") != std::string::npos) {
+          seeded = true;
+          break;
+        }
+      }
+      if (!seeded) {
+        report(out, id(), file, toks[name],
+               "injector RNG constructed without a derived seed; derive the "
+               "stream from the device or campaign seed (e.g. "
+               "derive_fault_seed(eds_seed, salt)) so injected faults "
+               "replay deterministically");
+      }
+    }
+  }
+
+ private:
+  /// The rule engages only on injection code — files under src/inject/ or
+  /// files that mention an *Injector type — so ordinary simulation code
+  /// keeps R6 as its only seeding constraint.
+  [[nodiscard]] static bool engages(const SourceFile& file) {
+    if (file.display_path.find("src/inject/") != std::string::npos) {
+      return true;
+    }
+    for (const Token& t : file.tokens) {
+      if (t.kind == TokenKind::kIdentifier &&
+          t.text.find("Injector") != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<Rule>> make_default_rules() {
@@ -480,6 +561,7 @@ std::vector<std::unique_ptr<Rule>> make_default_rules() {
   rules.push_back(std::make_unique<DeprecatedRunApiRule>());
   rules.push_back(std::make_unique<RngSeedRule>());
   rules.push_back(std::make_unique<TelemetryRegistryRule>());
+  rules.push_back(std::make_unique<InjectionSeedingRule>());
   return rules;
 }
 

@@ -15,6 +15,11 @@
 //             [--per-unit] [--csv] [--json FILE|-]
 //             [--metrics-out FILE|-] [--metrics-format json|csv]
 //             [--trace-out FILE]
+//             [--inject-lut-seu R] [--inject-eds-fn R] [--inject-eds-fp R]
+//             [--inject-parity] [--watchdog-budget N]
+//             [--watchdog-action memo-off|guardband]
+//             [--retries N] [--timeout-ms T]
+//             [--journal FILE] [--resume FILE]
 //
 // Flags taking a value accept both "--flag value" and "--flag=value".
 //
@@ -25,6 +30,10 @@
 //   tmemo_sim --kernel haar --threshold 0.1 --lut-depth 8 --csv
 //   tmemo_sim --kernel haar --sweep error-rate:0:0.04:5
 //             --metrics-out=m.json --trace-out=t.json   # see OBSERVABILITY.md
+//   tmemo_sim --kernel haar --error-rate 0.02 --inject-lut-seu 1e-4
+//             --inject-parity --csv              # see FAULT_INJECTION.md
+//   tmemo_sim --kernel all --sweep error-rate:0:0.04:9 --journal run.journal
+//   tmemo_sim --kernel all --sweep error-rate:0:0.04:9 --resume run.journal
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +45,7 @@
 #include <string>
 
 #include "common/table.hpp"
+#include "inject/fault_config.hpp"
 #include "sim/campaign.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/timeline.hpp"
@@ -63,6 +73,13 @@ struct CliOptions {
   std::optional<std::string> metrics_path;
   std::optional<std::string> trace_path;
   std::string metrics_format = "json";
+  // Fault injection + hardening (docs/FAULT_INJECTION.md).
+  inject::FaultInjectionConfig inject;
+  // Crash-safe campaign execution.
+  int retries = 0;
+  double timeout_ms = 0.0;
+  std::optional<std::string> journal_path;
+  std::optional<std::string> resume_path;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -76,6 +93,12 @@ struct CliOptions {
       "          [--per-unit] [--csv] [--json FILE|-]\n"
       "          [--metrics-out FILE|-] [--metrics-format json|csv]\n"
       "          [--trace-out FILE]\n"
+      "          [--inject-lut-seu R] [--inject-eds-fn R] "
+      "[--inject-eds-fp R]\n"
+      "          [--inject-parity] [--watchdog-budget N]\n"
+      "          [--watchdog-action memo-off|guardband]\n"
+      "          [--retries N] [--timeout-ms T]\n"
+      "          [--journal FILE] [--resume FILE]\n"
       "sweep axes: error-rate, voltage (e.g. --sweep error-rate:0:0.04:9)\n"
       "kernels: sobel gaussian haar binomialoption blackscholes fwt "
       "eigenvalue all\n",
@@ -147,6 +170,38 @@ CliOptions parse(int argc, char** argv) {
       opt.metrics_path = value();
     } else if (arg == "--trace-out") {
       opt.trace_path = value();
+    } else if (arg == "--inject-lut-seu") {
+      opt.inject.lut.seu_per_cycle = parse_double(value(), argv[0]);
+    } else if (arg == "--inject-eds-fn") {
+      opt.inject.eds.false_negative_rate = parse_double(value(), argv[0]);
+    } else if (arg == "--inject-eds-fp") {
+      opt.inject.eds.false_positive_rate = parse_double(value(), argv[0]);
+    } else if (arg == "--inject-parity") {
+      opt.inject.lut.parity = true;
+    } else if (arg == "--watchdog-budget") {
+      opt.inject.watchdog.recovery_cycle_budget =
+          static_cast<std::uint64_t>(parse_double(value(), argv[0]));
+    } else if (arg == "--watchdog-action") {
+      const std::string action = value();
+      if (action == "memo-off") {
+        opt.inject.watchdog.action =
+            inject::WatchdogAction::kDisableMemoization;
+      } else if (action == "guardband") {
+        opt.inject.watchdog.action = inject::WatchdogAction::kRaiseGuardband;
+      } else {
+        std::fprintf(stderr,
+                     "--watchdog-action must be memo-off or guardband\n");
+        usage(argv[0]);
+      }
+    } else if (arg == "--retries") {
+      opt.retries = static_cast<int>(parse_double(value(), argv[0]));
+      if (opt.retries < 0) usage(argv[0]);
+    } else if (arg == "--timeout-ms") {
+      opt.timeout_ms = parse_double(value(), argv[0]);
+    } else if (arg == "--journal") {
+      opt.journal_path = value();
+    } else if (arg == "--resume") {
+      opt.resume_path = value();
     } else if (arg == "--metrics-format") {
       opt.metrics_format = value();
       if (opt.metrics_format != "json" && opt.metrics_format != "csv") {
@@ -197,16 +252,39 @@ int main(int argc, char** argv) {
 
   ConfigVariant variant;
   variant.config.device.fpu.lut_depth = opt.lut_depth;
+  variant.config.device.fpu.inject = opt.inject;
   variant.config.memoization = opt.memoization;
   variant.config.spatial = opt.spatial;
   spec.variants = {variant};
   spec.metrics = opt.metrics_path.has_value();
   spec.timeline = opt.trace_path.has_value();
 
+  CampaignRunOptions run_options;
+  run_options.max_attempts = opt.retries + 1;
+  run_options.job_timeout_ms = opt.timeout_ms;
+  if (opt.journal_path) run_options.journal_path = *opt.journal_path;
+  if (opt.resume_path) {
+    std::ifstream in(*opt.resume_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", opt.resume_path->c_str());
+      return 1;
+    }
+    try {
+      run_options.resume = read_campaign_journal(in);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", opt.resume_path->c_str(), e.what());
+      return 1;
+    }
+    // Resuming keeps journaling to the same file unless told otherwise.
+    if (run_options.journal_path.empty()) {
+      run_options.journal_path = *opt.resume_path;
+    }
+  }
+
   const CampaignEngine engine(opt.jobs);
   CampaignResult result;
   try {
-    result = engine.run(spec);
+    result = engine.run(spec, run_options);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     usage(argv[0]);
@@ -270,6 +348,10 @@ int main(int argc, char** argv) {
       std::printf("%zu jobs, %d worker thread%s, %.0f ms total\n",
                   result.jobs.size(), result.workers,
                   result.workers == 1 ? "" : "s", result.wall_ms);
+    }
+    if (result.resumed_jobs > 0) {
+      std::printf("%zu job%s restored from journal\n", result.resumed_jobs,
+                  result.resumed_jobs == 1 ? "" : "s");
     }
   }
 
