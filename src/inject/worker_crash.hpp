@@ -1,0 +1,143 @@
+// Deterministic worker-crash injection for the campaign process supervisor
+// (docs/RESILIENCE.md).
+//
+// The fault-injection layer (fault_config.hpp) perturbs the *modeled*
+// hardware; this header perturbs the *harness itself*: it makes a worker
+// process die — by a chosen signal, or by exiting cleanly without replying
+// — while running a chosen campaign job, so tests and CI can prove that the
+// supervisor contains hard faults. Like every injector in the tree (lint
+// rule R8's intent), the hook is fully deterministic: it is keyed on the
+// stable job index and the supervisor-counted attempt number, never on
+// wall-clock time or ad-hoc entropy, so an injected crash campaign replays
+// bit-identically from its spec alone.
+//
+// Dependency-free beyond <csignal>/<string> so sim/ and tools/ can include
+// it without linking anything.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tmemo::inject {
+
+/// "The worker exits 0 without replying" pseudo-signal: the hardest crash
+/// to classify, since the OS reports a clean exit. Encoded as signal 0.
+inline constexpr int kWorkerExitsCleanly = 0;
+
+/// Crash-injection plan for the worker pool: the worker running job
+/// `job_index` raises `signal` (or exits 0 when signal == 0) instead of
+/// returning a result, on the first `crash_count` attempts of that job.
+struct WorkerCrashInjection {
+  std::size_t job_index = 0;
+  /// Signal raised in the worker (SIGSEGV, SIGABRT, SIGKILL, ...);
+  /// kWorkerExitsCleanly makes the worker _exit(0) without replying.
+  int signal = SIGSEGV;
+  /// Attempts of the job that crash. The default poisons the job on every
+  /// attempt (exhausting the retry budget); 1 models a transient fault the
+  /// supervisor's redispatch absorbs.
+  int crash_count = std::numeric_limits<int>::max();
+
+  [[nodiscard]] bool applies(std::size_t job, int attempt) const noexcept {
+    return job == job_index && attempt <= crash_count;
+  }
+
+  /// Parses the CLI syntax "JOB:SIGNAL[:COUNT]" (e.g. "3:segv", "0:SIGKILL",
+  /// "2:abrt:1", "1:exit0"). Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<WorkerCrashInjection> parse(
+      std::string_view text);
+};
+
+/// Name of a crash signal as the supervisor records it in JobResult::error
+/// ("SIGSEGV", "SIGKILL", ...; "signal N" for anything unnamed).
+[[nodiscard]] inline std::string signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGKILL: return "SIGKILL";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+    case SIGHUP: return "SIGHUP";
+    case SIGPIPE: return "SIGPIPE";
+    case SIGTRAP: return "SIGTRAP";
+    default: return "signal " + std::to_string(sig);
+  }
+}
+
+/// Parses a signal spelled as a name ("SIGSEGV", "segv"), a bare number
+/// ("11"), or the clean-exit sentinel ("exit0"). Returns nullopt on
+/// unknown text.
+[[nodiscard]] inline std::optional<int> parse_signal(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+  if (lower.rfind("sig", 0) == 0) lower.erase(0, 3);
+  if (lower == "exit0") return kWorkerExitsCleanly;
+  if (lower == "segv") return SIGSEGV;
+  if (lower == "abrt" || lower == "abort") return SIGABRT;
+  if (lower == "kill") return SIGKILL;
+  if (lower == "bus") return SIGBUS;
+  if (lower == "ill") return SIGILL;
+  if (lower == "fpe") return SIGFPE;
+  if (lower == "term") return SIGTERM;
+  if (lower == "int") return SIGINT;
+  if (lower == "hup") return SIGHUP;
+  if (lower == "trap") return SIGTRAP;
+  if (lower.empty()) return std::nullopt;
+  int value = 0;
+  for (const char c : lower) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+    if (value > 64) return std::nullopt;
+  }
+  return value;
+}
+
+inline std::optional<WorkerCrashInjection> WorkerCrashInjection::parse(
+    std::string_view text) {
+  const auto field = [&text]() -> std::optional<std::string_view> {
+    if (text.empty()) return std::nullopt;
+    const std::size_t colon = text.find(':');
+    std::string_view f = text.substr(0, colon);
+    text = colon == std::string_view::npos ? std::string_view{}
+                                           : text.substr(colon + 1);
+    return f;
+  };
+  const auto number = [&field]() -> std::optional<std::uint64_t> {
+    const auto f = field();
+    if (!f || f->empty()) return std::nullopt;
+    std::uint64_t value = 0;
+    for (const char c : *f) {
+      if (c < '0' || c > '9') return std::nullopt;
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      if (value > (1ull << 32)) return std::nullopt;
+    }
+    return value;
+  };
+
+  WorkerCrashInjection out;
+  const auto job = number();
+  if (!job) return std::nullopt;
+  out.job_index = static_cast<std::size_t>(*job);
+  const auto sig_field = field();
+  if (!sig_field) return std::nullopt;
+  const auto sig = parse_signal(*sig_field);
+  if (!sig) return std::nullopt;
+  out.signal = *sig;
+  if (!text.empty()) {
+    const auto count = number();
+    if (!count || *count == 0 || !text.empty()) return std::nullopt;
+    out.crash_count = static_cast<int>(*count);
+  }
+  return out;
+}
+
+} // namespace tmemo::inject

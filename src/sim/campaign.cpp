@@ -1,12 +1,17 @@
 #include "sim/campaign.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cctype>
+#include <cerrno>
 #include <charconv>
 #include <iterator>
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -17,6 +22,7 @@
 #include <thread>
 
 #include "common/require.hpp"
+#include "sim/worker_proc.hpp"
 
 namespace tmemo {
 
@@ -93,12 +99,15 @@ std::string csv_escape(std::string_view s) {
 // ---------------------------------------------------------------------------
 // Campaign journal (crash-safe resume).
 //
-// The journal is a CSV file: one header record ("tmemo-journal-v1" plus the
+// The journal is a CSV file: one header record ("tmemo-journal-v2" plus the
 // campaign fingerprint) followed by one record per finished job. Every
 // numeric field uses the shortest round-trippable decimal form (fmt_double),
 // so a journaled JobResult restores bit-identically.
 
-constexpr std::string_view kJournalSchema = "tmemo-journal-v1";
+// v2 appended the "end" sentinel field to every record (torn-write
+// detection inside the final field); v1 journals are rejected by the
+// header check rather than half-parsed.
+constexpr std::string_view kJournalSchema = "tmemo-journal-v2";
 
 /// FpuStats counters in journal order. One list serves both pack and
 /// unpack, so the journal cannot drift from the struct.
@@ -114,7 +123,7 @@ constexpr std::uint64_t FpuStats::* kFpuStatFields[] = {
 constexpr std::size_t kFpuStatFieldCount = std::size(kFpuStatFields);
 
 /// Journal record layout (field indices). kJournalFieldCount pins the
-/// record width; parse_journal_entry rejects any other width.
+/// record width; parse_job_result rejects any other width.
 enum JournalField : std::size_t {
   kJfIndex = 0,
   kJfAttempts,
@@ -137,6 +146,8 @@ enum JournalField : std::size_t {
   kJfPassed,
   kJfUnitStats,
   kJfWallMs,
+  kJfEnd, // constant "end" sentinel: rejects records torn inside the
+          // final value field, which would otherwise parse truncated
   kJournalFieldCount
 };
 
@@ -202,7 +213,74 @@ bool unpack_unit_stats(const std::string& s,
   return true;
 }
 
-std::string serialize_journal_entry(const JobResult& j) {
+/// Torn-write-safe append-only journal file. Each row is written with one
+/// write(2) call and made durable with fsync(2) before append() returns, so
+/// a host crash (not just a process crash) loses at most the row being
+/// written — and a partially persisted row is exactly the torn tail that
+/// read_campaign_journal tolerates.
+class JournalFile {
+ public:
+  JournalFile() = default;
+  JournalFile(const JournalFile&) = delete;
+  JournalFile& operator=(const JournalFile&) = delete;
+  ~JournalFile() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void open_for_append(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    TM_REQUIRE(fd_ >= 0, "cannot open campaign journal for append: " + path);
+  }
+
+  /// Drops a torn trailing record so the next append starts on a record
+  /// boundary; with O_APPEND, writes land at the new end-of-file.
+  void truncate_to(std::uint64_t bytes) {
+    TM_REQUIRE(::ftruncate(fd_, static_cast<::off_t>(bytes)) == 0,
+               "cannot truncate torn campaign journal tail");
+  }
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+  void append(const std::string& row) {
+    std::size_t off = 0;
+    while (off < row.size()) {
+      const ::ssize_t n =
+          ::write(fd_, row.data() + off, row.size() - off);
+      if (n < 0) {
+        TM_REQUIRE(errno == EINTR, "campaign journal write failed");
+        continue;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    // Flush + fsync per record: the journal exists precisely for the crash
+    // case, so buffering rows would defeat it.
+    TM_REQUIRE(::fsync(fd_) == 0 || errno == EINVAL || errno == EROFS,
+               "campaign journal fsync failed");
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Byte length of the longest journal prefix made of complete, newline-
+/// terminated CSV records. Each record is appended with a single write(),
+/// so a crash tears at most the final one; everything past the last intact
+/// record boundary is the torn tail. read_csv_record leaves the stream in
+/// EOF state (tellg() == -1) exactly when the final record was cut short.
+std::uint64_t intact_journal_prefix(std::istream& in) {
+  std::vector<std::string> fields;
+  std::streampos last_good = 0;
+  while (read_csv_record(in, fields)) {
+    const std::streampos pos = in.tellg();
+    if (pos == std::streampos(-1)) break;
+    last_good = pos;
+  }
+  return static_cast<std::uint64_t>(last_good);
+}
+
+} // namespace
+
+std::string serialize_job_result(const JobResult& j) {
   std::string row;
   const auto add = [&row](std::string_view field) {
     if (!row.empty()) row += ',';
@@ -229,15 +307,15 @@ std::string serialize_journal_entry(const JobResult& j) {
   add(j.report.result.passed ? "1" : "0");
   add(pack_unit_stats(j.report.unit_stats));
   add(fmt_double(j.wall_ms));
+  add("end");
   row += '\n';
   return row;
 }
 
-/// Restores a JobResult from one journal record. Only the measured fields
-/// and job.index are restored; the caller re-derives the rest of the
-/// CampaignJob from the spec. Returns false (entry skipped) on any
-/// malformed field — the truncated-final-record crash case.
-bool parse_journal_entry(const std::vector<std::string>& f, JobResult& out) {
+// Restores a JobResult from one journal record (see campaign.hpp). Returns
+// false (entry skipped) on any malformed field — the truncated-final-record
+// torn-write case.
+bool parse_job_result(const std::vector<std::string>& f, JobResult& out) {
   if (f.size() != kJournalFieldCount) return false;
   out = JobResult{};
   std::uint64_t u64 = 0;
@@ -280,10 +358,9 @@ bool parse_journal_entry(const std::vector<std::string>& f, JobResult& out) {
   if (!parse_bool(f[kJfPassed], out.report.result.passed)) return false;
   if (!unpack_unit_stats(f[kJfUnitStats], out.report.unit_stats)) return false;
   if (!parse_double(f[kJfWallMs], out.wall_ms)) return false;
+  if (f[kJfEnd] != "end") return false;
   return true;
 }
-
-} // namespace
 
 SweepAxis SweepAxis::error_rate(double start, double stop, int count) {
   TM_REQUIRE(count >= 1, "sweep axis needs at least one point");
@@ -346,8 +423,16 @@ std::optional<SweepAxis> SweepAxis::parse(std::string_view text) {
   const auto stop = number();
   const auto count = number();
   if (!start || !stop || !count || !text.empty()) return std::nullopt;
+  // strtod accepts "nan"/"inf"; neither is a meaningful axis endpoint, and
+  // NaN would sail through the sign checks below (NaN < 0.0 is false).
+  if (!std::isfinite(*start) || !std::isfinite(*stop)) return std::nullopt;
+  // Range-check before the int cast: strtod accepts "nan", "inf" and
+  // out-of-int-range values, and casting those is undefined behaviour
+  // (found by tests/fuzz/fuzz_sweep_axis). 1e6 points is far beyond any
+  // realistic sweep but far below allocation-failure territory.
+  if (!(*count >= 1.0 && *count <= 1e6)) return std::nullopt;
   const int n = static_cast<int>(*count);
-  if (n < 1 || static_cast<double>(n) != *count) return std::nullopt;
+  if (static_cast<double>(n) != *count) return std::nullopt;
   if (k == Kind::kErrorRate && (*start < 0.0 || *stop < 0.0)) {
     return std::nullopt;
   }
@@ -553,8 +638,13 @@ CampaignJournal read_campaign_journal(std::istream& in) {
   journal.fingerprint = fields[1];
   while (read_csv_record(in, fields)) {
     JobResult entry;
-    if (parse_journal_entry(fields, entry)) {
+    if (parse_job_result(fields, entry)) {
       journal.entries.push_back(std::move(entry));
+    } else {
+      // A torn write: the campaign (or its host) died mid-append. The row
+      // is unusable but the journal before it is intact, so count and move
+      // on rather than failing the resume.
+      ++journal.malformed_rows;
     }
   }
   return journal;
@@ -578,17 +668,20 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
   const std::vector<CampaignJob> jobs = expand(spec);
 
   // Map journal entries onto job slots; a later duplicate (a job journaled
-  // twice across interrupted runs) wins.
+  // twice across interrupted runs) wins. Only ok entries are restored:
+  // journaled failures (a crashed worker, an exhausted retry budget) are
+  // re-executed, so resuming after fixing the environment heals the grid.
   std::vector<const JobResult*> restored(jobs.size(), nullptr);
   if (options.resume.has_value()) {
     for (const JobResult& e : options.resume->entries) {
-      if (e.job.index < restored.size()) restored[e.job.index] = &e;
+      if (e.ok && e.job.index < restored.size()) restored[e.job.index] = &e;
     }
   }
 
-  // Append-only journal: header only when the file is fresh, one flushed
-  // record per finished job (restored jobs are already journaled).
-  std::ofstream journal;
+  // Append-only journal: header only when the file is fresh, one written-
+  // and-fsynced record per finished job (restored jobs are already
+  // journaled).
+  JournalFile journal;
   std::mutex journal_mutex;
   if (!options.journal_path.empty()) {
     bool fresh = true;
@@ -598,11 +691,20 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
               std::ifstream::traits_type::eq_int_type(
                   probe.peek(), std::ifstream::traits_type::eof());
     }
-    journal.open(options.journal_path, std::ios::app);
-    TM_REQUIRE(journal.is_open(), "cannot open campaign journal for append");
+    std::uint64_t keep_bytes = 0;
+    if (!fresh) {
+      // Drop a torn trailing record (a crash mid-append) before appending,
+      // so the next record starts on a record boundary instead of fusing
+      // with the partial line.
+      std::ifstream scan(options.journal_path, std::ios::binary);
+      keep_bytes = intact_journal_prefix(scan);
+    }
+    journal.open_for_append(options.journal_path);
     if (fresh) {
-      journal << kJournalSchema << ',' << csv_escape(fingerprint) << '\n';
-      journal.flush();
+      journal.append(std::string(kJournalSchema) + ',' +
+                     csv_escape(fingerprint) + '\n');
+    } else {
+      journal.truncate_to(keep_bytes);
     }
   }
 
@@ -683,15 +785,44 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
                     " ms timeout";
       }
       if (journal.is_open()) {
-        const std::string row = serialize_journal_entry(out);
+        const std::string row = serialize_job_result(out);
         const std::lock_guard<std::mutex> lock(journal_mutex);
-        journal << row;
-        journal.flush();
+        journal.append(row);
       }
     }
   };
 
-  if (workers == 1) {
+  std::shared_ptr<const telemetry::Timeline> supervisor_timeline;
+  if (options.isolation == IsolationMode::kProcess) {
+    // Fill restored slots up front; everything else goes to the supervisor.
+    ProcessPoolRequest req;
+    req.spec = &spec;
+    req.jobs = &jobs;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (restored[i] != nullptr) {
+        result.jobs[i] = *restored[i];
+        result.jobs[i].job = jobs[i];
+        resumed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        req.pending.push_back(i);
+      }
+    }
+    req.workers = workers;
+    req.max_attempts = options.max_attempts;
+    req.job_timeout_ms = options.job_timeout_ms;
+    req.inject_crash = options.inject_worker_crash;
+    req.want_metrics = spec.metrics || spec.timeline;
+    req.want_timeline = spec.timeline;
+    if (journal.is_open()) {
+      // The supervisor is single-threaded, so no lock is needed.
+      req.journal_append = [&journal](const JobResult& done) {
+        journal.append(serialize_job_result(done));
+      };
+    }
+    ProcessPoolOutcome outcome = run_process_pool(req, result.jobs);
+    result.worker_stats = outcome.stats;
+    supervisor_timeline = std::move(outcome.timeline);
+  } else if (workers == 1) {
     worker();
   } else {
     std::vector<std::thread> pool;
@@ -708,10 +839,30 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
     telemetry::MetricRegistry campaign_reg;
     campaign_reg.counter("campaign.jobs").add(result.jobs.size());
     campaign_reg.counter("campaign.jobs_failed").add(result.failed());
+    if (options.isolation == IsolationMode::kProcess) {
+      // Supervision instruments exist only under process isolation, so a
+      // crash-free thread campaign's snapshot stays byte-identical to its
+      // pre-supervision shape.
+      campaign_reg.counter("campaign.worker_spawns")
+          .add(result.worker_stats.spawns);
+      campaign_reg.counter("campaign.worker_crashes")
+          .add(result.worker_stats.crashes);
+      campaign_reg.counter("campaign.worker_respawns")
+          .add(result.worker_stats.respawns);
+      campaign_reg.counter("campaign.worker_redispatches")
+          .add(result.worker_stats.redispatches);
+      campaign_reg.counter("campaign.worker_timeout_kills")
+          .add(result.worker_stats.timeout_kills);
+    }
     result.metrics = campaign_reg.snapshot();
     for (const JobResult& j : result.jobs) {
       if (j.ok) result.metrics.merge(j.report.metrics);
       if (j.ok && j.job.index == 0) result.timeline = j.report.timeline;
+    }
+    if (options.isolation == IsolationMode::kProcess && spec.timeline) {
+      // A job's event timeline cannot cross the worker pipe (only metrics
+      // snapshots do); the supervisor's own lifecycle timeline stands in.
+      result.timeline = supervisor_timeline;
     }
   }
 

@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "inject/worker_crash.hpp"
 #include "sim/simulation.hpp"
 
 namespace tmemo {
@@ -142,14 +143,30 @@ struct JobResult {
   double wall_ms = 0.0;
 };
 
+/// Supervision counters of a process-isolated campaign (all zero under
+/// thread isolation). Mirrored into the campaign.worker_* telemetry
+/// instruments when metrics are on.
+struct WorkerPoolStats {
+  std::uint64_t spawns = 0;        ///< worker processes forked (incl. respawns)
+  std::uint64_t crashes = 0;       ///< workers that died mid-job (signal, exit,
+                                   ///< or silent clean exit)
+  std::uint64_t respawns = 0;      ///< replacement workers forked after a crash
+  std::uint64_t redispatches = 0;  ///< in-flight jobs re-dispatched after a
+                                   ///< crash under the retry budget
+  std::uint64_t timeout_kills = 0; ///< workers SIGKILLed for blowing the hard
+                                   ///< per-job timeout
+};
+
 /// All job results, ordered by CampaignJob::index regardless of which
 /// worker finished when.
 struct CampaignResult {
   std::vector<JobResult> jobs;
   double wall_ms = 0.0; ///< whole-campaign wall time
-  int workers = 1;      ///< worker threads actually used
+  int workers = 1;      ///< worker threads/processes actually used
   /// Jobs restored from a resume journal instead of re-executed.
   std::size_t resumed_jobs = 0;
+  /// Process-pool supervision counters (zero under thread isolation).
+  WorkerPoolStats worker_stats;
 
   /// Merged telemetry over every ok job (empty unless SweepSpec::metrics).
   /// Bit-identical for any worker count: all instruments are uint64 and
@@ -171,28 +188,62 @@ struct CampaignResult {
 struct CampaignJournal {
   std::string fingerprint;
   std::vector<JobResult> entries;
+  /// Records dropped because they failed to parse — the torn-write case: a
+  /// crash mid-append leaves a trailing partial line. Resume tolerates (and
+  /// callers should log) these instead of failing the whole campaign.
+  std::size_t malformed_rows = 0;
 };
+
+/// How campaign jobs are isolated from each other and from the engine.
+enum class IsolationMode {
+  /// Jobs run on in-process worker threads (the default): fastest, but a
+  /// segfault/abort()/OOM-kill in one job takes the whole campaign with it.
+  kThread,
+  /// Jobs run in forked worker processes supervised over a pipe protocol
+  /// (sim/worker_proc.hpp): a hard fault in one job becomes a failed
+  /// JobResult with the decoded cause while every other job completes, and
+  /// the job timeout becomes a hard SIGKILL. Results are bit-identical to
+  /// thread isolation (wall_ms aside). POSIX only.
+  kProcess,
+};
+
+[[nodiscard]] constexpr std::string_view isolation_mode_name(
+    IsolationMode m) noexcept {
+  return m == IsolationMode::kThread ? "thread" : "process";
+}
 
 /// Crash-safety and partial-failure options for CampaignEngine::run.
 struct CampaignRunOptions {
   /// Deterministic bounded retry: a throwing job is re-run (same seed, same
   /// inputs) up to this many times; JobResult::attempts records the count.
+  /// Under process isolation the budget also covers worker crashes: a job
+  /// whose worker died is re-dispatched until the budget is spent.
   int max_attempts = 1;
-  /// Soft per-job wall-clock budget in ms; 0 disables. Cooperative: checked
-  /// when the run returns, so a wedged job still occupies its worker, but
-  /// its result is discarded, marked timed_out and never retried. Because
-  /// the classification depends on wall time, enabling a timeout trades the
-  /// bit-identical-for-any-worker-count guarantee for liveness.
+  /// Per-job wall-clock budget in ms; 0 disables. Under thread isolation
+  /// the check is cooperative (evaluated when the run returns, so a wedged
+  /// job still occupies its worker); under process isolation it is hard
+  /// (the worker is SIGKILLed and the job marked timed_out). Timed-out
+  /// jobs are never retried. Because the classification depends on wall
+  /// time, enabling a timeout trades the bit-identical-for-any-worker-count
+  /// guarantee for liveness.
   double job_timeout_ms = 0.0;
+  /// Worker isolation model; kThread is the historical in-process pool.
+  IsolationMode isolation = IsolationMode::kThread;
+  /// Deterministic worker-crash injection (process isolation only): proves
+  /// crash containment in tests/CI. Ignored under thread isolation.
+  std::optional<inject::WorkerCrashInjection> inject_worker_crash;
   /// Append-only journal path; empty disables journaling. Every finished
   /// job is serialized and flushed as one RFC-4180 CSV record, so a killed
   /// campaign loses at most the in-flight jobs. A fresh (empty/missing)
   /// file gets a header line carrying campaign_fingerprint(spec).
   std::string journal_path;
-  /// Completed jobs from a previous run (read_campaign_journal). Their
-  /// indices are skipped — the journaled result is restored bit-identically
-  /// — and the fingerprint must match the spec being run. Metrics/timeline
-  /// campaigns cannot be resumed (snapshots are not journaled).
+  /// Completed jobs from a previous run (read_campaign_journal). Indices of
+  /// journaled *ok* entries are skipped — the result is restored
+  /// bit-identically — while journaled failures (a crashed worker, an
+  /// exhausted retry budget) are re-executed, so resuming a campaign after
+  /// fixing its environment heals it. The fingerprint must match the spec
+  /// being run. Metrics/timeline campaigns cannot be resumed (snapshots are
+  /// not journaled).
   std::optional<CampaignJournal> resume;
 };
 
@@ -237,6 +288,19 @@ class CampaignEngine {
 /// quoting round-trip.
 [[nodiscard]] bool read_csv_record(std::istream& in,
                                    std::vector<std::string>& fields);
+
+/// Serializes one JobResult as a journal CSV record (trailing '\n'
+/// included). Every numeric field uses round-trippable formatting, so
+/// parse_job_result restores it bit-identically. This row format doubles as
+/// the worker pipe protocol's result payload (sim/worker_proc.cpp).
+[[nodiscard]] std::string serialize_job_result(const JobResult& result);
+
+/// Restores a JobResult from the fields of one journal record. Only
+/// job.index and the measured fields are restored (the caller re-derives
+/// the rest of the CampaignJob from the spec). Returns false on any
+/// malformed or missing field.
+[[nodiscard]] bool parse_job_result(const std::vector<std::string>& fields,
+                                    JobResult& out);
 
 /// Writes one row per job: identity, operating point, seed, measurements,
 /// verification, wall time, status.

@@ -1,0 +1,842 @@
+#include "sim/worker_proc.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/pod_io.hpp"
+#include "common/require.hpp"
+#include "telemetry/collector.hpp"
+
+namespace tmemo {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol constants.
+
+constexpr std::uint8_t kJobStarted = 1; ///< heartbeat: worker began the job
+constexpr std::uint8_t kJobDone = 2;    ///< result frame
+
+/// Frame-size ceiling: a corrupt length prefix (a worker dying mid-write)
+/// must not drive a huge allocation in the supervisor.
+constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
+
+/// Backoff ceiling between a crash and the replacement fork.
+constexpr int kMaxRespawnBackoffMs = 200;
+
+// Wall-clock reads are confined to wall_now() (lint rule R1): supervision
+// deadlines and wall_ms reporting only — never simulation results.
+std::chrono::steady_clock::time_point wall_now() {
+  return std::chrono::steady_clock::now();
+}
+
+double wall_elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(wall_now() - since)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// EINTR-safe fd I/O (both sides of the pipe).
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Writes one length-prefixed frame. False on any error (EPIPE when the
+/// peer died; the caller decides what that means).
+bool write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char hdr[sizeof len];
+  std::memcpy(hdr, &len, sizeof len);
+  return write_all(fd, hdr, sizeof len) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+/// Blocking exact read (worker side). False on EOF or error.
+bool read_exact(int fd, char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, data + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool read_frame(int fd, std::string& payload) {
+  char hdr[sizeof(std::uint32_t)];
+  if (!read_exact(fd, hdr, sizeof hdr)) return false;
+  std::uint32_t len = 0;
+  std::memcpy(&len, hdr, sizeof len);
+  if (len > kMaxFrameBytes) return false;
+  payload.assign(len, '\0');
+  return len == 0 || read_exact(fd, payload.data(), len);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot over the pipe. Every instrument value is uint64
+// (telemetry/metrics.hpp), so the snapshot crosses the process boundary
+// exactly and the campaign fold stays bit-identical to thread isolation.
+
+void pack_metrics(std::ostream& os, const telemetry::MetricsSnapshot& s) {
+  write_pod(os, static_cast<std::uint64_t>(s.counters.size()));
+  for (const auto& c : s.counters) {
+    write_sized_string(os, c.name);
+    write_pod(os, c.value);
+  }
+  write_pod(os, static_cast<std::uint64_t>(s.gauges.size()));
+  for (const auto& g : s.gauges) {
+    write_sized_string(os, g.name);
+    write_pod(os, g.value);
+  }
+  write_pod(os, static_cast<std::uint64_t>(s.histograms.size()));
+  for (const auto& h : s.histograms) {
+    write_sized_string(os, h.name);
+    write_pod(os, static_cast<std::uint8_t>(h.spec.scale));
+    write_pod(os, h.spec.lo);
+    write_pod(os, h.spec.hi);
+    write_pod(os, h.spec.linear_buckets);
+    write_pod(os, static_cast<std::uint64_t>(h.buckets.size()));
+    for (const std::uint64_t b : h.buckets) write_pod(os, b);
+    write_pod(os, h.count);
+    write_pod(os, h.sum);
+    write_pod(os, h.min);
+    write_pod(os, h.max);
+  }
+}
+
+bool unpack_metrics(std::istream& is, telemetry::MetricsSnapshot& s) {
+  constexpr std::uint64_t kMaxEntries = 1u << 20;
+  std::uint64_t n = 0;
+  read_pod(is, n);
+  if (!is.good() || n > kMaxEntries) return false;
+  s.counters.resize(static_cast<std::size_t>(n));
+  for (auto& c : s.counters) {
+    if (!read_sized_string(is, c.name)) return false;
+    read_pod(is, c.value);
+  }
+  read_pod(is, n);
+  if (!is.good() || n > kMaxEntries) return false;
+  s.gauges.resize(static_cast<std::size_t>(n));
+  for (auto& g : s.gauges) {
+    if (!read_sized_string(is, g.name)) return false;
+    read_pod(is, g.value);
+  }
+  read_pod(is, n);
+  if (!is.good() || n > kMaxEntries) return false;
+  s.histograms.resize(static_cast<std::size_t>(n));
+  for (auto& h : s.histograms) {
+    if (!read_sized_string(is, h.name)) return false;
+    std::uint8_t scale = 0;
+    read_pod(is, scale);
+    h.spec.scale = static_cast<telemetry::HistogramSpec::Scale>(scale);
+    read_pod(is, h.spec.lo);
+    read_pod(is, h.spec.hi);
+    read_pod(is, h.spec.linear_buckets);
+    std::uint64_t buckets = 0;
+    read_pod(is, buckets);
+    if (!is.good() || buckets > kMaxEntries) return false;
+    h.buckets.resize(static_cast<std::size_t>(buckets));
+    for (std::uint64_t& b : h.buckets) read_pod(is, b);
+    read_pod(is, h.count);
+    read_pod(is, h.sum);
+    read_pod(is, h.min);
+    read_pod(is, h.max);
+  }
+  return is.good();
+}
+
+// ---------------------------------------------------------------------------
+// Worker child. Forked from the supervisor, so it inherits spec, jobs and
+// the workload factory; only (job index, attempt) ever crosses the pipe.
+// Every exit path is _exit() or a raised signal — a forked gtest/ASan child
+// must never run the parent's atexit machinery.
+
+/// Dies the way the injection plan asks. Signal handlers installed by the
+/// host (sanitizers, gtest death tests) are reset first so the death is
+/// reported to waitpid as a real signal, not converted to a clean exit.
+[[noreturn]] void crash_now(int sig) {
+  if (sig == inject::kWorkerExitsCleanly) _exit(0);
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+  _exit(111); // only reachable if the signal was blocked
+}
+
+/// One dispatch = the job's whole remaining retry budget for *clean*
+/// failures, mirroring the thread pool's in-worker retry loop so the
+/// attempts column is bit-identical across isolation modes. Crashes are the
+/// supervisor's share of the budget: a redispatch resumes at attempt+1.
+JobResult run_job_attempts(const ProcessPoolRequest& req, std::size_t ji,
+                           int start_attempt,
+                           std::vector<std::unique_ptr<Workload>>& workloads,
+                           const std::string& setup_error) {
+  const CampaignJob& job = (*req.jobs)[ji];
+  JobResult out;
+  out.job = job;
+  const auto job_start = wall_now();
+  if (!setup_error.empty()) {
+    // Setup failures are environmental, not per-job: never retried.
+    out.attempts = start_attempt;
+    out.error = setup_error;
+  } else if (job.workload_index >= workloads.size()) {
+    out.attempts = start_attempt;
+    out.error = "workload factory returned fewer workloads than expected";
+  } else {
+    for (int attempt = start_attempt;; ++attempt) {
+      if (req.inject_crash && req.inject_crash->applies(ji, attempt)) {
+        crash_now(req.inject_crash->signal);
+      }
+      out.attempts = attempt;
+      out.ok = false;
+      out.error.clear();
+      try {
+        const ExperimentConfig& config =
+            req.spec->variants.empty()
+                ? ExperimentConfig{}
+                : req.spec->variants[job.variant_index].config;
+        const Simulation sim(config);
+        out.report = sim.run(*workloads[job.workload_index], job.spec);
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      } catch (...) {
+        out.error = "unknown exception";
+      }
+      if (out.ok || attempt >= req.max_attempts) break;
+    }
+  }
+  out.wall_ms = wall_elapsed_ms(job_start);
+  return out;
+}
+
+[[noreturn]] void worker_main(const ProcessPoolRequest& req, int job_fd,
+                              int res_fd) {
+  // Private workload set, built once — exactly like a worker thread.
+  std::vector<std::unique_ptr<Workload>> workloads;
+  std::string setup_error;
+  try {
+    workloads = req.spec->factory ? req.spec->factory()
+                                  : make_all_workloads(req.spec->scale);
+  } catch (const std::exception& e) {
+    setup_error = std::string("workload setup failed: ") + e.what();
+  } catch (...) {
+    setup_error = "workload setup failed: unknown exception";
+  }
+
+  std::string payload;
+  for (;;) {
+    if (!read_frame(job_fd, payload)) _exit(0); // EOF: campaign is done
+    std::istringstream in(payload);
+    std::uint64_t job_u = 0;
+    std::int32_t start_attempt = 0;
+    read_pod(in, job_u);
+    read_pod(in, start_attempt);
+    if (!in.good() || job_u >= req.jobs->size() || start_attempt < 1) {
+      _exit(3); // protocol violation: let the supervisor decode exit 3
+    }
+
+    // Heartbeat before the work: tells the supervisor which job this
+    // worker now owns and arms the hard timeout from the job's true start.
+    {
+      std::ostringstream hb;
+      write_pod(hb, kJobStarted);
+      write_pod(hb, job_u);
+      if (!write_frame(res_fd, hb.str())) _exit(3);
+    }
+
+    const JobResult out =
+        run_job_attempts(req, static_cast<std::size_t>(job_u),
+                         static_cast<int>(start_attempt), workloads,
+                         setup_error);
+
+    std::ostringstream done;
+    write_pod(done, kJobDone);
+    write_pod(done, job_u);
+    write_sized_string(done, serialize_job_result(out));
+    const std::uint8_t has_metrics = req.want_metrics && out.ok ? 1 : 0;
+    write_pod(done, has_metrics);
+    if (has_metrics != 0) pack_metrics(done, out.report.metrics);
+    if (!write_frame(res_fd, done.str())) _exit(3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor.
+
+/// A queued dispatch: which job, and which attempt number the worker should
+/// resume its retry loop at (advanced past the attempts a crash consumed).
+struct QueueItem {
+  std::size_t job = 0;
+  int attempt = 1;
+};
+
+struct WorkerSlot {
+  std::uint32_t id = 0; ///< stable slot number (timeline pid)
+  pid_t pid = -1;
+  int job_fd = -1; ///< supervisor writes job frames here
+  int res_fd = -1; ///< supervisor reads response frames here (nonblocking)
+  std::string buf; ///< unparsed response bytes
+  bool live = false;
+  bool busy = false;
+  std::size_t job = 0;
+  int attempt = 0;
+  bool heartbeat_seen = false;
+  bool timeout_killed = false;
+  bool deadline_armed = false;
+  std::chrono::steady_clock::time_point deadline{};
+  std::chrono::steady_clock::time_point job_start{};
+};
+
+/// Restores the previous SIGPIPE disposition on scope exit. The supervisor
+/// ignores SIGPIPE so a dispatch to a just-died worker surfaces as EPIPE
+/// from write() instead of killing the campaign.
+class SigpipeGuard {
+ public:
+  SigpipeGuard() {
+    struct sigaction ign = {};
+    ign.sa_handler = SIG_IGN;
+    installed_ = ::sigaction(SIGPIPE, &ign, &saved_) == 0;
+  }
+  ~SigpipeGuard() {
+    if (installed_) ::sigaction(SIGPIPE, &saved_, nullptr);
+  }
+  SigpipeGuard(const SigpipeGuard&) = delete;
+  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
+
+ private:
+  struct sigaction saved_ = {};
+  bool installed_ = false;
+};
+
+class ProcessSupervisor {
+ public:
+  ProcessSupervisor(const ProcessPoolRequest& req,
+                    std::vector<JobResult>& results)
+      : req_(req), results_(results),
+        slots_(static_cast<std::size_t>(std::max(1, req.workers))) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i].id = static_cast<std::uint32_t>(i);
+    }
+    if (req_.want_timeline) {
+      timeline_ = std::make_shared<telemetry::Timeline>();
+    }
+  }
+
+  ProcessPoolOutcome run() {
+    const SigpipeGuard sigpipe;
+    for (const std::size_t ji : req_.pending) queue_.push_back({ji, 1});
+
+    while (!queue_.empty() || busy_count() > 0) {
+      spawn_needed();
+      dispatch_idle();
+      if (queue_.empty() && busy_count() == 0) break;
+      wait_and_process();
+    }
+    shutdown();
+
+    ProcessPoolOutcome out;
+    out.stats = stats_;
+    if (timeline_) {
+      for (const WorkerSlot& s : slots_) {
+        timeline_->set_process_name(s.id,
+                                    "worker " + std::to_string(s.id));
+      }
+      out.timeline = std::move(timeline_);
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::size_t busy_count() const {
+    std::size_t n = 0;
+    for (const WorkerSlot& s : slots_) n += s.live && s.busy ? 1 : 0;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t live_count() const {
+    std::size_t n = 0;
+    for (const WorkerSlot& s : slots_) n += s.live ? 1 : 0;
+    return n;
+  }
+
+  void note(const char* name, const WorkerSlot& s,
+            std::vector<std::pair<std::string, std::uint64_t>> args) {
+    if (!timeline_) return;
+    telemetry::record_supervision_event(*timeline_, name, s.id, seq_++,
+                                        std::move(args));
+  }
+
+  /// Keeps live workers matched to remaining work; a fork after the
+  /// initial wave is by definition a respawn and pays the bounded backoff
+  /// the crash streak has earned.
+  void spawn_needed() {
+    const std::size_t want = std::min(
+        slots_.size(), queue_.size() + busy_count());
+    while (live_count() < want) {
+      WorkerSlot* slot = nullptr;
+      for (WorkerSlot& s : slots_) {
+        if (!s.live) {
+          slot = &s;
+          break;
+        }
+      }
+      if (slot == nullptr) return;
+      if (initial_wave_done_ && crash_streak_ > 0) {
+        const int shift = std::min(crash_streak_ - 1, 6);
+        const int backoff_ms =
+            std::min(5 * (1 << shift), kMaxRespawnBackoffMs);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      }
+      if (!spawn(*slot)) {
+        ++spawn_failures_;
+        TM_REQUIRE(live_count() > 0 || spawn_failures_ < 100,
+                   "campaign worker pool: cannot fork any worker");
+        return; // retry on the next loop iteration
+      }
+      spawn_failures_ = 0;
+    }
+    initial_wave_done_ = true;
+  }
+
+  bool spawn(WorkerSlot& slot) {
+    int job_pipe[2] = {-1, -1};
+    int res_pipe[2] = {-1, -1};
+    if (::pipe(job_pipe) != 0) return false;
+    if (::pipe(res_pipe) != 0) {
+      ::close(job_pipe[0]);
+      ::close(job_pipe[1]);
+      return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(job_pipe[0]);
+      ::close(job_pipe[1]);
+      ::close(res_pipe[0]);
+      ::close(res_pipe[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: drop the supervisor's ends and every sibling's fds, or a
+      // crashed sibling's pipe EOF would be held open by this process.
+      ::close(job_pipe[1]);
+      ::close(res_pipe[0]);
+      for (const WorkerSlot& other : slots_) {
+        if (other.live) {
+          ::close(other.job_fd);
+          ::close(other.res_fd);
+        }
+      }
+      worker_main(req_, job_pipe[0], res_pipe[1]); // never returns
+    }
+    ::close(job_pipe[0]);
+    ::close(res_pipe[1]);
+    const int flags = ::fcntl(res_pipe[0], F_GETFL, 0);
+    ::fcntl(res_pipe[0], F_SETFL, flags | O_NONBLOCK);
+    slot.pid = pid;
+    slot.job_fd = job_pipe[1];
+    slot.res_fd = res_pipe[0];
+    slot.buf.clear();
+    slot.live = true;
+    slot.busy = false;
+    slot.heartbeat_seen = false;
+    slot.timeout_killed = false;
+    slot.deadline_armed = false;
+    ++stats_.spawns;
+    if (initial_wave_done_) {
+      ++stats_.respawns;
+      note("worker_respawn", slot,
+           {{"pid", static_cast<std::uint64_t>(pid)}});
+    } else {
+      note("worker_spawn", slot,
+           {{"pid", static_cast<std::uint64_t>(pid)}});
+    }
+    return true;
+  }
+
+  void dispatch_idle() {
+    for (WorkerSlot& s : slots_) {
+      if (queue_.empty()) return;
+      if (!s.live || s.busy) continue;
+      const QueueItem item = queue_.front();
+      queue_.pop_front();
+      std::ostringstream msg;
+      write_pod(msg, static_cast<std::uint64_t>(item.job));
+      write_pod(msg, static_cast<std::int32_t>(item.attempt));
+      s.busy = true;
+      s.job = item.job;
+      s.attempt = item.attempt;
+      s.heartbeat_seen = false;
+      s.timeout_killed = false;
+      // The hard-timeout deadline arms at the heartbeat, not here: a fresh
+      // worker is still building its workload set when the first job frame
+      // lands, and setup must not eat the job's budget.
+      s.deadline_armed = false;
+      s.job_start = wall_now();
+      if (!write_frame(s.job_fd, msg.str())) {
+        // The worker died between jobs (EPIPE). Put the job back and reap.
+        s.busy = false;
+        queue_.push_front(item);
+        reap(s);
+      }
+    }
+  }
+
+  void wait_and_process() {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_slot;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].live) continue;
+      fds.push_back(pollfd{slots_[i].res_fd, POLLIN, 0});
+      fd_slot.push_back(i);
+    }
+    if (fds.empty()) return;
+
+    int timeout_ms = -1;
+    if (req_.job_timeout_ms > 0.0) {
+      const auto now = wall_now();
+      for (const WorkerSlot& s : slots_) {
+        if (!s.live || !s.busy || !s.deadline_armed || s.timeout_killed) {
+          continue;
+        }
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                s.deadline - now)
+                .count();
+        const int ms =
+            remaining <= 0 ? 0
+                           : static_cast<int>(std::min<long long>(
+                                 static_cast<long long>(remaining) + 1,
+                                 60'000));
+        timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+      }
+    }
+
+    const int ready =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      TM_REQUIRE(false, "campaign worker pool: poll() failed");
+    }
+
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      WorkerSlot& s = slots_[fd_slot[k]];
+      if (!s.live) continue; // reaped earlier in this pass
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      drain(s);
+    }
+    enforce_deadlines();
+  }
+
+  /// Reads everything available from a worker, parses complete frames, and
+  /// reaps the worker on EOF.
+  void drain(WorkerSlot& s) {
+    bool eof = false;
+    char tmp[65536];
+    for (;;) {
+      const ssize_t r = ::read(s.res_fd, tmp, sizeof tmp);
+      if (r > 0) {
+        s.buf.append(tmp, static_cast<std::size_t>(r));
+        continue;
+      }
+      if (r == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      eof = true; // read error: treat like a vanished worker
+      break;
+    }
+    while (s.live) {
+      if (s.buf.size() < sizeof(std::uint32_t)) break;
+      std::uint32_t len = 0;
+      std::memcpy(&len, s.buf.data(), sizeof len);
+      if (len > kMaxFrameBytes) {
+        protocol_error(s);
+        return;
+      }
+      if (s.buf.size() < sizeof len + len) break;
+      const std::string payload = s.buf.substr(sizeof len, len);
+      s.buf.erase(0, sizeof len + len);
+      handle_frame(s, payload);
+    }
+    if (eof && s.live) reap(s);
+  }
+
+  void handle_frame(WorkerSlot& s, const std::string& payload) {
+    std::istringstream in(payload);
+    std::uint8_t type = 0;
+    std::uint64_t job_u = 0;
+    read_pod(in, type);
+    read_pod(in, job_u);
+    if (!in.good() || !s.busy ||
+        job_u != static_cast<std::uint64_t>(s.job)) {
+      protocol_error(s);
+      return;
+    }
+    if (type == kJobStarted) {
+      s.heartbeat_seen = true;
+      if (req_.job_timeout_ms > 0.0 && !s.timeout_killed) {
+        // Re-arm from the job's true start: worker setup (workload
+        // construction on first dispatch) does not eat the job's budget.
+        s.deadline_armed = true;
+        s.deadline = wall_now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             req_.job_timeout_ms));
+      }
+      return;
+    }
+    if (type != kJobDone) {
+      protocol_error(s);
+      return;
+    }
+    if (s.timeout_killed) {
+      // The kill already won: a result that raced the SIGKILL through the
+      // pipe is discarded, exactly like the thread pool discards a run
+      // that finished over budget. The reap will record the timeout.
+      return;
+    }
+
+    std::string row;
+    std::uint8_t has_metrics = 0;
+    JobResult res;
+    bool parsed = read_sized_string(in, row);
+    if (parsed) {
+      std::istringstream row_in(row);
+      std::vector<std::string> fields;
+      parsed = read_csv_record(row_in, fields) &&
+               parse_job_result(fields, res) && res.job.index == s.job;
+    }
+    if (parsed) {
+      read_pod(in, has_metrics);
+      parsed = in.good();
+    }
+    if (parsed && has_metrics != 0) {
+      parsed = unpack_metrics(in, res.report.metrics);
+    }
+    if (!parsed) {
+      protocol_error(s);
+      return;
+    }
+    res.job = (*req_.jobs)[s.job];
+    if (req_.job_timeout_ms > 0.0 && res.wall_ms > req_.job_timeout_ms) {
+      // Finished but over budget: classify like the thread pool's
+      // cooperative check so both isolation modes agree on the verdict.
+      res.ok = false;
+      res.timed_out = true;
+      res.report = KernelRunReport{};
+      res.error = "job exceeded " + format_ms(req_.job_timeout_ms) +
+                  " ms timeout";
+    }
+    finalize(res);
+    s.busy = false;
+    s.deadline_armed = false;
+    crash_streak_ = 0;
+  }
+
+  /// A worker that breaks the framing contract is as good as crashed: kill
+  /// it and let the reap path classify the death.
+  void protocol_error(WorkerSlot& s) {
+    ::kill(s.pid, SIGKILL);
+    reap(s);
+  }
+
+  /// Handles a worker's death: decode the wait status, then either record
+  /// the in-flight job's failure or re-dispatch it under the retry budget.
+  void reap(WorkerSlot& s) {
+    ::close(s.job_fd);
+    ::close(s.res_fd);
+    s.job_fd = s.res_fd = -1;
+    s.live = false;
+    s.buf.clear();
+    int status = 0;
+    while (::waitpid(s.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+
+    if (!s.busy) {
+      // Died between jobs: no job harmed, but the slot still needs a
+      // replacement and the event is still a crash.
+      ++stats_.crashes;
+      ++crash_streak_;
+      note("worker_crash", s, {{"status", pack_status(status)}});
+      return;
+    }
+    s.busy = false;
+    s.deadline_armed = false;
+
+    JobResult res;
+    res.job = (*req_.jobs)[s.job];
+    res.ok = false;
+    res.attempts = s.attempt;
+    res.wall_ms = wall_elapsed_ms(s.job_start);
+
+    if (s.timeout_killed) {
+      res.timed_out = true;
+      res.error = "job exceeded " + format_ms(req_.job_timeout_ms) +
+                  " ms hard timeout (worker SIGKILLed)";
+      finalize(res);
+      return;
+    }
+
+    ++stats_.crashes;
+    ++crash_streak_;
+    res.error = decode_status(status, s.heartbeat_seen);
+    note("worker_crash", s,
+         {{"job", static_cast<std::uint64_t>(s.job)},
+          {"attempt", static_cast<std::uint64_t>(s.attempt)},
+          {"status", pack_status(status)}});
+    if (s.attempt < req_.max_attempts) {
+      // The crash consumed one attempt; the redispatch resumes after it.
+      queue_.push_front({s.job, s.attempt + 1});
+      ++stats_.redispatches;
+      note("job_redispatch", s,
+           {{"job", static_cast<std::uint64_t>(s.job)},
+            {"attempt", static_cast<std::uint64_t>(s.attempt + 1)}});
+    } else {
+      finalize(res);
+    }
+  }
+
+  void enforce_deadlines() {
+    if (req_.job_timeout_ms <= 0.0) return;
+    const auto now = wall_now();
+    for (WorkerSlot& s : slots_) {
+      if (!s.live || !s.busy || !s.deadline_armed || s.timeout_killed) {
+        continue;
+      }
+      if (now < s.deadline) continue;
+      s.timeout_killed = true;
+      ++stats_.timeout_kills;
+      ::kill(s.pid, SIGKILL);
+      note("job_timeout_kill", s,
+           {{"job", static_cast<std::uint64_t>(s.job)},
+            {"attempt", static_cast<std::uint64_t>(s.attempt)}});
+      // EOF on the result pipe follows; reap() records the timeout.
+    }
+  }
+
+  void finalize(const JobResult& res) {
+    results_[res.job.index] = res;
+    if (req_.journal_append) req_.journal_append(results_[res.job.index]);
+  }
+
+  void shutdown() {
+    // Closing the job pipe is the protocol's shutdown signal: idle workers
+    // read EOF and _exit(0).
+    for (WorkerSlot& s : slots_) {
+      if (!s.live) continue;
+      ::close(s.job_fd);
+      ::close(s.res_fd);
+      s.job_fd = s.res_fd = -1;
+      int status = 0;
+      while (::waitpid(s.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      s.live = false;
+    }
+  }
+
+  [[nodiscard]] static std::string format_ms(double ms) {
+    std::ostringstream os;
+    os << ms;
+    return os.str();
+  }
+
+  /// Wait status folded into one u64 timeline arg: signal number when
+  /// signaled, 1000 + exit code when exited.
+  [[nodiscard]] static std::uint64_t pack_status(int status) {
+    if (WIFSIGNALED(status)) {
+      return static_cast<std::uint64_t>(WTERMSIG(status));
+    }
+    if (WIFEXITED(status)) {
+      return 1000u + static_cast<std::uint64_t>(WEXITSTATUS(status));
+    }
+    return static_cast<std::uint64_t>(status);
+  }
+
+  [[nodiscard]] static std::string decode_status(int status,
+                                                 bool heartbeat_seen) {
+    std::string s;
+    if (WIFSIGNALED(status)) {
+      const int sig = WTERMSIG(status);
+      s = "worker crashed: " + inject::signal_name(sig);
+      if (sig == SIGKILL) {
+        s += " (killed externally; possibly the OOM killer)";
+      }
+    } else if (WIFEXITED(status)) {
+      const int code = WEXITSTATUS(status);
+      if (code == 0) {
+        s = "worker exited cleanly without replying (lost result)";
+      } else {
+        s = "worker exited with status " + std::to_string(code);
+      }
+    } else {
+      s = "worker vanished (unrecognized wait status " +
+          std::to_string(status) + ")";
+    }
+    if (!heartbeat_seen) s += " before acknowledging the job";
+    return s;
+  }
+
+  const ProcessPoolRequest& req_;
+  std::vector<JobResult>& results_;
+  std::vector<WorkerSlot> slots_;
+  std::deque<QueueItem> queue_;
+  WorkerPoolStats stats_;
+  std::shared_ptr<telemetry::Timeline> timeline_;
+  std::uint64_t seq_ = 0;   ///< ordinal timeline timestamp
+  int crash_streak_ = 0;    ///< consecutive crashes since the last result
+  int spawn_failures_ = 0;  ///< consecutive failed fork/pipe attempts
+  bool initial_wave_done_ = false;
+};
+
+} // namespace
+
+ProcessPoolOutcome run_process_pool(const ProcessPoolRequest& req,
+                                    std::vector<JobResult>& results) {
+  TM_REQUIRE(req.spec != nullptr && req.jobs != nullptr,
+             "process pool: spec and jobs are required");
+  TM_REQUIRE(req.max_attempts >= 1,
+             "process pool: max_attempts must be >= 1");
+  TM_REQUIRE(results.size() == req.jobs->size(),
+             "process pool: results must be pre-sized to the job list");
+  for (const std::size_t ji : req.pending) {
+    TM_REQUIRE(ji < results.size(), "process pool: pending index out of range");
+  }
+  ProcessSupervisor supervisor(req, results);
+  return supervisor.run();
+}
+
+} // namespace tmemo

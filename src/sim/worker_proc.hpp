@@ -1,0 +1,85 @@
+// Process-isolated campaign worker pool (docs/RESILIENCE.md).
+//
+// The thread pool in campaign.cpp is the fast default, but one SIGSEGV,
+// abort() or OOM-kill inside a job takes the whole campaign — and its
+// journal — with it. run_process_pool trades a fork() per worker for
+// containment: a supervisor (the calling thread; it stays single-threaded,
+// which keeps fork() safe under TSan) forks N workers, feeds them jobs over
+// a length-prefixed pipe protocol (common/pod_io.hpp), and turns every way
+// a worker can die — signal, nonzero exit, clean exit without replying,
+// blown hard timeout — into a decoded JobResult::error while every other
+// job completes. Crashed in-flight jobs are re-dispatched under the retry
+// budget, replacement workers are forked with bounded backoff, and the
+// whole campaign remains bit-identical to thread isolation (wall_ms aside)
+// because nothing but the job index and attempt number crosses the pipe:
+// each worker rebuilds spec/workloads from the inherited address space,
+// exactly like a worker thread would.
+//
+// Pipe protocol (all frames are u32 payload-length + payload, host order):
+//   supervisor -> worker : { u64 job_index, i32 attempt }
+//   worker -> supervisor : { u8 kJobStarted, u64 job_index }   heartbeat
+//   worker -> supervisor : { u8 kJobDone, u64 job_index,
+//                            sized_string journal_csv_row,
+//                            u8 has_metrics, [metrics snapshot] }
+// The result payload reuses the journal CSV row (serialize_job_result /
+// parse_job_result), which is round-trippable by construction; metrics
+// snapshots are uint64-only and cross the pipe exactly. Timelines do not
+// cross the pipe — a process-isolated timeline campaign records the
+// supervisor's own lifecycle events instead.
+//
+// POSIX only (fork/pipe/poll/waitpid).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/campaign.hpp"
+
+namespace tmemo {
+
+/// The non-restored slice of a campaign, handed to the process supervisor
+/// by CampaignEngine::run. `spec` and `jobs` must outlive the call.
+struct ProcessPoolRequest {
+  const SweepSpec* spec = nullptr;
+  const std::vector<CampaignJob>* jobs = nullptr;
+  /// Indices into *jobs (== slots of the results vector) to execute, in
+  /// dispatch order.
+  std::vector<std::size_t> pending;
+  int workers = 1;
+  /// Retry budget per job; under process isolation it covers worker
+  /// crashes as well as clean in-worker failures.
+  int max_attempts = 1;
+  /// Hard per-job wall-clock budget in ms (0 disables): a worker that
+  /// outlives it is SIGKILLed and its job marked timed_out, never retried.
+  double job_timeout_ms = 0.0;
+  /// Deterministic crash injection (inject/worker_crash.hpp).
+  std::optional<inject::WorkerCrashInjection> inject_crash;
+  /// Workers ship a MetricsSnapshot back with every ok result.
+  bool want_metrics = false;
+  /// Record a supervisor lifecycle timeline (worker_spawn, worker_crash,
+  /// worker_respawn, job_redispatch, job_timeout_kill instants with
+  /// ordinal — not wall-clock — timestamps).
+  bool want_timeline = false;
+  /// Called on the supervising thread with every finished JobResult in
+  /// completion order; null disables journaling.
+  std::function<void(const JobResult&)> journal_append;
+};
+
+struct ProcessPoolOutcome {
+  WorkerPoolStats stats;
+  /// Supervisor lifecycle timeline (null unless want_timeline).
+  std::shared_ptr<const telemetry::Timeline> timeline;
+};
+
+/// Runs req.pending under forked worker processes, writing each job's
+/// outcome into results[job_index] (slots not listed in req.pending are
+/// left untouched). Throws std::invalid_argument on a malformed request
+/// and std::runtime_error when the pool itself cannot be stood up (fork or
+/// pipe failure on the very first worker).
+ProcessPoolOutcome run_process_pool(const ProcessPoolRequest& req,
+                                    std::vector<JobResult>& results);
+
+} // namespace tmemo

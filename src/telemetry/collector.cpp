@@ -22,6 +22,21 @@ std::string_view unit_name(std::uint8_t unit) {
 
 } // namespace
 
+void record_supervision_event(
+    Timeline& timeline, std::string name, std::uint32_t worker,
+    std::uint64_t seq,
+    std::vector<std::pair<std::string, std::uint64_t>> args) {
+  TimelineEvent ev;
+  ev.phase = TimelineEvent::Phase::kInstant;
+  ev.name = std::move(name);
+  ev.category = "campaign";
+  ev.pid = worker;
+  ev.tid = 0;
+  ev.ts = seq;
+  ev.args = std::move(args);
+  timeline.instant(std::move(ev));
+}
+
 TelemetryCollector::TelemetryCollector(CollectorConfig config) {
   if (config.timeline) {
     timeline_ = std::make_shared<Timeline>(config.timeline_max_events);

@@ -16,6 +16,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "telemetry/metrics.hpp"
 #include "telemetry/probe.hpp"
@@ -28,6 +31,19 @@ struct CollectorConfig {
   bool timeline = false;
   std::size_t timeline_max_events = Timeline::kDefaultMaxEvents;
 };
+
+/// Records one campaign-supervision event ("worker_spawn", "worker_crash",
+/// "worker_respawn", "job_redispatch", "job_timeout_kill") on a supervisor
+/// timeline (docs/RESILIENCE.md). Lives here so timeline event naming stays
+/// inside the telemetry layer. `seq` is the supervisor's own monotonic
+/// event sequence — supervision timestamps are ordinal, never wall-clock,
+/// so a supervision trace is as deterministic as the campaign that
+/// produced it (wall-dependent *occurrence* of crashes aside). `worker` is
+/// the worker slot, rendered as the trace's pid.
+void record_supervision_event(
+    Timeline& timeline, std::string name, std::uint32_t worker,
+    std::uint64_t seq,
+    std::vector<std::pair<std::string, std::uint64_t>> args);
 
 class TelemetryCollector final : public ProbeSink {
  public:

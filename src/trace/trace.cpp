@@ -3,8 +3,8 @@
 #include <cstring>
 #include <fstream>
 #include <map>
-#include <type_traits>
 
+#include "common/pod_io.hpp"
 #include "common/require.hpp"
 #include "fpu/semantics.hpp"
 
@@ -23,22 +23,8 @@ constexpr std::uint64_t kEventBytes =
 constexpr std::uint64_t kHeaderBytes =
     sizeof(kMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t);
 
-// The only sanctioned reinterpret_cast type punning in the tree (lint rule
-// R3): byte-serialization of trivially copyable values. Everything else
-// must go through tmemo::float_to_bits / std::bit_cast.
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  static_assert(std::is_trivially_copyable_v<T>,
-                "write_pod requires a trivially copyable type");
-  os.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
-
-template <typename T>
-void read_pod(std::istream& is, T& v) {
-  static_assert(std::is_trivially_copyable_v<T>,
-                "read_pod requires a trivially copyable type");
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
-}
+// write_pod/read_pod (the sanctioned R3 type-punning pair) moved to
+// common/pod_io.hpp so the campaign worker pipe protocol can share them.
 } // namespace
 
 void TraceWriter::consume(const ExecutionRecord& rec) {
@@ -71,11 +57,17 @@ void TraceWriter::save(const std::string& path) const {
 }
 
 std::vector<TraceEvent> load_trace(const std::string& path) {
-  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  std::ifstream is(path, std::ios::binary);
   TM_REQUIRE(is.good(), "cannot open trace input file: " + path);
+  return load_trace(is, path);
+}
+
+std::vector<TraceEvent> load_trace(std::istream& is, const std::string& path) {
+  is.seekg(0, std::ios::end);
   const std::streamoff file_size = is.tellg();
   is.seekg(0, std::ios::beg);
-  TM_REQUIRE(file_size >= static_cast<std::streamoff>(kHeaderBytes),
+  TM_REQUIRE(is.good() &&
+                 file_size >= static_cast<std::streamoff>(kHeaderBytes),
              "trace file shorter than the TMTR header: " + path);
 
   char magic[4] = {};

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,13 @@ class TraceWriter final : public ExecutionSink {
 
 /// Loads a binary trace written by TraceWriter::save().
 [[nodiscard]] std::vector<TraceEvent> load_trace(const std::string& path);
+
+/// Stream variant of load_trace: parses a TMTR trace from any seekable
+/// istream (`path` only labels error messages). This is the entry point the
+/// fuzz harness drives (tests/fuzz/), so every validation error must throw
+/// rather than crash or over-allocate.
+[[nodiscard]] std::vector<TraceEvent> load_trace(std::istream& is,
+                                                 const std::string& path);
 
 /// Result of one offline replay.
 struct ReplayStats {

@@ -1,0 +1,23 @@
+// libFuzzer harness for the two CLI spec parsers that consume raw user
+// text: SweepAxis::parse ("axis:start:stop:count") and
+// WorkerCrashInjection::parse ("job:signal[:count]"). Both must return
+// nullopt on malformed input — never throw, crash, or read out of bounds.
+// See docs/RESILIENCE.md.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "inject/worker_crash.hpp"
+#include "sim/campaign.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const std::string_view view(text);
+  const auto axis = tmemo::SweepAxis::parse(view);
+  (void)axis;
+  const auto crash = tmemo::inject::WorkerCrashInjection::parse(view);
+  (void)crash;
+  return 0;
+}

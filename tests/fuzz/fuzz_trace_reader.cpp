@@ -1,0 +1,24 @@
+// libFuzzer harness for the TMTR binary trace reader (tests/fuzz/): any
+// byte stream must either parse into events or throw std::exception —
+// never crash, hang, or over-allocate (the reader caps the event count it
+// trusts before resizing). See docs/RESILIENCE.md.
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "trace/trace.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const auto events = tmemo::load_trace(in, "<fuzz>");
+    (void)events;
+  } catch (const std::exception&) {
+    // Rejecting malformed input loudly is the contract.
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Torn-write tests for the campaign journal (docs/RESILIENCE.md): every
+// appended record is write()+fsync()ed, so a crash — of the campaign or of
+// the host — can tear at most the final line. read_campaign_journal must
+// tolerate such a trailing partial record (counting it in malformed_rows
+// instead of failing), and a resume from a torn journal must reproduce the
+// uninterrupted campaign bit-identically, re-running only the torn-off
+// jobs.
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "workloads/haar.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmemo {
+namespace {
+
+SweepSpec haar_spec() {
+  SweepSpec spec;
+  spec.factory = [] {
+    std::vector<std::unique_ptr<Workload>> v;
+    v.push_back(std::make_unique<HaarWorkload>(128));
+    return v;
+  };
+  spec.axis = SweepAxis::error_rate(0.0, 0.04, 3);
+  return spec;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "tmemo_torn_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// Journal text of a complete run of haar_spec(), plus the clean result.
+struct CleanRun {
+  std::string journal_text;
+  CampaignResult result;
+};
+
+CleanRun clean_run(const std::string& tag) {
+  const std::string path = temp_path(tag);
+  std::remove(path.c_str());
+  CampaignRunOptions options;
+  options.journal_path = path;
+  CleanRun run;
+  run.result = CampaignEngine(1).run(haar_spec(), options);
+  run.journal_text = slurp(path);
+  std::remove(path.c_str());
+  return run;
+}
+
+std::string csv_of(const CampaignResult& res) {
+  std::ostringstream out;
+  write_campaign_csv(res, out);
+  return out.str();
+}
+
+/// The CSV with the wall_ms column blanked (the only wall-clock field).
+std::string csv_without_wall(const CampaignResult& res) {
+  std::istringstream in(csv_of(res));
+  std::ostringstream out;
+  std::vector<std::string> fields;
+  while (read_csv_record(in, fields)) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (fields.size() > 19 && i == 19) fields[i].clear();
+      out << (i == 0 ? "" : ",") << fields[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+TEST(TornJournal, TrailingPartialLineIsCountedNotFatal) {
+  const CleanRun clean = clean_run("count.journal");
+  ASSERT_TRUE(clean.result.all_ok());
+  const std::string& text = clean.journal_text;
+  ASSERT_GT(text.size(), 40u);
+
+  // Cut the journal mid-final-record at every offset within the last line:
+  // each truncation must parse to fewer entries plus exactly one malformed
+  // row — never an exception.
+  const std::size_t last_line_start = text.rfind('\n', text.size() - 2) + 1;
+  for (std::size_t cut = last_line_start + 1; cut < text.size() - 1; ++cut) {
+    std::istringstream in(text.substr(0, cut));
+    const CampaignJournal journal = read_campaign_journal(in);
+    EXPECT_EQ(journal.entries.size(), clean.result.jobs.size() - 1)
+        << "cut at byte " << cut;
+    EXPECT_EQ(journal.malformed_rows, 1u) << "cut at byte " << cut;
+  }
+
+  // An un-torn journal parses with no malformed rows.
+  std::istringstream whole(text);
+  const CampaignJournal journal = read_campaign_journal(whole);
+  EXPECT_EQ(journal.entries.size(), clean.result.jobs.size());
+  EXPECT_EQ(journal.malformed_rows, 0u);
+}
+
+TEST(TornJournal, TearInsideAQuotedFieldIsTolerated) {
+  // A record whose final field is quoted (here: an error text with commas
+  // and newlines) torn mid-quote leaves an unterminated RFC-4180 quote —
+  // the nastiest torn shape, since the parser sees one giant field.
+  const CleanRun clean = clean_run("quoted.journal");
+  std::string text = clean.journal_text;
+  text += "99,\"torn, error\nwith a line break"; // no closing quote, no \n
+  std::istringstream in(text);
+  const CampaignJournal journal = read_campaign_journal(in);
+  EXPECT_EQ(journal.entries.size(), clean.result.jobs.size());
+  EXPECT_EQ(journal.malformed_rows, 1u);
+}
+
+TEST(TornJournal, ResumeFromTornJournalIsBitIdentical) {
+  const CleanRun clean = clean_run("resume.journal");
+  ASSERT_TRUE(clean.result.all_ok());
+
+  // Tear half of the final record off, as a crash mid-append would.
+  const std::string& text = clean.journal_text;
+  const std::size_t last_line_start = text.rfind('\n', text.size() - 2) + 1;
+  const std::size_t cut =
+      last_line_start + (text.size() - last_line_start) / 2;
+  const std::string torn_path = temp_path("resume_torn.journal");
+  spill(torn_path, text.substr(0, cut));
+
+  std::ifstream in(torn_path);
+  ASSERT_TRUE(in.good());
+  CampaignRunOptions options;
+  options.resume = read_campaign_journal(in);
+  options.journal_path = torn_path;
+  EXPECT_EQ(options.resume->malformed_rows, 1u);
+  const CampaignResult resumed = CampaignEngine(1).run(haar_spec(), options);
+  EXPECT_EQ(resumed.resumed_jobs, clean.result.jobs.size() - 1);
+  EXPECT_TRUE(resumed.all_ok());
+  EXPECT_EQ(csv_without_wall(resumed), csv_without_wall(clean.result));
+
+  // The torn stub was truncated before re-journaling the re-run job: the
+  // healed journal restores every job and has no malformed rows left.
+  std::ifstream healed(torn_path);
+  const CampaignJournal journal = read_campaign_journal(healed);
+  EXPECT_EQ(journal.entries.size(), clean.result.jobs.size());
+  EXPECT_EQ(journal.malformed_rows, 0u);
+  std::remove(torn_path.c_str());
+}
+
+} // namespace
+} // namespace tmemo

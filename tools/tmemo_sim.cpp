@@ -18,10 +18,17 @@
 //             [--inject-lut-seu R] [--inject-eds-fn R] [--inject-eds-fp R]
 //             [--inject-parity] [--watchdog-budget N]
 //             [--watchdog-action memo-off|guardband]
-//             [--retries N] [--timeout-ms T]
+//             [--max-attempts N] [--job-timeout-ms T]
+//             [--isolation thread|process]
+//             [--inject-worker-crash JOB:SIG[:N]]
 //             [--journal FILE] [--resume FILE]
 //
-// Flags taking a value accept both "--flag value" and "--flag=value".
+// Flags taking a value accept both "--flag value" and "--flag=value";
+// boolean flags take none. Every malformed invocation — unknown flag,
+// malformed or out-of-range value, missing value — exits 2 with a one-line
+// diagnostic on stderr (tested table-driven in tests/tools/cli_args_test).
+// --retries N and --timeout-ms T are kept as aliases of
+// --max-attempts N+1 and --job-timeout-ms T.
 //
 // Examples:
 //   tmemo_sim --kernel sobel --error-rate 0.02
@@ -35,6 +42,8 @@
 //   tmemo_sim --kernel all --sweep error-rate:0:0.04:9 --journal run.journal
 //   tmemo_sim --kernel all --sweep error-rate:0:0.04:9 --resume run.journal
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -75,16 +84,18 @@ struct CliOptions {
   std::string metrics_format = "json";
   // Fault injection + hardening (docs/FAULT_INJECTION.md).
   inject::FaultInjectionConfig inject;
-  // Crash-safe campaign execution.
-  int retries = 0;
-  double timeout_ms = 0.0;
+  // Crash-safe campaign execution (docs/RESILIENCE.md).
+  int max_attempts = 1;
+  double job_timeout_ms = 0.0;
+  IsolationMode isolation = IsolationMode::kThread;
+  std::optional<inject::WorkerCrashInjection> inject_worker_crash;
   std::optional<std::string> journal_path;
   std::optional<std::string> resume_path;
 };
 
-[[noreturn]] void usage(const char* argv0) {
+void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(
-      stderr,
+      out,
       "usage: %s [--kernel NAME|all]\n"
       "          [--error-rate R | --voltage V | --sweep "
       "AXIS:START:STOP:COUNT]\n"
@@ -97,20 +108,78 @@ struct CliOptions {
       "[--inject-eds-fp R]\n"
       "          [--inject-parity] [--watchdog-budget N]\n"
       "          [--watchdog-action memo-off|guardband]\n"
-      "          [--retries N] [--timeout-ms T]\n"
+      "          [--max-attempts N] [--job-timeout-ms T]\n"
+      "          [--isolation thread|process]\n"
+      "          [--inject-worker-crash JOB:SIG[:N]]\n"
       "          [--journal FILE] [--resume FILE]\n"
       "sweep axes: error-rate, voltage (e.g. --sweep error-rate:0:0.04:9)\n"
       "kernels: sobel gaussian haar binomialoption blackscholes fwt "
       "eigenvalue all\n",
       argv0);
+}
+
+/// Every malformed invocation exits 2 with exactly one diagnostic line.
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "tmemo_sim: %s (try --help)\n", message.c_str());
   std::exit(2);
 }
 
-double parse_double(const std::string& v, const char* argv0) {
+/// Strict finite double: rejects empty values, trailing garbage, NaN and
+/// infinities — a NaN threshold or rate must never reach the simulator.
+double parse_num(const std::string& flag, const std::string& v) {
+  if (v.empty()) fail("missing value for " + flag);
   char* end = nullptr;
   const double d = std::strtod(v.c_str(), &end);
-  if (end == v.c_str() || *end != '\0') usage(argv0);
+  if (end == v.c_str() || *end != '\0') {
+    fail("malformed number for " + flag + ": '" + v + "'");
+  }
+  if (std::isnan(d)) fail(flag + " must not be NaN");
+  if (std::isinf(d)) fail(flag + " must be finite");
   return d;
+}
+
+double parse_num_in(const std::string& flag, const std::string& v, double lo,
+                    double hi) {
+  const double d = parse_num(flag, v);
+  if (d < lo || d > hi) {
+    fail(flag + " must be in [" + std::to_string(lo) + ", " +
+         std::to_string(hi) + "], got " + v);
+  }
+  return d;
+}
+
+/// Strict decimal integer: "3.5", "1e3" and "0x10" are rejected rather
+/// than silently truncated the way the old parse-as-double path did.
+long long parse_int_in(const std::string& flag, const std::string& v,
+                       long long lo, long long hi) {
+  if (v.empty()) fail("missing value for " + flag);
+  errno = 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    fail("malformed integer for " + flag + ": '" + v + "'");
+  }
+  if (errno == ERANGE || n < lo || n > hi) {
+    fail(flag + " must be between " + std::to_string(lo) + " and " +
+         std::to_string(hi) + ", got " + v);
+  }
+  return n;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& v) {
+  if (v.empty()) fail("missing value for " + flag);
+  for (const char c : v) {
+    if (c < '0' || c > '9') {
+      fail("malformed unsigned integer for " + flag + ": '" + v + "'");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+    fail(flag + " is out of range: '" + v + "'");
+  }
+  return static_cast<std::uint64_t>(n);
 }
 
 CliOptions parse(int argc, char** argv) {
@@ -127,8 +196,13 @@ CliOptions parse(int argc, char** argv) {
     }
     auto value = [&]() -> std::string {
       if (inline_value) return *inline_value;
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) fail("missing value for " + arg);
       return argv[++i];
+    };
+    // Boolean flags reject an inline value: "--csv=yes" is a typo, not a
+    // request.
+    auto no_value = [&]() {
+      if (inline_value) fail(arg + " takes no value");
     };
     if (arg == "--kernel") {
       opt.kernel = value();
@@ -136,33 +210,45 @@ CliOptions parse(int argc, char** argv) {
         c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
       }
     } else if (arg == "--error-rate") {
-      opt.error_rate = parse_double(value(), argv[0]);
+      opt.error_rate = parse_num_in(arg, value(), 0.0, 1.0);
     } else if (arg == "--voltage") {
-      opt.voltage = parse_double(value(), argv[0]);
+      const double v = parse_num(arg, value());
+      if (v <= 0.0) fail("--voltage must be positive, got " + std::to_string(v));
+      opt.voltage = v;
     } else if (arg == "--sweep") {
-      opt.sweep = SweepAxis::parse(value());
+      const std::string text = value();
+      opt.sweep = SweepAxis::parse(text);
       if (!opt.sweep) {
-        std::fprintf(stderr, "malformed --sweep (want AXIS:START:STOP:COUNT, "
-                             "e.g. error-rate:0:0.04:9)\n");
-        usage(argv[0]);
+        fail("malformed --sweep '" + text +
+             "' (want AXIS:START:STOP:COUNT, e.g. error-rate:0:0.04:9)");
       }
     } else if (arg == "--threshold") {
-      opt.threshold = static_cast<float>(parse_double(value(), argv[0]));
+      const double t = parse_num(arg, value());
+      if (t < 0.0) fail("--threshold must be >= 0, got " + std::to_string(t));
+      opt.threshold = static_cast<float>(t);
     } else if (arg == "--scale") {
-      opt.scale = parse_double(value(), argv[0]);
+      const double s = parse_num(arg, value());
+      if (s <= 0.0) fail("--scale must be positive, got " + std::to_string(s));
+      opt.scale = s;
     } else if (arg == "--lut-depth") {
-      opt.lut_depth = static_cast<int>(parse_double(value(), argv[0]));
+      opt.lut_depth = static_cast<int>(parse_int_in(arg, value(), 1, 4096));
     } else if (arg == "--seed") {
-      opt.seed = static_cast<std::uint64_t>(parse_double(value(), argv[0]));
+      opt.seed = parse_u64(arg, value());
     } else if (arg == "--jobs") {
-      opt.jobs = static_cast<int>(parse_double(value(), argv[0]));
+      // 0 is not "auto" here — omitting the flag is; an explicit zero is a
+      // misconfiguration.
+      opt.jobs = static_cast<int>(parse_int_in(arg, value(), 1, 4096));
     } else if (arg == "--no-memo") {
+      no_value();
       opt.memoization = false;
     } else if (arg == "--spatial") {
+      no_value();
       opt.spatial = true;
     } else if (arg == "--per-unit") {
+      no_value();
       opt.per_unit = true;
     } else if (arg == "--csv") {
+      no_value();
       opt.csv = true;
     } else if (arg == "--json") {
       opt.json_path = value();
@@ -171,16 +257,18 @@ CliOptions parse(int argc, char** argv) {
     } else if (arg == "--trace-out") {
       opt.trace_path = value();
     } else if (arg == "--inject-lut-seu") {
-      opt.inject.lut.seu_per_cycle = parse_double(value(), argv[0]);
+      opt.inject.lut.seu_per_cycle = parse_num_in(arg, value(), 0.0, 1.0);
     } else if (arg == "--inject-eds-fn") {
-      opt.inject.eds.false_negative_rate = parse_double(value(), argv[0]);
+      opt.inject.eds.false_negative_rate =
+          parse_num_in(arg, value(), 0.0, 1.0);
     } else if (arg == "--inject-eds-fp") {
-      opt.inject.eds.false_positive_rate = parse_double(value(), argv[0]);
+      opt.inject.eds.false_positive_rate =
+          parse_num_in(arg, value(), 0.0, 1.0);
     } else if (arg == "--inject-parity") {
+      no_value();
       opt.inject.lut.parity = true;
     } else if (arg == "--watchdog-budget") {
-      opt.inject.watchdog.recovery_cycle_budget =
-          static_cast<std::uint64_t>(parse_double(value(), argv[0]));
+      opt.inject.watchdog.recovery_cycle_budget = parse_u64(arg, value());
     } else if (arg == "--watchdog-action") {
       const std::string action = value();
       if (action == "memo-off") {
@@ -189,15 +277,36 @@ CliOptions parse(int argc, char** argv) {
       } else if (action == "guardband") {
         opt.inject.watchdog.action = inject::WatchdogAction::kRaiseGuardband;
       } else {
-        std::fprintf(stderr,
-                     "--watchdog-action must be memo-off or guardband\n");
-        usage(argv[0]);
+        fail("--watchdog-action must be memo-off or guardband, got '" +
+             action + "'");
       }
+    } else if (arg == "--max-attempts") {
+      opt.max_attempts =
+          static_cast<int>(parse_int_in(arg, value(), 1, 1000000));
     } else if (arg == "--retries") {
-      opt.retries = static_cast<int>(parse_double(value(), argv[0]));
-      if (opt.retries < 0) usage(argv[0]);
-    } else if (arg == "--timeout-ms") {
-      opt.timeout_ms = parse_double(value(), argv[0]);
+      // Alias: --retries N == --max-attempts N+1.
+      opt.max_attempts =
+          static_cast<int>(parse_int_in(arg, value(), 0, 999999)) + 1;
+    } else if (arg == "--job-timeout-ms" || arg == "--timeout-ms") {
+      const double t = parse_num(arg, value());
+      if (t < 0.0) fail(arg + " must be >= 0, got " + std::to_string(t));
+      opt.job_timeout_ms = t;
+    } else if (arg == "--isolation") {
+      const std::string mode = value();
+      if (mode == "thread") {
+        opt.isolation = IsolationMode::kThread;
+      } else if (mode == "process") {
+        opt.isolation = IsolationMode::kProcess;
+      } else {
+        fail("--isolation must be thread or process, got '" + mode + "'");
+      }
+    } else if (arg == "--inject-worker-crash") {
+      const std::string text = value();
+      opt.inject_worker_crash = inject::WorkerCrashInjection::parse(text);
+      if (!opt.inject_worker_crash) {
+        fail("malformed --inject-worker-crash '" + text +
+             "' (want JOB:SIGNAL[:COUNT], e.g. 3:segv or 0:SIGKILL:1)");
+      }
     } else if (arg == "--journal") {
       opt.journal_path = value();
     } else if (arg == "--resume") {
@@ -205,19 +314,21 @@ CliOptions parse(int argc, char** argv) {
     } else if (arg == "--metrics-format") {
       opt.metrics_format = value();
       if (opt.metrics_format != "json" && opt.metrics_format != "csv") {
-        std::fprintf(stderr, "--metrics-format must be json or csv\n");
-        usage(argv[0]);
+        fail("--metrics-format must be json or csv, got '" +
+             opt.metrics_format + "'");
       }
     } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
+      print_usage(stdout, argv[0]);
+      std::exit(0);
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      usage(argv[0]);
+      fail("unknown option: " + std::string(argv[i]));
     }
   }
   if (opt.sweep && opt.voltage) {
-    std::fprintf(stderr, "--sweep and --voltage are mutually exclusive\n");
-    usage(argv[0]);
+    fail("--sweep and --voltage are mutually exclusive");
+  }
+  if (opt.inject_worker_crash && opt.isolation != IsolationMode::kProcess) {
+    fail("--inject-worker-crash requires --isolation=process");
   }
   return opt;
 }
@@ -260,8 +371,10 @@ int main(int argc, char** argv) {
   spec.timeline = opt.trace_path.has_value();
 
   CampaignRunOptions run_options;
-  run_options.max_attempts = opt.retries + 1;
-  run_options.job_timeout_ms = opt.timeout_ms;
+  run_options.max_attempts = opt.max_attempts;
+  run_options.job_timeout_ms = opt.job_timeout_ms;
+  run_options.isolation = opt.isolation;
+  run_options.inject_worker_crash = opt.inject_worker_crash;
   if (opt.journal_path) run_options.journal_path = *opt.journal_path;
   if (opt.resume_path) {
     std::ifstream in(*opt.resume_path);
@@ -275,6 +388,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: %s\n", opt.resume_path->c_str(), e.what());
       return 1;
     }
+    if (run_options.resume->malformed_rows > 0) {
+      // A torn trailing write from a killed campaign: tolerated, but worth
+      // a trace — the affected jobs simply re-run.
+      std::fprintf(stderr,
+                   "warning: %s: ignored %zu malformed journal row%s "
+                   "(torn write from an interrupted campaign?)\n",
+                   opt.resume_path->c_str(),
+                   run_options.resume->malformed_rows,
+                   run_options.resume->malformed_rows == 1 ? "" : "s");
+    }
     // Resuming keeps journaling to the same file unless told otherwise.
     if (run_options.journal_path.empty()) {
       run_options.journal_path = *opt.resume_path;
@@ -286,8 +409,7 @@ int main(int argc, char** argv) {
   try {
     result = engine.run(spec, run_options);
   } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    usage(argv[0]);
+    fail(e.what());
   }
 
   ResultTable table("tmemo_sim results",
@@ -345,9 +467,12 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     if (opt.per_unit) units.print(std::cout);
     if (result.jobs.size() > 1) {
-      std::printf("%zu jobs, %d worker thread%s, %.0f ms total\n",
+      const bool procs = opt.isolation == IsolationMode::kProcess;
+      std::printf("%zu jobs, %d worker %s, %.0f ms total\n",
                   result.jobs.size(), result.workers,
-                  result.workers == 1 ? "" : "s", result.wall_ms);
+                  result.workers == 1 ? (procs ? "process" : "thread")
+                                      : (procs ? "processes" : "threads"),
+                  result.wall_ms);
     }
     if (result.resumed_jobs > 0) {
       std::printf("%zu job%s restored from journal\n", result.resumed_jobs,
