@@ -18,6 +18,17 @@
 
 namespace tmemo {
 
+/// Length prefix of every pipe frame (the worker protocol in
+/// sim/worker_proc.cpp): one fixed-width field, so both ends of the pipe —
+/// and, once the campaign fabric goes distributed, both ends of a socket —
+/// agree on the frame boundary byte-for-byte.
+struct FrameHeader {
+  std::uint32_t len = 0;  ///< payload byte count, host order
+};
+static_assert(std::is_trivially_copyable_v<FrameHeader> &&
+                  sizeof(FrameHeader) == 4,
+              "pod_io wire layout");
+
 // The only sanctioned reinterpret_cast type punning in the tree (lint rule
 // R3): byte-serialization of trivially copyable values.
 template <typename T>

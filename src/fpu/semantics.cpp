@@ -40,10 +40,12 @@ float evaluate_fp_op(FpOpcode op,
       return static_cast<float>(static_cast<std::int32_t>(clamped));
     }
     case FpOpcode::kInt2Fp: return ::truncf(a);
-    case FpOpcode::kSetE:   return a == b ? 1.0f : 0.0f;
+    // SETE/SETNE are the ISA's own bit-exact comparison ops; an epsilon
+    // here would change the architected semantics being modeled.
+    case FpOpcode::kSetE:   return a == b ? 1.0f : 0.0f;  // tmemo-lint: allow(float-equality)
     case FpOpcode::kSetGt:  return a > b ? 1.0f : 0.0f;
     case FpOpcode::kSetGe:  return a >= b ? 1.0f : 0.0f;
-    case FpOpcode::kSetNe:  return a != b ? 1.0f : 0.0f;
+    case FpOpcode::kSetNe:  return a != b ? 1.0f : 0.0f;  // tmemo-lint: allow(float-equality)
     case FpOpcode::kCndGe:  return a >= 0.0f ? b : c;
   }
   return 0.0f;

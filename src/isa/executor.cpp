@@ -140,7 +140,10 @@ void execute_program(GpuDevice& device, const KernelProgram& program,
         std::uint64_t taken = 0;
         for (int lane = 0; lane < lanes; ++lane) {
           if ((exec_mask & (1ull << lane)) != 0 &&
-              regs[ib->pred][lane] != 0.0f) {
+              // Predicate registers hold exactly 0.0f or 1.0f by ISA
+              // contract; bit-exact inequality is the intended semantics
+              // (an epsilon would misread injected predicate corruption).
+              regs[ib->pred][lane] != 0.0f) {  // tmemo-lint: allow(float-equality)
             taken |= 1ull << lane;
           }
         }

@@ -39,6 +39,33 @@ constexpr std::uint8_t kJobDone = 2;    ///< result frame
 /// must not drive a huge allocation in the supervisor.
 constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
 
+// Fixed-layout frame payloads. These cross the pipe whole through
+// write_pod/read_pod, so the struct layout *is* the wire format: fixed-width
+// fields only and no padding bytes anywhere (lint rule R9 checks both
+// against the computed layout, and the static_asserts pin them at compile
+// time).
+
+/// Supervisor -> worker: one job dispatch.
+struct JobDispatchFrame {
+  std::uint64_t job = 0;            ///< index into the campaign's job list
+  std::int32_t start_attempt = 1;   ///< resume the retry loop here
+  std::int32_t reserved = 0;        ///< explicit, so no byte is uninitialized
+};
+static_assert(std::is_trivially_copyable_v<JobDispatchFrame> &&
+                  sizeof(JobDispatchFrame) == 16,
+              "pod_io wire layout");
+
+/// Worker -> supervisor: fixed prefix of every event frame (heartbeat and
+/// result frames share it; the result frame appends its variable payload).
+struct EventFrameHeader {
+  std::uint8_t type = 0;            ///< kJobStarted / kJobDone
+  std::uint8_t reserved[7] = {};    ///< explicit, so no byte is uninitialized
+  std::uint64_t job = 0;            ///< job index the event refers to
+};
+static_assert(std::is_trivially_copyable_v<EventFrameHeader> &&
+                  sizeof(EventFrameHeader) == 16,
+              "pod_io wire layout");
+
 /// Backoff ceiling between a crash and the replacement fork.
 constexpr int kMaxRespawnBackoffMs = 200;
 
@@ -73,10 +100,10 @@ bool write_all(int fd, const char* data, std::size_t n) {
 /// peer died; the caller decides what that means).
 bool write_frame(int fd, const std::string& payload) {
   if (payload.size() > kMaxFrameBytes) return false;
-  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
-  char hdr[sizeof len];
-  std::memcpy(hdr, &len, sizeof len);
-  return write_all(fd, hdr, sizeof len) &&
+  const FrameHeader hdr{static_cast<std::uint32_t>(payload.size())};
+  char buf[sizeof hdr];
+  std::memcpy(buf, &hdr, sizeof hdr);
+  return write_all(fd, buf, sizeof buf) &&
          write_all(fd, payload.data(), payload.size());
 }
 
@@ -96,13 +123,13 @@ bool read_exact(int fd, char* data, std::size_t n) {
 }
 
 bool read_frame(int fd, std::string& payload) {
-  char hdr[sizeof(std::uint32_t)];
-  if (!read_exact(fd, hdr, sizeof hdr)) return false;
-  std::uint32_t len = 0;
-  std::memcpy(&len, hdr, sizeof len);
-  if (len > kMaxFrameBytes) return false;
-  payload.assign(len, '\0');
-  return len == 0 || read_exact(fd, payload.data(), len);
+  char buf[sizeof(FrameHeader)];
+  if (!read_exact(fd, buf, sizeof buf)) return false;
+  FrameHeader hdr;
+  std::memcpy(&hdr, buf, sizeof hdr);
+  if (hdr.len > kMaxFrameBytes) return false;
+  payload.assign(hdr.len, '\0');
+  return hdr.len == 0 || read_exact(fd, payload.data(), hdr.len);
 }
 
 // ---------------------------------------------------------------------------
@@ -259,11 +286,10 @@ JobResult run_job_attempts(const ProcessPoolRequest& req, std::size_t ji,
   for (;;) {
     if (!read_frame(job_fd, payload)) _exit(0); // EOF: campaign is done
     std::istringstream in(payload);
-    std::uint64_t job_u = 0;
-    std::int32_t start_attempt = 0;
-    read_pod(in, job_u);
-    read_pod(in, start_attempt);
-    if (!in.good() || job_u >= req.jobs->size() || start_attempt < 1) {
+    JobDispatchFrame dispatch;
+    read_pod(in, dispatch);
+    if (!in.good() || dispatch.job >= req.jobs->size() ||
+        dispatch.start_attempt < 1) {
       _exit(3); // protocol violation: let the supervisor decode exit 3
     }
 
@@ -271,19 +297,19 @@ JobResult run_job_attempts(const ProcessPoolRequest& req, std::size_t ji,
     // worker now owns and arms the hard timeout from the job's true start.
     {
       std::ostringstream hb;
-      write_pod(hb, kJobStarted);
-      write_pod(hb, job_u);
+      const EventFrameHeader started{kJobStarted, {}, dispatch.job};
+      write_pod(hb, started);
       if (!write_frame(res_fd, hb.str())) _exit(3);
     }
 
     const JobResult out =
-        run_job_attempts(req, static_cast<std::size_t>(job_u),
-                         static_cast<int>(start_attempt), workloads,
+        run_job_attempts(req, static_cast<std::size_t>(dispatch.job),
+                         static_cast<int>(dispatch.start_attempt), workloads,
                          setup_error);
 
     std::ostringstream done;
-    write_pod(done, kJobDone);
-    write_pod(done, job_u);
+    const EventFrameHeader done_hdr{kJobDone, {}, dispatch.job};
+    write_pod(done, done_hdr);
     write_sized_string(done, serialize_job_result(out));
     const std::uint8_t has_metrics = req.want_metrics && out.ok ? 1 : 0;
     write_pod(done, has_metrics);
@@ -462,8 +488,13 @@ class ProcessSupervisor {
     }
     ::close(job_pipe[0]);
     ::close(res_pipe[1]);
+    // The nonblocking flag is load-bearing: drain() spins on read() until
+    // EAGAIN, so a silently-blocking pipe would hang the whole campaign.
     const int flags = ::fcntl(res_pipe[0], F_GETFL, 0);
-    ::fcntl(res_pipe[0], F_SETFL, flags | O_NONBLOCK);
+    const int set_rc =
+        flags == -1 ? -1 : ::fcntl(res_pipe[0], F_SETFL, flags | O_NONBLOCK);
+    TM_REQUIRE(set_rc != -1,
+               "campaign worker pool: cannot set O_NONBLOCK on result pipe");
     slot.pid = pid;
     slot.job_fd = job_pipe[1];
     slot.res_fd = res_pipe[0];
@@ -492,8 +523,10 @@ class ProcessSupervisor {
       const QueueItem item = queue_.front();
       queue_.pop_front();
       std::ostringstream msg;
-      write_pod(msg, static_cast<std::uint64_t>(item.job));
-      write_pod(msg, static_cast<std::int32_t>(item.attempt));
+      const JobDispatchFrame dispatch{
+          static_cast<std::uint64_t>(item.job),
+          static_cast<std::int32_t>(item.attempt), 0};
+      write_pod(msg, dispatch);
       s.busy = true;
       s.job = item.job;
       s.attempt = item.attempt;
@@ -579,16 +612,16 @@ class ProcessSupervisor {
       break;
     }
     while (s.live) {
-      if (s.buf.size() < sizeof(std::uint32_t)) break;
-      std::uint32_t len = 0;
-      std::memcpy(&len, s.buf.data(), sizeof len);
-      if (len > kMaxFrameBytes) {
+      if (s.buf.size() < sizeof(FrameHeader)) break;
+      FrameHeader hdr;
+      std::memcpy(&hdr, s.buf.data(), sizeof hdr);
+      if (hdr.len > kMaxFrameBytes) {
         protocol_error(s);
         return;
       }
-      if (s.buf.size() < sizeof len + len) break;
-      const std::string payload = s.buf.substr(sizeof len, len);
-      s.buf.erase(0, sizeof len + len);
+      if (s.buf.size() < sizeof hdr + hdr.len) break;
+      const std::string payload = s.buf.substr(sizeof hdr, hdr.len);
+      s.buf.erase(0, sizeof hdr + hdr.len);
       handle_frame(s, payload);
     }
     if (eof && s.live) reap(s);
@@ -596,16 +629,14 @@ class ProcessSupervisor {
 
   void handle_frame(WorkerSlot& s, const std::string& payload) {
     std::istringstream in(payload);
-    std::uint8_t type = 0;
-    std::uint64_t job_u = 0;
-    read_pod(in, type);
-    read_pod(in, job_u);
+    EventFrameHeader hdr;
+    read_pod(in, hdr);
     if (!in.good() || !s.busy ||
-        job_u != static_cast<std::uint64_t>(s.job)) {
+        hdr.job != static_cast<std::uint64_t>(s.job)) {
       protocol_error(s);
       return;
     }
-    if (type == kJobStarted) {
+    if (hdr.type == kJobStarted) {
       s.heartbeat_seen = true;
       if (req_.job_timeout_ms > 0.0 && !s.timeout_killed) {
         // Re-arm from the job's true start: worker setup (workload
@@ -619,7 +650,7 @@ class ProcessSupervisor {
       }
       return;
     }
-    if (type != kJobDone) {
+    if (hdr.type != kJobDone) {
       protocol_error(s);
       return;
     }

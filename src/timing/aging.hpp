@@ -86,7 +86,7 @@ class AgingModel {
     TM_REQUIRE(activity >= 0.0 && activity <= 1.0,
                "activity is a duty-cycle fraction");
     const Volt v = scaling_.params().nominal_voltage;
-    if (activity == 0.0) return horizon_years;
+    if (activity <= 0.0) return horizon_years;
     // Bisection over calendar time.
     double lo = 0.0, hi = horizon_years;
     if (op_error_probability(v, depth, hi * activity) < target) {

@@ -10,6 +10,13 @@
 
 namespace tmemo {
 
+// TraceEvent is serialized field by field (packed, kEventBytes per event),
+// so its fields must stay fixed-width and trivially copyable even though
+// the in-memory sizeof includes 4 tail-padding bytes (lint rule R9).
+static_assert(std::is_trivially_copyable_v<TraceEvent> &&
+                  sizeof(TraceEvent) == 32,
+              "pod_io wire layout");
+
 namespace {
 constexpr char kMagic[4] = {'T', 'M', 'T', 'R'};
 constexpr std::uint32_t kVersion = 1;

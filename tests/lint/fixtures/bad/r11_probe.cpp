@@ -1,0 +1,24 @@
+// Bad fixture for R11 (probe-cost): allocation, I/O and mutation inside
+// TMEMO_TELEM argument lists. Expected: 4 findings, 1 suppressed.
+#include <iostream>
+#include <string>
+
+#define TMEMO_TELEM(...) (void)0
+
+namespace fixture {
+
+struct HitStats {
+  long hits = 0;
+};
+
+inline void probes(HitStats& s, int x) {
+  TMEMO_TELEM("memo.hits", s.hits + 1);             // pure read: clean
+  TMEMO_TELEM("memo.hits", s.hits++);               // mutation: 1 finding
+  TMEMO_TELEM("memo.name", std::to_string(x));      // formatting: 1 finding
+  TMEMO_TELEM("memo.log", std::cout << x);          // stream I/O: 1 finding
+  TMEMO_TELEM("memo.buf", new int[4]);              // allocation: 1 finding
+  TMEMO_TELEM("memo.delta", x - 1);                 // arithmetic: clean
+  TMEMO_TELEM("memo.sup", x--);  // tmemo-lint: allow(probe-cost)
+}
+
+} // namespace fixture

@@ -1,0 +1,44 @@
+// Bad fixture for R12 (campaign-determinism): job lambdas handed to worker
+// sinks mutating by-reference-captured shared state without a guard.
+// Expected: 4 findings, 1 suppressed.
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+class CampaignEngine;  // engages the rule
+
+inline void run(std::vector<int>& shared, int& total, std::mutex& m,
+                int& slot, std::string& log, std::atomic<long>& hits,
+                std::vector<std::thread>& pool) {
+  // Explicit by-ref captures, unguarded mutations: 2 findings.
+  pool.emplace_back([&shared, &total, &m, &slot]() {
+    shared.push_back(1);
+    total += 1;
+    {
+      std::lock_guard<std::mutex> g(m);
+      slot = 3;  // guarded in the same block: clean
+    }
+  });
+
+  // Default [&] capture mutating an outer variable: 1 finding.
+  int counter = 0;
+  pool.emplace_back([&] { counter++; });
+
+  // Atomic RMW is the sanctioned form: clean.
+  pool.emplace_back([&hits]() { hits.fetch_add(1); });
+
+  // Bound first, handed to the sink later: still a job lambda, 1 finding.
+  auto job = [&total]() { total = 7; };
+  pool.emplace_back(job);
+
+  // Suppressed mutation: 1 suppressed.
+  pool.emplace_back([&log]() {
+    log.append("x");  // tmemo-lint: allow(campaign-determinism)
+  });
+}
+
+} // namespace fixture

@@ -1,0 +1,34 @@
+// Bad fixture for R13 (float-equality): ==/!= on floating-point operands
+// outside src/memo/match.*. Expected: 4 findings, 1 suppressed.
+#include <cmath>
+#include <cstddef>
+
+namespace fixture {
+
+bool literal_eq(int x) { return x == 3.0; }    // float literal rhs: 1
+bool literal_ne(int x) { return x != 2.0f; }   // float literal rhs: 1
+
+bool param_eq(float a, float b) { return a == b; }  // declared floats: 1
+
+bool local_ne(double x) {
+  double y = x * 2.0;
+  return y != x;  // declared floats: 1
+}
+
+bool pointer_ok(const float* p) { return p != nullptr; }  // pointer: clean
+
+// `n` here is a size_t; the float `n` below is scoped to its own function
+// and must not taint this comparison: clean.
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+inline float half(int length) {
+  const float n = static_cast<float>(length);
+  return n / 2.0f;
+}
+
+bool epsilon_ok(float a, float b) { return std::fabs(a - b) < 1e-6f; }
+
+bool suppressed_eq(float a) {
+  return a == 0.0f;  // tmemo-lint: allow(float-equality)
+}
+
+} // namespace fixture

@@ -1,0 +1,62 @@
+// Bad fixture for R9 (pod-protocol): structs crossing the write_pod /
+// read_pod wire with padding, ABI-dependent widths, unchartable fields or
+// missing layout guards. Expected: 6 findings, 1 suppressed.
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <type_traits>
+
+#include "common/pod_io.hpp"
+
+namespace fixture {
+
+// Written whole with 7 natural-alignment padding bytes and no layout
+// guard: padding finding + missing-guard finding.
+struct PaddedFrame {
+  std::uint8_t type = 0;
+  std::uint64_t job = 0;
+};
+
+// Serialized field-wise with an ABI-dependent `long` and no guard:
+// fixed-width finding + missing-guard finding.
+struct LooseHeader {
+  long count = 0;
+  std::uint32_t id = 0;
+};
+
+// Unchartable field (std::string is not a fixed-width scalar) and no
+// guard: unchartable finding + missing-guard finding.
+struct NameFrame {
+  std::string name;
+  std::uint32_t salt = 0;
+};
+
+// Clean: fixed-width, padding-free, guarded. No findings.
+struct GoodFrame {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+static_assert(std::is_trivially_copyable_v<GoodFrame> &&
+                  sizeof(GoodFrame) == 8,
+              "pod_io wire layout");
+
+// Guarded but ABI-dependent, with the finding suppressed on the
+// definition line: 1 suppressed.
+struct TickHeader {  // tmemo-lint: allow(pod-protocol)
+  long ticks = 0;
+};
+static_assert(std::is_trivially_copyable_v<TickHeader> &&
+                  sizeof(TickHeader) == 8,
+              "pod_io wire layout");
+
+inline void ship(std::ostream& os, const PaddedFrame& pf,
+                 const LooseHeader& lh, const NameFrame& nf,
+                 const GoodFrame& gf, const TickHeader& th) {
+  tmemo::write_pod(os, pf);
+  tmemo::write_pod(os, lh.count);
+  tmemo::write_pod(os, nf.salt);
+  tmemo::write_pod(os, gf);
+  tmemo::write_pod(os, th.ticks);
+}
+
+} // namespace fixture

@@ -1,0 +1,44 @@
+// Bad fixture for R10 (syscall-discipline): discarded supervisor syscall
+// results and interruptible calls with no EINTR retry. The path contains
+// "worker_proc" so the rule engages. Expected: 4 findings, 1 suppressed.
+#include <cerrno>
+
+extern "C" {
+long write(int, const void*, unsigned long);
+int fork();
+int waitpid(int, int*, int);
+long read(int, void*, unsigned long);
+int fcntl(int, int, ...);
+}
+
+namespace fixture {
+
+// Discarded ::write result + no EINTR consultation: 2 findings.
+int bad_dispatch(int fd, const char* buf, unsigned long n) {
+  ::write(fd, buf, n);
+  const int rc = ::fork();  // checked, not interruptible: clean
+  return rc;
+}
+
+// Discarded ::waitpid result + no EINTR consultation: 2 findings.
+int bad_reap(int pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+// Checked result, EINTR retry loop: clean.
+long good_read(int fd, char* buf, unsigned long n) {
+  long rc = -1;
+  do {
+    rc = ::read(fd, buf, n);
+  } while (rc == -1 && errno == EINTR);
+  return rc;
+}
+
+// Discarded ::fcntl, suppressed on the line: 1 suppressed.
+void suppressed_fcntl(int fd) {
+  ::fcntl(fd, 0);  // tmemo-lint: allow(syscall-discipline)
+}
+
+} // namespace fixture

@@ -1,0 +1,55 @@
+// Good fixture for the cross-file rules R9-R13: the sanctioned form of
+// every pattern they police. Expected: 0 findings, 0 suppressed.
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/pod_io.hpp"
+
+#define TMEMO_TELEM(...) (void)0
+
+namespace fixture {
+
+class CampaignEngine;
+
+// R9: fixed-width, padding-free, layout-guarded wire struct.
+struct ResultFrame {
+  std::uint64_t job = 0;
+  std::uint32_t status = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(std::is_trivially_copyable_v<ResultFrame> &&
+                  sizeof(ResultFrame) == 16,
+              "pod_io wire layout");
+
+inline void ship(std::ostream& os, const ResultFrame& rf) {
+  tmemo::write_pod(os, rf);
+}
+
+// R11: probe arguments limited to casts, loads and arithmetic.
+inline void probe(long hits, long misses) {
+  TMEMO_TELEM("memo.hit_rate", hits, hits + misses);
+}
+
+// R12: job lambdas either mutate through atomics or hold a lock in the
+// block that mutates.
+inline void fan_out(std::atomic<long>& done, std::mutex& m, long& total,
+                    std::vector<std::thread>& pool) {
+  pool.emplace_back([&done]() { done.fetch_add(1); });
+  pool.emplace_back([&m, &total]() {
+    std::lock_guard<std::mutex> g(m);
+    total += 1;
+  });
+}
+
+// R13: epsilon comparison instead of operator==.
+inline bool close_enough(float a, float b) {
+  return std::fabs(a - b) < 1e-6f;
+}
+
+} // namespace fixture

@@ -1,0 +1,59 @@
+#include "baseline.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tmemo::lint {
+
+Baseline load_baseline(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot read baseline: " + path);
+  Baseline base;
+  std::string line;
+  int lineno = 0;
+  bool saw_budget = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip trailing CR and leading whitespace.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    std::size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+    std::istringstream ss(line.substr(b));
+    std::string word;
+    ss >> word;
+    if (word == "budget") {
+      long long n = -1;
+      if (!(ss >> n) || n < 0) {
+        throw std::runtime_error("baseline " + path + ":" +
+                                 std::to_string(lineno) +
+                                 ": budget wants a non-negative count");
+      }
+      base.budget = static_cast<std::size_t>(n);
+      saw_budget = true;
+    } else if (word == "allow") {
+      BaselineEntry e;
+      long long n = -1;
+      if (!(ss >> e.rule >> e.path >> n) || n <= 0) {
+        throw std::runtime_error(
+            "baseline " + path + ":" + std::to_string(lineno) +
+            ": expected 'allow <rule> <path> <count>' with count > 0");
+      }
+      e.count = static_cast<std::size_t>(n);
+      base.entries.push_back(std::move(e));
+    } else {
+      throw std::runtime_error("baseline " + path + ":" +
+                               std::to_string(lineno) +
+                               ": unknown directive '" + word + "'");
+    }
+  }
+  if (!saw_budget) {
+    throw std::runtime_error("baseline " + path +
+                             ": missing 'budget <N>' line");
+  }
+  return base;
+}
+
+} // namespace tmemo::lint

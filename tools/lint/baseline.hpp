@@ -1,0 +1,35 @@
+// Baseline file support for tmemo_lint.
+//
+// The checked-in baseline (tools/lint/lint_baseline.txt) is the complete
+// inventory of sanctioned in-source suppressions plus a hard budget on
+// their total count. The runner compares the suppressions a scan actually
+// used against the baseline and emits meta-findings for anything outside
+// it, so new suppressions must be reviewed into the baseline (and stale
+// entries pruned) before CI goes green. Format, line-oriented:
+//
+//   # comment
+//   budget <N>
+//   allow <rule> <display-path> <count>
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tmemo::lint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;  ///< display path, forward slashes
+  std::size_t count = 0;
+};
+
+struct Baseline {
+  std::size_t budget = 0;
+  std::vector<BaselineEntry> entries;
+};
+
+/// Parses a baseline file. Throws std::runtime_error on I/O or syntax
+/// errors (a malformed baseline must fail the build, not silently allow).
+[[nodiscard]] Baseline load_baseline(const std::string& path);
+
+} // namespace tmemo::lint

@@ -1,0 +1,118 @@
+#include "cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tmemo::lint {
+
+namespace {
+
+constexpr const char* kMagic = "tmemo-lint-cache v1";
+
+/// Percent-encodes the characters that would break the space-separated
+/// line format (plus '%' itself).
+[[nodiscard]] std::string encode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '%' || c == ' ' || c == '\n' || c == '\r' || c == '\t') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      out += static_cast<char>(std::stoi(s.substr(i + 1, 2), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+LintCache load_cache(const std::string& path) {
+  LintCache cache;
+  std::ifstream is(path);
+  if (!is) return cache;
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) return cache;
+
+  CachedFile* current = nullptr;
+  try {
+    while (std::getline(is, line)) {
+      std::istringstream ss(line);
+      std::string tag;
+      ss >> tag;
+      if (tag == "engine") {
+        ss >> std::hex >> cache.engine_digest;
+      } else if (tag == "index") {
+        ss >> std::hex >> cache.index_digest;
+      } else if (tag == "file") {
+        std::string p;
+        std::uint64_t hash = 0;
+        std::size_t suppressed = 0;
+        if (!(ss >> p >> std::hex >> hash >> std::dec >> suppressed)) {
+          return LintCache{};
+        }
+        current = &cache.files[decode(p)];
+        current->content_hash = hash;
+        current->suppressed = suppressed;
+      } else if (tag == "f") {
+        if (current == nullptr) return LintCache{};
+        Finding f;
+        std::string msg;
+        if (!(ss >> f.rule >> f.line >> f.col >> msg)) return LintCache{};
+        f.message = decode(msg);
+        ss >> f.path;  // stored explicitly to survive renames of the key
+        f.path = decode(f.path);
+        current->findings.push_back(std::move(f));
+      } else if (tag == "u") {
+        if (current == nullptr) return LintCache{};
+        std::string rule;
+        std::size_t count = 0;
+        if (!(ss >> rule >> count)) return LintCache{};
+        current->used_suppressions[rule] = count;
+      } else if (!tag.empty()) {
+        return LintCache{};
+      }
+    }
+  } catch (...) {
+    return LintCache{};
+  }
+  return cache;
+}
+
+void save_cache(const std::string& path, const LintCache& cache) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return;
+  os << kMagic << '\n';
+  os << "engine " << std::hex << cache.engine_digest << '\n';
+  os << "index " << std::hex << cache.index_digest << '\n';
+  for (const auto& [p, cf] : cache.files) {
+    os << "file " << encode(p) << ' ' << std::hex << cf.content_hash << ' '
+       << std::dec << cf.suppressed << '\n';
+    for (const Finding& f : cf.findings) {
+      os << "f " << f.rule << ' ' << std::dec << f.line << ' ' << f.col
+         << ' ' << encode(f.message) << ' ' << encode(f.path) << '\n';
+    }
+    for (const auto& [rule, count] : cf.used_suppressions) {
+      os << "u " << rule << ' ' << std::dec << count << '\n';
+    }
+  }
+}
+
+} // namespace tmemo::lint

@@ -1,0 +1,44 @@
+// Incremental scan cache for tmemo_lint.
+//
+// Keyed three ways: an engine digest (rule ids + descriptions + a manual
+// version bump), the repo-index digest (the cross-file facts R9-R13
+// consume), and a per-file FNV-1a content hash. When engine and index
+// digests match, a file whose bytes are unchanged replays its cached
+// findings without re-running phase 2 — that is what keeps the warm `lint`
+// CMake target under the CI wall-clock gate as the repo grows. Any parse
+// problem discards the cache wholesale; it is a pure accelerator and never
+// a source of truth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rule.hpp"
+
+namespace tmemo::lint {
+
+/// Phase-2 output for one file, as cached between runs.
+struct CachedFile {
+  std::uint64_t content_hash = 0;
+  std::vector<Finding> findings;  ///< post-suppression, incl. orphans
+  std::size_t suppressed = 0;
+  /// Rule id -> number of findings an allow() silenced in this file.
+  std::map<std::string, std::size_t> used_suppressions;
+};
+
+struct LintCache {
+  std::uint64_t engine_digest = 0;
+  std::uint64_t index_digest = 0;
+  std::map<std::string, CachedFile> files;  ///< by display path
+};
+
+/// Loads a cache file; returns an empty cache on any I/O or format
+/// problem (a cold cache, never an error).
+[[nodiscard]] LintCache load_cache(const std::string& path);
+
+/// Persists the cache; best-effort, failures are swallowed.
+void save_cache(const std::string& path, const LintCache& cache);
+
+} // namespace tmemo::lint

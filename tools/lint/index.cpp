@@ -1,0 +1,622 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+
+namespace tmemo::lint {
+
+namespace {
+
+[[nodiscard]] bool is_id(const Token& t, const char* text) noexcept {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, const char* text) noexcept {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+[[nodiscard]] std::size_t match_forward(const std::vector<Token>& toks,
+                                        std::size_t i, const char* open,
+                                        const char* close) {
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (is_punct(toks[j], open)) ++depth;
+    if (is_punct(toks[j], close)) {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return toks.size();
+}
+
+[[nodiscard]] std::size_t round_up(std::size_t n, std::size_t align) {
+  return align == 0 ? n : (n + align - 1) / align * align;
+}
+
+struct TypeInfo {
+  std::size_t size = 0;
+  std::size_t align = 0;
+  bool fixed = false;
+};
+
+/// Primitive member types the layout computer understands. Sizes follow the
+/// LP64 ABI every supported platform uses; `fixed` marks the types whose
+/// width is identical on every ABI (the only ones safe on a wire).
+[[nodiscard]] const std::map<std::string, TypeInfo>& type_table() {
+  static const std::map<std::string, TypeInfo> kTypes = {
+      {"int8_t", {1, 1, true}},    {"uint8_t", {1, 1, true}},
+      {"char", {1, 1, true}},      {"bool", {1, 1, true}},
+      {"int16_t", {2, 2, true}},   {"uint16_t", {2, 2, true}},
+      {"int32_t", {4, 4, true}},   {"uint32_t", {4, 4, true}},
+      {"float", {4, 4, true}},     {"int64_t", {8, 8, true}},
+      {"uint64_t", {8, 8, true}},  {"double", {8, 8, true}},
+      {"int", {4, 4, false}},      {"unsigned", {4, 4, false}},
+      {"short", {2, 2, false}},    {"long", {8, 8, false}},
+      {"size_t", {8, 8, false}},   {"ptrdiff_t", {8, 8, false}},
+      {"intptr_t", {8, 8, false}}, {"uintptr_t", {8, 8, false}},
+      {"pid_t", {4, 4, false}},
+  };
+  return kTypes;
+}
+
+[[nodiscard]] bool is_decl_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "return",   "const",     "constexpr", "static",  "else",    "case",
+      "new",      "delete",    "using",     "namespace", "struct", "class",
+      "enum",     "union",     "goto",      "public",  "private", "protected",
+      "if",       "for",       "while",     "switch",  "do",      "break",
+      "continue", "throw",     "try",       "catch",   "typedef", "template",
+      "typename", "operator",  "sizeof",    "virtual", "friend",  "explicit",
+      "inline",   "volatile",  "mutable",   "auto",    "void",    "this",
+      "noexcept", "override",  "final",     "default", "nullptr", "true",
+      "false",    "co_await",  "co_yield",  "co_return"};
+  return kKeywords.count(s) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Struct layout scanning.
+
+/// Skips one member declaration whose shape we do not chart (member
+/// function, static member, using alias...): advances past the next body
+/// `{...}` or `;` at the current depth.
+[[nodiscard]] std::size_t skip_member(const std::vector<Token>& toks,
+                                      std::size_t k, std::size_t end) {
+  while (k < end) {
+    if (is_punct(toks[k], ";")) return k + 1;
+    if (is_punct(toks[k], "{")) return match_forward(toks, k, "{", "}") + 1;
+    if (is_punct(toks[k], "(")) {
+      k = match_forward(toks, k, "(", ")") + 1;
+      continue;
+    }
+    if (is_punct(toks[k], "[")) {
+      k = match_forward(toks, k, "[", "]") + 1;
+      continue;
+    }
+    ++k;
+  }
+  return end;
+}
+
+/// Parses the members of one struct body (tokens in (body_open, body_close))
+/// into `out.fields`, then computes the natural-alignment layout.
+void parse_struct_body(const std::vector<Token>& toks, std::size_t body_open,
+                       std::size_t body_close, StructLayout& out) {
+  std::size_t k = body_open + 1;
+  bool all_known = true;
+  while (k < body_close) {
+    const Token& t = toks[k];
+    if (is_punct(t, ";")) {
+      ++k;
+      continue;
+    }
+    if ((is_id(t, "public") || is_id(t, "private") || is_id(t, "protected")) &&
+        k + 1 < body_close && is_punct(toks[k + 1], ":")) {
+      k += 2;
+      continue;
+    }
+    if (is_punct(t, "[") && k + 1 < body_close && is_punct(toks[k + 1], "[")) {
+      k = match_forward(toks, k, "[", "]") + 1;  // [[attribute]]
+      continue;
+    }
+    if (is_id(t, "virtual")) out.plain = false;
+    if (is_id(t, "struct") || is_id(t, "class") || is_id(t, "enum") ||
+        is_id(t, "union") || is_id(t, "static") || is_id(t, "using") ||
+        is_id(t, "typedef") || is_id(t, "friend") || is_id(t, "template") ||
+        is_id(t, "virtual") || is_id(t, "operator") || is_id(t, "explicit") ||
+        is_id(t, "static_assert")) {
+      k = skip_member(toks, k, body_close);
+      continue;
+    }
+
+    // Gather one declaration up to the first structural punct. `<...>`
+    // template arguments fold into the type part.
+    std::vector<std::size_t> decl;  // indices of identifier tokens
+    bool saw_ptr_or_ref = false;
+    std::size_t tmpl_open = toks.size();
+    std::size_t j = k;
+    while (j < body_close) {
+      const Token& d = toks[j];
+      if (is_punct(d, "<")) {
+        if (tmpl_open == toks.size()) tmpl_open = j;
+        j = match_forward(toks, j, "<", ">") + 1;
+        continue;
+      }
+      if (is_punct(d, "&") || is_punct(d, "*")) {
+        saw_ptr_or_ref = true;
+        ++j;
+        continue;
+      }
+      if (is_punct(d, "::") || is_id(d, "const") || is_id(d, "std")) {
+        ++j;
+        continue;
+      }
+      if (d.kind == TokenKind::kIdentifier) {
+        decl.push_back(j);
+        ++j;
+        continue;
+      }
+      break;  // structural punct: ; = { ( [ , :
+    }
+    if (j >= body_close || decl.empty()) {
+      k = skip_member(toks, k, body_close);
+      continue;
+    }
+    if (is_punct(toks[j], "(")) {
+      k = skip_member(toks, k, body_close);  // member function
+      continue;
+    }
+    if (is_punct(toks[j], ":")) {
+      // Bitfield: real width depends on packing we do not model.
+      all_known = false;
+      k = skip_member(toks, k, body_close);
+      continue;
+    }
+
+    // The last identifier is the field name; the one before it (if any) is
+    // the type. `std::array<elem, N>` is resolved from the template span.
+    StructField field;
+    field.name = toks[decl.back()].text;
+    field.line = toks[decl.back()].line;
+    if (decl.size() >= 2) field.type = toks[decl[decl.size() - 2]].text;
+    if (saw_ptr_or_ref) {
+      field.type += "*";  // pointers/references never chart
+    } else if (field.type == "array" && tmpl_open < toks.size()) {
+      const std::size_t tmpl_close = match_forward(toks, tmpl_open, "<", ">");
+      std::string elem;
+      std::size_t count = 0;
+      for (std::size_t a = tmpl_open + 1; a < tmpl_close; ++a) {
+        if (toks[a].kind == TokenKind::kIdentifier && !is_id(toks[a], "std")) {
+          elem = toks[a].text;
+        } else if (toks[a].kind == TokenKind::kNumber) {
+          count = static_cast<std::size_t>(std::stoul(toks[a].text));
+        }
+      }
+      const auto it = type_table().find(elem);
+      if (it != type_table().end() && count > 0) {
+        field.type = "std::array<" + elem + "," + std::to_string(count) + ">";
+        field.size = it->second.size;
+        field.align = it->second.align;
+        field.count = count;
+        field.fixed_width = it->second.fixed;
+      } else {
+        field.type = "std::array<" + elem + ",?>";
+      }
+    } else {
+      const auto it = type_table().find(field.type);
+      if (it != type_table().end()) {
+        field.size = it->second.size;
+        field.align = it->second.align;
+        field.fixed_width = it->second.fixed;
+      }
+    }
+
+    // C-array suffix `name[N]`.
+    std::size_t after = j;
+    if (is_punct(toks[after], "[")) {
+      const std::size_t close = match_forward(toks, after, "[", "]");
+      if (close == after + 2 && toks[after + 1].kind == TokenKind::kNumber) {
+        field.count *= static_cast<std::size_t>(
+            std::stoul(toks[after + 1].text));
+      } else {
+        field.size = 0;  // unsized / computed extent
+      }
+      after = close + 1;
+    }
+    if (field.size == 0) all_known = false;
+    out.fields.push_back(field);
+    k = skip_member(toks, after, body_close);
+  }
+
+  out.computable = all_known && out.plain && !out.fields.empty();
+  if (!out.computable) return;
+  std::size_t offset = 0;
+  std::size_t max_align = 1;
+  std::size_t pad = 0;
+  for (StructField& f : out.fields) {
+    const std::size_t aligned = round_up(offset, f.align);
+    pad += aligned - offset;
+    f.offset = aligned;
+    offset = aligned + f.size * f.count;
+    max_align = std::max(max_align, f.align);
+  }
+  out.size = round_up(offset, max_align);
+  out.padding = pad + (out.size - offset);
+}
+
+void scan_structs(const std::vector<Token>& toks,
+                  const std::string& display_path, FileIndex& out) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_id(toks[i], "struct") && !is_id(toks[i], "class")) continue;
+    std::size_t j = i + 1;
+    if (is_id(toks[j], "alignas") && j + 1 < toks.size() &&
+        is_punct(toks[j + 1], "(")) {
+      j = match_forward(toks, j + 1, "(", ")") + 1;
+    }
+    if (j >= toks.size() || toks[j].kind != TokenKind::kIdentifier) continue;
+    StructLayout layout;
+    layout.name = toks[j].text;
+    layout.file = display_path;
+    layout.line = toks[j].line;
+    layout.col = toks[j].col;
+    ++j;
+    if (j < toks.size() && is_id(toks[j], "final")) ++j;
+    if (j >= toks.size()) break;
+    if (is_punct(toks[j], ":")) {
+      layout.plain = false;  // base classes: layout is theirs to define
+      while (j < toks.size() && !is_punct(toks[j], "{") &&
+             !is_punct(toks[j], ";")) {
+        if (is_punct(toks[j], "<")) {
+          j = match_forward(toks, j, "<", ">") + 1;
+          continue;
+        }
+        ++j;
+      }
+    }
+    if (j >= toks.size() || !is_punct(toks[j], "{")) continue;
+    const std::size_t close = match_forward(toks, j, "{", "}");
+    parse_struct_body(toks, j, close, layout);
+    out.structs.push_back(std::move(layout));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Call sites, pod arguments, variable declarations.
+
+void scan_calls_and_decls(const std::vector<Token>& toks,
+                          const std::string& display_path, FileIndex& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier || is_decl_keyword(t.text)) continue;
+
+    // Call site: `name (`.
+    if (i + 1 < toks.size() && is_punct(toks[i + 1], "(")) {
+      out.calls.push_back(CallSite{t.text, display_path, t.line, t.col});
+      if (t.text == "write_pod" || t.text == "read_pod") {
+        // Second argument: the serialized value. Walk to the first ',' at
+        // depth 1 inside the argument list.
+        const std::size_t close = match_forward(toks, i + 1, "(", ")");
+        std::size_t comma = close;
+        int depth = 0;
+        for (std::size_t a = i + 1; a < close; ++a) {
+          if (is_punct(toks[a], "(")) ++depth;
+          if (is_punct(toks[a], ")")) --depth;
+          if (depth == 1 && is_punct(toks[a], ",")) {
+            comma = a;
+            break;
+          }
+        }
+        if (comma + 1 < close &&
+            toks[comma + 1].kind == TokenKind::kIdentifier) {
+          const bool whole = comma + 2 == close;
+          const bool member = comma + 2 < close && is_punct(toks[comma + 2], ".");
+          if (whole || member) {
+            out.pod_args.push_back(
+                PodArg{toks[comma + 1].text, member, toks[comma + 1].line});
+          }
+        }
+      }
+      continue;
+    }
+
+    // Plain declaration: `Type [&|*] name` followed by a declarator
+    // terminator. Enough to resolve pod-argument variables to their type.
+    std::size_t j = i + 1;
+    while (j < toks.size() && (is_punct(toks[j], "&") || is_punct(toks[j], "*"))) {
+      ++j;
+    }
+    if (j < toks.size() && j > i &&
+        toks[j].kind == TokenKind::kIdentifier &&
+        !is_decl_keyword(toks[j].text) && j + 1 < toks.size()) {
+      const Token& after = toks[j + 1];
+      if (is_punct(after, ";") || is_punct(after, "=") ||
+          is_punct(after, "{") || is_punct(after, ",") ||
+          is_punct(after, ")") || is_punct(after, ":")) {
+        out.var_types[toks[j].text] = t.text;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lambda captures.
+
+/// True when the '[' at `i` can open a lambda capture list (not a
+/// subscript, array extent, or attribute).
+[[nodiscard]] bool opens_lambda(const std::vector<Token>& toks,
+                                std::size_t i) {
+  if (!is_punct(toks[i], "[")) return false;
+  if (i + 1 < toks.size() && is_punct(toks[i + 1], "[")) return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (prev.kind == TokenKind::kNumber || prev.kind == TokenKind::kString) {
+    return false;
+  }
+  if (is_punct(prev, ")") || is_punct(prev, "]")) return false;
+  if (prev.kind == TokenKind::kIdentifier) {
+    // `arr[i]` subscripts — but `return [..]` and friends still open one.
+    static const std::set<std::string> kExprKeywords = {
+        "return", "co_return", "co_yield", "case", "in"};
+    return kExprKeywords.count(prev.text) != 0;
+  }
+  if (is_punct(prev, "[")) return false;
+  return true;
+}
+
+/// Locates the body '{' after a lambda's capture list / parameter list,
+/// skipping `mutable`, `noexcept(...)`, attributes and trailing return
+/// types. Returns tokens.size() when no body follows.
+[[nodiscard]] std::size_t lambda_body_brace(const std::vector<Token>& toks,
+                                            std::size_t j) {
+  while (j < toks.size()) {
+    const Token& t = toks[j];
+    if (is_punct(t, "{")) return j;
+    if (is_punct(t, ";") || is_punct(t, ",") || is_punct(t, ")") ||
+        is_punct(t, "]") || is_punct(t, "=")) {
+      return toks.size();
+    }
+    if (is_punct(t, "(")) {
+      j = match_forward(toks, j, "(", ")") + 1;
+      continue;
+    }
+    if (is_punct(t, "<")) {
+      j = match_forward(toks, j, "<", ">") + 1;
+      continue;
+    }
+    if (is_punct(t, "[")) {
+      j = match_forward(toks, j, "[", "]") + 1;
+      continue;
+    }
+    ++j;
+  }
+  return toks.size();
+}
+
+void scan_lambdas(const std::vector<Token>& toks, FileIndex& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!opens_lambda(toks, i)) continue;
+    const std::size_t close = match_forward(toks, i, "[", "]");
+    if (close >= toks.size()) continue;
+    std::size_t body = lambda_body_brace(toks, close + 1);
+    if (body >= toks.size()) continue;
+
+    LambdaInfo info;
+    info.line = toks[i].line;
+    info.col = toks[i].col;
+    info.begin = i;
+    info.body_begin = body;
+    info.body_end = match_forward(toks, body, "{", "}");
+    if (i >= 2 && is_punct(toks[i - 1], "=") &&
+        toks[i - 2].kind == TokenKind::kIdentifier) {
+      info.bound_name = toks[i - 2].text;
+    }
+
+    // Capture list: items separated by ',' at depth 0.
+    std::size_t a = i + 1;
+    while (a < close) {
+      if (is_punct(toks[a], ",")) {
+        ++a;
+        continue;
+      }
+      const bool by_ref = is_punct(toks[a], "&");
+      if (by_ref) ++a;
+      if (a >= close || !(toks[a].kind == TokenKind::kIdentifier)) {
+        if (by_ref) info.default_ref = true;  // bare '&'
+        // bare '=' default copy
+        if (!by_ref && a < close && is_punct(toks[a], "=")) {
+          info.default_copy = true;
+          ++a;
+        }
+        continue;
+      }
+      if (is_id(toks[a], "this")) {
+        ++a;
+        continue;
+      }
+      LambdaCapture cap;
+      cap.name = toks[a].text;
+      cap.by_ref = by_ref;
+      info.captures.push_back(cap);
+      ++a;
+      // Init capture `name = expr`: skip the initializer.
+      while (a < close && !is_punct(toks[a], ",")) ++a;
+    }
+    out.lambdas.push_back(std::move(info));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// static_assert guards.
+
+void scan_assert_mentions(const std::vector<Token>& toks, FileIndex& out) {
+  static const std::set<std::string> kMeta = {
+      "std",    "static_assert",           "sizeof",
+      "alignof", "is_trivially_copyable_v", "is_trivially_copyable",
+      "is_standard_layout_v",              "has_unique_object_representations_v"};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_id(toks[i], "static_assert") || !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    AssertGuard flags;
+    for (std::size_t a = i + 2; a < close; ++a) {
+      if (is_id(toks[a], "is_trivially_copyable_v") ||
+          is_id(toks[a], "is_trivially_copyable")) {
+        flags.trivially_copyable = true;
+      }
+      if (is_id(toks[a], "sizeof")) flags.sizeof_checked = true;
+    }
+    for (std::size_t a = i + 2; a < close; ++a) {
+      if (toks[a].kind != TokenKind::kIdentifier ||
+          kMeta.count(toks[a].text) != 0) {
+        continue;
+      }
+      AssertGuard& g = out.assert_mentions[toks[a].text];
+      g.trivially_copyable |= flags.trivially_copyable;
+      g.sizeof_checked |= flags.sizeof_checked;
+    }
+    i = close;
+  }
+}
+
+[[nodiscard]] bool ends_with(const std::string& s, const std::string& tail) {
+  return s.size() >= tail.size() &&
+         s.compare(s.size() - tail.size(), tail.size(), tail) == 0;
+}
+
+} // namespace
+
+std::uint64_t fnv1a(const std::string& bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+FileIndex build_file_index(const std::string& display_path,
+                           const std::vector<Token>& tokens,
+                           const LexResult& lexed,
+                           const std::vector<FunctionSpan>& functions) {
+  FileIndex out;
+  out.display_path = display_path;
+  for (const IncludeDirective& inc : lexed.includes) {
+    out.includes.push_back(inc.path);
+  }
+  for (const FunctionSpan& fn : functions) out.function_defs.push_back(fn.name);
+  scan_structs(tokens, display_path, out);
+  scan_calls_and_decls(tokens, display_path, out);
+  scan_lambdas(tokens, out);
+  scan_assert_mentions(tokens, out);
+
+  // Keep only the variable types pod-argument resolution can consume.
+  std::set<std::string> wanted;
+  for (const PodArg& arg : out.pod_args) wanted.insert(arg.var);
+  for (auto it = out.var_types.begin(); it != out.var_types.end();) {
+    it = wanted.count(it->first) == 0 ? out.var_types.erase(it)
+                                      : std::next(it);
+  }
+  return out;
+}
+
+RepoIndex merge_indexes(const std::vector<FileIndex>& files) {
+  RepoIndex repo;
+  for (const FileIndex& f : files) {
+    for (const StructLayout& s : f.structs) {
+      repo.structs.emplace(s.name, s);  // first definition wins
+    }
+    for (const std::string& name : f.function_defs) {
+      repo.function_defs[name].push_back(f.display_path);
+    }
+    for (const CallSite& c : f.calls) {
+      repo.calls_by_callee[c.callee].push_back(c);
+    }
+    for (const std::string& inc : f.includes) {
+      repo.include_edges[f.display_path].insert(inc);
+    }
+    for (const auto& [name, guard] : f.assert_mentions) {
+      AssertGuard& g = repo.assert_guards[name];
+      g.trivially_copyable |= guard.trivially_copyable;
+      g.sizeof_checked |= guard.sizeof_checked;
+    }
+  }
+
+  // Wire use from pod-call arguments, resolved through each file's local
+  // variable declarations.
+  for (const FileIndex& f : files) {
+    for (const PodArg& arg : f.pod_args) {
+      const auto var = f.var_types.find(arg.var);
+      if (var == f.var_types.end()) continue;
+      if (repo.structs.count(var->second) == 0) continue;
+      WireUse& use = repo.wire_use[var->second];
+      const WireUse seen = arg.member_access ? WireUse::kFieldwise
+                                             : WireUse::kWhole;
+      if (static_cast<int>(seen) > static_cast<int>(use)) use = seen;
+    }
+  }
+
+  // Wire use by naming convention: a *Frame / *Header struct defined in (or
+  // directly included by) a file that talks to pod_io is a protocol type
+  // even when it is serialized field by field.
+  std::set<std::string> pod_files;
+  for (const FileIndex& f : files) {
+    if (f.display_path.find("pod_io") != std::string::npos) {
+      pod_files.insert(f.display_path);
+      continue;
+    }
+    for (const std::string& inc : f.includes) {
+      if (ends_with(inc, "pod_io.hpp")) {
+        pod_files.insert(f.display_path);
+        break;
+      }
+    }
+  }
+  for (const auto& [name, layout] : repo.structs) {
+    if (!ends_with(name, "Frame") && !ends_with(name, "Header")) continue;
+    bool reachable = pod_files.count(layout.file) != 0;
+    for (const std::string& pf : pod_files) {
+      if (reachable) break;
+      for (const std::string& inc : repo.include_edges[pf]) {
+        if (ends_with(layout.file, inc)) {
+          reachable = true;
+          break;
+        }
+      }
+    }
+    if (reachable && repo.wire_use[name] == WireUse::kNone) {
+      repo.wire_use[name] = WireUse::kFieldwise;
+    }
+  }
+  return repo;
+}
+
+std::uint64_t RepoIndex::digest() const {
+  // Canonical serialization of exactly what the cross-file rules consume;
+  // std::map iteration keeps it deterministic.
+  std::string canon;
+  for (const auto& [name, s] : structs) {
+    canon += name + '|' + s.file + '|' + std::to_string(s.size) + '|' +
+             std::to_string(s.padding) + '|' +
+             (s.computable ? "1" : "0") + (s.plain ? "1" : "0");
+    for (const StructField& f : s.fields) {
+      canon += ';' + f.name + ':' + f.type + ':' + std::to_string(f.size) +
+               ':' + std::to_string(f.offset) + ':' +
+               std::to_string(f.count) + ':' + (f.fixed_width ? "1" : "0");
+    }
+    canon += '\n';
+  }
+  for (const auto& [name, use] : wire_use) {
+    canon += name + '=' + std::to_string(static_cast<int>(use)) + '\n';
+  }
+  for (const auto& [name, g] : assert_guards) {
+    canon += name + '@';
+    canon += g.trivially_copyable ? '1' : '0';
+    canon += g.sizeof_checked ? '1' : '0';
+    canon += '\n';
+  }
+  return fnv1a(canon);
+}
+
+} // namespace tmemo::lint

@@ -1,0 +1,144 @@
+// Phase-1 cross-file index for tmemo_lint.
+//
+// The v1 linter ran every rule against one file's token stream at a time;
+// the protocol/concurrency rules (R9-R13, docs/STATIC_ANALYSIS.md) need
+// repo-wide knowledge: which structs cross the pod_io wire (and what their
+// computed layout is), where functions are defined and called, which files
+// include which headers, and what every lambda captures. build_file_index()
+// extracts that per file, merge_indexes() folds the per-file views into one
+// RepoIndex, and phase 2 hands both to the rules.
+//
+// Everything here is heuristic token-shape analysis, not a C++ parser:
+// unknown constructs degrade to "layout not computable" rather than wrong
+// answers, and the index only ever *adds* information on top of the token
+// stream the per-file rules already see.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "function_scan.hpp"
+#include "lexer.hpp"
+
+namespace tmemo::lint {
+
+/// One data member of an indexed struct.
+struct StructField {
+  std::string name;
+  std::string type;          ///< last type identifier, e.g. "uint32_t"
+  std::size_t size = 0;      ///< element size in bytes; 0 when unknown
+  std::size_t align = 0;     ///< natural alignment; 0 when unknown
+  std::size_t offset = 0;    ///< computed offset (valid when computable)
+  std::size_t count = 1;     ///< array element count (C array / std::array)
+  bool fixed_width = false;  ///< width identical on every ABI (uint32_t yes,
+                             ///< long/size_t no)
+  int line = 0;
+};
+
+/// One struct/class definition with its natural-alignment layout.
+struct StructLayout {
+  std::string name;
+  std::string file;  ///< display path of the defining file
+  int line = 0;
+  int col = 0;
+  std::vector<StructField> fields;
+  std::size_t size = 0;     ///< sizeof under natural alignment; 0 unknown
+  std::size_t padding = 0;  ///< internal + tail padding bytes
+  bool computable = false;  ///< every field had a known size
+  bool plain = true;        ///< no base classes / virtual members seen
+};
+
+/// One call site: `callee(...)` by unqualified name.
+struct CallSite {
+  std::string callee;
+  std::string file;
+  int line = 0;
+  int col = 0;
+};
+
+/// One entry of a lambda capture list.
+struct LambdaCapture {
+  std::string name;
+  bool by_ref = false;
+};
+
+/// One lambda expression: captures plus body token span.
+struct LambdaInfo {
+  int line = 0;
+  int col = 0;
+  std::vector<LambdaCapture> captures;  ///< explicit captures only
+  bool default_ref = false;             ///< [&...]
+  bool default_copy = false;            ///< [=...]
+  std::size_t begin = 0;       ///< token index of the opening '['
+  std::size_t body_begin = 0;  ///< token index of the body '{'
+  std::size_t body_end = 0;    ///< token index of the matching '}'
+  std::string bound_name;      ///< `auto NAME = [...]`, when present
+};
+
+/// How a struct crosses the write_pod/read_pod wire.
+enum class WireUse : std::uint8_t {
+  kNone = 0,
+  kFieldwise = 1,  ///< members serialized one by one
+  kWhole = 2,      ///< the struct object itself is the pod argument
+};
+
+/// What the static_assert guards near a struct actually check.
+struct AssertGuard {
+  bool trivially_copyable = false;  ///< is_trivially_copyable_v<S> asserted
+  bool sizeof_checked = false;      ///< sizeof(S) asserted in the same guard
+};
+
+/// Root of one write_pod/read_pod value argument, pre-resolution: the
+/// variable name is mapped to a struct through var_types at merge time.
+struct PodArg {
+  std::string var;
+  bool member_access = false;  ///< argument was `var.field`, not `var`
+  int line = 0;
+};
+
+/// Everything phase 1 learns from a single file.
+struct FileIndex {
+  std::string display_path;
+  std::vector<std::string> includes;  ///< direct #include paths, as written
+  std::vector<StructLayout> structs;
+  std::vector<std::string> function_defs;
+  std::vector<CallSite> calls;
+  std::vector<LambdaInfo> lambdas;
+  std::vector<PodArg> pod_args;
+  /// Declared variable name -> type identifier, for plain `Type name`
+  /// declarations (the only shape pod-arg resolution needs).
+  std::map<std::string, std::string> var_types;
+  /// Identifier -> guard flags, for every identifier that appears inside a
+  /// static_assert(...) argument list. Merge keeps only struct names.
+  std::map<std::string, AssertGuard> assert_mentions;
+};
+
+/// The merged repo-wide view phase 2 runs against.
+struct RepoIndex {
+  std::map<std::string, StructLayout> structs;  ///< by name; first def wins
+  std::map<std::string, std::vector<std::string>> function_defs;
+  std::map<std::string, std::vector<CallSite>> calls_by_callee;
+  std::map<std::string, std::set<std::string>> include_edges;
+  std::map<std::string, WireUse> wire_use;
+  std::map<std::string, AssertGuard> assert_guards;
+
+  /// Stable fingerprint over everything the cross-file rules consume, used
+  /// to key the incremental cache: if the digest is unchanged, a file's
+  /// findings depend only on its own bytes.
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// FNV-1a 64-bit, the repo-internal content hash for the lint cache.
+[[nodiscard]] std::uint64_t fnv1a(const std::string& bytes,
+                                  std::uint64_t seed = 1469598103934665603ull);
+
+[[nodiscard]] FileIndex build_file_index(
+    const std::string& display_path, const std::vector<Token>& tokens,
+    const LexResult& lexed, const std::vector<FunctionSpan>& functions);
+
+[[nodiscard]] RepoIndex merge_indexes(const std::vector<FileIndex>& files);
+
+} // namespace tmemo::lint

@@ -109,9 +109,12 @@ class Lexer {
   }
 
   /// Skips a preprocessor directive line, honoring backslash continuations.
-  /// Directives carry no tokens the rules care about, and skipping them
-  /// keeps `#define`s from confusing the function scanner.
+  /// Directives carry no tokens the rules care about (skipping them keeps
+  /// `#define`s from confusing the function scanner), but `#include` paths
+  /// are harvested as edges for the cross-file index.
   void skip_directive() {
+    const int line = line_;
+    std::string text;
     while (pos_ < src_.size()) {
       const char c = src_[pos_];
       if (c == '\\' && peek(1) == '\n') {
@@ -120,9 +123,29 @@ class Lexer {
         col_ = 1;
         continue;
       }
-      if (c == '\n') return;  // main loop handles the newline
+      if (c == '\n') break;  // main loop handles the newline
+      text += c;
       advance(1);
     }
+    harvest_include(text, line);
+  }
+
+  /// Records `#include "path"` / `#include <path>` from one directive line.
+  void harvest_include(const std::string& text, int line) {
+    std::size_t i = 1;  // past '#'
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    static const std::string kWord = "include";
+    if (text.compare(i, kWord.size(), kWord) != 0) return;
+    i += kWord.size();
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    if (i >= text.size()) return;
+    const char open = text[i];
+    const char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+    if (close == '\0') return;
+    const std::size_t end = text.find(close, i + 1);
+    if (end == std::string::npos) return;
+    result_.includes.push_back(IncludeDirective{
+        text.substr(i + 1, end - i - 1), open == '<', line});
   }
 
   void line_comment() {

@@ -35,9 +35,18 @@ struct Suppression {
   int line = 0;  ///< line the annotation (and the code it guards) is on
 };
 
+/// One `#include` directive. The path is the text between the delimiters;
+/// include edges feed the cross-file index (tools/lint/index.hpp).
+struct IncludeDirective {
+  std::string path;
+  bool angled = false;  ///< <...> rather than "..."
+  int line = 0;
+};
+
 struct LexResult {
   std::vector<Token> tokens;
   std::vector<Suppression> suppressions;
+  std::vector<IncludeDirective> includes;
 };
 
 /// Tokenizes `source`. Never fails: unrecognized bytes become single-char

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Changed-files-only tmemo_lint pass, wired as a git pre-commit hook:
+#
+#   ln -s ../../tools/lint/pre-commit.sh .git/hooks/pre-commit
+#
+# Lints only the staged C++ files under src/, tools/ and bench/ against the
+# checked-in suppression baseline, reusing the incremental cache from the
+# build tree, so the hook costs milliseconds once the cache is warm. Stale
+# baseline entries for files outside the subset are deliberately not
+# reported (the full-tree scan in CI catches those).
+#
+# Environment:
+#   TM_LINT_BUILD_DIR  build tree holding tmemo_lint (default: build)
+set -eu
+
+repo_root=$(git rev-parse --show-toplevel)
+build_dir=${TM_LINT_BUILD_DIR:-build}
+lint="$repo_root/$build_dir/tools/lint/tmemo_lint"
+
+if [ ! -x "$lint" ]; then
+  echo "pre-commit: $lint not built; run 'cmake --build $build_dir" \
+       "--target tmemo_lint' (skipping lint)" >&2
+  exit 0
+fi
+
+# Staged C++ sources inside the linted scope, Added/Copied/Modified/Renamed
+# only (deletions have nothing to scan).
+changed=$(git -C "$repo_root" diff --cached --name-only --diff-filter=ACMR \
+          -- 'src/*' 'tools/*' 'bench/*' |
+          grep -E '\.(cpp|cc|cxx|hpp|h|hh)$' || true)
+
+if [ -z "$changed" ]; then
+  exit 0
+fi
+
+cd "$repo_root"
+# shellcheck disable=SC2086 -- the file list is intentionally word-split
+exec "$lint" --baseline=tools/lint/lint_baseline.txt \
+  --cache="$build_dir/tmemo_lint.cache" $changed

@@ -1,9 +1,11 @@
 // Rule interface for tmemo_lint.
 //
-// A Rule inspects one lexed source file and emits Findings. Rules are
-// registered in make_default_rules() (rules.cpp); adding a new invariant
-// means subclassing Rule, implementing check(), and appending it there —
-// see docs/STATIC_ANALYSIS.md for the catalog and a worked example.
+// A Rule inspects one lexed source file — plus the repo-wide index built in
+// phase 1 — and emits Findings. Rules are registered in make_default_rules()
+// (rules.cpp registers R1-R8, rules_index.cpp registers R9-R13); adding a
+// new invariant means subclassing Rule, implementing check(), and appending
+// it there — see docs/STATIC_ANALYSIS.md for the catalog and a worked
+// example.
 #pragma once
 
 #include <memory>
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "function_scan.hpp"
+#include "index.hpp"
 #include "lexer.hpp"
 
 namespace tmemo::lint {
@@ -22,6 +25,7 @@ struct SourceFile {
   std::vector<Token> tokens;
   std::vector<Suppression> suppressions;
   std::vector<FunctionSpan> functions;
+  FileIndex index;            ///< this file's phase-1 view
 };
 
 /// One rule violation (or an orphan suppression).
@@ -41,11 +45,17 @@ class Rule {
   [[nodiscard]] virtual std::string id() const = 0;
   /// One-line description for `--list-rules`.
   [[nodiscard]] virtual std::string description() const = 0;
-  /// Appends this rule's findings for `file` to `out`.
-  virtual void check(const SourceFile& file, std::vector<Finding>& out) const = 0;
+  /// Appends this rule's findings for `file` to `out`. `repo` is the merged
+  /// phase-1 index; per-file rules may ignore it.
+  virtual void check(const SourceFile& file, const RepoIndex& repo,
+                     std::vector<Finding>& out) const = 0;
 };
 
-/// The repo-invariant rule set R1..R8.
+/// The repo-invariant rule set R1..R13.
 [[nodiscard]] std::vector<std::unique_ptr<Rule>> make_default_rules();
+
+/// The cross-file rules R9..R13 (rules_index.cpp), appended to `out` by
+/// make_default_rules().
+void append_index_rules(std::vector<std::unique_ptr<Rule>>& out);
 
 } // namespace tmemo::lint

@@ -79,7 +79,8 @@ class NondeterminismRule final : public Rule {
            "simulation or result paths";
   }
 
-  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+  void check(const SourceFile& file, const RepoIndex& /*repo*/,
+             std::vector<Finding>& out) const override {
     static const std::set<std::string> kRandCalls = {
         "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48"};
     static const std::set<std::string> kTimeCalls = {
@@ -131,7 +132,8 @@ class UnorderedIterationRule final : public Rule {
            "campaign/CSV/JSON results";
   }
 
-  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+  void check(const SourceFile& file, const RepoIndex& /*repo*/,
+             std::vector<Finding>& out) const override {
     const auto& toks = file.tokens;
     if (!writes_results(toks)) return;
 
@@ -231,7 +233,8 @@ class TypePunningRule final : public Rule {
            "read_pod serialization helpers";
   }
 
-  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+  void check(const SourceFile& file, const RepoIndex& /*repo*/,
+             std::vector<Finding>& out) const override {
     const auto& toks = file.tokens;
     for (std::size_t i = 0; i < toks.size(); ++i) {
       if (!is_id(toks[i], "reinterpret_cast")) continue;
@@ -257,7 +260,8 @@ class EnergyPairingRule final : public Rule {
            "charge the EnergyAccumulator (directly or via ExecutionRecord)";
   }
 
-  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+  void check(const SourceFile& file, const RepoIndex& /*repo*/,
+             std::vector<Finding>& out) const override {
     const std::string& p = file.display_path;
     const bool in_scope = p.find("src/fpu/") != std::string::npos ||
                           p.find("src/gpu/") != std::string::npos ||
@@ -302,7 +306,8 @@ class DeprecatedRunApiRule final : public Rule {
            "Simulation::run(workload, RunSpec)";
   }
 
-  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+  void check(const SourceFile& file, const RepoIndex& /*repo*/,
+             std::vector<Finding>& out) const override {
     static const std::set<std::string> kWrappers = {"run_at_error_rate",
                                                     "run_at_voltage"};
     for (const Token& t : file.tokens) {
@@ -326,7 +331,8 @@ class RngSeedRule final : public Rule {
            "expression";
   }
 
-  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+  void check(const SourceFile& file, const RepoIndex& /*repo*/,
+             std::vector<Finding>& out) const override {
     static const std::set<std::string> kRngTypes = {
         "Xorshift128",   "mt19937",      "mt19937_64",
         "minstd_rand",   "minstd_rand0", "default_random_engine",
@@ -394,7 +400,8 @@ class TelemetryRegistryRule final : public Rule {
            "constructed directly";
   }
 
-  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+  void check(const SourceFile& file, const RepoIndex& /*repo*/,
+             std::vector<Finding>& out) const override {
     // The registry implementation is the one legitimate construction site.
     if (file.display_path.find("src/telemetry/") != std::string::npos) return;
     const auto& toks = file.tokens;
@@ -482,7 +489,8 @@ class InjectionSeedingRule final : public Rule {
            "literals or ad-hoc entropy";
   }
 
-  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+  void check(const SourceFile& file, const RepoIndex& /*repo*/,
+             std::vector<Finding>& out) const override {
     if (!engages(file)) return;
     const auto& toks = file.tokens;
     for (std::size_t i = 0; i < toks.size(); ++i) {
@@ -562,6 +570,7 @@ std::vector<std::unique_ptr<Rule>> make_default_rules() {
   rules.push_back(std::make_unique<RngSeedRule>());
   rules.push_back(std::make_unique<TelemetryRegistryRule>());
   rules.push_back(std::make_unique<InjectionSeedingRule>());
+  append_index_rules(rules);
   return rules;
 }
 

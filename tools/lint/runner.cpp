@@ -1,22 +1,32 @@
 #include "runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <tuple>
 #include <utility>
+
+#include "baseline.hpp"
+#include "cache.hpp"
+#include "index.hpp"
+#include "sarif.hpp"
 
 namespace tmemo::lint {
 
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Bump when rule semantics change without a rule id/description change,
+/// so stale caches self-invalidate.
+constexpr const char* kEngineVersion = "tmemo-lint-engine-2.0.0";
 
 [[nodiscard]] bool is_cpp_source(const fs::path& p) {
   static const std::set<std::string> kExts = {".cpp", ".cc", ".cxx",
@@ -56,8 +66,7 @@ namespace fs = std::filesystem;
 }
 
 [[nodiscard]] std::string normalize_path(const std::string& path) {
-  std::string out = fs::path(path).lexically_normal().generic_string();
-  return out;
+  return fs::path(path).lexically_normal().generic_string();
 }
 
 [[nodiscard]] std::string json_escape(const std::string& s) {
@@ -83,24 +92,57 @@ namespace fs = std::filesystem;
   return out;
 }
 
-void lint_one_file(const std::string& path,
-                   const std::vector<std::unique_ptr<Rule>>& rules,
-                   const std::set<std::string>& rule_ids, LintReport& report) {
-  SourceFile file;
-  file.path = path;
-  file.display_path = normalize_path(path);
-  LexResult lexed = lex(read_file(path));
-  file.tokens = std::move(lexed.tokens);
-  file.suppressions = std::move(lexed.suppressions);
-  file.functions = scan_functions(file.tokens);
+/// One file's state as it moves through the two phases.
+struct FileSlot {
+  SourceFile source;
+  std::uint64_t content_hash = 0;
+  CachedFile result;      ///< phase-2 output (fresh or replayed)
+  bool from_cache = false;
+  std::string error;      ///< read failure, reported once at the end
+};
 
+/// Runs `fn(i)` for i in [0, n) across `jobs` worker threads. Work items
+/// are independent; the atomic cursor keeps threads busy without any
+/// ordering guarantee (results land in pre-sized slots, so the final
+/// output stays deterministic).
+template <typename Fn>
+void parallel_for(std::size_t n, unsigned jobs, Fn&& fn) {
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  jobs = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, std::max<std::size_t>(n, 1)));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned t = 0; t < jobs; ++t) {
+    pool.emplace_back([&cursor, n, &fn] {
+      for (std::size_t i = cursor.fetch_add(1); i < n;
+           i = cursor.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+/// Phase 2 for one file: run every rule, apply per-line suppressions,
+/// flag orphan annotations. Fills slot.result.
+void lint_one_file(FileSlot& slot, const RepoIndex& repo,
+                   const std::vector<std::unique_ptr<Rule>>& rules,
+                   const std::set<std::string>& rule_ids) {
+  const SourceFile& file = slot.source;
   std::vector<Finding> raw;
-  for (const auto& rule : rules) rule->check(file, raw);
+  for (const auto& rule : rules) rule->check(file, repo, raw);
 
   // Apply per-line suppressions; count how many each annotation absorbed
   // so unused ones can be flagged as orphans.
   std::map<std::pair<int, std::string>, std::size_t> used;
-  for (const Finding& f : raw) {
+  CachedFile& out = slot.result;
+  for (Finding& f : raw) {
     const auto key = std::make_pair(f.line, f.rule);
     bool suppressed = false;
     for (const Suppression& s : file.suppressions) {
@@ -111,43 +153,217 @@ void lint_one_file(const std::string& path,
     }
     if (suppressed) {
       ++used[key];
-      ++report.suppressed;
+      ++out.suppressed;
+      ++out.used_suppressions[f.rule];
     } else {
-      report.findings.push_back(f);
+      out.findings.push_back(std::move(f));
     }
   }
   for (const Suppression& s : file.suppressions) {
     if (rule_ids.count(s.rule) == 0) {
-      report.findings.push_back(Finding{
+      out.findings.push_back(Finding{
           "orphan-suppression", file.display_path, s.line, 1,
           "suppression names unknown rule '" + s.rule + "'"});
     } else if (used.count(std::make_pair(s.line, s.rule)) == 0) {
-      report.findings.push_back(Finding{
+      out.findings.push_back(Finding{
           "orphan-suppression", file.display_path, s.line, 1,
           "suppression for rule '" + s.rule +
               "' matches no finding on this line; remove it"});
     }
   }
-  ++report.files_scanned;
+}
+
+/// True when `display` names the same file as the repo-relative baseline
+/// path `entry` — equal, or a suffix at a '/' boundary (scans may use
+/// absolute paths; the baseline never does).
+[[nodiscard]] bool path_matches(const std::string& display,
+                                const std::string& entry) {
+  if (display == entry) return true;
+  return display.size() > entry.size() + 1 &&
+         display.compare(display.size() - entry.size(), entry.size(),
+                         entry) == 0 &&
+         display[display.size() - entry.size() - 1] == '/';
+}
+
+/// Compares the suppressions a scan actually used against the checked-in
+/// baseline and appends meta-findings for every deviation.
+void enforce_baseline(const Baseline& base, const std::string& base_path,
+                      const std::set<std::string>& scanned,
+                      LintReport& report) {
+  for (const auto& [path, rules] : report.suppression_sites) {
+    for (const auto& [rule, count] : rules) {
+      std::size_t budgeted = 0;
+      for (const BaselineEntry& e : base.entries) {
+        if (e.rule == rule && path_matches(path, e.path)) {
+          budgeted += e.count;
+        }
+      }
+      if (count > budgeted) {
+        report.findings.push_back(Finding{
+            "unbaselined-suppression", path, 1, 1,
+            "file uses " + std::to_string(count) + " '" + rule +
+                "' suppression(s) but the baseline allows " +
+                std::to_string(budgeted) +
+                "; review the suppression and add it to " + base_path +
+                " (or remove it)"});
+      }
+    }
+  }
+
+  // Stale entries: only enforced when the entry's file was actually in the
+  // scanned set, so subset scans (pre-commit) stay usable.
+  for (const BaselineEntry& e : base.entries) {
+    bool in_scan = false;
+    for (const std::string& s : scanned) {
+      if (path_matches(s, e.path)) {
+        in_scan = true;
+        break;
+      }
+    }
+    if (!in_scan) continue;
+    std::size_t used = 0;
+    for (const auto& [path, rules] : report.suppression_sites) {
+      if (!path_matches(path, e.path)) continue;
+      const auto r = rules.find(e.rule);
+      if (r != rules.end()) used += r->second;
+    }
+    if (used < e.count) {
+      report.findings.push_back(Finding{
+          "stale-baseline", base_path, 1, 1,
+          "baseline allows " + std::to_string(e.count) + " '" + e.rule +
+              "' suppression(s) in " + e.path + " but the scan used " +
+              std::to_string(used) + "; shrink the baseline"});
+    }
+  }
+
+  if (report.suppressed > base.budget) {
+    report.findings.push_back(Finding{
+        "suppression-budget", base_path, 1, 1,
+        "scan used " + std::to_string(report.suppressed) +
+            " suppression(s), over the budget of " +
+            std::to_string(base.budget) + "; remove suppressions or raise "
+            "the budget in " + base_path + " with review"});
+  }
 }
 
 } // namespace
 
-LintReport run_lint(const std::vector<std::string>& paths) {
+LintReport run_lint(const LintOptions& options) {
   const std::vector<std::unique_ptr<Rule>> rules = make_default_rules();
   std::set<std::string> rule_ids;
-  for (const auto& r : rules) rule_ids.insert(r->id());
-
-  LintReport report;
-  for (const std::string& f : collect_files(paths)) {
-    lint_one_file(f, rules, rule_ids, report);
+  std::string engine_canon(kEngineVersion);
+  for (const auto& r : rules) {
+    rule_ids.insert(r->id());
+    engine_canon += '|' + r->id() + '=' + r->description();
   }
+  const std::uint64_t engine_digest = fnv1a(engine_canon);
+
+  // Baseline parse errors must surface before any scanning effort.
+  Baseline base;
+  const bool have_baseline = !options.baseline_path.empty();
+  if (have_baseline) base = load_baseline(options.baseline_path);
+
+  const std::vector<std::string> paths = collect_files(options.paths);
+  std::vector<FileSlot> slots(paths.size());
+
+  // Phase 1: read, hash, lex, scan and index every file in parallel.
+  parallel_for(paths.size(), options.jobs, [&](std::size_t i) {
+    FileSlot& slot = slots[i];
+    SourceFile& file = slot.source;
+    file.path = paths[i];
+    file.display_path = normalize_path(paths[i]);
+    try {
+      const std::string bytes = read_file(paths[i]);
+      slot.content_hash = fnv1a(bytes);
+      LexResult lexed = lex(bytes);
+      file.tokens = std::move(lexed.tokens);
+      file.suppressions = std::move(lexed.suppressions);
+      file.functions = scan_functions(file.tokens);
+      file.index = build_file_index(file.display_path, file.tokens, lexed,
+                                    file.functions);
+    } catch (const std::exception& e) {
+      slot.error = e.what();
+    }
+  });
+  for (const FileSlot& slot : slots) {
+    if (!slot.error.empty()) throw std::runtime_error(slot.error);
+  }
+
+  std::vector<FileIndex> views;
+  views.reserve(slots.size());
+  for (const FileSlot& slot : slots) views.push_back(slot.source.index);
+  const RepoIndex repo = merge_indexes(views);
+  const std::uint64_t index_digest = repo.digest();
+
+  LintCache cache;
+  const bool have_cache = !options.cache_path.empty();
+  if (have_cache) {
+    cache = load_cache(options.cache_path);
+    if (cache.engine_digest != engine_digest ||
+        cache.index_digest != index_digest) {
+      cache.files.clear();  // engine or cross-file facts changed: cold
+    }
+  }
+
+  // Phase 2: rules per file, replaying cache hits.
+  parallel_for(slots.size(), options.jobs, [&](std::size_t i) {
+    FileSlot& slot = slots[i];
+    const auto hit = cache.files.find(slot.source.display_path);
+    if (hit != cache.files.end() &&
+        hit->second.content_hash == slot.content_hash) {
+      slot.result = hit->second;
+      slot.from_cache = true;
+      return;
+    }
+    lint_one_file(slot, repo, rules, rule_ids);
+  });
+
+  // Deterministic merge: slots are already in sorted-path order.
+  LintReport report;
+  std::set<std::string> scanned;
+  for (FileSlot& slot : slots) {
+    ++report.files_scanned;
+    scanned.insert(slot.source.display_path);
+    report.suppressed += slot.result.suppressed;
+    if (!slot.result.used_suppressions.empty()) {
+      auto& site = report.suppression_sites[slot.source.display_path];
+      for (const auto& [rule, count] : slot.result.used_suppressions) {
+        site[rule] += count;
+      }
+    }
+    for (const Finding& f : slot.result.findings) {
+      report.findings.push_back(f);
+    }
+  }
+
+  if (have_cache) {
+    LintCache fresh;
+    fresh.engine_digest = engine_digest;
+    fresh.index_digest = index_digest;
+    for (FileSlot& slot : slots) {
+      slot.result.content_hash = slot.content_hash;
+      fresh.files[slot.source.display_path] = std::move(slot.result);
+    }
+    save_cache(options.cache_path, fresh);
+  }
+
+  if (have_baseline) {
+    enforce_baseline(base, normalize_path(options.baseline_path), scanned,
+                     report);
+  }
+
   std::sort(report.findings.begin(), report.findings.end(),
             [](const Finding& a, const Finding& b) {
-              return std::tie(a.path, a.line, a.col, a.rule) <
-                     std::tie(b.path, b.line, b.col, b.rule);
+              return std::tie(a.path, a.line, a.col, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.col, b.rule, b.message);
             });
   return report;
+}
+
+LintReport run_lint(const std::vector<std::string>& paths) {
+  LintOptions options;
+  options.paths = paths;
+  return run_lint(options);
 }
 
 int exit_code(const LintReport& report) noexcept {
@@ -183,41 +399,80 @@ void write_json(const LintReport& report, std::ostream& out) {
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
-  bool json = false;
-  std::vector<std::string> paths;
+  LintOptions options;
+  std::string out_path;
   for (const std::string& a : args) {
     if (a == "--json") {
-      json = true;
+      options.format = OutputFormat::kJson;
+    } else if (a == "--sarif") {
+      options.format = OutputFormat::kSarif;
+    } else if (a.rfind("--baseline=", 0) == 0) {
+      options.baseline_path = a.substr(11);
+    } else if (a.rfind("--cache=", 0) == 0) {
+      options.cache_path = a.substr(8);
+    } else if (a.rfind("--out=", 0) == 0) {
+      out_path = a.substr(6);
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      try {
+        options.jobs = static_cast<unsigned>(std::stoul(a.substr(7)));
+      } catch (const std::exception&) {
+        err << "tmemo_lint: bad --jobs value '" << a.substr(7) << "'\n";
+        return 2;
+      }
     } else if (a == "--list-rules") {
       for (const auto& r : make_default_rules()) {
         out << r->id() << ": " << r->description() << '\n';
       }
       out << "orphan-suppression: an allow() annotation that silences no "
-             "finding is itself a finding\n";
+             "finding is itself a finding\n"
+             "unbaselined-suppression / stale-baseline / suppression-budget: "
+             "baseline enforcement (see --baseline)\n";
       return 0;
     } else if (a == "--help" || a == "-h") {
-      out << "usage: tmemo_lint [--json] [--list-rules] <path>...\n"
-             "Lints C++ sources for tmemo repo invariants R1-R6\n"
+      out << "usage: tmemo_lint [options] <path>...\n"
+             "Lints C++ sources for tmemo repo invariants R1-R13\n"
              "(see docs/STATIC_ANALYSIS.md). Directories are walked\n"
-             "recursively. Exit: 0 clean, 1 findings, 2 error.\n";
+             "recursively. Exit: 0 clean, 1 findings, 2 error.\n"
+             "  --json             JSON report instead of text\n"
+             "  --sarif            SARIF 2.1.0 report instead of text\n"
+             "  --baseline=FILE    enforce the suppression baseline/budget\n"
+             "  --cache=FILE       incremental scan cache (read + rewrite)\n"
+             "  --out=FILE         write the report to FILE, not stdout\n"
+             "  --jobs=N           worker threads (default: all cores)\n"
+             "  --list-rules       print the rule catalog and exit\n";
       return 0;
     } else if (!a.empty() && a[0] == '-') {
       err << "tmemo_lint: unknown option '" << a << "'\n";
       return 2;
     } else {
-      paths.push_back(a);
+      options.paths.push_back(a);
     }
   }
-  if (paths.empty()) {
+  if (options.paths.empty()) {
     err << "tmemo_lint: no input paths (try --help)\n";
     return 2;
   }
   try {
-    const LintReport report = run_lint(paths);
-    if (json) {
-      write_json(report, out);
-    } else {
-      write_text(report, out);
+    const LintReport report = run_lint(options);
+    std::ofstream file_out;
+    if (!out_path.empty()) {
+      file_out.open(out_path, std::ios::trunc);
+      if (!file_out) {
+        err << "tmemo_lint: cannot write: " << out_path << '\n';
+        return 2;
+      }
+    }
+    std::ostream& sink = out_path.empty() ? out : file_out;
+    switch (options.format) {
+      case OutputFormat::kJson:
+        write_json(report, sink);
+        break;
+      case OutputFormat::kSarif:
+        write_sarif(report, sarif_rule_catalog(), sink);
+        break;
+      case OutputFormat::kText:
+        write_text(report, sink);
+        break;
     }
     return exit_code(report);
   } catch (const std::exception& e) {

@@ -1,9 +1,16 @@
-// Orchestration for tmemo_lint: walk the requested paths, lex each C++
-// source, run every rule, apply `tmemo-lint allow(...)` suppressions,
-// flag orphan suppressions, and render text or JSON reports.
+// Orchestration for tmemo_lint v2: the two-phase engine.
+//
+// Phase 1 (parallel): read, hash and lex every requested C++ source, scan
+// its functions and build its FileIndex; merge the per-file views into one
+// RepoIndex. Phase 2 (parallel): run every rule against each file plus the
+// merged index, apply `tmemo-lint allow(...)` suppressions, flag orphans —
+// replaying cached results for files whose bytes (and the engine/index
+// digests) are unchanged. Afterwards the runner enforces the checked-in
+// baseline/suppression budget and renders text, JSON or SARIF reports.
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -15,11 +22,28 @@ struct LintReport {
   std::vector<Finding> findings;   ///< non-suppressed, sorted, stable order
   std::size_t files_scanned = 0;
   std::size_t suppressed = 0;      ///< findings silenced by allow()
+  /// display path -> rule id -> silenced-finding count; what the baseline
+  /// is compared against.
+  std::map<std::string, std::map<std::string, std::size_t>> suppression_sites;
 };
 
-/// Lints every .cpp/.cc/.cxx/.hpp/.h/.hh file in `paths` (directories are
-/// walked recursively; files are taken as-is). Throws std::runtime_error
-/// for a path that does not exist.
+enum class OutputFormat { kText, kJson, kSarif };
+
+struct LintOptions {
+  std::vector<std::string> paths;
+  OutputFormat format = OutputFormat::kText;
+  std::string baseline_path;  ///< empty: no baseline enforcement
+  std::string cache_path;     ///< empty: no incremental cache
+  unsigned jobs = 0;          ///< worker threads; 0 = hardware concurrency
+};
+
+/// Lints every .cpp/.cc/.cxx/.hpp/.h/.hh file in `options.paths`
+/// (directories are walked recursively; files are taken as-is). Throws
+/// std::runtime_error for a path that does not exist or a malformed
+/// baseline file.
+[[nodiscard]] LintReport run_lint(const LintOptions& options);
+
+/// Convenience wrapper: default options over `paths`.
 [[nodiscard]] LintReport run_lint(const std::vector<std::string>& paths);
 
 /// Process exit code for a report: 0 clean, 1 findings.

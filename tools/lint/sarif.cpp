@@ -1,0 +1,108 @@
+#include "sarif.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+#include "runner.hpp"
+
+namespace tmemo::lint {
+
+namespace {
+
+[[nodiscard]] std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+std::vector<SarifRuleMeta> sarif_rule_catalog() {
+  std::vector<SarifRuleMeta> catalog;
+  for (const auto& r : make_default_rules()) {
+    catalog.emplace_back(r->id(), r->description());
+  }
+  catalog.emplace_back("orphan-suppression",
+                       "an allow() annotation that silences no finding is "
+                       "itself a finding");
+  catalog.emplace_back("unbaselined-suppression",
+                       "a suppression site not covered by the checked-in "
+                       "baseline file");
+  catalog.emplace_back("stale-baseline",
+                       "a baseline entry whose suppressions no longer exist; "
+                       "shrink the baseline");
+  catalog.emplace_back("suppression-budget",
+                       "total suppressions exceed the baseline budget");
+  return catalog;
+}
+
+void write_sarif(const LintReport& report,
+                 const std::vector<SarifRuleMeta>& rules, std::ostream& out) {
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"tmemo-lint\",\n"
+      << "          \"version\": \"2.0.0\",\n"
+      << "          \"informationUri\": "
+         "\"docs/STATIC_ANALYSIS.md\",\n"
+      << "          \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n")
+        << "            {\"id\": \"" << escape(rules[i].first)
+        << "\", \"shortDescription\": {\"text\": \""
+        << escape(rules[i].second) << "\"}}";
+  }
+  out << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"columnKind\": \"utf16CodeUnits\",\n"
+      << "      \"results\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "        {\n"
+        << "          \"ruleId\": \"" << escape(f.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << escape(f.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\"physicalLocation\": {\n"
+        << "              \"artifactLocation\": {\"uri\": \""
+        << escape(f.path) << "\"},\n"
+        << "              \"region\": {\"startLine\": " << std::max(f.line, 1)
+        << ", \"startColumn\": " << std::max(f.col, 1) << "}\n"
+        << "            }}\n"
+        << "          ]\n"
+        << "        }";
+  }
+  out << "\n      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
+} // namespace tmemo::lint

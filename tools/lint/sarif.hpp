@@ -1,0 +1,31 @@
+// SARIF 2.1.0 report writer for tmemo_lint.
+//
+// Emits the minimal valid subset GitHub code scanning and SARIF viewers
+// consume: one run, the tool driver with its rule catalog, and one result
+// per finding with a physical location. See write_sarif() in sarif.cpp for
+// the exact shape; tests/lint/lint_test.cpp validates it structurally
+// against the 2.1.0 schema requirements.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rule.hpp"
+
+namespace tmemo::lint {
+
+struct LintReport;
+
+/// Rule catalog entry for the SARIF driver block: {id, description}.
+using SarifRuleMeta = std::pair<std::string, std::string>;
+
+/// The catalog for the default rule set, plus the synthetic meta-rules
+/// (orphan-suppression, baseline enforcement) the runner can emit.
+[[nodiscard]] std::vector<SarifRuleMeta> sarif_rule_catalog();
+
+void write_sarif(const LintReport& report,
+                 const std::vector<SarifRuleMeta>& rules, std::ostream& out);
+
+} // namespace tmemo::lint
