@@ -1,0 +1,194 @@
+#include "net/frame.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace tmemo::net {
+
+std::string_view hello_reject_name(HelloReject r) noexcept {
+  switch (r) {
+    case HelloReject::kAccepted: return "accepted";
+    case HelloReject::kBadMagic: return "bad magic (foreign peer or ABI)";
+    case HelloReject::kProtocolMismatch: return "protocol version mismatch";
+    case HelloReject::kCampaignMismatch:
+      return "campaign fingerprint/config mismatch";
+    case HelloReject::kJobCountMismatch: return "job grid size mismatch";
+  }
+  return "unknown reject reason";
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Nonblocking socket with a full send buffer: wait until the peer
+        // drains it. A dead peer surfaces as POLLERR/POLLHUP and the next
+        // write fails for good.
+        pollfd pfd{fd, POLLOUT, 0};
+        while (::poll(&pfd, 1, -1) < 0) {
+          if (errno != EINTR) return false;
+        }
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_exact(int fd, char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, data + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const FrameHeader hdr{static_cast<std::uint32_t>(payload.size())};
+  char buf[sizeof hdr];
+  std::memcpy(buf, &hdr, sizeof hdr);
+  return write_all(fd, buf, sizeof buf) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::string& payload, std::uint32_t max_bytes) {
+  char buf[sizeof(FrameHeader)];
+  if (!read_exact(fd, buf, sizeof buf)) return false;
+  FrameHeader hdr;
+  std::memcpy(&hdr, buf, sizeof hdr);
+  // Validate the declared length before allocating a byte of payload.
+  if (hdr.len > max_bytes) return false;
+  payload.assign(hdr.len, '\0');
+  return hdr.len == 0 || read_exact(fd, payload.data(), hdr.len);
+}
+
+FrameBuffer::Next FrameBuffer::next(std::string& payload) {
+  if (buf_.size() < sizeof(FrameHeader)) return Next::kNeedMore;
+  FrameHeader hdr;
+  std::memcpy(&hdr, buf_.data(), sizeof hdr);
+  if (hdr.len > max_) return Next::kOversize;
+  if (buf_.size() < sizeof hdr + hdr.len) return Next::kNeedMore;
+  payload = buf_.substr(sizeof hdr, hdr.len);
+  buf_.erase(0, sizeof hdr + hdr.len);
+  return Next::kFrame;
+}
+
+std::string encode_hello(const HelloFrame& hello) {
+  std::ostringstream os;
+  write_pod(os, hello);
+  return os.str();
+}
+
+std::string encode_hello_ack(const HelloAckFrame& ack) {
+  std::ostringstream os;
+  write_pod(os, ack);
+  return os.str();
+}
+
+bool decode_hello(const std::string& payload, HelloFrame& out) {
+  if (payload.size() != sizeof(HelloFrame)) return false;
+  std::memcpy(&out, payload.data(), sizeof out);
+  return out.magic == kHelloMagic;
+}
+
+bool decode_hello_ack(const std::string& payload, HelloAckFrame& out) {
+  if (payload.size() != sizeof(HelloAckFrame)) return false;
+  std::memcpy(&out, payload.data(), sizeof out);
+  return out.magic == kHelloAckMagic;
+}
+
+bool decode_event_header(const std::string& payload, EventFrameHeader& out) {
+  if (payload.size() < sizeof(EventFrameHeader)) return false;
+  std::memcpy(&out, payload.data(), sizeof out);
+  return out.type >= kJobStarted && out.type <= kEventTypeMax;
+}
+
+void pack_metrics_snapshot(std::ostream& os,
+                           const telemetry::MetricsSnapshot& s) {
+  write_pod(os, static_cast<std::uint64_t>(s.counters.size()));
+  for (const auto& c : s.counters) {
+    write_sized_string(os, c.name);
+    write_pod(os, c.value);
+  }
+  write_pod(os, static_cast<std::uint64_t>(s.gauges.size()));
+  for (const auto& g : s.gauges) {
+    write_sized_string(os, g.name);
+    write_pod(os, g.value);
+  }
+  write_pod(os, static_cast<std::uint64_t>(s.histograms.size()));
+  for (const auto& h : s.histograms) {
+    write_sized_string(os, h.name);
+    write_pod(os, static_cast<std::uint8_t>(h.spec.scale));
+    write_pod(os, h.spec.lo);
+    write_pod(os, h.spec.hi);
+    write_pod(os, h.spec.linear_buckets);
+    write_pod(os, static_cast<std::uint64_t>(h.buckets.size()));
+    for (const std::uint64_t b : h.buckets) write_pod(os, b);
+    write_pod(os, h.count);
+    write_pod(os, h.sum);
+    write_pod(os, h.min);
+    write_pod(os, h.max);
+  }
+}
+
+bool unpack_metrics_snapshot(std::istream& is,
+                             telemetry::MetricsSnapshot& s) {
+  constexpr std::uint64_t kMaxEntries = 1u << 20;
+  std::uint64_t n = 0;
+  read_pod(is, n);
+  if (!is.good() || n > kMaxEntries) return false;
+  s.counters.resize(static_cast<std::size_t>(n));
+  for (auto& c : s.counters) {
+    if (!read_sized_string(is, c.name)) return false;
+    read_pod(is, c.value);
+  }
+  read_pod(is, n);
+  if (!is.good() || n > kMaxEntries) return false;
+  s.gauges.resize(static_cast<std::size_t>(n));
+  for (auto& g : s.gauges) {
+    if (!read_sized_string(is, g.name)) return false;
+    read_pod(is, g.value);
+  }
+  read_pod(is, n);
+  if (!is.good() || n > kMaxEntries) return false;
+  s.histograms.resize(static_cast<std::size_t>(n));
+  for (auto& h : s.histograms) {
+    if (!read_sized_string(is, h.name)) return false;
+    std::uint8_t scale = 0;
+    read_pod(is, scale);
+    h.spec.scale = static_cast<telemetry::HistogramSpec::Scale>(scale);
+    read_pod(is, h.spec.lo);
+    read_pod(is, h.spec.hi);
+    read_pod(is, h.spec.linear_buckets);
+    std::uint64_t buckets = 0;
+    read_pod(is, buckets);
+    if (!is.good() || buckets > kMaxEntries) return false;
+    h.buckets.resize(static_cast<std::size_t>(buckets));
+    for (std::uint64_t& b : h.buckets) read_pod(is, b);
+    read_pod(is, h.count);
+    read_pod(is, h.sum);
+    read_pod(is, h.min);
+    read_pod(is, h.max);
+  }
+  return is.good();
+}
+
+} // namespace tmemo::net

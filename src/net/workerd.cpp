@@ -1,0 +1,164 @@
+#include "net/workerd.hpp"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/pod_io.hpp"
+#include "net/frame.hpp"
+#include "sim/worker_proc.hpp"
+
+namespace tmemo::net {
+
+namespace {
+
+/// Closes the connection on scope exit (every return path below).
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+ private:
+  int fd_;
+};
+
+WorkerdOutcome fail(const std::string& why) {
+  WorkerdOutcome out;
+  out.error = why;
+  return out;
+}
+
+} // namespace
+
+WorkerdOutcome run_workerd(SweepSpec spec, const WorkerdOptions& options) {
+  // Expand before connecting: the job count rides in the HelloFrame, and a
+  // spec the supervisor would reject is cheaper to discover offline.
+  // Metrics/timeline do not change the grid shape, so this count survives
+  // the post-ack re-expansion below.
+  std::vector<CampaignJob> jobs;
+  try {
+    jobs = CampaignEngine::expand(spec);
+  } catch (const std::exception& e) {
+    return fail(std::string("cannot expand campaign grid: ") + e.what());
+  }
+
+  std::string connect_error;
+  const int fd =
+      connect_to(options.connect, options.connect_timeout_ms, connect_error);
+  if (fd < 0) return fail("cannot reach supervisor: " + connect_error);
+  const FdGuard guard(fd);
+
+  // Register: one HelloFrame out, one HelloAckFrame back. Until the ack
+  // arrives the supervisor is as untrusted as we are to it, so the reply
+  // is capped at the handshake ceiling too.
+  HelloFrame hello;
+  hello.capabilities = kCapMetrics | kCapTimeline;
+  hello.campaign_digest = campaign_wire_digest(spec);
+  hello.job_count = static_cast<std::uint64_t>(jobs.size());
+  if (!write_frame(fd, encode_hello(hello))) {
+    return fail("connection lost while registering");
+  }
+  std::string payload;
+  if (!read_frame(fd, payload, kMaxHandshakeFrameBytes)) {
+    return fail("supervisor closed the connection during registration");
+  }
+  HelloAckFrame ack;
+  if (!decode_hello_ack(payload, ack)) {
+    return fail("malformed registration reply (not a tmemo supervisor?)");
+  }
+  if (ack.accepted == 0) {
+    return fail("registration rejected: " +
+                std::string(hello_reject_name(
+                    static_cast<HelloReject>(ack.reason))));
+  }
+  if (ack.max_attempts < 1) {
+    return fail("registration reply carries an invalid retry budget");
+  }
+  const int max_attempts = static_cast<int>(ack.max_attempts);
+
+  // The ack pins the telemetry switches a forked worker would have
+  // inherited through fork(); re-expand so every job's RunSpec matches the
+  // supervisor's expansion bit-for-bit.
+  spec.metrics = (ack.capabilities & kCapMetrics) != 0;
+  spec.timeline = (ack.capabilities & kCapTimeline) != 0;
+  const bool want_metrics = spec.metrics || spec.timeline;
+  jobs = CampaignEngine::expand(spec);
+
+  // Private workload set, built once — exactly like a forked worker.
+  std::vector<std::unique_ptr<Workload>> workloads;
+  std::string setup_error;
+  try {
+    workloads =
+        spec.factory ? spec.factory() : make_all_workloads(spec.scale);
+  } catch (const std::exception& e) {
+    setup_error = std::string("workload setup failed: ") + e.what();
+  } catch (...) {
+    setup_error = "workload setup failed: unknown exception";
+  }
+
+  CampaignJournalWriter shard;
+  if (!options.journal_path.empty()) {
+    try {
+      shard.open(options.journal_path, campaign_fingerprint(spec));
+    } catch (const std::exception& e) {
+      return fail(std::string("cannot open journal shard: ") + e.what());
+    }
+  }
+
+  WorkerdOutcome out;
+  for (;;) {
+    if (!read_frame(fd, payload)) {
+      // EOF after registration is the shutdown signal: campaign complete.
+      out.ok = true;
+      return out;
+    }
+    std::istringstream in(payload);
+    JobDispatchFrame dispatch;
+    read_pod(in, dispatch);
+    if (!in.good() || dispatch.job >= jobs.size() ||
+        dispatch.start_attempt < 1) {
+      return fail("supervisor broke the dispatch protocol");
+    }
+
+    // Heartbeat before the work, so the supervisor arms the hard timeout
+    // from the job's true start.
+    {
+      std::ostringstream hb;
+      const EventFrameHeader started{kJobStarted, {}, dispatch.job};
+      write_pod(hb, started);
+      if (!write_frame(fd, hb.str())) {
+        return fail("connection lost while acknowledging a job");
+      }
+    }
+
+    const JobResult result = run_dispatched_job(
+        spec, jobs, static_cast<std::size_t>(dispatch.job),
+        static_cast<int>(dispatch.start_attempt), max_attempts,
+        options.inject_crash, workloads, setup_error);
+    if (shard.is_open()) shard.append(result);
+
+    std::ostringstream done;
+    const EventFrameHeader done_hdr{kJobDone, {}, dispatch.job};
+    write_pod(done, done_hdr);
+    write_sized_string(done, serialize_job_result(result));
+    const std::uint8_t has_metrics = want_metrics && result.ok ? 1 : 0;
+    write_pod(done, has_metrics);
+    if (has_metrics != 0) {
+      pack_metrics_snapshot(done, result.report.metrics);
+    }
+    if (!write_frame(fd, done.str())) {
+      return fail("connection lost while delivering a result");
+    }
+    ++out.jobs_done;
+  }
+}
+
+} // namespace tmemo::net

@@ -1,0 +1,64 @@
+// Remote campaign worker: the client half of the distributed fabric
+// (docs/DISTRIBUTED.md).
+//
+// run_workerd is the whole life of one tmemo_workerd process: rebuild the
+// campaign spec (the caller parsed it from the same flags the supervisor
+// uses), connect to the supervisor, register with a HelloFrame — the
+// campaign digest proves both ends expanded the same grid with the same
+// configs — and then serve dispatch frames until the supervisor closes the
+// connection (campaign done) or the process dies. It is a library function,
+// not a main(), so the loopback e2e tests can fork() a child that inherits
+// a custom WorkloadFactory and call it directly, exactly like the process
+// pool forks pipe workers.
+//
+// Crash model: a workerd that dies mid-job simply vanishes from the
+// supervisor's poll() loop; the supervisor maps the lost connection into
+// the worker-crash taxonomy and re-dispatches the job elsewhere. Nothing
+// here needs to be crash-safe except the journal shard, which is
+// write+fsync per record (CampaignJournalWriter).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "inject/worker_crash.hpp"
+#include "net/transport.hpp"
+#include "sim/campaign.hpp"
+
+namespace tmemo::net {
+
+struct WorkerdOptions {
+  /// Supervisor address to register with.
+  HostPort connect;
+  /// TCP connect budget.
+  int connect_timeout_ms = 5000;
+  /// Local journal-v2 shard: every job this worker finishes is appended
+  /// here (same format as the supervisor's campaign journal, same
+  /// fingerprint header; `tmemo_journal merge` folds shards together).
+  /// Empty disables the shard.
+  std::string journal_path;
+  /// Deterministic crash injection for tests: the *process* dies by the
+  /// injected signal when the plan matches a (job, attempt) this worker is
+  /// dispatched. Callers must therefore be expendable child processes.
+  std::optional<inject::WorkerCrashInjection> inject_crash;
+};
+
+struct WorkerdOutcome {
+  /// True when the supervisor closed the connection after a completed
+  /// campaign (the clean shutdown path). False = `error` says why.
+  bool ok = false;
+  std::string error;
+  /// Jobs this worker ran to completion (results delivered).
+  std::uint64_t jobs_done = 0;
+};
+
+/// Runs one remote worker session against `spec` (which must be built from
+/// the same flags as the supervisor's — the handshake digest rejects
+/// drift). Blocks until the campaign ends or the connection fails. The
+/// spec's metrics/timeline switches are overwritten from the supervisor's
+/// HelloAck, so the caller need not guess them.
+[[nodiscard]] WorkerdOutcome run_workerd(SweepSpec spec,
+                                         const WorkerdOptions& options);
+
+} // namespace tmemo::net

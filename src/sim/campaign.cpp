@@ -22,6 +22,7 @@
 #include <thread>
 
 #include "common/require.hpp"
+#include "net/transport.hpp"
 #include "sim/worker_proc.hpp"
 
 namespace tmemo {
@@ -104,10 +105,6 @@ std::string csv_escape(std::string_view s) {
 // numeric field uses the shortest round-trippable decimal form (fmt_double),
 // so a journaled JobResult restores bit-identically.
 
-// v2 appended the "end" sentinel field to every record (torn-write
-// detection inside the final field); v1 journals are rejected by the
-// header check rather than half-parsed.
-constexpr std::string_view kJournalSchema = "tmemo-journal-v2";
 
 /// FpuStats counters in journal order. One list serves both pack and
 /// unpack, so the journal cannot drift from the struct.
@@ -213,55 +210,6 @@ bool unpack_unit_stats(const std::string& s,
   return true;
 }
 
-/// Torn-write-safe append-only journal file. Each row is written with one
-/// write(2) call and made durable with fsync(2) before append() returns, so
-/// a host crash (not just a process crash) loses at most the row being
-/// written — and a partially persisted row is exactly the torn tail that
-/// read_campaign_journal tolerates.
-class JournalFile {
- public:
-  JournalFile() = default;
-  JournalFile(const JournalFile&) = delete;
-  JournalFile& operator=(const JournalFile&) = delete;
-  ~JournalFile() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-
-  void open_for_append(const std::string& path) {
-    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-    TM_REQUIRE(fd_ >= 0, "cannot open campaign journal for append: " + path);
-  }
-
-  /// Drops a torn trailing record so the next append starts on a record
-  /// boundary; with O_APPEND, writes land at the new end-of-file.
-  void truncate_to(std::uint64_t bytes) {
-    TM_REQUIRE(::ftruncate(fd_, static_cast<::off_t>(bytes)) == 0,
-               "cannot truncate torn campaign journal tail");
-  }
-
-  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
-
-  void append(const std::string& row) {
-    std::size_t off = 0;
-    while (off < row.size()) {
-      const ::ssize_t n =
-          ::write(fd_, row.data() + off, row.size() - off);
-      if (n < 0) {
-        TM_REQUIRE(errno == EINTR, "campaign journal write failed");
-        continue;
-      }
-      off += static_cast<std::size_t>(n);
-    }
-    // Flush + fsync per record: the journal exists precisely for the crash
-    // case, so buffering rows would defeat it.
-    TM_REQUIRE(::fsync(fd_) == 0 || errno == EINVAL || errno == EROFS,
-               "campaign journal fsync failed");
-  }
-
- private:
-  int fd_ = -1;
-};
-
 /// Byte length of the longest journal prefix made of complete, newline-
 /// terminated CSV records. Each record is appended with a single write(),
 /// so a crash tears at most the final one; everything past the last intact
@@ -279,6 +227,65 @@ std::uint64_t intact_journal_prefix(std::istream& in) {
 }
 
 } // namespace
+
+CampaignJournalWriter::~CampaignJournalWriter() { close(); }
+
+void CampaignJournalWriter::open(const std::string& path,
+                                 const std::string& fingerprint) {
+  TM_REQUIRE(fd_ < 0, "campaign journal is already open");
+  bool fresh = true;
+  {
+    std::ifstream probe(path);
+    fresh = !probe.good() ||
+            std::ifstream::traits_type::eq_int_type(
+                probe.peek(), std::ifstream::traits_type::eof());
+  }
+  std::uint64_t keep_bytes = 0;
+  if (!fresh) {
+    // Drop a torn trailing record (a crash mid-append) before appending,
+    // so the next record starts on a record boundary instead of fusing
+    // with the partial line.
+    std::ifstream scan(path, std::ios::binary);
+    keep_bytes = intact_journal_prefix(scan);
+  }
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  TM_REQUIRE(fd_ >= 0, "cannot open campaign journal for append: " + path);
+  if (fresh) {
+    append_raw(std::string(kCampaignJournalSchema) + ',' +
+               csv_escape(fingerprint) + '\n');
+  } else {
+    // With O_APPEND, writes land at the new end-of-file.
+    TM_REQUIRE(::ftruncate(fd_, static_cast<::off_t>(keep_bytes)) == 0,
+               "cannot truncate torn campaign journal tail");
+  }
+}
+
+void CampaignJournalWriter::append(const JobResult& result) {
+  append_raw(serialize_job_result(result));
+}
+
+void CampaignJournalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void CampaignJournalWriter::append_raw(const std::string& row) {
+  std::size_t off = 0;
+  while (off < row.size()) {
+    const ::ssize_t n = ::write(fd_, row.data() + off, row.size() - off);
+    if (n < 0) {
+      TM_REQUIRE(errno == EINTR, "campaign journal write failed");
+      continue;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // Flush + fsync per record: the journal exists precisely for the crash
+  // case, so buffering rows would defeat it.
+  TM_REQUIRE(::fsync(fd_) == 0 || errno == EINVAL || errno == EROFS,
+             "campaign journal fsync failed");
+}
 
 std::string serialize_job_result(const JobResult& j) {
   std::string row;
@@ -583,6 +590,47 @@ std::string campaign_fingerprint(const SweepSpec& spec) {
   return std::string(buf);
 }
 
+std::uint64_t campaign_wire_digest(const SweepSpec& spec) {
+  // The fingerprint covers the grid shape; the digest additionally covers
+  // the variant configurations, because a remote worker rebuilds the spec
+  // from its own command line and a drifted config knob (say --lut-depth)
+  // would otherwise produce a silently different grid. Every config knob
+  // reachable from the tmemo_sim/tmemo_workerd CLI enters the canonical
+  // description below.
+  std::string desc = campaign_fingerprint(spec);
+  const auto add = [&desc](const std::string& field) {
+    desc += ';';
+    desc += field;
+  };
+  for (const ConfigVariant& v : spec.variants) {
+    add(v.label);
+    const ExperimentConfig& c = v.config;
+    add(c.memoization ? "1" : "0");
+    add(c.spatial ? "1" : "0");
+    add(c.commutativity ? "1" : "0");
+    add(std::to_string(c.device.compute_units));
+    add(std::to_string(c.device.stream_cores_per_cu));
+    add(std::to_string(c.device.wavefront_size));
+    add(std::to_string(c.device.seed));
+    add(std::to_string(c.device.fpu.lut_depth));
+    add(std::to_string(static_cast<int>(c.device.fpu.recovery)));
+    add(std::to_string(c.device.fpu.eds_seed));
+    const inject::FaultInjectionConfig& inj = c.device.fpu.inject;
+    add(fmt_double(inj.lut.seu_per_cycle));
+    add(inj.lut.parity ? "1" : "0");
+    add(fmt_double(inj.eds.false_negative_rate));
+    add(fmt_double(inj.eds.false_positive_rate));
+    add(std::to_string(inj.watchdog.recovery_cycle_budget));
+    add(std::to_string(static_cast<int>(inj.watchdog.action)));
+  }
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : desc) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 bool read_csv_record(std::istream& in, std::vector<std::string>& fields) {
   fields.clear();
   using Traits = std::istream::traits_type;
@@ -631,8 +679,8 @@ CampaignJournal read_campaign_journal(std::istream& in) {
   CampaignJournal journal;
   std::vector<std::string> fields;
   if (!read_csv_record(in, fields) || fields.size() != 2 ||
-      fields[0] != kJournalSchema) {
-    throw std::runtime_error("not a " + std::string(kJournalSchema) +
+      fields[0] != kCampaignJournalSchema) {
+    throw std::runtime_error("not a " + std::string(kCampaignJournalSchema) +
                              " journal");
   }
   journal.fingerprint = fields[1];
@@ -681,31 +729,10 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
   // Append-only journal: header only when the file is fresh, one written-
   // and-fsynced record per finished job (restored jobs are already
   // journaled).
-  JournalFile journal;
+  CampaignJournalWriter journal;
   std::mutex journal_mutex;
   if (!options.journal_path.empty()) {
-    bool fresh = true;
-    {
-      std::ifstream probe(options.journal_path);
-      fresh = !probe.good() ||
-              std::ifstream::traits_type::eq_int_type(
-                  probe.peek(), std::ifstream::traits_type::eof());
-    }
-    std::uint64_t keep_bytes = 0;
-    if (!fresh) {
-      // Drop a torn trailing record (a crash mid-append) before appending,
-      // so the next record starts on a record boundary instead of fusing
-      // with the partial line.
-      std::ifstream scan(options.journal_path, std::ios::binary);
-      keep_bytes = intact_journal_prefix(scan);
-    }
-    journal.open_for_append(options.journal_path);
-    if (fresh) {
-      journal.append(std::string(kJournalSchema) + ',' +
-                     csv_escape(fingerprint) + '\n');
-    } else {
-      journal.truncate_to(keep_bytes);
-    }
+    journal.open(options.journal_path, fingerprint);
   }
 
   CampaignResult result;
@@ -785,15 +812,17 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
                     " ms timeout";
       }
       if (journal.is_open()) {
-        const std::string row = serialize_job_result(out);
         const std::lock_guard<std::mutex> lock(journal_mutex);
-        journal.append(row);
+        journal.append(out);
       }
     }
   };
 
   std::shared_ptr<const telemetry::Timeline> supervisor_timeline;
-  if (options.isolation == IsolationMode::kProcess) {
+  const bool supervised = options.isolation == IsolationMode::kProcess ||
+                          options.isolation == IsolationMode::kRemote;
+  net::Listener owned_listener;
+  if (supervised) {
     // Fill restored slots up front; everything else goes to the supervisor.
     ProcessPoolRequest req;
     req.spec = &spec;
@@ -813,15 +842,40 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
     req.inject_crash = options.inject_worker_crash;
     req.want_metrics = spec.metrics || spec.timeline;
     req.want_timeline = spec.timeline;
+    if (options.isolation == IsolationMode::kRemote) {
+      // Socket workers do the heavy lifting; forked pipe workers join the
+      // same loop only when explicitly asked for.
+      req.workers = std::max(0, options.remote_local_workers);
+      req.campaign_digest = campaign_wire_digest(spec);
+      if (options.listener != nullptr) {
+        req.listener = options.listener;
+      } else {
+        const std::optional<net::HostPort> at =
+            net::parse_host_port(options.listen_address,
+                                 /*allow_ephemeral=*/true);
+        TM_REQUIRE(at.has_value(),
+                   "remote isolation needs a listen address "
+                   "(HOST:PORT), got '" +
+                       options.listen_address + "'");
+        owned_listener.open(*at); // throws with endpoint + errno on failure
+        req.listener = &owned_listener;
+      }
+    }
     if (journal.is_open()) {
       // The supervisor is single-threaded, so no lock is needed.
       req.journal_append = [&journal](const JobResult& done) {
-        journal.append(serialize_job_result(done));
+        journal.append(done);
       };
     }
     ProcessPoolOutcome outcome = run_process_pool(req, result.jobs);
     result.worker_stats = outcome.stats;
     supervisor_timeline = std::move(outcome.timeline);
+    if (options.isolation == IsolationMode::kRemote) {
+      // "Workers used" = every registered remote worker plus the local
+      // forked ones that shared the loop.
+      result.workers =
+          req.workers + static_cast<int>(outcome.stats.remote_connects);
+    }
   } else if (workers == 1) {
     worker();
   } else {
@@ -839,10 +893,10 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
     telemetry::MetricRegistry campaign_reg;
     campaign_reg.counter("campaign.jobs").add(result.jobs.size());
     campaign_reg.counter("campaign.jobs_failed").add(result.failed());
-    if (options.isolation == IsolationMode::kProcess) {
-      // Supervision instruments exist only under process isolation, so a
-      // crash-free thread campaign's snapshot stays byte-identical to its
-      // pre-supervision shape.
+    if (supervised) {
+      // Supervision instruments exist only under process/remote isolation,
+      // so a crash-free thread campaign's snapshot stays byte-identical to
+      // its pre-supervision shape.
       campaign_reg.counter("campaign.worker_spawns")
           .add(result.worker_stats.spawns);
       campaign_reg.counter("campaign.worker_crashes")
@@ -854,12 +908,20 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
       campaign_reg.counter("campaign.worker_timeout_kills")
           .add(result.worker_stats.timeout_kills);
     }
+    if (options.isolation == IsolationMode::kRemote) {
+      campaign_reg.counter("campaign.remote_connects")
+          .add(result.worker_stats.remote_connects);
+      campaign_reg.counter("campaign.remote_disconnects")
+          .add(result.worker_stats.remote_disconnects);
+      campaign_reg.counter("campaign.remote_rejects")
+          .add(result.worker_stats.remote_rejects);
+    }
     result.metrics = campaign_reg.snapshot();
     for (const JobResult& j : result.jobs) {
       if (j.ok) result.metrics.merge(j.report.metrics);
       if (j.ok && j.job.index == 0) result.timeline = j.report.timeline;
     }
-    if (options.isolation == IsolationMode::kProcess && spec.timeline) {
+    if (supervised && spec.timeline) {
       // A job's event timeline cannot cross the worker pipe (only metrics
       // snapshots do); the supervisor's own lifecycle timeline stands in.
       result.timeline = supervisor_timeline;

@@ -32,6 +32,10 @@
 
 namespace tmemo {
 
+namespace net {
+class Listener; // net/transport.hpp (remote isolation)
+}
+
 /// One swept independent-variable axis, expanded into `count` evenly spaced
 /// points from `start` to `stop` inclusive (count == 1 pins `start`).
 struct SweepAxis {
@@ -143,18 +147,25 @@ struct JobResult {
   double wall_ms = 0.0;
 };
 
-/// Supervision counters of a process-isolated campaign (all zero under
-/// thread isolation). Mirrored into the campaign.worker_* telemetry
-/// instruments when metrics are on.
+/// Supervision counters of a process- or remote-isolated campaign (all zero
+/// under thread isolation). Mirrored into the campaign.worker_* /
+/// campaign.remote_* telemetry instruments when metrics are on.
 struct WorkerPoolStats {
   std::uint64_t spawns = 0;        ///< worker processes forked (incl. respawns)
   std::uint64_t crashes = 0;       ///< workers that died mid-job (signal, exit,
-                                   ///< or silent clean exit)
+                                   ///< silent clean exit, or lost connection)
   std::uint64_t respawns = 0;      ///< replacement workers forked after a crash
   std::uint64_t redispatches = 0;  ///< in-flight jobs re-dispatched after a
                                    ///< crash under the retry budget
-  std::uint64_t timeout_kills = 0; ///< workers SIGKILLed for blowing the hard
+  std::uint64_t timeout_kills = 0; ///< workers SIGKILLed (or disconnected, for
+                                   ///< remote workers) for blowing the hard
                                    ///< per-job timeout
+  // Remote (TCP) fabric counters, zero unless IsolationMode::kRemote.
+  std::uint64_t remote_connects = 0;    ///< workerd registrations accepted
+  std::uint64_t remote_disconnects = 0; ///< connections lost (EOF/reset)
+  std::uint64_t remote_rejects = 0;     ///< handshakes rejected (bad magic,
+                                        ///< version/campaign mismatch, or
+                                        ///< handshake timeout)
 };
 
 /// All job results, ordered by CampaignJob::index regardless of which
@@ -205,11 +216,24 @@ enum class IsolationMode {
   /// the job timeout becomes a hard SIGKILL. Results are bit-identical to
   /// thread isolation (wall_ms aside). POSIX only.
   kProcess,
+  /// Jobs run in remote tmemo_workerd processes that connect over TCP
+  /// (src/net/, docs/DISTRIBUTED.md). The supervisor listens on
+  /// CampaignRunOptions::listen_address and multiplexes socket workers
+  /// (plus optional local forked workers) in one poll() loop; a lost
+  /// connection maps into the crash taxonomy exactly like a dead forked
+  /// worker. Results stay bit-identical to thread isolation because only
+  /// (job index, attempt) crosses the wire. POSIX only.
+  kRemote,
 };
 
 [[nodiscard]] constexpr std::string_view isolation_mode_name(
     IsolationMode m) noexcept {
-  return m == IsolationMode::kThread ? "thread" : "process";
+  switch (m) {
+    case IsolationMode::kThread: return "thread";
+    case IsolationMode::kProcess: return "process";
+    case IsolationMode::kRemote: return "remote";
+  }
+  return "unknown";
 }
 
 /// Crash-safety and partial-failure options for CampaignEngine::run.
@@ -232,6 +256,18 @@ struct CampaignRunOptions {
   /// Deterministic worker-crash injection (process isolation only): proves
   /// crash containment in tests/CI. Ignored under thread isolation.
   std::optional<inject::WorkerCrashInjection> inject_worker_crash;
+  /// Remote isolation only: "HOST:PORT" the supervisor listens on for
+  /// tmemo_workerd registrations (e.g. "127.0.0.1:7777"). Required under
+  /// kRemote unless `listener` is provided.
+  std::string listen_address;
+  /// Remote isolation only: a pre-opened listener (tests and benches bind
+  /// port 0 to get an OS-chosen port, fork their workers, then hand the
+  /// listener in). Not owned; must outlive the run. Overrides
+  /// listen_address.
+  net::Listener* listener = nullptr;
+  /// Remote isolation only: forked pipe workers to run alongside the socket
+  /// workers in the same supervisor loop (0 = serve remote workers only).
+  int remote_local_workers = 0;
   /// Append-only journal path; empty disables journaling. Every finished
   /// job is serialized and flushed as one RFC-4180 CSV record, so a killed
   /// campaign loses at most the in-flight jobs. A fresh (empty/missing)
@@ -272,11 +308,56 @@ class CampaignEngine {
   int jobs_;
 };
 
+/// Journal-v2 schema tag: first field of a journal's header record. v2
+/// appended the "end" sentinel field to every record (torn-write detection
+/// inside the final field); v1 journals are rejected by the header check
+/// rather than half-parsed. Shared by the engine's journal writer, the
+/// workerd shards, and tmemo_journal merge.
+inline constexpr std::string_view kCampaignJournalSchema = "tmemo-journal-v2";
+
 /// Stable identity of a campaign grid (axis, scale, seed, kernels,
 /// thresholds, variant labels): a journal written for one spec refuses to
 /// resume another. Variant labels — not their configs — enter the
 /// fingerprint, so keep ablation labels unique.
 [[nodiscard]] std::string campaign_fingerprint(const SweepSpec& spec);
+
+/// 64-bit identity of a campaign for the remote-worker handshake
+/// (net/frame.hpp HelloFrame::campaign_digest): the fingerprint text plus
+/// the variant *configurations* — a remote worker rebuilds the spec from
+/// its own flags, so config drift (say, a differing --lut-depth) must be
+/// caught at registration, not discovered as silently different grids.
+[[nodiscard]] std::uint64_t campaign_wire_digest(const SweepSpec& spec);
+
+/// Torn-write-safe append-only journal writer: each row is written with one
+/// write(2) and fsynced before append() returns, so a host crash loses at
+/// most the row in flight. Used by CampaignEngine for the campaign journal
+/// and by tmemo_workerd for its local shard (both produce the same
+/// journal-v2 format; tmemo_journal merge folds shards back together).
+class CampaignJournalWriter {
+ public:
+  CampaignJournalWriter() = default;
+  ~CampaignJournalWriter();
+  CampaignJournalWriter(const CampaignJournalWriter&) = delete;
+  CampaignJournalWriter& operator=(const CampaignJournalWriter&) = delete;
+
+  /// Opens `path` for appending. A fresh (missing/empty) file gets the
+  /// journal-v2 header carrying `fingerprint`; an existing file has a torn
+  /// trailing record truncated away so the next append starts on a record
+  /// boundary. Throws via TM_REQUIRE on open/truncate failure.
+  void open(const std::string& path, const std::string& fingerprint);
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+  /// Appends one finished job (serialize_job_result), write+fsync.
+  void append(const JobResult& result);
+
+  void close();
+
+ private:
+  void append_raw(const std::string& row);
+
+  int fd_ = -1;
+};
 
 /// Reads a journal produced by a journaling run. Tolerates a truncated
 /// final record (the crash case); malformed rows are skipped. Throws

@@ -1,0 +1,111 @@
+#include "sim/journal_merge.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace tmemo {
+
+namespace {
+
+/// RFC-4180 quoting for the merged header's fingerprint field (record rows
+/// arrive pre-escaped from serialize_job_result).
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+} // namespace
+
+JournalMergeReport merge_campaign_journals(
+    const std::vector<std::string>& shard_paths,
+    const std::string& output_path) {
+  if (shard_paths.empty()) {
+    throw std::runtime_error("journal merge: no shards given");
+  }
+
+  JournalMergeReport report;
+  std::string fingerprint_source; // shard the fingerprint came from
+  // Job index -> (winning entry, ok flag). std::map keeps the output in
+  // job-index order for free.
+  std::map<std::size_t, JobResult> best;
+
+  for (const std::string& path : shard_paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      throw std::runtime_error("journal merge: cannot read shard: " + path);
+    }
+    if (in.peek() == std::ifstream::traits_type::eof()) {
+      // A workerd killed before its first append leaves a zero-byte file;
+      // that is an empty contribution, not a broken one.
+      ++report.empty_shards;
+      continue;
+    }
+    CampaignJournal shard;
+    try {
+      shard = read_campaign_journal(in);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("journal merge: " + path + ": " + e.what());
+    }
+    if (report.shards_read == 0) {
+      report.fingerprint = shard.fingerprint;
+      fingerprint_source = path;
+    } else if (shard.fingerprint != report.fingerprint) {
+      throw std::runtime_error(
+          "journal merge: campaign fingerprint mismatch: " + path +
+          " was written for a different campaign than " + fingerprint_source +
+          " (refusing to merge journals of different campaigns)");
+    }
+    ++report.shards_read;
+    report.malformed_rows += shard.malformed_rows;
+    for (JobResult& entry : shard.entries) {
+      ++report.entries_in;
+      const auto it = best.find(entry.job.index);
+      if (it == best.end()) {
+        best.emplace(entry.job.index, std::move(entry));
+        continue;
+      }
+      // An ok result always beats a failure (the crashed attempt and the
+      // successful redispatch live in different shards); otherwise the
+      // later-listed shard wins.
+      if (!entry.ok && it->second.ok) {
+        ++report.duplicates_dropped;
+        continue;
+      }
+      it->second = std::move(entry);
+      ++report.duplicates_dropped;
+    }
+  }
+
+  if (report.shards_read == 0) {
+    throw std::runtime_error(
+        "journal merge: every shard is empty; nothing to merge");
+  }
+
+  std::ofstream out(output_path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    throw std::runtime_error("journal merge: cannot write output: " +
+                             output_path);
+  }
+  out << std::string(kCampaignJournalSchema) << ','
+      << csv_escape(report.fingerprint) << '\n';
+  for (const auto& [index, entry] : best) {
+    out << serialize_job_result(entry);
+    ++report.entries_out;
+  }
+  out.flush();
+  if (!out.good()) {
+    throw std::runtime_error("journal merge: write failed: " + output_path);
+  }
+  return report;
+}
+
+} // namespace tmemo

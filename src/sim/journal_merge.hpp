@@ -1,0 +1,53 @@
+// Sharded-journal merge (docs/DISTRIBUTED.md).
+//
+// A distributed campaign produces one journal per writer: the supervisor's
+// campaign journal plus one local shard per tmemo_workerd. Every shard is
+// an ordinary journal-v2 file — same header, same fingerprint, same record
+// format — so any one of them resumes the campaign partially. The merge
+// folds them into a single journal that resumes it fully.
+//
+// Semantics:
+//  - All shards must carry the same campaign fingerprint; a mismatch is a
+//    hard error naming both files (merging two different campaigns would
+//    poison a future --resume silently).
+//  - Duplicate job indices are collapsed: an ok entry always beats a failed
+//    one (a job that crashed one worker and succeeded on redispatch appears
+//    in two shards); among entries of equal ok-ness the one from the
+//    later-listed shard wins.
+//  - A zero-byte shard (a workerd killed before its first append) is
+//    skipped and counted, not an error.
+//  - Torn trailing records (a workerd killed mid-append) are skipped and
+//    counted per the usual journal-v2 tolerance.
+//  - Output records are ordered by job index, so the merged journal is
+//    deterministic regardless of shard completion order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hpp"
+
+namespace tmemo {
+
+/// What the merge did — the CLI prints this; tests assert on it.
+struct JournalMergeReport {
+  std::string fingerprint;           ///< shared fingerprint of the shards
+  std::size_t shards_read = 0;       ///< shards parsed (empty ones excluded)
+  std::size_t empty_shards = 0;      ///< zero-byte shards skipped
+  std::size_t entries_in = 0;        ///< parsed records across all shards
+  std::size_t entries_out = 0;       ///< records in the merged journal
+  std::size_t duplicates_dropped = 0; ///< entries_in - entries_out
+  std::size_t malformed_rows = 0;    ///< torn/corrupt records skipped
+};
+
+/// Merges journal-v2 shards into `output_path` (overwritten). Throws
+/// std::runtime_error on an unreadable shard, a shard that is not a
+/// journal-v2 file, a fingerprint mismatch between shards (the diagnostic
+/// names both files), or when every shard is empty (there is no
+/// fingerprint to stamp on the output).
+JournalMergeReport merge_campaign_journals(
+    const std::vector<std::string>& shard_paths,
+    const std::string& output_path);
+
+} // namespace tmemo

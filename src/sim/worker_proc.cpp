@@ -23,51 +23,21 @@
 
 #include "common/pod_io.hpp"
 #include "common/require.hpp"
+#include "net/frame.hpp"
+#include "net/transport.hpp"
 #include "telemetry/collector.hpp"
 
 namespace tmemo {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Protocol constants.
-
-constexpr std::uint8_t kJobStarted = 1; ///< heartbeat: worker began the job
-constexpr std::uint8_t kJobDone = 2;    ///< result frame
-
-/// Frame-size ceiling: a corrupt length prefix (a worker dying mid-write)
-/// must not drive a huge allocation in the supervisor.
-constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
-
-// Fixed-layout frame payloads. These cross the pipe whole through
-// write_pod/read_pod, so the struct layout *is* the wire format: fixed-width
-// fields only and no padding bytes anywhere (lint rule R9 checks both
-// against the computed layout, and the static_asserts pin them at compile
-// time).
-
-/// Supervisor -> worker: one job dispatch.
-struct JobDispatchFrame {
-  std::uint64_t job = 0;            ///< index into the campaign's job list
-  std::int32_t start_attempt = 1;   ///< resume the retry loop here
-  std::int32_t reserved = 0;        ///< explicit, so no byte is uninitialized
-};
-static_assert(std::is_trivially_copyable_v<JobDispatchFrame> &&
-                  sizeof(JobDispatchFrame) == 16,
-              "pod_io wire layout");
-
-/// Worker -> supervisor: fixed prefix of every event frame (heartbeat and
-/// result frames share it; the result frame appends its variable payload).
-struct EventFrameHeader {
-  std::uint8_t type = 0;            ///< kJobStarted / kJobDone
-  std::uint8_t reserved[7] = {};    ///< explicit, so no byte is uninitialized
-  std::uint64_t job = 0;            ///< job index the event refers to
-};
-static_assert(std::is_trivially_copyable_v<EventFrameHeader> &&
-                  sizeof(EventFrameHeader) == 16,
-              "pod_io wire layout");
-
 /// Backoff ceiling between a crash and the replacement fork.
 constexpr int kMaxRespawnBackoffMs = 200;
+
+/// A connecting peer has this long to deliver its HelloFrame before the
+/// half-open connection is dropped (a port scanner or wedged peer must not
+/// occupy the supervisor forever).
+constexpr int kHandshakeTimeoutMs = 5000;
 
 // Wall-clock reads are confined to wall_now() (lint rule R1): supervision
 // deadlines and wall_ms reporting only — never simulation results.
@@ -78,131 +48,6 @@ std::chrono::steady_clock::time_point wall_now() {
 double wall_elapsed_ms(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double, std::milli>(wall_now() - since)
       .count();
-}
-
-// ---------------------------------------------------------------------------
-// EINTR-safe fd I/O (both sides of the pipe).
-
-bool write_all(int fd, const char* data, std::size_t n) {
-  std::size_t off = 0;
-  while (off < n) {
-    const ssize_t w = ::write(fd, data + off, n - off);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-/// Writes one length-prefixed frame. False on any error (EPIPE when the
-/// peer died; the caller decides what that means).
-bool write_frame(int fd, const std::string& payload) {
-  if (payload.size() > kMaxFrameBytes) return false;
-  const FrameHeader hdr{static_cast<std::uint32_t>(payload.size())};
-  char buf[sizeof hdr];
-  std::memcpy(buf, &hdr, sizeof hdr);
-  return write_all(fd, buf, sizeof buf) &&
-         write_all(fd, payload.data(), payload.size());
-}
-
-/// Blocking exact read (worker side). False on EOF or error.
-bool read_exact(int fd, char* data, std::size_t n) {
-  std::size_t off = 0;
-  while (off < n) {
-    const ssize_t r = ::read(fd, data + off, n - off);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (r == 0) return false;
-    off += static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
-bool read_frame(int fd, std::string& payload) {
-  char buf[sizeof(FrameHeader)];
-  if (!read_exact(fd, buf, sizeof buf)) return false;
-  FrameHeader hdr;
-  std::memcpy(&hdr, buf, sizeof hdr);
-  if (hdr.len > kMaxFrameBytes) return false;
-  payload.assign(hdr.len, '\0');
-  return hdr.len == 0 || read_exact(fd, payload.data(), hdr.len);
-}
-
-// ---------------------------------------------------------------------------
-// MetricsSnapshot over the pipe. Every instrument value is uint64
-// (telemetry/metrics.hpp), so the snapshot crosses the process boundary
-// exactly and the campaign fold stays bit-identical to thread isolation.
-
-void pack_metrics(std::ostream& os, const telemetry::MetricsSnapshot& s) {
-  write_pod(os, static_cast<std::uint64_t>(s.counters.size()));
-  for (const auto& c : s.counters) {
-    write_sized_string(os, c.name);
-    write_pod(os, c.value);
-  }
-  write_pod(os, static_cast<std::uint64_t>(s.gauges.size()));
-  for (const auto& g : s.gauges) {
-    write_sized_string(os, g.name);
-    write_pod(os, g.value);
-  }
-  write_pod(os, static_cast<std::uint64_t>(s.histograms.size()));
-  for (const auto& h : s.histograms) {
-    write_sized_string(os, h.name);
-    write_pod(os, static_cast<std::uint8_t>(h.spec.scale));
-    write_pod(os, h.spec.lo);
-    write_pod(os, h.spec.hi);
-    write_pod(os, h.spec.linear_buckets);
-    write_pod(os, static_cast<std::uint64_t>(h.buckets.size()));
-    for (const std::uint64_t b : h.buckets) write_pod(os, b);
-    write_pod(os, h.count);
-    write_pod(os, h.sum);
-    write_pod(os, h.min);
-    write_pod(os, h.max);
-  }
-}
-
-bool unpack_metrics(std::istream& is, telemetry::MetricsSnapshot& s) {
-  constexpr std::uint64_t kMaxEntries = 1u << 20;
-  std::uint64_t n = 0;
-  read_pod(is, n);
-  if (!is.good() || n > kMaxEntries) return false;
-  s.counters.resize(static_cast<std::size_t>(n));
-  for (auto& c : s.counters) {
-    if (!read_sized_string(is, c.name)) return false;
-    read_pod(is, c.value);
-  }
-  read_pod(is, n);
-  if (!is.good() || n > kMaxEntries) return false;
-  s.gauges.resize(static_cast<std::size_t>(n));
-  for (auto& g : s.gauges) {
-    if (!read_sized_string(is, g.name)) return false;
-    read_pod(is, g.value);
-  }
-  read_pod(is, n);
-  if (!is.good() || n > kMaxEntries) return false;
-  s.histograms.resize(static_cast<std::size_t>(n));
-  for (auto& h : s.histograms) {
-    if (!read_sized_string(is, h.name)) return false;
-    std::uint8_t scale = 0;
-    read_pod(is, scale);
-    h.spec.scale = static_cast<telemetry::HistogramSpec::Scale>(scale);
-    read_pod(is, h.spec.lo);
-    read_pod(is, h.spec.hi);
-    read_pod(is, h.spec.linear_buckets);
-    std::uint64_t buckets = 0;
-    read_pod(is, buckets);
-    if (!is.good() || buckets > kMaxEntries) return false;
-    h.buckets.resize(static_cast<std::size_t>(buckets));
-    for (std::uint64_t& b : h.buckets) read_pod(is, b);
-    read_pod(is, h.count);
-    read_pod(is, h.sum);
-    read_pod(is, h.min);
-    read_pod(is, h.max);
-  }
-  return is.good();
 }
 
 // ---------------------------------------------------------------------------
@@ -221,53 +66,6 @@ bool unpack_metrics(std::istream& is, telemetry::MetricsSnapshot& s) {
   _exit(111); // only reachable if the signal was blocked
 }
 
-/// One dispatch = the job's whole remaining retry budget for *clean*
-/// failures, mirroring the thread pool's in-worker retry loop so the
-/// attempts column is bit-identical across isolation modes. Crashes are the
-/// supervisor's share of the budget: a redispatch resumes at attempt+1.
-JobResult run_job_attempts(const ProcessPoolRequest& req, std::size_t ji,
-                           int start_attempt,
-                           std::vector<std::unique_ptr<Workload>>& workloads,
-                           const std::string& setup_error) {
-  const CampaignJob& job = (*req.jobs)[ji];
-  JobResult out;
-  out.job = job;
-  const auto job_start = wall_now();
-  if (!setup_error.empty()) {
-    // Setup failures are environmental, not per-job: never retried.
-    out.attempts = start_attempt;
-    out.error = setup_error;
-  } else if (job.workload_index >= workloads.size()) {
-    out.attempts = start_attempt;
-    out.error = "workload factory returned fewer workloads than expected";
-  } else {
-    for (int attempt = start_attempt;; ++attempt) {
-      if (req.inject_crash && req.inject_crash->applies(ji, attempt)) {
-        crash_now(req.inject_crash->signal);
-      }
-      out.attempts = attempt;
-      out.ok = false;
-      out.error.clear();
-      try {
-        const ExperimentConfig& config =
-            req.spec->variants.empty()
-                ? ExperimentConfig{}
-                : req.spec->variants[job.variant_index].config;
-        const Simulation sim(config);
-        out.report = sim.run(*workloads[job.workload_index], job.spec);
-        out.ok = true;
-      } catch (const std::exception& e) {
-        out.error = e.what();
-      } catch (...) {
-        out.error = "unknown exception";
-      }
-      if (out.ok || attempt >= req.max_attempts) break;
-    }
-  }
-  out.wall_ms = wall_elapsed_ms(job_start);
-  return out;
-}
-
 [[noreturn]] void worker_main(const ProcessPoolRequest& req, int job_fd,
                               int res_fd) {
   // Private workload set, built once — exactly like a worker thread.
@@ -284,9 +82,9 @@ JobResult run_job_attempts(const ProcessPoolRequest& req, std::size_t ji,
 
   std::string payload;
   for (;;) {
-    if (!read_frame(job_fd, payload)) _exit(0); // EOF: campaign is done
+    if (!net::read_frame(job_fd, payload)) _exit(0); // EOF: campaign done
     std::istringstream in(payload);
-    JobDispatchFrame dispatch;
+    net::JobDispatchFrame dispatch;
     read_pod(in, dispatch);
     if (!in.good() || dispatch.job >= req.jobs->size() ||
         dispatch.start_attempt < 1) {
@@ -297,24 +95,24 @@ JobResult run_job_attempts(const ProcessPoolRequest& req, std::size_t ji,
     // worker now owns and arms the hard timeout from the job's true start.
     {
       std::ostringstream hb;
-      const EventFrameHeader started{kJobStarted, {}, dispatch.job};
+      const net::EventFrameHeader started{net::kJobStarted, {}, dispatch.job};
       write_pod(hb, started);
-      if (!write_frame(res_fd, hb.str())) _exit(3);
+      if (!net::write_frame(res_fd, hb.str())) _exit(3);
     }
 
-    const JobResult out =
-        run_job_attempts(req, static_cast<std::size_t>(dispatch.job),
-                         static_cast<int>(dispatch.start_attempt), workloads,
-                         setup_error);
+    const JobResult out = run_dispatched_job(
+        *req.spec, *req.jobs, static_cast<std::size_t>(dispatch.job),
+        static_cast<int>(dispatch.start_attempt), req.max_attempts,
+        req.inject_crash, workloads, setup_error);
 
     std::ostringstream done;
-    const EventFrameHeader done_hdr{kJobDone, {}, dispatch.job};
+    const net::EventFrameHeader done_hdr{net::kJobDone, {}, dispatch.job};
     write_pod(done, done_hdr);
     write_sized_string(done, serialize_job_result(out));
     const std::uint8_t has_metrics = req.want_metrics && out.ok ? 1 : 0;
     write_pod(done, has_metrics);
-    if (has_metrics != 0) pack_metrics(done, out.report.metrics);
-    if (!write_frame(res_fd, done.str())) _exit(3);
+    if (has_metrics != 0) net::pack_metrics_snapshot(done, out.report.metrics);
+    if (!net::write_frame(res_fd, done.str())) _exit(3);
   }
 }
 
@@ -329,10 +127,17 @@ struct QueueItem {
 };
 
 struct WorkerSlot {
+  enum class Kind {
+    kPipe,   ///< forked child, frames over a pipe pair
+    kSocket, ///< registered tmemo_workerd, frames over one TCP connection
+  };
+
+  Kind kind = Kind::kPipe;
   std::uint32_t id = 0; ///< stable slot number (timeline pid)
-  pid_t pid = -1;
+  pid_t pid = -1;       ///< kPipe only
   int job_fd = -1; ///< supervisor writes job frames here
-  int res_fd = -1; ///< supervisor reads response frames here (nonblocking)
+  int res_fd = -1; ///< supervisor reads response frames here (nonblocking;
+                   ///< == job_fd for socket workers)
   std::string buf; ///< unparsed response bytes
   bool live = false;
   bool busy = false;
@@ -343,6 +148,15 @@ struct WorkerSlot {
   bool deadline_armed = false;
   std::chrono::steady_clock::time_point deadline{};
   std::chrono::steady_clock::time_point job_start{};
+};
+
+/// A connection that has not yet passed the HelloFrame handshake: fully
+/// untrusted, capped at kMaxHandshakeFrameBytes per frame and at
+/// kHandshakeTimeoutMs of supervisor patience.
+struct PendingConn {
+  int fd = -1;
+  net::FrameBuffer frames{net::kMaxHandshakeFrameBytes};
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 /// Restores the previous SIGPIPE disposition on scope exit. The supervisor
@@ -371,10 +185,14 @@ class ProcessSupervisor {
   ProcessSupervisor(const ProcessPoolRequest& req,
                     std::vector<JobResult>& results)
       : req_(req), results_(results),
-        slots_(static_cast<std::size_t>(std::max(1, req.workers))) {
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      slots_[i].id = static_cast<std::uint32_t>(i);
+        pipe_slots_(static_cast<std::size_t>(std::max(0, req.workers))) {
+    for (std::size_t i = 0; i < pipe_slots_; ++i) {
+      WorkerSlot s;
+      s.kind = WorkerSlot::Kind::kPipe;
+      s.id = static_cast<std::uint32_t>(i);
+      slots_.push_back(s);
     }
+    next_slot_id_ = static_cast<std::uint32_t>(pipe_slots_);
     if (req_.want_timeline) {
       timeline_ = std::make_shared<telemetry::Timeline>();
     }
@@ -396,8 +214,10 @@ class ProcessSupervisor {
     out.stats = stats_;
     if (timeline_) {
       for (const WorkerSlot& s : slots_) {
-        timeline_->set_process_name(s.id,
-                                    "worker " + std::to_string(s.id));
+        timeline_->set_process_name(
+            s.id, (s.kind == WorkerSlot::Kind::kSocket ? "remote worker "
+                                                       : "worker ") +
+                      std::to_string(s.id));
       }
       out.timeline = std::move(timeline_);
     }
@@ -411,9 +231,11 @@ class ProcessSupervisor {
     return n;
   }
 
-  [[nodiscard]] std::size_t live_count() const {
+  [[nodiscard]] std::size_t live_pipe_count() const {
     std::size_t n = 0;
-    for (const WorkerSlot& s : slots_) n += s.live ? 1 : 0;
+    for (const WorkerSlot& s : slots_) {
+      n += s.kind == WorkerSlot::Kind::kPipe && s.live ? 1 : 0;
+    }
     return n;
   }
 
@@ -424,16 +246,17 @@ class ProcessSupervisor {
                                         std::move(args));
   }
 
-  /// Keeps live workers matched to remaining work; a fork after the
+  /// Keeps live pipe workers matched to remaining work; a fork after the
   /// initial wave is by definition a respawn and pays the bounded backoff
-  /// the crash streak has earned.
+  /// the crash streak has earned. Socket workers arrive on their own
+  /// schedule and are never spawned from here.
   void spawn_needed() {
-    const std::size_t want = std::min(
-        slots_.size(), queue_.size() + busy_count());
-    while (live_count() < want) {
+    const std::size_t want =
+        std::min(pipe_slots_, queue_.size() + busy_count());
+    while (live_pipe_count() < want) {
       WorkerSlot* slot = nullptr;
       for (WorkerSlot& s : slots_) {
-        if (!s.live) {
+        if (s.kind == WorkerSlot::Kind::kPipe && !s.live) {
           slot = &s;
           break;
         }
@@ -447,13 +270,25 @@ class ProcessSupervisor {
       }
       if (!spawn(*slot)) {
         ++spawn_failures_;
-        TM_REQUIRE(live_count() > 0 || spawn_failures_ < 100,
+        TM_REQUIRE(live_pipe_count() > 0 || has_remote_capacity() ||
+                       spawn_failures_ < 100,
                    "campaign worker pool: cannot fork any worker");
         return; // retry on the next loop iteration
       }
       spawn_failures_ = 0;
     }
     initial_wave_done_ = true;
+  }
+
+  /// True when remote workers can still carry the campaign even with zero
+  /// live pipe workers: a listener is accepting, or a socket worker is
+  /// already registered.
+  [[nodiscard]] bool has_remote_capacity() const {
+    if (req_.listener != nullptr && req_.listener->is_open()) return true;
+    for (const WorkerSlot& s : slots_) {
+      if (s.kind == WorkerSlot::Kind::kSocket && s.live) return true;
+    }
+    return false;
   }
 
   bool spawn(WorkerSlot& slot) {
@@ -474,15 +309,20 @@ class ProcessSupervisor {
       return false;
     }
     if (pid == 0) {
-      // Child: drop the supervisor's ends and every sibling's fds, or a
-      // crashed sibling's pipe EOF would be held open by this process.
+      // Child: drop the supervisor's ends and every sibling's fds — pipe
+      // or socket — or a crashed sibling's EOF would be held open by this
+      // process; the listener too, or the port would outlive the
+      // supervisor.
       ::close(job_pipe[1]);
       ::close(res_pipe[0]);
       for (const WorkerSlot& other : slots_) {
-        if (other.live) {
-          ::close(other.job_fd);
-          ::close(other.res_fd);
-        }
+        if (!other.live) continue;
+        ::close(other.job_fd);
+        if (other.res_fd != other.job_fd) ::close(other.res_fd);
+      }
+      for (const PendingConn& p : pending_) ::close(p.fd);
+      if (req_.listener != nullptr && req_.listener->is_open()) {
+        ::close(req_.listener->fd());
       }
       worker_main(req_, job_pipe[0], res_pipe[1]); // never returns
     }
@@ -523,7 +363,7 @@ class ProcessSupervisor {
       const QueueItem item = queue_.front();
       queue_.pop_front();
       std::ostringstream msg;
-      const JobDispatchFrame dispatch{
+      const net::JobDispatchFrame dispatch{
           static_cast<std::uint64_t>(item.job),
           static_cast<std::int32_t>(item.attempt), 0};
       write_pod(msg, dispatch);
@@ -537,43 +377,71 @@ class ProcessSupervisor {
       // lands, and setup must not eat the job's budget.
       s.deadline_armed = false;
       s.job_start = wall_now();
-      if (!write_frame(s.job_fd, msg.str())) {
-        // The worker died between jobs (EPIPE). Put the job back and reap.
+      if (!net::write_frame(s.job_fd, msg.str())) {
+        // The worker died between jobs (EPIPE/ECONNRESET). Put the job
+        // back and handle the death.
         s.busy = false;
         queue_.push_front(item);
-        reap(s);
+        if (s.kind == WorkerSlot::Kind::kPipe) {
+          reap(s);
+        } else {
+          disconnect(s, "remote worker disconnected (connection lost)");
+        }
       }
     }
   }
 
   void wait_and_process() {
     std::vector<pollfd> fds;
+    // Index into slots_ for worker entries; npos markers for the listener
+    // and pending-connection entries, resolved by position below.
     std::vector<std::size_t> fd_slot;
+    constexpr std::size_t kNotASlot = static_cast<std::size_t>(-1);
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       if (!slots_[i].live) continue;
       fds.push_back(pollfd{slots_[i].res_fd, POLLIN, 0});
       fd_slot.push_back(i);
     }
+    const std::size_t worker_entries = fds.size();
+    std::size_t listener_entry = kNotASlot;
+    if (req_.listener != nullptr && req_.listener->is_open()) {
+      listener_entry = fds.size();
+      fds.push_back(pollfd{req_.listener->fd(), POLLIN, 0});
+      fd_slot.push_back(kNotASlot);
+    }
+    const std::size_t pending_base = fds.size();
+    for (const PendingConn& p : pending_) {
+      fds.push_back(pollfd{p.fd, POLLIN, 0});
+      fd_slot.push_back(kNotASlot);
+    }
     if (fds.empty()) return;
 
     int timeout_ms = -1;
-    if (req_.job_timeout_ms > 0.0) {
+    const auto consider_deadline =
+        [&timeout_ms](std::chrono::steady_clock::time_point deadline,
+                      std::chrono::steady_clock::time_point now) {
+          const auto remaining =
+              std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                    now)
+                  .count();
+          const int ms =
+              remaining <= 0 ? 0
+                             : static_cast<int>(std::min<long long>(
+                                   static_cast<long long>(remaining) + 1,
+                                   60'000));
+          timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+        };
+    {
       const auto now = wall_now();
-      for (const WorkerSlot& s : slots_) {
-        if (!s.live || !s.busy || !s.deadline_armed || s.timeout_killed) {
-          continue;
+      if (req_.job_timeout_ms > 0.0) {
+        for (const WorkerSlot& s : slots_) {
+          if (!s.live || !s.busy || !s.deadline_armed || s.timeout_killed) {
+            continue;
+          }
+          consider_deadline(s.deadline, now);
         }
-        const auto remaining =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                s.deadline - now)
-                .count();
-        const int ms =
-            remaining <= 0 ? 0
-                           : static_cast<int>(std::min<long long>(
-                                 static_cast<long long>(remaining) + 1,
-                                 60'000));
-        timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
       }
+      for (const PendingConn& p : pending_) consider_deadline(p.deadline, now);
     }
 
     const int ready =
@@ -582,17 +450,150 @@ class ProcessSupervisor {
       TM_REQUIRE(false, "campaign worker pool: poll() failed");
     }
 
-    for (std::size_t k = 0; k < fds.size(); ++k) {
+    for (std::size_t k = 0; k < worker_entries; ++k) {
       WorkerSlot& s = slots_[fd_slot[k]];
       if (!s.live) continue; // reaped earlier in this pass
       if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       drain(s);
     }
+    if (listener_entry != kNotASlot &&
+        (fds[listener_entry].revents & (POLLIN | POLLERR)) != 0) {
+      accept_new_connections();
+    }
+    for (std::size_t k = pending_base; k < fds.size(); ++k) {
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      // Map the poll entry back to the pending connection by fd (the
+      // vector may have been reshuffled by earlier handshakes this pass).
+      for (std::size_t p = 0; p < pending_.size(); ++p) {
+        if (pending_[p].fd == fds[k].fd) {
+          drain_pending(p);
+          break;
+        }
+      }
+    }
+    enforce_handshake_deadlines();
     enforce_deadlines();
   }
 
+  void accept_new_connections() {
+    if (req_.listener == nullptr) return;
+    for (;;) {
+      const int fd = req_.listener->accept_one();
+      if (fd < 0) return;
+      PendingConn conn;
+      conn.fd = fd;
+      conn.deadline =
+          wall_now() + std::chrono::milliseconds(kHandshakeTimeoutMs);
+      pending_.push_back(std::move(conn));
+    }
+  }
+
+  /// Reads whatever the unregistered peer sent; a complete frame must be a
+  /// valid HelloFrame or the connection is rejected.
+  void drain_pending(std::size_t index) {
+    PendingConn& p = pending_[index];
+    bool broken = false;
+    char tmp[4096];
+    for (;;) {
+      const ssize_t r = ::read(p.fd, tmp, sizeof tmp);
+      if (r > 0) {
+        p.frames.append(tmp, static_cast<std::size_t>(r));
+        continue;
+      }
+      if (r == 0) {
+        broken = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      broken = true;
+      break;
+    }
+
+    std::string payload;
+    const net::FrameBuffer::Next next = p.frames.next(payload);
+    if (next == net::FrameBuffer::Next::kFrame) {
+      complete_handshake(index, payload);
+      return;
+    }
+    if (next == net::FrameBuffer::Next::kOversize || broken) {
+      reject_pending(index); // vanished or sent garbage before registering
+    }
+  }
+
+  /// Validates a HelloFrame, answers with a HelloAckFrame, and on success
+  /// promotes the connection to a socket worker slot.
+  void complete_handshake(std::size_t index, const std::string& payload) {
+    PendingConn& p = pending_[index];
+    net::HelloFrame hello;
+    net::HelloReject verdict = net::HelloReject::kAccepted;
+    if (!net::decode_hello(payload, hello)) {
+      verdict = net::HelloReject::kBadMagic;
+    } else if (hello.protocol != net::kProtocolVersion) {
+      verdict = net::HelloReject::kProtocolMismatch;
+    } else if (hello.campaign_digest != req_.campaign_digest) {
+      verdict = net::HelloReject::kCampaignMismatch;
+    } else if (hello.job_count !=
+               static_cast<std::uint64_t>(req_.jobs->size())) {
+      verdict = net::HelloReject::kJobCountMismatch;
+    }
+
+    net::HelloAckFrame ack;
+    ack.accepted = verdict == net::HelloReject::kAccepted ? 1 : 0;
+    ack.reason = static_cast<std::uint32_t>(verdict);
+    ack.max_attempts = static_cast<std::int32_t>(req_.max_attempts);
+    // Mirror the spec's telemetry switches bit-for-bit (not want_metrics,
+    // which is their OR): the workerd re-derives per-job RunSpecs from
+    // these, and a job that collects metrics it shouldn't would leak into
+    // the campaign-level merge.
+    ack.capabilities =
+        static_cast<std::uint16_t>(
+            (req_.spec->metrics ? net::kCapMetrics : 0) |
+            (req_.spec->timeline ? net::kCapTimeline : 0));
+    const bool acked =
+        net::write_frame(p.fd, net::encode_hello_ack(ack));
+
+    if (verdict != net::HelloReject::kAccepted || !acked) {
+      reject_pending(index);
+      return;
+    }
+
+    WorkerSlot slot;
+    slot.kind = WorkerSlot::Kind::kSocket;
+    slot.id = next_slot_id_++;
+    slot.job_fd = p.fd;
+    slot.res_fd = p.fd;
+    slot.buf = p.frames.take_buffered(); // pipelined post-handshake bytes
+    slot.live = true;
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+    ++stats_.remote_connects;
+    slots_.push_back(std::move(slot));
+    note("worker_connect", slots_.back(),
+         {{"capabilities", static_cast<std::uint64_t>(hello.capabilities)}});
+  }
+
+  /// Drops an unregistered connection (bad Hello, handshake timeout, or the
+  /// peer vanished) and counts the reject.
+  void reject_pending(std::size_t index) {
+    PendingConn& p = pending_[index];
+    close_fd(p.fd);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+    ++stats_.remote_rejects;
+    if (timeline_) {
+      const WorkerSlot ghost; // no slot was ever assigned
+      note("worker_reject", ghost, {});
+    }
+  }
+
+  void enforce_handshake_deadlines() {
+    const auto now = wall_now();
+    for (std::size_t i = pending_.size(); i-- > 0;) {
+      if (now >= pending_[i].deadline) reject_pending(i);
+    }
+  }
+
   /// Reads everything available from a worker, parses complete frames, and
-  /// reaps the worker on EOF.
+  /// handles worker death on EOF (reap for pipes, disconnect for sockets).
   void drain(WorkerSlot& s) {
     bool eof = false;
     char tmp[65536];
@@ -615,7 +616,7 @@ class ProcessSupervisor {
       if (s.buf.size() < sizeof(FrameHeader)) break;
       FrameHeader hdr;
       std::memcpy(&hdr, s.buf.data(), sizeof hdr);
-      if (hdr.len > kMaxFrameBytes) {
+      if (hdr.len > net::kMaxFrameBytes) {
         protocol_error(s);
         return;
       }
@@ -624,19 +625,23 @@ class ProcessSupervisor {
       s.buf.erase(0, sizeof hdr + hdr.len);
       handle_frame(s, payload);
     }
-    if (eof && s.live) reap(s);
+    if (eof && s.live) {
+      if (s.kind == WorkerSlot::Kind::kPipe) {
+        reap(s);
+      } else {
+        disconnect(s, "remote worker disconnected (connection lost)");
+      }
+    }
   }
 
   void handle_frame(WorkerSlot& s, const std::string& payload) {
-    std::istringstream in(payload);
-    EventFrameHeader hdr;
-    read_pod(in, hdr);
-    if (!in.good() || !s.busy ||
+    net::EventFrameHeader hdr;
+    if (!net::decode_event_header(payload, hdr) || !s.busy ||
         hdr.job != static_cast<std::uint64_t>(s.job)) {
       protocol_error(s);
       return;
     }
-    if (hdr.type == kJobStarted) {
+    if (hdr.type == net::kJobStarted) {
       s.heartbeat_seen = true;
       if (req_.job_timeout_ms > 0.0 && !s.timeout_killed) {
         // Re-arm from the job's true start: worker setup (workload
@@ -650,10 +655,6 @@ class ProcessSupervisor {
       }
       return;
     }
-    if (hdr.type != kJobDone) {
-      protocol_error(s);
-      return;
-    }
     if (s.timeout_killed) {
       // The kill already won: a result that raced the SIGKILL through the
       // pipe is discarded, exactly like the thread pool discards a run
@@ -661,6 +662,8 @@ class ProcessSupervisor {
       return;
     }
 
+    std::istringstream in(payload);
+    in.ignore(sizeof hdr);
     std::string row;
     std::uint8_t has_metrics = 0;
     JobResult res;
@@ -676,7 +679,7 @@ class ProcessSupervisor {
       parsed = in.good();
     }
     if (parsed && has_metrics != 0) {
-      parsed = unpack_metrics(in, res.report.metrics);
+      parsed = net::unpack_metrics_snapshot(in, res.report.metrics);
     }
     if (!parsed) {
       protocol_error(s);
@@ -699,14 +702,20 @@ class ProcessSupervisor {
   }
 
   /// A worker that breaks the framing contract is as good as crashed: kill
-  /// it and let the reap path classify the death.
+  /// it (pipe) or drop the connection (socket) and classify the death.
   void protocol_error(WorkerSlot& s) {
-    ::kill(s.pid, SIGKILL);
-    reap(s);
+    if (s.kind == WorkerSlot::Kind::kPipe) {
+      ::kill(s.pid, SIGKILL);
+      reap(s);
+    } else {
+      disconnect(s, "remote worker broke the frame protocol; "
+                    "connection dropped");
+    }
   }
 
-  /// Handles a worker's death: decode the wait status, then either record
-  /// the in-flight job's failure or re-dispatch it under the retry budget.
+  /// Handles a pipe worker's death: decode the wait status, then either
+  /// record the in-flight job's failure or re-dispatch it under the retry
+  /// budget.
   void reap(WorkerSlot& s) {
     ::close(s.job_fd);
     ::close(s.res_fd);
@@ -749,8 +758,40 @@ class ProcessSupervisor {
          {{"job", static_cast<std::uint64_t>(s.job)},
           {"attempt", static_cast<std::uint64_t>(s.attempt)},
           {"status", pack_status(status)}});
+    redispatch_or_finalize(s, res);
+  }
+
+  /// Handles a socket worker's loss: the same crash taxonomy as reap(),
+  /// minus the waitpid (the process is on another machine; all we know is
+  /// the connection state).
+  void disconnect(WorkerSlot& s, const char* cause) {
+    close_fd(s.job_fd);
+    s.job_fd = s.res_fd = -1;
+    s.live = false;
+    s.buf.clear();
+    ++stats_.remote_disconnects;
+    note("worker_disconnect", s,
+         {{"mid_job", static_cast<std::uint64_t>(s.busy ? 1 : 0)}});
+
+    if (!s.busy) return; // an idle workerd leaving the pool harms nothing
+    s.busy = false;
+    s.deadline_armed = false;
+
+    JobResult res;
+    res.job = (*req_.jobs)[s.job];
+    res.ok = false;
+    res.attempts = s.attempt;
+    res.wall_ms = wall_elapsed_ms(s.job_start);
+    ++stats_.crashes;
+    res.error = std::string(cause);
+    if (!s.heartbeat_seen) res.error += " before acknowledging the job";
+    redispatch_or_finalize(s, res);
+  }
+
+  /// The crash consumed one attempt; the redispatch resumes after it —
+  /// shared tail of reap() and disconnect().
+  void redispatch_or_finalize(WorkerSlot& s, const JobResult& res) {
     if (s.attempt < req_.max_attempts) {
-      // The crash consumed one attempt; the redispatch resumes after it.
       queue_.push_front({s.job, s.attempt + 1});
       ++stats_.redispatches;
       note("job_redispatch", s,
@@ -771,11 +812,30 @@ class ProcessSupervisor {
       if (now < s.deadline) continue;
       s.timeout_killed = true;
       ++stats_.timeout_kills;
-      ::kill(s.pid, SIGKILL);
       note("job_timeout_kill", s,
            {{"job", static_cast<std::uint64_t>(s.job)},
             {"attempt", static_cast<std::uint64_t>(s.attempt)}});
-      // EOF on the result pipe follows; reap() records the timeout.
+      if (s.kind == WorkerSlot::Kind::kPipe) {
+        ::kill(s.pid, SIGKILL);
+        // EOF on the result pipe follows; reap() records the timeout.
+      } else {
+        // No SIGKILL across machines: dropping the connection is the whole
+        // enforcement arsenal. Record the timeout verdict directly.
+        JobResult res;
+        res.job = (*req_.jobs)[s.job];
+        res.ok = false;
+        res.timed_out = true;
+        res.attempts = s.attempt;
+        res.wall_ms = wall_elapsed_ms(s.job_start);
+        res.error = "job exceeded " + format_ms(req_.job_timeout_ms) +
+                    " ms hard timeout (remote worker disconnected)";
+        close_fd(s.job_fd);
+        s.job_fd = s.res_fd = -1;
+        s.live = false;
+        s.busy = false;
+        s.buf.clear();
+        finalize(res);
+      }
     }
   }
 
@@ -785,17 +845,29 @@ class ProcessSupervisor {
   }
 
   void shutdown() {
-    // Closing the job pipe is the protocol's shutdown signal: idle workers
-    // read EOF and _exit(0).
+    // Closing the job pipe (or socket) is the protocol's shutdown signal:
+    // idle workers read EOF and exit cleanly.
     for (WorkerSlot& s : slots_) {
       if (!s.live) continue;
-      ::close(s.job_fd);
-      ::close(s.res_fd);
-      s.job_fd = s.res_fd = -1;
-      int status = 0;
-      while (::waitpid(s.pid, &status, 0) < 0 && errno == EINTR) {
+      if (s.kind == WorkerSlot::Kind::kPipe) {
+        ::close(s.job_fd);
+        ::close(s.res_fd);
+        s.job_fd = s.res_fd = -1;
+        int status = 0;
+        while (::waitpid(s.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+      } else {
+        close_fd(s.job_fd);
+        s.job_fd = s.res_fd = -1;
       }
       s.live = false;
+    }
+    for (const PendingConn& p : pending_) close_fd(p.fd);
+    pending_.clear();
+  }
+
+  static void close_fd(int fd) {
+    while (::close(fd) != 0 && errno == EINTR) {
     }
   }
 
@@ -843,17 +915,67 @@ class ProcessSupervisor {
 
   const ProcessPoolRequest& req_;
   std::vector<JobResult>& results_;
-  std::vector<WorkerSlot> slots_;
+  /// Fixed pipe slots first, socket slots appended as workers register.
+  /// A deque so slot references stay valid across the appends.
+  std::deque<WorkerSlot> slots_;
+  std::size_t pipe_slots_ = 0;   ///< fixed count of forked-worker slots
+  std::uint32_t next_slot_id_ = 0;
+  std::vector<PendingConn> pending_; ///< accepted, not yet registered
   std::deque<QueueItem> queue_;
   WorkerPoolStats stats_;
   std::shared_ptr<telemetry::Timeline> timeline_;
   std::uint64_t seq_ = 0;   ///< ordinal timeline timestamp
-  int crash_streak_ = 0;    ///< consecutive crashes since the last result
+  int crash_streak_ = 0;    ///< consecutive pipe crashes since a result
   int spawn_failures_ = 0;  ///< consecutive failed fork/pipe attempts
   bool initial_wave_done_ = false;
 };
 
 } // namespace
+
+JobResult run_dispatched_job(
+    const SweepSpec& spec, const std::vector<CampaignJob>& jobs,
+    std::size_t job_index, int start_attempt, int max_attempts,
+    const std::optional<inject::WorkerCrashInjection>& inject_crash,
+    std::vector<std::unique_ptr<Workload>>& workloads,
+    const std::string& setup_error) {
+  const CampaignJob& job = jobs[job_index];
+  JobResult out;
+  out.job = job;
+  const auto job_start = wall_now();
+  if (!setup_error.empty()) {
+    // Setup failures are environmental, not per-job: never retried.
+    out.attempts = start_attempt;
+    out.error = setup_error;
+  } else if (job.workload_index >= workloads.size()) {
+    out.attempts = start_attempt;
+    out.error = "workload factory returned fewer workloads than expected";
+  } else {
+    for (int attempt = start_attempt;; ++attempt) {
+      if (inject_crash && inject_crash->applies(job_index, attempt)) {
+        crash_now(inject_crash->signal);
+      }
+      out.attempts = attempt;
+      out.ok = false;
+      out.error.clear();
+      try {
+        const ExperimentConfig& config =
+            spec.variants.empty()
+                ? ExperimentConfig{}
+                : spec.variants[job.variant_index].config;
+        const Simulation sim(config);
+        out.report = sim.run(*workloads[job.workload_index], job.spec);
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      } catch (...) {
+        out.error = "unknown exception";
+      }
+      if (out.ok || attempt >= max_attempts) break;
+    }
+  }
+  out.wall_ms = wall_elapsed_ms(job_start);
+  return out;
+}
 
 ProcessPoolOutcome run_process_pool(const ProcessPoolRequest& req,
                                     std::vector<JobResult>& results) {
@@ -861,6 +983,10 @@ ProcessPoolOutcome run_process_pool(const ProcessPoolRequest& req,
              "process pool: spec and jobs are required");
   TM_REQUIRE(req.max_attempts >= 1,
              "process pool: max_attempts must be >= 1");
+  TM_REQUIRE(req.workers >= 1 ||
+                 (req.listener != nullptr && req.listener->is_open()),
+             "process pool: need at least one pipe worker or an open "
+             "listener for remote workers");
   TM_REQUIRE(results.size() == req.jobs->size(),
              "process pool: results must be pre-sized to the job list");
   for (const std::size_t ji : req.pending) {

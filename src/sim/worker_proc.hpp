@@ -1,11 +1,12 @@
-// Process-isolated campaign worker pool (docs/RESILIENCE.md).
+// Process- and remote-isolated campaign worker pool (docs/RESILIENCE.md,
+// docs/DISTRIBUTED.md).
 //
 // The thread pool in campaign.cpp is the fast default, but one SIGSEGV,
 // abort() or OOM-kill inside a job takes the whole campaign — and its
 // journal — with it. run_process_pool trades a fork() per worker for
 // containment: a supervisor (the calling thread; it stays single-threaded,
 // which keeps fork() safe under TSan) forks N workers, feeds them jobs over
-// a length-prefixed pipe protocol (common/pod_io.hpp), and turns every way
+// a length-prefixed frame protocol (net/frame.hpp), and turns every way
 // a worker can die — signal, nonzero exit, clean exit without replying,
 // blown hard timeout — into a decoded JobResult::error while every other
 // job completes. Crashed in-flight jobs are re-dispatched under the retry
@@ -15,30 +16,35 @@
 // each worker rebuilds spec/workloads from the inherited address space,
 // exactly like a worker thread would.
 //
-// Pipe protocol (all frames are u32 payload-length + payload, host order):
-//   supervisor -> worker : { u64 job_index, i32 attempt }
-//   worker -> supervisor : { u8 kJobStarted, u64 job_index }   heartbeat
-//   worker -> supervisor : { u8 kJobDone, u64 job_index,
-//                            sized_string journal_csv_row,
-//                            u8 has_metrics, [metrics snapshot] }
-// The result payload reuses the journal CSV row (serialize_job_result /
-// parse_job_result), which is round-trippable by construction; metrics
-// snapshots are uint64-only and cross the pipe exactly. Timelines do not
-// cross the pipe — a process-isolated timeline campaign records the
-// supervisor's own lifecycle events instead.
+// The same supervisor also runs the distributed fabric: given a
+// net::Listener it accepts tmemo_workerd TCP connections, validates each
+// peer's HelloFrame registration (protocol version, campaign digest, job
+// count), and then multiplexes socket workers and forked pipe workers in
+// the *same* poll() loop speaking the *same* dispatch/heartbeat/result
+// frames. A lost connection maps into the crash taxonomy exactly like a
+// dead forked worker: the in-flight job is re-dispatched at attempt+1
+// under the retry budget. Remote workers rebuild spec/workloads from their
+// own command line (tools/workerd/); the handshake digest catches drift.
 //
-// POSIX only (fork/pipe/poll/waitpid).
+// Frame grammar: net/frame.hpp. POSIX only (fork/pipe/poll/waitpid +
+// sockets).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/campaign.hpp"
 
 namespace tmemo {
+
+namespace net {
+class Listener; // net/transport.hpp
+}
 
 /// The non-restored slice of a campaign, handed to the process supervisor
 /// by CampaignEngine::run. `spec` and `jobs` must outlive the call.
@@ -48,24 +54,34 @@ struct ProcessPoolRequest {
   /// Indices into *jobs (== slots of the results vector) to execute, in
   /// dispatch order.
   std::vector<std::size_t> pending;
+  /// Forked pipe workers. May be 0 when `listener` is set (remote workers
+  /// carry the whole campaign); must be >= 1 otherwise.
   int workers = 1;
-  /// Retry budget per job; under process isolation it covers worker
-  /// crashes as well as clean in-worker failures.
+  /// Retry budget per job; under process/remote isolation it covers worker
+  /// crashes and connection losses as well as clean in-worker failures.
   int max_attempts = 1;
-  /// Hard per-job wall-clock budget in ms (0 disables): a worker that
-  /// outlives it is SIGKILLed and its job marked timed_out, never retried.
+  /// Hard per-job wall-clock budget in ms (0 disables): a pipe worker that
+  /// outlives it is SIGKILLed, a socket worker is disconnected; either way
+  /// the job is marked timed_out and never retried.
   double job_timeout_ms = 0.0;
   /// Deterministic crash injection (inject/worker_crash.hpp).
   std::optional<inject::WorkerCrashInjection> inject_crash;
   /// Workers ship a MetricsSnapshot back with every ok result.
   bool want_metrics = false;
   /// Record a supervisor lifecycle timeline (worker_spawn, worker_crash,
-  /// worker_respawn, job_redispatch, job_timeout_kill instants with
-  /// ordinal — not wall-clock — timestamps).
+  /// worker_respawn, job_redispatch, job_timeout_kill, worker_connect,
+  /// worker_disconnect, worker_reject instants with ordinal — not
+  /// wall-clock — timestamps).
   bool want_timeline = false;
   /// Called on the supervising thread with every finished JobResult in
   /// completion order; null disables journaling.
   std::function<void(const JobResult&)> journal_append;
+  /// Accepts remote tmemo_workerd registrations when set (not owned; must
+  /// outlive the call). Null = pipe workers only.
+  net::Listener* listener = nullptr;
+  /// Registration gate for remote workers: a HelloFrame whose
+  /// campaign_digest differs is rejected (campaign_wire_digest).
+  std::uint64_t campaign_digest = 0;
 };
 
 struct ProcessPoolOutcome {
@@ -74,12 +90,29 @@ struct ProcessPoolOutcome {
   std::shared_ptr<const telemetry::Timeline> timeline;
 };
 
-/// Runs req.pending under forked worker processes, writing each job's
-/// outcome into results[job_index] (slots not listed in req.pending are
-/// left untouched). Throws std::invalid_argument on a malformed request
-/// and std::runtime_error when the pool itself cannot be stood up (fork or
-/// pipe failure on the very first worker).
+/// Runs req.pending under forked worker processes and/or remote socket
+/// workers, writing each job's outcome into results[job_index] (slots not
+/// listed in req.pending are left untouched). Throws std::invalid_argument
+/// on a malformed request and std::runtime_error when the pool itself
+/// cannot be stood up (fork or pipe failure on the very first worker).
 ProcessPoolOutcome run_process_pool(const ProcessPoolRequest& req,
                                     std::vector<JobResult>& results);
+
+/// One dispatch = the job's whole remaining retry budget for *clean*
+/// failures, mirroring the thread pool's in-worker retry loop so the
+/// attempts column is bit-identical across isolation modes. Crashes are the
+/// supervisor's share of the budget: a redispatch resumes at attempt+1.
+/// Shared by the forked pipe worker (worker_proc.cpp) and the remote
+/// tmemo_workerd job loop (net/workerd.cpp). `workloads` is the worker's
+/// private workload set; a non-empty `setup_error` marks the environment
+/// broken (recorded, never retried). When `inject_crash` applies to
+/// (job_index, attempt) the *process* dies by the injected signal — callers
+/// are worker processes whose death the supervisor decodes.
+[[nodiscard]] JobResult run_dispatched_job(
+    const SweepSpec& spec, const std::vector<CampaignJob>& jobs,
+    std::size_t job_index, int start_attempt, int max_attempts,
+    const std::optional<inject::WorkerCrashInjection>& inject_crash,
+    std::vector<std::unique_ptr<Workload>>& workloads,
+    const std::string& setup_error);
 
 } // namespace tmemo

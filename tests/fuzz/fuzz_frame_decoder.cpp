@@ -1,0 +1,49 @@
+// libFuzzer harness for the campaign-fabric frame decoders (net/frame.hpp,
+// docs/DISTRIBUTED.md): a remote peer is fully untrusted until it passes
+// the registration handshake, so every decoder that touches its bytes must
+// reject garbage without crashing, hanging, or allocating proportionally to
+// a hostile length field. The input is fed through the supervisor's actual
+// ingestion path: FrameBuffer reassembly (with the pre-registration frame
+// ceiling) and then every payload decoder.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "net/frame.hpp"
+#include "telemetry/metrics.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  // Chunked reassembly exactly like the supervisor's poll() loop, under the
+  // handshake ceiling so a hostile length prefix is rejected pre-allocation.
+  tmemo::net::FrameBuffer frames(tmemo::net::kMaxHandshakeFrameBytes);
+  frames.append(bytes.data(), bytes.size());
+  std::string payload;
+  while (frames.next(payload) == tmemo::net::FrameBuffer::Next::kFrame) {
+    tmemo::net::HelloFrame hello;
+    (void)tmemo::net::decode_hello(payload, hello);
+    tmemo::net::HelloAckFrame ack;
+    (void)tmemo::net::decode_hello_ack(payload, ack);
+    tmemo::net::EventFrameHeader event;
+    (void)tmemo::net::decode_event_header(payload, event);
+  }
+
+  // The raw bytes as a single payload (no framing), hitting the size and
+  // magic validation paths directly.
+  tmemo::net::HelloFrame hello;
+  (void)tmemo::net::decode_hello(bytes, hello);
+  tmemo::net::HelloAckFrame ack;
+  (void)tmemo::net::decode_hello_ack(bytes, ack);
+  tmemo::net::EventFrameHeader event;
+  (void)tmemo::net::decode_event_header(bytes, event);
+
+  // The metrics unpacker guards its entry counts before resizing; any
+  // byte stream must come back false or as a bounded snapshot.
+  std::istringstream in(bytes);
+  tmemo::telemetry::MetricsSnapshot snapshot;
+  (void)tmemo::net::unpack_metrics_snapshot(in, snapshot);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Bad fixture for the R10 (syscall-discipline) socket extension: the rule
+// engages on src/net/ paths and covers the TCP fabric's syscalls. Expected:
+// 5 findings, 1 suppressed.
+#include <cerrno>
+
+extern "C" {
+int socket(int, int, int);
+int listen(int, int);
+int accept(int, void*, unsigned*);
+int connect(int, const void*, unsigned);
+long send(int, const void*, unsigned long, int);
+long recv(int, void*, unsigned long, int);
+int setsockopt(int, int, int, const void*, unsigned);
+}
+
+namespace fixture {
+
+// Discarded ::listen result: 1 finding.
+void bad_listen(int fd) {
+  ::listen(fd, 16);
+}
+
+// ::connect checked but the function never consults EINTR: 1 finding.
+int bad_connect(int fd, const void* addr, unsigned len) {
+  const int rc = ::connect(fd, addr, len);
+  return rc == 0 ? fd : -1;
+}
+
+// ::accept checked but no EINTR retry: 1 finding.
+int bad_accept(int fd) {
+  const int peer = ::accept(fd, nullptr, nullptr);
+  return peer;
+}
+
+// Discarded ::recv result, and no EINTR consultation: 2 findings.
+void bad_recv(int fd, char* buf, unsigned long n) {
+  ::recv(fd, buf, n, 0);
+}
+
+// Checked result, EINTR retry loop: clean.
+long good_send(int fd, const char* buf, unsigned long n) {
+  long rc = -1;
+  do {
+    rc = ::send(fd, buf, n, 0);
+  } while (rc == -1 && errno == EINTR);
+  return rc;
+}
+
+// Checked, not interruptible: clean.
+int good_socket() {
+  const int fd = ::socket(2, 1, 0);
+  return fd;
+}
+
+// Discarded ::setsockopt, suppressed on the line: 1 suppressed.
+void suppressed_setsockopt(int fd, int one) {
+  ::setsockopt(fd, 1, 2, &one, sizeof one);  // tmemo-lint: allow(syscall-discipline)
+}
+
+} // namespace fixture

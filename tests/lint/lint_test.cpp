@@ -127,6 +127,20 @@ TEST(LintRules, R10FlagsDiscardedAndEintrNakedSyscalls) {
   EXPECT_EQ(r.suppressed, 1u);
 }
 
+TEST(LintRules, R10CoversSocketSyscallsUnderSrcNet) {
+  const LintReport r = run_lint({fixture("bad/src/net/r10_socket.cpp")});
+  EXPECT_EQ(r.findings.size(), 5u);
+  EXPECT_EQ(count_rule(r, "syscall-discipline"), 5u);
+  EXPECT_EQ(r.suppressed, 1u);
+  // accept/connect/send/recv are interruptible: the EINTR diagnostic must
+  // fire for them, not just the discarded-result one.
+  bool saw_eintr_diag = false;
+  for (const Finding& f : r.findings) {
+    if (f.message.find("EINTR") != std::string::npos) saw_eintr_diag = true;
+  }
+  EXPECT_TRUE(saw_eintr_diag);
+}
+
 TEST(LintRules, R11FlagsCostlyProbeArguments) {
   const LintReport r = run_lint({fixture("bad/r11_probe.cpp")});
   EXPECT_EQ(r.findings.size(), 4u);
@@ -171,11 +185,12 @@ TEST(LintRules, IndexRuleGoodFixtureIsFullyClean) {
 TEST(LintRules, WholeBadTreeCountsAreStable) {
   const LintReport r = run_lint({fixture("bad")});
   // 5 (R1) + 3 (R2) + 2 (R3) + 1 (R4) + 4 (R5) + 4 (R6) + 3 (R7)
-  // + 2 (R8) + 6 (R9) + 4 (R10) + 4 (R11) + 4 (R12) + 4 (R13)
-  // + 2 (orphans).
-  EXPECT_EQ(r.findings.size(), 48u);
-  EXPECT_EQ(r.files_scanned, 14u);
-  EXPECT_EQ(r.suppressed, 5u);  // one justified suppression per R9-R13
+  // + 2 (R8) + 6 (R9) + 4 (R10 pipe) + 5 (R10 socket) + 4 (R11)
+  // + 4 (R12) + 4 (R13) + 2 (orphans).
+  EXPECT_EQ(r.findings.size(), 53u);
+  EXPECT_EQ(r.files_scanned, 15u);
+  // One justified suppression per R9-R13 plus the socket fixture's.
+  EXPECT_EQ(r.suppressed, 6u);
   // Findings come out sorted by (path, line, col, rule).
   EXPECT_TRUE(std::is_sorted(
       r.findings.begin(), r.findings.end(),
@@ -470,7 +485,7 @@ TEST(LintSarif, ReportValidatesAgainstTheSarif210Shape) {
   }
 
   const Json& results = run.at("results");
-  EXPECT_EQ(results.array.size(), 48u);  // matches WholeBadTreeCounts
+  EXPECT_EQ(results.array.size(), 53u);  // matches WholeBadTreeCounts
   for (const Json& res : results.array) {
     EXPECT_NE(std::find(rule_ids.begin(), rule_ids.end(),
                         res.at("ruleId").string),

@@ -1,0 +1,318 @@
+// Wire-codec tests for the campaign worker fabric (net/frame.hpp,
+// docs/DISTRIBUTED.md): handshake frame round-trips and their hostile-input
+// rejections, event-header validation, chunked FrameBuffer reassembly with
+// the pre-allocation length ceiling, blocking frame I/O over a real pipe,
+// and the exact MetricsSnapshot wire round-trip the bit-identity guarantee
+// rests on.
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "telemetry/metrics.hpp"
+
+namespace tmemo::net {
+namespace {
+
+// -- Handshake frames ---------------------------------------------------------
+
+TEST(HelloCodec, RoundTripsEveryField) {
+  HelloFrame hello;
+  hello.capabilities = kCapMetrics | kCapTimeline;
+  hello.campaign_digest = 0x1122334455667788ull;
+  hello.job_count = 42;
+  const std::string payload = encode_hello(hello);
+  EXPECT_EQ(payload.size(), sizeof(HelloFrame));
+
+  HelloFrame back;
+  ASSERT_TRUE(decode_hello(payload, back));
+  EXPECT_EQ(back.magic, kHelloMagic);
+  EXPECT_EQ(back.protocol, kProtocolVersion);
+  EXPECT_EQ(back.capabilities, kCapMetrics | kCapTimeline);
+  EXPECT_EQ(back.campaign_digest, 0x1122334455667788ull);
+  EXPECT_EQ(back.job_count, 42u);
+}
+
+TEST(HelloCodec, RejectsWrongSizeAndWrongMagic) {
+  HelloFrame hello;
+  std::string payload = encode_hello(hello);
+  HelloFrame back;
+  EXPECT_FALSE(decode_hello(payload.substr(0, payload.size() - 1), back));
+  EXPECT_FALSE(decode_hello(payload + "x", back));
+  EXPECT_FALSE(decode_hello(std::string(), back));
+
+  // A byte-swapped magic is what a foreign-endianness peer would present.
+  payload[0] = 'X';
+  EXPECT_FALSE(decode_hello(payload, back));
+}
+
+TEST(HelloAckCodec, RoundTripsVerdictAndSessionParameters) {
+  HelloAckFrame ack;
+  ack.accepted = 1;
+  ack.reason = static_cast<std::uint32_t>(HelloReject::kAccepted);
+  ack.max_attempts = 7;
+  ack.capabilities = kCapTimeline;
+  const std::string payload = encode_hello_ack(ack);
+  EXPECT_EQ(payload.size(), sizeof(HelloAckFrame));
+
+  HelloAckFrame back;
+  ASSERT_TRUE(decode_hello_ack(payload, back));
+  EXPECT_EQ(back.accepted, 1);
+  EXPECT_EQ(back.max_attempts, 7);
+  EXPECT_EQ(back.capabilities, kCapTimeline);
+}
+
+TEST(HelloAckCodec, RejectsWrongSizeAndWrongMagic) {
+  HelloAckFrame ack;
+  std::string payload = encode_hello_ack(ack);
+  HelloAckFrame back;
+  EXPECT_FALSE(decode_hello_ack(payload.substr(1), back));
+  payload[0] = '\0';
+  EXPECT_FALSE(decode_hello_ack(payload, back));
+}
+
+TEST(HelloReject, EveryReasonHasAName) {
+  EXPECT_EQ(hello_reject_name(HelloReject::kAccepted), "accepted");
+  for (const HelloReject r :
+       {HelloReject::kBadMagic, HelloReject::kProtocolMismatch,
+        HelloReject::kCampaignMismatch, HelloReject::kJobCountMismatch}) {
+    EXPECT_FALSE(hello_reject_name(r).empty());
+    EXPECT_NE(hello_reject_name(r), "accepted");
+  }
+}
+
+// -- Event frames -------------------------------------------------------------
+
+std::string event_payload(std::uint8_t type, std::uint64_t job) {
+  EventFrameHeader hdr;
+  hdr.type = type;
+  hdr.job = job;
+  std::string payload(sizeof hdr, '\0');
+  std::memcpy(payload.data(), &hdr, sizeof hdr);
+  return payload;
+}
+
+TEST(EventCodec, AcceptsKnownTypesAndCarriesJobIndex) {
+  EventFrameHeader out;
+  ASSERT_TRUE(decode_event_header(event_payload(kJobStarted, 5), out));
+  EXPECT_EQ(out.type, kJobStarted);
+  EXPECT_EQ(out.job, 5u);
+  ASSERT_TRUE(decode_event_header(event_payload(kJobDone, 11), out));
+  EXPECT_EQ(out.type, kJobDone);
+}
+
+TEST(EventCodec, RejectsUnknownTypeAndShortPayload) {
+  EventFrameHeader out;
+  EXPECT_FALSE(decode_event_header(event_payload(0, 5), out));
+  EXPECT_FALSE(decode_event_header(event_payload(kEventTypeMax + 1, 5), out));
+  EXPECT_FALSE(decode_event_header(event_payload(0xff, 5), out));
+  EXPECT_FALSE(decode_event_header(
+      event_payload(kJobDone, 5).substr(0, sizeof(EventFrameHeader) - 1),
+      out));
+  EXPECT_FALSE(decode_event_header(std::string(), out));
+}
+
+TEST(EventCodec, AcceptsTrailingResultPayload) {
+  // A kJobDone frame carries the serialized result after the fixed header;
+  // the header decode must not reject the longer payload.
+  EventFrameHeader out;
+  ASSERT_TRUE(
+      decode_event_header(event_payload(kJobDone, 3) + "row,data,1\n", out));
+  EXPECT_EQ(out.job, 3u);
+}
+
+// -- FrameBuffer reassembly ---------------------------------------------------
+
+std::string with_length_prefix(const std::string& payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string framed(sizeof len, '\0');
+  std::memcpy(framed.data(), &len, sizeof len);
+  return framed + payload;
+}
+
+TEST(FrameBuffer, ReassemblesFramesFedOneByteAtATime) {
+  const std::string wire =
+      with_length_prefix("alpha") + with_length_prefix("") +
+      with_length_prefix(std::string(1000, 'z'));
+  FrameBuffer buf;
+  std::vector<std::string> frames;
+  std::string payload;
+  for (const char c : wire) {
+    buf.append(&c, 1);
+    while (buf.next(payload) == FrameBuffer::Next::kFrame) {
+      frames.push_back(payload);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], "alpha");
+  EXPECT_EQ(frames[1], "");
+  EXPECT_EQ(frames[2], std::string(1000, 'z'));
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(FrameBuffer, ExtractsMultipleFramesFromOneAppend) {
+  const std::string wire =
+      with_length_prefix("one") + with_length_prefix("two");
+  FrameBuffer buf;
+  buf.append(wire.data(), wire.size());
+  std::string payload;
+  ASSERT_EQ(buf.next(payload), FrameBuffer::Next::kFrame);
+  EXPECT_EQ(payload, "one");
+  ASSERT_EQ(buf.next(payload), FrameBuffer::Next::kFrame);
+  EXPECT_EQ(payload, "two");
+  EXPECT_EQ(buf.next(payload), FrameBuffer::Next::kNeedMore);
+}
+
+TEST(FrameBuffer, ReportsNeedMoreForPartialHeaderAndPartialPayload) {
+  FrameBuffer buf;
+  std::string payload;
+  const std::string wire = with_length_prefix("payload");
+  buf.append(wire.data(), 2); // half a length prefix
+  EXPECT_EQ(buf.next(payload), FrameBuffer::Next::kNeedMore);
+  buf.append(wire.data() + 2, 4); // header + 2 payload bytes
+  EXPECT_EQ(buf.next(payload), FrameBuffer::Next::kNeedMore);
+  buf.append(wire.data() + 6, wire.size() - 6);
+  ASSERT_EQ(buf.next(payload), FrameBuffer::Next::kFrame);
+  EXPECT_EQ(payload, "payload");
+}
+
+TEST(FrameBuffer, RejectsOversizedLengthBeforeThePayloadArrives) {
+  // Four hostile bytes declaring a huge frame must be rejected immediately
+  // — the ceiling is checked before any payload is buffered or allocated.
+  FrameBuffer buf(/*max_frame_bytes=*/64);
+  const std::uint32_t huge = 65;
+  std::string prefix(sizeof huge, '\0');
+  std::memcpy(prefix.data(), &huge, sizeof huge);
+  buf.append(prefix.data(), prefix.size());
+  std::string payload;
+  EXPECT_EQ(buf.next(payload), FrameBuffer::Next::kOversize);
+}
+
+TEST(FrameBuffer, TakeBufferedSurrendersPipelinedBytes) {
+  // The supervisor promotes a peer after its handshake frame and moves any
+  // pipelined bytes into the worker slot; nothing may be lost in the move.
+  FrameBuffer buf;
+  const std::string wire =
+      with_length_prefix("hello") + with_length_prefix("pipelined");
+  buf.append(wire.data(), wire.size());
+  std::string payload;
+  ASSERT_EQ(buf.next(payload), FrameBuffer::Next::kFrame);
+  EXPECT_EQ(payload, "hello");
+  const std::string rest = buf.take_buffered();
+  EXPECT_EQ(rest, with_length_prefix("pipelined"));
+  EXPECT_TRUE(buf.empty());
+}
+
+// -- Blocking frame I/O over a pipe -------------------------------------------
+
+struct PipePair {
+  int read_fd = -1;
+  int write_fd = -1;
+  PipePair() {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) == 0) {
+      read_fd = fds[0];
+      write_fd = fds[1];
+    }
+  }
+  ~PipePair() {
+    if (read_fd >= 0) ::close(read_fd);
+    if (write_fd >= 0) ::close(write_fd);
+  }
+};
+
+TEST(FrameIo, WriteFrameReadFrameRoundTrip) {
+  PipePair p;
+  ASSERT_GE(p.read_fd, 0);
+  ASSERT_TRUE(write_frame(p.write_fd, "payload bytes"));
+  std::string payload;
+  ASSERT_TRUE(read_frame(p.read_fd, payload));
+  EXPECT_EQ(payload, "payload bytes");
+}
+
+TEST(FrameIo, ReadFrameHonorsThePerSessionCeiling) {
+  // A pre-registration peer gets kMaxHandshakeFrameBytes, far below the
+  // global kMaxFrameBytes: a legitimate frame that is merely bigger than
+  // the session allows must be refused without being read.
+  PipePair p;
+  ASSERT_GE(p.read_fd, 0);
+  ASSERT_TRUE(write_frame(p.write_fd, std::string(100, 'x')));
+  std::string payload;
+  EXPECT_FALSE(read_frame(p.read_fd, payload, /*max_bytes=*/64));
+}
+
+TEST(FrameIo, ReadFrameReportsEofAsFailure) {
+  PipePair p;
+  ASSERT_GE(p.read_fd, 0);
+  ::close(p.write_fd);
+  p.write_fd = -1;
+  std::string payload;
+  EXPECT_FALSE(read_frame(p.read_fd, payload));
+}
+
+// -- MetricsSnapshot wire format ----------------------------------------------
+
+TEST(MetricsWire, SnapshotRoundTripsExactly) {
+  telemetry::MetricsSnapshot s;
+  s.counters.push_back({"memo.hits", 123456789ull});
+  s.counters.push_back({"memo.misses", 0ull});
+  s.gauges.push_back({"config.lut_depth", 4ull});
+  telemetry::MetricsSnapshot::HistogramValue h;
+  h.name = "timing.slack";
+  h.spec = telemetry::HistogramSpec::log2();
+  h.buckets.assign(h.spec.bucket_count(), 0);
+  h.buckets[3] = 7;
+  h.count = 7;
+  h.sum = 35;
+  h.min = 4;
+  h.max = 6;
+  s.histograms.push_back(h);
+
+  std::ostringstream os;
+  pack_metrics_snapshot(os, s);
+  std::istringstream is(os.str());
+  telemetry::MetricsSnapshot back;
+  ASSERT_TRUE(unpack_metrics_snapshot(is, back));
+
+  ASSERT_EQ(back.counters.size(), 2u);
+  EXPECT_EQ(back.counters[0].name, "memo.hits");
+  EXPECT_EQ(back.counters[0].value, 123456789ull);
+  ASSERT_EQ(back.gauges.size(), 1u);
+  EXPECT_EQ(back.gauges[0].value, 4ull);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  EXPECT_EQ(back.histograms[0].spec, h.spec);
+  EXPECT_EQ(back.histograms[0].buckets, h.buckets);
+  EXPECT_EQ(back.histograms[0].sum, 35ull);
+  EXPECT_EQ(back.histograms[0].min, 4ull);
+  EXPECT_EQ(back.histograms[0].max, 6ull);
+}
+
+TEST(MetricsWire, UnpackRejectsTruncatedInput) {
+  telemetry::MetricsSnapshot s;
+  s.counters.push_back({"a", 1ull});
+  std::ostringstream os;
+  pack_metrics_snapshot(os, s);
+  const std::string wire = os.str();
+  for (const std::size_t cut : {std::size_t{1}, wire.size() / 2}) {
+    std::istringstream is(wire.substr(0, wire.size() - cut));
+    telemetry::MetricsSnapshot back;
+    EXPECT_FALSE(unpack_metrics_snapshot(is, back)) << "cut=" << cut;
+  }
+}
+
+TEST(MetricsWire, UnpackRejectsHostileEntryCount) {
+  // A corrupt count must fail fast instead of driving a giant allocation.
+  std::string wire(sizeof(std::uint64_t), '\0');
+  const std::uint64_t hostile = ~0ull;
+  std::memcpy(wire.data(), &hostile, sizeof hostile);
+  std::istringstream is(wire);
+  telemetry::MetricsSnapshot back;
+  EXPECT_FALSE(unpack_metrics_snapshot(is, back));
+}
+
+} // namespace
+} // namespace tmemo::net

@@ -1,0 +1,210 @@
+// Sharded-journal merge tests (sim/journal_merge.hpp, docs/DISTRIBUTED.md):
+// the duplicate-collapse rules (ok beats failed; equal ok-ness → the
+// later-listed shard wins), zero-byte and torn-tail shard tolerance, the
+// fingerprint-mismatch hard error naming both files, and that the merged
+// output is an ordinary journal-v2 file ordered by job index.
+#include "sim/journal_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hpp"
+
+namespace tmemo {
+namespace {
+
+constexpr const char* kFingerprint = "v1-cafef00dcafef00d";
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "tmemo_merge_" + name;
+}
+
+JobResult make_result(std::size_t index, bool ok,
+                      const std::string& error = "") {
+  JobResult r;
+  r.job.index = index;
+  r.job.kernel = "haar";
+  r.ok = ok;
+  r.error = error;
+  r.attempts = ok ? 1 : 3;
+  return r;
+}
+
+/// Writes one journal-v2 shard through the production writer (same code
+/// path tmemo_workerd uses for its local shard).
+std::string write_shard(const std::string& name,
+                        const std::vector<JobResult>& entries,
+                        const std::string& fingerprint = kFingerprint) {
+  const std::string path = temp_path(name);
+  std::remove(path.c_str());
+  CampaignJournalWriter writer;
+  writer.open(path, fingerprint);
+  for (const JobResult& e : entries) writer.append(e);
+  writer.close();
+  return path;
+}
+
+CampaignJournal read_journal(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  return read_campaign_journal(in);
+}
+
+TEST(JournalMerge, DisjointShardsConcatenateOrderedByJobIndex) {
+  // Shard completion order must not leak into the merged journal: the
+  // later-listed shard holds the *earlier* jobs here.
+  const std::string a =
+      write_shard("disjoint_a.journal", {make_result(2, true),
+                                         make_result(3, true)});
+  const std::string b =
+      write_shard("disjoint_b.journal", {make_result(1, true),
+                                         make_result(0, true)});
+  const std::string out = temp_path("disjoint_out.journal");
+
+  const JournalMergeReport report = merge_campaign_journals({a, b}, out);
+  EXPECT_EQ(report.fingerprint, kFingerprint);
+  EXPECT_EQ(report.shards_read, 2u);
+  EXPECT_EQ(report.entries_in, 4u);
+  EXPECT_EQ(report.entries_out, 4u);
+  EXPECT_EQ(report.duplicates_dropped, 0u);
+
+  const CampaignJournal merged = read_journal(out);
+  EXPECT_EQ(merged.fingerprint, kFingerprint);
+  ASSERT_EQ(merged.entries.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(merged.entries[i].job.index, i);
+  }
+}
+
+TEST(JournalMerge, OkEntryBeatsFailedRegardlessOfShardOrder) {
+  // The redispatch case: job 1 crashed one worker (failed in its shard) and
+  // succeeded on another. The ok record must win whichever shard is listed
+  // first.
+  const std::string failed = write_shard(
+      "dup_failed.journal",
+      {make_result(0, true), make_result(1, false, "SIGSEGV")});
+  const std::string ok =
+      write_shard("dup_ok.journal", {make_result(1, true)});
+  for (const auto& order :
+       {std::vector<std::string>{failed, ok},
+        std::vector<std::string>{ok, failed}}) {
+    const std::string out = temp_path("dup_out.journal");
+    const JournalMergeReport report = merge_campaign_journals(order, out);
+    EXPECT_EQ(report.entries_in, 3u);
+    EXPECT_EQ(report.entries_out, 2u);
+    EXPECT_EQ(report.duplicates_dropped, 1u);
+    const CampaignJournal merged = read_journal(out);
+    ASSERT_EQ(merged.entries.size(), 2u);
+    EXPECT_TRUE(merged.entries[1].ok)
+        << "listed first: " << order.front();
+    EXPECT_TRUE(merged.entries[1].error.empty());
+  }
+}
+
+TEST(JournalMerge, EqualOknessLaterListedShardWins) {
+  const std::string first = write_shard(
+      "tie_first.journal", {make_result(0, false, "from first shard")});
+  const std::string second = write_shard(
+      "tie_second.journal", {make_result(0, false, "from second shard")});
+  const std::string out = temp_path("tie_out.journal");
+  const JournalMergeReport report =
+      merge_campaign_journals({first, second}, out);
+  EXPECT_EQ(report.duplicates_dropped, 1u);
+  const CampaignJournal merged = read_journal(out);
+  ASSERT_EQ(merged.entries.size(), 1u);
+  EXPECT_EQ(merged.entries[0].error, "from second shard");
+}
+
+TEST(JournalMerge, ZeroByteShardIsSkippedAndCounted) {
+  // A workerd SIGKILLed before its first append leaves a zero-byte shard;
+  // that must not fail the merge of everyone else's work.
+  const std::string good =
+      write_shard("empty_good.journal", {make_result(0, true)});
+  const std::string empty = temp_path("empty_shard.journal");
+  std::ofstream(empty, std::ios::trunc).flush();
+
+  const std::string out = temp_path("empty_out.journal");
+  const JournalMergeReport report =
+      merge_campaign_journals({good, empty}, out);
+  EXPECT_EQ(report.shards_read, 1u);
+  EXPECT_EQ(report.empty_shards, 1u);
+  EXPECT_EQ(report.entries_out, 1u);
+}
+
+TEST(JournalMerge, TornTrailingRecordIsDroppedAndCounted) {
+  // A workerd SIGKILLed mid-append leaves a partial final line; the merge
+  // keeps every whole record and counts the torn one.
+  const std::string path = write_shard(
+      "torn.journal", {make_result(0, true), make_result(1, true)});
+  {
+    std::ofstream app(path, std::ios::app);
+    app << "2,haar,partial-record-cut-off";
+  }
+  const std::string out = temp_path("torn_out.journal");
+  const JournalMergeReport report = merge_campaign_journals({path}, out);
+  EXPECT_EQ(report.entries_in, 2u);
+  EXPECT_EQ(report.entries_out, 2u);
+  EXPECT_GE(report.malformed_rows, 1u);
+  const CampaignJournal merged = read_journal(out);
+  ASSERT_EQ(merged.entries.size(), 2u);
+}
+
+TEST(JournalMerge, FingerprintMismatchIsAHardErrorNamingBothFiles) {
+  // Merging two different campaigns would poison a future --resume
+  // silently; the diagnostic must name both files so the operator can tell
+  // which shard wandered in.
+  const std::string a =
+      write_shard("fp_a.journal", {make_result(0, true)}, "v1-aaaaaaaa");
+  const std::string b =
+      write_shard("fp_b.journal", {make_result(1, true)}, "v1-bbbbbbbb");
+  const std::string out = temp_path("fp_out.journal");
+  try {
+    (void)merge_campaign_journals({a, b}, out);
+    FAIL() << "expected a fingerprint-mismatch error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(a), std::string::npos) << what;
+    EXPECT_NE(what.find(b), std::string::npos) << what;
+  }
+}
+
+TEST(JournalMerge, AllShardsEmptyIsAnError) {
+  // With no parsed header there is no fingerprint to stamp on the output.
+  const std::string a = temp_path("allempty_a.journal");
+  const std::string b = temp_path("allempty_b.journal");
+  std::ofstream(a, std::ios::trunc).flush();
+  std::ofstream(b, std::ios::trunc).flush();
+  EXPECT_THROW(
+      (void)merge_campaign_journals({a, b},
+                                    temp_path("allempty_out.journal")),
+      std::runtime_error);
+}
+
+TEST(JournalMerge, UnreadableShardIsAnErrorNamingThePath) {
+  const std::string missing = temp_path("does_not_exist.journal");
+  std::remove(missing.c_str());
+  try {
+    (void)merge_campaign_journals({missing},
+                                  temp_path("unreadable_out.journal"));
+    FAIL() << "expected an unreadable-shard error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JournalMerge, NotAJournalFileIsAnError) {
+  const std::string bogus = temp_path("bogus.journal");
+  std::ofstream(bogus, std::ios::trunc) << "this is not a journal\n";
+  EXPECT_THROW((void)merge_campaign_journals(
+                   {bogus}, temp_path("bogus_out.journal")),
+               std::runtime_error);
+}
+
+} // namespace
+} // namespace tmemo

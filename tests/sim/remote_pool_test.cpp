@@ -1,0 +1,273 @@
+// Loopback end-to-end tests of the distributed campaign fabric
+// (docs/DISTRIBUTED.md): the supervisor binds an OS-chosen port via
+// CampaignRunOptions::listener and fork()ed children run net::run_workerd
+// directly — they inherit the test's WorkloadFactory through the address
+// space, exactly like pipe workers. Covers the ISSUE acceptance criteria:
+// a remote campaign is bit-identical to thread isolation, a worker killed
+// mid-job maps into the crash taxonomy and its job is redispatched, a
+// mismatched registration is rejected by name, local forked workers share
+// the supervisor loop, and metrics cross the TCP fabric exactly.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "inject/worker_crash.hpp"
+#include "net/transport.hpp"
+#include "net/workerd.hpp"
+#include "sim/campaign.hpp"
+#include "workloads/haar.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmemo {
+namespace {
+
+SweepSpec haar_spec(int points = 3) {
+  SweepSpec spec;
+  spec.factory = [] {
+    std::vector<std::unique_ptr<Workload>> v;
+    v.push_back(std::make_unique<HaarWorkload>(128));
+    return v;
+  };
+  spec.axis = SweepAxis::error_rate(0.0, 0.04, points);
+  return spec;
+}
+
+/// CSV with the wall-clock column (and optionally the attempts column, for
+/// crash-redispatch runs) blanked, for bit-identity comparisons.
+std::string comparable_csv(const CampaignResult& res,
+                           bool blank_attempts = false) {
+  std::ostringstream raw;
+  write_campaign_csv(res, raw);
+  std::istringstream in(raw.str());
+  std::ostringstream out;
+  std::vector<std::string> fields;
+  while (read_csv_record(in, fields)) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (fields.size() > 19 && i == 19) fields[i].clear(); // wall_ms
+      if (blank_attempts && fields.size() > 18 && i == 18) {
+        fields[i].clear(); // attempts
+      }
+      out << (i == 0 ? "" : ",") << fields[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+/// Child exit codes, so waitpid can distinguish the workerd outcomes.
+enum : int { kWorkerOk = 0, kWorkerFailed = 1, kWorkerRejected = 3 };
+
+/// Forks a child that serves `spec` against the loopback supervisor and
+/// exits with one of the codes above (or dies by an injected signal).
+pid_t fork_workerd(const SweepSpec& spec, std::uint16_t port,
+                   const net::WorkerdOptions& extra = {}) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  net::WorkerdOptions options = extra;
+  options.connect = {"127.0.0.1", port};
+  const net::WorkerdOutcome outcome = net::run_workerd(spec, options);
+  if (outcome.ok) ::_exit(kWorkerOk);
+  ::_exit(outcome.error.find("rejected") != std::string::npos
+              ? kWorkerRejected
+              : kWorkerFailed);
+}
+
+int wait_exit_code(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+CampaignRunOptions remote_options(net::Listener& listener) {
+  CampaignRunOptions options;
+  options.isolation = IsolationMode::kRemote;
+  options.listener = &listener;
+  return options;
+}
+
+// -- Bit-identity across the TCP fabric (ISSUE acceptance) --------------------
+
+TEST(RemoteIsolation, GridIsBitIdenticalToThreadIsolation) {
+  const SweepSpec spec = haar_spec();
+  const CampaignResult threads =
+      CampaignEngine(2).run(spec, CampaignRunOptions{});
+
+  net::Listener listener;
+  listener.open({"127.0.0.1", 0});
+  const pid_t a = fork_workerd(spec, listener.bound_port());
+  const pid_t b = fork_workerd(spec, listener.bound_port());
+  const CampaignResult remote =
+      CampaignEngine(2).run(spec, remote_options(listener));
+
+  EXPECT_EQ(wait_exit_code(a), kWorkerOk);
+  EXPECT_EQ(wait_exit_code(b), kWorkerOk);
+  ASSERT_EQ(remote.jobs.size(), threads.jobs.size());
+  EXPECT_TRUE(remote.all_ok());
+  EXPECT_EQ(comparable_csv(remote), comparable_csv(threads));
+  EXPECT_EQ(remote.worker_stats.remote_connects, 2u);
+  EXPECT_EQ(remote.worker_stats.remote_rejects, 0u);
+  EXPECT_EQ(remote.worker_stats.crashes, 0u);
+}
+
+// -- Crash taxonomy over TCP --------------------------------------------------
+
+TEST(RemoteIsolation, WorkerKilledMidJobIsRedispatchedElsewhere) {
+  const SweepSpec spec = haar_spec(5);
+  const CampaignResult threads =
+      CampaignEngine(2).run(spec, CampaignRunOptions{});
+
+  net::Listener listener;
+  listener.open({"127.0.0.1", 0});
+  // Both workers carry the same injection: whichever is dispatched job 1
+  // first dies by SIGSEGV (attempt 1 only), the lost connection must become
+  // a crash + redispatch, and the survivor completes the campaign alone —
+  // the redispatch arrives as attempt 2, which the injection spares.
+  net::WorkerdOptions crashing;
+  crashing.inject_crash = inject::WorkerCrashInjection::parse("1:segv:1");
+  ASSERT_TRUE(crashing.inject_crash.has_value());
+  const pid_t a = fork_workerd(spec, listener.bound_port(), crashing);
+  const pid_t b = fork_workerd(spec, listener.bound_port(), crashing);
+
+  CampaignRunOptions options = remote_options(listener);
+  options.max_attempts = 2;
+  const CampaignResult remote = CampaignEngine(2).run(spec, options);
+
+  const int code_a = wait_exit_code(a);
+  const int code_b = wait_exit_code(b);
+  EXPECT_TRUE((code_a == 128 + SIGSEGV && code_b == kWorkerOk) ||
+              (code_a == kWorkerOk && code_b == 128 + SIGSEGV))
+      << "exit codes: " << code_a << ", " << code_b;
+  EXPECT_TRUE(remote.all_ok());
+  EXPECT_GE(remote.worker_stats.crashes, 1u);
+  EXPECT_GE(remote.worker_stats.redispatches, 1u);
+  EXPECT_GE(remote.worker_stats.remote_disconnects, 1u);
+  // Attempts differ (the crash consumed one), wall time always does;
+  // every measured field must still match thread isolation exactly.
+  EXPECT_EQ(comparable_csv(remote, /*blank_attempts=*/true),
+            comparable_csv(threads, /*blank_attempts=*/true));
+}
+
+// -- Registration handshake ---------------------------------------------------
+
+TEST(RemoteIsolation, MismatchedCampaignIsRejectedAtRegistration) {
+  const SweepSpec spec = haar_spec();
+  // Same job count, different grid: only the campaign digest can tell the
+  // impostor apart.
+  SweepSpec drifted = haar_spec();
+  drifted.axis = SweepAxis::error_rate(0.0, 0.05, 3);
+
+  net::Listener listener;
+  listener.open({"127.0.0.1", 0});
+  const pid_t impostor = fork_workerd(drifted, listener.bound_port());
+  const pid_t good = fork_workerd(spec, listener.bound_port());
+  const CampaignResult remote =
+      CampaignEngine(2).run(spec, remote_options(listener));
+
+  EXPECT_EQ(wait_exit_code(impostor), kWorkerRejected);
+  EXPECT_EQ(wait_exit_code(good), kWorkerOk);
+  EXPECT_TRUE(remote.all_ok());
+  EXPECT_EQ(remote.worker_stats.remote_rejects, 1u);
+  EXPECT_EQ(remote.worker_stats.remote_connects, 1u);
+}
+
+// -- Mixed local + remote workers ---------------------------------------------
+
+TEST(RemoteIsolation, LocalForkedWorkersShareTheSupervisorLoop) {
+  const SweepSpec spec = haar_spec();
+  const CampaignResult threads =
+      CampaignEngine(2).run(spec, CampaignRunOptions{});
+
+  // No remote worker ever connects; one local pipe worker joins the same
+  // poll() loop and serves the whole campaign.
+  net::Listener listener;
+  listener.open({"127.0.0.1", 0});
+  CampaignRunOptions options = remote_options(listener);
+  options.remote_local_workers = 1;
+  const CampaignResult remote = CampaignEngine(2).run(spec, options);
+
+  EXPECT_TRUE(remote.all_ok());
+  EXPECT_EQ(remote.worker_stats.remote_connects, 0u);
+  EXPECT_GE(remote.worker_stats.spawns, 1u);
+  EXPECT_EQ(comparable_csv(remote), comparable_csv(threads));
+}
+
+// -- Telemetry across the TCP fabric ------------------------------------------
+
+TEST(RemoteIsolation, MetricsSnapshotsCrossTheWireExactly) {
+  SweepSpec spec = haar_spec();
+  spec.metrics = true;
+  const CampaignResult threads =
+      CampaignEngine(2).run(spec, CampaignRunOptions{});
+
+  net::Listener listener;
+  listener.open({"127.0.0.1", 0});
+  const pid_t a = fork_workerd(spec, listener.bound_port());
+  const CampaignResult remote =
+      CampaignEngine(2).run(spec, remote_options(listener));
+  EXPECT_EQ(wait_exit_code(a), kWorkerOk);
+
+  // Every simulator-side instrument merges to the same value; the remote
+  // campaign only adds its campaign.worker_* / campaign.remote_* counters.
+  for (const auto& c : threads.metrics.counters) {
+    const auto* other = remote.metrics.find_counter(c.name);
+    ASSERT_NE(other, nullptr) << c.name;
+    EXPECT_EQ(other->value, c.value) << c.name;
+  }
+  for (const auto& h : threads.metrics.histograms) {
+    const auto* other = remote.metrics.find_histogram(h.name);
+    ASSERT_NE(other, nullptr) << h.name;
+    EXPECT_EQ(other->buckets, h.buckets) << h.name;
+    EXPECT_EQ(other->sum, h.sum) << h.name;
+  }
+  const auto* connects = remote.metrics.find_counter("campaign.remote_connects");
+  ASSERT_NE(connects, nullptr);
+  EXPECT_EQ(connects->value, 1u);
+  EXPECT_EQ(threads.metrics.find_counter("campaign.remote_connects"), nullptr);
+}
+
+// -- Journal shards -----------------------------------------------------------
+
+TEST(RemoteIsolation, WorkerdShardMergesIntoAResumableJournal) {
+  const SweepSpec spec = haar_spec();
+  const std::string shard_path =
+      ::testing::TempDir() + "tmemo_remote_shard.journal";
+  std::remove(shard_path.c_str());
+
+  net::Listener listener;
+  listener.open({"127.0.0.1", 0});
+  net::WorkerdOptions journaling;
+  journaling.journal_path = shard_path;
+  const pid_t a = fork_workerd(spec, listener.bound_port(), journaling);
+  const CampaignResult remote =
+      CampaignEngine(2).run(spec, remote_options(listener));
+  EXPECT_EQ(wait_exit_code(a), kWorkerOk);
+  ASSERT_TRUE(remote.all_ok());
+
+  // The shard is an ordinary journal-v2 file for this campaign: resuming
+  // from it restores every entry bit-identically instead of re-running.
+  std::ifstream in(shard_path);
+  ASSERT_TRUE(in.good()) << shard_path;
+  CampaignJournal shard = read_campaign_journal(in);
+  EXPECT_EQ(shard.fingerprint, campaign_fingerprint(spec));
+  EXPECT_EQ(shard.entries.size(), remote.jobs.size());
+
+  CampaignRunOptions resuming;
+  resuming.resume = std::move(shard);
+  const CampaignResult resumed = CampaignEngine(2).run(spec, resuming);
+  EXPECT_EQ(resumed.resumed_jobs, remote.jobs.size());
+  EXPECT_EQ(comparable_csv(resumed), comparable_csv(remote));
+  std::remove(shard_path.c_str());
+}
+
+} // namespace
+} // namespace tmemo

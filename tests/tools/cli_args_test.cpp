@@ -83,6 +83,14 @@ constexpr BadCase kRejected[] = {
     {"timeout_negative", "--timeout-ms -5"},
     {"job_timeout_garbage", "--job-timeout-ms soon"},
     {"isolation_bogus", "--isolation container"},
+    {"remote_requires_listen", "--isolation remote"},
+    {"listen_requires_remote", "--listen 127.0.0.1:7070"},
+    {"listen_missing_value", "--isolation remote --listen"},
+    {"remote_local_workers_require_remote", "--remote-local-workers 2"},
+    {"remote_local_workers_negative",
+     "--isolation remote --listen 127.0.0.1:0 --remote-local-workers -1"},
+    {"crash_injection_remote_rejected",
+     "--isolation remote --listen 127.0.0.1:0 --inject-worker-crash 1:segv"},
     {"crash_injection_needs_process",
      "--inject-worker-crash 1:segv"},
     {"crash_spec_malformed",

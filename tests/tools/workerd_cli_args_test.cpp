@@ -1,0 +1,160 @@
+// Table-driven argument-hardening tests for the distributed-fabric tools
+// (docs/DISTRIBUTED.md): tmemo_workerd and tmemo_journal. Every malformed
+// invocation must exit with status 2 and print exactly one
+// "<tool>: ..." diagnostic line to stderr; environment failures (an
+// unreachable supervisor, an unreadable shard) exit 1. Binary paths are
+// injected by CMake as TMEMO_WORKERD_BIN / TMEMO_JOURNAL_BIN.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct RunOutcome {
+  int exit_code = -1;
+  std::string output; // stdout + stderr, interleaved
+};
+
+RunOutcome run_tool(const char* bin, const std::string& args) {
+  const std::string cmd = std::string(bin) + " " + args + " 2>&1";
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  RunOutcome out;
+  if (pipe == nullptr) return out;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    out.output.append(buf.data(), n);
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) out.exit_code = WEXITSTATUS(status);
+  return out;
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  if (!text.empty() && text.back() != '\n') ++lines;
+  return lines;
+}
+
+struct BadCase {
+  const char* name;
+  const char* args;
+};
+
+// ---------------------------------------------------------------------------
+// tmemo_workerd.
+
+// `--connect 127.0.0.1:9` is syntactically valid, so parse errors beyond it
+// are attributable to the case under test (nothing ever connects: parsing
+// fails before any socket is opened).
+constexpr BadCase kWorkerdRejected[] = {
+    {"no_connect", "--kernel haar"},
+    {"connect_missing_value", "--connect"},
+    {"connect_no_port", "--connect 127.0.0.1"},
+    {"connect_bad_port", "--connect 127.0.0.1:notaport"},
+    {"connect_port_zero", "--connect 127.0.0.1:0"},
+    {"connect_port_out_of_range", "--connect 127.0.0.1:70000"},
+    {"unknown_flag", "--connect 127.0.0.1:9 --frobnicate"},
+    {"supervisor_only_jobs", "--connect 127.0.0.1:9 --jobs 4"},
+    {"supervisor_only_isolation", "--connect 127.0.0.1:9 --isolation remote"},
+    {"supervisor_only_listen", "--connect 127.0.0.1:9 --listen 1.2.3.4:5"},
+    {"error_rate_above_one", "--connect 127.0.0.1:9 --error-rate 1.5"},
+    {"sweep_malformed", "--connect 127.0.0.1:9 --sweep banana:0:1:3"},
+    {"sweep_and_voltage_conflict",
+     "--connect 127.0.0.1:9 --sweep voltage:0.8:1.0:3 --voltage 0.9"},
+    {"timeout_zero", "--connect 127.0.0.1:9 --connect-timeout-ms 0"},
+    {"missing_value_at_end", "--connect 127.0.0.1:9 --kernel"},
+};
+
+class WorkerdRejectedArgs : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(WorkerdRejectedArgs, ExitsTwoWithOneDiagnosticLine) {
+  const BadCase& c = GetParam();
+  const RunOutcome out = run_tool(TMEMO_WORKERD_BIN, c.args);
+  EXPECT_EQ(out.exit_code, 2) << "args: " << c.args << "\n" << out.output;
+  EXPECT_EQ(count_lines(out.output), 1u)
+      << "args: " << c.args << "\n" << out.output;
+  EXPECT_EQ(out.output.rfind("tmemo_workerd: ", 0), 0u)
+      << "args: " << c.args << "\n" << out.output;
+  EXPECT_NE(out.output.find("--help"), std::string::npos)
+      << "args: " << c.args << "\n" << out.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table, WorkerdRejectedArgs,
+                         ::testing::ValuesIn(kWorkerdRejected),
+                         [](const auto& the_case) {
+                           return std::string(the_case.param.name);
+                         });
+
+TEST(WorkerdArgs, HelpExitsZeroAndMentionsConnect) {
+  const RunOutcome out = run_tool(TMEMO_WORKERD_BIN, "--help");
+  EXPECT_EQ(out.exit_code, 0) << out.output;
+  EXPECT_NE(out.output.find("--connect"), std::string::npos);
+  EXPECT_NE(out.output.find("--journal"), std::string::npos);
+}
+
+TEST(WorkerdArgs, UnreachableSupervisorExitsOneNotTwo) {
+  // Port 9 (discard) on loopback: nothing listens there in CI, so the
+  // connect is refused immediately. An environment failure is exit 1 — the
+  // command line itself was fine.
+  const RunOutcome out = run_tool(
+      TMEMO_WORKERD_BIN,
+      "--connect 127.0.0.1:9 --kernel haar --connect-timeout-ms 2000");
+  EXPECT_EQ(out.exit_code, 1) << out.output;
+  EXPECT_NE(out.output.find("cannot reach supervisor"), std::string::npos)
+      << out.output;
+}
+
+// ---------------------------------------------------------------------------
+// tmemo_journal.
+
+constexpr BadCase kJournalRejected[] = {
+    {"no_subcommand", ""},
+    {"unknown_subcommand", "frobnicate"},
+    {"merge_no_out", "merge shard-a.journal"},
+    {"merge_no_shards", "merge --out merged.journal"},
+    {"merge_out_missing_value", "merge shard-a.journal --out"},
+    {"merge_unknown_option", "merge --out m.journal --frobnicate a.journal"},
+};
+
+class JournalRejectedArgs : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(JournalRejectedArgs, ExitsTwoWithOneDiagnosticLine) {
+  const BadCase& c = GetParam();
+  const RunOutcome out = run_tool(TMEMO_JOURNAL_BIN, c.args);
+  EXPECT_EQ(out.exit_code, 2) << "args: " << c.args << "\n" << out.output;
+  EXPECT_EQ(count_lines(out.output), 1u)
+      << "args: " << c.args << "\n" << out.output;
+  EXPECT_EQ(out.output.rfind("tmemo_journal: ", 0), 0u)
+      << "args: " << c.args << "\n" << out.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table, JournalRejectedArgs,
+                         ::testing::ValuesIn(kJournalRejected),
+                         [](const auto& the_case) {
+                           return std::string(the_case.param.name);
+                         });
+
+TEST(JournalArgs, HelpExitsZeroAndMentionsMerge) {
+  const RunOutcome out = run_tool(TMEMO_JOURNAL_BIN, "--help");
+  EXPECT_EQ(out.exit_code, 0) << out.output;
+  EXPECT_NE(out.output.find("merge"), std::string::npos);
+}
+
+TEST(JournalArgs, UnreadableShardExitsOneNotTwo) {
+  const RunOutcome out = run_tool(
+      TMEMO_JOURNAL_BIN,
+      "merge --out /tmp/tmemo_merge_out.journal "
+      "/nonexistent/tmemo_shard.journal");
+  EXPECT_EQ(out.exit_code, 1) << out.output;
+  EXPECT_NE(out.output.find("cannot read shard"), std::string::npos)
+      << out.output;
+}
+
+} // namespace

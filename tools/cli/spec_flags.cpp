@@ -1,0 +1,180 @@
+#include "cli/spec_flags.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace tmemo::cli {
+
+double parse_num(const std::string& flag, const std::string& v) {
+  if (v.empty()) throw CliError("missing value for " + flag);
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    throw CliError("malformed number for " + flag + ": '" + v + "'");
+  }
+  if (std::isnan(d)) throw CliError(flag + " must not be NaN");
+  if (std::isinf(d)) throw CliError(flag + " must be finite");
+  return d;
+}
+
+double parse_num_in(const std::string& flag, const std::string& v, double lo,
+                    double hi) {
+  const double d = parse_num(flag, v);
+  if (d < lo || d > hi) {
+    throw CliError(flag + " must be in [" + std::to_string(lo) + ", " +
+                   std::to_string(hi) + "], got " + v);
+  }
+  return d;
+}
+
+long long parse_int_in(const std::string& flag, const std::string& v,
+                       long long lo, long long hi) {
+  if (v.empty()) throw CliError("missing value for " + flag);
+  errno = 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    throw CliError("malformed integer for " + flag + ": '" + v + "'");
+  }
+  if (errno == ERANGE || n < lo || n > hi) {
+    throw CliError(flag + " must be between " + std::to_string(lo) + " and " +
+                   std::to_string(hi) + ", got " + v);
+  }
+  return n;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& v) {
+  if (v.empty()) throw CliError("missing value for " + flag);
+  for (const char c : v) {
+    if (c < '0' || c > '9') {
+      throw CliError("malformed unsigned integer for " + flag + ": '" + v +
+                     "'");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+    throw CliError(flag + " is out of range: '" + v + "'");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+bool SpecFlags::try_parse(const std::string& arg,
+                          const std::function<std::string()>& value,
+                          const std::function<void()>& no_value) {
+  if (arg == "--kernel") {
+    kernel = value();
+    for (char& c : kernel) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  } else if (arg == "--error-rate") {
+    error_rate = parse_num_in(arg, value(), 0.0, 1.0);
+  } else if (arg == "--voltage") {
+    const double v = parse_num(arg, value());
+    if (v <= 0.0) {
+      throw CliError("--voltage must be positive, got " + std::to_string(v));
+    }
+    voltage = v;
+  } else if (arg == "--sweep") {
+    const std::string text = value();
+    sweep = SweepAxis::parse(text);
+    if (!sweep) {
+      throw CliError("malformed --sweep '" + text +
+                     "' (want AXIS:START:STOP:COUNT, e.g. "
+                     "error-rate:0:0.04:9)");
+    }
+  } else if (arg == "--threshold") {
+    const double t = parse_num(arg, value());
+    if (t < 0.0) {
+      throw CliError("--threshold must be >= 0, got " + std::to_string(t));
+    }
+    threshold = static_cast<float>(t);
+  } else if (arg == "--scale") {
+    const double s = parse_num(arg, value());
+    if (s <= 0.0) {
+      throw CliError("--scale must be positive, got " + std::to_string(s));
+    }
+    scale = s;
+  } else if (arg == "--lut-depth") {
+    lut_depth = static_cast<int>(parse_int_in(arg, value(), 1, 4096));
+  } else if (arg == "--seed") {
+    seed = parse_u64(arg, value());
+  } else if (arg == "--no-memo") {
+    no_value();
+    memoization = false;
+  } else if (arg == "--spatial") {
+    no_value();
+    spatial = true;
+  } else if (arg == "--inject-lut-seu") {
+    inject.lut.seu_per_cycle = parse_num_in(arg, value(), 0.0, 1.0);
+  } else if (arg == "--inject-eds-fn") {
+    inject.eds.false_negative_rate = parse_num_in(arg, value(), 0.0, 1.0);
+  } else if (arg == "--inject-eds-fp") {
+    inject.eds.false_positive_rate = parse_num_in(arg, value(), 0.0, 1.0);
+  } else if (arg == "--inject-parity") {
+    no_value();
+    inject.lut.parity = true;
+  } else if (arg == "--watchdog-budget") {
+    inject.watchdog.recovery_cycle_budget = parse_u64(arg, value());
+  } else if (arg == "--watchdog-action") {
+    const std::string action = value();
+    if (action == "memo-off") {
+      inject.watchdog.action = inject::WatchdogAction::kDisableMemoization;
+    } else if (action == "guardband") {
+      inject.watchdog.action = inject::WatchdogAction::kRaiseGuardband;
+    } else {
+      throw CliError("--watchdog-action must be memo-off or guardband, got '" +
+                     action + "'");
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SpecFlags::validate() const {
+  if (sweep && voltage) {
+    throw CliError("--sweep and --voltage are mutually exclusive");
+  }
+}
+
+SweepSpec SpecFlags::to_spec() const {
+  SweepSpec spec;
+  spec.scale = scale;
+  spec.campaign_seed = seed;
+  if (kernel != "all") spec.kernels = {kernel};
+  if (sweep) {
+    spec.axis = *sweep;
+  } else if (voltage) {
+    spec.axis = SweepAxis::voltage_point(*voltage);
+  } else {
+    spec.axis = SweepAxis::error_rate_point(error_rate);
+  }
+  if (threshold) spec.thresholds = {*threshold};
+
+  ConfigVariant variant;
+  variant.config.device.fpu.lut_depth = lut_depth;
+  variant.config.device.fpu.inject = inject;
+  variant.config.memoization = memoization;
+  variant.config.spatial = spatial;
+  spec.variants = {variant};
+  return spec;
+}
+
+const char* SpecFlags::usage_lines() {
+  return "[--kernel NAME|all]\n"
+         "          [--error-rate R | --voltage V | --sweep "
+         "AXIS:START:STOP:COUNT]\n"
+         "          [--threshold T] [--scale S] [--lut-depth N]\n"
+         "          [--no-memo] [--spatial] [--seed S]\n"
+         "          [--inject-lut-seu R] [--inject-eds-fn R] "
+         "[--inject-eds-fp R]\n"
+         "          [--inject-parity] [--watchdog-budget N]\n"
+         "          [--watchdog-action memo-off|guardband]";
+}
+
+} // namespace tmemo::cli

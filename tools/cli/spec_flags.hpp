@@ -1,0 +1,87 @@
+// Shared campaign-grid CLI flags (tools/cli/).
+//
+// A distributed campaign is described twice: once on the supervisor's
+// command line (tmemo_sim --isolation=remote ...) and once on every
+// worker's (tmemo_workerd --connect ...). Both must expand the *same*
+// SweepSpec or the handshake digest rejects the worker — so the flags that
+// build the spec live here, parsed by one implementation, and the two
+// tools share them verbatim. A mismatch is then a human passing different
+// values, which the digest catches, never two parsers drifting apart.
+//
+// Parsing contract: every helper throws CliError on malformed input; each
+// tool catches it, prints its own one-line "<tool>: <message> (try
+// --help)" diagnostic, and exits 2 (tested table-driven in
+// tests/tools/cli_args_test.cpp and workerd_cli_args_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "inject/fault_config.hpp"
+#include "sim/campaign.hpp"
+
+namespace tmemo::cli {
+
+/// Malformed command line; the message is the diagnostic (tool name and
+/// "(try --help)" are the catcher's to add).
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Strict finite double: rejects empty values, trailing garbage, NaN and
+/// infinities — a NaN threshold or rate must never reach the simulator.
+double parse_num(const std::string& flag, const std::string& v);
+
+double parse_num_in(const std::string& flag, const std::string& v, double lo,
+                    double hi);
+
+/// Strict decimal integer: "3.5", "1e3" and "0x10" are rejected rather
+/// than silently truncated.
+long long parse_int_in(const std::string& flag, const std::string& v,
+                       long long lo, long long hi);
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& v);
+
+/// The campaign-grid flags: everything that determines the expanded job
+/// list and per-job configs (and therefore the handshake digest). Telemetry
+/// switches (SweepSpec::metrics/timeline) are deliberately absent — the
+/// supervisor derives them from its output flags and remote workers take
+/// them from the HelloAck.
+struct SpecFlags {
+  std::string kernel = "all";
+  double error_rate = 0.0;
+  std::optional<double> voltage;
+  std::optional<SweepAxis> sweep;
+  std::optional<float> threshold;
+  double scale = 0.04;
+  int lut_depth = 2;
+  std::uint64_t seed = 0x5eed;
+  bool memoization = true;
+  bool spatial = false;
+  inject::FaultInjectionConfig inject;
+
+  /// Consumes `arg` if it is one of the spec flags; false means the flag
+  /// belongs to the calling tool. `value` yields the flag's value (throwing
+  /// CliError when it is missing); `no_value` throws when a boolean flag
+  /// was given an inline "=value".
+  bool try_parse(const std::string& arg,
+                 const std::function<std::string()>& value,
+                 const std::function<void()>& no_value);
+
+  /// Cross-flag validation (--sweep and --voltage are mutually exclusive).
+  /// Call once after the whole command line is consumed.
+  void validate() const;
+
+  /// The campaign grid these flags describe. metrics/timeline are left
+  /// false; the caller sets them.
+  [[nodiscard]] SweepSpec to_spec() const;
+
+  /// Usage-text fragment listing the shared flags (no leading indent).
+  [[nodiscard]] static const char* usage_lines();
+};
+
+} // namespace tmemo::cli

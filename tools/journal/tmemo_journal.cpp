@@ -1,0 +1,101 @@
+// tmemo_journal — campaign-journal toolbox (docs/DISTRIBUTED.md).
+//
+// A distributed campaign leaves one journal-v2 file per writer: the
+// supervisor's --journal plus each tmemo_workerd's --journal shard. The
+// `merge` subcommand folds them into one journal that `tmemo_sim --resume`
+// accepts: duplicate job indices collapse (an ok entry beats a failed one,
+// then the later-listed shard wins), zero-byte shards are skipped with a
+// warning, torn trailing records are dropped with a warning, and a
+// fingerprint mismatch between shards is a hard error naming both files.
+//
+// Usage:
+//   tmemo_journal merge --out MERGED SHARD [SHARD...]
+//
+// Exit status: 0 on success, 1 when the merge fails (unreadable shard,
+// fingerprint mismatch, all shards empty), 2 on a malformed command line.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "sim/journal_merge.hpp"
+
+namespace {
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s merge --out MERGED SHARD [SHARD...]\n"
+               "Merges journal-v2 shards of one campaign into a single\n"
+               "journal that tmemo_sim --resume accepts.\n",
+               argv0);
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "tmemo_journal: %s (try --help)\n", message.c_str());
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && (std::string(argv[1]) == "--help" ||
+                    std::string(argv[1]) == "-h")) {
+    print_usage(stdout, argv[0]);
+    return 0;
+  }
+  if (argc < 2) fail("missing subcommand (want: merge)");
+  const std::string command = argv[1];
+  if (command != "merge") fail("unknown subcommand: " + command);
+
+  std::string out_path;
+  std::vector<std::string> shards;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    }
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) fail("missing value for --out");
+      out_path = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      fail("unknown option: " + arg);
+    } else {
+      shards.push_back(std::move(arg));
+    }
+  }
+  if (out_path.empty()) fail("merge requires --out MERGED");
+  if (shards.empty()) fail("merge requires at least one shard");
+
+  tmemo::JournalMergeReport report;
+  try {
+    report = tmemo::merge_campaign_journals(shards, out_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tmemo_journal: %s\n", e.what());
+    return 1;
+  }
+
+  if (report.empty_shards > 0) {
+    std::fprintf(stderr,
+                 "warning: skipped %zu empty shard%s (worker killed before "
+                 "its first append?)\n",
+                 report.empty_shards, report.empty_shards == 1 ? "" : "s");
+  }
+  if (report.malformed_rows > 0) {
+    std::fprintf(stderr,
+                 "warning: dropped %zu torn row%s (worker killed "
+                 "mid-append?)\n",
+                 report.malformed_rows, report.malformed_rows == 1 ? "" : "s");
+  }
+  std::fprintf(stderr,
+               "merged %zu shard%s: %zu record%s in, %zu out "
+               "(%zu duplicate%s collapsed) -> %s\n",
+               report.shards_read, report.shards_read == 1 ? "" : "s",
+               report.entries_in, report.entries_in == 1 ? "" : "s",
+               report.entries_out, report.duplicates_dropped,
+               report.duplicates_dropped == 1 ? "" : "s", out_path.c_str());
+  return 0;
+}

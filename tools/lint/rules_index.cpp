@@ -132,17 +132,25 @@ class SyscallDisciplineRule final : public Rule {
     return "syscall-discipline";
   }
   [[nodiscard]] std::string description() const override {
-    return "R10: supervisor syscall results must be checked, with EINTR "
-           "retry on interruptible calls (src/sim/worker_proc.*)";
+    return "R10: supervisor and fabric syscall results must be checked, "
+           "with EINTR retry on interruptible calls "
+           "(src/sim/worker_proc.*, src/net/)";
   }
 
   void check(const SourceFile& file, const RepoIndex& /*repo*/,
              std::vector<Finding>& out) const override {
-    if (file.display_path.find("worker_proc") == std::string::npos) return;
+    const bool engaged =
+        file.display_path.find("worker_proc") != std::string::npos ||
+        file.display_path.find("src/net/") != std::string::npos;
+    if (!engaged) return;
     static const std::set<std::string> kGuarded = {
-        "fork", "poll", "read", "write", "waitpid", "pipe", "fcntl"};
-    static const std::set<std::string> kInterruptible = {"poll", "read",
-                                                         "write", "waitpid"};
+        "fork",        "poll",    "read",       "write",       "waitpid",
+        "pipe",        "fcntl",   "socket",     "bind",        "listen",
+        "accept",      "connect", "send",       "recv",        "setsockopt",
+        "getsockname", "getaddrinfo"};
+    static const std::set<std::string> kInterruptible = {
+        "poll", "read", "write", "waitpid", "accept", "connect",
+        "send", "recv"};
     const auto& toks = file.tokens;
     for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
       // Global-qualified call `::name(` whose `::` starts the qualification

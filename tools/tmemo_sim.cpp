@@ -19,9 +19,15 @@
 //             [--inject-parity] [--watchdog-budget N]
 //             [--watchdog-action memo-off|guardband]
 //             [--max-attempts N] [--job-timeout-ms T]
-//             [--isolation thread|process]
+//             [--isolation thread|process|remote]
+//             [--listen HOST:PORT] [--remote-local-workers N]
 //             [--inject-worker-crash JOB:SIG[:N]]
 //             [--journal FILE] [--resume FILE]
+//
+// The campaign-grid flags (kernel/axis/config) are shared with
+// tmemo_workerd via tools/cli/spec_flags.hpp — a remote campaign passes
+// the same grid flags to both tools, and the registration handshake
+// rejects any drift.
 //
 // Flags taking a value accept both "--flag value" and "--flag=value";
 // boolean flags take none. Every malformed invocation — unknown flag,
@@ -41,20 +47,18 @@
 //             --inject-parity --csv              # see FAULT_INJECTION.md
 //   tmemo_sim --kernel all --sweep error-rate:0:0.04:9 --journal run.journal
 //   tmemo_sim --kernel all --sweep error-rate:0:0.04:9 --resume run.journal
-#include <cctype>
-#include <cerrno>
-#include <cmath>
+//   tmemo_sim --kernel all --sweep error-rate:0:0.04:9 \
+//             --isolation remote --listen 127.0.0.1:7070   # DISTRIBUTED.md
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "cli/spec_flags.hpp"
 #include "common/table.hpp"
-#include "inject/fault_config.hpp"
 #include "sim/campaign.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/timeline.hpp"
@@ -65,30 +69,21 @@ namespace {
 using namespace tmemo;
 
 struct CliOptions {
-  std::string kernel = "all";
-  double error_rate = 0.0;
-  std::optional<double> voltage;
-  std::optional<SweepAxis> sweep;
-  std::optional<float> threshold;
-  double scale = 0.04;
-  int lut_depth = 2;
-  std::uint64_t seed = 0x5eed;
+  cli::SpecFlags spec;
   int jobs = 0; // 0 = hardware concurrency
-  bool memoization = true;
-  bool spatial = false;
   bool per_unit = false;
   bool csv = false;
   std::optional<std::string> json_path;
   std::optional<std::string> metrics_path;
   std::optional<std::string> trace_path;
   std::string metrics_format = "json";
-  // Fault injection + hardening (docs/FAULT_INJECTION.md).
-  inject::FaultInjectionConfig inject;
-  // Crash-safe campaign execution (docs/RESILIENCE.md).
+  // Crash-safe campaign execution (docs/RESILIENCE.md, docs/DISTRIBUTED.md).
   int max_attempts = 1;
   double job_timeout_ms = 0.0;
   IsolationMode isolation = IsolationMode::kThread;
   std::optional<inject::WorkerCrashInjection> inject_worker_crash;
+  std::string listen_address;
+  int remote_local_workers = 0;
   std::optional<std::string> journal_path;
   std::optional<std::string> resume_path;
 };
@@ -96,26 +91,19 @@ struct CliOptions {
 void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(
       out,
-      "usage: %s [--kernel NAME|all]\n"
-      "          [--error-rate R | --voltage V | --sweep "
-      "AXIS:START:STOP:COUNT]\n"
-      "          [--threshold T] [--scale S] [--lut-depth N]\n"
-      "          [--no-memo] [--spatial] [--jobs N] [--seed S]\n"
-      "          [--per-unit] [--csv] [--json FILE|-]\n"
+      "usage: %s %s\n"
+      "          [--jobs N] [--per-unit] [--csv] [--json FILE|-]\n"
       "          [--metrics-out FILE|-] [--metrics-format json|csv]\n"
       "          [--trace-out FILE]\n"
-      "          [--inject-lut-seu R] [--inject-eds-fn R] "
-      "[--inject-eds-fp R]\n"
-      "          [--inject-parity] [--watchdog-budget N]\n"
-      "          [--watchdog-action memo-off|guardband]\n"
       "          [--max-attempts N] [--job-timeout-ms T]\n"
-      "          [--isolation thread|process]\n"
+      "          [--isolation thread|process|remote]\n"
+      "          [--listen HOST:PORT] [--remote-local-workers N]\n"
       "          [--inject-worker-crash JOB:SIG[:N]]\n"
       "          [--journal FILE] [--resume FILE]\n"
       "sweep axes: error-rate, voltage (e.g. --sweep error-rate:0:0.04:9)\n"
       "kernels: sobel gaussian haar binomialoption blackscholes fwt "
       "eigenvalue all\n",
-      argv0);
+      argv0, cli::SpecFlags::usage_lines());
 }
 
 /// Every malformed invocation exits 2 with exactly one diagnostic line.
@@ -124,65 +112,8 @@ void print_usage(std::FILE* out, const char* argv0) {
   std::exit(2);
 }
 
-/// Strict finite double: rejects empty values, trailing garbage, NaN and
-/// infinities — a NaN threshold or rate must never reach the simulator.
-double parse_num(const std::string& flag, const std::string& v) {
-  if (v.empty()) fail("missing value for " + flag);
-  char* end = nullptr;
-  const double d = std::strtod(v.c_str(), &end);
-  if (end == v.c_str() || *end != '\0') {
-    fail("malformed number for " + flag + ": '" + v + "'");
-  }
-  if (std::isnan(d)) fail(flag + " must not be NaN");
-  if (std::isinf(d)) fail(flag + " must be finite");
-  return d;
-}
-
-double parse_num_in(const std::string& flag, const std::string& v, double lo,
-                    double hi) {
-  const double d = parse_num(flag, v);
-  if (d < lo || d > hi) {
-    fail(flag + " must be in [" + std::to_string(lo) + ", " +
-         std::to_string(hi) + "], got " + v);
-  }
-  return d;
-}
-
-/// Strict decimal integer: "3.5", "1e3" and "0x10" are rejected rather
-/// than silently truncated the way the old parse-as-double path did.
-long long parse_int_in(const std::string& flag, const std::string& v,
-                       long long lo, long long hi) {
-  if (v.empty()) fail("missing value for " + flag);
-  errno = 0;
-  char* end = nullptr;
-  const long long n = std::strtoll(v.c_str(), &end, 10);
-  if (end == v.c_str() || *end != '\0') {
-    fail("malformed integer for " + flag + ": '" + v + "'");
-  }
-  if (errno == ERANGE || n < lo || n > hi) {
-    fail(flag + " must be between " + std::to_string(lo) + " and " +
-         std::to_string(hi) + ", got " + v);
-  }
-  return n;
-}
-
-std::uint64_t parse_u64(const std::string& flag, const std::string& v) {
-  if (v.empty()) fail("missing value for " + flag);
-  for (const char c : v) {
-    if (c < '0' || c > '9') {
-      fail("malformed unsigned integer for " + flag + ": '" + v + "'");
-    }
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
-  if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
-    fail(flag + " is out of range: '" + v + "'");
-  }
-  return static_cast<std::uint64_t>(n);
-}
-
-CliOptions parse(int argc, char** argv) {
+CliOptions parse(int argc, char** argv) try {
+  using cli::CliError;
   CliOptions opt;
   for (int i = 1; i < argc; ++i) {
     // Accept both "--flag value" and "--flag=value".
@@ -196,54 +127,20 @@ CliOptions parse(int argc, char** argv) {
     }
     auto value = [&]() -> std::string {
       if (inline_value) return *inline_value;
-      if (i + 1 >= argc) fail("missing value for " + arg);
+      if (i + 1 >= argc) throw CliError("missing value for " + arg);
       return argv[++i];
     };
     // Boolean flags reject an inline value: "--csv=yes" is a typo, not a
     // request.
     auto no_value = [&]() {
-      if (inline_value) fail(arg + " takes no value");
+      if (inline_value) throw CliError(arg + " takes no value");
     };
-    if (arg == "--kernel") {
-      opt.kernel = value();
-      for (char& c : opt.kernel) {
-        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-      }
-    } else if (arg == "--error-rate") {
-      opt.error_rate = parse_num_in(arg, value(), 0.0, 1.0);
-    } else if (arg == "--voltage") {
-      const double v = parse_num(arg, value());
-      if (v <= 0.0) fail("--voltage must be positive, got " + std::to_string(v));
-      opt.voltage = v;
-    } else if (arg == "--sweep") {
-      const std::string text = value();
-      opt.sweep = SweepAxis::parse(text);
-      if (!opt.sweep) {
-        fail("malformed --sweep '" + text +
-             "' (want AXIS:START:STOP:COUNT, e.g. error-rate:0:0.04:9)");
-      }
-    } else if (arg == "--threshold") {
-      const double t = parse_num(arg, value());
-      if (t < 0.0) fail("--threshold must be >= 0, got " + std::to_string(t));
-      opt.threshold = static_cast<float>(t);
-    } else if (arg == "--scale") {
-      const double s = parse_num(arg, value());
-      if (s <= 0.0) fail("--scale must be positive, got " + std::to_string(s));
-      opt.scale = s;
-    } else if (arg == "--lut-depth") {
-      opt.lut_depth = static_cast<int>(parse_int_in(arg, value(), 1, 4096));
-    } else if (arg == "--seed") {
-      opt.seed = parse_u64(arg, value());
+    if (opt.spec.try_parse(arg, value, no_value)) {
+      // Shared campaign-grid flag, handled.
     } else if (arg == "--jobs") {
       // 0 is not "auto" here — omitting the flag is; an explicit zero is a
       // misconfiguration.
-      opt.jobs = static_cast<int>(parse_int_in(arg, value(), 1, 4096));
-    } else if (arg == "--no-memo") {
-      no_value();
-      opt.memoization = false;
-    } else if (arg == "--spatial") {
-      no_value();
-      opt.spatial = true;
+      opt.jobs = static_cast<int>(cli::parse_int_in(arg, value(), 1, 4096));
     } else if (arg == "--per-unit") {
       no_value();
       opt.per_unit = true;
@@ -256,40 +153,18 @@ CliOptions parse(int argc, char** argv) {
       opt.metrics_path = value();
     } else if (arg == "--trace-out") {
       opt.trace_path = value();
-    } else if (arg == "--inject-lut-seu") {
-      opt.inject.lut.seu_per_cycle = parse_num_in(arg, value(), 0.0, 1.0);
-    } else if (arg == "--inject-eds-fn") {
-      opt.inject.eds.false_negative_rate =
-          parse_num_in(arg, value(), 0.0, 1.0);
-    } else if (arg == "--inject-eds-fp") {
-      opt.inject.eds.false_positive_rate =
-          parse_num_in(arg, value(), 0.0, 1.0);
-    } else if (arg == "--inject-parity") {
-      no_value();
-      opt.inject.lut.parity = true;
-    } else if (arg == "--watchdog-budget") {
-      opt.inject.watchdog.recovery_cycle_budget = parse_u64(arg, value());
-    } else if (arg == "--watchdog-action") {
-      const std::string action = value();
-      if (action == "memo-off") {
-        opt.inject.watchdog.action =
-            inject::WatchdogAction::kDisableMemoization;
-      } else if (action == "guardband") {
-        opt.inject.watchdog.action = inject::WatchdogAction::kRaiseGuardband;
-      } else {
-        fail("--watchdog-action must be memo-off or guardband, got '" +
-             action + "'");
-      }
     } else if (arg == "--max-attempts") {
       opt.max_attempts =
-          static_cast<int>(parse_int_in(arg, value(), 1, 1000000));
+          static_cast<int>(cli::parse_int_in(arg, value(), 1, 1000000));
     } else if (arg == "--retries") {
       // Alias: --retries N == --max-attempts N+1.
       opt.max_attempts =
-          static_cast<int>(parse_int_in(arg, value(), 0, 999999)) + 1;
+          static_cast<int>(cli::parse_int_in(arg, value(), 0, 999999)) + 1;
     } else if (arg == "--job-timeout-ms" || arg == "--timeout-ms") {
-      const double t = parse_num(arg, value());
-      if (t < 0.0) fail(arg + " must be >= 0, got " + std::to_string(t));
+      const double t = cli::parse_num(arg, value());
+      if (t < 0.0) {
+        throw CliError(arg + " must be >= 0, got " + std::to_string(t));
+      }
       opt.job_timeout_ms = t;
     } else if (arg == "--isolation") {
       const std::string mode = value();
@@ -297,15 +172,27 @@ CliOptions parse(int argc, char** argv) {
         opt.isolation = IsolationMode::kThread;
       } else if (mode == "process") {
         opt.isolation = IsolationMode::kProcess;
+      } else if (mode == "remote") {
+        opt.isolation = IsolationMode::kRemote;
       } else {
-        fail("--isolation must be thread or process, got '" + mode + "'");
+        throw CliError("--isolation must be thread, process or remote, got '" +
+                       mode + "'");
       }
+    } else if (arg == "--listen") {
+      opt.listen_address = value();
+      if (opt.listen_address.empty()) {
+        throw CliError("missing value for --listen");
+      }
+    } else if (arg == "--remote-local-workers") {
+      opt.remote_local_workers =
+          static_cast<int>(cli::parse_int_in(arg, value(), 0, 4096));
     } else if (arg == "--inject-worker-crash") {
       const std::string text = value();
       opt.inject_worker_crash = inject::WorkerCrashInjection::parse(text);
       if (!opt.inject_worker_crash) {
-        fail("malformed --inject-worker-crash '" + text +
-             "' (want JOB:SIGNAL[:COUNT], e.g. 3:segv or 0:SIGKILL:1)");
+        throw CliError("malformed --inject-worker-crash '" + text +
+                       "' (want JOB:SIGNAL[:COUNT], e.g. 3:segv or "
+                       "0:SIGKILL:1)");
       }
     } else if (arg == "--journal") {
       opt.journal_path = value();
@@ -314,23 +201,35 @@ CliOptions parse(int argc, char** argv) {
     } else if (arg == "--metrics-format") {
       opt.metrics_format = value();
       if (opt.metrics_format != "json" && opt.metrics_format != "csv") {
-        fail("--metrics-format must be json or csv, got '" +
-             opt.metrics_format + "'");
+        throw CliError("--metrics-format must be json or csv, got '" +
+                       opt.metrics_format + "'");
       }
     } else if (arg == "--help" || arg == "-h") {
       print_usage(stdout, argv[0]);
       std::exit(0);
     } else {
-      fail("unknown option: " + std::string(argv[i]));
+      throw CliError("unknown option: " + std::string(argv[i]));
     }
   }
-  if (opt.sweep && opt.voltage) {
-    fail("--sweep and --voltage are mutually exclusive");
-  }
+  opt.spec.validate();
   if (opt.inject_worker_crash && opt.isolation != IsolationMode::kProcess) {
-    fail("--inject-worker-crash requires --isolation=process");
+    throw cli::CliError("--inject-worker-crash requires --isolation=process");
+  }
+  if (opt.isolation == IsolationMode::kRemote && opt.listen_address.empty()) {
+    throw cli::CliError("--isolation=remote requires --listen HOST:PORT");
+  }
+  if (!opt.listen_address.empty() &&
+      opt.isolation != IsolationMode::kRemote) {
+    throw cli::CliError("--listen requires --isolation=remote");
+  }
+  if (opt.remote_local_workers > 0 &&
+      opt.isolation != IsolationMode::kRemote) {
+    throw cli::CliError(
+        "--remote-local-workers requires --isolation=remote");
   }
   return opt;
+} catch (const cli::CliError& e) {
+  fail(e.what());
 }
 
 std::string env_label(const JobResult& j) {
@@ -348,25 +247,7 @@ std::string env_label(const JobResult& j) {
 int main(int argc, char** argv) {
   const CliOptions opt = parse(argc, argv);
 
-  SweepSpec spec;
-  spec.scale = opt.scale;
-  spec.campaign_seed = opt.seed;
-  if (opt.kernel != "all") spec.kernels = {opt.kernel};
-  if (opt.sweep) {
-    spec.axis = *opt.sweep;
-  } else if (opt.voltage) {
-    spec.axis = SweepAxis::voltage_point(*opt.voltage);
-  } else {
-    spec.axis = SweepAxis::error_rate_point(opt.error_rate);
-  }
-  if (opt.threshold) spec.thresholds = {*opt.threshold};
-
-  ConfigVariant variant;
-  variant.config.device.fpu.lut_depth = opt.lut_depth;
-  variant.config.device.fpu.inject = opt.inject;
-  variant.config.memoization = opt.memoization;
-  variant.config.spatial = opt.spatial;
-  spec.variants = {variant};
+  SweepSpec spec = opt.spec.to_spec();
   spec.metrics = opt.metrics_path.has_value();
   spec.timeline = opt.trace_path.has_value();
 
@@ -375,6 +256,8 @@ int main(int argc, char** argv) {
   run_options.job_timeout_ms = opt.job_timeout_ms;
   run_options.isolation = opt.isolation;
   run_options.inject_worker_crash = opt.inject_worker_crash;
+  run_options.listen_address = opt.listen_address;
+  run_options.remote_local_workers = opt.remote_local_workers;
   if (opt.journal_path) run_options.journal_path = *opt.journal_path;
   if (opt.resume_path) {
     std::ifstream in(*opt.resume_path);
@@ -410,6 +293,11 @@ int main(int argc, char** argv) {
     result = engine.run(spec, run_options);
   } catch (const std::invalid_argument& e) {
     fail(e.what());
+  } catch (const std::runtime_error& e) {
+    // A remote campaign that cannot bind its listen address is an
+    // environment failure, not a CLI one.
+    std::fprintf(stderr, "tmemo_sim: %s\n", e.what());
+    return 1;
   }
 
   ResultTable table("tmemo_sim results",
@@ -467,11 +355,19 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     if (opt.per_unit) units.print(std::cout);
     if (result.jobs.size() > 1) {
-      const bool procs = opt.isolation == IsolationMode::kProcess;
-      std::printf("%zu jobs, %d worker %s, %.0f ms total\n",
+      const char* noun_one = "thread";
+      const char* noun_many = "threads";
+      if (opt.isolation == IsolationMode::kProcess) {
+        noun_one = "process";
+        noun_many = "processes";
+      } else if (opt.isolation == IsolationMode::kRemote) {
+        noun_one = "(local or remote)";
+        noun_many = "(local or remote)";
+      }
+      std::printf("%zu jobs, %d worker%s %s, %.0f ms total\n",
                   result.jobs.size(), result.workers,
-                  result.workers == 1 ? (procs ? "process" : "thread")
-                                      : (procs ? "processes" : "threads"),
+                  result.workers == 1 ? "" : "s",
+                  result.workers == 1 ? noun_one : noun_many,
                   result.wall_ms);
     }
     if (result.resumed_jobs > 0) {

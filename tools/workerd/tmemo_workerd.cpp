@@ -1,0 +1,130 @@
+// tmemo_workerd — remote campaign worker daemon (docs/DISTRIBUTED.md).
+//
+// Connects to a tmemo_sim supervisor running --isolation=remote, registers
+// for its campaign, and serves dispatched jobs until the supervisor closes
+// the connection. The campaign grid is rebuilt from this command line —
+// pass the *same* grid flags as the supervisor (they are one shared parser,
+// tools/cli/spec_flags.hpp); the registration handshake rejects any drift
+// with a named reason.
+//
+// Usage:
+//   tmemo_workerd --connect HOST:PORT [grid flags...]
+//                 [--journal FILE] [--connect-timeout-ms T]
+//
+// Every finished job can be appended to a local journal-v2 shard
+// (--journal); `tmemo_journal merge` folds the shards of a distributed
+// campaign into one journal that --resume accepts.
+//
+// Exit status: 0 after a completed campaign (supervisor closed the
+// connection), 1 on connection/registration/protocol failure, 2 on a
+// malformed command line.
+//
+// Example — two workers serving one supervisor on loopback:
+//   tmemo_sim --kernel all --sweep error-rate:0:0.04:9 \
+//             --isolation remote --listen 127.0.0.1:7070 &
+//   tmemo_workerd --connect 127.0.0.1:7070 --kernel all \
+//                 --sweep error-rate:0:0.04:9 --journal shard-a.journal &
+//   tmemo_workerd --connect 127.0.0.1:7070 --kernel all \
+//                 --sweep error-rate:0:0.04:9 --journal shard-b.journal &
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "cli/spec_flags.hpp"
+#include "net/transport.hpp"
+#include "net/workerd.hpp"
+
+namespace {
+
+using namespace tmemo;
+
+struct CliOptions {
+  cli::SpecFlags spec;
+  net::WorkerdOptions workerd;
+  bool have_connect = false;
+};
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s --connect HOST:PORT\n"
+               "          %s\n"
+               "          [--journal FILE] [--connect-timeout-ms T]\n"
+               "Pass the same grid flags as the tmemo_sim supervisor; the\n"
+               "registration handshake rejects a mismatched campaign.\n",
+               argv0, cli::SpecFlags::usage_lines());
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "tmemo_workerd: %s (try --help)\n", message.c_str());
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) try {
+  using cli::CliError;
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::optional<std::string> inline_value;
+    if (arg.rfind("--", 0) == 0) {
+      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+      }
+    }
+    auto value = [&]() -> std::string {
+      if (inline_value) return *inline_value;
+      if (i + 1 >= argc) throw CliError("missing value for " + arg);
+      return argv[++i];
+    };
+    auto no_value = [&]() {
+      if (inline_value) throw CliError(arg + " takes no value");
+    };
+    if (opt.spec.try_parse(arg, value, no_value)) {
+      // Shared campaign-grid flag, handled.
+    } else if (arg == "--connect") {
+      const std::string text = value();
+      const auto at = net::parse_host_port(text);
+      if (!at) {
+        throw CliError("malformed --connect '" + text +
+                       "' (want HOST:PORT, e.g. 127.0.0.1:7070)");
+      }
+      opt.workerd.connect = *at;
+      opt.have_connect = true;
+    } else if (arg == "--journal") {
+      opt.workerd.journal_path = value();
+    } else if (arg == "--connect-timeout-ms") {
+      opt.workerd.connect_timeout_ms =
+          static_cast<int>(cli::parse_int_in(arg, value(), 1, 3600000));
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      std::exit(0);
+    } else {
+      throw CliError("unknown option: " + std::string(argv[i]));
+    }
+  }
+  opt.spec.validate();
+  if (!opt.have_connect) {
+    throw cli::CliError("--connect HOST:PORT is required");
+  }
+  return opt;
+} catch (const cli::CliError& e) {
+  fail(e.what());
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+
+  const net::WorkerdOutcome outcome =
+      net::run_workerd(opt.spec.to_spec(), opt.workerd);
+  if (!outcome.ok) {
+    std::fprintf(stderr, "tmemo_workerd: %s\n", outcome.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "tmemo_workerd: campaign complete, %llu job%s served\n",
+               static_cast<unsigned long long>(outcome.jobs_done),
+               outcome.jobs_done == 1 ? "" : "s");
+  return 0;
+}
