@@ -1,0 +1,174 @@
+#include "net/fault.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace tmemo::net {
+namespace {
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_int(std::string_view text, int& out) {
+  if (text.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+/// Parses a probability literal in [0, 1]. std::from_chars for doubles is
+/// spotty across stdlibs, so accept the narrow "0", "1", "0.DIGITS",
+/// "1.0…" grammar the spec needs and nothing more.
+bool parse_prob(std::string_view text, double& out) {
+  if (text.empty() || text.size() > 18) return false;
+  const std::size_t dot = text.find('.');
+  const std::string_view whole = text.substr(0, dot);
+  std::uint64_t w = 0;
+  if (!parse_u64(whole, w) || w > 1) return false;
+  double value = static_cast<double>(w);
+  if (dot != std::string_view::npos) {
+    const std::string_view frac = text.substr(dot + 1);
+    if (frac.empty()) return false;
+    std::uint64_t f = 0;
+    if (!parse_u64(frac, f)) return false;
+    double scale = 1.0;
+    for (std::size_t i = 0; i < frac.size(); ++i) scale *= 10.0;
+    value += static_cast<double>(f) / scale;
+  }
+  if (value > 1.0) return false;
+  out = value;
+  return true;
+}
+
+} // namespace
+
+std::optional<NetFaultSpec> NetFaultSpec::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  NetFaultSpec spec;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view field = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (key == "seed") {
+      if (!parse_u64(value, spec.seed)) return std::nullopt;
+    } else if (key == "delay") {
+      // delay=P:MS — probability and the latency it injects.
+      const std::size_t colon = value.find(':');
+      if (colon == std::string_view::npos) return std::nullopt;
+      if (!parse_prob(value.substr(0, colon), spec.delay_prob) ||
+          !parse_int(value.substr(colon + 1), spec.delay_ms) ||
+          spec.delay_ms < 0) {
+        return std::nullopt;
+      }
+    } else if (key == "corrupt") {
+      if (!parse_prob(value, spec.corrupt_prob)) return std::nullopt;
+    } else if (key == "truncate") {
+      if (!parse_prob(value, spec.truncate_prob)) return std::nullopt;
+    } else if (key == "stall") {
+      if (!parse_prob(value, spec.stall_prob)) return std::nullopt;
+    } else if (key == "drop") {
+      if (!parse_prob(value, spec.drop_prob)) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+    if (comma == text.size()) break;
+  }
+  return spec;
+}
+
+std::uint64_t NetFaultInjector::next_u64() {
+  // splitmix64 step — same finalizer family as derive_fault_seed, so the
+  // whole schedule is a pure function of (spec seed, channel salt).
+  state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double NetFaultInjector::next_unit() {
+  // Top 53 bits give a uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+NetFaultAction NetFaultInjector::next_action() {
+  if (!enabled_) return NetFaultAction::kPass;
+  const double u = next_unit();
+  double acc = spec_.drop_prob;
+  if (u < acc) return NetFaultAction::kDrop;
+  acc += spec_.stall_prob;
+  if (u < acc) return NetFaultAction::kStall;
+  acc += spec_.truncate_prob;
+  if (u < acc) return NetFaultAction::kTruncate;
+  acc += spec_.corrupt_prob;
+  if (u < acc) return NetFaultAction::kCorrupt;
+  acc += spec_.delay_prob;
+  if (u < acc) return NetFaultAction::kDelay;
+  return NetFaultAction::kPass;
+}
+
+void NetFaultInjector::corrupt(std::string& payload) {
+  if (payload.empty()) return;
+  const std::uint64_t draw = next_u64();
+  const std::size_t byte =
+      static_cast<std::size_t>(draw % payload.size());
+  payload[byte] = static_cast<char>(
+      static_cast<unsigned char>(payload[byte]) ^
+      (1u << ((draw >> 32) & 7u)));
+}
+
+std::size_t NetFaultInjector::truncate_point(std::size_t total) {
+  if (total <= 1) return total == 0 ? 0 : 1;
+  return 1 + static_cast<std::size_t>(next_u64() % (total - 1));
+}
+
+bool FrameWriteShim::write(int fd, std::string payload) {
+  if (stalled_) return true; // black hole: swallow silently, stay "up"
+  if (!injector_.enabled()) return write_frame(fd, payload);
+  switch (injector_.next_action()) {
+    case NetFaultAction::kPass:
+      return write_frame(fd, payload);
+    case NetFaultAction::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(injector_.delay_ms()));
+      return write_frame(fd, payload);
+    case NetFaultAction::kCorrupt:
+      injector_.corrupt(payload);
+      return write_frame(fd, payload);
+    case NetFaultAction::kTruncate: {
+      // Write a prefix of the framed bytes, then report the connection
+      // dead: the peer sees a mid-frame EOF once the caller closes.
+      const FrameHeader hdr{static_cast<std::uint32_t>(payload.size())};
+      std::vector<char> framed(sizeof hdr + payload.size());
+      std::memcpy(framed.data(), &hdr, sizeof hdr);
+      std::memcpy(framed.data() + sizeof hdr, payload.data(),
+                  payload.size());
+      const std::size_t keep = injector_.truncate_point(framed.size());
+      (void)write_all(fd, framed.data(), keep);
+      return false;
+    }
+    case NetFaultAction::kStall:
+      stalled_ = true;
+      return true;
+    case NetFaultAction::kDrop:
+      return false;
+  }
+  return false;
+}
+
+} // namespace tmemo::net

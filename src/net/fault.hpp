@@ -1,0 +1,150 @@
+// Deterministic network fault injection for the campaign fabric
+// (--inject-net, docs/DISTRIBUTED.md "Chaos testing").
+//
+// inject/worker_crash.hpp makes a worker *process* die on cue; this header
+// makes the *network between* supervisor and workerd misbehave on cue: an
+// outgoing frame can be delayed, corrupted in place, truncated mid-write,
+// silently black-holed (the half-open "stall"), or the connection dropped
+// outright. Like every injector in the tree (lint rule R8's intent) the
+// schedule is fully deterministic: each channel draws from a splitmix64
+// stream seeded through derive_fault_seed(spec seed, channel salt), never
+// from wall-clock time or OS entropy, so a chaos campaign replays its
+// exact fault schedule from the --inject-net spec alone.
+//
+// Faults apply to *outgoing post-handshake* frames only. Registration
+// stays clean — an unregistered peer is already covered by the handshake
+// timeout and ceiling — and read-side faults are redundant: every injected
+// write fault is some peer's read fault.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "inject/fault_config.hpp"
+
+namespace tmemo::net {
+
+/// What the injector decided for one outgoing frame. Drawn with one
+/// uniform variate against the cumulative probabilities in this order, so
+/// the spec's knobs partition the unit interval: drop, stall, truncate,
+/// corrupt, delay, pass.
+enum class NetFaultAction : std::uint8_t {
+  kPass,     ///< frame goes out untouched
+  kDelay,    ///< frame goes out after delay_ms of added latency
+  kCorrupt,  ///< one payload byte is flipped (framing stays intact)
+  kTruncate, ///< only a prefix of the frame is written; channel is dead
+  kStall,    ///< this and every later frame is silently black-holed
+  kDrop,     ///< the connection is torn down immediately
+};
+
+[[nodiscard]] constexpr const char* net_fault_action_name(
+    NetFaultAction a) noexcept {
+  switch (a) {
+    case NetFaultAction::kPass: return "pass";
+    case NetFaultAction::kDelay: return "delay";
+    case NetFaultAction::kCorrupt: return "corrupt";
+    case NetFaultAction::kTruncate: return "truncate";
+    case NetFaultAction::kStall: return "stall";
+    case NetFaultAction::kDrop: return "drop";
+  }
+  return "unknown";
+}
+
+/// Parsed --inject-net spec. Grammar: comma-separated key=value pairs
+///   seed=U64  delay=P:MS  corrupt=P  truncate=P  stall=P  drop=P
+/// with every P a probability in [0,1] applied per outgoing frame, e.g.
+///   --inject-net seed=7,drop=0.02,stall=0.01,corrupt=0.05,delay=0.2:20
+/// A default-constructed spec injects nothing.
+struct NetFaultSpec {
+  std::uint64_t seed = 0;
+  double delay_prob = 0.0;
+  int delay_ms = 0;
+  double corrupt_prob = 0.0;
+  double truncate_prob = 0.0;
+  double stall_prob = 0.0;
+  double drop_prob = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return delay_prob > 0.0 || corrupt_prob > 0.0 || truncate_prob > 0.0 ||
+           stall_prob > 0.0 || drop_prob > 0.0;
+  }
+
+  /// Parses the CLI grammar above. Returns nullopt on malformed input
+  /// (unknown key, probability outside [0,1], missing delay latency).
+  [[nodiscard]] static std::optional<NetFaultSpec> parse(
+      std::string_view text);
+};
+
+/// One channel's deterministic fault stream: a splitmix64 generator seeded
+/// via derive_fault_seed(spec.seed, channel_salt), drawn once per outgoing
+/// frame. Distinct channels (supervisor slots, workerd connection
+/// ordinals) get distinct salts, so their schedules are independent but
+/// each replays exactly.
+class NetFaultInjector {
+ public:
+  /// Disabled injector: next_action() is always kPass.
+  NetFaultInjector() = default;
+
+  NetFaultInjector(const NetFaultSpec& spec, std::uint64_t channel_salt)
+      : spec_(spec),
+        state_(inject::derive_fault_seed(spec.seed, channel_salt)),
+        enabled_(spec.enabled()) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] int delay_ms() const noexcept { return spec_.delay_ms; }
+
+  /// Draws the verdict for the next outgoing frame.
+  [[nodiscard]] NetFaultAction next_action();
+
+  /// Flips one deterministically chosen bit of one payload byte (framing
+  /// stays intact, so the receiver sees a well-framed garbage payload).
+  void corrupt(std::string& payload);
+
+  /// How many bytes of a `total`-byte frame survive a truncation: at
+  /// least 1 and at most total - 1, so the peer always sees a short frame.
+  [[nodiscard]] std::size_t truncate_point(std::size_t total);
+
+ private:
+  [[nodiscard]] std::uint64_t next_u64();
+  /// Uniform draw in [0, 1).
+  [[nodiscard]] double next_unit();
+
+  NetFaultSpec spec_{};
+  std::uint64_t state_ = 0;
+  bool enabled_ = false;
+};
+
+/// The injected write path of one fabric channel. Disarmed (default) it is
+/// a plain write_frame; armed it applies the injector's verdict to every
+/// outgoing frame. Callers own the fd — the shim never closes it, it only
+/// reports the connection unusable.
+class FrameWriteShim {
+ public:
+  FrameWriteShim() = default;
+
+  /// Arms fault injection on this channel. The salt must be stable for
+  /// the channel (supervisor: worker slot id; workerd: connection
+  /// ordinal offset into a disjoint range) so the schedule replays.
+  void arm(const NetFaultSpec& spec, std::uint64_t channel_salt) {
+    injector_ = NetFaultInjector(spec, channel_salt);
+    stalled_ = false;
+  }
+
+  /// Writes one frame through the injector. False means the connection
+  /// must be treated as lost (an injected drop/truncation, or a real I/O
+  /// failure). A stalled channel swallows this and every later frame
+  /// silently — returning true, exactly like a half-open TCP peer — until
+  /// the other end's keepalive or timeout machinery reclaims it.
+  [[nodiscard]] bool write(int fd, std::string payload);
+
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
+
+ private:
+  NetFaultInjector injector_{};
+  bool stalled_ = false;
+};
+
+} // namespace tmemo::net

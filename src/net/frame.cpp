@@ -115,10 +115,87 @@ bool decode_hello_ack(const std::string& payload, HelloAckFrame& out) {
   return out.magic == kHelloAckMagic;
 }
 
+std::uint64_t frame_digest(const char* data, std::size_t n) noexcept {
+  // FNV-1a 64-bit; offset basis and prime from Fowler/Noll/Vo.
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+/// Digest of a fixed header with its check field zeroed, folded to 32
+/// bits. Takes the struct by value so the caller's copy keeps its stamp.
+template <typename Frame>
+std::uint32_t pod_check(Frame frame) noexcept {
+  frame.check = 0;
+  char bytes[sizeof frame];
+  std::memcpy(bytes, &frame, sizeof frame);
+  const std::uint64_t d = frame_digest(bytes, sizeof bytes);
+  return static_cast<std::uint32_t>(d ^ (d >> 32));
+}
+
+} // namespace
+
+std::uint32_t header_check(EventFrameHeader hdr) noexcept {
+  return pod_check(hdr);
+}
+
+std::uint32_t header_check(JobDispatchFrame frame) noexcept {
+  return pod_check(frame);
+}
+
 bool decode_event_header(const std::string& payload, EventFrameHeader& out) {
   if (payload.size() < sizeof(EventFrameHeader)) return false;
   std::memcpy(&out, payload.data(), sizeof out);
-  return out.type >= kJobStarted && out.type <= kEventTypeMax;
+  return out.type >= kJobStarted && out.type <= kEventTypeMax &&
+         out.check == header_check(out);
+}
+
+std::string encode_event(std::uint8_t type, std::uint64_t arg) {
+  std::ostringstream os;
+  EventFrameHeader hdr{type, {}, 0, arg};
+  hdr.check = header_check(hdr);
+  write_pod(os, hdr);
+  return os.str();
+}
+
+std::string encode_dispatch(std::uint64_t job, std::int32_t start_attempt) {
+  std::ostringstream os;
+  JobDispatchFrame frame;
+  frame.job = job;
+  frame.start_attempt = start_attempt;
+  frame.check = header_check(frame);
+  write_pod(os, frame);
+  return os.str();
+}
+
+bool decode_dispatch(const std::string& payload, JobDispatchFrame& out) {
+  if (payload.size() != sizeof(JobDispatchFrame)) return false;
+  std::memcpy(&out, payload.data(), sizeof out);
+  return out.type == kJobDispatch && out.check == header_check(out);
+}
+
+std::string encode_result_frame(std::uint64_t job, const std::string& body) {
+  std::ostringstream os;
+  EventFrameHeader hdr{kJobDone, {}, 0, job};
+  hdr.check = header_check(hdr);
+  write_pod(os, hdr);
+  write_pod(os, frame_digest(body));
+  os.write(body.data(), static_cast<std::streamsize>(body.size()));
+  return os.str();
+}
+
+bool verify_result_body(const std::string& payload) noexcept {
+  if (payload.size() < kResultBodyOffset) return false;
+  std::uint64_t digest = 0;
+  std::memcpy(&digest, payload.data() + sizeof(EventFrameHeader),
+              sizeof digest);
+  return digest == frame_digest(payload.data() + kResultBodyOffset,
+                                payload.size() - kResultBodyOffset);
 }
 
 void pack_metrics_snapshot(std::ostream& os,

@@ -9,13 +9,26 @@
 // libFuzzer harness (tests/fuzz/fuzz_frame_decoder.cpp) all consume one
 // decoder.
 //
-// Frame grammar (unchanged from the pipe protocol; FrameHeader is the u32
-// length prefix from common/pod_io.hpp):
-//   supervisor -> worker : JobDispatchFrame
+// Frame grammar (protocol v2; FrameHeader is the u32 length prefix from
+// common/pod_io.hpp). Every post-handshake frame in either direction opens
+// with one type byte, so both ends dispatch on it uniformly:
+//   supervisor -> worker : JobDispatchFrame{kJobDispatch}
+//   supervisor -> worker : EventFrameHeader{kPing}      liveness probe
+//   supervisor -> worker : EventFrameHeader{kGoodbye}   campaign complete
 //   worker -> supervisor : EventFrameHeader{kJobStarted}          heartbeat
-//   worker -> supervisor : EventFrameHeader{kJobDone} + sized_string
-//                          journal_csv_row + u8 has_metrics
+//   worker -> supervisor : EventFrameHeader{kJobDone} + u64 body digest
+//                          + sized_string journal_csv_row + u8 has_metrics
 //                          [+ packed MetricsSnapshot]
+//   worker -> supervisor : EventFrameHeader{kPong}      ping echo
+//   worker -> supervisor : EventFrameHeader{kGoodbye}   graceful drain
+//
+// Every fixed header carries a 32-bit self-check and the result frame a
+// 64-bit digest of its variable body (FNV-1a, frame_digest below), so a
+// frame corrupted in flight — a flipped bit that still parses, which a
+// CSV result row happily survives — is rejected as a protocol violation
+// instead of silently poisoning the campaign grid. The length prefix alone
+// cannot catch this: corruption that preserves the length is invisible to
+// framing.
 // TCP workers additionally open with a registration handshake:
 //   worker -> supervisor : HelloFrame   (magic, protocol version,
 //                          capability flags, campaign digest, job count)
@@ -56,7 +69,11 @@ inline constexpr std::uint32_t kMaxHandshakeFrameBytes = 1024;
 
 /// Version of the dispatch/heartbeat/result frame grammar. Bumped on any
 /// layout change; supervisor and workerd refuse to pair across versions.
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2: every post-handshake frame opens with a type byte (JobDispatchFrame
+/// grew its kJobDispatch prefix), added the kPing/kPong liveness probes
+/// plus the kGoodbye clean-shutdown/drain frame, and made frames
+/// self-checking: a u32 header check plus a u64 body digest on results.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
 /// First bytes of a HelloFrame ("tmWk" on a little-endian host). A peer
 /// with a different ABI or byte order fails this check immediately.
@@ -64,12 +81,23 @@ inline constexpr std::uint32_t kHelloMagic = 0x6b576d74u;
 /// First bytes of a HelloAckFrame ("tmAk" little-endian).
 inline constexpr std::uint32_t kHelloAckMagic = 0x6b416d74u;
 
-/// Worker -> supervisor event types (EventFrameHeader::type). Any other
-/// value is a protocol violation; decode_event_header rejects it before
-/// the payload is touched.
-inline constexpr std::uint8_t kJobStarted = 1; ///< heartbeat: job accepted
-inline constexpr std::uint8_t kJobDone = 2;    ///< result frame
-inline constexpr std::uint8_t kEventTypeMax = kJobDone;
+/// Frame types (first byte of every post-handshake frame, both
+/// directions). Any other value is a protocol violation;
+/// decode_event_header rejects it before the payload is touched. The
+/// direction column is part of the protocol: a kPing from a worker or a
+/// kJobDispatch sent to the supervisor is a violation too, enforced by the
+/// respective frame handlers.
+inline constexpr std::uint8_t kJobStarted = 1;  ///< w->s heartbeat
+inline constexpr std::uint8_t kJobDone = 2;     ///< w->s result frame
+inline constexpr std::uint8_t kJobDispatch = 3; ///< s->w one job dispatch
+inline constexpr std::uint8_t kPing = 4;  ///< s->w liveness probe (seq in
+                                          ///< the u64 field, echoed back)
+inline constexpr std::uint8_t kPong = 5;  ///< w->s ping echo
+inline constexpr std::uint8_t kGoodbye = 6; ///< either direction: clean
+                                            ///< shutdown (supervisor:
+                                            ///< campaign complete; worker:
+                                            ///< graceful drain)
+inline constexpr std::uint8_t kEventTypeMax = kGoodbye;
 
 /// HelloFrame / HelloAckFrame capability bits. In the ack they mirror the
 /// campaign's SweepSpec::metrics / SweepSpec::timeline exactly, so a remote
@@ -93,22 +121,37 @@ enum class HelloReject : std::uint32_t {
 // ---------------------------------------------------------------------------
 // Fixed-layout frame payloads.
 
-/// Supervisor -> worker: one job dispatch.
+/// Supervisor -> worker: one job dispatch. Opens with the kJobDispatch
+/// type byte (protocol v2) so the worker can tell a dispatch from a
+/// control frame (kPing/kGoodbye) before parsing further. `check` is the
+/// header self-check (header_check below, computed with the field zeroed);
+/// decode_dispatch rejects a mismatch, so a bit flipped anywhere in the
+/// frame — type, job index or start attempt — cannot mis-dispatch a job.
 struct JobDispatchFrame {
+  std::uint8_t type = kJobDispatch;
+  std::uint8_t reserved0[3] = {}; ///< explicit, so no byte is uninitialized
+  std::uint32_t check = 0;        ///< self-check; see header_check
   std::uint64_t job = 0;          ///< index into the campaign's job list
   std::int32_t start_attempt = 1; ///< resume the retry loop here
   std::int32_t reserved = 0;      ///< explicit, so no byte is uninitialized
 };
 static_assert(std::is_trivially_copyable_v<JobDispatchFrame> &&
-                  sizeof(JobDispatchFrame) == 16,
+                  sizeof(JobDispatchFrame) == 24,
               "pod_io wire layout");
 
-/// Worker -> supervisor: fixed prefix of every event frame (heartbeat and
-/// result frames share it; the result frame appends its variable payload).
+/// Fixed prefix of every control/event frame in either direction
+/// (heartbeat, result, ping, pong, goodbye; the result frame appends its
+/// variable payload). The u64 field carries the job index for job events,
+/// the echo sequence number for kPing/kPong, and the served-job count for
+/// a worker's kGoodbye. `check` is the header self-check (header_check,
+/// computed with the field zeroed); decode_event_header rejects a
+/// mismatch, so a single flipped bit cannot turn one control frame into
+/// another (a kPing reading as kGoodbye would end a session early).
 struct EventFrameHeader {
-  std::uint8_t type = 0;         ///< kJobStarted / kJobDone
-  std::uint8_t reserved[7] = {}; ///< explicit, so no byte is uninitialized
-  std::uint64_t job = 0;         ///< job index the event refers to
+  std::uint8_t type = 0;         ///< kJobStarted .. kGoodbye
+  std::uint8_t reserved[3] = {}; ///< explicit, so no byte is uninitialized
+  std::uint32_t check = 0;       ///< self-check; see header_check
+  std::uint64_t job = 0;         ///< job index / ping seq / drain count
 };
 static_assert(std::is_trivially_copyable_v<EventFrameHeader> &&
                   sizeof(EventFrameHeader) == 16,
@@ -204,6 +247,32 @@ class FrameBuffer {
 };
 
 // ---------------------------------------------------------------------------
+// Frame integrity (protocol v2).
+
+/// FNV-1a 64-bit over a byte range: the digest behind every header
+/// self-check and result-body digest. Not cryptographic — the threat model
+/// is in-flight corruption (a flaky link, a chaos injector, a buggy
+/// middlebox), not an adversary forging frames; any single flipped bit
+/// changes the digest.
+[[nodiscard]] std::uint64_t frame_digest(const char* data,
+                                         std::size_t n) noexcept;
+[[nodiscard]] inline std::uint64_t frame_digest(
+    const std::string& bytes) noexcept {
+  return frame_digest(bytes.data(), bytes.size());
+}
+
+/// Self-check value of a fixed frame header: frame_digest over the struct
+/// bytes with the `check` field zeroed, folded to 32 bits. The encoders
+/// stamp it; the decoders verify it.
+[[nodiscard]] std::uint32_t header_check(EventFrameHeader hdr) noexcept;
+[[nodiscard]] std::uint32_t header_check(JobDispatchFrame frame) noexcept;
+
+/// Byte offset of a result frame's variable body: the fixed header plus
+/// the u64 body digest.
+inline constexpr std::size_t kResultBodyOffset =
+    sizeof(EventFrameHeader) + sizeof(std::uint64_t);
+
+// ---------------------------------------------------------------------------
 // Payload encode/decode.
 
 [[nodiscard]] std::string encode_hello(const HelloFrame& hello);
@@ -220,9 +289,48 @@ class FrameBuffer {
                                     HelloAckFrame& out);
 
 /// Decodes and validates the fixed event-frame prefix: payload must be at
-/// least sizeof(EventFrameHeader) and the type must be a known event type.
+/// least sizeof(EventFrameHeader), the type must be a known event type and
+/// the header self-check must match (a corrupted header is a protocol
+/// violation, not a different frame).
 [[nodiscard]] bool decode_event_header(const std::string& payload,
                                        EventFrameHeader& out);
+
+/// Encodes one bare control frame (kPing / kPong / kGoodbye / kJobStarted
+/// heartbeat) as its EventFrameHeader payload, self-check stamped.
+[[nodiscard]] std::string encode_event(std::uint8_t type, std::uint64_t arg);
+
+/// Encodes a supervisor->worker JobDispatchFrame, self-check stamped.
+[[nodiscard]] std::string encode_dispatch(std::uint64_t job,
+                                          std::int32_t start_attempt);
+
+/// Decodes a supervisor->worker JobDispatchFrame: the payload must be
+/// exactly sizeof(JobDispatchFrame), open with the kJobDispatch type byte
+/// and carry a matching self-check. Range checks on job/start_attempt stay
+/// with the caller, which knows the campaign.
+[[nodiscard]] bool decode_dispatch(const std::string& payload,
+                                   JobDispatchFrame& out);
+
+/// Encodes a worker->supervisor result frame: EventFrameHeader{kJobDone}
+/// + u64 digest of `body` + `body` (the serialized row, metrics flag and
+/// optional packed snapshot).
+[[nodiscard]] std::string encode_result_frame(std::uint64_t job,
+                                              const std::string& body);
+
+/// Verifies a kJobDone payload's body digest (the u64 after the header
+/// against the bytes that follow it). A mismatch means the frame was
+/// corrupted in flight: the row may still parse — a flipped digit in an
+/// energy column is valid CSV — so the digest, not the parser, is the
+/// gatekeeper. False also when the payload is too short to hold a digest.
+[[nodiscard]] bool verify_result_body(const std::string& payload) noexcept;
+
+/// First byte of a post-handshake frame, or 0 for an empty payload (0 is
+/// not a valid frame type, so callers can dispatch on the return alone).
+[[nodiscard]] inline std::uint8_t peek_frame_type(
+    const std::string& payload) noexcept {
+  return payload.empty() ? 0
+                         : static_cast<std::uint8_t>(
+                               static_cast<unsigned char>(payload[0]));
+}
 
 // ---------------------------------------------------------------------------
 // MetricsSnapshot over the wire. Every instrument value is uint64

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <netdb.h>
+#include <signal.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -177,6 +178,28 @@ void Listener::close_listener() {
   if (fd_ >= 0) {
     close_fd(fd_);
     fd_ = -1;
+  }
+}
+
+ScopedIgnoreSigpipe::ScopedIgnoreSigpipe() {
+  static_assert(sizeof(prev_) >= sizeof(struct sigaction),
+                "opaque sigaction storage too small");
+  struct sigaction ignore = {};
+  ignore.sa_handler = SIG_IGN;
+  struct sigaction prev = {};
+  if (::sigaction(SIGPIPE, &ignore, &prev) == 0) {
+    std::memcpy(prev_, &prev, sizeof prev);
+    restore_ = true;
+  }
+}
+
+ScopedIgnoreSigpipe::~ScopedIgnoreSigpipe() {
+  if (restore_) {
+    struct sigaction prev = {};
+    std::memcpy(&prev, prev_, sizeof prev);
+    // Restore failure is unrecoverable and deliberately ignored: SIGPIPE
+    // stays ignored, which is the safe direction for fabric code.
+    (void)::sigaction(SIGPIPE, &prev, nullptr);
   }
 }
 

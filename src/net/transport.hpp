@@ -65,4 +65,23 @@ class Listener {
 [[nodiscard]] int connect_to(const HostPort& to, int timeout_ms,
                              std::string& error);
 
+/// RAII SIGPIPE suppression for fabric code that writes to peers which may
+/// vanish mid-frame. Both ends need it: the supervisor writing to a dead
+/// worker and workerd writing to a dead supervisor must see EPIPE from
+/// ::write (handled as "connection lost") instead of dying by signal.
+/// Restores the previous disposition on destruction.
+class ScopedIgnoreSigpipe {
+ public:
+  ScopedIgnoreSigpipe();
+  ~ScopedIgnoreSigpipe();
+  ScopedIgnoreSigpipe(const ScopedIgnoreSigpipe&) = delete;
+  ScopedIgnoreSigpipe& operator=(const ScopedIgnoreSigpipe&) = delete;
+
+ private:
+  bool restore_ = false;
+  // Opaque storage for the previous struct sigaction; kept out of the
+  // header so <csignal> details don't leak to every includer.
+  alignas(16) unsigned char prev_[160] = {};
+};
+
 } // namespace tmemo::net

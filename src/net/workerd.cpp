@@ -1,20 +1,34 @@
 #include "net/workerd.hpp"
 
+#include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/pod_io.hpp"
+#include "inject/fault_config.hpp"
 #include "net/frame.hpp"
 #include "sim/worker_proc.hpp"
 
 namespace tmemo::net {
 
 namespace {
+
+/// How often the idle wait wakes up to check the drain flag. SIGTERM also
+/// interrupts poll() directly (EINTR), so this is only the backstop for a
+/// signal delivered between syscalls.
+constexpr int kDrainPollMs = 100;
+
+/// Re-dial backoff ceiling: min(base << k, this).
+constexpr int kMaxBackoffMs = 5000;
 
 /// Closes the connection on scope exit (every return path below).
 class FdGuard {
@@ -36,9 +50,193 @@ WorkerdOutcome fail(const std::string& why) {
   return out;
 }
 
+bool drain_requested(const WorkerdOptions& options) {
+  return options.drain_flag != nullptr && *options.drain_flag != 0;
+}
+
+enum class WaitVerdict { kReadable, kDrain, kLost };
+
+/// Waits until the supervisor has bytes for us, a drain is requested, or
+/// the peer is gone. The SIGTERM handler interrupts poll() (installed
+/// without SA_RESTART), so a drain request is seen promptly even idle.
+WaitVerdict wait_readable(int fd, const WorkerdOptions& options) {
+  for (;;) {
+    if (drain_requested(options)) return WaitVerdict::kDrain;
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kDrainPollMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue; // signal landed; loop re-checks drain
+      return WaitVerdict::kLost;
+    }
+    if (rc == 0) continue;
+    if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) return WaitVerdict::kLost;
+    // POLLIN or POLLHUP: let read_frame consume what remains and decide.
+    return WaitVerdict::kReadable;
+  }
+}
+
+/// Drain-aware sleep for the re-dial backoff: naps in kDrainPollMs chunks
+/// so a SIGTERM during backoff ends the process promptly.
+/// Returns false when a drain request cut the sleep short.
+bool backoff_sleep(int total_ms, const WorkerdOptions& options) {
+  int slept = 0;
+  while (slept < total_ms) {
+    if (drain_requested(options)) return false;
+    const int nap = std::min(kDrainPollMs, total_ms - slept);
+    std::this_thread::sleep_for(std::chrono::milliseconds(nap));
+    slept += nap;
+  }
+  return !drain_requested(options);
+}
+
+/// Reads the registration ack under a deadline. A dead supervisor whose
+/// listen backlog still accepts TCP connections (the OS completes the
+/// three-way handshake before anyone calls accept) would otherwise hang
+/// this worker forever on a reply that never comes; a silent supervisor
+/// counts as a failed dial and feeds the reconnect ladder instead.
+/// Drain-aware like wait_readable.
+bool read_ack_frame(int fd, std::string& payload, int timeout_ms,
+                    const WorkerdOptions& options) {
+  int waited = 0;
+  while (waited < timeout_ms) {
+    if (drain_requested(options)) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    const int nap = std::min(kDrainPollMs, timeout_ms - waited);
+    const int rc = ::poll(&pfd, 1, nap);
+    if (rc < 0) {
+      if (errno == EINTR) continue; // signal landed; loop re-checks drain
+      return false;
+    }
+    if (rc == 0) {
+      waited += nap;
+      continue;
+    }
+    if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) return false;
+    return read_frame(fd, payload, kMaxHandshakeFrameBytes);
+  }
+  return false;
+}
+
+enum class SessionEnd {
+  kComplete, ///< supervisor said goodbye: campaign done
+  kDrained,  ///< drain requested; goodbye sent
+  kLost,     ///< connection lost / stream corrupted: reconnect material
+};
+
+/// Serves one registered session until it ends. All outgoing frames go
+/// through the shim so --inject-net chaos applies; every parse failure is
+/// treated as a lost (untrustworthy) stream rather than a fatal protocol
+/// crime, because under fault injection a corrupted frame and a hostile
+/// supervisor look identical — reconnect heals both.
+SessionEnd serve_session(int fd, FrameWriteShim& shim, const SweepSpec& spec,
+                         const std::vector<CampaignJob>& jobs,
+                         int max_attempts,
+                         std::vector<std::unique_ptr<Workload>>& workloads,
+                         const std::string& setup_error,
+                         CampaignJournalWriter& shard,
+                         const WorkerdOptions& options, WorkerdOutcome& out,
+                         std::string& error) {
+  const bool want_metrics = spec.metrics || spec.timeline;
+  std::string payload;
+  for (;;) {
+    switch (wait_readable(fd, options)) {
+      case WaitVerdict::kDrain:
+        // Nothing is in flight (jobs run synchronously below) and every
+        // shard record is already fsynced; goodbye is best-effort — a
+        // draining worker must not hang on a dead supervisor.
+        (void)shim.write(fd, encode_event(kGoodbye, out.jobs_done));
+        return SessionEnd::kDrained;
+      case WaitVerdict::kLost:
+        error = "connection lost while waiting for work";
+        return SessionEnd::kLost;
+      case WaitVerdict::kReadable:
+        break;
+    }
+    if (!read_frame(fd, payload)) {
+      error = "connection lost while waiting for work";
+      return SessionEnd::kLost;
+    }
+
+    JobDispatchFrame dispatch;
+    switch (peek_frame_type(payload)) {
+      case kGoodbye: {
+        // Verify before honoring: a corrupted frame whose first byte
+        // happens to read kGoodbye must not end the session as "campaign
+        // complete" — reconnect (kLost) is the honest verdict.
+        EventFrameHeader bye;
+        if (!decode_event_header(payload, bye)) {
+          error = "corrupted goodbye frame from supervisor";
+          return SessionEnd::kLost;
+        }
+        return SessionEnd::kComplete;
+      }
+      case kPing: {
+        EventFrameHeader ping;
+        if (!decode_event_header(payload, ping)) {
+          error = "corrupted liveness probe from supervisor";
+          return SessionEnd::kLost;
+        }
+        // Echo the sequence number so the supervisor can match the pong
+        // to its outstanding probe.
+        if (!shim.write(fd, encode_event(kPong, ping.job))) {
+          error = "connection lost while answering a liveness probe";
+          return SessionEnd::kLost;
+        }
+        continue;
+      }
+      case kJobDispatch:
+        if (!decode_dispatch(payload, dispatch) ||
+            dispatch.job >= jobs.size() || dispatch.start_attempt < 1) {
+          error = "corrupted dispatch frame from supervisor";
+          return SessionEnd::kLost;
+        }
+        break;
+      default:
+        error = "unrecognized frame from supervisor (corrupted stream?)";
+        return SessionEnd::kLost;
+    }
+
+    // Heartbeat before the work, so the supervisor arms the hard timeout
+    // from the job's true start.
+    if (!shim.write(fd, encode_event(kJobStarted, dispatch.job))) {
+      error = "connection lost while acknowledging a job";
+      return SessionEnd::kLost;
+    }
+
+    const JobResult result = run_dispatched_job(
+        spec, jobs, static_cast<std::size_t>(dispatch.job),
+        static_cast<int>(dispatch.start_attempt), max_attempts,
+        options.inject_crash, workloads, setup_error);
+    if (shard.is_open()) shard.append(result);
+
+    std::ostringstream body;
+    write_sized_string(body, serialize_job_result(result));
+    const std::uint8_t has_metrics = want_metrics && result.ok ? 1 : 0;
+    write_pod(body, has_metrics);
+    if (has_metrics != 0) {
+      pack_metrics_snapshot(body, result.report.metrics);
+    }
+    if (!shim.write(fd, encode_result_frame(dispatch.job, body.str()))) {
+      error = "connection lost while delivering a result";
+      return SessionEnd::kLost;
+    }
+    ++out.jobs_done;
+
+    if (drain_requested(options)) {
+      // The in-flight job finished and its result went out; now leave.
+      (void)shim.write(fd, encode_event(kGoodbye, out.jobs_done));
+      return SessionEnd::kDrained;
+    }
+  }
+}
+
 } // namespace
 
 WorkerdOutcome run_workerd(SweepSpec spec, const WorkerdOptions& options) {
+  // A supervisor dying mid-write_frame must surface as EPIPE on the
+  // socket (handled as "connection lost"), not kill this process.
+  const ScopedIgnoreSigpipe sigpipe_guard;
+
   // Expand before connecting: the job count rides in the HelloFrame, and a
   // spec the supervisor would reject is cheaper to discover offline.
   // Metrics/timeline do not change the grid shape, so this count survives
@@ -50,49 +248,9 @@ WorkerdOutcome run_workerd(SweepSpec spec, const WorkerdOptions& options) {
     return fail(std::string("cannot expand campaign grid: ") + e.what());
   }
 
-  std::string connect_error;
-  const int fd =
-      connect_to(options.connect, options.connect_timeout_ms, connect_error);
-  if (fd < 0) return fail("cannot reach supervisor: " + connect_error);
-  const FdGuard guard(fd);
-
-  // Register: one HelloFrame out, one HelloAckFrame back. Until the ack
-  // arrives the supervisor is as untrusted as we are to it, so the reply
-  // is capped at the handshake ceiling too.
-  HelloFrame hello;
-  hello.capabilities = kCapMetrics | kCapTimeline;
-  hello.campaign_digest = campaign_wire_digest(spec);
-  hello.job_count = static_cast<std::uint64_t>(jobs.size());
-  if (!write_frame(fd, encode_hello(hello))) {
-    return fail("connection lost while registering");
-  }
-  std::string payload;
-  if (!read_frame(fd, payload, kMaxHandshakeFrameBytes)) {
-    return fail("supervisor closed the connection during registration");
-  }
-  HelloAckFrame ack;
-  if (!decode_hello_ack(payload, ack)) {
-    return fail("malformed registration reply (not a tmemo supervisor?)");
-  }
-  if (ack.accepted == 0) {
-    return fail("registration rejected: " +
-                std::string(hello_reject_name(
-                    static_cast<HelloReject>(ack.reason))));
-  }
-  if (ack.max_attempts < 1) {
-    return fail("registration reply carries an invalid retry budget");
-  }
-  const int max_attempts = static_cast<int>(ack.max_attempts);
-
-  // The ack pins the telemetry switches a forked worker would have
-  // inherited through fork(); re-expand so every job's RunSpec matches the
-  // supervisor's expansion bit-for-bit.
-  spec.metrics = (ack.capabilities & kCapMetrics) != 0;
-  spec.timeline = (ack.capabilities & kCapTimeline) != 0;
-  const bool want_metrics = spec.metrics || spec.timeline;
-  jobs = CampaignEngine::expand(spec);
-
-  // Private workload set, built once — exactly like a forked worker.
+  // Private workload set, built once before the first dial — exactly like
+  // a forked worker, and early enough that a slow setup cannot eat into
+  // the supervisor's no-heartbeat deadline for the first dispatched job.
   std::vector<std::unique_ptr<Workload>> workloads;
   std::string setup_error;
   try {
@@ -105,59 +263,134 @@ WorkerdOutcome run_workerd(SweepSpec spec, const WorkerdOptions& options) {
   }
 
   CampaignJournalWriter shard;
-  if (!options.journal_path.empty()) {
-    try {
-      shard.open(options.journal_path, campaign_fingerprint(spec));
-    } catch (const std::exception& e) {
-      return fail(std::string("cannot open journal shard: ") + e.what());
-    }
-  }
-
   WorkerdOutcome out;
+  std::string error;
+  int redials_left = options.reconnect_attempts;
+  int dial_failures = 0; // consecutive, drives the backoff exponent
+  bool registered_once = false;
+
   for (;;) {
-    if (!read_frame(fd, payload)) {
-      // EOF after registration is the shutdown signal: campaign complete.
+    std::string connect_error;
+    const int fd = connect_to(options.connect, options.connect_timeout_ms,
+                              connect_error);
+    if (fd >= 0) {
+      const FdGuard guard(fd);
+
+      // Register: one HelloFrame out, one HelloAckFrame back. Until the
+      // ack arrives the supervisor is as untrusted as we are to it, so
+      // the reply is capped at the handshake ceiling too. The handshake
+      // itself is never fault-injected: an unregistered peer is already
+      // covered by the supervisor's handshake deadline.
+      HelloFrame hello;
+      hello.capabilities = kCapMetrics | kCapTimeline;
+      hello.campaign_digest = campaign_wire_digest(spec);
+      hello.job_count = static_cast<std::uint64_t>(jobs.size());
+      std::string payload;
+      bool handshake_ok = false;
+      if (write_frame(fd, encode_hello(hello)) &&
+          read_ack_frame(fd, payload, options.connect_timeout_ms, options)) {
+        HelloAckFrame ack;
+        if (!decode_hello_ack(payload, ack)) {
+          return fail("malformed registration reply "
+                      "(not a tmemo supervisor?)");
+        }
+        if (ack.accepted == 0) {
+          // A rejection is permanent: re-dialing the same supervisor with
+          // the same digest can only be rejected again.
+          return fail("registration rejected: " +
+                      std::string(hello_reject_name(
+                          static_cast<HelloReject>(ack.reason))));
+        }
+        if (ack.max_attempts < 1) {
+          return fail("registration reply carries an invalid retry budget");
+        }
+        handshake_ok = true;
+
+        const int max_attempts = static_cast<int>(ack.max_attempts);
+        // The ack pins the telemetry switches a forked worker would have
+        // inherited through fork(); re-expand so every job's RunSpec
+        // matches the supervisor's expansion bit-for-bit. Re-done per
+        // session: a restarted supervisor may negotiate differently.
+        spec.metrics = (ack.capabilities & kCapMetrics) != 0;
+        spec.timeline = (ack.capabilities & kCapTimeline) != 0;
+        jobs = CampaignEngine::expand(spec);
+
+        if (!options.journal_path.empty() && !shard.is_open()) {
+          try {
+            shard.open(options.journal_path, campaign_fingerprint(spec));
+          } catch (const std::exception& e) {
+            return fail(std::string("cannot open journal shard: ") +
+                        e.what());
+          }
+        }
+
+        if (registered_once) ++out.reconnects;
+        registered_once = true;
+        // A successful registration refills the re-dial budget and resets
+        // the backoff ramp: the fabric is evidently healthy again.
+        redials_left = options.reconnect_attempts;
+        dial_failures = 0;
+
+        FrameWriteShim shim;
+        if (options.inject_net && options.inject_net->enabled()) {
+          // Channel salts live in a range disjoint from the supervisor's
+          // slot ids, so a shared --inject-net seed still yields
+          // independent schedules on the two ends of one connection.
+          shim.arm(*options.inject_net,
+                   (1ull << 32) + out.reconnects);
+        }
+
+        const SessionEnd end =
+            serve_session(fd, shim, spec, jobs, max_attempts, workloads,
+                          setup_error, shard, options, out, error);
+        if (end == SessionEnd::kComplete) {
+          out.ok = true;
+          return out;
+        }
+        if (end == SessionEnd::kDrained) {
+          out.ok = true;
+          out.drained = true;
+          return out;
+        }
+        // kLost: fall through to the retry ladder.
+      }
+      if (!handshake_ok) {
+        error = "connection lost while registering";
+      }
+    } else {
+      error = "cannot reach supervisor: " + connect_error;
+    }
+
+    if (drain_requested(options)) {
       out.ok = true;
+      out.drained = true;
       return out;
     }
-    std::istringstream in(payload);
-    JobDispatchFrame dispatch;
-    read_pod(in, dispatch);
-    if (!in.good() || dispatch.job >= jobs.size() ||
-        dispatch.start_attempt < 1) {
-      return fail("supervisor broke the dispatch protocol");
+    if (redials_left <= 0) {
+      out.connection_lost = registered_once;
+      out.error = error;
+      return out;
     }
+    --redials_left;
 
-    // Heartbeat before the work, so the supervisor arms the hard timeout
-    // from the job's true start.
-    {
-      std::ostringstream hb;
-      const EventFrameHeader started{kJobStarted, {}, dispatch.job};
-      write_pod(hb, started);
-      if (!write_frame(fd, hb.str())) {
-        return fail("connection lost while acknowledging a job");
-      }
+    // Jittered exponential backoff, deterministic per (seed, attempt) so
+    // chaos runs replay (lint R8): attempt k sleeps a draw from [b/2, b]
+    // with b = min(base << k, kMaxBackoffMs).
+    const long long base = std::max(1, options.reconnect_backoff_ms);
+    const long long grown = base << std::min(dial_failures, 12);
+    const int ceiling = static_cast<int>(
+        std::min<long long>(kMaxBackoffMs, grown));
+    const std::uint64_t draw = inject::derive_fault_seed(
+        options.reconnect_seed,
+        0x7265636f6e6e00ull + static_cast<std::uint64_t>(dial_failures));
+    const int sleep_ms =
+        ceiling / 2 + static_cast<int>(draw % (ceiling / 2 + 1));
+    ++dial_failures;
+    if (!backoff_sleep(sleep_ms, options)) {
+      out.ok = true;
+      out.drained = true;
+      return out;
     }
-
-    const JobResult result = run_dispatched_job(
-        spec, jobs, static_cast<std::size_t>(dispatch.job),
-        static_cast<int>(dispatch.start_attempt), max_attempts,
-        options.inject_crash, workloads, setup_error);
-    if (shard.is_open()) shard.append(result);
-
-    std::ostringstream done;
-    const EventFrameHeader done_hdr{kJobDone, {}, dispatch.job};
-    write_pod(done, done_hdr);
-    write_sized_string(done, serialize_job_result(result));
-    const std::uint8_t has_metrics = want_metrics && result.ok ? 1 : 0;
-    write_pod(done, has_metrics);
-    if (has_metrics != 0) {
-      pack_metrics_snapshot(done, result.report.metrics);
-    }
-    if (!write_frame(fd, done.str())) {
-      return fail("connection lost while delivering a result");
-    }
-    ++out.jobs_done;
   }
 }
 

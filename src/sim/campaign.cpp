@@ -847,6 +847,9 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
       // same loop only when explicitly asked for.
       req.workers = std::max(0, options.remote_local_workers);
       req.campaign_digest = campaign_wire_digest(spec);
+      req.keepalive_interval_ms = options.keepalive_interval_ms;
+      req.keepalive_timeout_ms = options.keepalive_timeout_ms;
+      req.inject_net = options.inject_net;
       if (options.listener != nullptr) {
         req.listener = options.listener;
       } else {
@@ -915,6 +918,12 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
           .add(result.worker_stats.remote_disconnects);
       campaign_reg.counter("campaign.remote_rejects")
           .add(result.worker_stats.remote_rejects);
+      campaign_reg.counter("campaign.remote_keepalive_pings")
+          .add(result.worker_stats.remote_keepalive_pings);
+      campaign_reg.counter("campaign.remote_keepalive_drops")
+          .add(result.worker_stats.remote_keepalive_drops);
+      campaign_reg.counter("campaign.remote_drains")
+          .add(result.worker_stats.remote_drains);
     }
     result.metrics = campaign_reg.snapshot();
     for (const JobResult& j : result.jobs) {

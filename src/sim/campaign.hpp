@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "inject/worker_crash.hpp"
+#include "net/fault.hpp"
 #include "sim/simulation.hpp"
 
 namespace tmemo {
@@ -166,6 +167,14 @@ struct WorkerPoolStats {
   std::uint64_t remote_rejects = 0;     ///< handshakes rejected (bad magic,
                                         ///< version/campaign mismatch, or
                                         ///< handshake timeout)
+  std::uint64_t remote_keepalive_pings = 0; ///< liveness probes sent to idle
+                                            ///< socket workers
+  std::uint64_t remote_keepalive_drops = 0; ///< connections reclaimed as
+                                            ///< half-open: a missed pong, or
+                                            ///< a dispatch never acknowledged
+                                            ///< within the keepalive budget
+  std::uint64_t remote_drains = 0;          ///< workerd goodbye frames
+                                            ///< (graceful SIGTERM drains)
 };
 
 /// All job results, ordered by CampaignJob::index regardless of which
@@ -268,6 +277,20 @@ struct CampaignRunOptions {
   /// Remote isolation only: forked pipe workers to run alongside the socket
   /// workers in the same supervisor loop (0 = serve remote workers only).
   int remote_local_workers = 0;
+  /// Remote isolation only: idle socket workers are pinged every this many
+  /// ms (0 disables liveness probing) and must pong within
+  /// keepalive_timeout_ms. A miss marks the connection half-open — the
+  /// peer is gone but no FIN/RST ever arrived — and folds it into the
+  /// disconnect taxonomy; likewise a dispatched job whose kJobStarted
+  /// heartbeat never arrives within interval+timeout is reclaimed and
+  /// re-dispatched under the retry budget.
+  int keepalive_interval_ms = 2000;
+  /// Remote isolation only: how long a pinged worker has to pong.
+  int keepalive_timeout_ms = 2000;
+  /// Deterministic network fault injection on the supervisor's outgoing
+  /// frames to socket workers (--inject-net; net/fault.hpp grammar).
+  /// Remote isolation only; exists to chaos-test the fabric.
+  std::optional<net::NetFaultSpec> inject_net;
   /// Append-only journal path; empty disables journaling. Every finished
   /// job is serialized and flushed as one RFC-4180 CSV record, so a killed
   /// campaign loses at most the in-flight jobs. A fresh (empty/missing)

@@ -83,21 +83,20 @@ double wall_elapsed_ms(std::chrono::steady_clock::time_point since) {
   std::string payload;
   for (;;) {
     if (!net::read_frame(job_fd, payload)) _exit(0); // EOF: campaign done
-    std::istringstream in(payload);
+    // A goodbye is the explicit form of the EOF shutdown (the socket
+    // fabric needs it; pipes accept either for symmetry).
+    if (net::peek_frame_type(payload) == net::kGoodbye) _exit(0);
     net::JobDispatchFrame dispatch;
-    read_pod(in, dispatch);
-    if (!in.good() || dispatch.job >= req.jobs->size() ||
-        dispatch.start_attempt < 1) {
+    if (!net::decode_dispatch(payload, dispatch) ||
+        dispatch.job >= req.jobs->size() || dispatch.start_attempt < 1) {
       _exit(3); // protocol violation: let the supervisor decode exit 3
     }
 
     // Heartbeat before the work: tells the supervisor which job this
     // worker now owns and arms the hard timeout from the job's true start.
-    {
-      std::ostringstream hb;
-      const net::EventFrameHeader started{net::kJobStarted, {}, dispatch.job};
-      write_pod(hb, started);
-      if (!net::write_frame(res_fd, hb.str())) _exit(3);
+    if (!net::write_frame(res_fd,
+                          net::encode_event(net::kJobStarted, dispatch.job))) {
+      _exit(3);
     }
 
     const JobResult out = run_dispatched_job(
@@ -105,14 +104,15 @@ double wall_elapsed_ms(std::chrono::steady_clock::time_point since) {
         static_cast<int>(dispatch.start_attempt), req.max_attempts,
         req.inject_crash, workloads, setup_error);
 
-    std::ostringstream done;
-    const net::EventFrameHeader done_hdr{net::kJobDone, {}, dispatch.job};
-    write_pod(done, done_hdr);
-    write_sized_string(done, serialize_job_result(out));
+    std::ostringstream body;
+    write_sized_string(body, serialize_job_result(out));
     const std::uint8_t has_metrics = req.want_metrics && out.ok ? 1 : 0;
-    write_pod(done, has_metrics);
-    if (has_metrics != 0) net::pack_metrics_snapshot(done, out.report.metrics);
-    if (!net::write_frame(res_fd, done.str())) _exit(3);
+    write_pod(body, has_metrics);
+    if (has_metrics != 0) net::pack_metrics_snapshot(body, out.report.metrics);
+    if (!net::write_frame(res_fd,
+                          net::encode_result_frame(dispatch.job, body.str()))) {
+      _exit(3);
+    }
   }
 }
 
@@ -148,6 +148,15 @@ struct WorkerSlot {
   bool deadline_armed = false;
   std::chrono::steady_clock::time_point deadline{};
   std::chrono::steady_clock::time_point job_start{};
+  // Liveness keepalive (socket slots only): when the last well-formed
+  // frame arrived, and the one outstanding ping awaiting its pong.
+  std::chrono::steady_clock::time_point last_heard{};
+  bool ping_outstanding = false;
+  std::uint64_t ping_seq = 0;
+  std::chrono::steady_clock::time_point pong_deadline{};
+  /// Outgoing frame path (socket slots): pass-through unless the request
+  /// arms --inject-net chaos on this channel.
+  net::FrameWriteShim shim;
 };
 
 /// A connection that has not yet passed the HelloFrame handshake: fully
@@ -157,27 +166,6 @@ struct PendingConn {
   int fd = -1;
   net::FrameBuffer frames{net::kMaxHandshakeFrameBytes};
   std::chrono::steady_clock::time_point deadline{};
-};
-
-/// Restores the previous SIGPIPE disposition on scope exit. The supervisor
-/// ignores SIGPIPE so a dispatch to a just-died worker surfaces as EPIPE
-/// from write() instead of killing the campaign.
-class SigpipeGuard {
- public:
-  SigpipeGuard() {
-    struct sigaction ign = {};
-    ign.sa_handler = SIG_IGN;
-    installed_ = ::sigaction(SIGPIPE, &ign, &saved_) == 0;
-  }
-  ~SigpipeGuard() {
-    if (installed_) ::sigaction(SIGPIPE, &saved_, nullptr);
-  }
-  SigpipeGuard(const SigpipeGuard&) = delete;
-  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
-
- private:
-  struct sigaction saved_ = {};
-  bool installed_ = false;
 };
 
 class ProcessSupervisor {
@@ -199,7 +187,9 @@ class ProcessSupervisor {
   }
 
   ProcessPoolOutcome run() {
-    const SigpipeGuard sigpipe;
+    // Shared with run_workerd: a dispatch to a just-died worker must
+    // surface as EPIPE from write() instead of killing the campaign.
+    const net::ScopedIgnoreSigpipe sigpipe;
     for (const std::size_t ji : req_.pending) queue_.push_back({ji, 1});
 
     while (!queue_.empty() || busy_count() > 0) {
@@ -362,11 +352,9 @@ class ProcessSupervisor {
       if (!s.live || s.busy) continue;
       const QueueItem item = queue_.front();
       queue_.pop_front();
-      std::ostringstream msg;
-      const net::JobDispatchFrame dispatch{
-          static_cast<std::uint64_t>(item.job),
-          static_cast<std::int32_t>(item.attempt), 0};
-      write_pod(msg, dispatch);
+      const std::string msg =
+          net::encode_dispatch(static_cast<std::uint64_t>(item.job),
+                               static_cast<std::int32_t>(item.attempt));
       s.busy = true;
       s.job = item.job;
       s.attempt = item.attempt;
@@ -374,10 +362,15 @@ class ProcessSupervisor {
       s.timeout_killed = false;
       // The hard-timeout deadline arms at the heartbeat, not here: a fresh
       // worker is still building its workload set when the first job frame
-      // lands, and setup must not eat the job's budget.
+      // lands, and setup must not eat the job's budget. The keepalive
+      // no-heartbeat deadline (enforce_keepalive) runs from job_start so a
+      // dispatch swallowed by a half-open socket is still reclaimed.
       s.deadline_armed = false;
       s.job_start = wall_now();
-      if (!net::write_frame(s.job_fd, msg.str())) {
+      const bool sent = s.kind == WorkerSlot::Kind::kSocket
+                            ? s.shim.write(s.job_fd, msg)
+                            : net::write_frame(s.job_fd, msg);
+      if (!sent) {
         // The worker died between jobs (EPIPE/ECONNRESET). Put the job
         // back and handle the death.
         s.busy = false;
@@ -442,6 +435,24 @@ class ProcessSupervisor {
         }
       }
       for (const PendingConn& p : pending_) consider_deadline(p.deadline, now);
+      if (req_.keepalive_interval_ms > 0) {
+        const auto interval =
+            std::chrono::milliseconds(req_.keepalive_interval_ms);
+        const auto timeout = std::chrono::milliseconds(
+            std::max(1, req_.keepalive_timeout_ms));
+        for (const WorkerSlot& s : slots_) {
+          if (!s.live || s.kind != WorkerSlot::Kind::kSocket) continue;
+          if (s.busy) {
+            if (!s.heartbeat_seen) {
+              consider_deadline(s.job_start + interval + timeout, now);
+            }
+          } else if (s.ping_outstanding) {
+            consider_deadline(s.pong_deadline, now);
+          } else {
+            consider_deadline(s.last_heard + interval, now);
+          }
+        }
+      }
     }
 
     const int ready =
@@ -473,6 +484,7 @@ class ProcessSupervisor {
     }
     enforce_handshake_deadlines();
     enforce_deadlines();
+    enforce_keepalive();
   }
 
   void accept_new_connections() {
@@ -565,6 +577,12 @@ class ProcessSupervisor {
     slot.res_fd = p.fd;
     slot.buf = p.frames.take_buffered(); // pipelined post-handshake bytes
     slot.live = true;
+    slot.last_heard = wall_now(); // registration counts as liveness
+    if (req_.inject_net && req_.inject_net->enabled()) {
+      // Chaos starts after registration; the slot id salts this channel's
+      // deterministic fault stream.
+      slot.shim.arm(*req_.inject_net, slot.id);
+    }
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
     ++stats_.remote_connects;
     slots_.push_back(std::move(slot));
@@ -636,8 +654,34 @@ class ProcessSupervisor {
 
   void handle_frame(WorkerSlot& s, const std::string& payload) {
     net::EventFrameHeader hdr;
-    if (!net::decode_event_header(payload, hdr) || !s.busy ||
-        hdr.job != static_cast<std::uint64_t>(s.job)) {
+    if (!net::decode_event_header(payload, hdr)) {
+      protocol_error(s);
+      return;
+    }
+    // Any well-formed frame proves the connection alive.
+    s.last_heard = wall_now();
+    switch (hdr.type) {
+      case net::kPong:
+        // Exactly one probe can be outstanding, so the echoed sequence
+        // number must match it; anything else is a corrupted stream.
+        if (s.kind != WorkerSlot::Kind::kSocket || !s.ping_outstanding ||
+            hdr.job != s.ping_seq) {
+          protocol_error(s);
+          return;
+        }
+        s.ping_outstanding = false;
+        return;
+      case net::kGoodbye:
+        handle_goodbye(s);
+        return;
+      case net::kJobStarted:
+      case net::kJobDone:
+        break;
+      default:
+        protocol_error(s);
+        return;
+    }
+    if (!s.busy || hdr.job != static_cast<std::uint64_t>(s.job)) {
       protocol_error(s);
       return;
     }
@@ -662,8 +706,17 @@ class ProcessSupervisor {
       return;
     }
 
+    // The digest gate comes before the parser: a flipped digit in an
+    // energy column is still valid CSV, so only the body digest can tell a
+    // corrupted result from a real one (the chaos injector found exactly
+    // this — a one-bit flip in e_base_pj survived parsing and skewed the
+    // recomputed saving column).
+    if (!net::verify_result_body(payload)) {
+      protocol_error(s);
+      return;
+    }
     std::istringstream in(payload);
-    in.ignore(sizeof hdr);
+    in.ignore(static_cast<std::streamsize>(net::kResultBodyOffset));
     std::string row;
     std::uint8_t has_metrics = 0;
     JobResult res;
@@ -699,6 +752,75 @@ class ProcessSupervisor {
     s.busy = false;
     s.deadline_armed = false;
     crash_streak_ = 0;
+  }
+
+  /// A draining workerd (SIGTERM) says goodbye before leaving. The drain
+  /// is voluntary, not a crash: if a dispatch raced the goodbye — written
+  /// before the worker read it, so the job never ran — the job is requeued
+  /// at the SAME attempt, burning no retry budget and counting no crash.
+  void handle_goodbye(WorkerSlot& s) {
+    if (s.kind != WorkerSlot::Kind::kSocket) {
+      protocol_error(s); // pipe workers shut down by EOF, never goodbye
+      return;
+    }
+    ++stats_.remote_drains;
+    note("worker_drain", s,
+         {{"mid_job", static_cast<std::uint64_t>(s.busy ? 1 : 0)}});
+    const bool was_busy = s.busy;
+    const QueueItem raced{s.job, s.attempt};
+    close_fd(s.job_fd);
+    s.job_fd = s.res_fd = -1;
+    s.live = false;
+    s.busy = false;
+    s.deadline_armed = false;
+    s.ping_outstanding = false;
+    s.buf.clear();
+    if (was_busy) queue_.push_front(raced);
+  }
+
+  /// Liveness enforcement for socket workers: ping idle connections, drop
+  /// the ones that miss their pong deadline, and reclaim dispatched jobs
+  /// whose heartbeat never arrived — the three faces of a half-open
+  /// connection. Pipe workers need none of this (pipe EOF is prompt).
+  void enforce_keepalive() {
+    if (req_.keepalive_interval_ms <= 0) return;
+    const auto now = wall_now();
+    const auto interval = std::chrono::milliseconds(req_.keepalive_interval_ms);
+    const auto timeout =
+        std::chrono::milliseconds(std::max(1, req_.keepalive_timeout_ms));
+    for (WorkerSlot& s : slots_) {
+      if (!s.live || s.kind != WorkerSlot::Kind::kSocket) continue;
+      if (s.busy) {
+        // A busy worker cannot pong (the job loop is single-threaded), but
+        // a dispatch that was never even acknowledged within the keepalive
+        // budget went into a black hole; reclaim the job.
+        if (!s.heartbeat_seen && now - s.job_start >= interval + timeout) {
+          ++stats_.remote_keepalive_drops;
+          disconnect(s, "remote worker never acknowledged the job within "
+                        "the liveness deadline (half-open connection)");
+        }
+        continue;
+      }
+      if (s.ping_outstanding) {
+        if (now >= s.pong_deadline) {
+          ++stats_.remote_keepalive_drops;
+          disconnect(s, "remote worker missed the liveness deadline "
+                        "(half-open connection)");
+        }
+        continue;
+      }
+      if (now - s.last_heard >= interval) {
+        ++s.ping_seq;
+        ++stats_.remote_keepalive_pings;
+        if (!s.shim.write(s.job_fd,
+                          net::encode_event(net::kPing, s.ping_seq))) {
+          disconnect(s, "remote worker disconnected (connection lost)");
+          continue;
+        }
+        s.ping_outstanding = true;
+        s.pong_deadline = now + timeout;
+      }
+    }
   }
 
   /// A worker that breaks the framing contract is as good as crashed: kill
@@ -768,6 +890,7 @@ class ProcessSupervisor {
     close_fd(s.job_fd);
     s.job_fd = s.res_fd = -1;
     s.live = false;
+    s.ping_outstanding = false;
     s.buf.clear();
     ++stats_.remote_disconnects;
     note("worker_disconnect", s,
@@ -857,6 +980,11 @@ class ProcessSupervisor {
         while (::waitpid(s.pid, &status, 0) < 0 && errno == EINTR) {
         }
       } else {
+        // An explicit goodbye before the close: a reconnecting workerd
+        // distinguishes "campaign complete" (exit cleanly) from a lost
+        // connection (re-dial) by this frame. Best-effort — the campaign
+        // is over either way.
+        (void)s.shim.write(s.job_fd, net::encode_event(net::kGoodbye, 0));
         close_fd(s.job_fd);
         s.job_fd = s.res_fd = -1;
       }

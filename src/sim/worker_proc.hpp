@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "sim/campaign.hpp"
 
 namespace tmemo {
@@ -70,8 +71,8 @@ struct ProcessPoolRequest {
   bool want_metrics = false;
   /// Record a supervisor lifecycle timeline (worker_spawn, worker_crash,
   /// worker_respawn, job_redispatch, job_timeout_kill, worker_connect,
-  /// worker_disconnect, worker_reject instants with ordinal — not
-  /// wall-clock — timestamps).
+  /// worker_disconnect, worker_reject, worker_drain instants with ordinal
+  /// — not wall-clock — timestamps).
   bool want_timeline = false;
   /// Called on the supervising thread with every finished JobResult in
   /// completion order; null disables journaling.
@@ -82,6 +83,19 @@ struct ProcessPoolRequest {
   /// Registration gate for remote workers: a HelloFrame whose
   /// campaign_digest differs is rejected (campaign_wire_digest).
   std::uint64_t campaign_digest = 0;
+  /// Liveness keepalive for socket workers (docs/DISTRIBUTED.md): idle
+  /// workers are pinged every `keepalive_interval_ms` (0 disables, the
+  /// low-level default — CampaignRunOptions turns it on) and must pong
+  /// within `keepalive_timeout_ms`. A miss — or a dispatched job whose
+  /// kJobStarted heartbeat never arrives within interval+timeout — marks
+  /// the connection half-open and folds it into the disconnect taxonomy,
+  /// so a black-holed peer cannot hang the campaign tail.
+  int keepalive_interval_ms = 0;
+  int keepalive_timeout_ms = 2000;
+  /// Deterministic chaos on the supervisor's outgoing socket frames
+  /// (net/fault.hpp); the channel salt is the worker slot id. Pipe workers
+  /// are never injected — the chaos target is the network fabric.
+  std::optional<net::NetFaultSpec> inject_net;
 };
 
 struct ProcessPoolOutcome {

@@ -29,6 +29,9 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     (void)tmemo::net::decode_hello_ack(payload, ack);
     tmemo::net::EventFrameHeader event;
     (void)tmemo::net::decode_event_header(payload, event);
+    tmemo::net::JobDispatchFrame dispatch;
+    (void)tmemo::net::decode_dispatch(payload, dispatch);
+    (void)tmemo::net::verify_result_body(payload);
   }
 
   // The raw bytes as a single payload (no framing), hitting the size and
@@ -39,6 +42,9 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   (void)tmemo::net::decode_hello_ack(bytes, ack);
   tmemo::net::EventFrameHeader event;
   (void)tmemo::net::decode_event_header(bytes, event);
+  tmemo::net::JobDispatchFrame dispatch;
+  (void)tmemo::net::decode_dispatch(bytes, dispatch);
+  (void)tmemo::net::verify_result_body(bytes);
 
   // The metrics unpacker guards its entry counts before resizing; any
   // byte stream must come back false or as a bounded snapshot.

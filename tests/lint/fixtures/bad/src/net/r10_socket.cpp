@@ -1,6 +1,6 @@
 // Bad fixture for the R10 (syscall-discipline) socket extension: the rule
 // engages on src/net/ paths and covers the TCP fabric's syscalls. Expected:
-// 5 findings, 1 suppressed.
+// 9 findings, 1 suppressed.
 #include <cerrno>
 
 extern "C" {
@@ -55,6 +55,35 @@ int good_socket() {
 // Discarded ::setsockopt, suppressed on the line: 1 suppressed.
 void suppressed_setsockopt(int fd, int one) {
   ::setsockopt(fd, 1, 2, &one, sizeof one);  // tmemo-lint: allow(syscall-discipline)
+}
+
+} // namespace fixture
+
+// -- Reconnect-fabric extensions (PR 9) --------------------------------------
+
+extern "C" {
+int poll(void*, unsigned long, int);
+int getsockopt(int, int, int, void*, unsigned*);
+int shutdown(int, int);
+}
+
+namespace fixture {
+
+// Discarded ::poll result, and poll is interruptible with no EINTR
+// consultation in scope: 2 findings.
+void bad_poll(void* pfd) {
+  ::poll(pfd, 1, 100);
+}
+
+// Discarded ::getsockopt result (the nonblocking-connect SO_ERROR probe
+// must be checked or a failed dial reads as a success): 1 finding.
+void bad_getsockopt(int fd, int* so_error, unsigned* len) {
+  ::getsockopt(fd, 1, 4, so_error, len);
+}
+
+// Discarded ::shutdown result: 1 finding.
+void bad_shutdown(int fd) {
+  ::shutdown(fd, 2);
 }
 
 } // namespace fixture

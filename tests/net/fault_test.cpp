@@ -1,0 +1,287 @@
+// Deterministic network fault injection (net/fault.hpp, --inject-net):
+// spec-grammar parsing, schedule determinism across replays and channel
+// salts, the single-bit corruption and truncation invariants, and the
+// FrameWriteShim's per-action behaviour over a real pipe.
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bitset>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace tmemo::net {
+namespace {
+
+// -- Spec grammar -------------------------------------------------------------
+
+TEST(NetFaultSpecParse, AcceptsTheDocumentedGrammar) {
+  const auto spec =
+      NetFaultSpec::parse("seed=7,drop=0.02,stall=0.01,corrupt=0.05,"
+                          "truncate=0.03,delay=0.2:20");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_DOUBLE_EQ(spec->drop_prob, 0.02);
+  EXPECT_DOUBLE_EQ(spec->stall_prob, 0.01);
+  EXPECT_DOUBLE_EQ(spec->corrupt_prob, 0.05);
+  EXPECT_DOUBLE_EQ(spec->truncate_prob, 0.03);
+  EXPECT_DOUBLE_EQ(spec->delay_prob, 0.2);
+  EXPECT_EQ(spec->delay_ms, 20);
+  EXPECT_TRUE(spec->enabled());
+}
+
+TEST(NetFaultSpecParse, AcceptsProbabilityEndpoints) {
+  const auto spec = NetFaultSpec::parse("seed=1,drop=1,stall=0");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_DOUBLE_EQ(spec->drop_prob, 1.0);
+  EXPECT_DOUBLE_EQ(spec->stall_prob, 0.0);
+}
+
+TEST(NetFaultSpecParse, SeedAloneInjectsNothing) {
+  const auto spec = NetFaultSpec::parse("seed=42");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_FALSE(spec->enabled());
+}
+
+TEST(NetFaultSpecParse, RejectsMalformedInput) {
+  EXPECT_FALSE(NetFaultSpec::parse("").has_value());
+  EXPECT_FALSE(NetFaultSpec::parse("bogus=1").has_value());
+  EXPECT_FALSE(NetFaultSpec::parse("drop=1.5").has_value());
+  EXPECT_FALSE(NetFaultSpec::parse("drop=-0.1").has_value());
+  EXPECT_FALSE(NetFaultSpec::parse("drop=").has_value());
+  EXPECT_FALSE(NetFaultSpec::parse("drop").has_value());
+  EXPECT_FALSE(NetFaultSpec::parse("seed=notanumber").has_value());
+  // delay requires its latency suffix.
+  EXPECT_FALSE(NetFaultSpec::parse("delay=0.5").has_value());
+  EXPECT_FALSE(NetFaultSpec::parse("delay=0.5:").has_value());
+  EXPECT_FALSE(NetFaultSpec::parse("delay=0.5:-3").has_value());
+  EXPECT_FALSE(NetFaultSpec::parse("drop=0.1,,stall=0.1").has_value());
+}
+
+// -- Schedule determinism -----------------------------------------------------
+
+std::vector<NetFaultAction> draw_schedule(const NetFaultSpec& spec,
+                                          std::uint64_t salt, int n) {
+  NetFaultInjector inj(spec, salt);
+  std::vector<NetFaultAction> actions;
+  actions.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) actions.push_back(inj.next_action());
+  return actions;
+}
+
+TEST(NetFaultInjector, SameSeedAndSaltReplaysTheExactSchedule) {
+  const auto spec =
+      NetFaultSpec::parse("seed=99,drop=0.1,stall=0.1,corrupt=0.2");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(draw_schedule(*spec, 3, 256), draw_schedule(*spec, 3, 256));
+}
+
+TEST(NetFaultInjector, DistinctChannelSaltsYieldIndependentSchedules) {
+  const auto spec = NetFaultSpec::parse("seed=99,drop=0.5");
+  ASSERT_TRUE(spec.has_value());
+  // The supervisor salts by worker slot id and workerd by connection
+  // ordinal in a disjoint range; a shared campaign seed must still give
+  // every channel its own stream.
+  EXPECT_NE(draw_schedule(*spec, 0, 256), draw_schedule(*spec, 1, 256));
+  EXPECT_NE(draw_schedule(*spec, 0, 256),
+            draw_schedule(*spec, (1ull << 32), 256));
+}
+
+TEST(NetFaultInjector, DisabledSpecAlwaysPasses) {
+  NetFaultInjector inj(NetFaultSpec{}, 0);
+  EXPECT_FALSE(inj.enabled());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(inj.next_action(), NetFaultAction::kPass);
+  }
+}
+
+TEST(NetFaultInjector, CertainProbabilityAlwaysFires) {
+  const auto spec = NetFaultSpec::parse("seed=5,drop=1");
+  ASSERT_TRUE(spec.has_value());
+  NetFaultInjector inj(*spec, 0);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(inj.next_action(), NetFaultAction::kDrop);
+  }
+}
+
+TEST(NetFaultInjector, ProbabilitiesPartitionTheUnitInterval) {
+  // With drop+stall+corrupt+delay summing to 1 every draw lands in one of
+  // the four buckets and roughly in proportion — a sanity check that the
+  // cumulative thresholds neither overlap nor leave gaps for kPass.
+  const auto spec =
+      NetFaultSpec::parse("seed=11,drop=0.25,stall=0.25,corrupt=0.25,"
+                          "delay=0.25:1");
+  ASSERT_TRUE(spec.has_value());
+  NetFaultInjector inj(*spec, 7);
+  int counts[6] = {};
+  for (int i = 0; i < 4096; ++i) {
+    ++counts[static_cast<int>(inj.next_action())];
+  }
+  EXPECT_EQ(counts[static_cast<int>(NetFaultAction::kPass)], 0);
+  EXPECT_EQ(counts[static_cast<int>(NetFaultAction::kTruncate)], 0);
+  for (const NetFaultAction a :
+       {NetFaultAction::kDrop, NetFaultAction::kStall,
+        NetFaultAction::kCorrupt, NetFaultAction::kDelay}) {
+    EXPECT_GT(counts[static_cast<int>(a)], 4096 / 8)
+        << net_fault_action_name(a);
+  }
+}
+
+TEST(NetFaultInjector, CorruptFlipsExactlyOneBit) {
+  const auto spec = NetFaultSpec::parse("seed=3,corrupt=1");
+  ASSERT_TRUE(spec.has_value());
+  NetFaultInjector inj(*spec, 0);
+  const std::string original(64, '\x5a');
+  for (int trial = 0; trial < 32; ++trial) {
+    std::string mutated = original;
+    inj.corrupt(mutated);
+    ASSERT_EQ(mutated.size(), original.size());
+    int flipped_bits = 0;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      flipped_bits += static_cast<int>(
+          std::bitset<8>(static_cast<unsigned char>(original[i]) ^
+                         static_cast<unsigned char>(mutated[i]))
+              .count());
+    }
+    EXPECT_EQ(flipped_bits, 1) << "trial " << trial;
+  }
+}
+
+TEST(NetFaultInjector, TruncatePointAlwaysLeavesAShortFrame) {
+  const auto spec = NetFaultSpec::parse("seed=3,truncate=1");
+  ASSERT_TRUE(spec.has_value());
+  NetFaultInjector inj(*spec, 0);
+  for (const std::size_t total : {std::size_t{2}, std::size_t{24},
+                                  std::size_t{4096}}) {
+    for (int trial = 0; trial < 64; ++trial) {
+      const std::size_t keep = inj.truncate_point(total);
+      EXPECT_GE(keep, 1u);
+      EXPECT_LT(keep, total);
+    }
+  }
+}
+
+// -- FrameWriteShim over a real pipe ------------------------------------------
+
+struct PipePair {
+  int read_fd = -1;
+  int write_fd = -1;
+  PipePair() {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) == 0) {
+      read_fd = fds[0];
+      write_fd = fds[1];
+    }
+  }
+  ~PipePair() {
+    if (read_fd >= 0) ::close(read_fd);
+    if (write_fd >= 0) ::close(write_fd);
+  }
+};
+
+NetFaultSpec parse_or_die(std::string_view text) {
+  const auto spec = NetFaultSpec::parse(text);
+  EXPECT_TRUE(spec.has_value()) << text;
+  return spec.value_or(NetFaultSpec{});
+}
+
+TEST(FrameWriteShim, DisarmedShimIsAPlainFrameWrite) {
+  PipePair p;
+  ASSERT_GE(p.read_fd, 0);
+  FrameWriteShim shim;
+  ASSERT_TRUE(shim.write(p.write_fd, "clean payload"));
+  std::string payload;
+  ASSERT_TRUE(read_frame(p.read_fd, payload));
+  EXPECT_EQ(payload, "clean payload");
+  EXPECT_FALSE(shim.stalled());
+}
+
+TEST(FrameWriteShim, DropReportsTheConnectionLostWithoutWriting) {
+  PipePair p;
+  ASSERT_GE(p.read_fd, 0);
+  FrameWriteShim shim;
+  shim.arm(parse_or_die("seed=1,drop=1"), 0);
+  EXPECT_FALSE(shim.write(p.write_fd, "doomed"));
+  // Nothing reached the pipe: closing the writer gives the reader clean EOF.
+  ::close(p.write_fd);
+  p.write_fd = -1;
+  std::string payload;
+  EXPECT_FALSE(read_frame(p.read_fd, payload));
+}
+
+TEST(FrameWriteShim, StallSwallowsThisAndEveryLaterFrame) {
+  PipePair p;
+  ASSERT_GE(p.read_fd, 0);
+  FrameWriteShim shim;
+  shim.arm(parse_or_die("seed=1,stall=1"), 0);
+  // A half-open peer acks writes forever; the shim mimics that by
+  // reporting success while the frames vanish.
+  EXPECT_TRUE(shim.write(p.write_fd, "first"));
+  EXPECT_TRUE(shim.stalled());
+  EXPECT_TRUE(shim.write(p.write_fd, "second"));
+  ::close(p.write_fd);
+  p.write_fd = -1;
+  std::string payload;
+  EXPECT_FALSE(read_frame(p.read_fd, payload));
+}
+
+TEST(FrameWriteShim, CorruptKeepsFramingButMutatesThePayload) {
+  PipePair p;
+  ASSERT_GE(p.read_fd, 0);
+  FrameWriteShim shim;
+  shim.arm(parse_or_die("seed=1,corrupt=1"), 0);
+  const std::string original(32, 'A');
+  ASSERT_TRUE(shim.write(p.write_fd, original));
+  std::string payload;
+  ASSERT_TRUE(read_frame(p.read_fd, payload));
+  EXPECT_EQ(payload.size(), original.size());
+  EXPECT_NE(payload, original);
+}
+
+TEST(FrameWriteShim, TruncateLeavesThePeerMidFrame) {
+  PipePair p;
+  ASSERT_GE(p.read_fd, 0);
+  FrameWriteShim shim;
+  shim.arm(parse_or_die("seed=1,truncate=1"), 0);
+  EXPECT_FALSE(shim.write(p.write_fd, std::string(128, 'B')));
+  ::close(p.write_fd);
+  p.write_fd = -1;
+  // The peer sees a well-formed length prefix (or part of one) and then
+  // EOF before the declared payload completes: read_frame must fail.
+  std::string payload;
+  EXPECT_FALSE(read_frame(p.read_fd, payload));
+}
+
+TEST(FrameWriteShim, DelayStillDeliversTheFrameIntact) {
+  PipePair p;
+  ASSERT_GE(p.read_fd, 0);
+  FrameWriteShim shim;
+  shim.arm(parse_or_die("seed=1,delay=1:1"), 0);
+  ASSERT_TRUE(shim.write(p.write_fd, "late but intact"));
+  std::string payload;
+  ASSERT_TRUE(read_frame(p.read_fd, payload));
+  EXPECT_EQ(payload, "late but intact");
+}
+
+TEST(FrameWriteShim, RearmingResetsTheStallLatch) {
+  PipePair p;
+  ASSERT_GE(p.read_fd, 0);
+  FrameWriteShim shim;
+  shim.arm(parse_or_die("seed=1,stall=1"), 0);
+  EXPECT_TRUE(shim.write(p.write_fd, "swallowed"));
+  ASSERT_TRUE(shim.stalled());
+  // workerd re-arms the shim with a fresh salt on every reconnect; the
+  // stall latch belongs to the dead connection, not the new one.
+  shim.arm(NetFaultSpec{}, 1);
+  EXPECT_FALSE(shim.stalled());
+  ASSERT_TRUE(shim.write(p.write_fd, "delivered"));
+  std::string payload;
+  ASSERT_TRUE(read_frame(p.read_fd, payload));
+  EXPECT_EQ(payload, "delivered");
+}
+
+} // namespace
+} // namespace tmemo::net

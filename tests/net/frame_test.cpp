@@ -91,6 +91,7 @@ std::string event_payload(std::uint8_t type, std::uint64_t job) {
   EventFrameHeader hdr;
   hdr.type = type;
   hdr.job = job;
+  hdr.check = header_check(hdr);
   std::string payload(sizeof hdr, '\0');
   std::memcpy(payload.data(), &hdr, sizeof hdr);
   return payload;
@@ -123,6 +124,137 @@ TEST(EventCodec, AcceptsTrailingResultPayload) {
   ASSERT_TRUE(
       decode_event_header(event_payload(kJobDone, 3) + "row,data,1\n", out));
   EXPECT_EQ(out.job, 3u);
+}
+
+TEST(EventCodec, LivenessAndGoodbyeFramesRoundTrip) {
+  // Protocol v2 control frames: the u64 field carries the ping sequence
+  // number (echoed verbatim in the pong) and the worker's served-job count
+  // in its drain goodbye.
+  for (const std::uint8_t type : {kPing, kPong, kGoodbye}) {
+    const std::string payload = encode_event(type, 0xfeedfacecafe1234ull);
+    EXPECT_EQ(payload.size(), sizeof(EventFrameHeader));
+    EXPECT_EQ(peek_frame_type(payload), type);
+    EventFrameHeader out;
+    ASSERT_TRUE(decode_event_header(payload, out)) << unsigned{type};
+    EXPECT_EQ(out.type, type);
+    EXPECT_EQ(out.job, 0xfeedfacecafe1234ull);
+  }
+}
+
+TEST(EventCodec, RejectsAnySingleFlippedBit) {
+  // Every frame header is self-checking (protocol v2): a one-bit flip
+  // anywhere — the type byte, the u64 argument or the check itself — must
+  // fail the decode instead of reading as a different, valid frame.
+  const std::string payload = encode_event(kPing, 41);
+  EventFrameHeader out;
+  ASSERT_TRUE(decode_event_header(payload, out));
+  for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = payload;
+      flipped[byte] = static_cast<char>(
+          static_cast<unsigned char>(flipped[byte]) ^ (1u << bit));
+      EXPECT_FALSE(decode_event_header(flipped, out))
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+// -- Dispatch frames (protocol v2) --------------------------------------------
+
+TEST(DispatchCodec, RoundTripsJobAndStartAttempt) {
+  const std::string payload = encode_dispatch(17, 3);
+  EXPECT_EQ(payload.size(), sizeof(JobDispatchFrame));
+  EXPECT_EQ(peek_frame_type(payload), kJobDispatch);
+
+  JobDispatchFrame back;
+  ASSERT_TRUE(decode_dispatch(payload, back));
+  EXPECT_EQ(back.job, 17u);
+  EXPECT_EQ(back.start_attempt, 3);
+}
+
+TEST(DispatchCodec, RejectsWrongSizeAndWrongTypeByte) {
+  const std::string payload = encode_dispatch(0, 1);
+
+  JobDispatchFrame back;
+  EXPECT_FALSE(decode_dispatch(payload.substr(0, payload.size() - 1), back));
+  EXPECT_FALSE(decode_dispatch(payload + "x", back));
+  EXPECT_FALSE(decode_dispatch(std::string(), back));
+
+  // A control frame must never decode as a dispatch even if padded out to
+  // the dispatch size — the type byte is the discriminator.
+  std::string imposter = payload;
+  imposter[0] = static_cast<char>(kPing);
+  EXPECT_FALSE(decode_dispatch(imposter, back));
+}
+
+TEST(DispatchCodec, RejectsAnySingleFlippedBit) {
+  // A flipped bit in the job index or start attempt would silently run the
+  // wrong job or resume the wrong attempt; the header self-check catches
+  // every single-bit corruption.
+  const std::string payload = encode_dispatch(129, 2);
+  JobDispatchFrame back;
+  ASSERT_TRUE(decode_dispatch(payload, back));
+  for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = payload;
+      flipped[byte] = static_cast<char>(
+          static_cast<unsigned char>(flipped[byte]) ^ (1u << bit));
+      EXPECT_FALSE(decode_dispatch(flipped, back))
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(DispatchCodec, PeekFrameTypeHandlesEmptyAndControlPayloads) {
+  EXPECT_EQ(peek_frame_type(std::string()), 0);
+  EXPECT_EQ(peek_frame_type(encode_event(kGoodbye, 0)), kGoodbye);
+  EXPECT_EQ(peek_frame_type(std::string(1, '\xff')), 0xffu);
+}
+
+// -- Result frames (protocol v2 body digest) ----------------------------------
+
+TEST(ResultFrame, RoundTripsHeaderDigestAndBody) {
+  const std::string body = "row,data,1\n";
+  const std::string payload = encode_result_frame(7, body);
+  ASSERT_EQ(payload.size(), kResultBodyOffset + body.size());
+  EXPECT_EQ(peek_frame_type(payload), kJobDone);
+
+  EventFrameHeader hdr;
+  ASSERT_TRUE(decode_event_header(payload, hdr));
+  EXPECT_EQ(hdr.type, kJobDone);
+  EXPECT_EQ(hdr.job, 7u);
+  EXPECT_TRUE(verify_result_body(payload));
+  EXPECT_EQ(payload.substr(kResultBodyOffset), body);
+}
+
+TEST(ResultFrame, DigestCatchesTheParseableCorruptionTheParserCannot) {
+  // The scenario that motivated the digest: a chaos injector flipped one
+  // bit of a serialized energy column ('1' ^ 0x04 == '5'), the row still
+  // parsed, and the corrupted value reached the campaign CSV. The digest
+  // must reject it even though the CSV parser would not.
+  const std::string row = "11,haar,0.5,17154,passed";
+  const std::string payload = encode_result_frame(11, row);
+  ASSERT_TRUE(verify_result_body(payload));
+
+  std::string corrupted = payload;
+  const std::size_t victim = corrupted.find("17154") + 1;
+  corrupted[victim] = static_cast<char>(corrupted[victim] ^ 0x04); // -> '3'
+  EXPECT_FALSE(verify_result_body(corrupted));
+
+  // Bit flips in the digest itself (not the body) must fail the same way.
+  std::string bad_digest = payload;
+  bad_digest[sizeof(EventFrameHeader)] =
+      static_cast<char>(bad_digest[sizeof(EventFrameHeader)] ^ 0x01);
+  EXPECT_FALSE(verify_result_body(bad_digest));
+}
+
+TEST(ResultFrame, RejectsPayloadsTooShortForADigest) {
+  EXPECT_FALSE(verify_result_body(std::string()));
+  EXPECT_FALSE(verify_result_body(encode_event(kJobDone, 3)));
+  EXPECT_FALSE(verify_result_body(
+      encode_result_frame(0, "x").substr(0, kResultBodyOffset - 1)));
+  // An empty body is legitimate framing (the digest covers zero bytes).
+  EXPECT_TRUE(verify_result_body(encode_result_frame(0, std::string())));
 }
 
 // -- FrameBuffer reassembly ---------------------------------------------------

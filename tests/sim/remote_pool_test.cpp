@@ -9,17 +9,24 @@
 // the supervisor loop, and metrics cross the TCP fabric exactly.
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
+#include <fcntl.h>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <sys/wait.h>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
 #include "inject/worker_crash.hpp"
+#include "net/fault.hpp"
+#include "net/frame.hpp"
 #include "net/transport.hpp"
 #include "net/workerd.hpp"
 #include "sim/campaign.hpp"
@@ -63,21 +70,103 @@ std::string comparable_csv(const CampaignResult& res,
 }
 
 /// Child exit codes, so waitpid can distinguish the workerd outcomes.
-enum : int { kWorkerOk = 0, kWorkerFailed = 1, kWorkerRejected = 3 };
+enum : int {
+  kWorkerOk = 0,         ///< campaign complete (supervisor's goodbye)
+  kWorkerFailed = 1,     ///< setup/protocol failure
+  kWorkerRejected = 3,   ///< registration rejected
+  kWorkerDrained = 4,    ///< graceful SIGTERM drain
+  kWorkerLost = 5,       ///< connection lost (reconnect budget exhausted)
+  kWorkerReconnected = 6 ///< campaign complete after >= 1 reconnect
+};
+
+/// The forked child's drain flag (fork gives each child its own copy,
+/// always starting at 0 — the parent never raises it).
+volatile std::sig_atomic_t g_child_drain = 0;
+
+void child_on_sigterm(int) { g_child_drain = 1; }
 
 /// Forks a child that serves `spec` against the loopback supervisor and
-/// exits with one of the codes above (or dies by an injected signal).
-pid_t fork_workerd(const SweepSpec& spec, std::uint16_t port,
+/// exits with one of the codes above (or dies by an injected signal). The
+/// child drains on SIGTERM exactly like the tmemo_workerd binary. The
+/// child closes its inherited copy of the listening socket first: a real
+/// workerd is a separate process that never holds the supervisor's
+/// listener, and the leaked fd would keep the port bound after the
+/// supervisor closes it (see the reconnect test).
+pid_t fork_workerd(const SweepSpec& spec, net::Listener& listener,
                    const net::WorkerdOptions& extra = {}) {
+  const std::uint16_t port = listener.bound_port();
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
+  listener.close_listener();
+  struct sigaction sa = {};
+  sa.sa_handler = child_on_sigterm;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  // Regression guard: run_workerd must survive writes to a vanished
+  // supervisor on its own (ScopedIgnoreSigpipe); the harness leaves the
+  // default (fatal) disposition in place to prove it.
+  ::signal(SIGPIPE, SIG_DFL);
   net::WorkerdOptions options = extra;
   options.connect = {"127.0.0.1", port};
+  options.drain_flag = &g_child_drain;
   const net::WorkerdOutcome outcome = net::run_workerd(spec, options);
-  if (outcome.ok) ::_exit(kWorkerOk);
-  ::_exit(outcome.error.find("rejected") != std::string::npos
-              ? kWorkerRejected
-              : kWorkerFailed);
+  if (outcome.ok) {
+    if (outcome.drained) ::_exit(kWorkerDrained);
+    ::_exit(outcome.reconnects > 0 ? kWorkerReconnected : kWorkerOk);
+  }
+  if (outcome.error.find("rejected") != std::string::npos) {
+    ::_exit(kWorkerRejected);
+  }
+  ::_exit(outcome.connection_lost ? kWorkerLost : kWorkerFailed);
+}
+
+/// Forks a protocol-level workerd that sends its registration and then
+/// SIGSTOPs itself — a worker frozen in the registered-but-silent window,
+/// exactly the half-open shape the keepalive deadline exists for. The
+/// parent syncs on the stop (waitpid WUNTRACED), so the frozen worker's
+/// hello is guaranteed to be first in the supervisor's accept queue; after
+/// SIGCONT the child simply exits 0.
+pid_t fork_sigstopped_worker(const SweepSpec& spec, net::Listener& listener) {
+  const std::uint16_t port = listener.bound_port();
+  const pid_t pid = ::fork();
+  if (pid != 0) {
+    int status = 0;
+    while (::waitpid(pid, &status, WUNTRACED) < 0 && errno == EINTR) {
+    }
+    EXPECT_TRUE(WIFSTOPPED(status)) << "frozen worker never stopped";
+    return pid;
+  }
+  listener.close_listener();
+  std::string error;
+  const int fd = net::connect_to({"127.0.0.1", port}, 5000, error);
+  if (fd < 0) ::_exit(kWorkerFailed);
+  net::HelloFrame hello;
+  hello.campaign_digest = campaign_wire_digest(spec);
+  hello.job_count =
+      static_cast<std::uint64_t>(CampaignEngine::expand(spec).size());
+  if (!net::write_frame(fd, net::encode_hello(hello))) {
+    ::_exit(kWorkerFailed);
+  }
+  ::raise(SIGSTOP);
+  ::_exit(kWorkerOk);
+}
+
+/// Clears O_NONBLOCK on a fd accepted by net::Listener, so the fake
+/// supervisors below can use the blocking frame I/O helpers.
+bool make_blocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) == 0;
+}
+
+/// Polls the (nonblocking) listener until a connection arrives, returning
+/// a blocking fd, or -1 after ~5s.
+int await_connection(net::Listener& listener) {
+  for (int i = 0; i < 5000; ++i) {
+    const int fd = listener.accept_one();
+    if (fd >= 0) return make_blocking(fd) ? fd : -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return -1;
 }
 
 int wait_exit_code(pid_t pid) {
@@ -104,8 +193,8 @@ TEST(RemoteIsolation, GridIsBitIdenticalToThreadIsolation) {
 
   net::Listener listener;
   listener.open({"127.0.0.1", 0});
-  const pid_t a = fork_workerd(spec, listener.bound_port());
-  const pid_t b = fork_workerd(spec, listener.bound_port());
+  const pid_t a = fork_workerd(spec, listener);
+  const pid_t b = fork_workerd(spec, listener);
   const CampaignResult remote =
       CampaignEngine(2).run(spec, remote_options(listener));
 
@@ -135,8 +224,8 @@ TEST(RemoteIsolation, WorkerKilledMidJobIsRedispatchedElsewhere) {
   net::WorkerdOptions crashing;
   crashing.inject_crash = inject::WorkerCrashInjection::parse("1:segv:1");
   ASSERT_TRUE(crashing.inject_crash.has_value());
-  const pid_t a = fork_workerd(spec, listener.bound_port(), crashing);
-  const pid_t b = fork_workerd(spec, listener.bound_port(), crashing);
+  const pid_t a = fork_workerd(spec, listener, crashing);
+  const pid_t b = fork_workerd(spec, listener, crashing);
 
   CampaignRunOptions options = remote_options(listener);
   options.max_attempts = 2;
@@ -168,8 +257,8 @@ TEST(RemoteIsolation, MismatchedCampaignIsRejectedAtRegistration) {
 
   net::Listener listener;
   listener.open({"127.0.0.1", 0});
-  const pid_t impostor = fork_workerd(drifted, listener.bound_port());
-  const pid_t good = fork_workerd(spec, listener.bound_port());
+  const pid_t impostor = fork_workerd(drifted, listener);
+  const pid_t good = fork_workerd(spec, listener);
   const CampaignResult remote =
       CampaignEngine(2).run(spec, remote_options(listener));
 
@@ -211,7 +300,7 @@ TEST(RemoteIsolation, MetricsSnapshotsCrossTheWireExactly) {
 
   net::Listener listener;
   listener.open({"127.0.0.1", 0});
-  const pid_t a = fork_workerd(spec, listener.bound_port());
+  const pid_t a = fork_workerd(spec, listener);
   const CampaignResult remote =
       CampaignEngine(2).run(spec, remote_options(listener));
   EXPECT_EQ(wait_exit_code(a), kWorkerOk);
@@ -247,7 +336,7 @@ TEST(RemoteIsolation, WorkerdShardMergesIntoAResumableJournal) {
   listener.open({"127.0.0.1", 0});
   net::WorkerdOptions journaling;
   journaling.journal_path = shard_path;
-  const pid_t a = fork_workerd(spec, listener.bound_port(), journaling);
+  const pid_t a = fork_workerd(spec, listener, journaling);
   const CampaignResult remote =
       CampaignEngine(2).run(spec, remote_options(listener));
   EXPECT_EQ(wait_exit_code(a), kWorkerOk);
@@ -267,6 +356,285 @@ TEST(RemoteIsolation, WorkerdShardMergesIntoAResumableJournal) {
   EXPECT_EQ(resumed.resumed_jobs, remote.jobs.size());
   EXPECT_EQ(comparable_csv(resumed), comparable_csv(remote));
   std::remove(shard_path.c_str());
+}
+
+// -- Liveness keepalive (half-open connections) -------------------------------
+
+CampaignRunOptions keepalive_options(net::Listener& listener) {
+  CampaignRunOptions options = remote_options(listener);
+  options.keepalive_interval_ms = 100;
+  options.keepalive_timeout_ms = 200;
+  options.max_attempts = 2;
+  return options;
+}
+
+TEST(RemoteKeepalive, SigstoppedWorkerIsReclaimedByTheLivenessDeadline) {
+  const SweepSpec spec = haar_spec(3);
+  const CampaignResult threads =
+      CampaignEngine(2).run(spec, CampaignRunOptions{});
+
+  net::Listener listener;
+  listener.open({"127.0.0.1", 0});
+  // The frozen worker registers first, so the supervisor dispatches it a
+  // job that will never be acknowledged; the healthy workerd must inherit
+  // that job through the no-heartbeat deadline and finish the campaign.
+  const pid_t frozen = fork_sigstopped_worker(spec, listener);
+  const pid_t healthy = fork_workerd(spec, listener);
+  const CampaignResult remote =
+      CampaignEngine(2).run(spec, keepalive_options(listener));
+
+  EXPECT_EQ(wait_exit_code(healthy), kWorkerOk);
+  ::kill(frozen, SIGCONT);
+  EXPECT_EQ(wait_exit_code(frozen), kWorkerOk);
+
+  EXPECT_TRUE(remote.all_ok());
+  EXPECT_GE(remote.worker_stats.remote_keepalive_drops, 1u);
+  EXPECT_GE(remote.worker_stats.remote_disconnects, 1u);
+  EXPECT_GE(remote.worker_stats.redispatches, 1u);
+  // While the frozen worker's deadline ran down the healthy one sat idle
+  // long enough to be pinged — and answering kept it in the pool.
+  EXPECT_GE(remote.worker_stats.remote_keepalive_pings, 1u);
+  // The reclaim burned one attempt; every measured field still matches.
+  EXPECT_EQ(comparable_csv(remote, /*blank_attempts=*/true),
+            comparable_csv(threads, /*blank_attempts=*/true));
+}
+
+TEST(RemoteKeepalive, BlackHoledWorkerdIsReclaimedByTheLivenessDeadline) {
+  const SweepSpec spec = haar_spec(3);
+  const CampaignResult threads =
+      CampaignEngine(2).run(spec, CampaignRunOptions{});
+
+  net::Listener listener;
+  listener.open({"127.0.0.1", 0});
+  // stall=1 black-holes every post-handshake frame this workerd writes:
+  // it registers cleanly, then its heartbeat and results vanish — the
+  // half-open connection shape, produced by the injector instead of a
+  // firewall. The supervisor must reclaim the job without its help.
+  net::WorkerdOptions black_holed;
+  black_holed.inject_net = net::NetFaultSpec::parse("seed=1,stall=1");
+  ASSERT_TRUE(black_holed.inject_net.has_value());
+  const pid_t stalled =
+      fork_workerd(spec, listener, black_holed);
+  const pid_t healthy = fork_workerd(spec, listener);
+  const CampaignResult remote =
+      CampaignEngine(2).run(spec, keepalive_options(listener));
+
+  // The supervisor drops the stalled peer; with no reconnect budget the
+  // workerd reports the lost connection instead of a finished campaign.
+  EXPECT_EQ(wait_exit_code(stalled), kWorkerLost);
+  EXPECT_EQ(wait_exit_code(healthy), kWorkerOk);
+  EXPECT_TRUE(remote.all_ok());
+  EXPECT_GE(remote.worker_stats.remote_keepalive_drops, 1u);
+  EXPECT_EQ(comparable_csv(remote, /*blank_attempts=*/true),
+            comparable_csv(threads, /*blank_attempts=*/true));
+}
+
+// -- Graceful drain (SIGTERM) -------------------------------------------------
+
+TEST(RemoteDrain, SigtermedWorkerdFinishesItsJobAndSaysGoodbye) {
+  const SweepSpec spec = haar_spec(25);
+  const CampaignResult threads =
+      CampaignEngine(2).run(spec, CampaignRunOptions{});
+
+  const std::string shard_path =
+      ::testing::TempDir() + "tmemo_drain_shard.journal";
+  std::remove(shard_path.c_str());
+
+  net::Listener listener;
+  listener.open({"127.0.0.1", 0});
+  net::WorkerdOptions journaling;
+  journaling.journal_path = shard_path;
+  const pid_t draining =
+      fork_workerd(spec, listener, journaling);
+  const pid_t survivor = fork_workerd(spec, listener);
+
+  CampaignResult remote;
+  std::thread supervisor([&] {
+    remote = CampaignEngine(2).run(spec, remote_options(listener));
+  });
+
+  // SIGTERM the journaling worker as soon as its shard proves it is
+  // mid-campaign; the drain must finish the in-flight job, flush the
+  // shard, and hand the rest of the queue to the survivor.
+  bool signaled = false;
+  for (int i = 0; i < 5000 && !signaled; ++i) {
+    std::ifstream in(shard_path);
+    if (in.good()) {
+      try {
+        if (!read_campaign_journal(in).entries.empty()) {
+          ::kill(draining, SIGTERM);
+          signaled = true;
+        }
+      } catch (const std::exception&) {
+        // Shard header still in flight; keep polling.
+      }
+    }
+    if (!signaled) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  supervisor.join();
+  ASSERT_TRUE(signaled) << "shard never saw a first entry";
+
+  EXPECT_EQ(wait_exit_code(draining), kWorkerDrained);
+  EXPECT_EQ(wait_exit_code(survivor), kWorkerOk);
+  EXPECT_TRUE(remote.all_ok());
+  EXPECT_EQ(remote.worker_stats.remote_drains, 1u);
+  // A drain is voluntary: nothing is counted as a crash and a dispatch
+  // that raced the goodbye is requeued at the SAME attempt, so even the
+  // attempts column matches thread isolation exactly.
+  EXPECT_EQ(remote.worker_stats.crashes, 0u);
+  EXPECT_EQ(comparable_csv(remote), comparable_csv(threads));
+
+  // The flushed shard is a valid journal prefix of the campaign.
+  std::ifstream in(shard_path);
+  ASSERT_TRUE(in.good());
+  const CampaignJournal shard = read_campaign_journal(in);
+  EXPECT_EQ(shard.fingerprint, campaign_fingerprint(spec));
+  EXPECT_GE(shard.entries.size(), 1u);
+  std::remove(shard_path.c_str());
+}
+
+// -- Supervisor loss: explicit goodbye vs raw EOF -----------------------------
+
+TEST(RemoteShutdown, EofAfterRegistrationIsConnectionLostNotCompletion) {
+  const SweepSpec spec = haar_spec();
+  net::Listener listener;
+  listener.open({"127.0.0.1", 0});
+  const pid_t worker = fork_workerd(spec, listener);
+
+  // Fake supervisor: accept the registration, then vanish without the
+  // goodbye frame. Before the explicit goodbye existed this looked like a
+  // completed campaign; it must now read as a lost connection.
+  const int fd = await_connection(listener);
+  ASSERT_GE(fd, 0);
+  std::string payload;
+  ASSERT_TRUE(net::read_frame(fd, payload, net::kMaxHandshakeFrameBytes));
+  net::HelloFrame hello;
+  ASSERT_TRUE(net::decode_hello(payload, hello));
+  net::HelloAckFrame ack;
+  ack.accepted = 1;
+  ack.max_attempts = 1;
+  ASSERT_TRUE(net::write_frame(fd, net::encode_hello_ack(ack)));
+  ::close(fd);
+
+  EXPECT_EQ(wait_exit_code(worker), kWorkerLost);
+}
+
+TEST(RemoteShutdown, WorkerdSurvivesWritingToAVanishedSupervisor) {
+  // SIGPIPE regression (ScopedIgnoreSigpipe in run_workerd): the fake
+  // supervisor dispatches a job and disappears, so the workerd's
+  // heartbeat/result writes land on a dead socket. The child runs with the
+  // default (fatal) SIGPIPE disposition; it must exit through the
+  // connection-lost path, not die by signal.
+  const SweepSpec spec = haar_spec();
+  net::Listener listener;
+  listener.open({"127.0.0.1", 0});
+  const pid_t worker = fork_workerd(spec, listener);
+
+  const int fd = await_connection(listener);
+  ASSERT_GE(fd, 0);
+  std::string payload;
+  ASSERT_TRUE(net::read_frame(fd, payload, net::kMaxHandshakeFrameBytes));
+  net::HelloAckFrame ack;
+  ack.accepted = 1;
+  ack.max_attempts = 1;
+  ASSERT_TRUE(net::write_frame(fd, net::encode_hello_ack(ack)));
+  ASSERT_TRUE(net::write_frame(fd, net::encode_dispatch(0, 1)));
+  ::close(fd);
+
+  const int code = wait_exit_code(worker);
+  EXPECT_EQ(code, kWorkerLost);
+  EXPECT_NE(code, 128 + SIGPIPE);
+}
+
+// -- Reconnect across a supervisor restart ------------------------------------
+
+TEST(RemoteReconnect, WorkerdRedialsAndReRegistersAfterSupervisorLoss) {
+  const SweepSpec spec = haar_spec();
+  const CampaignResult threads =
+      CampaignEngine(2).run(spec, CampaignRunOptions{});
+
+  // Incarnation one: a supervisor that registers the worker and dies.
+  net::Listener first;
+  first.open({"127.0.0.1", 0});
+  const std::uint16_t port = first.bound_port();
+
+  net::WorkerdOptions reconnecting;
+  reconnecting.reconnect_attempts = 1000;
+  reconnecting.reconnect_backoff_ms = 10;
+  const pid_t worker = fork_workerd(spec, first, reconnecting);
+
+  const int fd = await_connection(first);
+  ASSERT_GE(fd, 0);
+  std::string payload;
+  ASSERT_TRUE(net::read_frame(fd, payload, net::kMaxHandshakeFrameBytes));
+  net::HelloAckFrame ack;
+  ack.accepted = 1;
+  ack.max_attempts = 1;
+  ASSERT_TRUE(net::write_frame(fd, net::encode_hello_ack(ack)));
+  ::close(fd);
+  first.close_listener();
+
+  // Incarnation two: the real supervisor on the SAME port. The worker's
+  // jittered backoff redials until the new listener is up, re-registers
+  // through the digest handshake, and serves the whole campaign.
+  net::Listener second;
+  second.open({"127.0.0.1", port});
+  const CampaignResult remote =
+      CampaignEngine(2).run(spec, remote_options(second));
+
+  EXPECT_EQ(wait_exit_code(worker), kWorkerReconnected);
+  EXPECT_TRUE(remote.all_ok());
+  EXPECT_EQ(remote.worker_stats.remote_connects, 1u);
+  EXPECT_EQ(comparable_csv(remote), comparable_csv(threads));
+}
+
+// -- Chaos soak: seeded fault schedules on both ends --------------------------
+
+TEST(RemoteChaos, CampaignSurvivesSeededFaultsOnBothEndsBitIdentically) {
+  const SweepSpec spec = haar_spec(15);
+  const CampaignResult threads =
+      CampaignEngine(2).run(spec, CampaignRunOptions{});
+
+  net::Listener listener;
+  listener.open({"127.0.0.1", 0});
+  // Both directions misbehave on independent deterministic schedules:
+  // dropped and corrupted frames surface as disconnects/protocol errors,
+  // stalls exercise the keepalive reclaim, and --reconnect keeps the
+  // workers coming back until the campaign lands. A small redial budget
+  // keeps a worker whose goodbye was injected away from redialing the
+  // (closed) listener for long.
+  net::WorkerdOptions chaotic;
+  chaotic.inject_net =
+      net::NetFaultSpec::parse("seed=7,drop=0.03,stall=0.02,corrupt=0.03");
+  ASSERT_TRUE(chaotic.inject_net.has_value());
+  chaotic.reconnect_attempts = 3;
+  chaotic.reconnect_backoff_ms = 5;
+  const pid_t a = fork_workerd(spec, listener, chaotic);
+  const pid_t b = fork_workerd(spec, listener, chaotic);
+
+  CampaignRunOptions options = keepalive_options(listener);
+  options.max_attempts = 10;
+  options.inject_net =
+      net::NetFaultSpec::parse("seed=7,drop=0.03,stall=0.02,corrupt=0.03");
+  ASSERT_TRUE(options.inject_net.has_value());
+  const CampaignResult remote = CampaignEngine(2).run(spec, options);
+  // Close the listener before collecting the workers: a worker whose
+  // goodbye was injected away redials, and an open listen backlog would
+  // accept the TCP connection and strand it waiting for a registration
+  // ack. (The workerd ack deadline would also unstick it, but refused
+  // connections end the test in milliseconds instead of seconds.)
+  listener.close_listener();
+
+  // Whether a worker saw the final goodbye or had it injected away is the
+  // fault schedule's business; both are orderly exits.
+  for (const int code : {wait_exit_code(a), wait_exit_code(b)}) {
+    EXPECT_TRUE(code == kWorkerOk || code == kWorkerReconnected ||
+                code == kWorkerLost)
+        << "exit code " << code;
+  }
+  EXPECT_TRUE(remote.all_ok());
+  EXPECT_EQ(comparable_csv(remote, /*blank_attempts=*/true),
+            comparable_csv(threads, /*blank_attempts=*/true));
 }
 
 } // namespace

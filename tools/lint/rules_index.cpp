@@ -144,10 +144,10 @@ class SyscallDisciplineRule final : public Rule {
         file.display_path.find("src/net/") != std::string::npos;
     if (!engaged) return;
     static const std::set<std::string> kGuarded = {
-        "fork",        "poll",    "read",       "write",       "waitpid",
-        "pipe",        "fcntl",   "socket",     "bind",        "listen",
-        "accept",      "connect", "send",       "recv",        "setsockopt",
-        "getsockname", "getaddrinfo"};
+        "fork",        "poll",        "read",       "write",  "waitpid",
+        "pipe",        "fcntl",       "socket",     "bind",   "listen",
+        "accept",      "connect",     "send",       "recv",   "setsockopt",
+        "getsockname", "getaddrinfo", "getsockopt", "shutdown"};
     static const std::set<std::string> kInterruptible = {
         "poll", "read", "write", "waitpid", "accept", "connect",
         "send", "recv"};

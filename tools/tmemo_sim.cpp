@@ -21,7 +21,8 @@
 //             [--max-attempts N] [--job-timeout-ms T]
 //             [--isolation thread|process|remote]
 //             [--listen HOST:PORT] [--remote-local-workers N]
-//             [--inject-worker-crash JOB:SIG[:N]]
+//             [--keepalive-ms T] [--keepalive-timeout-ms T]
+//             [--inject-worker-crash JOB:SIG[:N]] [--inject-net SPEC]
 //             [--journal FILE] [--resume FILE]
 //
 // The campaign-grid flags (kernel/axis/config) are shared with
@@ -84,6 +85,12 @@ struct CliOptions {
   std::optional<inject::WorkerCrashInjection> inject_worker_crash;
   std::string listen_address;
   int remote_local_workers = 0;
+  // Remote-fabric liveness and chaos knobs (docs/DISTRIBUTED.md). The
+  // optionals record an explicit flag so validation can insist on
+  // --isolation=remote without breaking the defaults.
+  std::optional<int> keepalive_interval_ms;
+  std::optional<int> keepalive_timeout_ms;
+  std::optional<net::NetFaultSpec> inject_net;
   std::optional<std::string> journal_path;
   std::optional<std::string> resume_path;
 };
@@ -98,7 +105,8 @@ void print_usage(std::FILE* out, const char* argv0) {
       "          [--max-attempts N] [--job-timeout-ms T]\n"
       "          [--isolation thread|process|remote]\n"
       "          [--listen HOST:PORT] [--remote-local-workers N]\n"
-      "          [--inject-worker-crash JOB:SIG[:N]]\n"
+      "          [--keepalive-ms T] [--keepalive-timeout-ms T]\n"
+      "          [--inject-worker-crash JOB:SIG[:N]] [--inject-net SPEC]\n"
       "          [--journal FILE] [--resume FILE]\n"
       "sweep axes: error-rate, voltage (e.g. --sweep error-rate:0:0.04:9)\n"
       "kernels: sobel gaussian haar binomialoption blackscholes fwt "
@@ -186,6 +194,21 @@ CliOptions parse(int argc, char** argv) try {
     } else if (arg == "--remote-local-workers") {
       opt.remote_local_workers =
           static_cast<int>(cli::parse_int_in(arg, value(), 0, 4096));
+    } else if (arg == "--keepalive-ms") {
+      // 0 disables liveness probing entirely.
+      opt.keepalive_interval_ms =
+          static_cast<int>(cli::parse_int_in(arg, value(), 0, 3600000));
+    } else if (arg == "--keepalive-timeout-ms") {
+      opt.keepalive_timeout_ms =
+          static_cast<int>(cli::parse_int_in(arg, value(), 1, 3600000));
+    } else if (arg == "--inject-net") {
+      const std::string text = value();
+      opt.inject_net = net::NetFaultSpec::parse(text);
+      if (!opt.inject_net) {
+        throw CliError("malformed --inject-net '" + text +
+                       "' (want e.g. seed=7,drop=0.02,stall=0.01,"
+                       "corrupt=0.05,delay=0.2:20)");
+      }
     } else if (arg == "--inject-worker-crash") {
       const std::string text = value();
       opt.inject_worker_crash = inject::WorkerCrashInjection::parse(text);
@@ -227,6 +250,14 @@ CliOptions parse(int argc, char** argv) try {
     throw cli::CliError(
         "--remote-local-workers requires --isolation=remote");
   }
+  if ((opt.keepalive_interval_ms || opt.keepalive_timeout_ms) &&
+      opt.isolation != IsolationMode::kRemote) {
+    throw cli::CliError(
+        "--keepalive-ms/--keepalive-timeout-ms require --isolation=remote");
+  }
+  if (opt.inject_net && opt.isolation != IsolationMode::kRemote) {
+    throw cli::CliError("--inject-net requires --isolation=remote");
+  }
   return opt;
 } catch (const cli::CliError& e) {
   fail(e.what());
@@ -258,6 +289,13 @@ int main(int argc, char** argv) {
   run_options.inject_worker_crash = opt.inject_worker_crash;
   run_options.listen_address = opt.listen_address;
   run_options.remote_local_workers = opt.remote_local_workers;
+  if (opt.keepalive_interval_ms) {
+    run_options.keepalive_interval_ms = *opt.keepalive_interval_ms;
+  }
+  if (opt.keepalive_timeout_ms) {
+    run_options.keepalive_timeout_ms = *opt.keepalive_timeout_ms;
+  }
+  run_options.inject_net = opt.inject_net;
   if (opt.journal_path) run_options.journal_path = *opt.journal_path;
   if (opt.resume_path) {
     std::ifstream in(*opt.resume_path);
