@@ -14,14 +14,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/pod_io.hpp"
+#include "io/atomic_file.hpp"
 #include "net/frame.hpp"
 #include "net/transport.hpp"
 #include "net/workerd.hpp"
@@ -127,8 +128,17 @@ ModeSample time_remote(const SweepSpec& spec) {
 
 void write_json(const std::vector<ModeSample>& samples,
                 const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return;
+  // Atomic commit (io/atomic_file.hpp): trend dashboards diff these JSON
+  // files across runs; a half-written one from a killed bench would skew
+  // the series. Best-effort like the old code: a failed commit only warns.
+  io::AtomicFileWriter writer;
+  try {
+    writer.open(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_dispatch: %s\n", e.what());
+    return;
+  }
+  std::ostream& out = writer.stream();
   out << "{\n  \"bench\": \"dispatch\",\n  \"scale\": "
       << bench::workload_scale() << ",\n  \"workers\": " << worker_count()
       << ",\n  \"modes\": [\n";
@@ -141,6 +151,11 @@ void write_json(const std::vector<ModeSample>& samples,
         << (i + 1 < samples.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+  try {
+    writer.commit();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_dispatch: %s\n", e.what());
+  }
 }
 
 void reproduce() {

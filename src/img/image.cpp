@@ -5,6 +5,8 @@
 #include <fstream>
 #include <limits>
 
+#include "io/atomic_file.hpp"
+
 namespace tmemo {
 
 void Image::clamp_to_byte_range() {
@@ -33,8 +35,13 @@ double psnr(const Image& reference, const Image& test) {
 }
 
 void write_pgm(const Image& img, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  TM_REQUIRE(os.good(), "cannot open PGM output file: " + path);
+  // Atomic commit (io/atomic_file.hpp): the final path only ever holds a
+  // complete, fsynced image — a truncated P5 body would otherwise read
+  // back as a valid-looking darker crop. Failures throw io::IoError with
+  // the path and errno instead of passing as silent success.
+  io::AtomicFileWriter writer;
+  writer.open(path);
+  std::ostream& os = writer.stream();
   os << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
   for (int y = 0; y < img.height(); ++y) {
     for (int x = 0; x < img.width(); ++x) {
@@ -42,7 +49,7 @@ void write_pgm(const Image& img, const std::string& path) {
       os.put(static_cast<char>(static_cast<unsigned char>(p + 0.5f)));
     }
   }
-  TM_REQUIRE(os.good(), "failed writing PGM file: " + path);
+  writer.commit();
 }
 
 Image read_pgm(const std::string& path) {

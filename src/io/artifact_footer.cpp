@@ -1,0 +1,68 @@
+#include "io/artifact_footer.hpp"
+
+#include <charconv>
+
+namespace tmemo::io {
+
+void write_artifact_footer(std::ostream& out, std::size_t rows) {
+  out << kArtifactFooterPrefix << rows << "\n";
+}
+
+ArtifactFooterCheck verify_artifact_footer(std::string_view content) {
+  ArtifactFooterCheck check;
+  if (content.empty()) {
+    check.error = "empty artifact";
+    return check;
+  }
+  if (content.back() != '\n') {
+    check.error = "artifact does not end in a newline (torn tail?)";
+    return check;
+  }
+  // The last line (without its newline) must be exactly the footer.
+  const std::string_view body = content.substr(0, content.size() - 1);
+  const std::size_t last_nl = body.rfind('\n');
+  const std::string_view last_line =
+      last_nl == std::string_view::npos ? body : body.substr(last_nl + 1);
+  if (last_line.substr(0, kArtifactFooterPrefix.size()) !=
+      kArtifactFooterPrefix) {
+    check.error = "missing end-of-artifact footer (torn or pre-footer file)";
+    return check;
+  }
+  const std::string_view digits =
+      last_line.substr(kArtifactFooterPrefix.size());
+  std::size_t declared = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), declared);
+  if (digits.empty() || ec != std::errc{} ||
+      ptr != digits.data() + digits.size()) {
+    check.error = "malformed footer record count";
+    return check;
+  }
+  // Count data records: newline-terminated lines before the footer that
+  // are not '#' comments, minus the CSV header line.
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  const std::size_t footer_start =
+      last_nl == std::string_view::npos ? 0 : last_nl + 1;
+  while (pos < footer_start) {
+    std::size_t nl = content.find('\n', pos);
+    if (nl == std::string_view::npos || nl >= footer_start) break;
+    if (content[pos] != '#') ++lines;
+    pos = nl + 1;
+  }
+  if (lines == 0) {
+    check.error = "artifact has no header line before the footer";
+    return check;
+  }
+  const std::size_t data_rows = lines - 1;
+  if (data_rows != declared) {
+    check.error = "footer declares " + std::to_string(declared) +
+                  " rows but artifact holds " + std::to_string(data_rows);
+    return check;
+  }
+  check.ok = true;
+  check.rows = declared;
+  return check;
+}
+
+} // namespace tmemo::io

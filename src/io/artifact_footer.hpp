@@ -1,0 +1,51 @@
+// Self-describing CSV artifacts: a record-count footer sentinel
+// (docs/RESILIENCE.md "Artifact durability & checkpointing").
+//
+// AtomicFileWriter keeps partial artifacts off the final path on *this*
+// machine, but an artifact also travels: it is scp'd, truncated by a full
+// pipe, clipped by a misbehaving object store. A CSV prefix is
+// indistinguishable from a complete, smaller grid — unless the artifact
+// declares its own end. Every grid CSV therefore closes with
+//
+//   #tmemo-artifact-end,rows=N
+//
+// where N counts the data records (lines that are neither the header nor
+// a '#' comment). verify_artifact_footer() rejects *every* strict byte
+// prefix of a well-formed artifact: a cut anywhere removes at least the
+// footer's trailing newline, so the check can never pass on a torn file
+// (pinned by the byte-cut sweep in tests/io/).
+//
+// Consumers that stream grids line-by-line can ignore the footer — it is
+// a '#' comment, invisible to `awk NR>1` / `cut -d,` pipelines.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace tmemo::io {
+
+/// The footer line starts with this prefix; the record count and a
+/// newline follow.
+inline constexpr std::string_view kArtifactFooterPrefix =
+    "#tmemo-artifact-end,rows=";
+
+/// Appends the footer sentinel declaring `rows` data records.
+void write_artifact_footer(std::ostream& out, std::size_t rows);
+
+/// Outcome of verifying a whole artifact body against its footer.
+struct ArtifactFooterCheck {
+  bool ok = false;
+  std::size_t rows = 0;  ///< declared record count (valid when ok)
+  std::string error;     ///< human-readable reason (valid when !ok)
+};
+
+/// Verifies that `content` — the complete bytes of an artifact — ends
+/// with a footer sentinel whose declared count matches the number of data
+/// records (non-'#' lines minus the header line). Any strict byte prefix
+/// of a well-formed artifact fails this check.
+[[nodiscard]] ArtifactFooterCheck verify_artifact_footer(
+    std::string_view content);
+
+} // namespace tmemo::io

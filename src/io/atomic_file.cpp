@@ -1,0 +1,214 @@
+#include "io/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/require.hpp"
+
+namespace tmemo::io {
+namespace {
+
+std::string compose_message(const std::string& path, const std::string& op,
+                            int error_number, bool injected) {
+  std::string msg = "artifact write failed: " + path + ": " + op;
+  if (error_number != 0) {
+    msg += ": ";
+    msg += std::strerror(error_number);
+  }
+  if (injected) msg += " [injected]";
+  return msg;
+}
+
+/// EINTR-safe full write of `size` bytes. Returns 0 on success, else the
+/// errno of the failing write(2) (ENOSPC for a persistent short write —
+/// the only way a regular-file write stays short without an error).
+int write_all_fd(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ::ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    if (n == 0) return ENOSPC;
+    done += static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+} // namespace
+
+IoError::IoError(std::string path, std::string op, int error_number,
+                 bool injected)
+    : std::runtime_error(compose_message(path, op, error_number, injected)),
+      path_(std::move(path)),
+      op_(std::move(op)),
+      errno_(error_number),
+      injected_(injected) {}
+
+AtomicFileWriter::~AtomicFileWriter() { abort(); }
+
+std::string AtomicFileWriter::temp_path_for(std::string_view path) {
+  return std::string(path) + ".tmp";
+}
+
+void AtomicFileWriter::open(std::string path) {
+  TM_REQUIRE(!open_, "AtomicFileWriter: open() while a write is in flight");
+  TM_REQUIRE(!path.empty(), "AtomicFileWriter: empty artifact path");
+  path_ = std::move(path);
+  temp_path_ = temp_path_for(path_);
+  buffer_.str(std::string());
+  buffer_.clear();
+  injector_ = FsFaultInjector();
+  open_ = true;
+  committed_ = false;
+}
+
+void AtomicFileWriter::open(std::string path, const FsFaultSpec& spec) {
+  const std::uint64_t salt = fs_fault_path_salt(path);
+  open(std::move(path));
+  injector_ = FsFaultInjector(spec, salt);
+}
+
+void AtomicFileWriter::commit() {
+  TM_REQUIRE(open_, "AtomicFileWriter: commit() without open()");
+  TM_REQUIRE(!committed_, "AtomicFileWriter: commit() called twice");
+  const std::string data = buffer_.str();
+  const FsFaultAction action = injector_.next_action();
+
+  // Every exit from here on marks the writer closed first, so the
+  // destructor's abort() cannot unlink a temp file that an injected crash
+  // deliberately leaves behind for recovery tests to find.
+  int fd = ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    const int err = errno;
+    open_ = false;
+    throw IoError(path_, "open temp '" + temp_path_ + "'", err, false);
+  }
+  auto fail = [&](const std::string& op, int err, bool injected,
+                  bool keep_temp) -> IoError {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    if (!keep_temp) ::unlink(temp_path_.c_str());
+    open_ = false;
+    return IoError(path_, op, err, injected);
+  };
+
+  // The write step, with the injected failure modes that end inside it.
+  switch (action) {
+    case FsFaultAction::kShortWrite: {
+      // The device accepted a prefix, then the write failed: the caller
+      // sees an error and the temp file is cleaned up.
+      const std::size_t cut = injector_.cut_point(data.size());
+      (void)write_all_fd(fd, data.data(), cut);
+      throw fail("short write (injected)", 0, true, false);
+    }
+    case FsFaultAction::kEnospc: {
+      const std::size_t cut = injector_.cut_point(data.size());
+      (void)write_all_fd(fd, data.data(), cut);
+      throw fail("write", ENOSPC, true, false);
+    }
+    case FsFaultAction::kEio: {
+      const std::size_t cut = injector_.cut_point(data.size());
+      (void)write_all_fd(fd, data.data(), cut);
+      throw fail("write", EIO, true, false);
+    }
+    case FsFaultAction::kTornAtByte: {
+      // Process "dies" mid-write: a torn prefix stays at the *temp* path
+      // (never the final one — that is the whole point of the rename),
+      // and the previous artifact, if any, is untouched.
+      const std::size_t cut = injector_.cut_point(data.size());
+      (void)write_all_fd(fd, data.data(), cut);
+      throw fail("crash mid-write (injected)", 0, true, true);
+    }
+    case FsFaultAction::kPass:
+    case FsFaultAction::kFsyncFail:
+    case FsFaultAction::kCrashBeforeRename: {
+      if (const int err = write_all_fd(fd, data.data(), data.size());
+          err != 0) {
+        throw fail("write", err, false, false);
+      }
+      break;
+    }
+  }
+
+  // fsync the temp file: the bytes must be durable *before* the rename
+  // publishes them, or a power cut can reorder into a published-but-empty
+  // artifact. EINVAL means the fd cannot be synced (not a syncable fs);
+  // tolerated, matching the journal writer.
+  if (action == FsFaultAction::kFsyncFail) {
+    throw fail("fsync", EIO, true, false);
+  }
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+    throw fail("fsync", errno, false, false);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    fd = -1;
+    ::unlink(temp_path_.c_str());
+    open_ = false;
+    throw IoError(path_, "close", err, false);
+  }
+  fd = -1;
+
+  if (action == FsFaultAction::kCrashBeforeRename) {
+    // The temp file is complete and durable, but the process "dies"
+    // before the rename: the final path still holds the old artifact.
+    open_ = false;
+    throw IoError(path_, "crash before rename (injected)", 0, true);
+  }
+
+  if (::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(temp_path_.c_str());
+    open_ = false;
+    throw IoError(path_, "rename", err, false);
+  }
+  open_ = false;
+  committed_ = true;
+  fsync_parent_dir(path_);
+}
+
+void AtomicFileWriter::abort() noexcept {
+  if (open_ && !committed_) {
+    ::unlink(temp_path_.c_str());
+  }
+  open_ = false;
+}
+
+void write_file_atomic(const std::string& path, std::string_view content,
+                       const FsFaultSpec* spec) {
+  AtomicFileWriter writer;
+  if (spec != nullptr) {
+    writer.open(path, *spec);
+  } else {
+    writer.open(path);
+  }
+  writer.stream().write(content.data(),
+                        static_cast<std::streamsize>(content.size()));
+  writer.commit();
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw IoError(path, "open parent dir '" + dir + "'", errno, false);
+  }
+  // Some filesystems cannot fsync a directory fd; EINVAL is tolerated,
+  // a real I/O failure is not.
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError(path, "fsync parent dir '" + dir + "'", err, false);
+  }
+  ::close(fd);
+}
+
+} // namespace tmemo::io

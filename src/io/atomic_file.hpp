@@ -1,0 +1,118 @@
+// Atomic, durable artifact output (docs/RESILIENCE.md "Artifact
+// durability & checkpointing").
+//
+// Every final artifact this project exists to produce — grid CSV/JSON,
+// metrics, traces, merged journals, workload images — must be either the
+// complete, fsync'd result or absent: a truncated file that parses as a
+// complete, wrong result is the storage twin of the silent data corruption
+// the paper's EDS sensors detect in hardware. AtomicFileWriter enforces
+// the classic discipline:
+//
+//   write temp → check every write → fsync temp → close → rename over
+//   final → fsync parent directory
+//
+// so the final path never holds a partial artifact: a crash (real or
+// injected) before the rename leaves the previous artifact intact, and a
+// failure at any step surfaces as io::IoError with the path, operation,
+// and errno — never as silent success. The writer buffers in memory and
+// commits in one shot; artifacts here are grids, not bulk media.
+//
+// Fault injection: arm() threads a seeded FsFaultSpec through commit(), so
+// --inject-fs chaos schedules replay deterministically per file (salted by
+// the final path, see fs_fault.hpp).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "io/fs_fault.hpp"
+
+namespace tmemo::io {
+
+/// An artifact write failed. Carries enough structure for the caller to
+/// report "which file, which step, why" and for tests to distinguish
+/// injected faults from real ones. Campaign tools translate this into a
+/// distinct nonzero exit status (tmemo_sim exits 3).
+class IoError : public std::runtime_error {
+ public:
+  IoError(std::string path, std::string op, int error_number, bool injected);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::string& op() const noexcept { return op_; }
+  [[nodiscard]] int error_number() const noexcept { return errno_; }
+  [[nodiscard]] bool injected() const noexcept { return injected_; }
+
+ private:
+  std::string path_;
+  std::string op_;
+  int errno_ = 0;
+  bool injected_ = false;
+};
+
+/// Writes one artifact atomically. Usage:
+///
+///   io::AtomicFileWriter w;
+///   w.open(path);              // or w.open(path, spec) under --inject-fs
+///   write_campaign_json(result, w.stream());
+///   w.commit();                // throws io::IoError on any failure
+///
+/// Until commit() returns, the final path is untouched (the bytes live in
+/// memory, then in `path + ".tmp"`). A destructor without commit() aborts
+/// the write and removes the temp file. commit() may be called once.
+class AtomicFileWriter {
+ public:
+  AtomicFileWriter() = default;
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+  ~AtomicFileWriter();
+
+  /// Begins an artifact at `path`. The temp file is `path + ".tmp"`.
+  void open(std::string path);
+
+  /// Begins an artifact at `path` with fault injection armed: commit()
+  /// draws one FsFaultAction from a stream salted by `path`.
+  void open(std::string path, const FsFaultSpec& spec);
+
+  /// The buffered output stream. Valid between open() and commit()/abort().
+  [[nodiscard]] std::ostream& stream() { return buffer_; }
+
+  /// How the final artifact path is derived into a temp path; exposed so
+  /// tests and crash-recovery sweeps agree on where a torn temp lands.
+  [[nodiscard]] static std::string temp_path_for(std::string_view path);
+
+  /// Flushes the buffer to the temp file, fsyncs it, renames it over the
+  /// final path, and fsyncs the parent directory. Throws io::IoError on
+  /// any real or injected failure; afterwards the final path holds either
+  /// the complete new artifact or whatever it held before open().
+  void commit();
+
+  /// Discards the buffered bytes and removes any temp file. Idempotent.
+  void abort() noexcept;
+
+  [[nodiscard]] bool is_open() const noexcept { return open_; }
+  [[nodiscard]] bool committed() const noexcept { return committed_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ostringstream buffer_;
+  FsFaultInjector injector_;
+  bool open_ = false;
+  bool committed_ = false;
+};
+
+/// Convenience wrapper: write `content` to `path` atomically in one call.
+/// Throws io::IoError on failure. `spec` arms fault injection when given.
+void write_file_atomic(const std::string& path, std::string_view content,
+                       const FsFaultSpec* spec = nullptr);
+
+/// Fsyncs the directory containing `path` so a just-renamed artifact's
+/// directory entry is durable. Failures to *open* the directory are
+/// surfaced; fsync itself tolerates EINVAL (filesystems that cannot sync
+/// directories), matching the journal writer's discipline.
+void fsync_parent_dir(const std::string& path);
+
+} // namespace tmemo::io

@@ -1,0 +1,126 @@
+#include "io/fs_fault.hpp"
+
+#include <charconv>
+
+namespace tmemo::io {
+namespace {
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+/// Parses a probability literal in [0, 1]. std::from_chars for doubles is
+/// spotty across stdlibs, so accept the narrow "0", "1", "0.DIGITS",
+/// "1.0…" grammar the spec needs and nothing more (same as net/fault.cpp).
+bool parse_prob(std::string_view text, double& out) {
+  if (text.empty() || text.size() > 18) return false;
+  const std::size_t dot = text.find('.');
+  const std::string_view whole = text.substr(0, dot);
+  std::uint64_t w = 0;
+  if (!parse_u64(whole, w) || w > 1) return false;
+  double value = static_cast<double>(w);
+  if (dot != std::string_view::npos) {
+    const std::string_view frac = text.substr(dot + 1);
+    if (frac.empty()) return false;
+    std::uint64_t f = 0;
+    if (!parse_u64(frac, f)) return false;
+    double scale = 1.0;
+    for (std::size_t i = 0; i < frac.size(); ++i) scale *= 10.0;
+    value += static_cast<double>(f) / scale;
+  }
+  if (value > 1.0) return false;
+  out = value;
+  return true;
+}
+
+} // namespace
+
+std::optional<FsFaultSpec> FsFaultSpec::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  FsFaultSpec spec;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view field = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (key == "seed") {
+      if (!parse_u64(value, spec.seed)) return std::nullopt;
+    } else if (key == "short") {
+      if (!parse_prob(value, spec.short_prob)) return std::nullopt;
+    } else if (key == "enospc") {
+      if (!parse_prob(value, spec.enospc_prob)) return std::nullopt;
+    } else if (key == "eio") {
+      if (!parse_prob(value, spec.eio_prob)) return std::nullopt;
+    } else if (key == "fsync") {
+      if (!parse_prob(value, spec.fsync_prob)) return std::nullopt;
+    } else if (key == "crash") {
+      if (!parse_prob(value, spec.crash_prob)) return std::nullopt;
+    } else if (key == "torn") {
+      if (!parse_prob(value, spec.torn_prob)) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+    if (comma == text.size()) break;
+  }
+  return spec;
+}
+
+std::uint64_t fs_fault_path_salt(std::string_view path) noexcept {
+  // FNV-1a 64-bit over the final path. The salt must be a pure function
+  // of the artifact's identity (not of open order or fd numbers) so the
+  // same --inject-fs spec replays the same per-file schedule.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t FsFaultInjector::next_u64() {
+  // splitmix64 step — same finalizer family as derive_fault_seed, so the
+  // whole schedule is a pure function of (spec seed, path salt).
+  state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double FsFaultInjector::next_unit() {
+  // Top 53 bits give a uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+FsFaultAction FsFaultInjector::next_action() {
+  if (!enabled_) return FsFaultAction::kPass;
+  const double u = next_unit();
+  double acc = spec_.crash_prob;
+  if (u < acc) return FsFaultAction::kCrashBeforeRename;
+  acc += spec_.torn_prob;
+  if (u < acc) return FsFaultAction::kTornAtByte;
+  acc += spec_.enospc_prob;
+  if (u < acc) return FsFaultAction::kEnospc;
+  acc += spec_.eio_prob;
+  if (u < acc) return FsFaultAction::kEio;
+  acc += spec_.fsync_prob;
+  if (u < acc) return FsFaultAction::kFsyncFail;
+  acc += spec_.short_prob;
+  if (u < acc) return FsFaultAction::kShortWrite;
+  return FsFaultAction::kPass;
+}
+
+std::size_t FsFaultInjector::cut_point(std::size_t total) {
+  if (total <= 1) return total == 0 ? 0 : 1;
+  return 1 + static_cast<std::size_t>(next_u64() % (total - 1));
+}
+
+} // namespace tmemo::io

@@ -1,0 +1,123 @@
+// Deterministic filesystem fault injection for the artifact path
+// (--inject-fs, docs/RESILIENCE.md "Artifact durability & checkpointing").
+//
+// net/fault.hpp makes the *network between* supervisor and workerd
+// misbehave on cue; this header does the same for the *disk under* every
+// final artifact: a write can come up short, the volume can fill (ENOSPC)
+// or err (EIO), an fsync can fail, the process can "crash" after the temp
+// file is durable but before the rename, or a write can be torn at an
+// arbitrary byte. Like every injector in the tree (lint rule R8's intent)
+// the schedule is fully deterministic: each file draws from a splitmix64
+// stream seeded through derive_fault_seed(spec seed, path salt), never
+// from wall-clock time or OS entropy, so a disk-chaos campaign replays its
+// exact fault schedule from the --inject-fs spec alone.
+//
+// Faults apply to *artifact commits and journal appends* — the writes
+// whose loss or truncation the durability layer exists to survive. Reads
+// stay clean: every injected write fault is some later reader's torn or
+// missing file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "inject/fault_config.hpp"
+
+namespace tmemo::io {
+
+/// What the injector decided for one artifact operation. Drawn with one
+/// uniform variate against the cumulative probabilities in this order, so
+/// the spec's knobs partition the unit interval: crash, torn, enospc, eio,
+/// fsync, short, pass.
+enum class FsFaultAction : std::uint8_t {
+  kPass,        ///< the operation succeeds untouched
+  kShortWrite,  ///< a prefix is written, then the write fails; temp cleaned
+  kEnospc,      ///< write(2) fails with ENOSPC partway through
+  kEio,         ///< write(2) fails with EIO partway through
+  kFsyncFail,   ///< data written, but fsync reports it never reached disk
+  kCrashBeforeRename, ///< temp is durable, process "dies" before rename
+  kTornAtByte,  ///< process "dies" mid-write: a torn prefix is left behind
+};
+
+[[nodiscard]] constexpr const char* fs_fault_action_name(
+    FsFaultAction a) noexcept {
+  switch (a) {
+    case FsFaultAction::kPass: return "pass";
+    case FsFaultAction::kShortWrite: return "short";
+    case FsFaultAction::kEnospc: return "enospc";
+    case FsFaultAction::kEio: return "eio";
+    case FsFaultAction::kFsyncFail: return "fsync";
+    case FsFaultAction::kCrashBeforeRename: return "crash";
+    case FsFaultAction::kTornAtByte: return "torn";
+  }
+  return "unknown";
+}
+
+/// Parsed --inject-fs spec. Grammar: comma-separated key=value pairs
+///   seed=U64  short=P  enospc=P  eio=P  fsync=P  crash=P  torn=P
+/// with every P a probability in [0,1] applied per artifact commit (or per
+/// journal record append), e.g.
+///   --inject-fs seed=7,enospc=0.1,short=0.05,crash=0.02
+/// A default-constructed spec injects nothing.
+struct FsFaultSpec {
+  std::uint64_t seed = 0;
+  double short_prob = 0.0;
+  double enospc_prob = 0.0;
+  double eio_prob = 0.0;
+  double fsync_prob = 0.0;
+  double crash_prob = 0.0;
+  double torn_prob = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return short_prob > 0.0 || enospc_prob > 0.0 || eio_prob > 0.0 ||
+           fsync_prob > 0.0 || crash_prob > 0.0 || torn_prob > 0.0;
+  }
+
+  /// Parses the CLI grammar above. Returns nullopt on malformed input
+  /// (unknown key, probability outside [0,1]).
+  [[nodiscard]] static std::optional<FsFaultSpec> parse(
+      std::string_view text);
+};
+
+/// Stable per-file salt: FNV-1a over the final artifact path, so distinct
+/// files draw from independent streams but the same file replays the same
+/// schedule across runs regardless of open order.
+[[nodiscard]] std::uint64_t fs_fault_path_salt(std::string_view path) noexcept;
+
+/// One file's deterministic fault stream: a splitmix64 generator seeded
+/// via derive_fault_seed(spec.seed, fs_fault_path_salt(path)), drawn once
+/// per artifact commit or journal append. Distinct paths get distinct
+/// salts, so their schedules are independent but each replays exactly.
+class FsFaultInjector {
+ public:
+  /// Disabled injector: next_action() is always kPass.
+  FsFaultInjector() = default;
+
+  FsFaultInjector(const FsFaultSpec& spec, std::uint64_t file_salt)
+      : spec_(spec),
+        state_(inject::derive_fault_seed(spec.seed, file_salt)),
+        enabled_(spec.enabled()) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Draws the verdict for the next artifact operation.
+  [[nodiscard]] FsFaultAction next_action();
+
+  /// Where a short or torn write cuts a `total`-byte payload: at least 1
+  /// and at most total - 1, so a reader always sees a strict prefix.
+  [[nodiscard]] std::size_t cut_point(std::size_t total);
+
+ private:
+  [[nodiscard]] std::uint64_t next_u64();
+  /// Uniform draw in [0, 1).
+  [[nodiscard]] double next_unit();
+
+  FsFaultSpec spec_{};
+  std::uint64_t state_ = 0;
+  bool enabled_ = false;
+};
+
+} // namespace tmemo::io

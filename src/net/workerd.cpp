@@ -121,6 +121,7 @@ enum class SessionEnd {
   kComplete, ///< supervisor said goodbye: campaign done
   kDrained,  ///< drain requested; goodbye sent
   kLost,     ///< connection lost / stream corrupted: reconnect material
+  kArtifact, ///< journal shard write failed: fatal, NOT reconnect material
 };
 
 /// Serves one registered session until it ends. All outgoing frames go
@@ -207,7 +208,19 @@ SessionEnd serve_session(int fd, FrameWriteShim& shim, const SweepSpec& spec,
         spec, jobs, static_cast<std::size_t>(dispatch.job),
         static_cast<int>(dispatch.start_attempt), max_attempts,
         options.inject_crash, workloads, setup_error);
-    if (shard.is_open()) shard.append(result);
+    if (shard.is_open()) {
+      try {
+        shard.append(result);
+      } catch (const std::exception& e) {
+        // A worker whose shard cannot persist results must stop, loudly:
+        // reconnecting cannot heal a full disk, and serving on without a
+        // journal would silently break the crash-resume contract. The
+        // result frame for this job is deliberately NOT sent — the
+        // supervisor re-dispatches it to a worker that can persist it.
+        error = std::string("journal shard write failed: ") + e.what();
+        return SessionEnd::kArtifact;
+      }
+    }
 
     std::ostringstream body;
     write_sized_string(body, serialize_job_result(result));
@@ -317,10 +330,13 @@ WorkerdOutcome run_workerd(SweepSpec spec, const WorkerdOptions& options) {
 
         if (!options.journal_path.empty() && !shard.is_open()) {
           try {
+            shard.configure(options.checkpoint_every, options.inject_fs);
             shard.open(options.journal_path, campaign_fingerprint(spec));
           } catch (const std::exception& e) {
-            return fail(std::string("cannot open journal shard: ") +
-                        e.what());
+            WorkerdOutcome bad = fail(
+                std::string("cannot open journal shard: ") + e.what());
+            bad.artifact_error = true;
+            return bad;
           }
         }
 
@@ -350,6 +366,11 @@ WorkerdOutcome run_workerd(SweepSpec spec, const WorkerdOptions& options) {
         if (end == SessionEnd::kDrained) {
           out.ok = true;
           out.drained = true;
+          return out;
+        }
+        if (end == SessionEnd::kArtifact) {
+          out.artifact_error = true;
+          out.error = error;
           return out;
         }
         // kLost: fall through to the retry ladder.

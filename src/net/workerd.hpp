@@ -34,6 +34,7 @@
 #include <string>
 
 #include "inject/worker_crash.hpp"
+#include "io/fs_fault.hpp"
 #include "net/fault.hpp"
 #include "net/transport.hpp"
 #include "sim/campaign.hpp"
@@ -57,6 +58,14 @@ struct WorkerdOptions {
   /// Deterministic network fault injection on this end's outgoing frames
   /// (--inject-net; see net/fault.hpp for the spec grammar).
   std::optional<NetFaultSpec> inject_net;
+  /// Deterministic filesystem fault injection on the journal shard and its
+  /// checkpoints (--inject-fs; see io/fs_fault.hpp for the spec grammar).
+  /// A shard fault ends the run with `artifact_error` set — a worker that
+  /// cannot persist results must not keep consuming dispatches silently.
+  std::optional<io::FsFaultSpec> inject_fs;
+  /// Compact the journal shard into a sealed `<shard>.checkpoint` every N
+  /// appends (0 disables; requires journal_path). See docs/RESILIENCE.md.
+  std::size_t checkpoint_every = 0;
   /// How many consecutive failed re-dials to tolerate after a lost
   /// connection before giving up (0 = never reconnect, the historical
   /// behaviour). A successful re-registration refills the budget.
@@ -90,6 +99,10 @@ struct WorkerdOutcome {
   bool connection_lost = false;
   /// Successful re-registrations after a lost connection.
   std::uint64_t reconnects = 0;
+  /// True when the run ended because the journal shard (or a checkpoint)
+  /// could not be written — tmemo_workerd maps this to its artifact-error
+  /// exit status, distinct from "campaign failed" and "connection lost".
+  bool artifact_error = false;
 };
 
 /// Runs one remote worker (possibly spanning several connection sessions

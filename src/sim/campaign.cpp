@@ -22,6 +22,8 @@
 #include <thread>
 
 #include "common/require.hpp"
+#include "io/artifact_footer.hpp"
+#include "io/atomic_file.hpp"
 #include "net/transport.hpp"
 #include "sim/worker_proc.hpp"
 
@@ -215,24 +217,64 @@ bool unpack_unit_stats(const std::string& s,
 /// so a crash tears at most the final one; everything past the last intact
 /// record boundary is the torn tail. read_csv_record leaves the stream in
 /// EOF state (tellg() == -1) exactly when the final record was cut short.
-std::uint64_t intact_journal_prefix(std::istream& in) {
+/// `header_bytes` (optional) receives the end of the first record — the
+/// boundary journal compaction truncates back to.
+std::uint64_t intact_journal_prefix(std::istream& in,
+                                    std::uint64_t* header_bytes = nullptr) {
   std::vector<std::string> fields;
   std::streampos last_good = 0;
+  bool first = true;
   while (read_csv_record(in, fields)) {
     const std::streampos pos = in.tellg();
     if (pos == std::streampos(-1)) break;
+    if (first && header_bytes != nullptr) {
+      *header_bytes = static_cast<std::uint64_t>(pos);
+    }
+    first = false;
     last_good = pos;
   }
   return static_cast<std::uint64_t>(last_good);
+}
+
+/// Write `size` bytes to `fd`, EINTR-safe, without fsync. Returns false on
+/// a real write failure (errno preserved).
+bool write_fd_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ::ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
 }
 
 } // namespace
 
 CampaignJournalWriter::~CampaignJournalWriter() { close(); }
 
+void CampaignJournalWriter::configure(
+    std::size_t checkpoint_every,
+    const std::optional<io::FsFaultSpec>& inject_fs) {
+  TM_REQUIRE(fd_ < 0, "campaign journal must be configured before open()");
+  checkpoint_every_ = checkpoint_every;
+  inject_fs_ = inject_fs;
+}
+
 void CampaignJournalWriter::open(const std::string& path,
                                  const std::string& fingerprint) {
   TM_REQUIRE(fd_ < 0, "campaign journal is already open");
+  path_ = path;
+  fingerprint_ = fingerprint;
+  header_bytes_ = 0;
+  appends_since_checkpoint_ = 0;
+  rows_.clear();
+  injector_ = inject_fs_.has_value()
+                  ? io::FsFaultInjector(*inject_fs_,
+                                        io::fs_fault_path_salt(path))
+                  : io::FsFaultInjector();
   bool fresh = true;
   {
     std::ifstream probe(path);
@@ -246,13 +288,43 @@ void CampaignJournalWriter::open(const std::string& path,
     // so the next record starts on a record boundary instead of fusing
     // with the partial line.
     std::ifstream scan(path, std::ios::binary);
-    keep_bytes = intact_journal_prefix(scan);
+    keep_bytes = intact_journal_prefix(scan, &header_bytes_);
+  }
+  if (checkpoint_every_ > 0) {
+    // Reload the completed-job set (checkpoint first, then the live tail,
+    // later entries winning) so the next snapshot is complete rather than
+    // a window of this session's appends.
+    const std::string cpath = campaign_checkpoint_path(path);
+    std::ifstream cp_in(cpath, std::ios::binary);
+    if (cp_in.is_open() &&
+        !std::ifstream::traits_type::eq_int_type(
+            cp_in.peek(), std::ifstream::traits_type::eof())) {
+      const CampaignJournal cp = read_campaign_journal(cp_in);
+      TM_REQUIRE(cp.sealed, "journal checkpoint is not sealed: " + cpath);
+      TM_REQUIRE(cp.fingerprint == fingerprint,
+                 "journal checkpoint belongs to a different campaign: " +
+                     cpath);
+      for (const JobResult& e : cp.entries) {
+        rows_[e.job.index] = serialize_job_result(e);
+      }
+    }
+    if (!fresh && keep_bytes > header_bytes_) {
+      std::ifstream tail(path, std::ios::binary);
+      const CampaignJournal live = read_campaign_journal(tail);
+      TM_REQUIRE(live.fingerprint == fingerprint,
+                 "journal belongs to a different campaign: " + path);
+      for (const JobResult& e : live.entries) {
+        rows_[e.job.index] = serialize_job_result(e);
+      }
+    }
   }
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   TM_REQUIRE(fd_ >= 0, "cannot open campaign journal for append: " + path);
   if (fresh) {
-    append_raw(std::string(kCampaignJournalSchema) + ',' +
-               csv_escape(fingerprint) + '\n');
+    const std::string header = std::string(kCampaignJournalSchema) + ',' +
+                               csv_escape(fingerprint) + '\n';
+    header_bytes_ = header.size();
+    append_raw(header);
   } else {
     // With O_APPEND, writes land at the new end-of-file.
     TM_REQUIRE(::ftruncate(fd_, static_cast<::off_t>(keep_bytes)) == 0,
@@ -261,7 +333,78 @@ void CampaignJournalWriter::open(const std::string& path,
 }
 
 void CampaignJournalWriter::append(const JobResult& result) {
-  append_raw(serialize_job_result(result));
+  TM_REQUIRE(fd_ >= 0, "campaign journal is not open");
+  const std::string row = serialize_job_result(result);
+  if (injector_.enabled()) {
+    switch (injector_.next_action()) {
+      case io::FsFaultAction::kPass:
+        break;
+      case io::FsFaultAction::kShortWrite:
+      case io::FsFaultAction::kTornAtByte: {
+        // The append tears mid-record: a prefix lands on disk (the torn
+        // tail the tolerant reader already skips) and the failure
+        // surfaces. The writer closes so nothing fuses with the tear.
+        const std::size_t cut = injector_.cut_point(row.size());
+        (void)write_fd_all(fd_, row.data(), cut);
+        close();
+        throw io::IoError(path_, "journal append torn (injected)", 0, true);
+      }
+      case io::FsFaultAction::kEnospc:
+        close();
+        throw io::IoError(path_, "journal append", ENOSPC, true);
+      case io::FsFaultAction::kEio:
+        close();
+        throw io::IoError(path_, "journal append", EIO, true);
+      case io::FsFaultAction::kFsyncFail:
+        // The record was written but never made durable; whether it
+        // survives is the filesystem's coin flip, which the tolerant
+        // reader handles either way.
+        (void)write_fd_all(fd_, row.data(), row.size());
+        close();
+        throw io::IoError(path_, "journal fsync", EIO, true);
+      case io::FsFaultAction::kCrashBeforeRename:
+        close();
+        throw io::IoError(path_, "journal append crashed (injected)", 0,
+                          true);
+    }
+  }
+  append_raw(row);
+  if (checkpoint_every_ > 0) {
+    rows_[result.job.index] = row;
+    if (++appends_since_checkpoint_ >= checkpoint_every_) {
+      write_checkpoint();
+    }
+  }
+}
+
+void CampaignJournalWriter::write_checkpoint() {
+  // Snapshot first, compact second: the live tail is only discarded once
+  // the sealed checkpoint is durable at its final path, so a crash in any
+  // window leaves checkpoint + tail resuming bit-identically.
+  const std::string cpath = campaign_checkpoint_path(path_);
+  io::AtomicFileWriter writer;
+  if (inject_fs_.has_value()) {
+    writer.open(cpath, *inject_fs_);
+  } else {
+    writer.open(cpath);
+  }
+  std::ostream& out = writer.stream();
+  out << kCampaignJournalSchema << ',' << csv_escape(fingerprint_) << ','
+      << kCampaignJournalSealedMark << '\n';
+  for (const auto& [index, row] : rows_) {
+    (void)index;
+    out << row;
+  }
+  out << kCampaignJournalEndRecord << ',' << rows_.size() << '\n';
+  writer.commit(); // throws io::IoError on real or injected failure
+  ++checkpoints_written_;
+  appends_since_checkpoint_ = 0;
+  if (header_bytes_ > 0) {
+    TM_REQUIRE(::ftruncate(fd_, static_cast<::off_t>(header_bytes_)) == 0,
+               "cannot compact checkpointed journal: " + path_);
+    TM_REQUIRE(::fsync(fd_) == 0 || errno == EINVAL || errno == EROFS,
+               "journal compaction fsync failed");
+  }
 }
 
 void CampaignJournalWriter::close() {
@@ -269,6 +412,10 @@ void CampaignJournalWriter::close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+std::string campaign_checkpoint_path(const std::string& journal_path) {
+  return journal_path + ".checkpoint";
 }
 
 void CampaignJournalWriter::append_raw(const std::string& row) {
@@ -678,13 +825,53 @@ bool read_csv_record(std::istream& in, std::vector<std::string>& fields) {
 CampaignJournal read_campaign_journal(std::istream& in) {
   CampaignJournal journal;
   std::vector<std::string> fields;
-  if (!read_csv_record(in, fields) || fields.size() != 2 ||
-      fields[0] != kCampaignJournalSchema) {
+  if (!read_csv_record(in, fields) ||
+      (fields.size() != 2 && fields.size() != 3) ||
+      fields[0] != kCampaignJournalSchema ||
+      (fields.size() == 3 && fields[2] != kCampaignJournalSealedMark)) {
     throw std::runtime_error("not a " + std::string(kCampaignJournalSchema) +
                              " journal");
   }
+  // A header record cut short of its newline is a file with zero complete
+  // records — and the byte position where truncating a sealed artifact
+  // would otherwise demote it to a valid-looking empty append journal.
+  if (in.tellg() == std::streampos(-1)) {
+    throw std::runtime_error("torn journal header (file truncated)");
+  }
   journal.fingerprint = fields[1];
+  journal.sealed = fields.size() == 3;
+  bool end_seen = false;
+  std::uint64_t declared = 0;
   while (read_csv_record(in, fields)) {
+    // tellg() == -1 means this record ran into EOF without a newline: the
+    // torn-tail signature (see intact_journal_prefix).
+    const bool newline_terminated = in.tellg() != std::streampos(-1);
+    if (journal.sealed) {
+      // Sealed artifacts (merge outputs, checkpoints) invert the
+      // tolerance: they were written atomically and complete, so any tear
+      // means the file was truncated *after* writing — exactly the silent
+      // corruption the seal exists to catch.
+      if (end_seen) {
+        throw std::runtime_error(
+            "sealed journal has records after its end sentinel");
+      }
+      if (fields.size() == 2 && fields[0] == kCampaignJournalEndRecord) {
+        if (!newline_terminated || !parse_u64(fields[1], declared)) {
+          throw std::runtime_error(
+              "sealed journal end sentinel is torn or malformed");
+        }
+        end_seen = true;
+        continue;
+      }
+      JobResult strict_entry;
+      if (!newline_terminated || !parse_job_result(fields, strict_entry)) {
+        throw std::runtime_error(
+            "sealed journal record is torn or malformed "
+            "(truncated artifact?)");
+      }
+      journal.entries.push_back(std::move(strict_entry));
+      continue;
+    }
     JobResult entry;
     if (parse_job_result(fields, entry)) {
       journal.entries.push_back(std::move(entry));
@@ -695,7 +882,70 @@ CampaignJournal read_campaign_journal(std::istream& in) {
       ++journal.malformed_rows;
     }
   }
+  if (journal.sealed) {
+    if (!end_seen) {
+      throw std::runtime_error(
+          "sealed journal is missing its end sentinel (truncated artifact?)");
+    }
+    if (declared != journal.entries.size()) {
+      throw std::runtime_error(
+          "sealed journal end sentinel declares " + std::to_string(declared) +
+          " records but " + std::to_string(journal.entries.size()) +
+          " are present");
+    }
+  }
   return journal;
+}
+
+CampaignJournal read_campaign_journal_with_checkpoint(
+    const std::string& path) {
+  CampaignJournal merged;
+  bool have_checkpoint = false;
+  const std::string cpath = campaign_checkpoint_path(path);
+  {
+    std::ifstream cp_in(cpath, std::ios::binary);
+    if (cp_in.is_open() &&
+        !std::ifstream::traits_type::eq_int_type(
+            cp_in.peek(), std::ifstream::traits_type::eof())) {
+      CampaignJournal cp;
+      try {
+        cp = read_campaign_journal(cp_in);
+      } catch (const std::exception& e) {
+        throw std::runtime_error(cpath + ": " + e.what());
+      }
+      if (!cp.sealed) {
+        throw std::runtime_error("journal checkpoint is not sealed: " +
+                                 cpath);
+      }
+      merged = std::move(cp);
+      // The combined state is resumable, not itself a sealed artifact.
+      merged.sealed = false;
+      have_checkpoint = true;
+    }
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw std::runtime_error("cannot read campaign journal: " + path);
+  }
+  CampaignJournal live;
+  try {
+    live = read_campaign_journal(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+  if (have_checkpoint && live.fingerprint != merged.fingerprint) {
+    throw std::runtime_error(
+        "journal checkpoint belongs to a different campaign: " + cpath +
+        " vs " + path);
+  }
+  merged.fingerprint = live.fingerprint;
+  merged.malformed_rows += live.malformed_rows;
+  // Tail entries after checkpoint entries: resume's later-entry-wins rule
+  // then reproduces full-journal replay bit-identically.
+  for (JobResult& e : live.entries) {
+    merged.entries.push_back(std::move(e));
+  }
+  return merged;
 }
 
 CampaignResult CampaignEngine::run(const SweepSpec& spec,
@@ -731,9 +981,28 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
   // journaled).
   CampaignJournalWriter journal;
   std::mutex journal_mutex;
+  std::string journal_error;
   if (!options.journal_path.empty()) {
+    journal.configure(options.checkpoint_every, options.inject_fs);
     journal.open(options.journal_path, fingerprint);
+  } else {
+    TM_REQUIRE(options.checkpoint_every == 0,
+               "checkpoint_every requires a journal path");
   }
+  // A journal append that cannot be made durable (ENOSPC, EIO, an injected
+  // --inject-fs fault) must not kill a worker thread — a throw would
+  // std::terminate — and must not pass silently. Record the first failure,
+  // stop journaling, and let the campaign finish in memory; callers
+  // surface CampaignResult::artifact_error as a distinct nonzero exit.
+  const auto safe_append = [&journal, &journal_error](const JobResult& done) {
+    if (!journal.is_open()) return;
+    try {
+      journal.append(done);
+    } catch (const std::exception& e) {
+      if (journal_error.empty()) journal_error = e.what();
+      journal.close();
+    }
+  };
 
   CampaignResult result;
   result.jobs.resize(jobs.size());
@@ -813,7 +1082,7 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
       }
       if (journal.is_open()) {
         const std::lock_guard<std::mutex> lock(journal_mutex);
-        journal.append(out);
+        safe_append(out);
       }
     }
   };
@@ -866,9 +1135,7 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
     }
     if (journal.is_open()) {
       // The supervisor is single-threaded, so no lock is needed.
-      req.journal_append = [&journal](const JobResult& done) {
-        journal.append(done);
-      };
+      req.journal_append = safe_append;
     }
     ProcessPoolOutcome outcome = run_process_pool(req, result.jobs);
     result.worker_stats = outcome.stats;
@@ -937,6 +1204,7 @@ CampaignResult CampaignEngine::run(const SweepSpec& spec,
     }
   }
 
+  result.artifact_error = journal_error;
   result.wall_ms = elapsed_ms(campaign_start);
   return result;
 }
@@ -972,6 +1240,11 @@ void write_campaign_csv(const CampaignResult& result, std::ostream& out) {
         << (j.ok ? "ok" : (j.timed_out ? "timeout" : "error")) << ','
         << csv_escape(j.error) << '\n';
   }
+  // Self-describing artifact: a '#'-comment footer declaring the record
+  // count, so a truncated copy of the grid is detectable on read
+  // (io::verify_artifact_footer) instead of parsing as a smaller grid.
+  // Line-oriented consumers (awk/cut pipelines) skip it as a comment.
+  io::write_artifact_footer(out, result.jobs.size());
 }
 
 void write_campaign_json(const CampaignResult& result, std::ostream& out) {

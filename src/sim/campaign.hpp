@@ -27,7 +27,10 @@
 #include <string_view>
 #include <vector>
 
+#include <map>
+
 #include "inject/worker_crash.hpp"
+#include "io/fs_fault.hpp"
 #include "net/fault.hpp"
 #include "sim/simulation.hpp"
 
@@ -188,6 +191,14 @@ struct CampaignResult {
   /// Process-pool supervision counters (zero under thread isolation).
   WorkerPoolStats worker_stats;
 
+  /// First artifact-durability failure of the run (empty = none): a
+  /// journal append or checkpoint that could not be made durable, real or
+  /// --inject-fs-injected. The campaign itself finishes — the results are
+  /// still in memory and the final artifacts may still land — but callers
+  /// must surface this as a distinct nonzero exit (tmemo_sim exits 3),
+  /// because the on-disk journal can no longer be trusted for resume.
+  std::string artifact_error;
+
   /// Merged telemetry over every ok job (empty unless SweepSpec::metrics).
   /// Bit-identical for any worker count: all instruments are uint64 and
   /// merge commutatively (see telemetry/metrics.hpp).
@@ -211,7 +222,13 @@ struct CampaignJournal {
   /// Records dropped because they failed to parse — the torn-write case: a
   /// crash mid-append leaves a trailing partial line. Resume tolerates (and
   /// callers should log) these instead of failing the whole campaign.
+  /// Always 0 for sealed journals, whose reader throws instead.
   std::size_t malformed_rows = 0;
+  /// The journal carried the "sealed" header mark and a record-count end
+  /// sentinel that verified: it is a *complete* artifact (a merge output or
+  /// a checkpoint), not an append log, so truncation anywhere is an error
+  /// rather than a tolerated torn tail.
+  bool sealed = false;
 };
 
 /// How campaign jobs are isolated from each other and from the engine.
@@ -296,6 +313,17 @@ struct CampaignRunOptions {
   /// campaign loses at most the in-flight jobs. A fresh (empty/missing)
   /// file gets a header line carrying campaign_fingerprint(spec).
   std::string journal_path;
+  /// Journal checkpoint/compaction cadence: after every N successful
+  /// appends the completed-job set is snapshotted into a sealed
+  /// `<journal>.checkpoint` artifact (written atomically) and the live
+  /// journal is compacted back to its header, so resuming a huge campaign
+  /// replays checkpoint + bounded tail instead of the full append log —
+  /// bit-identically (read_campaign_journal_with_checkpoint). 0 disables.
+  std::size_t checkpoint_every = 0;
+  /// Deterministic filesystem fault injection on journal appends and
+  /// checkpoint commits (--inject-fs; io/fs_fault.hpp grammar). A fault
+  /// surfaces as CampaignResult::artifact_error, never as silent success.
+  std::optional<io::FsFaultSpec> inject_fs;
   /// Completed jobs from a previous run (read_campaign_journal). Indices of
   /// journaled *ok* entries are skipped — the result is restored
   /// bit-identically — while journaled failures (a crashed worker, an
@@ -338,6 +366,18 @@ class CampaignEngine {
 /// workerd shards, and tmemo_journal merge.
 inline constexpr std::string_view kCampaignJournalSchema = "tmemo-journal-v2";
 
+/// First field of the end-sentinel record that seals a complete journal
+/// artifact (merge output, checkpoint): "tmemo-journal-end,<record count>".
+/// A sealed journal (header's third field is "sealed") must close with this
+/// record, newline-terminated and count-matched, so *every* byte truncation
+/// of the artifact is rejected on read — the journal twin of the CSV grid's
+/// io::verify_artifact_footer.
+inline constexpr std::string_view kCampaignJournalEndRecord =
+    "tmemo-journal-end";
+
+/// Marker appended to the header record of sealed journal artifacts.
+inline constexpr std::string_view kCampaignJournalSealedMark = "sealed";
+
 /// Stable identity of a campaign grid (axis, scale, seed, kernels,
 /// thresholds, variant labels): a journal written for one spec refuses to
 /// resume another. Variant labels — not their configs — enter the
@@ -363,29 +403,83 @@ class CampaignJournalWriter {
   CampaignJournalWriter(const CampaignJournalWriter&) = delete;
   CampaignJournalWriter& operator=(const CampaignJournalWriter&) = delete;
 
+  /// Enables checkpoint/compaction (every `checkpoint_every` appends; 0
+  /// disables) and, optionally, --inject-fs fault injection on appends and
+  /// checkpoint commits. Must be called before open().
+  void configure(std::size_t checkpoint_every,
+                 const std::optional<io::FsFaultSpec>& inject_fs);
+
   /// Opens `path` for appending. A fresh (missing/empty) file gets the
   /// journal-v2 header carrying `fingerprint`; an existing file has a torn
   /// trailing record truncated away so the next append starts on a record
-  /// boundary. Throws via TM_REQUIRE on open/truncate failure.
+  /// boundary. With checkpointing configured, the completed-job set is
+  /// reloaded from `<path>.checkpoint` plus the live tail so the next
+  /// snapshot stays complete. Throws via TM_REQUIRE on open/truncate
+  /// failure and io::IoError on a bad checkpoint.
   void open(const std::string& path, const std::string& fingerprint);
 
   [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
 
-  /// Appends one finished job (serialize_job_result), write+fsync.
+  /// Appends one finished job (serialize_job_result), write+fsync. Throws
+  /// io::IoError on an injected fault and std::invalid_argument (via
+  /// TM_REQUIRE) on a real write/fsync failure; after a throw the writer
+  /// closes itself — the journal on disk stays readable (a torn tail at
+  /// worst) but must not receive further appends.
   void append(const JobResult& result);
+
+  /// Checkpoints appended since open (for reporting).
+  [[nodiscard]] std::size_t checkpoints_written() const noexcept {
+    return checkpoints_written_;
+  }
 
   void close();
 
  private:
   void append_raw(const std::string& row);
+  /// Snapshots the completed-job set into the sealed checkpoint artifact
+  /// (atomic temp→fsync→rename), then compacts the live journal back to
+  /// its header. Throws io::IoError on failure; the live journal is only
+  /// truncated after the checkpoint is durable, so every crash window
+  /// resumes bit-identically to full replay.
+  void write_checkpoint();
 
   int fd_ = -1;
+  std::string path_;
+  std::string fingerprint_;
+  /// Byte length of the header record; compaction truncates back to this.
+  std::uint64_t header_bytes_ = 0;
+  std::size_t checkpoint_every_ = 0;
+  std::size_t appends_since_checkpoint_ = 0;
+  std::size_t checkpoints_written_ = 0;
+  std::optional<io::FsFaultSpec> inject_fs_;
+  io::FsFaultInjector injector_;
+  /// Winning serialized record per job index (later appends overwrite
+  /// earlier ones, matching full-replay resume semantics). Only populated
+  /// when checkpointing is configured.
+  std::map<std::size_t, std::string> rows_;
 };
 
-/// Reads a journal produced by a journaling run. Tolerates a truncated
-/// final record (the crash case); malformed rows are skipped. Throws
-/// std::runtime_error when the header is missing or unrecognized.
+/// The checkpoint artifact that sits beside a checkpointed journal.
+[[nodiscard]] std::string campaign_checkpoint_path(
+    const std::string& journal_path);
+
+/// Reads a journal produced by a journaling run. For an append journal,
+/// tolerates a truncated final record (the crash case); malformed rows are
+/// skipped and counted. For a *sealed* journal artifact (header marked
+/// "sealed": merge outputs, checkpoints) the tolerance inverts: any torn,
+/// malformed, missing-end-sentinel or count-mismatched state throws, so no
+/// byte truncation can pass as a smaller-but-complete journal. Throws
+/// std::runtime_error when the header is missing, unrecognized, or torn.
 [[nodiscard]] CampaignJournal read_campaign_journal(std::istream& in);
+
+/// Reads the resumable state of a (possibly checkpointed) journal at
+/// `path`: the sealed `<path>.checkpoint` artifact first, when present
+/// (verified strictly — a corrupt checkpoint throws), then the live tail
+/// at `path` with the usual torn-tolerance; tail entries come last so
+/// resume's later-entry-wins rule reproduces full-journal replay
+/// bit-identically. The two files must agree on the fingerprint.
+[[nodiscard]] CampaignJournal read_campaign_journal_with_checkpoint(
+    const std::string& path);
 
 /// Reads one RFC-4180 CSV record (quoted fields may span lines) from `in`
 /// into `fields`. Returns false at end of input. Exposed for tests of the

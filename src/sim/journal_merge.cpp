@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "io/atomic_file.hpp"
+
 namespace tmemo {
 
 namespace {
@@ -27,9 +29,21 @@ std::string csv_escape(const std::string& s) {
 
 JournalMergeReport merge_campaign_journals(
     const std::vector<std::string>& shard_paths,
-    const std::string& output_path) {
+    const std::string& output_path,
+    const JournalMergeOptions& options) {
   if (shard_paths.empty()) {
     throw std::runtime_error("journal merge: no shards given");
+  }
+  if (!options.force) {
+    // A merged journal is a finished artifact; clobbering one should take
+    // explicit intent (--force), not a retyped output path.
+    std::ifstream existing(output_path, std::ios::binary);
+    if (existing.is_open() &&
+        existing.peek() != std::ifstream::traits_type::eof()) {
+      throw std::runtime_error(
+          "journal merge: output exists and is not empty: " + output_path +
+          " (pass --force to overwrite)");
+    }
   }
 
   JournalMergeReport report;
@@ -49,11 +63,15 @@ JournalMergeReport merge_campaign_journals(
       ++report.empty_shards;
       continue;
     }
+    in.close();
     CampaignJournal shard;
     try {
-      shard = read_campaign_journal(in);
+      // Checkpoint-aware: a compacted shard's completed set lives in its
+      // sealed `<shard>.checkpoint` plus the live tail — exactly what a
+      // --resume of that shard would see.
+      shard = read_campaign_journal_with_checkpoint(path);
     } catch (const std::exception& e) {
-      throw std::runtime_error("journal merge: " + path + ": " + e.what());
+      throw std::runtime_error("journal merge: " + std::string(e.what()));
     }
     if (report.shards_read == 0) {
       report.fingerprint = shard.fingerprint;
@@ -90,21 +108,27 @@ JournalMergeReport merge_campaign_journals(
         "journal merge: every shard is empty; nothing to merge");
   }
 
-  std::ofstream out(output_path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    throw std::runtime_error("journal merge: cannot write output: " +
-                             output_path);
+  // The merge output is a *complete* artifact, so it gets the full
+  // durability treatment: buffered, committed atomically (temp → fsync →
+  // rename → parent-dir fsync), and sealed with a record-count end
+  // sentinel so any later truncation is rejected on read.
+  io::AtomicFileWriter writer;
+  if (options.inject_fs.has_value()) {
+    writer.open(output_path, *options.inject_fs);
+  } else {
+    writer.open(output_path);
   }
+  std::ostream& out = writer.stream();
   out << std::string(kCampaignJournalSchema) << ','
-      << csv_escape(report.fingerprint) << '\n';
+      << csv_escape(report.fingerprint) << ','
+      << std::string(kCampaignJournalSealedMark) << '\n';
   for (const auto& [index, entry] : best) {
     out << serialize_job_result(entry);
     ++report.entries_out;
   }
-  out.flush();
-  if (!out.good()) {
-    throw std::runtime_error("journal merge: write failed: " + output_path);
-  }
+  out << std::string(kCampaignJournalEndRecord) << ',' << report.entries_out
+      << '\n';
+  writer.commit(); // throws io::IoError with path/op/errno on failure
   return report;
 }
 

@@ -18,8 +18,14 @@
 //    skipped and counted, not an error.
 //  - Torn trailing records (a workerd killed mid-append) are skipped and
 //    counted per the usual journal-v2 tolerance.
+//  - A checkpointed shard (`<shard>.checkpoint` beside it, see
+//    docs/RESILIENCE.md) contributes checkpoint + tail, exactly the state
+//    a --resume of that shard would see.
 //  - Output records are ordered by job index, so the merged journal is
 //    deterministic regardless of shard completion order.
+//  - The output is written atomically (temp → fsync → rename) and sealed
+//    with a record-count end sentinel, so a truncated copy of the merge
+//    is rejected on read instead of resuming a silently smaller campaign.
 #pragma once
 
 #include <cstddef>
@@ -41,13 +47,26 @@ struct JournalMergeReport {
   std::size_t malformed_rows = 0;    ///< torn/corrupt records skipped
 };
 
-/// Merges journal-v2 shards into `output_path` (overwritten). Throws
-/// std::runtime_error on an unreadable shard, a shard that is not a
-/// journal-v2 file, a fingerprint mismatch between shards (the diagnostic
-/// names both files), or when every shard is empty (there is no
-/// fingerprint to stamp on the output).
+/// Behavior knobs for merge_campaign_journals.
+struct JournalMergeOptions {
+  /// Overwrite an existing non-empty output file. Without it the merge
+  /// refuses to clobber (a merged journal is a finished artifact; losing
+  /// one to a retyped command should take explicit intent).
+  bool force = false;
+  /// Deterministic filesystem fault injection on the output commit
+  /// (--inject-fs; io/fs_fault.hpp grammar).
+  std::optional<io::FsFaultSpec> inject_fs;
+};
+
+/// Merges journal-v2 shards into `output_path`, written atomically and
+/// sealed. Throws std::runtime_error on an unreadable shard, a shard that
+/// is not a journal-v2 file, a fingerprint mismatch between shards (the
+/// diagnostic names both files), an existing non-empty output without
+/// `force`, or when every shard is empty (there is no fingerprint to stamp
+/// on the output); io::IoError when the output cannot be committed.
 JournalMergeReport merge_campaign_journals(
     const std::vector<std::string>& shard_paths,
-    const std::string& output_path);
+    const std::string& output_path,
+    const JournalMergeOptions& options = {});
 
 } // namespace tmemo

@@ -7,6 +7,7 @@
 #include "common/pod_io.hpp"
 #include "common/require.hpp"
 #include "fpu/semantics.hpp"
+#include "io/atomic_file.hpp"
 
 namespace tmemo {
 
@@ -46,8 +47,14 @@ void TraceWriter::consume(const ExecutionRecord& rec) {
 }
 
 void TraceWriter::save(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary);
-  TM_REQUIRE(os.good(), "cannot open trace output file: " + path);
+  // Atomic commit (io/atomic_file.hpp): a binary trace truncated by a
+  // crash or a full disk would still carry a plausible header, and the
+  // reader's size check would blame the file, not the writer. The final
+  // path only ever holds a complete, fsynced trace; any failure throws
+  // io::IoError with the path and errno.
+  io::AtomicFileWriter writer;
+  writer.open(path);
+  std::ostream& os = writer.stream();
   write_pod(os, kMagic);
   write_pod(os, kVersion);
   const std::uint64_t count = events_.size();
@@ -60,7 +67,7 @@ void TraceWriter::save(const std::string& path) const {
     write_pod(os, ev.work_item);
     write_pod(os, ev.operands);
   }
-  TM_REQUIRE(os.good(), "failed writing trace file: " + path);
+  writer.commit();
 }
 
 std::vector<TraceEvent> load_trace(const std::string& path) {

@@ -1,0 +1,107 @@
+// Self-describing artifact footer tests (io/artifact_footer.hpp): the
+// record-count sentinel round-trips, mismatches and missing footers are
+// rejected with a reason, and — the property the footer exists for — every
+// strict byte prefix of a real campaign grid CSV fails verification.
+#include "io/artifact_footer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hpp"
+#include "workloads/haar.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmemo {
+namespace {
+
+std::string with_footer(const std::string& body, std::size_t rows) {
+  std::ostringstream out;
+  out << body;
+  io::write_artifact_footer(out, rows);
+  return out.str();
+}
+
+TEST(ArtifactFooter, RoundTripsTheDeclaredRowCount) {
+  const std::string artifact =
+      with_footer("kernel,hit_rate\nhaar,0.5\nsobel,0.25\n", 2);
+  const io::ArtifactFooterCheck check =
+      io::verify_artifact_footer(artifact);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.rows, 2u);
+}
+
+TEST(ArtifactFooter, CommentLinesAreNotCountedAsRecords) {
+  const std::string artifact = with_footer(
+      "kernel,hit_rate\n# a comment mid-grid\nhaar,0.5\n", 1);
+  const io::ArtifactFooterCheck check =
+      io::verify_artifact_footer(artifact);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.rows, 1u);
+}
+
+TEST(ArtifactFooter, ZeroRowGridIsStillAValidArtifact) {
+  // Header + footer: an empty sweep is a complete (if boring) result.
+  const std::string artifact = with_footer("kernel,hit_rate\n", 0);
+  EXPECT_TRUE(io::verify_artifact_footer(artifact).ok);
+}
+
+TEST(ArtifactFooter, RejectsWithAReason) {
+  // Each broken shape must fail and say why — these strings reach CI logs.
+  const struct {
+    std::string content;
+    const char* why;
+  } cases[] = {
+      {"", "empty"},
+      {with_footer("kernel\nhaar\n", 5), "count mismatch"},
+      {"kernel\nhaar\n", "no footer"},
+      {with_footer("kernel\nhaar\n", 1).substr(
+           0, with_footer("kernel\nhaar\n", 1).size() - 1),
+       "torn trailing newline"},
+      {"#tmemo-artifact-end,rows=0\n", "footer with no header"},
+      {"kernel\n#tmemo-artifact-end,rows=x\n", "non-numeric count"},
+  };
+  for (const auto& c : cases) {
+    const io::ArtifactFooterCheck check =
+        io::verify_artifact_footer(c.content);
+    EXPECT_FALSE(check.ok) << c.why;
+    EXPECT_FALSE(check.error.empty()) << c.why;
+  }
+}
+
+TEST(ArtifactFooter, EveryStrictPrefixOfARealGridCsvIsRejected) {
+  // The end-to-end property on the artifact tmemo_sim actually emits: run
+  // a small campaign, take its footered CSV, and sweep every byte cut —
+  // no truncation may pass as a complete, smaller grid.
+  SweepSpec spec;
+  spec.factory = [] {
+    std::vector<std::unique_ptr<Workload>> v;
+    v.push_back(std::make_unique<HaarWorkload>(128));
+    return v;
+  };
+  spec.axis = SweepAxis::error_rate(0.0, 0.04, 3);
+  const CampaignResult res = CampaignEngine(1).run(spec);
+  ASSERT_TRUE(res.all_ok());
+
+  std::ostringstream out;
+  write_campaign_csv(res, out);
+  const std::string text = out.str();
+  ASSERT_GT(text.size(), 60u);
+
+  const io::ArtifactFooterCheck whole = io::verify_artifact_footer(text);
+  ASSERT_TRUE(whole.ok) << whole.error;
+  EXPECT_EQ(whole.rows, res.jobs.size());
+
+  for (std::size_t cut = 1; cut < text.size(); ++cut) {
+    const io::ArtifactFooterCheck check =
+        io::verify_artifact_footer(std::string_view(text).substr(0, cut));
+    EXPECT_FALSE(check.ok)
+        << "cut at byte " << cut << " verified as complete";
+  }
+}
+
+} // namespace
+} // namespace tmemo

@@ -1,0 +1,237 @@
+// AtomicFileWriter tests (io/atomic_file.hpp): the temp → fsync → rename
+// commit discipline, the previous-artifact-stays-intact guarantee under
+// every injected failure mode, and the crash-recovery contract — a torn
+// prefix only ever lands at the temp path, never the final one.
+#include "io/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace tmemo::io {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "tmemo_atomic_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+bool exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// A path with no file at it and no leftover temp beside it.
+std::string fresh_path(const std::string& name) {
+  const std::string path = temp_path(name);
+  std::remove(path.c_str());
+  std::remove(AtomicFileWriter::temp_path_for(path).c_str());
+  return path;
+}
+
+FsFaultSpec certain(const char* text) {
+  const auto spec = FsFaultSpec::parse(text);
+  EXPECT_TRUE(spec.has_value()) << text;
+  return spec.value_or(FsFaultSpec{});
+}
+
+constexpr const char* kOld = "old artifact, still the truth\n";
+constexpr const char* kNew = "index,variant,kernel\n0,base,haar\n";
+
+TEST(AtomicFileWriter, CommitPublishesExactlyTheBufferedBytes) {
+  const std::string path = fresh_path("commit.csv");
+  AtomicFileWriter writer;
+  writer.open(path);
+  EXPECT_TRUE(writer.is_open());
+  writer.stream() << kNew;
+  writer.commit();
+  EXPECT_TRUE(writer.committed());
+  EXPECT_FALSE(writer.is_open());
+  EXPECT_EQ(slurp(path), kNew);
+  EXPECT_FALSE(exists(AtomicFileWriter::temp_path_for(path)));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriter, CommitReplacesThePreviousArtifact) {
+  const std::string path = fresh_path("replace.csv");
+  spill(path, kOld);
+  AtomicFileWriter writer;
+  writer.open(path);
+  writer.stream() << kNew;
+  writer.commit();
+  EXPECT_EQ(slurp(path), kNew);
+  EXPECT_FALSE(exists(AtomicFileWriter::temp_path_for(path)));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriter, TempPathDerivationIsStable) {
+  // Crash-recovery sweeps and tests grep for this exact derivation.
+  EXPECT_EQ(AtomicFileWriter::temp_path_for("a/b/grid.csv"),
+            "a/b/grid.csv.tmp");
+}
+
+TEST(AtomicFileWriter, DestructorWithoutCommitLeavesNothingBehind) {
+  const std::string path = fresh_path("abandoned.csv");
+  {
+    AtomicFileWriter writer;
+    writer.open(path);
+    writer.stream() << kNew;
+    // No commit: going out of scope aborts the write.
+  }
+  EXPECT_FALSE(exists(path));
+  EXPECT_FALSE(exists(AtomicFileWriter::temp_path_for(path)));
+}
+
+TEST(AtomicFileWriter, MissingParentDirectorySurfacesAsIoError) {
+  const std::string path =
+      temp_path("no_such_dir") + "/sub/never/grid.csv";
+  AtomicFileWriter writer;
+  writer.open(path);
+  writer.stream() << kNew;
+  try {
+    writer.commit();
+    FAIL() << "expected io::IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_FALSE(e.injected());
+    EXPECT_NE(e.error_number(), 0);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  EXPECT_FALSE(exists(path));
+}
+
+TEST(AtomicFileWriter, InjectedWriteFaultsLeaveTheOldArtifactIntact) {
+  // enospc / eio / short / fsync: the commit throws, the temp file is
+  // cleaned up, and the final path still holds the previous artifact.
+  const struct {
+    const char* spec;
+    int want_errno;
+  } cases[] = {
+      {"seed=5,enospc=1", ENOSPC},
+      {"seed=5,eio=1", EIO},
+      {"seed=5,short=1", 0},
+      {"seed=5,fsync=1", EIO},
+  };
+  for (const auto& c : cases) {
+    const std::string path = fresh_path("fault.csv");
+    spill(path, kOld);
+    AtomicFileWriter writer;
+    writer.open(path, certain(c.spec));
+    writer.stream() << kNew;
+    try {
+      writer.commit();
+      FAIL() << "expected an injected fault for " << c.spec;
+    } catch (const IoError& e) {
+      EXPECT_TRUE(e.injected()) << c.spec;
+      EXPECT_EQ(e.error_number(), c.want_errno) << c.spec;
+      EXPECT_NE(std::string(e.what()).find("[injected]"), std::string::npos)
+          << c.spec;
+    }
+    EXPECT_EQ(slurp(path), kOld) << c.spec;
+    EXPECT_FALSE(exists(AtomicFileWriter::temp_path_for(path))) << c.spec;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(AtomicFileWriter, CrashBeforeRenameLeavesADurableTempAndTheOldFinal) {
+  // The recovery story: the new artifact is complete at the temp path, the
+  // old one is untouched at the final path — exactly the state a re-run
+  // (or an operator) can heal from.
+  const std::string path = fresh_path("crash.csv");
+  spill(path, kOld);
+  {
+    AtomicFileWriter writer;
+    writer.open(path, certain("seed=5,crash=1"));
+    writer.stream() << kNew;
+    EXPECT_THROW(writer.commit(), IoError);
+    // The destructor runs here: it must NOT unlink the deliberately
+    // left-behind temp file.
+  }
+  EXPECT_EQ(slurp(path), kOld);
+  const std::string temp = AtomicFileWriter::temp_path_for(path);
+  ASSERT_TRUE(exists(temp));
+  EXPECT_EQ(slurp(temp), kNew);
+  std::remove(path.c_str());
+  std::remove(temp.c_str());
+}
+
+TEST(AtomicFileWriter, TornWriteNeverTouchesTheFinalPath) {
+  // A "process died mid-write" tear leaves a strict prefix at the *temp*
+  // path only; the final path never holds torn bytes.
+  const std::string path = fresh_path("torn.csv");
+  spill(path, kOld);
+  {
+    AtomicFileWriter writer;
+    writer.open(path, certain("seed=11,torn=1"));
+    writer.stream() << kNew;
+    EXPECT_THROW(writer.commit(), IoError);
+  }
+  EXPECT_EQ(slurp(path), kOld);
+  const std::string temp = AtomicFileWriter::temp_path_for(path);
+  ASSERT_TRUE(exists(temp));
+  const std::string torn = slurp(temp);
+  EXPECT_GE(torn.size(), 1u);
+  EXPECT_LT(torn.size(), std::string(kNew).size());
+  EXPECT_EQ(torn, std::string(kNew).substr(0, torn.size()));
+  std::remove(path.c_str());
+  std::remove(temp.c_str());
+}
+
+TEST(AtomicFileWriter, FaultScheduleReplaysPerPath) {
+  // commit() draws exactly one action from a stream salted by the final
+  // path, so an outcome is a pure function of (spec, path): re-running a
+  // failed artifact write reproduces the failure, and distinct artifacts
+  // fail independently. The disk-chaos CI leg depends on both halves.
+  const auto spec = certain("seed=21,enospc=0.5");
+  const auto outcomes = [&]() {
+    std::string seq;
+    for (int i = 0; i < 16; ++i) {
+      const std::string path =
+          fresh_path("replay_" + std::to_string(i) + ".csv");
+      AtomicFileWriter writer;
+      writer.open(path, spec);
+      writer.stream() << kNew;
+      try {
+        writer.commit();
+        seq += 'P';
+      } catch (const IoError&) {
+        seq += 'F';
+      }
+      std::remove(path.c_str());
+    }
+    return seq;
+  };
+  const std::string first = outcomes();
+  const std::string second = outcomes();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find('P'), std::string::npos);
+  EXPECT_NE(first.find('F'), std::string::npos);
+}
+
+TEST(WriteFileAtomic, ConvenienceWrapperRoundTripsAndInjects) {
+  const std::string path = fresh_path("oneshot.json");
+  write_file_atomic(path, "{\"ok\": true}\n");
+  EXPECT_EQ(slurp(path), "{\"ok\": true}\n");
+  const FsFaultSpec spec = certain("seed=5,eio=1");
+  EXPECT_THROW(write_file_atomic(path, "{}\n", &spec), IoError);
+  EXPECT_EQ(slurp(path), "{\"ok\": true}\n"); // old artifact intact
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tmemo::io

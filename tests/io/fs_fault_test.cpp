@@ -1,0 +1,157 @@
+// Filesystem fault-injection tests (io/fs_fault.hpp): the --inject-fs
+// grammar, the per-path splitmix64 schedule (same seed + same path → the
+// same fault sequence, distinct paths → independent streams), the
+// cumulative-probability draw order, and the strict-prefix cut points that
+// torn/short writes use.
+#include "io/fs_fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tmemo::io {
+namespace {
+
+TEST(FsFaultSpec, ParsesTheFullGrammar) {
+  const auto spec = FsFaultSpec::parse(
+      "seed=7,short=0.02,enospc=0.01,eio=0.03,fsync=0.04,crash=0.05,"
+      "torn=0.06");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_DOUBLE_EQ(spec->short_prob, 0.02);
+  EXPECT_DOUBLE_EQ(spec->enospc_prob, 0.01);
+  EXPECT_DOUBLE_EQ(spec->eio_prob, 0.03);
+  EXPECT_DOUBLE_EQ(spec->fsync_prob, 0.04);
+  EXPECT_DOUBLE_EQ(spec->crash_prob, 0.05);
+  EXPECT_DOUBLE_EQ(spec->torn_prob, 0.06);
+  EXPECT_TRUE(spec->enabled());
+}
+
+TEST(FsFaultSpec, SeedAloneParsesButInjectsNothing) {
+  const auto spec = FsFaultSpec::parse("seed=42");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_FALSE(spec->enabled());
+  FsFaultInjector injector(*spec, fs_fault_path_salt("out.csv"));
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(injector.next_action(), FsFaultAction::kPass);
+  }
+}
+
+TEST(FsFaultSpec, RejectsMalformedSpecs) {
+  const char* const bad[] = {
+      "",                 // nothing to parse
+      "seed",             // no '='
+      "seed=",            // empty value
+      "seed=abc",         // not a u64
+      "frobnicate=0.5",   // unknown key
+      "short=1.5",        // probability above 1
+      "short=-0.1",       // negative probability
+      "short=0.5,,eio=1", // empty field
+      "short=.5",         // no whole part (narrow grammar, like net/fault)
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(FsFaultSpec::parse(text).has_value()) << "'" << text << "'";
+  }
+}
+
+TEST(FsFaultSpec, ProbabilityBoundsZeroAndOneParse) {
+  EXPECT_TRUE(FsFaultSpec::parse("enospc=0").has_value());
+  EXPECT_TRUE(FsFaultSpec::parse("enospc=1").has_value());
+  EXPECT_TRUE(FsFaultSpec::parse("enospc=1.0").has_value());
+  EXPECT_FALSE(FsFaultSpec::parse("enospc=1.000001").has_value());
+}
+
+TEST(FsFaultInjector, DisabledInjectorAlwaysPasses) {
+  FsFaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(injector.next_action(), FsFaultAction::kPass);
+  }
+}
+
+TEST(FsFaultInjector, CertainProbabilitySelectsThatAction) {
+  // Each knob at 1.0 owns the whole unit interval: the draw order cannot
+  // leak one fault into another's budget.
+  const struct {
+    const char* spec;
+    FsFaultAction want;
+  } cases[] = {
+      {"seed=1,short=1", FsFaultAction::kShortWrite},
+      {"seed=1,enospc=1", FsFaultAction::kEnospc},
+      {"seed=1,eio=1", FsFaultAction::kEio},
+      {"seed=1,fsync=1", FsFaultAction::kFsyncFail},
+      {"seed=1,crash=1", FsFaultAction::kCrashBeforeRename},
+      {"seed=1,torn=1", FsFaultAction::kTornAtByte},
+  };
+  for (const auto& c : cases) {
+    const auto spec = FsFaultSpec::parse(c.spec);
+    ASSERT_TRUE(spec.has_value()) << c.spec;
+    FsFaultInjector injector(*spec, fs_fault_path_salt("grid.csv"));
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(injector.next_action(), c.want) << c.spec;
+    }
+  }
+}
+
+TEST(FsFaultInjector, SameSeedAndPathReplayTheSameSchedule) {
+  const auto spec =
+      FsFaultSpec::parse("seed=99,short=0.2,enospc=0.2,crash=0.2");
+  ASSERT_TRUE(spec.has_value());
+  const std::uint64_t salt = fs_fault_path_salt("results/fig10.csv");
+  FsFaultInjector a(*spec, salt);
+  FsFaultInjector b(*spec, salt);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.next_action(), b.next_action()) << "draw " << i;
+  }
+}
+
+TEST(FsFaultInjector, DistinctPathsDrawIndependentSchedules) {
+  const auto spec = FsFaultSpec::parse("seed=99,enospc=0.5");
+  ASSERT_TRUE(spec.has_value());
+  FsFaultInjector a(*spec, fs_fault_path_salt("results/a.csv"));
+  FsFaultInjector b(*spec, fs_fault_path_salt("results/b.csv"));
+  bool diverged = false;
+  for (int i = 0; i < 256 && !diverged; ++i) {
+    diverged = a.next_action() != b.next_action();
+  }
+  EXPECT_TRUE(diverged)
+      << "two files under the same spec replayed identical schedules";
+}
+
+TEST(FsFaultInjector, PathSaltIsAPureFunctionOfThePath) {
+  EXPECT_EQ(fs_fault_path_salt("out.csv"), fs_fault_path_salt("out.csv"));
+  EXPECT_NE(fs_fault_path_salt("out.csv"), fs_fault_path_salt("out.json"));
+  EXPECT_NE(fs_fault_path_salt(""), fs_fault_path_salt("x"));
+}
+
+TEST(FsFaultInjector, CutPointIsAlwaysAStrictPrefix) {
+  const auto spec = FsFaultSpec::parse("seed=3,torn=1");
+  ASSERT_TRUE(spec.has_value());
+  FsFaultInjector injector(*spec, fs_fault_path_salt("torn.csv"));
+  for (std::size_t total : {std::size_t{2}, std::size_t{3}, std::size_t{10},
+                            std::size_t{4096}}) {
+    for (int i = 0; i < 64; ++i) {
+      const std::size_t cut = injector.cut_point(total);
+      EXPECT_GE(cut, 1u) << "total " << total;
+      EXPECT_LT(cut, total) << "total " << total;
+    }
+  }
+}
+
+TEST(FsFaultInjector, ActionNamesAreStable) {
+  // The names appear in IoError messages and CI grep lines; renaming one
+  // silently would break the disk-chaos smoke.
+  EXPECT_STREQ(fs_fault_action_name(FsFaultAction::kPass), "pass");
+  EXPECT_STREQ(fs_fault_action_name(FsFaultAction::kShortWrite), "short");
+  EXPECT_STREQ(fs_fault_action_name(FsFaultAction::kEnospc), "enospc");
+  EXPECT_STREQ(fs_fault_action_name(FsFaultAction::kEio), "eio");
+  EXPECT_STREQ(fs_fault_action_name(FsFaultAction::kFsyncFail), "fsync");
+  EXPECT_STREQ(fs_fault_action_name(FsFaultAction::kCrashBeforeRename),
+               "crash");
+  EXPECT_STREQ(fs_fault_action_name(FsFaultAction::kTornAtByte), "torn");
+}
+
+} // namespace
+} // namespace tmemo::io

@@ -1,0 +1,25 @@
+// R14 bad fixture: bare ofstream writes landing in place at final
+// artifact paths (no temp → fsync → rename commit).
+#include <fstream>
+#include <string>
+
+void write_grid(const std::string& path) {
+  std::ofstream out(path);
+  out << "kernel,hit_rate\n";
+}
+
+void write_report(const std::string& path) {
+  std::ofstream(path) << "{}\n";
+}
+
+void write_table(const std::string& path) {
+  std::ofstream sink;
+  sink.open(path);
+  sink << "done\n";
+}
+
+void write_scratch(const std::string& path) {
+  // Self-invalidating scratch output: a torn copy is discarded on load.
+  std::ofstream tmp(path); // tmemo-lint: allow(artifact-durability)
+  tmp << "scratch\n";
+}

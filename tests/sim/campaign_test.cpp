@@ -182,10 +182,11 @@ TEST(Campaign, WritersProduceStructuredOutput) {
   write_campaign_csv(res, csv);
   const std::string csv_text = csv.str();
   EXPECT_NE(csv_text.find("index,variant,kernel"), std::string::npos);
-  // header + one line per job
+  // header + one line per job + the self-describing record-count footer
   EXPECT_EQ(static_cast<std::size_t>(
                 std::count(csv_text.begin(), csv_text.end(), '\n')),
-            1 + res.jobs.size());
+            1 + res.jobs.size() + 1);
+  EXPECT_NE(csv_text.find("#tmemo-artifact-end,rows="), std::string::npos);
 
   std::ostringstream json;
   write_campaign_json(res, json);

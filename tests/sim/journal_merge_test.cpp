@@ -2,17 +2,21 @@
 // the duplicate-collapse rules (ok beats failed; equal ok-ness → the
 // later-listed shard wins), zero-byte and torn-tail shard tolerance, the
 // fingerprint-mismatch hard error naming both files, and that the merged
-// output is an ordinary journal-v2 file ordered by job index.
+// output is a *sealed* journal-v2 artifact ordered by job index — written
+// atomically, refusing to clobber without force, and rejecting every byte
+// truncation on read.
 #include "sim/journal_merge.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "io/atomic_file.hpp"
 #include "sim/campaign.hpp"
 
 namespace tmemo {
@@ -22,6 +26,15 @@ constexpr const char* kFingerprint = "v1-cafef00dcafef00d";
 
 std::string temp_path(const std::string& name) {
   return ::testing::TempDir() + "tmemo_merge_" + name;
+}
+
+/// A fresh merge-output path: the merge refuses to clobber an existing
+/// non-empty output (see RefusesToClobber... below), so stale files from a
+/// previous test run must not linger at the target.
+std::string out_path(const std::string& name) {
+  const std::string path = temp_path(name);
+  std::remove(path.c_str());
+  return path;
 }
 
 JobResult make_result(std::size_t index, bool ok,
@@ -64,7 +77,7 @@ TEST(JournalMerge, DisjointShardsConcatenateOrderedByJobIndex) {
   const std::string b =
       write_shard("disjoint_b.journal", {make_result(1, true),
                                          make_result(0, true)});
-  const std::string out = temp_path("disjoint_out.journal");
+  const std::string out = out_path("disjoint_out.journal");
 
   const JournalMergeReport report = merge_campaign_journals({a, b}, out);
   EXPECT_EQ(report.fingerprint, kFingerprint);
@@ -93,7 +106,7 @@ TEST(JournalMerge, OkEntryBeatsFailedRegardlessOfShardOrder) {
   for (const auto& order :
        {std::vector<std::string>{failed, ok},
         std::vector<std::string>{ok, failed}}) {
-    const std::string out = temp_path("dup_out.journal");
+    const std::string out = out_path("dup_out.journal");
     const JournalMergeReport report = merge_campaign_journals(order, out);
     EXPECT_EQ(report.entries_in, 3u);
     EXPECT_EQ(report.entries_out, 2u);
@@ -111,7 +124,7 @@ TEST(JournalMerge, EqualOknessLaterListedShardWins) {
       "tie_first.journal", {make_result(0, false, "from first shard")});
   const std::string second = write_shard(
       "tie_second.journal", {make_result(0, false, "from second shard")});
-  const std::string out = temp_path("tie_out.journal");
+  const std::string out = out_path("tie_out.journal");
   const JournalMergeReport report =
       merge_campaign_journals({first, second}, out);
   EXPECT_EQ(report.duplicates_dropped, 1u);
@@ -128,7 +141,7 @@ TEST(JournalMerge, ZeroByteShardIsSkippedAndCounted) {
   const std::string empty = temp_path("empty_shard.journal");
   std::ofstream(empty, std::ios::trunc).flush();
 
-  const std::string out = temp_path("empty_out.journal");
+  const std::string out = out_path("empty_out.journal");
   const JournalMergeReport report =
       merge_campaign_journals({good, empty}, out);
   EXPECT_EQ(report.shards_read, 1u);
@@ -145,7 +158,7 @@ TEST(JournalMerge, TornTrailingRecordIsDroppedAndCounted) {
     std::ofstream app(path, std::ios::app);
     app << "2,haar,partial-record-cut-off";
   }
-  const std::string out = temp_path("torn_out.journal");
+  const std::string out = out_path("torn_out.journal");
   const JournalMergeReport report = merge_campaign_journals({path}, out);
   EXPECT_EQ(report.entries_in, 2u);
   EXPECT_EQ(report.entries_out, 2u);
@@ -162,7 +175,7 @@ TEST(JournalMerge, FingerprintMismatchIsAHardErrorNamingBothFiles) {
       write_shard("fp_a.journal", {make_result(0, true)}, "v1-aaaaaaaa");
   const std::string b =
       write_shard("fp_b.journal", {make_result(1, true)}, "v1-bbbbbbbb");
-  const std::string out = temp_path("fp_out.journal");
+  const std::string out = out_path("fp_out.journal");
   try {
     (void)merge_campaign_journals({a, b}, out);
     FAIL() << "expected a fingerprint-mismatch error";
@@ -181,7 +194,7 @@ TEST(JournalMerge, AllShardsEmptyIsAnError) {
   std::ofstream(b, std::ios::trunc).flush();
   EXPECT_THROW(
       (void)merge_campaign_journals({a, b},
-                                    temp_path("allempty_out.journal")),
+                                    out_path("allempty_out.journal")),
       std::runtime_error);
 }
 
@@ -190,7 +203,7 @@ TEST(JournalMerge, UnreadableShardIsAnErrorNamingThePath) {
   std::remove(missing.c_str());
   try {
     (void)merge_campaign_journals({missing},
-                                  temp_path("unreadable_out.journal"));
+                                  out_path("unreadable_out.journal"));
     FAIL() << "expected an unreadable-shard error";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find(missing), std::string::npos)
@@ -198,11 +211,93 @@ TEST(JournalMerge, UnreadableShardIsAnErrorNamingThePath) {
   }
 }
 
+TEST(JournalMerge, OutputIsSealedAndEveryByteTruncationIsRejected) {
+  // The merge output is a finished artifact: sealed header, record-count
+  // end sentinel. A truncated copy (full pipe, clipped scp) must never
+  // parse as a smaller-but-complete journal — sweep every cut point.
+  const std::string a = write_shard(
+      "sealed_a.journal",
+      {make_result(0, true), make_result(1, false, "torn, error\ntext")});
+  const std::string out = out_path("sealed_out.journal");
+  (void)merge_campaign_journals({a}, out);
+
+  std::ifstream in(out, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  ASSERT_GT(text.size(), 40u);
+
+  std::istringstream whole(text);
+  const CampaignJournal merged = read_campaign_journal(whole);
+  EXPECT_TRUE(merged.sealed);
+  EXPECT_EQ(merged.entries.size(), 2u);
+  EXPECT_EQ(merged.malformed_rows, 0u);
+
+  for (std::size_t cut = 1; cut < text.size(); ++cut) {
+    std::istringstream torn(text.substr(0, cut));
+    EXPECT_THROW((void)read_campaign_journal(torn), std::runtime_error)
+        << "cut at byte " << cut << " parsed as a complete journal";
+  }
+}
+
+TEST(JournalMerge, RefusesToClobberExistingOutputWithoutForce) {
+  // A merged journal is a finished artifact; a retyped output path must not
+  // silently destroy one. --force states the intent.
+  const std::string a =
+      write_shard("clobber_a.journal", {make_result(0, true)});
+  const std::string out = out_path("clobber_out.journal");
+  (void)merge_campaign_journals({a}, out);
+
+  try {
+    (void)merge_campaign_journals({a}, out);
+    FAIL() << "expected a refuse-to-clobber error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(out), std::string::npos) << what;
+    EXPECT_NE(what.find("--force"), std::string::npos) << what;
+  }
+
+  JournalMergeOptions force;
+  force.force = true;
+  const std::string b = write_shard(
+      "clobber_b.journal", {make_result(0, true), make_result(1, true)});
+  const JournalMergeReport report =
+      merge_campaign_journals({a, b}, out, force);
+  EXPECT_EQ(report.entries_out, 2u);
+  EXPECT_EQ(read_journal(out).entries.size(), 2u);
+}
+
+TEST(JournalMerge, InjectedOutputFaultLeavesTheOldArtifactIntact) {
+  // An --inject-fs fault on the output commit must surface as io::IoError
+  // and leave whatever the output path held before the merge untouched:
+  // the atomic commit never publishes a torn merge.
+  const std::string a =
+      write_shard("inject_a.journal", {make_result(0, true)});
+  const std::string out = out_path("inject_out.journal");
+  (void)merge_campaign_journals({a}, out);
+  std::ifstream before_in(out, std::ios::binary);
+  std::ostringstream before;
+  before << before_in.rdbuf();
+
+  JournalMergeOptions chaos;
+  chaos.force = true;
+  chaos.inject_fs = io::FsFaultSpec{};
+  chaos.inject_fs->seed = 7;
+  chaos.inject_fs->enospc_prob = 1.0;
+  EXPECT_THROW((void)merge_campaign_journals({a}, out, chaos), io::IoError);
+
+  std::ifstream after_in(out, std::ios::binary);
+  std::ostringstream after;
+  after << after_in.rdbuf();
+  EXPECT_EQ(after.str(), before.str());
+  EXPECT_EQ(read_journal(out).entries.size(), 1u);
+}
+
 TEST(JournalMerge, NotAJournalFileIsAnError) {
   const std::string bogus = temp_path("bogus.journal");
   std::ofstream(bogus, std::ios::trunc) << "this is not a journal\n";
   EXPECT_THROW((void)merge_campaign_journals(
-                   {bogus}, temp_path("bogus_out.journal")),
+                   {bogus}, out_path("bogus_out.journal")),
                std::runtime_error);
 }
 

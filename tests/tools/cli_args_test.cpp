@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <sys/wait.h>
 
@@ -97,6 +98,13 @@ constexpr BadCase kRejected[] = {
      "--isolation process --inject-worker-crash banana"},
     {"crash_spec_bad_signal",
      "--isolation process --inject-worker-crash 1:sigfoo"},
+    {"inject_fs_malformed", "--inject-fs banana"},
+    {"inject_fs_unknown_key", "--inject-fs frobnicate=0.5"},
+    {"inject_fs_prob_above_one", "--inject-fs enospc=2"},
+    {"inject_fs_missing_value", "--inject-fs"},
+    {"checkpoint_every_zero", "--checkpoint-every 0"},
+    {"checkpoint_every_garbage", "--checkpoint-every soon"},
+    {"checkpoint_requires_journal", "--checkpoint-every 4"},
     {"sweep_unknown_axis", "--sweep banana:0:1:3"},
     {"sweep_nan_endpoint", "--sweep error-rate:nan:0.04:3"},
     {"sweep_huge_count", "--sweep error-rate:0:0.04:99999999"},
@@ -141,6 +149,54 @@ TEST(AcceptedArgs, RetriesAliasMapsToMaxAttempts) {
   // --retries 0 is the documented alias for --max-attempts 1; both valid.
   const RunOutcome out =
       run_sim(std::string(kCheapRun) + " --retries 0");
+  EXPECT_EQ(out.exit_code, 0) << out.output;
+}
+
+TEST(AcceptedArgs, CheckpointedJournalRunExitsZero) {
+  const std::string journal =
+      ::testing::TempDir() + "tmemo_cli_ckpt.journal";
+  std::remove(journal.c_str());
+  std::remove((journal + ".checkpoint").c_str());
+  const RunOutcome out = run_sim(std::string(kCheapRun) + " --journal " +
+                                 journal + " --checkpoint-every 1");
+  EXPECT_EQ(out.exit_code, 0) << out.output;
+  // Cadence 1: the single job's append snapshots into a checkpoint.
+  EXPECT_TRUE(std::ifstream(journal + ".checkpoint").good());
+  std::remove(journal.c_str());
+  std::remove((journal + ".checkpoint").c_str());
+}
+
+// -- Artifact-durability exit contract (docs/RESILIENCE.md) -------------------
+// An artifact that cannot be made durable is its own failure class: exit 3,
+// a "tmemo_sim: ..." diagnostic, and never a torn file at the final path.
+
+TEST(ArtifactFaults, InjectedJsonWriteFailureExitsThreeLeavingNoTornFile) {
+  const std::string json = ::testing::TempDir() + "tmemo_cli_inject.json";
+  std::remove(json.c_str());
+  const RunOutcome out =
+      run_sim(std::string(kCheapRun) +
+              " --inject-fs seed=1,enospc=1 --json " + json);
+  EXPECT_EQ(out.exit_code, 3) << out.output;
+  EXPECT_NE(out.output.find("tmemo_sim: "), std::string::npos) << out.output;
+  EXPECT_FALSE(std::ifstream(json).good())
+      << "a failed commit must not publish anything at the final path";
+}
+
+TEST(ArtifactFaults, InjectedJournalFaultExitsThree) {
+  const std::string journal =
+      ::testing::TempDir() + "tmemo_cli_inject.journal";
+  std::remove(journal.c_str());
+  const RunOutcome out =
+      run_sim(std::string(kCheapRun) + " --journal " + journal +
+              " --inject-fs seed=1,enospc=1");
+  EXPECT_EQ(out.exit_code, 3) << out.output;
+  EXPECT_NE(out.output.find("tmemo_sim: "), std::string::npos) << out.output;
+  std::remove(journal.c_str());
+}
+
+TEST(ArtifactFaults, InjectFsWithZeroProbabilitiesIsANoOp) {
+  const RunOutcome out =
+      run_sim(std::string(kCheapRun) + " --inject-fs seed=1,enospc=0");
   EXPECT_EQ(out.exit_code, 0) << out.output;
 }
 

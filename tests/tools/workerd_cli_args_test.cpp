@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <sys/wait.h>
 
@@ -69,6 +70,13 @@ constexpr BadCase kWorkerdRejected[] = {
     {"sweep_and_voltage_conflict",
      "--connect 127.0.0.1:9 --sweep voltage:0.8:1.0:3 --voltage 0.9"},
     {"timeout_zero", "--connect 127.0.0.1:9 --connect-timeout-ms 0"},
+    {"inject_fs_malformed", "--connect 127.0.0.1:9 --inject-fs banana"},
+    {"inject_fs_prob_above_one",
+     "--connect 127.0.0.1:9 --inject-fs enospc=2"},
+    {"checkpoint_every_zero",
+     "--connect 127.0.0.1:9 --journal shard.journal --checkpoint-every 0"},
+    {"checkpoint_requires_journal",
+     "--connect 127.0.0.1:9 --checkpoint-every 2"},
     {"missing_value_at_end", "--connect 127.0.0.1:9 --kernel"},
 };
 
@@ -121,6 +129,9 @@ constexpr BadCase kJournalRejected[] = {
     {"merge_no_shards", "merge --out merged.journal"},
     {"merge_out_missing_value", "merge shard-a.journal --out"},
     {"merge_unknown_option", "merge --out m.journal --frobnicate a.journal"},
+    {"merge_inject_fs_malformed",
+     "merge --out m.journal --inject-fs banana a.journal"},
+    {"merge_inject_fs_missing_value", "merge a.journal --inject-fs"},
 };
 
 class JournalRejectedArgs : public ::testing::TestWithParam<BadCase> {};
@@ -145,6 +156,55 @@ TEST(JournalArgs, HelpExitsZeroAndMentionsMerge) {
   const RunOutcome out = run_tool(TMEMO_JOURNAL_BIN, "--help");
   EXPECT_EQ(out.exit_code, 0) << out.output;
   EXPECT_NE(out.output.find("merge"), std::string::npos);
+}
+
+TEST(JournalArgs, RefusesToClobberWithoutForceThenForceOverwrites) {
+  // A header-only shard is a valid (if empty) journal — enough to drive
+  // the output-clobber contract end to end through the binary.
+  const std::string shard = ::testing::TempDir() + "tmemo_cli_shard.journal";
+  const std::string out = ::testing::TempDir() + "tmemo_cli_merged.journal";
+  std::remove(out.c_str());
+  {
+    std::ofstream s(shard, std::ios::trunc);
+    s << "tmemo-journal-v2,v1-clitest\n";
+  }
+  const std::string merge_args = "merge --out " + out + " " + shard;
+
+  const RunOutcome first = run_tool(TMEMO_JOURNAL_BIN, merge_args);
+  EXPECT_EQ(first.exit_code, 0) << first.output;
+
+  const RunOutcome second = run_tool(TMEMO_JOURNAL_BIN, merge_args);
+  EXPECT_EQ(second.exit_code, 1) << second.output;
+  EXPECT_NE(second.output.find("--force"), std::string::npos)
+      << second.output;
+
+  const RunOutcome forced =
+      run_tool(TMEMO_JOURNAL_BIN, "merge --force --out " + out + " " + shard);
+  EXPECT_EQ(forced.exit_code, 0) << forced.output;
+
+  std::remove(shard.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(JournalArgs, InjectedOutputFaultExitsOneAndLeavesNoTornOutput) {
+  const std::string shard =
+      ::testing::TempDir() + "tmemo_cli_inject_shard.journal";
+  const std::string out =
+      ::testing::TempDir() + "tmemo_cli_inject_merged.journal";
+  std::remove(out.c_str());
+  {
+    std::ofstream s(shard, std::ios::trunc);
+    s << "tmemo-journal-v2,v1-clitest\n";
+  }
+  const RunOutcome chaos = run_tool(
+      TMEMO_JOURNAL_BIN, "merge --inject-fs seed=1,enospc=1 --out " + out +
+                             " " + shard);
+  EXPECT_EQ(chaos.exit_code, 1) << chaos.output;
+  EXPECT_NE(chaos.output.find("tmemo_journal: "), std::string::npos)
+      << chaos.output;
+  EXPECT_FALSE(std::ifstream(out).good())
+      << "a failed commit must not publish anything at the final path";
+  std::remove(shard.c_str());
 }
 
 TEST(JournalArgs, UnreadableShardExitsOneNotTwo) {

@@ -9,25 +9,38 @@
 // fingerprint mismatch between shards is a hard error naming both files.
 //
 // Usage:
-//   tmemo_journal merge --out MERGED SHARD [SHARD...]
+//   tmemo_journal merge --out MERGED [--force] [--inject-fs SPEC]
+//                 SHARD [SHARD...]
+//
+// The merged journal is written atomically (temp → fsync → rename) and
+// sealed with a record-count end sentinel, so a truncated copy is rejected
+// on read. An existing non-empty --out file is refused without --force.
+// Checkpointed shards (`<shard>.checkpoint` beside them) contribute
+// checkpoint + live tail. --inject-fs applies deterministic filesystem
+// chaos to the output commit (docs/RESILIENCE.md has the grammar).
 //
 // Exit status: 0 on success, 1 when the merge fails (unreadable shard,
-// fingerprint mismatch, all shards empty), 2 on a malformed command line.
+// fingerprint mismatch, all shards empty, output exists without --force,
+// output commit failed), 2 on a malformed command line.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <string>
 #include <vector>
 
+#include "io/fs_fault.hpp"
 #include "sim/journal_merge.hpp"
 
 namespace {
 
 void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
-               "usage: %s merge --out MERGED SHARD [SHARD...]\n"
+               "usage: %s merge --out MERGED [--force] [--inject-fs SPEC]\n"
+               "          SHARD [SHARD...]\n"
                "Merges journal-v2 shards of one campaign into a single\n"
-               "journal that tmemo_sim --resume accepts.\n",
+               "sealed journal that tmemo_sim --resume accepts, written\n"
+               "atomically. Refuses to overwrite an existing non-empty\n"
+               "--out file without --force.\n",
                argv0);
 }
 
@@ -50,6 +63,7 @@ int main(int argc, char** argv) {
 
   std::string out_path;
   std::vector<std::string> shards;
+  tmemo::JournalMergeOptions options;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -61,6 +75,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--out") {
       if (i + 1 >= argc) fail("missing value for --out");
       out_path = argv[++i];
+    } else if (arg == "--force") {
+      options.force = true;
+    } else if (arg.rfind("--inject-fs=", 0) == 0 || arg == "--inject-fs") {
+      std::string text;
+      if (arg == "--inject-fs") {
+        if (i + 1 >= argc) fail("missing value for --inject-fs");
+        text = argv[++i];
+      } else {
+        text = arg.substr(12);
+      }
+      options.inject_fs = tmemo::io::FsFaultSpec::parse(text);
+      if (!options.inject_fs) {
+        fail("malformed --inject-fs '" + text +
+             "' (want e.g. seed=7,short=0.02,enospc=0.01,eio=0.01,"
+             "fsync=0.01,crash=0.01,torn=0.02)");
+      }
     } else if (arg.rfind("--", 0) == 0) {
       fail("unknown option: " + arg);
     } else {
@@ -72,7 +102,7 @@ int main(int argc, char** argv) {
 
   tmemo::JournalMergeReport report;
   try {
-    report = tmemo::merge_campaign_journals(shards, out_path);
+    report = tmemo::merge_campaign_journals(shards, out_path, options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tmemo_journal: %s\n", e.what());
     return 1;

@@ -97,7 +97,10 @@ LintCache load_cache(const std::string& path) {
 }
 
 void save_cache(const std::string& path, const LintCache& cache) {
-  std::ofstream os(path, std::ios::trunc);
+  // The cache is a disposable accelerator, not a final artifact: a torn
+  // cache self-invalidates on load (load_cache returns empty on any parse
+  // hiccup), so the atomic-commit discipline would buy nothing here.
+  std::ofstream os(path, std::ios::trunc); // tmemo-lint: allow(artifact-durability)
   if (!os) return;
   os << kMagic << '\n';
   os << "engine " << std::hex << cache.engine_digest << '\n';

@@ -2,10 +2,10 @@
 //
 // A Rule inspects one lexed source file — plus the repo-wide index built in
 // phase 1 — and emits Findings. Rules are registered in make_default_rules()
-// (rules.cpp registers R1-R8, rules_index.cpp registers R9-R13); adding a
-// new invariant means subclassing Rule, implementing check(), and appending
-// it there — see docs/STATIC_ANALYSIS.md for the catalog and a worked
-// example.
+// (rules.cpp registers R1-R8 and R14, rules_index.cpp registers R9-R13);
+// adding a new invariant means subclassing Rule, implementing check(), and
+// appending it there — see docs/STATIC_ANALYSIS.md for the catalog and a
+// worked example.
 #pragma once
 
 #include <memory>
@@ -51,7 +51,7 @@ class Rule {
                      std::vector<Finding>& out) const = 0;
 };
 
-/// The repo-invariant rule set R1..R13.
+/// The repo-invariant rule set R1..R14.
 [[nodiscard]] std::vector<std::unique_ptr<Rule>> make_default_rules();
 
 /// The cross-file rules R9..R13 (rules_index.cpp), appended to `out` by

@@ -1,4 +1,4 @@
-// The repo-invariant rules R1..R8 (see docs/STATIC_ANALYSIS.md).
+// The repo-invariant rules R1..R8 and R14 (see docs/STATIC_ANALYSIS.md).
 //
 // Every rule works on the token stream produced by lexer.cpp, scoped where
 // needed by the function spans from function_scan.cpp. Pattern identifiers
@@ -558,6 +558,43 @@ class InjectionSeedingRule final : public Rule {
   }
 };
 
+// -- R14 --------------------------------------------------------------------
+
+class ArtifactDurabilityRule final : public Rule {
+ public:
+  [[nodiscard]] std::string id() const override {
+    return "artifact-durability";
+  }
+  [[nodiscard]] std::string description() const override {
+    return "R14: final artifacts must be committed through "
+           "io::AtomicFileWriter (temp, fsync, rename), never written in "
+           "place with a bare ofstream";
+  }
+
+  void check(const SourceFile& file, const RepoIndex& /*repo*/,
+             std::vector<Finding>& out) const override {
+    // src/io/ is the one layer allowed to touch raw file primitives — it
+    // is where the atomic-commit discipline is implemented.
+    if (file.display_path.find("src/io/") != std::string::npos) return;
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_id(toks[i], "ofstream")) continue;
+      // Skip definitions of unrelated local types with the same name and
+      // nested-name mentions (ofstream::traits_type and friends).
+      if (i > 0 && (is_id(toks[i - 1], "class") ||
+                    is_id(toks[i - 1], "struct"))) {
+        continue;
+      }
+      if (next_is_punct(toks, i, "::")) continue;
+      report(out, id(), file, toks[i],
+             "ofstream writes land in place — a crash or full disk leaves "
+             "a torn file at the final path; commit the artifact through "
+             "io::AtomicFileWriter (temp, fsync, rename), or suppress for "
+             "non-artifact scratch output");
+    }
+  }
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<Rule>> make_default_rules() {
@@ -571,6 +608,7 @@ std::vector<std::unique_ptr<Rule>> make_default_rules() {
   rules.push_back(std::make_unique<TelemetryRegistryRule>());
   rules.push_back(std::make_unique<InjectionSeedingRule>());
   append_index_rules(rules);
+  rules.push_back(std::make_unique<ArtifactDurabilityRule>());
   return rules;
 }
 

@@ -16,6 +16,7 @@
 #include "baseline.hpp"
 #include "cache.hpp"
 #include "index.hpp"
+#include "io/atomic_file.hpp"
 #include "sarif.hpp"
 
 namespace tmemo::lint {
@@ -430,7 +431,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       return 0;
     } else if (a == "--help" || a == "-h") {
       out << "usage: tmemo_lint [options] <path>...\n"
-             "Lints C++ sources for tmemo repo invariants R1-R13\n"
+             "Lints C++ sources for tmemo repo invariants R1-R14\n"
              "(see docs/STATIC_ANALYSIS.md). Directories are walked\n"
              "recursively. Exit: 0 clean, 1 findings, 2 error.\n"
              "  --json             JSON report instead of text\n"
@@ -454,15 +455,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   }
   try {
     const LintReport report = run_lint(options);
-    std::ofstream file_out;
-    if (!out_path.empty()) {
-      file_out.open(out_path, std::ios::trunc);
-      if (!file_out) {
-        err << "tmemo_lint: cannot write: " << out_path << '\n';
-        return 2;
-      }
-    }
-    std::ostream& sink = out_path.empty() ? out : file_out;
+    // A report file consumed by CI (SARIF upload, baseline diffs) gets the
+    // atomic-commit treatment: the named path never holds a torn report.
+    io::AtomicFileWriter file_out;
+    if (!out_path.empty()) file_out.open(out_path);
+    std::ostream& sink = out_path.empty() ? out : file_out.stream();
     switch (options.format) {
       case OutputFormat::kJson:
         write_json(report, sink);
@@ -474,6 +471,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         write_text(report, sink);
         break;
     }
+    if (file_out.is_open()) file_out.commit();
     return exit_code(report);
   } catch (const std::exception& e) {
     err << "tmemo_lint: " << e.what() << '\n';

@@ -24,6 +24,7 @@
 //             [--keepalive-ms T] [--keepalive-timeout-ms T]
 //             [--inject-worker-crash JOB:SIG[:N]] [--inject-net SPEC]
 //             [--journal FILE] [--resume FILE]
+//             [--checkpoint-every N] [--inject-fs SPEC]
 //
 // The campaign-grid flags (kernel/axis/config) are shared with
 // tmemo_workerd via tools/cli/spec_flags.hpp — a remote campaign passes
@@ -36,6 +37,13 @@
 // diagnostic on stderr (tested table-driven in tests/tools/cli_args_test).
 // --retries N and --timeout-ms T are kept as aliases of
 // --max-attempts N+1 and --job-timeout-ms T.
+//
+// Artifact durability (docs/RESILIENCE.md): every file artifact (--json,
+// --metrics-out, --trace-out, journal checkpoints) is committed atomically
+// — temp, fsync, rename — so the named path never holds a torn file.
+// --inject-fs applies deterministic filesystem chaos to those commits and
+// to journal appends; any artifact write failure, injected or real, exits
+// 3 (distinct from 1 = jobs failed and 2 = bad command line).
 //
 // Examples:
 //   tmemo_sim --kernel sobel --error-rate 0.02
@@ -52,7 +60,6 @@
 //             --isolation remote --listen 127.0.0.1:7070   # DISTRIBUTED.md
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <optional>
 #include <stdexcept>
@@ -60,6 +67,8 @@
 
 #include "cli/spec_flags.hpp"
 #include "common/table.hpp"
+#include "io/atomic_file.hpp"
+#include "io/fs_fault.hpp"
 #include "sim/campaign.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/timeline.hpp"
@@ -93,6 +102,9 @@ struct CliOptions {
   std::optional<net::NetFaultSpec> inject_net;
   std::optional<std::string> journal_path;
   std::optional<std::string> resume_path;
+  // Artifact durability knobs (docs/RESILIENCE.md).
+  std::optional<io::FsFaultSpec> inject_fs;
+  std::size_t checkpoint_every = 0;
 };
 
 void print_usage(std::FILE* out, const char* argv0) {
@@ -108,6 +120,7 @@ void print_usage(std::FILE* out, const char* argv0) {
       "          [--keepalive-ms T] [--keepalive-timeout-ms T]\n"
       "          [--inject-worker-crash JOB:SIG[:N]] [--inject-net SPEC]\n"
       "          [--journal FILE] [--resume FILE]\n"
+      "          [--checkpoint-every N] [--inject-fs SPEC]\n"
       "sweep axes: error-rate, voltage (e.g. --sweep error-rate:0:0.04:9)\n"
       "kernels: sobel gaussian haar binomialoption blackscholes fwt "
       "eigenvalue all\n",
@@ -221,6 +234,17 @@ CliOptions parse(int argc, char** argv) try {
       opt.journal_path = value();
     } else if (arg == "--resume") {
       opt.resume_path = value();
+    } else if (arg == "--checkpoint-every") {
+      opt.checkpoint_every = static_cast<std::size_t>(
+          cli::parse_int_in(arg, value(), 1, 1000000));
+    } else if (arg == "--inject-fs") {
+      const std::string text = value();
+      opt.inject_fs = io::FsFaultSpec::parse(text);
+      if (!opt.inject_fs) {
+        throw CliError("malformed --inject-fs '" + text +
+                       "' (want e.g. seed=7,short=0.02,enospc=0.01,"
+                       "eio=0.01,fsync=0.01,crash=0.01,torn=0.02)");
+      }
     } else if (arg == "--metrics-format") {
       opt.metrics_format = value();
       if (opt.metrics_format != "json" && opt.metrics_format != "csv") {
@@ -258,6 +282,9 @@ CliOptions parse(int argc, char** argv) try {
   if (opt.inject_net && opt.isolation != IsolationMode::kRemote) {
     throw cli::CliError("--inject-net requires --isolation=remote");
   }
+  if (opt.checkpoint_every > 0 && !opt.journal_path && !opt.resume_path) {
+    throw cli::CliError("--checkpoint-every requires --journal or --resume");
+  }
   return opt;
 } catch (const cli::CliError& e) {
   fail(e.what());
@@ -271,6 +298,30 @@ std::string env_label(const JobResult& j) {
     std::snprintf(buf, sizeof(buf), "%.2f%% err", j.job.axis_value * 100.0);
   }
   return buf;
+}
+
+/// Commits one file artifact atomically (temp → fsync → rename), with
+/// --inject-fs chaos armed when requested. Returns false after printing
+/// the diagnostic; callers exit 3 — artifact I/O failure, distinct from
+/// "campaign jobs failed" (1) and "bad command line" (2).
+template <typename Body>
+bool write_artifact_file(const std::string& path,
+                         const std::optional<io::FsFaultSpec>& inject_fs,
+                         Body&& body) {
+  try {
+    io::AtomicFileWriter writer;
+    if (inject_fs) {
+      writer.open(path, *inject_fs);
+    } else {
+      writer.open(path);
+    }
+    body(writer.stream());
+    writer.commit();
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tmemo_sim: %s\n", e.what());
+    return false;
+  }
 }
 
 } // namespace
@@ -296,17 +347,18 @@ int main(int argc, char** argv) {
     run_options.keepalive_timeout_ms = *opt.keepalive_timeout_ms;
   }
   run_options.inject_net = opt.inject_net;
+  run_options.inject_fs = opt.inject_fs;
+  run_options.checkpoint_every = opt.checkpoint_every;
   if (opt.journal_path) run_options.journal_path = *opt.journal_path;
   if (opt.resume_path) {
-    std::ifstream in(*opt.resume_path);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", opt.resume_path->c_str());
-      return 1;
-    }
     try {
-      run_options.resume = read_campaign_journal(in);
+      // Checkpoint-aware: a compacted journal's completed set is its
+      // sealed `<journal>.checkpoint` plus the live tail, bit-identical
+      // to replaying the uncompacted journal (docs/RESILIENCE.md).
+      run_options.resume =
+          read_campaign_journal_with_checkpoint(*opt.resume_path);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s: %s\n", opt.resume_path->c_str(), e.what());
+      std::fprintf(stderr, "%s\n", e.what());
       return 1;
     }
     if (run_options.resume->malformed_rows > 0) {
@@ -336,6 +388,12 @@ int main(int argc, char** argv) {
     // environment failure, not a CLI one.
     std::fprintf(stderr, "tmemo_sim: %s\n", e.what());
     return 1;
+  }
+  if (!result.artifact_error.empty()) {
+    // The campaign finished in memory but its journal stopped persisting
+    // (injected or real disk fault). Results still print below so nothing
+    // is hidden, but the run exits 3: the journal on disk is incomplete.
+    std::fprintf(stderr, "tmemo_sim: %s\n", result.artifact_error.c_str());
   }
 
   ResultTable table("tmemo_sim results",
@@ -417,13 +475,10 @@ int main(int argc, char** argv) {
   if (opt.json_path) {
     if (*opt.json_path == "-") {
       write_campaign_json(result, std::cout);
-    } else {
-      std::ofstream out(*opt.json_path);
-      if (!out) {
-        std::fprintf(stderr, "cannot open %s\n", opt.json_path->c_str());
-        return 1;
-      }
-      write_campaign_json(result, out);
+    } else if (!write_artifact_file(
+                   *opt.json_path, opt.inject_fs,
+                   [&](std::ostream& out) { write_campaign_json(result, out); })) {
+      return 3;
     }
   }
 
@@ -437,13 +492,9 @@ int main(int argc, char** argv) {
     };
     if (*opt.metrics_path == "-") {
       write(std::cout);
-    } else {
-      std::ofstream out(*opt.metrics_path);
-      if (!out) {
-        std::fprintf(stderr, "cannot open %s\n", opt.metrics_path->c_str());
-        return 1;
-      }
-      write(out);
+    } else if (!write_artifact_file(*opt.metrics_path, opt.inject_fs,
+                                    write)) {
+      return 3;
     }
   }
 
@@ -452,13 +503,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "no timeline recorded (campaign had no jobs?)\n");
       return 1;
     }
-    std::ofstream out(*opt.trace_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", opt.trace_path->c_str());
-      return 1;
+    if (!write_artifact_file(*opt.trace_path, opt.inject_fs,
+                             [&](std::ostream& out) {
+                               telemetry::write_chrome_trace(*result.timeline,
+                                                             out);
+                             })) {
+      return 3;
     }
-    telemetry::write_chrome_trace(*result.timeline, out);
   }
 
+  // Stdout artifacts (--csv, --json -, --metrics-out -) can tear too — a
+  // closed pipe or full disk behind a redirection must not pass as exit 0.
+  std::cout.flush();
+  if (!std::cout) {
+    std::fprintf(stderr, "tmemo_sim: write to stdout failed\n");
+    return 3;
+  }
+
+  if (!result.artifact_error.empty()) return 3;
   return result.all_passed() ? 0 : 1;
 }

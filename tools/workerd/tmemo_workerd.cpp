@@ -9,9 +9,10 @@
 //
 // Usage:
 //   tmemo_workerd --connect HOST:PORT [grid flags...]
-//                 [--journal FILE] [--connect-timeout-ms T]
+//                 [--journal FILE] [--checkpoint-every N]
+//                 [--connect-timeout-ms T]
 //                 [--reconnect[=N]] [--reconnect-backoff-ms T]
-//                 [--inject-net SPEC]
+//                 [--inject-net SPEC] [--inject-fs SPEC]
 //
 // Every finished job can be appended to a local journal-v2 shard
 // (--journal); `tmemo_journal merge` folds the shards of a distributed
@@ -28,8 +29,10 @@
 // Exit status: 0 after a completed campaign (the supervisor's goodbye) or
 // a graceful SIGTERM drain, 1 on registration/protocol/setup failure, 2 on
 // a malformed command line, 3 when an established connection was lost (and
-// the --reconnect budget, if any, ran out) — distinguishable so
-// orchestration can tell "campaign complete" from "supervisor went away".
+// the --reconnect budget, if any, ran out), 4 when the journal shard or a
+// checkpoint could not be written (--inject-fs chaos or a real disk fault)
+// — distinguishable so orchestration can tell "campaign complete" from
+// "supervisor went away" from "this worker's disk is broken".
 //
 // Example — two workers serving one supervisor on loopback:
 //   tmemo_sim --kernel all --sweep error-rate:0:0.04:9 \
@@ -45,6 +48,7 @@
 #include <string>
 
 #include "cli/spec_flags.hpp"
+#include "io/fs_fault.hpp"
 #include "net/fault.hpp"
 #include "net/transport.hpp"
 #include "net/workerd.hpp"
@@ -81,9 +85,10 @@ void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
                "usage: %s --connect HOST:PORT\n"
                "          %s\n"
-               "          [--journal FILE] [--connect-timeout-ms T]\n"
+               "          [--journal FILE] [--checkpoint-every N]\n"
+               "          [--connect-timeout-ms T]\n"
                "          [--reconnect[=N]] [--reconnect-backoff-ms T]\n"
-               "          [--inject-net SPEC]\n"
+               "          [--inject-net SPEC] [--inject-fs SPEC]\n"
                "Pass the same grid flags as the tmemo_sim supervisor; the\n"
                "registration handshake rejects a mismatched campaign.\n"
                "SIGTERM drains gracefully (finish the job, flush the\n"
@@ -151,6 +156,17 @@ CliOptions parse(int argc, char** argv) try {
                        "' (want e.g. seed=7,drop=0.02,stall=0.01,"
                        "corrupt=0.05,delay=0.2:20)");
       }
+    } else if (arg == "--inject-fs") {
+      const std::string text = value();
+      opt.workerd.inject_fs = io::FsFaultSpec::parse(text);
+      if (!opt.workerd.inject_fs) {
+        throw CliError("malformed --inject-fs '" + text +
+                       "' (want e.g. seed=7,short=0.02,enospc=0.01,"
+                       "eio=0.01,fsync=0.01,crash=0.01,torn=0.02)");
+      }
+    } else if (arg == "--checkpoint-every") {
+      opt.workerd.checkpoint_every = static_cast<std::size_t>(
+          cli::parse_int_in(arg, value(), 1, 1000000));
     } else if (arg == "--help" || arg == "-h") {
       print_usage(stdout, argv[0]);
       std::exit(0);
@@ -161,6 +177,9 @@ CliOptions parse(int argc, char** argv) try {
   opt.spec.validate();
   if (!opt.have_connect) {
     throw cli::CliError("--connect HOST:PORT is required");
+  }
+  if (opt.workerd.checkpoint_every > 0 && opt.workerd.journal_path.empty()) {
+    throw cli::CliError("--checkpoint-every requires --journal");
   }
   return opt;
 } catch (const cli::CliError& e) {
@@ -182,6 +201,7 @@ int main(int argc, char** argv) {
   const net::WorkerdOutcome outcome = net::run_workerd(spec, opt.workerd);
   if (!outcome.ok) {
     std::fprintf(stderr, "tmemo_workerd: %s\n", outcome.error.c_str());
+    if (outcome.artifact_error) return 4;
     return outcome.connection_lost ? 3 : 1;
   }
   std::string tail;
